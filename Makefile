@@ -1,0 +1,32 @@
+# Convenience targets for the VitBit reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples reports clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper table/figure report under benchmarks/out/
+reports: bench
+	@ls benchmarks/out/
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/packing_policy_explorer.py
+	$(PYTHON) examples/arbitrary_formats.py
+	$(PYTHON) examples/cnn_inference.py
+	$(PYTHON) examples/kernel_fusion_study.py
+	$(PYTHON) examples/vit_inference.py
+	$(PYTHON) examples/trace_visualizer.py --out /tmp/vitbit_trace.json
+	$(PYTHON) examples/design_space_sweep.py
+
+clean:
+	rm -rf build src/repro.egg-info benchmarks/out .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,154 @@
+"""Ablations over VitBit's design choices (DESIGN.md's ablation index).
+
+These quantify the decisions the paper makes implicitly:
+
+* **spill tax** — Fig. 3's fields leave int8 pairs 0 guard bits, so a
+  real packed GEMM spills its packed accumulator every ``safe_depth``
+  MACs; the paper's accounting idealizes this away.
+* **sign-split tax** — zero-padded SWAR needs non-negative lanes;
+  signed weights cost a second unsigned pass.
+* **warp interleaving** — Sec. 3.3 alternates INT/FP warps; contiguous
+  role blocks lose most of the dual-issue benefit.
+* **packing-factor sweep** — lower bitwidths pack 3-4 lanes (Fig. 3)
+  and buy proportionally more CUDA-core GEMM throughput.
+* **m sweep** — execution time across Tensor:CUDA ratios, showing the
+  measured-time rule's m = 4 sits at the optimum for VitBit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.fusion import IC, TC, VITBIT
+from repro.fusion.strategies import Strategy
+from repro.perfmodel import CostParams, GemmShape, PerformanceModel
+from repro.packing import policy_for_bitwidth
+from repro.utils.tables import format_table
+from repro.vit.workload import DEFAULT_BATCH
+
+SHAPE = GemmShape(768, 197 * DEFAULT_BATCH, 768, name="proj")
+CUDA_PACKED = Strategy(
+    name="IC+FC+P",
+    uses_tensor=False,
+    uses_int=True,
+    uses_fp=True,
+    packing=True,
+    kernel_scope="C",
+    description="packed CUDA-only GEMM",
+)
+
+
+def test_ablation_spill_and_sign_split(machine, report, benchmark):
+    def run():
+        rows = []
+        for label, params in (
+            ("idealized (paper accounting)", CostParams()),
+            ("+ accumulator spills", CostParams(count_spills=True)),
+            ("+ sign-split passes", CostParams(count_sign_split=True)),
+            ("+ both", CostParams(count_spills=True, count_sign_split=True)),
+        ):
+            pm = PerformanceModel(machine, params=params,
+                                  include_launch_overhead=False)
+            t = pm.time_gemm(SHAPE, CUDA_PACKED).seconds
+            base = pm.time_gemm(SHAPE, IC).seconds
+            rows.append((label, base / t))
+        return rows
+
+    rows = benchmark(run)
+    table = format_table(
+        ["accounting", "packed-GEMM speedup vs IC"],
+        rows,
+        title="Ablation — overheads the paper's packing accounting omits",
+    )
+    report("ablation_overheads", table)
+    ideal = rows[0][1]
+    both = rows[3][1]
+    assert ideal > rows[1][1] > both  # each tax costs real speedup
+    # Honest finding (EXPERIMENTS.md): at int8 the two taxes *combined*
+    # can erase the packing win entirely — the technique relies on the
+    # paper's operand layout (unsigned activations, spill-free
+    # accumulation via requantized epilogues).  Individually, each tax
+    # still leaves packing ahead.
+    assert rows[1][1] > 1.0 and rows[2][1] > 1.0
+    assert both < ideal / 1.5
+
+
+def test_ablation_warp_interleaving(machine, report, benchmark):
+    def run():
+        out = {}
+        for label, alternate in (("alternating (paper)", True),
+                                 ("contiguous roles", False)):
+            pm = PerformanceModel(
+                machine,
+                params=CostParams(alternate_warps=alternate),
+                include_launch_overhead=False,
+            )
+            out[label] = pm.time_gemm(SHAPE, CUDA_PACKED).seconds
+        return out
+
+    times = benchmark(run)
+    table = format_table(
+        ["warp layout", "GEMM time (us)"],
+        [(k, v * 1e6) for k, v in times.items()],
+        title="Ablation — Sec. 3.3 warp-level INT/FP interleaving",
+        ndigits=1,
+    )
+    report("ablation_interleave", table)
+    assert times["alternating (paper)"] < times["contiguous roles"]
+
+
+@pytest.mark.parametrize("bits", [4, 5, 6, 8])
+def test_ablation_packing_factor_sweep(machine, bits, report, benchmark):
+    """Fig. 3 extension: deeper packing buys more CUDA GEMM speedup."""
+    policy = policy_for_bitwidth(bits)
+
+    def run():
+        pm = PerformanceModel(machine, policy, include_launch_overhead=False)
+        return (
+            pm.time_gemm(SHAPE, IC).seconds,
+            pm.time_gemm(SHAPE, CUDA_PACKED).seconds,
+        )
+
+    t_ic, t_p = benchmark(run)
+    speedup = t_ic / t_p
+    report(
+        f"ablation_pack_{bits}bit",
+        f"{bits}-bit operands: {policy.lanes} lanes -> packed CUDA GEMM "
+        f"{speedup:.3f}x vs IC",
+    )
+    assert speedup > 1.0
+    if bits <= 4:
+        # 4 lanes should clearly beat the 2-lane int8 configuration.
+        pm8 = PerformanceModel(
+            machine, policy_for_bitwidth(8), include_launch_overhead=False
+        )
+        s8 = pm8.time_gemm(SHAPE, IC).seconds / pm8.time_gemm(
+            SHAPE, CUDA_PACKED
+        ).seconds
+        assert speedup > s8
+
+
+def test_ablation_m_sweep(pm, report, benchmark):
+    """Execution time across the Tensor:CUDA ratio m (VitBit fused)."""
+
+    def run():
+        t_tc = pm.time_gemm(SHAPE, TC).seconds
+        return {
+            m: t_tc / pm.time_gemm(SHAPE, VITBIT, tensor_cuda_ratio=m).seconds
+            for m in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0)
+        }
+
+    speedups = benchmark(run)
+    table = format_table(
+        ["m (Tensor:CUDA)", "VitBit speedup vs TC"],
+        list(speedups.items()),
+        title="Ablation — Tensor:CUDA assignment ratio sweep "
+        "(the measured-time rule picks m = 4)",
+    )
+    report("ablation_m_sweep", table)
+    best_m = max(speedups, key=speedups.get)
+    assert best_m == 4.0
+    assert speedups[1.0] < speedups[4.0]
+    assert speedups[8.0] < speedups[4.0]

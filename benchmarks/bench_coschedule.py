@@ -1,0 +1,63 @@
+"""Inter-kernel co-scheduling (original Tacker) vs sequential execution.
+
+Sec. 4.1 notes the paper adapted Tacker from its original *two distinct
+kernels* form into a single fused kernel for fair comparison.  This
+bench evaluates the original form on the simulated Orin: pairs of
+kernels run sequentially and co-scheduled, across complementary and
+colliding pipe mixes.  Complementary pairs (Tensor+INT, INT+FP) gain;
+same-pipe pairs do not — the resource-contention picture Tacker's QoS
+model exists to manage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fusion import FC, IC, TC, co_schedule
+from repro.packing import policy_for_bitwidth
+from repro.perfmodel import ELEMENTWISE_KERNELS, CostParams, GemmShape
+from repro.perfmodel.warpsets import elementwise_launch, gemm_launch
+from repro.utils.tables import format_table
+
+
+def _pairs(machine):
+    pol = policy_for_bitwidth(8)
+    params = CostParams(target_sim_instructions=12_000)
+    shape = GemmShape(512, 1024, 512)
+    tc = gemm_launch(shape, TC, machine, pol, params, 4.0)
+    ic = gemm_launch(shape, IC, machine, pol, params, 0.0)
+    fc = gemm_launch(shape, FC, machine, pol, params, 0.0)
+    sm = elementwise_launch(
+        ELEMENTWISE_KERNELS["softmax"], 1_500_000, IC, machine, pol, params
+    )
+    ge = elementwise_launch(
+        ELEMENTWISE_KERNELS["gelu"], 1_500_000, IC, machine, pol, params
+    )
+    return {
+        "TC GEMM + IC softmax (complementary)": (tc, sm),
+        "IC GEMM + FC GEMM (complementary)": (ic, fc),
+        "IC softmax + IC gelu (colliding)": (sm, ge),
+        "IC GEMM + IC GEMM (colliding)": (ic, ic),
+    }
+
+
+def test_coschedule_pairs(machine, report, benchmark):
+    def run():
+        return {
+            name: co_schedule(machine, a, b).speedup
+            for name, (a, b) in _pairs(machine).items()
+        }
+
+    speedups = benchmark(run)
+    table = format_table(
+        ["kernel pair", "co-scheduled speedup"],
+        list(speedups.items()),
+        title="Original Tacker — inter-kernel co-scheduling vs sequential",
+    )
+    report("coschedule", table)
+
+    comp = [v for k, v in speedups.items() if "complementary" in k]
+    coll = [v for k, v in speedups.items() if "colliding" in k]
+    assert min(comp) > 1.1
+    assert max(coll) == pytest.approx(1.0, abs=0.08)
+    assert min(comp) > max(coll)

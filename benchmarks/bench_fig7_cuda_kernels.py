@@ -1,0 +1,61 @@
+"""Fig. 7: CUDA-core kernel speedups (non-Linear kernels of the block).
+
+Paper (normalized to the IC baseline): IC+FC averages 1.05x, VitBit
+averages 1.14x with a 1.18x maximum.  The kernels are the attention
+block's Softmax, GeLU, LayerNorm, Dropout (plus residual/requantize).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fusion import FC, IC, IC_FC, VITBIT
+from repro.utils.tables import format_table
+from repro.vit.config import ViTConfig
+from repro.vit.workload import DEFAULT_BATCH
+
+CFG = ViTConfig.vit_base()
+SIZES = {
+    "softmax": CFG.heads * CFG.tokens * CFG.tokens * DEFAULT_BATCH,
+    "gelu": CFG.mlp_dim * CFG.tokens * DEFAULT_BATCH,
+    "layernorm": CFG.hidden * CFG.tokens * DEFAULT_BATCH,
+    "dropout": CFG.hidden * CFG.tokens * DEFAULT_BATCH,
+    "residual": CFG.hidden * CFG.tokens * DEFAULT_BATCH,
+    "requantize": CFG.hidden * CFG.tokens * DEFAULT_BATCH,
+}
+
+
+def _speedups(pm):
+    rows = {}
+    for kernel, n in SIZES.items():
+        t_ic = pm.time_elementwise(kernel, n, IC).seconds
+        rows[kernel] = {
+            "FC": t_ic / pm.time_elementwise(kernel, n, FC).seconds,
+            "IC+FC": t_ic / pm.time_elementwise(kernel, n, IC_FC).seconds,
+            "VitBit": t_ic / pm.time_elementwise(kernel, n, VITBIT).seconds,
+        }
+    return rows
+
+
+def test_fig7_cuda_kernel_speedups(pm, report, benchmark):
+    rows = benchmark(_speedups, pm)
+    vitbit = [r["VitBit"] for r in rows.values()]
+    icfc = [r["IC+FC"] for r in rows.values()]
+    avg_vb = sum(vitbit) / len(vitbit)
+    avg_icfc = sum(icfc) / len(icfc)
+    table = format_table(
+        ["kernel", "FC", "IC+FC", "VitBit"],
+        [(k, r["FC"], r["IC+FC"], r["VitBit"]) for k, r in rows.items()]
+        + [("average", sum(r["FC"] for r in rows.values()) / len(rows),
+            avg_icfc, avg_vb)],
+        title="Fig. 7 — CUDA-core kernels (speedup vs IC baseline; "
+        "paper: IC+FC avg 1.05, VitBit avg 1.14 / max 1.18)",
+    )
+    report("fig7_cuda_kernels", table)
+
+    # Ordering per kernel: VitBit >= IC+FC >= ~1.0.
+    for kernel, r in rows.items():
+        assert r["VitBit"] > r["IC+FC"] >= 0.99, kernel
+    assert avg_vb == pytest.approx(1.14, abs=0.05)
+    assert avg_icfc == pytest.approx(1.05, abs=0.06)
+    assert max(vitbit) == pytest.approx(1.18, abs=0.06)

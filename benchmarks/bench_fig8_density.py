@@ -1,0 +1,49 @@
+"""Fig. 8: arithmetic density during ViT-Base inference.
+
+Paper (normalized to TC): Tacker 1.11x, TC+IC+FC 1.17x, VitBit 1.28x.
+Arithmetic density is achieved useful ops/s/mm^2 during the compute
+(GEMM) kernels; the die is constant, so the normalized density is the
+useful-throughput ratio on the Linear workload — which is why the
+paper's Fig. 8 numbers track its Fig. 6 GEMM speedups.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import normalized_density
+from repro.fusion import TACKER, TC, TC_IC_FC, VITBIT
+from repro.utils.tables import format_table
+from repro.vit import time_inference, vit_workload
+
+PAPER = {"TC": 1.0, "Tacker": 1.11, "TC+IC+FC": 1.17, "VitBit": 1.28}
+
+
+def _densities(pm, machine):
+    work = vit_workload()
+    useful_ops = sum(
+        kw.gemm.flops * kw.repeat for kw in work if kw.kind == "gemm" and kw.fusable
+    )
+    gemm_work = [kw for kw in work if kw.kind == "gemm"]
+    base = time_inference(pm, TC, workload=gemm_work).total_seconds
+    out = {"TC": 1.0}
+    for s in (TACKER, TC_IC_FC, VITBIT):
+        secs = time_inference(pm, s, workload=gemm_work).total_seconds
+        out[s.name] = normalized_density(machine, useful_ops, secs, base)
+    return out
+
+
+def test_fig8_arithmetic_density(pm, machine, report, benchmark):
+    densities = benchmark(_densities, pm, machine)
+    table = format_table(
+        ["method", "normalized density", "paper"],
+        [(k, v, PAPER[k]) for k, v in densities.items()],
+        title="Fig. 8 — arithmetic density during ViT-Base inference "
+        "(normalized to TC)",
+    )
+    report("fig8_density", table)
+
+    assert 1.0 < densities["Tacker"] < densities["TC+IC+FC"] < densities["VitBit"]
+    assert densities["VitBit"] == pytest.approx(1.28, abs=0.08)
+    assert densities["Tacker"] == pytest.approx(1.11, abs=0.06)
+    assert densities["TC+IC+FC"] == pytest.approx(1.17, abs=0.06)

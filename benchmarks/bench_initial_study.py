@@ -1,0 +1,72 @@
+"""Sec. 3.2's initial study: GEMM time per core class, and the ratio m.
+
+The paper measures one GEMM five ways and derives the 4:1 Tensor:CUDA
+assignment:
+
+=========  ==================  ============
+case       description         paper (x TC)
+=========  ==================  ============
+TC         Tensor cores only   1.0
+IC         INT cores only      ~7.5
+FC         FP cores only       ~7.5
+IC+FC      both CUDA pipes     ~6.5
+IC+FC+P    both + packing      ~4
+=========  ==================  ============
+
+The m rule then yields 4 — exactly the paper's chosen split.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fusion import FC, IC, IC_FC, TC
+from repro.fusion.strategies import Strategy
+from repro.perfmodel import GemmShape
+from repro.utils.tables import format_table
+from repro.vit.workload import DEFAULT_BATCH
+
+SHAPE = GemmShape(768, 197 * DEFAULT_BATCH, 768, name="proj")
+IC_FC_P = Strategy(
+    name="IC+FC+P",
+    uses_tensor=False,
+    uses_int=True,
+    uses_fp=True,
+    packing=True,
+    kernel_scope="C",
+    description="both CUDA pipes with packing (Sec. 3.2 case 5)",
+)
+PAPER = {"TC": 1.0, "IC": 7.5, "FC": 7.5, "IC+FC": 6.5, "IC+FC+P": 4.0}
+
+
+def _study(pm):
+    t_tc = pm.time_gemm(SHAPE, TC).seconds
+    out = {"TC": 1.0}
+    for s in (IC, FC, IC_FC, IC_FC_P):
+        out[s.name] = pm.time_gemm(SHAPE, s).seconds / t_tc
+    return out
+
+
+def test_initial_study_ratios(pm, report, benchmark):
+    ratios = benchmark(_study, pm)
+    table = format_table(
+        ["case", "model (x TC)", "paper (x TC)"],
+        [(k, v, PAPER[k]) for k, v in ratios.items()],
+        title=f"Sec. 3.2 initial study — GEMM {SHAPE.label()}",
+        ndigits=2,
+    )
+    report("initial_study", table)
+    # Shape assertions: ordering and rough factors.
+    assert ratios["IC"] == pytest.approx(7.5, rel=0.2)
+    assert ratios["FC"] == pytest.approx(ratios["IC"], rel=0.05)
+    assert ratios["IC"] > ratios["IC+FC"] > ratios["IC+FC+P"] > 1.0
+    assert ratios["IC+FC+P"] == pytest.approx(4.0, rel=0.2)
+
+
+def test_m_rule_selects_four(pm, report, benchmark):
+    m = benchmark(pm.determine_tensor_cuda_ratio, SHAPE, IC_FC_P)
+    report(
+        "initial_study_m",
+        f"Tensor:CUDA assignment ratio m = {m} (paper: 4)",
+    )
+    assert m == 4

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the packing engine itself (pytest-benchmark).
+
+These time the actual NumPy implementations — pack/unpack round trips,
+SWAR multiplies, the packed GEMM in both evaluation modes — so
+regressions in the functional layer show up in ``--benchmark-only``
+runs alongside the figure reproductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.packing import (
+    Packer,
+    packed_gemm,
+    packed_gemm_unsigned,
+    packed_scalar_mul,
+    policy_for_bitwidth,
+)
+from repro.utils.rng import make_rng
+
+POL8 = policy_for_bitwidth(8)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = make_rng(11)
+    return {
+        "values": rng.integers(0, 256, size=(512, 1024)),
+        "a": rng.integers(-127, 128, size=(256, 256)),
+        "b_unsigned": rng.integers(0, 256, size=(256, 128)),
+        "scalar": rng.integers(0, 128, size=(512, 1)),
+    }
+
+
+def test_micro_pack(benchmark, data):
+    packer = Packer(POL8)
+    out = benchmark(packer.pack, data["values"])
+    assert out.shape == (512, 512)
+
+
+def test_micro_unpack(benchmark, data):
+    packer = Packer(POL8)
+    packed = packer.pack(data["values"])
+    out = benchmark(packer.unpack, packed, 1024)
+    assert np.array_equal(out, data["values"])
+
+
+def test_micro_packed_scalar_mul(benchmark, data):
+    packer = Packer(POL8)
+    packed = packer.pack(np.minimum(data["values"], 255))
+    out = benchmark(
+        packed_scalar_mul, data["scalar"], packed, POL8, strict=False
+    )
+    assert out.dtype == np.uint32
+
+
+def test_micro_packed_gemm_chunked(benchmark, data):
+    a = np.abs(data["a"])
+    out = benchmark(
+        packed_gemm_unsigned, a, data["b_unsigned"], POL8, method="chunked"
+    )
+    assert out.shape == (256, 128)
+
+
+def test_micro_packed_gemm_lane(benchmark, data):
+    a = np.abs(data["a"])
+    out = benchmark(
+        packed_gemm_unsigned, a, data["b_unsigned"], POL8, method="lane"
+    )
+    assert out.shape == (256, 128)
+
+
+def test_micro_packed_gemm_signed(benchmark, data):
+    out = benchmark(
+        packed_gemm,
+        data["a"],
+        data["b_unsigned"] - 128,
+        POL8,
+        b_zero_point=128,
+        method="lane",
+    )
+    assert out.shape == (256, 128)

@@ -1,0 +1,67 @@
+"""Table 1: peak throughput of the Jetson AGX Orin per numeric format.
+
+Regenerates every row of the paper's Table 1 from the machine
+description, plus the Sec. 2.1 thought experiment (hypothetical native
+INT8 CUDA cores -> ~32 TOPS ~ 25% of the Tensor cores' INT8 peak) and
+the throughput VitBit packing actually unlocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import (
+    cuda_core_peak_ops,
+    peak_throughput_table,
+    tensor_core_peak_ops,
+)
+from repro.arch.throughput import packed_cuda_core_peak_ops
+from repro.utils.tables import format_table
+
+PAPER_TOPS = {
+    ("FP32", "CUDA Core"): 4.0,
+    ("FP16", "CUDA Core"): 8.0,
+    ("TF32", "Tensor Core"): 32.0,
+    ("FP16", "Tensor Core"): 65.0,
+    ("BFloat16", "Tensor Core"): 65.0,
+    ("INT32", "CUDA Core"): 4.0,
+    ("INT8", "Tensor Core"): 131.0,
+    ("INT4", "Tensor Core"): 262.0,
+}
+
+
+def test_table1_rows(machine, report, benchmark):
+    rows = benchmark(peak_throughput_table, machine)
+    table = format_table(
+        ["Numeric Format", "Unit", "Model TOPS", "Paper TOPS"],
+        [
+            (r.fmt, r.unit, r.teraops, PAPER_TOPS[(r.fmt, r.unit)])
+            for r in rows
+        ],
+        title="Table 1 — peak throughput, NVIDIA Jetson AGX Orin",
+        ndigits=1,
+    )
+    report("table1_throughput", table)
+    for r in rows:
+        assert r.teraops == pytest.approx(PAPER_TOPS[(r.fmt, r.unit)], rel=0.02)
+
+
+def test_sec21_packing_unlocks_throughput(machine, report, benchmark):
+    """The motivating arithmetic of Sec. 2.1."""
+    int32 = benchmark(cuda_core_peak_ops, machine, "int32")
+    packed2 = packed_cuda_core_peak_ops(machine, 2)
+    native8 = packed_cuda_core_peak_ops(machine, 8)
+    tc_int8 = tensor_core_peak_ops(machine, "int8")
+    table = format_table(
+        ["Configuration", "TOPS", "vs TC INT8"],
+        [
+            ("INT32 CUDA (zero-masked INT8)", int32 / 1e12, int32 / tc_int8),
+            ("VitBit packed x2 (INT8)", packed2 / 1e12, packed2 / tc_int8),
+            ("Hypothetical native INT8", native8 / 1e12, native8 / tc_int8),
+            ("Tensor core INT8", tc_int8 / 1e12, 1.0),
+        ],
+        title="Sec. 2.1 — CUDA-core INT8 throughput scenarios",
+    )
+    report("sec21_throughput_scenarios", table)
+    assert packed2 == pytest.approx(2 * int32)
+    assert native8 / tc_int8 == pytest.approx(0.25, rel=0.05)

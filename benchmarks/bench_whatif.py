@@ -1,0 +1,101 @@
+"""Architectural what-ifs: where does VitBit stop paying?
+
+The paper closes by claiming the approach "sets a foundation for future
+GPU designs".  With the machine as a dataclass, the question is
+directly computable: sweep the architecture and watch the VitBit
+speedup respond.
+
+* **Beefier Tensor cores** (discrete-GPU-class MMA throughput): the
+  CUDA cores' relative contribution shrinks, the balanced ratio m
+  grows, and the fused win decays toward 1 — VitBit is specifically an
+  *embedded*-GPU technique, as the title says.
+* **More DRAM bandwidth**: the memory-bound elementwise kernels speed
+  up for every method, concentrating inference time in the GEMMs where
+  VitBit is strongest — the end-to-end win grows.
+* **Less DRAM bandwidth**: everything converges to the memory roofline
+  and all techniques collapse toward 1x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.fusion import TC, VITBIT
+from repro.perfmodel import GemmShape, PerformanceModel
+from repro.sim.instruction import default_timings
+from repro.utils.tables import format_table
+from repro.vit import time_inference
+
+
+def _variant_machines(machine):
+    sm_fat_tc = replace(
+        machine.sm,
+        tensor_core=replace(
+            machine.sm.tensor_core,
+            fp16_macs_per_cycle=machine.sm.tensor_core.fp16_macs_per_cycle * 4,
+        ),
+    )
+    return {
+        "Jetson AGX Orin (paper)": machine,
+        "4x Tensor cores (discrete-class)": replace(machine, sm=sm_fat_tc),
+        "2x DRAM bandwidth": replace(
+            machine, dram_bandwidth_gbps=machine.dram_bandwidth_gbps * 2
+        ),
+        "1/2 DRAM bandwidth": replace(
+            machine, dram_bandwidth_gbps=machine.dram_bandwidth_gbps / 2
+        ),
+    }
+
+
+def test_whatif_architecture_sweep(machine, report, benchmark):
+    def run():
+        out = {}
+        for name, m in _variant_machines(machine).items():
+            pm = PerformanceModel(m)
+            base = time_inference(pm, TC).total_seconds
+            vb = time_inference(pm, VITBIT).total_seconds
+            shape = GemmShape(768, 1576, 768)
+            mr = pm.determine_tensor_cuda_ratio(shape, VITBIT)
+            out[name] = (base * 1e3, base / vb, mr)
+        return out
+
+    results = benchmark(run)
+    table = format_table(
+        ["machine", "TC inference (ms)", "VitBit speedup", "ratio m"],
+        [(k, v[0], v[1], v[2]) for k, v in results.items()],
+        title="What-if — VitBit across architectural variants",
+    )
+    report("whatif_architecture", table)
+
+    paper = results["Jetson AGX Orin (paper)"]
+    fat_tc = results["4x Tensor cores (discrete-class)"]
+    # Beefier Tensor cores shrink the win and raise m: the technique is
+    # embedded-GPU-specific.
+    assert fat_tc[1] < paper[1]
+    assert fat_tc[2] > paper[2]
+    # More bandwidth concentrates time in GEMMs -> bigger overall win.
+    assert results["2x DRAM bandwidth"][1] >= paper[1] - 0.01
+    # Bandwidth starvation collapses every technique toward the roofline.
+    assert results["1/2 DRAM bandwidth"][1] < paper[1]
+
+
+def test_whatif_tc_derating_consistency(machine, benchmark):
+    """The timings derived from a variant spec must track its Tensor
+    throughput (guard against stale caching in default_timings)."""
+    from repro.sim.instruction import OpClass
+
+    base = benchmark(default_timings, machine.sm)
+    fat = default_timings(
+        replace(
+            machine.sm,
+            tensor_core=replace(
+                machine.sm.tensor_core,
+                fp16_macs_per_cycle=machine.sm.tensor_core.fp16_macs_per_cycle * 4,
+            ),
+        )
+    )
+    assert fat[OpClass.TENSOR].initiation_interval == pytest.approx(
+        base[OpClass.TENSOR].initiation_interval / 4, abs=1
+    )

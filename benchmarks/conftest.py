@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+it computes the same rows/series the paper reports, prints them, writes
+them to ``benchmarks/out/<name>.txt``, and asserts the *shape* of the
+result (ordering, rough factors) — not absolute numbers, since the
+substrate is a simulator rather than the authors' Jetson.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+tables inline, or read the files under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.arch import jetson_orin_agx
+from repro.packing import policy_for_bitwidth
+from repro.perfmodel import PerformanceModel
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The paper's evaluation platform (Table 2)."""
+    return jetson_orin_agx()
+
+
+@pytest.fixture(scope="session")
+def policy():
+    """The INT8 packing policy the paper evaluates (2 lanes)."""
+    return policy_for_bitwidth(8)
+
+
+@pytest.fixture(scope="session")
+def pm(machine):
+    """Session-wide performance model (kernel timings are memoized)."""
+    return PerformanceModel(machine)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable writing a named report to stdout and benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        print()
+        print(text)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _write

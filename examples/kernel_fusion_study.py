@@ -1,0 +1,86 @@
+"""Reproduce Sec. 3.2's initial study and explore the fusion design space.
+
+Shows, on the simulated Jetson AGX Orin:
+
+1. the five-case GEMM study (TC / IC / FC / IC+FC / IC+FC+P) that
+   motivates the 4:1 Tensor:CUDA assignment,
+2. a sweep of the assignment ratio m, locating the optimum,
+3. what warp-level INT/FP interleaving (Sec. 3.3) is worth,
+4. the per-pipe utilization picture before/after fusion.
+
+Run:  python examples/kernel_fusion_study.py [--batch 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.arch import jetson_orin_agx
+from repro.fusion import FC, IC, IC_FC, TC, VITBIT
+from repro.fusion.strategies import Strategy
+from repro.perfmodel import CostParams, GemmShape, PerformanceModel
+from repro.sim.instruction import OpClass
+from repro.utils.tables import format_series, format_table
+
+IC_FC_P = Strategy(
+    "IC+FC+P", False, True, True, True, "C", "both CUDA pipes with packing"
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batch", type=int, default=8)
+    args = parser.parse_args()
+
+    machine = jetson_orin_agx()
+    pm = PerformanceModel(machine, include_launch_overhead=False)
+    shape = GemmShape(768, 197 * args.batch, 768, name="proj")
+
+    # 1. The five-case study.
+    t_tc = pm.time_gemm(shape, TC).seconds
+    rows = [("TC", 1.0, 1.0)]
+    paper = {"IC": 7.5, "FC": 7.5, "IC+FC": 6.5, "IC+FC+P": 4.0}
+    for s in (IC, FC, IC_FC, IC_FC_P):
+        rows.append((s.name, pm.time_gemm(shape, s).seconds / t_tc, paper[s.name]))
+    print(format_table(
+        ["case", "model (x TC)", "paper (x TC)"], rows,
+        title=f"Sec. 3.2 initial study — GEMM {shape.label()}", ndigits=2,
+    ))
+    m = pm.determine_tensor_cuda_ratio(shape, IC_FC_P)
+    print(f"\nmeasured-time rule selects m = {m} (paper: 4)\n")
+
+    # 2. Ratio sweep.
+    ms = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 12.0]
+    speedups = [
+        t_tc / pm.time_gemm(shape, VITBIT, tensor_cuda_ratio=v).seconds for v in ms
+    ]
+    print(format_series(
+        "VitBit speedup vs TC across the Tensor:CUDA ratio m",
+        [f"m={v:g}" for v in ms], speedups,
+    ))
+
+    # 3. Warp interleaving ablation.
+    pm_block = PerformanceModel(
+        machine, params=CostParams(alternate_warps=False),
+        include_launch_overhead=False,
+    )
+    t_alt = pm.time_gemm(shape, IC_FC_P).seconds
+    t_blk = pm_block.time_gemm(shape, IC_FC_P).seconds
+    print(f"\nwarp-level INT/FP interleaving (Sec. 3.3): alternating "
+          f"{t_alt * 1e6:.1f}us vs contiguous {t_blk * 1e6:.1f}us "
+          f"({t_blk / t_alt:.2f}x slower without it)")
+
+    # 4. Pipe utilization before/after.
+    solo = pm.time_gemm(shape, IC)
+    fused = pm.time_gemm(shape, VITBIT)
+    print("\npipe utilization (fraction of kernel time busy):")
+    for name, kt in (("IC", solo), ("VitBit", fused)):
+        util = {
+            op.name: round(kt.pipe_utilization.get(op, 0.0), 2)
+            for op in (OpClass.INT, OpClass.FP, OpClass.TENSOR, OpClass.LSU)
+        }
+        print(f"  {name:7s} {util}")
+
+
+if __name__ == "__main__":
+    main()

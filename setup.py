@@ -1,0 +1,6 @@
+"""Legacy entry point so `pip install -e . --no-build-isolation` works on
+environments without the `wheel` package (offline evaluation boxes)."""
+
+from setuptools import setup
+
+setup()

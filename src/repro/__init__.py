@@ -1,0 +1,58 @@
+"""VitBit reproduction — register operand packing for embedded GPUs.
+
+Reproduces Jeon et al., *VitBit: Enhancing Embedded GPU Performance for
+AI Workloads through Register Operand Packing* (ICPP 2024) as a pure
+Python library: exact SWAR packing arithmetic, Algorithm 1/2
+preprocessing and kernel fusion, an integer-only ViT-Base workload, and
+a calibrated cycle-approximate model of the Jetson AGX Orin that
+regenerates every table and figure of the paper's evaluation.
+
+Top-level convenience re-exports cover the 90% use cases; the
+subpackages (:mod:`repro.packing`, :mod:`repro.fusion`,
+:mod:`repro.vit`, :mod:`repro.perfmodel`, :mod:`repro.sim`,
+:mod:`repro.arch`, :mod:`repro.kernels`, :mod:`repro.preprocess`)
+expose the full API.
+
+>>> import numpy as np
+>>> from repro import policy_for_bitwidth, packed_gemm, reference_gemm
+>>> pol = policy_for_bitwidth(8)
+>>> a = np.arange(6).reshape(2, 3); b = np.arange(12).reshape(3, 4)
+>>> bool(np.array_equal(packed_gemm(a, b, pol), reference_gemm(a, b)))
+True
+"""
+
+from repro.arch import jetson_orin_agx
+from repro.errors import ReproError
+from repro.fusion import STRATEGIES, TC, VITBIT, strategy_by_name
+from repro.packing import (
+    Packer,
+    PackingPolicy,
+    packed_gemm,
+    policy_for_bitwidth,
+    reference_gemm,
+)
+from repro.perfmodel import GemmShape, PerformanceModel
+from repro.vit import IntViT, ViTConfig, time_inference, verify_bit_exact
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "jetson_orin_agx",
+    "PackingPolicy",
+    "policy_for_bitwidth",
+    "Packer",
+    "packed_gemm",
+    "reference_gemm",
+    "STRATEGIES",
+    "TC",
+    "VITBIT",
+    "strategy_by_name",
+    "PerformanceModel",
+    "GemmShape",
+    "IntViT",
+    "ViTConfig",
+    "time_inference",
+    "verify_bit_exact",
+]

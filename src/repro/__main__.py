@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``
+    Regenerate Table 1 (peak throughput per numeric format).
+``policy [--bits N]``
+    Show the Fig. 3 packing policy (all bitwidths, or one).
+``study [--batch B]``
+    The Sec. 3.2 initial GEMM study and the selected ratio m.
+``fig5 [--batch B] [--model NAME]``
+    End-to-end inference speedups for all Table 3 strategies.
+``verify [--model NAME] [--seed S]``
+    Functional bit-exactness of packed/fused inference vs reference.
+``energy [--batch B]``
+    Energy per inference per strategy (extension; see EXPERIMENTS.md).
+``render [--bits N] [--columns N]``
+    Emit the reconstructed fused GEMM as annotated CUDA-like source.
+``breakdown [--batch B] [--strategy NAME]``
+    Per-kernel timing breakdown of one inference.
+``models``
+    List the model zoo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.arch import jetson_orin_agx, peak_throughput_table
+from repro.arch.energy import inference_energy
+from repro.fusion import (
+    IC,
+    STRATEGIES,
+    TACKER,
+    TC,
+    TC_IC_FC,
+    VITBIT,
+    strategy_by_name,
+)
+from repro.fusion.strategies import Strategy
+from repro.packing import policy_for_bitwidth, safe_accumulation_depth
+from repro.perfmodel import GemmShape, PerformanceModel
+from repro.utils.tables import format_table
+from repro.vit import IntViT, time_inference, verify_bit_exact
+from repro.vit.zoo import MODEL_ZOO, model_config
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    machine = jetson_orin_agx()
+    rows = [(r.fmt, r.unit, r.teraops) for r in peak_throughput_table(machine)]
+    print(format_table(["format", "unit", "peak (TOPS)"], rows,
+                       title=f"Table 1 — {machine.name}", ndigits=1))
+    return 0
+
+
+def _cmd_policy(args: argparse.Namespace) -> int:
+    bits_list = [args.bits] if args.bits else list(range(1, 17))
+    rows = []
+    for bits in bits_list:
+        pol = policy_for_bitwidth(bits)
+        depth = safe_accumulation_depth(pol, max(1, bits - 1), bits)
+        rows.append((bits, pol.lanes, pol.field_bits, depth,
+                     f"{pol.bit_utilization():.0%}"))
+    print(format_table(
+        ["bits", "values/reg", "field bits", "safe acc depth", "bit util"],
+        rows, title="Fig. 3 — VitBit packing policy",
+    ))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    pm = PerformanceModel(jetson_orin_agx(), include_launch_overhead=False)
+    shape = GemmShape(768, 197 * args.batch, 768, name="proj")
+    packed = Strategy("IC+FC+P", False, True, True, True, "C", "packed")
+    t_tc = pm.time_gemm(shape, TC).seconds
+    rows = [("TC", 1.0)]
+    from repro.fusion import FC, IC_FC
+
+    for s in (IC, FC, IC_FC, packed):
+        rows.append((s.name, pm.time_gemm(shape, s).seconds / t_tc))
+    print(format_table(["case", "time (x TC)"], rows,
+                       title=f"Sec. 3.2 initial study — {shape.label()}",
+                       ndigits=2))
+    print(f"\nselected Tensor:CUDA ratio m = "
+          f"{pm.determine_tensor_cuda_ratio(shape, packed)} (paper: 4)")
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    pm = PerformanceModel(jetson_orin_agx())
+    cfg = model_config(args.model)
+    rows = []
+    base = None
+    for s in (TC, TACKER, TC_IC_FC, VITBIT):
+        t = time_inference(pm, s, config=cfg, batch=args.batch)
+        if base is None:
+            base = t.total_seconds
+        rows.append((s.name, t.total_seconds * 1e3, base / t.total_seconds))
+    print(format_table(
+        ["method", "inference (ms)", "speedup"], rows,
+        title=f"Fig. 5 — {args.model} @ batch {args.batch} (simulated)",
+    ))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    cfg = model_config(args.model)
+    print(f"building integer-only {args.model} (depth {cfg.depth}, "
+          f"hidden {cfg.hidden})...")
+    model = IntViT.create(cfg, seed=args.seed)
+    ok = True
+    for s in STRATEGIES:
+        if s is TC:
+            continue  # reference path is TC-equivalent plain integer GEMM
+        exact = verify_bit_exact(model, s, batch=1, seed=args.seed)
+        print(f"  {s.name:9s}: bit-exact = {exact}")
+        ok &= exact
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    pm = PerformanceModel(jetson_orin_agx())
+    rows = []
+    for s in (TC, TACKER, TC_IC_FC, VITBIT):
+        e = inference_energy(pm, s, batch=args.batch)
+        rows.append((s.name, e.total * 1e3, e.dynamic_compute * 1e3,
+                     e.dynamic_dram * 1e3, e.static * 1e3))
+    print(format_table(
+        ["method", "total (mJ)", "compute", "DRAM", "static"], rows,
+        title=f"Energy per ViT-Base inference @ batch {args.batch} "
+        "(extension; simultaneous execution trades energy for latency)",
+        ndigits=1,
+    ))
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.kernels.render import render_fused_gemm, render_pack_helpers
+
+    policy = policy_for_bitwidth(args.bits)
+    plan = VITBIT.split_plan(args.columns, policy, 4.0)
+    print(render_pack_helpers(policy))
+    print()
+    print(render_fused_gemm(plan, policy))
+    return 0
+
+
+def _cmd_breakdown(args: argparse.Namespace) -> int:
+    pm = PerformanceModel(jetson_orin_agx())
+    strategy = strategy_by_name(args.strategy)
+    timing = time_inference(pm, strategy, batch=args.batch)
+    print(timing.report())
+    return 0
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    rows = [
+        (name, c.hidden, c.depth, c.heads, c.mlp_dim, c.tokens)
+        for name, c in sorted(MODEL_ZOO.items())
+    ]
+    print(format_table(
+        ["model", "hidden", "depth", "heads", "mlp", "tokens"], rows,
+        title="model zoo",
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="VitBit reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1 peak throughputs")
+
+    p = sub.add_parser("policy", help="Fig. 3 packing policy")
+    p.add_argument("--bits", type=int, default=None)
+
+    p = sub.add_parser("study", help="Sec. 3.2 initial GEMM study")
+    p.add_argument("--batch", type=int, default=8)
+
+    p = sub.add_parser("fig5", help="end-to-end inference speedups")
+    p.add_argument("--batch", type=int, default=8)
+    p.add_argument("--model", default="vit-base")
+
+    p = sub.add_parser("verify", help="bit-exactness of fused inference")
+    p.add_argument("--model", default="test-tiny")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("energy", help="energy per inference (extension)")
+    p.add_argument("--batch", type=int, default=8)
+
+    p = sub.add_parser("render", help="emit the fused kernel as CUDA-like source")
+    p.add_argument("--bits", type=int, default=8)
+    p.add_argument("--columns", type=int, default=1576)
+
+    p = sub.add_parser("breakdown", help="per-kernel timing breakdown")
+    p.add_argument("--batch", type=int, default=8)
+    p.add_argument("--strategy", default="VitBit")
+
+    sub.add_parser("models", help="list the model zoo")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "policy": _cmd_policy,
+        "study": _cmd_study,
+        "fig5": _cmd_fig5,
+        "verify": _cmd_verify,
+        "energy": _cmd_energy,
+        "render": _cmd_render,
+        "breakdown": _cmd_breakdown,
+        "models": _cmd_models,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Target machine description (NVIDIA Jetson AGX Orin, Ampere).
+
+The paper's Table 1 (peak throughput per numeric format) and Table 2
+(platform spec) are encoded here.  Everything downstream — the cycle
+simulator, the analytic performance model, the arithmetic-density
+metric — reads the same :class:`MachineSpec` so the reproduction has a
+single source of architectural truth.
+"""
+
+from repro.arch.specs import MachineSpec, SMSpec, TensorCoreSpec, jetson_orin_agx
+from repro.arch.throughput import (
+    PeakThroughput,
+    cuda_core_peak_ops,
+    peak_throughput_table,
+    tensor_core_peak_ops,
+)
+from repro.arch.density import arithmetic_density, normalized_density
+
+__all__ = [
+    "MachineSpec",
+    "SMSpec",
+    "TensorCoreSpec",
+    "jetson_orin_agx",
+    "PeakThroughput",
+    "peak_throughput_table",
+    "cuda_core_peak_ops",
+    "tensor_core_peak_ops",
+    "arithmetic_density",
+    "normalized_density",
+]

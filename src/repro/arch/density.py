@@ -1,0 +1,42 @@
+"""Arithmetic density (ops/s per mm^2) — the metric behind Fig. 8.
+
+The paper defines arithmetic density as operations per second per unit
+die area and reports it *normalized to the TC baseline*.  Since the die
+area is constant across techniques, the normalized density of a
+technique equals the ratio of its achieved compute throughput to the
+baseline's during the compute kernels — which is why the paper's Fig. 8
+numbers track its Fig. 6 GEMM speedups.
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import MachineSpec
+from repro.utils.validation import check_positive
+
+__all__ = ["arithmetic_density", "normalized_density"]
+
+
+def arithmetic_density(
+    machine: MachineSpec, useful_ops: float, seconds: float
+) -> float:
+    """Achieved ops/s/mm^2 for a workload of ``useful_ops`` taking ``seconds``.
+
+    "Useful" ops are the algorithm's MAC-derived operation count
+    (2 * M * N * K for a GEMM) — packing does not inflate it; it only
+    shrinks ``seconds``.
+    """
+    check_positive("useful_ops", useful_ops)
+    check_positive("seconds", seconds)
+    return useful_ops / seconds / machine.die_area_mm2
+
+
+def normalized_density(
+    machine: MachineSpec,
+    useful_ops: float,
+    seconds: float,
+    baseline_seconds: float,
+) -> float:
+    """Density of a technique divided by the baseline's on the same workload."""
+    ours = arithmetic_density(machine, useful_ops, seconds)
+    base = arithmetic_density(machine, useful_ops, baseline_seconds)
+    return ours / base

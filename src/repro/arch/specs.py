@@ -1,0 +1,188 @@
+"""Machine/SM specifications (Table 2 of the paper).
+
+The model follows the paper's simplified Ampere SM: per Streaming
+Multiprocessor, an INT32 pipe and an FP32 pipe of *equal* width that can
+issue concurrently at full throughput, plus Tensor cores.  The paper
+states both facts explicitly (Sec. 2.3 and Sec. 3.2: "the number of
+available INT cores and FP cores per SM is the same", "Ampere ...
+allows concurrent operation of FP32 and INT32 cores at full
+throughput"), so we encode that model rather than the asymmetric
+GA10x datasheet layout.
+
+The paper's "1792 CUDA cores" maps to 896 INT32 + 896 FP32 lanes
+(14 SMs x 4 partitions x (16 + 16)); each 16-lane pipe retires one
+32-thread warp instruction every 2 cycles, which is what makes
+INT/FP co-issue from one warp scheduler profitable — the mechanism
+behind the paper's simultaneous-execution gains.  The effective clock
+is chosen so the derived peaks land on Table 1 (FP32 4 TFLOPS over
+896 FP lanes x 2 ops/FMA → 2.232 GHz); only ratios matter for the
+reproduction, and this equal-pipe model at 2.232 GHz is numerically
+identical to the physical 1792-lane part at its boost clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FormatError
+from repro.utils.validation import check_positive
+
+__all__ = ["TensorCoreSpec", "SMSpec", "MachineSpec", "jetson_orin_agx"]
+
+
+@dataclass(frozen=True)
+class TensorCoreSpec:
+    """One Tensor core's issue characteristics.
+
+    ``fp16_macs_per_cycle`` is the dense FP16 MAC rate of a single Tensor
+    core; other formats scale it by ``format_multipliers`` (TF32 runs at
+    half the FP16 rate, INT8 at 2x, INT4 at 4x — the Ampere ratios that
+    produce Table 1's 32/65/131/262 progression).
+    """
+
+    fp16_macs_per_cycle: int = 260
+    format_multipliers: dict[str, float] = field(
+        default_factory=lambda: {
+            "fp16": 1.0,
+            "bf16": 1.0,
+            "tf32": 0.5,
+            "int8": 2.0,
+            "int4": 4.0,
+        }
+    )
+
+    def macs_per_cycle(self, fmt: str) -> float:
+        """Dense MACs per cycle for numeric format ``fmt``."""
+        try:
+            return self.fp16_macs_per_cycle * self.format_multipliers[fmt]
+        except KeyError:
+            raise FormatError(
+                f"Tensor core does not support format {fmt!r}; "
+                f"supported: {sorted(self.format_multipliers)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class SMSpec:
+    """One Streaming Multiprocessor.
+
+    An SM is divided into ``partitions`` sub-partitions, each with its own
+    warp scheduler (1 instruction issued per cycle per scheduler), a slice
+    of the INT32 and FP32 lanes, and a Tensor core.
+    """
+
+    partitions: int = 4
+    int32_lanes_per_partition: int = 16
+    fp32_lanes_per_partition: int = 16
+    tensor_cores_per_partition: int = 1
+    lsu_lanes_per_partition: int = 16
+    sfu_lanes_per_partition: int = 4
+    registers_per_sm: int = 65536
+    max_warps_per_sm: int = 48
+    max_threads_per_block: int = 1024
+    warp_size: int = 32
+    tensor_core: TensorCoreSpec = field(default_factory=TensorCoreSpec)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "partitions",
+            "int32_lanes_per_partition",
+            "fp32_lanes_per_partition",
+            "tensor_cores_per_partition",
+            "lsu_lanes_per_partition",
+            "sfu_lanes_per_partition",
+            "warp_size",
+        ):
+            check_positive(name, getattr(self, name))
+
+    @property
+    def cuda_cores(self) -> int:
+        """Marketing CUDA-core count (INT32 + FP32 lanes; 128 on Orin)."""
+        return self.partitions * (
+            self.int32_lanes_per_partition + self.fp32_lanes_per_partition
+        )
+
+    @property
+    def int_lanes(self) -> int:
+        """Total INT32 lanes in the SM."""
+        return self.partitions * self.int32_lanes_per_partition
+
+    @property
+    def fp_lanes(self) -> int:
+        """Total FP32 lanes in the SM."""
+        return self.partitions * self.fp32_lanes_per_partition
+
+    @property
+    def tensor_cores(self) -> int:
+        """Total Tensor cores in the SM."""
+        return self.partitions * self.tensor_cores_per_partition
+
+    @property
+    def max_warps_per_partition(self) -> int:
+        """Warp slots available to each sub-partition's scheduler."""
+        return self.max_warps_per_sm // self.partitions
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A full embedded GPU platform (Table 2).
+
+    ``die_area_mm2`` is the area proxy used by the arithmetic-density
+    metric; only ratios of densities are ever reported, so the absolute
+    value does not matter.
+    """
+
+    name: str
+    sm_count: int
+    clock_ghz: float
+    dram_bandwidth_gbps: float
+    dram_capacity_gb: float
+    sm: SMSpec = field(default_factory=SMSpec)
+    die_area_mm2: float = 450.0
+    kernel_launch_overhead_us: float = 5.0
+
+    def __post_init__(self) -> None:
+        check_positive("sm_count", self.sm_count)
+        check_positive("clock_ghz", self.clock_ghz)
+        check_positive("dram_bandwidth_gbps", self.dram_bandwidth_gbps)
+        check_positive("die_area_mm2", self.die_area_mm2)
+
+    @property
+    def cuda_cores(self) -> int:
+        """Total CUDA cores across all SMs (1792 on Orin AGX)."""
+        return self.sm_count * self.sm.cuda_cores
+
+    @property
+    def tensor_cores(self) -> int:
+        """Total Tensor cores across all SMs (56 on Orin AGX)."""
+        return self.sm_count * self.sm.tensor_cores
+
+    @property
+    def clock_hz(self) -> float:
+        """Clock in Hz."""
+        return self.clock_ghz * 1e9
+
+    @property
+    def dram_bandwidth_bytes_per_s(self) -> float:
+        """DRAM bandwidth in bytes/second."""
+        return self.dram_bandwidth_gbps * 1e9
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds at the GPU clock."""
+        return cycles / self.clock_hz
+
+
+def jetson_orin_agx() -> MachineSpec:
+    """The paper's evaluation platform (Table 2): NVIDIA Jetson AGX Orin.
+
+    1792 CUDA cores (14 SMs x 128), 56 Tensor cores (14 x 4), 32 GB
+    LPDDR5 at 204.8 GB/s.  Clock calibrated to Table 1 (see module
+    docstring).
+    """
+    return MachineSpec(
+        name="NVIDIA Jetson AGX Orin",
+        sm_count=14,
+        clock_ghz=2.232,
+        dram_bandwidth_gbps=204.8,
+        dram_capacity_gb=32.0,
+    )

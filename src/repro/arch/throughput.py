@@ -1,0 +1,103 @@
+"""Peak-throughput model — regenerates Table 1 of the paper.
+
+Every row of Table 1 is derived from the :class:`~repro.arch.specs.MachineSpec`
+rather than hard-coded, so the same code answers "what if" questions
+(e.g. the Sec. 2.1 thought experiment: if CUDA cores natively supported
+INT8, 4 TOPS would become 32 TOPS) and quantifies the throughput VitBit
+packing unlocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import MachineSpec
+from repro.errors import FormatError
+
+__all__ = [
+    "PeakThroughput",
+    "cuda_core_peak_ops",
+    "tensor_core_peak_ops",
+    "packed_cuda_core_peak_ops",
+    "peak_throughput_table",
+]
+
+#: ops per multiply-accumulate (the industry convention Table 1 uses).
+OPS_PER_MAC = 2
+
+
+@dataclass(frozen=True)
+class PeakThroughput:
+    """One Table 1 row: a numeric format, the unit it runs on, and peak ops/s."""
+
+    fmt: str
+    unit: str  # "CUDA Core" | "Tensor Core"
+    ops_per_second: float
+
+    @property
+    def teraops(self) -> float:
+        """Peak in TOPS / TFLOPS."""
+        return self.ops_per_second / 1e12
+
+
+def cuda_core_peak_ops(
+    machine: MachineSpec, pipe: str = "fp32", *, simd_factor: int = 1
+) -> float:
+    """Peak ops/s of one CUDA-core pipe.
+
+    ``pipe`` is ``'fp32'``, ``'fp16'`` (dual-rate half2 on FP lanes) or
+    ``'int32'``.  ``simd_factor`` models register-operand packing: a
+    packed multiply retires ``simd_factor`` useful MACs per lane per
+    cycle (VitBit's contribution; 1 = no packing).
+    """
+    if simd_factor < 1:
+        raise FormatError(f"simd_factor must be >= 1, got {simd_factor}")
+    sm = machine.sm
+    if pipe == "fp32":
+        lanes = sm.fp_lanes
+        rate = 1
+    elif pipe == "fp16":
+        lanes = sm.fp_lanes
+        rate = 2  # half2 vector math doubles FP16 throughput
+    elif pipe == "int32":
+        lanes = sm.int_lanes
+        rate = 1
+    else:
+        raise FormatError(f"unknown CUDA-core pipe {pipe!r}")
+    return (
+        machine.sm_count * lanes * rate * simd_factor * OPS_PER_MAC * machine.clock_hz
+    )
+
+
+def tensor_core_peak_ops(machine: MachineSpec, fmt: str) -> float:
+    """Peak ops/s of the Tensor cores for numeric format ``fmt``."""
+    macs = machine.sm.tensor_core.macs_per_cycle(fmt)
+    return machine.tensor_cores * macs * OPS_PER_MAC * machine.clock_hz
+
+
+def packed_cuda_core_peak_ops(machine: MachineSpec, pack_factor: int) -> float:
+    """INT pipe peak when ``pack_factor`` operands share each register.
+
+    This is the quantity Sec. 2.1 argues for: packing INT8 pairs lifts
+    the 4 TOPS INT32 ceiling toward the hypothetical native-INT8 rate.
+    """
+    return cuda_core_peak_ops(machine, "int32", simd_factor=pack_factor)
+
+
+def peak_throughput_table(machine: MachineSpec) -> list[PeakThroughput]:
+    """All rows of Table 1, in the paper's order.
+
+    INT8/INT4 *CUDA-core* rows are not in the table because (caption)
+    zero-masked INT8/INT4 on CUDA cores runs at INT32 speed; use
+    :func:`packed_cuda_core_peak_ops` for the VitBit-augmented rates.
+    """
+    return [
+        PeakThroughput("FP32", "CUDA Core", cuda_core_peak_ops(machine, "fp32")),
+        PeakThroughput("FP16", "CUDA Core", cuda_core_peak_ops(machine, "fp16")),
+        PeakThroughput("TF32", "Tensor Core", tensor_core_peak_ops(machine, "tf32")),
+        PeakThroughput("FP16", "Tensor Core", tensor_core_peak_ops(machine, "fp16")),
+        PeakThroughput("BFloat16", "Tensor Core", tensor_core_peak_ops(machine, "bf16")),
+        PeakThroughput("INT32", "CUDA Core", cuda_core_peak_ops(machine, "int32")),
+        PeakThroughput("INT8", "Tensor Core", tensor_core_peak_ops(machine, "int8")),
+        PeakThroughput("INT4", "Tensor Core", tensor_core_peak_ops(machine, "int4")),
+    ]

@@ -1,0 +1,28 @@
+"""Integer-only convolutional networks (a second workload family).
+
+The paper evaluates on ViT-Base, but its technique is framed for "AI
+workloads" generally; the classic embedded workload is a quantized CNN.
+This package lowers integer convolutions to the same GEMM machinery the
+ViT uses (im2col: each output pixel's receptive field becomes a column
+of B — non-negative stored activations, exactly what operand packing
+wants), so every Table 3 strategy, the packed GEMM, and the performance
+model apply unchanged.
+
+* :mod:`repro.cnn.ops` — im2col, conv-as-GEMM, ReLU, pooling, all in
+  the stored-uint8 activation domain;
+* :mod:`repro.cnn.model` — a small integer ConvNet with synthetic
+  calibrated weights + its kernel workload for the performance model.
+"""
+
+from repro.cnn.ops import im2col, int_avgpool2d, int_conv2d, int_maxpool2d, int_relu
+from repro.cnn.model import IntConvNet, convnet_workload
+
+__all__ = [
+    "im2col",
+    "int_conv2d",
+    "int_relu",
+    "int_maxpool2d",
+    "int_avgpool2d",
+    "IntConvNet",
+    "convnet_workload",
+]

@@ -1,0 +1,167 @@
+"""A small integer-only ConvNet and its kernel workload.
+
+Three conv-ReLU(-pool) stages plus a linear classifier — the shape of
+the embedded CNNs (CIFAR-class) the paper's intro gestures at.  All
+parameters are synthetic with range-preserving scales, like the ViT;
+the model exists to prove the packing/fusion machinery is not
+ViT-specific and to give the performance model a second kernel stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cnn.ops import int_conv2d, int_maxpool2d, int_relu
+from repro.errors import ModelConfigError
+from repro.formats.quantize import DyadicScale, dyadic_approximate
+from repro.perfmodel.descriptors import GemmShape
+from repro.utils.rng import make_rng
+from repro.vit.layers import GemmExecutor
+from repro.vit.workload import KernelWork
+
+__all__ = ["IntConvNet", "convnet_workload"]
+
+
+@dataclass
+class _ConvLayer:
+    weight: np.ndarray
+    bias: np.ndarray
+    out_scale: DyadicScale
+    stride: int
+    pad: int
+    pool: int  # 0 = no pooling
+
+
+@dataclass
+class IntConvNet:
+    """Integer ConvNet: conv/ReLU/pool stages + a linear head."""
+
+    image_size: int
+    in_channels: int
+    zero_point: int
+    layers: list[_ConvLayer]
+    head_weight: np.ndarray
+    head_bias: np.ndarray
+
+    @staticmethod
+    def create(
+        image_size: int = 32,
+        in_channels: int = 3,
+        channels: tuple[int, ...] = (16, 32, 64),
+        num_classes: int = 10,
+        seed: int | None = None,
+    ) -> "IntConvNet":
+        """Build with synthetic calibrated int8 weights."""
+        if image_size % (2 ** len(channels)):
+            raise ModelConfigError(
+                f"image size {image_size} must be divisible by "
+                f"{2 ** len(channels)} (one 2x pool per stage)"
+            )
+        rng = make_rng(seed)
+        zp = 128
+        layers = []
+        c_in = in_channels
+        for c_out in channels:
+            w = rng.integers(-127, 128, size=(c_out, c_in, 3, 3), dtype=np.int64)
+            bias = rng.integers(-1024, 1024, size=c_out, dtype=np.int64)
+            acc_sigma = 64.0 * 64.0 * np.sqrt(c_in * 9)
+            layers.append(
+                _ConvLayer(
+                    weight=w,
+                    bias=bias,
+                    out_scale=dyadic_approximate(127.0 / (2.5 * acc_sigma)),
+                    stride=1,
+                    pad=1,
+                    pool=2,
+                )
+            )
+            c_in = c_out
+        side = image_size // (2 ** len(channels))
+        feat = channels[-1] * side * side
+        head_w = rng.integers(-127, 128, size=(num_classes, feat), dtype=np.int64)
+        head_b = rng.integers(-1024, 1024, size=num_classes, dtype=np.int64)
+        return IntConvNet(
+            image_size=image_size,
+            in_channels=in_channels,
+            zero_point=zp,
+            layers=layers,
+            head_weight=head_w,
+            head_bias=head_b,
+        )
+
+    def forward(self, images: np.ndarray, executor: GemmExecutor) -> np.ndarray:
+        """uint8 (B, C, H, W) images -> int64 logits (classes, B)."""
+        imgs = np.asarray(images)
+        if imgs.ndim != 4 or imgs.shape[1] != self.in_channels:
+            raise ModelConfigError(
+                f"expected (B, {self.in_channels}, {self.image_size}, "
+                f"{self.image_size}), got {imgs.shape}"
+            )
+        zp = self.zero_point
+        outs = []
+        for b in range(imgs.shape[0]):
+            x = imgs[b].astype(np.int64)
+            for layer in self.layers:
+                x = int_conv2d(
+                    x, layer.weight, layer.bias, layer.out_scale, executor,
+                    zero_point=zp, stride=layer.stride, pad=layer.pad,
+                )
+                x = int_relu(x, zero_point=zp)
+                if layer.pool:
+                    x = int_maxpool2d(x, layer.pool)
+            flat = x.reshape(-1, 1)  # (feat, 1) stored column
+            logits = executor.gemm(self.head_weight, flat, b_zero_point=zp)
+            outs.append(logits[:, 0] + self.head_bias)
+        return np.stack(outs, axis=1)
+
+
+def convnet_workload(
+    image_size: int = 32,
+    in_channels: int = 3,
+    channels: tuple[int, ...] = (16, 32, 64),
+    num_classes: int = 10,
+    batch: int = 8,
+) -> list[KernelWork]:
+    """The ConvNet's kernel stream for the performance model.
+
+    Each conv is a GEMM of shape (OC, OH*OW*batch, C*9); ReLU and
+    pooling map onto the requantize/residual elementwise descriptors
+    (comparable mixes: clamp + select per element).
+    """
+    if batch < 1:
+        raise ModelConfigError("batch must be >= 1")
+    work: list[KernelWork] = []
+    side = image_size
+    c_in = in_channels
+    for i, c_out in enumerate(channels):
+        n = side * side * batch
+        work.append(
+            KernelWork(
+                f"conv{i}", "gemm", "T",
+                gemm=GemmShape(c_out, n, c_in * 9, name=f"conv{i}"),
+            )
+        )
+        work.append(
+            KernelWork(
+                f"relu{i}", "elementwise", "C", elementwise="requantize",
+                n_elements=c_out * n,
+            )
+        )
+        side //= 2
+        work.append(
+            KernelWork(
+                f"pool{i}", "elementwise", "C", elementwise="residual",
+                n_elements=c_out * side * side * batch,
+            )
+        )
+        c_in = c_out
+    feat = channels[-1] * side * side
+    work.append(
+        KernelWork(
+            "head", "gemm", "T", fusable=False,
+            gemm=GemmShape(num_classes, batch, feat, name="cnn_head"),
+        )
+    )
+    return work

@@ -1,0 +1,135 @@
+"""Integer CNN operators in the stored-uint8 activation domain.
+
+Layout conventions match :mod:`repro.vit`: activations are stored
+unsigned with a zero point (semantic = stored - zp); weights are
+signed symmetric; convolutions lower to GEMMs whose B matrix columns
+are im2col patches — non-negative, so Algorithm 1 packs them directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+from repro.formats.quantize import DyadicScale
+from repro.kernels.elementwise import requantize
+from repro.utils.validation import check_dtype_integer
+from repro.vit.layers import GemmExecutor
+
+__all__ = ["im2col", "int_conv2d", "int_relu", "int_maxpool2d", "int_avgpool2d"]
+
+
+def _out_size(size: int, k: int, stride: int, pad: int) -> int:
+    out = (size + 2 * pad - k) // stride + 1
+    if out < 1:
+        raise ModelConfigError(
+            f"kernel {k}/stride {stride}/pad {pad} does not fit size {size}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, *, stride: int = 1, pad: int = 0,
+    pad_value: int = 0,
+) -> np.ndarray:
+    """(C, H, W) stored activations -> (C*kh*kw, OH*OW) patch matrix.
+
+    Column ``j`` holds the receptive field of output pixel ``j``
+    (row-major over the output grid); padding uses ``pad_value`` (the
+    activation zero point, so padding is semantic zero).
+    """
+    check_dtype_integer("x", x)
+    arr = np.asarray(x, dtype=np.int64)
+    if arr.ndim != 3:
+        raise ModelConfigError(f"im2col expects (C, H, W), got {arr.shape}")
+    c, h, w = arr.shape
+    oh = _out_size(h, kh, stride, pad)
+    ow = _out_size(w, kw, stride, pad)
+    padded = np.full((c, h + 2 * pad, w + 2 * pad), pad_value, dtype=np.int64)
+    padded[:, pad : pad + h, pad : pad + w] = arr
+    # Gather windows: shape (C, kh, kw, OH, OW) via strided indexing.
+    i0 = np.arange(oh) * stride
+    j0 = np.arange(ow) * stride
+    windows = np.empty((c, kh, kw, oh, ow), dtype=np.int64)
+    for di in range(kh):
+        for dj in range(kw):
+            windows[:, di, dj] = padded[:, i0[:, None] + di, j0[None, :] + dj]
+    return windows.reshape(c * kh * kw, oh * ow)
+
+
+def int_conv2d(
+    x_stored: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+    out_scale: DyadicScale,
+    executor: GemmExecutor,
+    *,
+    zero_point: int = 128,
+    stride: int = 1,
+    pad: int = 0,
+    out_bound: int = 127,
+) -> np.ndarray:
+    """Integer conv2d via im2col + the strategy executor's GEMM.
+
+    ``x_stored`` is (C, H, W) stored uint8; ``weight`` is
+    (OC, C, kh, kw) signed; output is (OC, OH, OW) stored uint8.
+    Padding uses the zero point, so it contributes exactly zero after
+    the zero-point correction — the same invariant as real quantized
+    inference engines.
+    """
+    check_dtype_integer("weight", weight)
+    w = np.asarray(weight, dtype=np.int64)
+    if w.ndim != 4:
+        raise ModelConfigError(f"weight must be (OC, C, kh, kw), got {w.shape}")
+    oc, c, kh, kw = w.shape
+    if np.asarray(x_stored).shape[0] != c:
+        raise ModelConfigError(
+            f"input has {np.asarray(x_stored).shape[0]} channels, weight wants {c}"
+        )
+    cols = im2col(x_stored, kh, kw, stride=stride, pad=pad, pad_value=zero_point)
+    a = w.reshape(oc, c * kh * kw)
+    acc = executor.gemm(a, cols, b_zero_point=zero_point)
+    acc = acc + np.asarray(bias, dtype=np.int64)[:, None]
+    out = requantize(acc, out_scale, out_min=-out_bound, out_max=out_bound)
+    h = np.asarray(x_stored).shape[1]
+    ww = np.asarray(x_stored).shape[2]
+    oh = _out_size(h, kh, stride, pad)
+    ow = _out_size(ww, kw, stride, pad)
+    return (out + zero_point).reshape(oc, oh, ow)
+
+
+def int_relu(x_stored: np.ndarray, *, zero_point: int = 128) -> np.ndarray:
+    """ReLU in the stored domain: clamp below the zero point."""
+    check_dtype_integer("x_stored", x_stored)
+    return np.maximum(np.asarray(x_stored, dtype=np.int64), zero_point)
+
+
+def _pool(x: np.ndarray, k: int, stride: int, reducer) -> np.ndarray:
+    arr = np.asarray(x, dtype=np.int64)
+    if arr.ndim != 3:
+        raise ModelConfigError(f"pooling expects (C, H, W), got {arr.shape}")
+    c, h, w = arr.shape
+    oh = _out_size(h, k, stride, 0)
+    ow = _out_size(w, k, stride, 0)
+    out = np.empty((c, oh, ow), dtype=np.int64)
+    for i in range(oh):
+        for j in range(ow):
+            window = arr[:, i * stride : i * stride + k, j * stride : j * stride + k]
+            out[:, i, j] = reducer(window.reshape(c, -1), axis=1)
+    return out
+
+
+def int_maxpool2d(x_stored: np.ndarray, k: int = 2, *, stride: int | None = None) -> np.ndarray:
+    """Max pooling (order-preserving, so the stored domain is fine)."""
+    check_dtype_integer("x_stored", x_stored)
+    return _pool(x_stored, k, stride if stride is not None else k, np.max)
+
+
+def int_avgpool2d(x_stored: np.ndarray, k: int = 2, *, stride: int | None = None) -> np.ndarray:
+    """Average pooling with floor division (integer-only)."""
+    check_dtype_integer("x_stored", x_stored)
+
+    def mean_floor(block: np.ndarray, axis: int) -> np.ndarray:
+        return np.sum(block, axis=axis) // block.shape[axis]
+
+    return _pool(x_stored, k, stride if stride is not None else k, mean_floor)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the VitBit reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors
+(``TypeError``/``ValueError`` raised by NumPy itself pass through).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FormatError",
+    "PackingError",
+    "OverflowBudgetError",
+    "SplitError",
+    "SimulationError",
+    "ScheduleError",
+    "CalibrationError",
+    "ModelConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class FormatError(ReproError):
+    """An integer/floating-point format is invalid or unsupported."""
+
+
+class PackingError(ReproError):
+    """Operands cannot be packed (range, lane count, or shape mismatch)."""
+
+
+class OverflowBudgetError(PackingError):
+    """A packed computation would overflow its lane field.
+
+    Raised when the guard-bit budget of a packed accumulator is exhausted
+    and the caller disallowed spilling to full-width accumulators.
+    """
+
+
+class SplitError(ReproError):
+    """Matrix splitting (Algorithm 1) received inconsistent parameters."""
+
+
+class SimulationError(ReproError):
+    """The cycle-approximate simulator hit an invalid machine state."""
+
+
+class ScheduleError(ReproError):
+    """Warp-to-pipe scheduling constraints cannot be satisfied."""
+
+
+class CalibrationError(ReproError):
+    """Analytic performance model calibration failed to converge."""
+
+
+class ModelConfigError(ReproError):
+    """A DNN model configuration is internally inconsistent."""

@@ -1,0 +1,60 @@
+"""Numeric format descriptors and quantization.
+
+The paper's motivation is that AI workloads use *arbitrary* integer
+formats (2..8 bits) that GPU ALUs do not natively support.  This package
+gives those formats a first-class representation (:class:`IntFormat`),
+describes the natively-supported floating formats of the target machine
+(:mod:`repro.formats.fpfmt`), and provides the symmetric/dyadic
+quantization rules used by integer-only ViT inference
+(:mod:`repro.formats.quantize`).
+"""
+
+from repro.formats.intfmt import (
+    INT2,
+    INT3,
+    INT4,
+    INT5,
+    INT6,
+    INT7,
+    INT8,
+    INT16,
+    INT32,
+    UINT4,
+    UINT8,
+    IntFormat,
+)
+from repro.formats.fpfmt import BF16, FP16, FP32, TF32, FloatFormat
+from repro.formats.quantize import (
+    DyadicScale,
+    QuantParams,
+    dequantize,
+    dyadic_approximate,
+    dyadic_rescale,
+    quantize_symmetric,
+)
+
+__all__ = [
+    "IntFormat",
+    "INT2",
+    "INT3",
+    "INT4",
+    "INT5",
+    "INT6",
+    "INT7",
+    "INT8",
+    "INT16",
+    "INT32",
+    "UINT4",
+    "UINT8",
+    "FloatFormat",
+    "FP32",
+    "FP16",
+    "TF32",
+    "BF16",
+    "QuantParams",
+    "DyadicScale",
+    "quantize_symmetric",
+    "dequantize",
+    "dyadic_approximate",
+    "dyadic_rescale",
+]

@@ -1,0 +1,88 @@
+"""Floating-point format descriptors for the target machine.
+
+These mirror the rows of Table 1 of the paper (FP32/FP16 on CUDA cores,
+TF32/FP16/BF16 on Tensor cores).  The library never implements custom FP
+bit manipulation — FP CUDA-core work is carried out in IEEE float32/64
+via NumPy — but the descriptors let the throughput model reason about
+per-format peak rates and let the preprocessing stage check that integer
+values survive a round-trip through the FP format used for the B2 slice
+(the paper converts int8 inputs to FP32, which is exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+
+__all__ = ["FloatFormat", "FP32", "FP16", "TF32", "BF16"]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """An IEEE-like binary floating point format.
+
+    Attributes
+    ----------
+    name:
+        Display name (``'fp32'``, ``'tf32'``, ...).
+    exponent_bits / mantissa_bits:
+        Field widths; total storage is ``1 + exponent_bits + mantissa_bits``
+        (TF32 is stored in 32 bits but only has 10 mantissa bits).
+    storage_bits:
+        Register storage footprint.
+    """
+
+    name: str
+    exponent_bits: int
+    mantissa_bits: int
+    storage_bits: int
+
+    def __post_init__(self) -> None:
+        if self.exponent_bits < 2 or self.mantissa_bits < 1:
+            raise FormatError(f"degenerate float format: {self}")
+        if self.storage_bits < 1 + self.exponent_bits + self.mantissa_bits:
+            raise FormatError(
+                f"{self.name}: storage_bits smaller than field widths"
+            )
+
+    @property
+    def exact_int_bits(self) -> int:
+        """Largest integer bitwidth represented exactly (mantissa + hidden bit)."""
+        return self.mantissa_bits + 1
+
+    def represents_int_exactly(self, bits: int, signed: bool = True) -> bool:
+        """True when every ``bits``-wide integer converts to this format exactly.
+
+        This is the correctness condition for the paper's B2 slice: int8
+        values converted to FP32 (or even FP16) round-trip exactly, so FP
+        CUDA cores compute the same dot products as INT cores.
+        """
+        magnitude = bits - 1 if signed else bits
+        return magnitude <= self.exact_int_bits
+
+    def roundtrip_exact(self, values: np.ndarray) -> bool:
+        """Empirically check int -> float -> int round-trips for ``values``."""
+        arr = np.asarray(values, dtype=np.int64)
+        if self.name == "fp32":
+            as_f = arr.astype(np.float32)
+        elif self.name == "fp16":
+            as_f = arr.astype(np.float16)
+        else:
+            # TF32/BF16 have no NumPy dtype; emulate by mantissa truncation
+            # of float32 (adequate for exactness checks on small ints).
+            as_f = arr.astype(np.float32)
+            if self.mantissa_bits < 23:
+                raw = as_f.view(np.uint32)
+                drop = 23 - self.mantissa_bits
+                raw = (raw >> drop) << drop
+                as_f = raw.view(np.float32)
+        return bool(np.array_equal(as_f.astype(np.int64), arr))
+
+
+FP32 = FloatFormat("fp32", exponent_bits=8, mantissa_bits=23, storage_bits=32)
+FP16 = FloatFormat("fp16", exponent_bits=5, mantissa_bits=10, storage_bits=16)
+TF32 = FloatFormat("tf32", exponent_bits=8, mantissa_bits=10, storage_bits=32)
+BF16 = FloatFormat("bf16", exponent_bits=8, mantissa_bits=7, storage_bits=16)

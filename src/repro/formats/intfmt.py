@@ -1,0 +1,148 @@
+"""Arbitrary-bitwidth integer format descriptors.
+
+An :class:`IntFormat` names a two's-complement (or unsigned) integer
+format of 1..32 bits.  It knows its representable range, can clip/cast
+NumPy arrays into that range, and reports the *product* and
+*accumulation* bit requirements the packing policy (Fig. 3 of the paper)
+is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.utils.bitops import max_signed, max_unsigned, min_signed
+
+__all__ = [
+    "IntFormat",
+    "INT2",
+    "INT3",
+    "INT4",
+    "INT5",
+    "INT6",
+    "INT7",
+    "INT8",
+    "INT16",
+    "INT32",
+    "UINT4",
+    "UINT8",
+]
+
+
+@dataclass(frozen=True)
+class IntFormat:
+    """An integer numeric format: ``bits`` wide, signed or unsigned.
+
+    Attributes
+    ----------
+    bits:
+        Total storage width in bits, 1..32.
+    signed:
+        Two's-complement when True, unsigned otherwise.
+    """
+
+    bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 32:
+            raise FormatError(f"IntFormat supports 1..32 bits, got {self.bits}")
+        if self.signed and self.bits < 2:
+            raise FormatError("signed formats need at least 2 bits")
+
+    # -- range -----------------------------------------------------------
+
+    @property
+    def min_value(self) -> int:
+        """Smallest representable value."""
+        return min_signed(self.bits) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value."""
+        return max_signed(self.bits) if self.signed else max_unsigned(self.bits)
+
+    @property
+    def magnitude_bits(self) -> int:
+        """Bits needed to store ``abs(value)`` for any representable value.
+
+        For signed formats the most negative value has magnitude
+        ``2**(bits-1)``, which needs ``bits`` bits, but packing always
+        clips to the symmetric range ``[-(2**(bits-1)-1), 2**(bits-1)-1]``
+        so ``bits - 1`` magnitude bits suffice.
+        """
+        return self.bits - 1 if self.signed else self.bits
+
+    @property
+    def name(self) -> str:
+        """Conventional name, e.g. ``'int8'`` or ``'uint4'``."""
+        return f"{'int' if self.signed else 'uint'}{self.bits}"
+
+    # -- casting ---------------------------------------------------------
+
+    def contains(self, values: np.ndarray) -> bool:
+        """True when every element of ``values`` is representable."""
+        arr = np.asarray(values)
+        if arr.size == 0:
+            return True
+        return bool(arr.min() >= self.min_value and arr.max() <= self.max_value)
+
+    def clip(self, values: np.ndarray) -> np.ndarray:
+        """Saturate ``values`` into the representable range (int64 output)."""
+        return np.clip(np.asarray(values, dtype=np.int64), self.min_value, self.max_value)
+
+    def symmetric_clip(self, values: np.ndarray) -> np.ndarray:
+        """Saturate into the *symmetric* range used for packing.
+
+        Signed formats lose the most-negative value (e.g. int8 clips to
+        [-127, 127]) so that ``abs(x)`` always fits ``bits - 1`` bits.
+        """
+        if self.signed:
+            bound = self.max_value
+            return np.clip(np.asarray(values, dtype=np.int64), -bound, bound)
+        return self.clip(values)
+
+    def random(
+        self, rng: np.random.Generator, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """Uniform random values over the full representable range (int64)."""
+        return rng.integers(
+            self.min_value, self.max_value, size=shape, endpoint=True, dtype=np.int64
+        )
+
+    # -- arithmetic sizing -----------------------------------------------
+
+    def product_bits(self, other: "IntFormat | None" = None) -> int:
+        """Bits needed for a single ``self * other`` product magnitude.
+
+        Matches Fig. 3: an 8-bit × 8-bit product needs up to 16 bits, a
+        5-bit × 5-bit product up to 10 bits, etc.  ``other`` defaults to
+        ``self``.
+        """
+        rhs = other if other is not None else self
+        return self.magnitude_bits + rhs.magnitude_bits
+
+    def accumulation_bits(self, other: "IntFormat | None", depth: int) -> int:
+        """Bits needed to accumulate ``depth`` products without overflow."""
+        if depth < 1:
+            raise FormatError(f"accumulation depth must be >= 1, got {depth}")
+        return self.product_bits(other) + max(0, int(depth - 1).bit_length())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+INT2 = IntFormat(2)
+INT3 = IntFormat(3)
+INT4 = IntFormat(4)
+INT5 = IntFormat(5)
+INT6 = IntFormat(6)
+INT7 = IntFormat(7)
+INT8 = IntFormat(8)
+INT16 = IntFormat(16)
+INT32 = IntFormat(32)
+UINT4 = IntFormat(4, signed=False)
+UINT8 = IntFormat(8, signed=False)

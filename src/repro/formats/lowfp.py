@@ -1,0 +1,237 @@
+"""Low-bitwidth floating-point formats (FP8/FP6/FP4) and MX blocks.
+
+The paper's introduction motivates VitBit with the flood of emerging
+numeric formats — FP6-LLM, FP4 quantization, OCP microscaling (MX) —
+that fixed GPU datapaths cannot execute natively.  This module makes
+those formats concrete:
+
+* :class:`MiniFloat` — a generic IEEE-style minifloat codec
+  (round-to-nearest-even, subnormals, saturating to the format's max),
+  instantiated for the OCP FP8/FP6/FP4 element types;
+* :class:`MXBlock` — the OCP microscaling format: a shared power-of-two
+  scale (E8M0) per block of K elements, each element a minifloat code.
+
+Like the integer formats, these are *storage/quantization* substrates:
+a GPU executes them by dequantizing into a supported format — exactly
+the gap (Sec. 2.1) that motivates software techniques like VitBit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "MiniFloat",
+    "FP8_E4M3",
+    "FP8_E5M2",
+    "FP6_E3M2",
+    "FP6_E2M3",
+    "FP4_E2M1",
+    "MXBlock",
+]
+
+
+@dataclass(frozen=True)
+class MiniFloat:
+    """A small IEEE-like float format: 1 sign, ``exp_bits``, ``man_bits``.
+
+    Follows the OCP MX element conventions: no infinities, the largest
+    exponent is a normal number range (E4M3-style), NaN is not
+    representable — out-of-range values saturate to ``max_value``.
+    Because *every* code is a finite value here, ``fp8_e4m3.max_value``
+    is 480 rather than the OCP E4M3FN's 448 (which sacrifices its top
+    mantissa code to NaN); the difference is one code point.
+    """
+
+    name: str
+    exp_bits: int
+    man_bits: int
+
+    def __post_init__(self) -> None:
+        if self.exp_bits < 1 or self.man_bits < 0:
+            raise FormatError(f"degenerate minifloat {self}")
+        if self.bits > 16:
+            raise FormatError("MiniFloat supports at most 16 storage bits")
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def bits(self) -> int:
+        """Total storage bits (sign + exponent + mantissa)."""
+        return 1 + self.exp_bits + self.man_bits
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias (IEEE convention)."""
+        return (1 << (self.exp_bits - 1)) - 1
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable magnitude."""
+        max_exp = (1 << self.exp_bits) - 1 - self.bias
+        mantissa = 2.0 - 2.0 ** (-self.man_bits)
+        return mantissa * 2.0**max_exp
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal magnitude."""
+        return 2.0 ** (1 - self.bias)
+
+    @property
+    def min_subnormal(self) -> float:
+        """Smallest positive representable magnitude."""
+        return 2.0 ** (1 - self.bias - self.man_bits)
+
+    @property
+    def code_count(self) -> int:
+        """Number of distinct bit patterns."""
+        return 1 << self.bits
+
+    # -- codec ----------------------------------------------------------------
+
+    def all_values(self) -> np.ndarray:
+        """Decoded value of every code (length ``2**bits``)."""
+        return self.decode(np.arange(self.code_count, dtype=np.uint32))
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Codes -> float64 values."""
+        c = np.asarray(codes).astype(np.int64)
+        if c.size and (c.min() < 0 or c.max() >= self.code_count):
+            raise FormatError(
+                f"{self.name}: codes out of range 0..{self.code_count - 1}"
+            )
+        sign = np.where((c >> (self.bits - 1)) & 1, -1.0, 1.0)
+        exp = (c >> self.man_bits) & ((1 << self.exp_bits) - 1)
+        man = c & ((1 << self.man_bits) - 1)
+        normal = exp > 0
+        frac = np.where(
+            normal,
+            1.0 + man / (1 << self.man_bits),
+            man / (1 << self.man_bits),
+        )
+        e = np.where(normal, exp - self.bias, 1 - self.bias)
+        return sign * frac * np.exp2(e.astype(np.float64))
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Values -> nearest code (round-to-nearest-even, saturating)."""
+        x = np.asarray(values, dtype=np.float64)
+        if x.size and not np.all(np.isfinite(x)):
+            raise FormatError(f"{self.name}: cannot encode non-finite values")
+        sign_bit = (np.signbit(x)).astype(np.int64) << (self.bits - 1)
+        mag = np.minimum(np.abs(x), self.max_value)
+
+        # Exponent of the enclosing binade, clamped into normal range.
+        with np.errstate(divide="ignore"):
+            e = np.floor(np.log2(np.where(mag > 0, mag, 1.0))).astype(np.int64)
+        e = np.clip(e, 1 - self.bias, (1 << self.exp_bits) - 1 - self.bias)
+        # Quantize the significand at that exponent (subnormals use the
+        # minimum exponent automatically via the clamp above).
+        step = np.exp2((e - self.man_bits).astype(np.float64))
+        q = mag / step
+        rounded = np.rint(q)
+        # round-half-to-even correction
+        half = np.abs(q - np.floor(q) - 0.5) < 1e-12
+        rounded = np.where(
+            half, np.floor(q) + (np.floor(q) % 2), rounded
+        )
+        mag_q = rounded * step
+        # Rounding can carry into the next binade (e.g. 1.96 -> 2.0).
+        carried = mag_q >= np.exp2((e + 1).astype(np.float64))
+        e = np.where(carried, e + 1, e)
+        e = np.clip(e, 1 - self.bias, (1 << self.exp_bits) - 1 - self.bias)
+        step = np.exp2((e - self.man_bits).astype(np.float64))
+        mag_q = np.minimum(np.rint(mag / step) * step, self.max_value)
+
+        sig = np.rint(mag_q / step).astype(np.int64)  # includes hidden bit
+        is_normal = sig >= (1 << self.man_bits)
+        exp_field = np.where(is_normal, e + self.bias, 0)
+        man_field = np.where(is_normal, sig - (1 << self.man_bits), sig)
+        man_field = np.minimum(man_field, (1 << self.man_bits) - 1)
+        return (sign_bit | (exp_field << self.man_bits) | man_field).astype(
+            np.uint32
+        )
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round ``values`` to the nearest representable (float64 out)."""
+        return self.decode(self.encode(values))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+FP8_E4M3 = MiniFloat("fp8_e4m3", exp_bits=4, man_bits=3)
+FP8_E5M2 = MiniFloat("fp8_e5m2", exp_bits=5, man_bits=2)
+FP6_E3M2 = MiniFloat("fp6_e3m2", exp_bits=3, man_bits=2)
+FP6_E2M3 = MiniFloat("fp6_e2m3", exp_bits=2, man_bits=3)
+FP4_E2M1 = MiniFloat("fp4_e2m1", exp_bits=2, man_bits=1)
+
+
+@dataclass(frozen=True)
+class MXBlock:
+    """OCP microscaling: per-block power-of-two scale + minifloat elements.
+
+    A tensor is split into blocks of ``block_size`` consecutive values;
+    each block stores one shared scale exponent (E8M0: an 8-bit
+    power-of-two) and ``block_size`` element codes.
+    """
+
+    element: MiniFloat
+    block_size: int = 32
+
+    def __post_init__(self) -> None:
+        check_positive("block_size", self.block_size)
+
+    @property
+    def bits_per_value(self) -> float:
+        """Effective storage bits per value including the shared scale."""
+        return self.element.bits + 8.0 / self.block_size
+
+    def quantize(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Quantize a 1-D array; returns (scales_exp, element_codes).
+
+        The scale of each block is the power of two that maps its max
+        magnitude to the element format's max value (the OCP rule).
+        Trailing partial blocks are allowed.
+        """
+        x = np.asarray(values, dtype=np.float64)
+        if x.ndim != 1:
+            raise FormatError("MXBlock.quantize expects a 1-D array")
+        n = x.size
+        blocks = -(-n // self.block_size)
+        scales = np.zeros(blocks, dtype=np.int64)
+        codes = np.zeros(n, dtype=np.uint32)
+        for i in range(blocks):
+            sl = slice(i * self.block_size, min(n, (i + 1) * self.block_size))
+            chunk = x[sl]
+            peak = float(np.max(np.abs(chunk))) if chunk.size else 0.0
+            if peak == 0.0:
+                scales[i] = 0
+                continue
+            exp = int(np.floor(np.log2(peak / self.element.max_value)))
+            # round scale up so the peak stays representable
+            while peak / 2.0**exp > self.element.max_value:
+                exp += 1
+            scales[i] = exp
+            codes[sl] = self.element.encode(chunk / 2.0**exp)
+        return scales, codes
+
+    def dequantize(
+        self, scales: np.ndarray, codes: np.ndarray
+    ) -> np.ndarray:
+        """Inverse of :meth:`quantize`."""
+        s = np.asarray(scales, dtype=np.int64)
+        c = np.asarray(codes)
+        out = np.zeros(c.size, dtype=np.float64)
+        for i in range(s.size):
+            sl = slice(i * self.block_size, min(c.size, (i + 1) * self.block_size))
+            out[sl] = self.element.decode(c[sl]) * 2.0 ** int(s[i])
+        return out
+
+    def relative_error_bound(self) -> float:
+        """Worst-case relative rounding error for normal-range values."""
+        return 2.0 ** (-(self.element.man_bits + 1))

@@ -1,0 +1,140 @@
+"""Symmetric quantization and dyadic (shift-based) rescaling.
+
+Integer-only ViT inference (I-ViT, the computation rules the paper adopts
+for its ViT-Base workload) never touches floating point at inference
+time: every re-quantization between layers is a *dyadic* operation
+``(x * b) >> c`` where ``b`` and ``c`` are integers fixed at calibration
+time.  This module supplies:
+
+* :func:`quantize_symmetric` — float tensor → integer tensor + scale,
+* :class:`DyadicScale` — an exact ``b / 2**c`` approximation of a real
+  scale factor, applied with pure integer arithmetic,
+* :func:`dyadic_rescale` — the vectorized requantization kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.intfmt import IntFormat
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "QuantParams",
+    "DyadicScale",
+    "quantize_symmetric",
+    "dequantize",
+    "dyadic_approximate",
+    "dyadic_rescale",
+]
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Scale metadata attached to a symmetric-quantized tensor.
+
+    ``real = scale * q`` for quantized values ``q`` in ``fmt``.
+    """
+
+    scale: float
+    fmt: IntFormat
+
+    def __post_init__(self) -> None:
+        if not self.scale > 0:
+            raise FormatError(f"scale must be positive, got {self.scale}")
+
+
+def quantize_symmetric(
+    values: np.ndarray, fmt: IntFormat, *, scale: float | None = None
+) -> tuple[np.ndarray, QuantParams]:
+    """Symmetric (zero-point-free) quantization of ``values`` into ``fmt``.
+
+    When ``scale`` is None it is chosen so the max magnitude maps to the
+    symmetric bound of ``fmt``.  Returns ``(q, params)`` where ``q`` is an
+    int64 array saturated into the symmetric range.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    bound = fmt.max_value if fmt.signed else fmt.max_value
+    if scale is None:
+        peak = float(np.max(np.abs(arr))) if arr.size else 0.0
+        scale = (peak / bound) if peak > 0 else 1.0
+    check_positive("scale", scale)
+    q = np.round(arr / scale)
+    q = fmt.symmetric_clip(q)
+    return q, QuantParams(scale=scale, fmt=fmt)
+
+
+def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Map quantized integers back to real values (``float64``)."""
+    return np.asarray(q, dtype=np.float64) * params.scale
+
+
+@dataclass(frozen=True)
+class DyadicScale:
+    """A dyadic rational ``multiplier / 2**shift`` approximating a real scale.
+
+    Applying it to an integer tensor costs one integer multiply and one
+    arithmetic shift — exactly the operation budget I-ViT assumes.
+    """
+
+    multiplier: int
+    shift: int
+
+    def __post_init__(self) -> None:
+        if self.multiplier < 0:
+            raise FormatError("dyadic multiplier must be non-negative")
+        if not 0 <= self.shift <= 62:
+            raise FormatError(f"dyadic shift must be in 0..62, got {self.shift}")
+
+    @property
+    def value(self) -> float:
+        """The real number this dyadic pair represents."""
+        return self.multiplier / float(1 << self.shift)
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """Rescale integers: ``round_half_up((v * multiplier) / 2**shift)``."""
+        return dyadic_rescale(values, self)
+
+
+def dyadic_approximate(scale: float, *, mult_bits: int = 16) -> DyadicScale:
+    """Best dyadic approximation of ``scale`` with ≤ ``mult_bits``-bit multiplier.
+
+    Mirrors I-ViT calibration: pick the largest shift such that
+    ``round(scale * 2**shift)`` still fits ``mult_bits`` bits.
+    """
+    check_positive("scale", scale)
+    if not 2 <= mult_bits <= 31:
+        raise FormatError(f"mult_bits must be in 2..31, got {mult_bits}")
+    limit = (1 << mult_bits) - 1
+    shift = 0
+    # Grow the shift while the multiplier stays in range and precision helps.
+    while shift < 62:
+        candidate = round(scale * (1 << (shift + 1)))
+        if candidate > limit:
+            break
+        shift += 1
+    multiplier = round(scale * (1 << shift))
+    if multiplier == 0:
+        # scale smaller than 2**-shift resolution; use smallest nonzero.
+        multiplier = 1
+    return DyadicScale(multiplier=multiplier, shift=shift)
+
+
+def dyadic_rescale(values: np.ndarray, dyadic: DyadicScale) -> np.ndarray:
+    """Integer-only requantization ``(v * b + 2**(c-1)) >> c`` (round half up).
+
+    Works on int64 arrays; the caller is responsible for saturating the
+    result into the destination format (layers do this via
+    :meth:`IntFormat.symmetric_clip`).
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    prod = arr * np.int64(dyadic.multiplier)
+    if dyadic.shift == 0:
+        return prod
+    bias = np.int64(1) << np.int64(dyadic.shift - 1)
+    # Arithmetic shift of (prod + bias) implements round-half-up for both
+    # signs the way integer-only accelerators do it.
+    return (prod + bias) >> np.int64(dyadic.shift)

@@ -1,0 +1,64 @@
+"""Kernel reconstruction: execution strategies, ratios, warp scheduling.
+
+This package encodes Sec. 3.3 and Table 3 of the paper:
+
+* :mod:`repro.fusion.strategies` — the seven evaluated methods (TC, IC,
+  FC, IC+FC, Tacker, TC+IC+FC, VitBit) as declarative descriptions of
+  which pipes run and whether operands are packed;
+* :mod:`repro.fusion.ratio` — Eq. 1 (the INT:FP data ratio equals the
+  packing factor) and the measured-time rule that picks the
+  Tensor:CUDA ratio ``m``;
+* :mod:`repro.fusion.schedule` — warp-level interleaving: Tensor warps
+  first, then INT and FP warps alternating, "to prevent task
+  concentration on one core during warp scheduling".
+"""
+
+from repro.fusion.strategies import (
+    FC,
+    IC,
+    IC_FC,
+    STRATEGIES,
+    TACKER,
+    TC,
+    TC_IC_FC,
+    VITBIT,
+    Strategy,
+    strategy_by_name,
+)
+from repro.fusion.ratio import (
+    PAPER_TENSOR_CUDA_RATIO,
+    eq1_int_fp_ratio,
+    tensor_cuda_ratio_from_times,
+)
+from repro.fusion.schedule import interleave_warp_roles
+from repro.fusion.coschedule import CoScheduleResult, co_schedule, throughput_gain
+from repro.fusion.qos import (
+    PipeSignature,
+    QosAdmission,
+    pipe_signature,
+    predict_corun,
+)
+
+__all__ = [
+    "Strategy",
+    "TC",
+    "IC",
+    "FC",
+    "IC_FC",
+    "TACKER",
+    "TC_IC_FC",
+    "VITBIT",
+    "STRATEGIES",
+    "strategy_by_name",
+    "eq1_int_fp_ratio",
+    "tensor_cuda_ratio_from_times",
+    "PAPER_TENSOR_CUDA_RATIO",
+    "interleave_warp_roles",
+    "co_schedule",
+    "CoScheduleResult",
+    "throughput_gain",
+    "PipeSignature",
+    "pipe_signature",
+    "predict_corun",
+    "QosAdmission",
+]

@@ -1,0 +1,146 @@
+"""QoS prediction for co-scheduled kernels (Tacker's second contribution).
+
+Tacker pairs kernel fusion with "accurate prediction modeling" so a
+latency-critical kernel's slowdown under co-location stays within its
+QoS budget *without* trial runs.  This module reproduces that idea
+against our machine model:
+
+* :func:`pipe_signature` — a kernel's demand on each shared resource
+  (pipe-cycles and issue-slots per second of solo execution);
+* :func:`predict_corun` — closed-form prediction of both kernels'
+  co-run slowdowns from their signatures: each shared resource's total
+  demand is summed, the most-oversubscribed one sets the slowdown;
+* :class:`QosAdmission` — the admission test: co-schedule only if the
+  predicted slowdown of the protected kernel respects its QoS target.
+
+Accuracy is validated against the cycle simulator in
+``tests/test_qos.py`` (within ~20% — the same ballpark Tacker reports
+for its model on silicon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import MachineSpec
+from repro.errors import ScheduleError
+from repro.fusion.coschedule import co_schedule
+from repro.perfmodel.warpsets import KernelLaunch
+from repro.sim.gpu import GPUSim
+from repro.sim.instruction import OpClass, default_timings
+
+__all__ = ["PipeSignature", "pipe_signature", "predict_corun", "QosAdmission"]
+
+
+@dataclass(frozen=True)
+class PipeSignature:
+    """A kernel's fractional demand on each shared SM resource.
+
+    Each entry is the fraction of that resource's capacity the kernel
+    consumes while running solo (1.0 = saturated).  ``issue`` covers
+    the scheduler's one-instruction-per-cycle port; ``dram`` the memory
+    bandwidth.
+    """
+
+    pipes: dict[OpClass, float]
+    issue: float
+    dram: float
+    solo_seconds: float
+
+    def demand(self, resource: "OpClass | str") -> float:
+        """Demand on one resource (0..1)."""
+        if isinstance(resource, OpClass):
+            return self.pipes.get(resource, 0.0)
+        if resource == "issue":
+            return self.issue
+        if resource == "dram":
+            return self.dram
+        raise ScheduleError(f"unknown resource {resource!r}")
+
+
+def pipe_signature(machine: MachineSpec, launch: KernelLaunch) -> PipeSignature:
+    """Compute a kernel's resource signature from its instruction totals.
+
+    Uses the same grid-wide accounting the performance model simulates;
+    solo time comes from one (work-scaled) simulator run so signatures
+    reflect the machine, not just the bounds.
+    """
+    timings = default_timings(machine.sm)
+    schedulers = machine.sm_count * machine.sm.partitions
+
+    gpu = GPUSim(machine, include_launch_overhead=False)
+    total = sum(w.total_instructions for w in launch.warps)
+    scale = max(1.0, total / 20_000)
+    warps = [w if w.total_instructions == 0 else w.scaled(1 / scale)
+             for w in launch.warps]
+    sim_total = sum(w.total_instructions for w in warps)
+    if sim_total == 0:
+        raise ScheduleError("kernel has no work")
+    factor = total / sim_total
+    stats = gpu.run_kernel(warps, bytes_moved=launch.bytes_moved / factor)
+    solo = stats.seconds * factor
+
+    cycles = solo * machine.clock_hz
+    pipes = {
+        op: (n * timings[op].initiation_interval / schedulers) / cycles
+        for op, n in launch.instruction_totals.items()
+        if n > 0
+    }
+    issue = sum(launch.instruction_totals.values()) / schedulers / cycles
+    dram_seconds = launch.bytes_moved / (
+        machine.dram_bandwidth_bytes_per_s * 0.75
+    )
+    return PipeSignature(
+        pipes=pipes, issue=issue, dram=dram_seconds / solo, solo_seconds=solo
+    )
+
+
+def predict_corun(
+    a: PipeSignature, b: PipeSignature
+) -> tuple[float, float]:
+    """Predicted slowdowns (a, b) when the two kernels co-run.
+
+    Model: on each shared resource the combined demand is the sum of
+    solo demands; if a resource oversubscribes (sum > 1), both kernels
+    stretch by that factor.  The binding resource is the worst one.
+    A slowdown is never below 1.
+    """
+    resources: set[object] = set(a.pipes) | set(b.pipes) | {"issue", "dram"}
+    worst = 1.0
+    for r in resources:
+        combined = a.demand(r) + b.demand(r)  # type: ignore[arg-type]
+        worst = max(worst, combined)
+    return worst, worst
+
+
+@dataclass
+class QosAdmission:
+    """Admission control: protect kernel A's latency under co-location."""
+
+    machine: MachineSpec
+    qos_slowdown: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.qos_slowdown < 1.0:
+            raise ScheduleError("QoS slowdown target must be >= 1")
+
+    def admit(self, protected: KernelLaunch, candidate: KernelLaunch) -> bool:
+        """True when co-running ``candidate`` keeps ``protected`` within
+        its QoS target, per the prediction model."""
+        sa = pipe_signature(self.machine, protected)
+        sb = pipe_signature(self.machine, candidate)
+        slowdown, _ = predict_corun(sa, sb)
+        return slowdown <= self.qos_slowdown
+
+    def validate(
+        self, protected: KernelLaunch, candidate: KernelLaunch
+    ) -> tuple[float, float]:
+        """(predicted, simulated) slowdown of the protected kernel."""
+        sa = pipe_signature(self.machine, protected)
+        sb = pipe_signature(self.machine, candidate)
+        predicted, _ = predict_corun(sa, sb)
+        result = co_schedule(self.machine, protected, candidate)
+        simulated = result.fused_seconds / max(
+            sa.solo_seconds, sb.solo_seconds
+        )
+        return predicted, simulated

@@ -1,0 +1,65 @@
+"""Work-division ratios (Sec. 3.2 and Eq. 1).
+
+Two ratios govern Algorithm 1:
+
+* ``m`` — Tensor : CUDA columns.  The paper measures GEMM time on each
+  core class and sets ``m`` to their ratio so both sides finish
+  together (their study: CUDA-with-packing ~4x slower than Tensor ->
+  m = 4).  :func:`tensor_cuda_ratio_from_times` implements the rule;
+  ``PAPER_TENSOR_CUDA_RATIO`` pins the paper's chosen value.
+* ``n`` — INT : FP columns, Eq. 1: with ``n`` values packed per
+  register, giving the INT pipe ``n`` columns per FP column equalizes
+  the two pipes' instruction counts (the SM has equally many INT and
+  FP lanes).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleError
+from repro.packing.policy import PackingPolicy
+
+__all__ = [
+    "PAPER_TENSOR_CUDA_RATIO",
+    "eq1_int_fp_ratio",
+    "tensor_cuda_ratio_from_times",
+]
+
+#: The paper's measured assignment ratio: Tensor cores 4, CUDA cores 1.
+PAPER_TENSOR_CUDA_RATIO = 4.0
+
+
+def eq1_int_fp_ratio(policy: PackingPolicy, packing: bool = True) -> int:
+    """Eq. 1's ``n``: data-for-packing : data-for-converting.
+
+    Packing ``n`` integers per register reduces INT instructions by
+    ``n``; matching instruction counts across equal INT/FP pipes means
+    the INT pipe should receive ``n`` columns of data per FP column.
+    """
+    return policy.lanes if packing else 1
+
+
+def tensor_cuda_ratio_from_times(
+    tensor_seconds: float, cuda_seconds: float, *, round_to_int: bool = True
+) -> float:
+    """The paper's rule: ``m = time_CUDA / time_Tensor`` on the same GEMM.
+
+    A CUDA-core pass that takes 4x the Tensor-core pass should receive
+    1/4 of the columns Tensor cores get, so both finish together.  The
+    paper rounds to an integer ratio (4:1); pass ``round_to_int=False``
+    for the exact balance point.
+    """
+    if tensor_seconds <= 0 or cuda_seconds <= 0:
+        raise ScheduleError(
+            f"times must be positive, got tensor={tensor_seconds}, "
+            f"cuda={cuda_seconds}"
+        )
+    m = cuda_seconds / tensor_seconds
+    if m < 1.0:
+        # CUDA cores faster than Tensor cores never happens on real
+        # DNN GEMMs; treat it as a configuration error rather than
+        # silently inverting the split.
+        raise ScheduleError(
+            "CUDA-core GEMM came out faster than the Tensor-core GEMM; "
+            "the Tensor:CUDA split rule does not apply"
+        )
+    return round(m) if round_to_int else m

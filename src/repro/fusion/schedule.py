@@ -1,0 +1,66 @@
+"""Warp-level role interleaving (Sec. 3.3).
+
+The fused kernel assigns warps to Tensor / INT / FP roles inside one
+thread block.  The paper places the (few) Tensor-core warps first, then
+alternates INT and FP warps "to prevent task concentration on one core
+during warp scheduling" — under loose-round-robin issue, adjacent warps
+of the same role would collide on the same pipe and leave the other
+pipe idle between turns.  :func:`interleave_warp_roles` reproduces that
+layout and is what the performance model feeds to the simulator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleError
+
+__all__ = ["interleave_warp_roles"]
+
+
+def interleave_warp_roles(
+    n_tensor: int,
+    n_int: int,
+    n_fp: int,
+    *,
+    alternate: bool = True,
+    group: int = 1,
+) -> list[str]:
+    """Ordered warp-role labels for one thread block.
+
+    Returns a list drawn from ``{"tensor", "int", "fp"}`` of length
+    ``n_tensor + n_int + n_fp``.  With ``alternate`` (the paper's
+    scheme) INT and FP warps interleave as evenly as possible; without
+    it they are laid out in contiguous runs (the ablation case).
+
+    ``group`` repeats each role in runs of that length.  The hardware
+    block scheduler deals consecutive warps round-robin to the SM's
+    sub-partitions, so alternating with ``group = partitions`` is what
+    actually lands INT and FP warps *alternating within each
+    partition's scheduler* — a plain ``i,f,i,f`` list would be sampled
+    stride-``partitions`` into single-role partitions and lose the
+    co-issue benefit entirely.
+    """
+    for name, n in (("n_tensor", n_tensor), ("n_int", n_int), ("n_fp", n_fp)):
+        if n < 0:
+            raise ScheduleError(f"{name} must be >= 0, got {n}")
+    if group < 1:
+        raise ScheduleError(f"group must be >= 1, got {group}")
+    roles: list[str] = ["tensor"] * n_tensor
+    if not alternate:
+        roles += ["int"] * n_int + ["fp"] * n_fp
+        return roles
+    # Evenly interleave the two CUDA roles (Bresenham-style merge) at
+    # run-of-`group` granularity.
+    total = n_int + n_fp
+    placed_int = placed_fp = 0
+    while placed_int + placed_fp < total:
+        i = placed_int + placed_fp
+        want_int = n_int * (i + 1) / total if total else 0
+        if (placed_int < want_int and placed_int < n_int) or placed_fp >= n_fp:
+            run = min(group, n_int - placed_int)
+            roles += ["int"] * run
+            placed_int += run
+        else:
+            run = min(group, n_fp - placed_fp)
+            roles += ["fp"] * run
+            placed_fp += run
+    return roles

@@ -1,0 +1,198 @@
+"""The evaluated execution strategies (Table 3 of the paper).
+
+A :class:`Strategy` declares which execution units participate, whether
+INT operands are packed, and how it applies to the two kernel families:
+
+* **Tensor-core kernels** (GEMM): strategies with ``uses_tensor`` fuse
+  CUDA-core warps into the Tensor-core kernel; pure CUDA strategies run
+  the whole GEMM on CUDA cores.
+* **CUDA-core kernels** (GeLU, Softmax, ...): Tensor cores cannot run
+  them, so only the INT/FP/packing dimensions apply.
+
+Given a packing policy and the Tensor:CUDA ratio ``m``, a strategy
+yields the column split of Algorithm 1 via :meth:`Strategy.split_plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ScheduleError
+from repro.packing.policy import PackingPolicy
+from repro.preprocess.split import SplitPlan, plan_split
+
+__all__ = [
+    "Strategy",
+    "TC",
+    "IC",
+    "FC",
+    "IC_FC",
+    "TACKER",
+    "TC_IC_FC",
+    "VITBIT",
+    "STRATEGIES",
+    "strategy_by_name",
+]
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One row of Table 3.
+
+    Attributes
+    ----------
+    name:
+        Display name used throughout benchmarks and figures.
+    uses_tensor / uses_int / uses_fp:
+        Which execution units the strategy engages.
+    packing:
+        Whether INT-pipe operands are packed (VitBit's contribution).
+    kernel_scope:
+        ``"T"``, ``"C"`` or ``"T,C"`` — which kernel families the paper
+        evaluates it on (Table 3's label column).
+    """
+
+    name: str
+    uses_tensor: bool
+    uses_int: bool
+    uses_fp: bool
+    packing: bool
+    kernel_scope: str
+    description: str
+
+    def __post_init__(self) -> None:
+        if not (self.uses_tensor or self.uses_int or self.uses_fp):
+            raise ScheduleError(f"strategy {self.name!r} uses no execution units")
+        if self.packing and not self.uses_int:
+            raise ScheduleError(
+                f"strategy {self.name!r} packs operands but never runs the INT pipe"
+            )
+        if self.kernel_scope not in {"T", "C", "T,C"}:
+            raise ScheduleError(f"bad kernel_scope {self.kernel_scope!r}")
+
+    @property
+    def uses_cuda(self) -> bool:
+        """True when any CUDA-core pipe participates."""
+        return self.uses_int or self.uses_fp
+
+    def pack_factor(self, policy: PackingPolicy) -> int:
+        """Operands per INT-pipe register under this strategy (1 = zero-masked)."""
+        return policy.lanes if self.packing else 1
+
+    def int_fp_ratio(self, policy: PackingPolicy) -> int:
+        """Eq. 1's ``n``: columns given to INT per FP column.
+
+        With packing, ``n`` equals the packing factor so the two pipes
+        issue the same instruction count; without packing it is 1 (even
+        split); 0 disables the missing pipe.
+        """
+        if not self.uses_int:
+            return 0
+        if not self.uses_fp:
+            # All CUDA columns to the INT pipe: n/(n+1) -> 1 as n -> inf.
+            return 10**9
+        return policy.lanes if self.packing else 1
+
+    def split_plan(
+        self, n_columns: int, policy: PackingPolicy, tensor_cuda_ratio: float
+    ) -> SplitPlan:
+        """Algorithm 1 plan for a GEMM of ``n_columns`` under this strategy.
+
+        ``tensor_cuda_ratio`` is ignored (forced) when the strategy uses
+        only one side: Tensor-only pins every column to B3, CUDA-only to
+        B1/B2.
+        """
+        if self.uses_tensor and not self.uses_cuda:
+            m = float("inf")
+        elif not self.uses_tensor:
+            m = 0.0
+        else:
+            if tensor_cuda_ratio <= 0:
+                raise ScheduleError(
+                    f"{self.name} fuses Tensor and CUDA cores; the ratio m "
+                    f"must be positive, got {tensor_cuda_ratio}"
+                )
+            m = tensor_cuda_ratio
+        if m == float("inf"):
+            return plan_split(n_columns, 1e18, policy, int_fp_ratio=0)
+        # Packing alignment only matters when the INT pipe participates.
+        pol = policy if self.packing else policy.with_lanes(1)
+        return plan_split(n_columns, m, pol, int_fp_ratio=self.int_fp_ratio(policy))
+
+
+TC = Strategy(
+    name="TC",
+    uses_tensor=True,
+    uses_int=False,
+    uses_fp=False,
+    packing=False,
+    kernel_scope="T",
+    description="Tensor cores only (baseline for Tensor-core kernels)",
+)
+IC = Strategy(
+    name="IC",
+    uses_tensor=False,
+    uses_int=True,
+    uses_fp=False,
+    packing=False,
+    kernel_scope="C",
+    description="INT CUDA cores only (baseline for CUDA-core kernels)",
+)
+FC = Strategy(
+    name="FC",
+    uses_tensor=False,
+    uses_int=False,
+    uses_fp=True,
+    packing=False,
+    kernel_scope="C",
+    description="FP CUDA cores only, inputs type-cast to float",
+)
+IC_FC = Strategy(
+    name="IC+FC",
+    uses_tensor=False,
+    uses_int=True,
+    uses_fp=True,
+    packing=False,
+    kernel_scope="C",
+    description="Simultaneous INT and FP CUDA cores",
+)
+TACKER = Strategy(
+    name="Tacker",
+    uses_tensor=True,
+    uses_int=True,
+    uses_fp=False,
+    packing=False,
+    kernel_scope="T",
+    description="Tensor cores fused with INT CUDA cores (Zhao et al.)",
+)
+TC_IC_FC = Strategy(
+    name="TC+IC+FC",
+    uses_tensor=True,
+    uses_int=True,
+    uses_fp=True,
+    packing=False,
+    kernel_scope="T",
+    description="Simultaneous Tensor, INT and FP CUDA cores (no packing)",
+)
+VITBIT = Strategy(
+    name="VitBit",
+    uses_tensor=True,
+    uses_int=True,
+    uses_fp=True,
+    packing=True,
+    kernel_scope="T,C",
+    description="INT packing + simultaneous Tensor, INT and FP cores (ours)",
+)
+
+#: Table 3, in the paper's order.
+STRATEGIES: tuple[Strategy, ...] = (TC, IC, FC, IC_FC, TACKER, TC_IC_FC, VITBIT)
+
+
+def strategy_by_name(name: str) -> Strategy:
+    """Look up a Table 3 strategy by its display name (case-insensitive)."""
+    for s in STRATEGIES:
+        if s.name.lower() == name.lower():
+            return s
+    raise ScheduleError(
+        f"unknown strategy {name!r}; available: {[s.name for s in STRATEGIES]}"
+    )

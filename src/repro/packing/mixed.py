@@ -1,0 +1,71 @@
+"""Mixed-bitwidth packing policies.
+
+The paper claims support for *arbitrary* integer formats; its Fig. 3
+policy assumes both multiplicands share one bitwidth.  Real quantized
+networks routinely mix widths (4-bit weights x 8-bit activations is the
+classic W4A8 configuration), and the carry-safety rule generalizes
+directly: a lane field must hold one ``a_bits x b_bits`` product, so
+
+``lanes = floor(register_bits / (a_bits + b_bits))``.
+
+:func:`policy_for_operands` builds the widest carry-safe policy for a
+(multiplier, packed-operand) width pair; the resulting
+:class:`~repro.packing.policy.PackingPolicy` plugs into the existing
+packer/SWAR/GEMM machinery unchanged, because all of it sizes products
+from the actual operand magnitudes at run time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FormatError
+from repro.packing.policy import PackingPolicy
+
+__all__ = ["policy_for_operands", "max_lanes_for_operands"]
+
+
+def max_lanes_for_operands(
+    a_bits: int, b_bits: int, register_bits: int = 32
+) -> int:
+    """Maximum carry-safe lanes for ``a_bits x b_bits`` products."""
+    for name, bits in (("a_bits", a_bits), ("b_bits", b_bits)):
+        if not 1 <= bits <= register_bits:
+            raise FormatError(f"{name} must be in 1..{register_bits}, got {bits}")
+    return max(1, register_bits // (a_bits + b_bits))
+
+
+def policy_for_operands(
+    a_bits: int,
+    b_bits: int,
+    register_bits: int = 32,
+    *,
+    cap_lanes: int | None = None,
+) -> PackingPolicy:
+    """Packing policy for unpacked ``a_bits`` multipliers against packed
+    ``b_bits`` operands.
+
+    The policy's ``value_bits`` is ``b_bits`` (what gets packed); the
+    field width is sized for the *mixed* product, so e.g. W4A8
+    (``a_bits=4, b_bits=8``) packs 2 activations per register with
+    12-bit products in 16-bit fields — 4 guard bits of accumulation
+    budget that the symmetric int8 policy does not have.
+
+    >>> policy_for_operands(4, 8).lanes      # W4A8
+    2
+    >>> policy_for_operands(4, 4).lanes      # W4A4
+    4
+    >>> policy_for_operands(8, 2).lanes      # W8A2: 3 lanes of 10-bit fields
+    3
+    """
+    lanes = max_lanes_for_operands(a_bits, b_bits, register_bits)
+    if cap_lanes is not None:
+        if cap_lanes < 1:
+            raise FormatError(f"cap_lanes must be >= 1, got {cap_lanes}")
+        lanes = min(lanes, cap_lanes)
+    field = register_bits // lanes
+    return PackingPolicy(
+        value_bits=b_bits,
+        lanes=lanes,
+        field_bits=field,
+        register_bits=register_bits,
+        multiplier_bits=a_bits,
+    )

@@ -1,0 +1,193 @@
+"""The VitBit packing policy (Fig. 3 of the paper).
+
+Given the bitwidth ``b`` of the integer operands, the policy decides how
+many values share one 32-bit register and how wide each *field* (lane
+slot) is, such that a full ``b x b`` product fits its field and carries
+can never cross into the neighbouring lane:
+
+========  =====  ==========  =================================
+bitwidth  lanes  field bits  paper reference
+========  =====  ==========  =================================
+9..32       1        32      Fig. 3(a) — plain zero-masking
+6..8        2        16      Fig. 3(b) — outputs 12..16 bits
+5           3        10      Fig. 3(c) — outputs up to 10 bits
+1..4        4         8      Fig. 3(d) — outputs up to 8 bits
+========  =====  ==========  =================================
+
+The general rule is ``lanes = floor(register_bits / (2 * b))`` clamped to
+at least 1, with fields spread to use the whole register (wider fields
+buy *guard bits* for dot-product accumulation; see
+:mod:`repro.packing.accumulate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FormatError, PackingError
+
+__all__ = ["PackingPolicy", "policy_for_bitwidth", "max_lanes_for_bitwidth"]
+
+
+@dataclass(frozen=True)
+class PackingPolicy:
+    """How operands of ``value_bits`` bits are packed into a register.
+
+    Attributes
+    ----------
+    value_bits:
+        Magnitude bitwidth of each packed operand (operands must satisfy
+        ``0 <= v < 2**value_bits``; signedness is handled a level up by
+        sign-splitting / zero-point offsetting).
+    lanes:
+        Number of operands per register.
+    field_bits:
+        Distance in bits between consecutive lane origins.  Must hold a
+        full ``multiplier_bits x value_bits`` product whenever
+        ``lanes > 1``.
+    register_bits:
+        Physical register width (32 on the target GPU).
+    multiplier_bits:
+        Magnitude bitwidth of the *unpacked* multiplier stream;
+        defaults to ``value_bits`` (Fig. 3's symmetric case).  Mixed
+        pairs (e.g. 4-bit weights x 8-bit activations) come from
+        :func:`repro.packing.mixed.policy_for_operands`.
+    """
+
+    value_bits: int
+    lanes: int
+    field_bits: int
+    register_bits: int = 32
+    multiplier_bits: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.value_bits <= self.register_bits:
+            raise FormatError(
+                f"value_bits must be in 1..{self.register_bits}, got {self.value_bits}"
+            )
+        if self.lanes < 1:
+            raise FormatError(f"lanes must be >= 1, got {self.lanes}")
+        if self.lanes * self.field_bits > self.register_bits:
+            raise FormatError(
+                f"{self.lanes} lanes x {self.field_bits} bits exceed a "
+                f"{self.register_bits}-bit register"
+            )
+        if self.field_bits < self.value_bits:
+            raise FormatError(
+                f"field of {self.field_bits} bits cannot hold {self.value_bits}-bit values"
+            )
+        mbits = self.effective_multiplier_bits
+        if not 1 <= mbits <= self.register_bits:
+            raise FormatError(
+                f"multiplier_bits must be in 1..{self.register_bits}, got {mbits}"
+            )
+        if self.lanes > 1 and self.field_bits < mbits + self.value_bits:
+            raise FormatError(
+                f"field of {self.field_bits} bits cannot hold a "
+                f"{mbits}x{self.value_bits}-bit product; carries would "
+                "cross lanes"
+            )
+
+    @property
+    def effective_multiplier_bits(self) -> int:
+        """Multiplier magnitude width (``value_bits`` unless overridden)."""
+        return (
+            self.multiplier_bits if self.multiplier_bits is not None else self.value_bits
+        )
+
+    # -- derived quantities ------------------------------------------------
+
+    @property
+    def value_mask(self) -> int:
+        """Mask selecting one operand's bits."""
+        return (1 << self.value_bits) - 1
+
+    @property
+    def field_mask(self) -> int:
+        """Mask selecting one full field."""
+        return (1 << self.field_bits) - 1
+
+    @property
+    def max_value(self) -> int:
+        """Largest packable operand value."""
+        return self.value_mask
+
+    @property
+    def product_bits(self) -> int:
+        """Bits of a worst-case lane product."""
+        if self.lanes > 1:
+            return self.effective_multiplier_bits + self.value_bits
+        return self.register_bits
+
+    @property
+    def shift_amounts(self) -> tuple[int, ...]:
+        """Left-shift for each lane (lane 0 in the least-significant field)."""
+        return tuple(i * self.field_bits for i in range(self.lanes))
+
+    def registers_needed(self, count: int) -> int:
+        """Registers required to hold ``count`` operands."""
+        if count < 0:
+            raise PackingError(f"count must be >= 0, got {count}")
+        return -(-count // self.lanes)
+
+    def bit_utilization(self) -> float:
+        """Fraction of register bits carrying operand payload.
+
+        This is the "bit-level utilization of registers" the paper says
+        packing improves (Sec. 3.2): e.g. int8 goes from 8/32 = 0.25
+        unpacked to 16/32 = 0.5 with two lanes.
+        """
+        return (self.lanes * self.value_bits) / self.register_bits
+
+    def with_lanes(self, lanes: int) -> "PackingPolicy":
+        """A policy for the same bitwidth but a different lane count.
+
+        Fields are spread evenly over the register.  Raises
+        :class:`~repro.errors.FormatError` when products would not fit.
+        """
+        field = self.register_bits // lanes
+        return PackingPolicy(
+            value_bits=self.value_bits,
+            lanes=lanes,
+            field_bits=field,
+            register_bits=self.register_bits,
+            multiplier_bits=self.multiplier_bits,
+        )
+
+
+def max_lanes_for_bitwidth(bits: int, register_bits: int = 32) -> int:
+    """Maximum carry-safe lanes for ``bits``-bit operands (uncapped rule)."""
+    if not 1 <= bits <= register_bits:
+        raise FormatError(f"bits must be in 1..{register_bits}, got {bits}")
+    return max(1, register_bits // (2 * bits))
+
+
+def policy_for_bitwidth(
+    bits: int, register_bits: int = 32, *, cap_lanes: int | None = 4
+) -> PackingPolicy:
+    """The Fig. 3 policy for operands of ``bits`` bits.
+
+    The paper's figure stops at 4 values per register even for sub-4-bit
+    operands, so ``cap_lanes`` defaults to 4; pass ``None`` to let 2-bit
+    operands pack 8-wide (an extension we explore in the ablations).
+
+    >>> policy_for_bitwidth(8).lanes, policy_for_bitwidth(8).field_bits
+    (2, 16)
+    >>> policy_for_bitwidth(5).lanes, policy_for_bitwidth(5).field_bits
+    (3, 10)
+    >>> policy_for_bitwidth(4).lanes
+    4
+    >>> policy_for_bitwidth(9).lanes
+    1
+    >>> policy_for_bitwidth(2, cap_lanes=None).lanes
+    8
+    """
+    lanes = max_lanes_for_bitwidth(bits, register_bits)
+    if cap_lanes is not None:
+        if cap_lanes < 1:
+            raise FormatError(f"cap_lanes must be >= 1, got {cap_lanes}")
+        lanes = min(lanes, cap_lanes)
+    field = register_bits // lanes
+    return PackingPolicy(
+        value_bits=bits, lanes=lanes, field_bits=field, register_bits=register_bits
+    )

@@ -1,0 +1,128 @@
+"""SWAR primitives: packed add and scalar multiply on 32-bit registers.
+
+These model the two instructions VitBit's packed GEMM actually issues on
+the INT pipe — one IMAD per (scalar, packed register) pair — and prove
+the carry-isolation property the paper relies on ("a single
+multiplication automatically completes the multiplications with packed
+values", Sec. 3.2).
+
+All functions take/return ``uint32`` arrays and work element-wise;
+``strict=True`` (the default) verifies that no lane overflowed its
+field, which is exactly the condition under which the hardware
+instruction is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OverflowBudgetError, PackingError
+from repro.packing.policy import PackingPolicy
+
+__all__ = ["packed_add", "packed_scalar_mul", "lane_extract", "lane_insert"]
+
+_U64_REG_MASK = np.uint64(0xFFFFFFFF)
+
+
+def _as_u64(x: np.ndarray) -> np.ndarray:
+    arr = np.asarray(x)
+    if arr.dtype != np.uint32:
+        raise PackingError(f"packed operands must be uint32, got {arr.dtype}")
+    return arr.astype(np.uint64)
+
+
+def _check_fits_register(wide: np.ndarray, what: str) -> None:
+    if wide.size and int(wide.max()) > int(_U64_REG_MASK):
+        raise OverflowBudgetError(
+            f"{what} overflowed the 32-bit register; the hardware instruction "
+            "would wrap and corrupt the top lane"
+        )
+
+
+def _lanes_of(wide: np.ndarray, policy: PackingPolicy) -> np.ndarray:
+    shifts = np.array(policy.shift_amounts, dtype=np.uint64)
+    return (wide[..., None] >> shifts) & np.uint64(policy.field_mask)
+
+
+def packed_add(
+    x: np.ndarray, y: np.ndarray, policy: PackingPolicy, *, strict: bool = True
+) -> np.ndarray:
+    """Lane-wise add via one 32-bit integer ADD.
+
+    Exact iff every lane sum fits its field.  With ``strict`` the
+    condition is checked (by recomputing lane-wise in 64 bits) and
+    :class:`~repro.errors.OverflowBudgetError` raised on violation;
+    without it the wrapped (hardware) result is returned.
+    """
+    xw, yw = _as_u64(x), _as_u64(y)
+    total = xw + yw
+    if strict:
+        lane_sum = _lanes_of(xw, policy) + _lanes_of(yw, policy)
+        if lane_sum.size and int(lane_sum.max()) > policy.field_mask:
+            raise OverflowBudgetError(
+                "packed_add: a lane sum exceeded its "
+                f"{policy.field_bits}-bit field"
+            )
+        _check_fits_register(total, "packed_add")
+    return (total & _U64_REG_MASK).astype(np.uint32)
+
+
+def packed_scalar_mul(
+    scalar: np.ndarray | int,
+    packed: np.ndarray,
+    policy: PackingPolicy,
+    *,
+    strict: bool = True,
+) -> np.ndarray:
+    """Multiply every lane by a non-negative scalar via one 32-bit multiply.
+
+    ``scalar`` broadcasts against ``packed``.  Exact iff each lane
+    product fits its field (the Fig. 3 sizing guarantees this when the
+    scalar respects the policy's ``value_bits``).
+    """
+    s = np.asarray(scalar, dtype=np.int64)
+    if s.size and int(s.min()) < 0:
+        raise PackingError(
+            "packed_scalar_mul requires non-negative scalars; sign-split "
+            "signed multipliers first (see repro.packing.gemm)"
+        )
+    sw = s.astype(np.uint64)
+    pw = _as_u64(packed)
+    total = sw * pw
+    if strict:
+        lane_prod = sw[..., None] * _lanes_of(pw, policy)
+        if lane_prod.size and int(lane_prod.max()) > policy.field_mask:
+            raise OverflowBudgetError(
+                "packed_scalar_mul: a lane product exceeded its "
+                f"{policy.field_bits}-bit field"
+            )
+        _check_fits_register(total, "packed_scalar_mul")
+    return (total & _U64_REG_MASK).astype(np.uint32)
+
+
+def lane_extract(packed: np.ndarray, lane: int, policy: PackingPolicy) -> np.ndarray:
+    """Read one lane's field contents (int64)."""
+    if not 0 <= lane < policy.lanes:
+        raise PackingError(f"lane {lane} out of range for {policy.lanes} lanes")
+    pw = _as_u64(packed)
+    return ((pw >> np.uint64(lane * policy.field_bits)) & np.uint64(policy.field_mask)).astype(
+        np.int64
+    )
+
+
+def lane_insert(
+    packed: np.ndarray, lane: int, values: np.ndarray, policy: PackingPolicy
+) -> np.ndarray:
+    """Overwrite one lane's field with ``values`` (must fit the field)."""
+    if not 0 <= lane < policy.lanes:
+        raise PackingError(f"lane {lane} out of range for {policy.lanes} lanes")
+    vals = np.asarray(values, dtype=np.int64)
+    if vals.size and (int(vals.min()) < 0 or int(vals.max()) > policy.field_mask):
+        raise PackingError(
+            f"lane_insert values must fit a {policy.field_bits}-bit field"
+        )
+    pw = _as_u64(packed)
+    shift = np.uint64(lane * policy.field_bits)
+    hole = ~(np.uint64(policy.field_mask) << shift) & _U64_REG_MASK
+    out = (pw & hole) | (vals.astype(np.uint64) << shift)
+    return out.astype(np.uint32)

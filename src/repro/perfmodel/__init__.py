@@ -1,0 +1,37 @@
+"""Performance model: prices kernels on the simulated Jetson.
+
+The model has two levels that share one instruction/byte accounting
+(:mod:`repro.perfmodel.descriptors` + :mod:`repro.perfmodel.warpsets`):
+
+* the **simulator path** (:class:`PerformanceModel`) builds the fused
+  kernel's warp set for a strategy and runs it through the
+  issue-loop simulator (:mod:`repro.sim`) — the reference model used by
+  all benchmarks;
+* the **analytic path** (:mod:`repro.perfmodel.analytic`) bounds the
+  same kernel by its busiest resource (INT/FP/Tensor pipe, issue slots,
+  DRAM) in closed form — a fast cross-check that
+  :mod:`repro.perfmodel.calibrate` validates against the simulator.
+"""
+
+from repro.perfmodel.descriptors import (
+    ELEMENTWISE_KERNELS,
+    CostParams,
+    ElementwiseDesc,
+    GemmShape,
+)
+from repro.perfmodel.model import KernelTiming, PerformanceModel
+from repro.perfmodel.analytic import analytic_gemm_seconds, analytic_elementwise_seconds
+from repro.perfmodel.calibrate import CalibrationReport, calibrate
+
+__all__ = [
+    "GemmShape",
+    "CostParams",
+    "ElementwiseDesc",
+    "ELEMENTWISE_KERNELS",
+    "PerformanceModel",
+    "KernelTiming",
+    "analytic_gemm_seconds",
+    "analytic_elementwise_seconds",
+    "calibrate",
+    "CalibrationReport",
+]

@@ -1,0 +1,95 @@
+"""Closed-form resource-bound model (fast cross-check of the simulator).
+
+A kernel's time is bounded below by each resource it uses:
+
+* each ALU pipe: ``instructions x initiation_interval`` cycles,
+* the issue slots: total instructions (one per scheduler per cycle),
+* the Tensor pipe: MMA instructions x its interval,
+* DRAM: bytes / effective bandwidth.
+
+All pipe bounds are per sub-partition (instructions divide evenly over
+``sm_count x partitions`` schedulers for the homogeneous grids used
+here); the kernel runs at the max of the bounds.  The simulator adds
+second-order effects (issue-slot interference between roles, warp
+granularity); :mod:`repro.perfmodel.calibrate` checks the two agree.
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import MachineSpec
+from repro.fusion.ratio import PAPER_TENSOR_CUDA_RATIO
+from repro.fusion.strategies import Strategy
+from repro.packing.policy import PackingPolicy
+from repro.perfmodel.descriptors import CostParams, ElementwiseDesc, GemmShape
+from repro.perfmodel.warpsets import (
+    elementwise_bytes,
+    elementwise_instruction_totals,
+    gemm_bytes,
+    gemm_instruction_totals,
+)
+from repro.sim.instruction import OpClass, default_timings
+from repro.sim.memory import DramModel
+
+__all__ = ["analytic_gemm_seconds", "analytic_elementwise_seconds", "analytic_seconds"]
+
+
+def analytic_seconds(
+    machine: MachineSpec,
+    totals: dict[OpClass, float],
+    nbytes: float,
+    *,
+    include_launch_overhead: bool = True,
+) -> float:
+    """Max-of-bounds time for grid-wide instruction totals + bytes."""
+    timings = default_timings(machine.sm)
+    schedulers = machine.sm_count * machine.sm.partitions
+    pipe_bounds = [
+        totals.get(op, 0.0) * t.initiation_interval / schedulers
+        for op, t in timings.items()
+    ]
+    issue_bound = sum(totals.values()) / schedulers
+    cycles = max(pipe_bounds + [issue_bound])
+    seconds = machine.cycles_to_seconds(cycles)
+    seconds = max(seconds, DramModel(machine).transfer_seconds(nbytes))
+    if include_launch_overhead:
+        seconds += machine.kernel_launch_overhead_us * 1e-6
+    return seconds
+
+
+def analytic_gemm_seconds(
+    shape: GemmShape,
+    strategy: Strategy,
+    machine: MachineSpec,
+    policy: PackingPolicy,
+    params: CostParams | None = None,
+    *,
+    tensor_cuda_ratio: float = PAPER_TENSOR_CUDA_RATIO,
+    include_launch_overhead: bool = True,
+) -> float:
+    """Closed-form GEMM time under ``strategy``."""
+    params = params if params is not None else CostParams()
+    plan = strategy.split_plan(shape.n, policy, tensor_cuda_ratio)
+    totals = gemm_instruction_totals(shape, plan, policy, params)
+    nbytes = gemm_bytes(shape, plan, policy)
+    return analytic_seconds(
+        machine, totals, nbytes, include_launch_overhead=include_launch_overhead
+    )
+
+
+def analytic_elementwise_seconds(
+    desc: ElementwiseDesc,
+    n_elements: int,
+    strategy: Strategy,
+    machine: MachineSpec,
+    policy: PackingPolicy,
+    params: CostParams | None = None,
+    *,
+    include_launch_overhead: bool = True,
+) -> float:
+    """Closed-form elementwise-kernel time under ``strategy``."""
+    params = params if params is not None else CostParams()
+    totals = elementwise_instruction_totals(desc, n_elements, strategy, policy)
+    nbytes = elementwise_bytes(desc, n_elements, strategy, policy, params)
+    return analytic_seconds(
+        machine, totals, nbytes, include_launch_overhead=include_launch_overhead
+    )

@@ -1,0 +1,123 @@
+"""Cross-validation of the analytic model against the simulator.
+
+The analytic bounds ignore issue interference between warp roles; the
+simulator resolves it cycle by cycle.  :func:`calibrate` runs both on a
+grid of (shape, strategy) points and reports per-point and aggregate
+disagreement, raising :class:`~repro.errors.CalibrationError` when the
+two models diverge beyond tolerance — the regression guard that keeps
+the fast analytic path honest as cost parameters evolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CalibrationError
+from repro.arch.specs import MachineSpec
+from repro.fusion.strategies import STRATEGIES, Strategy
+from repro.packing.policy import PackingPolicy, policy_for_bitwidth
+from repro.perfmodel.analytic import analytic_gemm_seconds
+from repro.perfmodel.descriptors import CostParams, GemmShape
+from repro.perfmodel.model import PerformanceModel
+
+__all__ = ["CalibrationPoint", "CalibrationReport", "calibrate"]
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One (shape, strategy) comparison."""
+
+    shape: GemmShape
+    strategy: str
+    simulated_seconds: float
+    analytic_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """simulated / analytic (1.0 = perfect agreement; > 1 means the
+        simulator found interference the bounds miss)."""
+        return self.simulated_seconds / self.analytic_seconds
+
+
+@dataclass
+class CalibrationReport:
+    """All comparison points plus aggregate statistics."""
+
+    points: list[CalibrationPoint] = field(default_factory=list)
+
+    @property
+    def worst_ratio(self) -> float:
+        """Largest |log-ratio| disagreement as a multiplicative factor."""
+        worst = 1.0
+        for p in self.points:
+            r = p.ratio if p.ratio >= 1 else 1 / p.ratio
+            worst = max(worst, r)
+        return worst
+
+    @property
+    def mean_ratio(self) -> float:
+        """Arithmetic mean of simulated/analytic ratios."""
+        if not self.points:
+            return 1.0
+        return sum(p.ratio for p in self.points) / len(self.points)
+
+
+DEFAULT_SHAPES = (
+    GemmShape(768, 197, 768, name="proj"),
+    GemmShape(3072, 197, 768, name="fc1"),
+)
+
+
+def calibrate(
+    machine: MachineSpec,
+    policy: PackingPolicy | None = None,
+    params: CostParams | None = None,
+    *,
+    shapes: tuple[GemmShape, ...] = DEFAULT_SHAPES,
+    strategies: tuple[Strategy, ...] = STRATEGIES,
+    tolerance: float = 1.6,
+) -> CalibrationReport:
+    """Compare simulator vs analytic bounds over a strategy/shape grid.
+
+    ``tolerance`` is the allowed multiplicative disagreement; the
+    simulator legitimately runs somewhat slower than the bounds
+    (issue interference), so tolerances are one-sided-ish but applied
+    symmetrically for safety.
+    """
+    policy = policy if policy is not None else policy_for_bitwidth(8)
+    params = params if params is not None else CostParams()
+    pm = PerformanceModel(
+        machine, policy, params, include_launch_overhead=False
+    )
+    report = CalibrationReport()
+    for shape in shapes:
+        for strategy in strategies:
+            if not strategy.uses_tensor and strategy.name in ("FC",):
+                # FC on a full GEMM exceeds FP32's exact window for the
+                # functional kernels, but timing-wise it is fine; keep it.
+                pass
+            sim = pm.time_gemm(shape, strategy).seconds
+            ana = analytic_gemm_seconds(
+                shape,
+                strategy,
+                machine,
+                policy,
+                params,
+                include_launch_overhead=False,
+            )
+            report.points.append(
+                CalibrationPoint(
+                    shape=shape,
+                    strategy=strategy.name,
+                    simulated_seconds=sim,
+                    analytic_seconds=ana,
+                )
+            )
+    if report.worst_ratio > tolerance:
+        bad = max(report.points, key=lambda p: max(p.ratio, 1 / p.ratio))
+        raise CalibrationError(
+            f"simulator and analytic model disagree by {report.worst_ratio:.2f}x "
+            f"(worst: {bad.strategy} on {bad.shape.label()}); "
+            f"tolerance is {tolerance:.2f}x"
+        )
+    return report

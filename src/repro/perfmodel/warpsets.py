@@ -1,0 +1,415 @@
+"""Kernel -> warp-set lowering: the shared accounting of the model.
+
+For a GEMM (or elementwise kernel) under a Table 3 strategy, this
+module computes
+
+* grid-total instruction counts per pipe (also used analytically and by
+  the Fig. 9 instruction-count benchmark),
+* grid-total DRAM bytes,
+* the warp set resident on one representative SM — role mix, per-role
+  loop bodies, iteration counts — that the issue-loop simulator runs.
+
+The warp-role layout follows Sec. 3.3: a small fixed population of
+Tensor-core warps per block, the rest alternating INT/FP per
+:func:`repro.fusion.schedule.interleave_warp_roles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelConfigError, ScheduleError
+from repro.arch.specs import MachineSpec
+from repro.fusion.schedule import interleave_warp_roles
+from repro.fusion.strategies import Strategy
+from repro.packing.accumulate import safe_accumulation_depth
+from repro.packing.policy import PackingPolicy
+from repro.perfmodel.descriptors import CostParams, ElementwiseDesc, GemmShape
+from repro.preprocess.split import SplitPlan
+from repro.sim.instruction import OpClass, default_timings
+from repro.sim.program import WarpProgram
+
+__all__ = ["KernelLaunch", "gemm_launch", "elementwise_launch"]
+
+#: Threads per warp (fixed across the model).
+_WARP = 32
+#: MACs per simulated Tensor MMA instruction (matches sim.instruction).
+_TC_MACS = 4096
+#: Maximum Tensor-role warps per SM (1 per sub-partition keeps the
+#: Tensor pipe saturated — its initiation interval dwarfs the warp's
+#: per-MMA issue needs — without starving CUDA-role residency).
+_MAX_TC_WARPS = 4
+
+
+@dataclass
+class KernelLaunch:
+    """A kernel lowered for simulation.
+
+    ``warps`` is the resident set of one representative SM with
+    iteration counts already scaled to that SM's share of the grid.
+    ``instruction_totals`` and ``bytes_moved`` are grid-wide.
+    """
+
+    warps: list[WarpProgram]
+    bytes_moved: float
+    instruction_totals: dict[OpClass, float]
+    plan: SplitPlan | None = None
+    label: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_instructions(self) -> float:
+        """Grid-wide instruction count."""
+        return sum(self.instruction_totals.values())
+
+
+def _body(mix: dict[OpClass, float], granularity: int) -> tuple[tuple[OpClass, int], ...]:
+    """Quantize a fractional per-iteration op mix into integer segments.
+
+    The mix is scaled so its largest entry becomes ``granularity``
+    instructions; entries rounding to zero are dropped (their cost is
+    below the model's resolution).
+    """
+    peak = max((v for v in mix.values() if v > 0), default=0.0)
+    if peak <= 0:
+        return ()
+    scale = granularity / peak
+    segs = []
+    # Fixed emission order keeps bodies deterministic; LSU first models
+    # the load-then-compute structure of the steady-state loop.
+    for op in (OpClass.LSU, OpClass.MISC, OpClass.INT, OpClass.FP,
+               OpClass.SFU, OpClass.TENSOR):
+        count = round(mix.get(op, 0.0) * scale)
+        if count > 0:
+            segs.append((op, count))
+    return tuple(segs)
+
+
+def _round_role(n: float, partitions: int, lo: int, hi: int) -> int:
+    """Round a role's warp count to a multiple of ``partitions``.
+
+    Warps are dealt round-robin to sub-partitions, so non-multiple role
+    populations land unevenly (6 INT warps on one scheduler, 5 on the
+    next) and the SM finishes at the slowest partition; multiples keep
+    per-partition role work equal.
+    """
+    mult = max(lo // partitions if lo else 0, round(n / partitions))
+    mult = max(mult, 1 if n > 0 else 0)
+    return min(hi, mult * partitions)
+
+
+def _warps_for_role(
+    body: tuple[tuple[OpClass, int], ...],
+    role_instr_per_sm: float,
+    n_warps: int,
+) -> list[WarpProgram]:
+    """Build ``n_warps`` identical warps covering a role's per-SM work."""
+    if not body or role_instr_per_sm <= 0 or n_warps <= 0:
+        return []
+    instr_per_iter = sum(c for _, c in body)
+    iters_total = role_instr_per_sm / instr_per_iter
+    iters_per_warp = max(1, round(iters_total / n_warps))
+    return [WarpProgram(body=body, iterations=iters_per_warp) for _ in range(n_warps)]
+
+
+def _interleaved(
+    tc: list[WarpProgram],
+    ints: list[WarpProgram],
+    fps: list[WarpProgram],
+    alternate: bool,
+    partitions: int,
+) -> list[WarpProgram]:
+    roles = interleave_warp_roles(
+        len(tc), len(ints), len(fps), alternate=alternate, group=partitions
+    )
+    it_tc, it_int, it_fp = iter(tc), iter(ints), iter(fps)
+    out = []
+    for r in roles:
+        out.append(next(it_tc if r == "tensor" else it_int if r == "int" else it_fp))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# GEMM
+# ---------------------------------------------------------------------------
+
+
+def gemm_instruction_totals(
+    shape: GemmShape,
+    plan: SplitPlan,
+    policy: PackingPolicy,
+    params: CostParams,
+) -> dict[OpClass, float]:
+    """Grid-wide instruction counts of the fused GEMM under ``plan``."""
+    lanes = max(1, plan.lanes)
+    i_tc = shape.m * plan.n3 * shape.k / _TC_MACS
+    i_int = shape.m * plan.n1 * shape.k / (_WARP * lanes)
+    if lanes > 1 and params.count_spills and plan.n1:
+        depth = safe_accumulation_depth(
+            policy, policy.value_bits - 1, policy.value_bits
+        )
+        i_int += i_int / depth
+    if lanes > 1 and params.count_sign_split and plan.n1:
+        i_int *= 2
+    i_fp = shape.m * plan.n2 * shape.k / _WARP
+    alu = i_int + i_fp
+    return {
+        OpClass.TENSOR: i_tc,
+        OpClass.INT: i_int,
+        OpClass.FP: i_fp,
+        OpClass.LSU: alu * params.gemm_loads_per_alu + i_tc * params.loads_per_mma,
+        OpClass.MISC: alu * params.gemm_misc_per_alu,
+    }
+
+
+def gemm_bytes(shape: GemmShape, plan: SplitPlan, policy: PackingPolicy) -> float:
+    """Grid-wide DRAM traffic of the fused GEMM (int8 operands).
+
+    Packed B1 moves as full registers (field-width bits per value), the
+    FP slice as float32, the Tensor slice as int8; the weight matrix is
+    read once per engaged format.  Outputs are requantized in the
+    kernel epilogue (the I-ViT pipeline the paper adopts), so C leaves
+    as int8 — packed-slice outputs stay packed at field width.
+    """
+    k, m = shape.k, shape.m
+    lanes = max(1, plan.lanes)
+    field_bytes = max(1, policy.field_bits // 8) if lanes > 1 else 1
+    b_bytes = k * (plan.n1 // lanes) * 4 + k * plan.n2 * 4 + k * plan.n3 * 1
+    a_bytes = 0.0
+    if plan.n1 or plan.n3:
+        a_bytes += m * k * 1  # A1 (int8)
+    if plan.n2:
+        a_bytes += m * k * 4  # A2 (float32 duplicate)
+    c_bytes = m * plan.n1 * field_bytes + m * plan.n2 * 1 + m * plan.n3 * 1
+    return float(a_bytes + b_bytes + c_bytes)
+
+
+def gemm_launch(
+    shape: GemmShape,
+    strategy: Strategy,
+    machine: MachineSpec,
+    policy: PackingPolicy,
+    params: CostParams,
+    tensor_cuda_ratio: float,
+) -> KernelLaunch:
+    """Lower a GEMM under ``strategy`` into a simulatable warp set."""
+    plan = strategy.split_plan(shape.n, policy, tensor_cuda_ratio)
+    totals = gemm_instruction_totals(shape, plan, policy, params)
+    nbytes = gemm_bytes(shape, plan, policy)
+
+    sm = machine.sm
+    timings = default_timings(sm)
+    g = params.body_granularity
+    lam, mu = params.gemm_loads_per_alu, params.gemm_misc_per_alu
+
+    # Per-role loop bodies (steady-state inner loops).
+    tc_body = _body(
+        {OpClass.LSU: params.loads_per_mma, OpClass.TENSOR: 1}, granularity=4
+    )
+    int_body = _body({OpClass.LSU: lam, OpClass.MISC: mu, OpClass.INT: 1.0}, g)
+    fp_body = _body({OpClass.LSU: lam, OpClass.MISC: mu, OpClass.FP: 1.0}, g)
+
+    # Role residency: a fixed small Tensor population, CUDA warps split
+    # by pipe demand.
+    resident = min(params.resident_warps, sm.max_warps_per_sm)
+    i_tc, i_int, i_fp = (
+        totals[OpClass.TENSOR],
+        totals[OpClass.INT],
+        totals[OpClass.FP],
+    )
+    n_tc = min(_MAX_TC_WARPS, resident) if i_tc > 0 else 0
+    cuda_slots = resident - n_tc
+    d_int = i_int * timings[OpClass.INT].initiation_interval
+    d_fp = i_fp * timings[OpClass.FP].initiation_interval
+    if d_int + d_fp > 0:
+        raw_int = cuda_slots * d_int / (d_int + d_fp) if i_int > 0 else 0.0
+        n_int = _round_role(raw_int, sm.partitions, sm.partitions, cuda_slots)
+        if i_fp > 0:
+            n_fp = _round_role(
+                cuda_slots - n_int, sm.partitions, sm.partitions, cuda_slots
+            )
+            if n_int + n_fp > cuda_slots:
+                n_int = cuda_slots - n_fp
+        else:
+            n_fp = 0
+    else:
+        n_int = n_fp = 0
+    if i_int <= 0:
+        n_int = 0
+
+    sms = machine.sm_count
+    warps = _interleaved(
+        _warps_for_role(tc_body, i_tc * (1 + params.loads_per_mma) / sms, n_tc),
+        _warps_for_role(int_body, i_int * (1 + lam + mu) / sms, n_int),
+        _warps_for_role(fp_body, i_fp * (1 + lam + mu) / sms, n_fp),
+        params.alternate_warps,
+        sm.partitions,
+    )
+    if not warps:
+        raise ScheduleError(
+            f"strategy {strategy.name} produced no work for GEMM {shape.label()}"
+        )
+    return KernelLaunch(
+        warps=warps,
+        bytes_moved=nbytes,
+        instruction_totals=totals,
+        plan=plan,
+        label=f"{strategy.name}:{shape.label()}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Elementwise (CUDA-core) kernels
+# ---------------------------------------------------------------------------
+
+
+def _elementwise_split(
+    strategy: Strategy, policy: PackingPolicy
+) -> tuple[float, bool]:
+    """(fraction of elements on the INT path, whether that path is packed)."""
+    if strategy.uses_int and strategy.uses_fp:
+        if strategy.packing:
+            lanes = policy.lanes
+            return lanes / (lanes + 1.0), True  # Eq. 1
+        return 0.5, False
+    if strategy.uses_int:
+        return 1.0, strategy.packing
+    if strategy.uses_fp:
+        return 0.0, False
+    raise ModelConfigError(
+        f"strategy {strategy.name} engages no CUDA pipes; it cannot run "
+        "CUDA-core kernels"
+    )
+
+
+def elementwise_instruction_totals(
+    desc: ElementwiseDesc,
+    n_elements: int,
+    strategy: Strategy,
+    policy: PackingPolicy,
+) -> dict[OpClass, float]:
+    """Grid-wide instruction counts of one elementwise kernel."""
+    if n_elements < 0:
+        raise ModelConfigError(f"n_elements must be >= 0, got {n_elements}")
+    x, packed = _elementwise_split(strategy, policy)
+    lanes = policy.lanes if packed else 1
+    pf = desc.packable_fraction if packed else 0.0
+    reduce_f = pf / lanes + (1.0 - pf)  # per-op shrink on the packed path
+
+    e_int = n_elements * x
+    e_fp = n_elements * (1.0 - x)
+
+    int_ops = e_int * (desc.int_ops * reduce_f + desc.addr_int_ops / lanes)
+    misc_ops = e_int * desc.misc_ops * reduce_f
+    lsu = e_int * (desc.loads + desc.stores) / lanes
+    sfu = e_int * desc.sfu_ops
+
+    int_ops += e_fp * desc.addr_int_ops
+    fp_ops = e_fp * (desc.fp_ops + desc.convert_ops)
+    misc_ops += e_fp * desc.misc_ops * 0.5  # float variants carry less predication
+    lsu += e_fp * (desc.loads + desc.stores)
+    sfu += e_fp * desc.sfu_ops
+
+    return {
+        OpClass.INT: int_ops / _WARP,
+        OpClass.FP: fp_ops / _WARP,
+        OpClass.MISC: misc_ops / _WARP,
+        OpClass.LSU: lsu / _WARP,
+        OpClass.SFU: sfu / _WARP,
+        OpClass.TENSOR: 0.0,
+    }
+
+
+def elementwise_bytes(
+    desc: ElementwiseDesc,
+    n_elements: int,
+    strategy: Strategy,
+    policy: PackingPolicy,
+    params: CostParams,
+) -> float:
+    """Grid-wide DRAM traffic; the packed slice moves compacted fields."""
+    x, packed = _elementwise_split(strategy, policy)
+    base = desc.bytes_per_element
+    if packed:
+        per_elem = x * base * params.packed_byte_factor + (1 - x) * base
+    else:
+        per_elem = base
+    return float(n_elements * per_elem)
+
+
+def elementwise_launch(
+    desc: ElementwiseDesc,
+    n_elements: int,
+    strategy: Strategy,
+    machine: MachineSpec,
+    policy: PackingPolicy,
+    params: CostParams,
+) -> KernelLaunch:
+    """Lower an elementwise kernel under ``strategy`` into a warp set."""
+    totals = elementwise_instruction_totals(desc, n_elements, strategy, policy)
+    nbytes = elementwise_bytes(desc, n_elements, strategy, policy, params)
+    x, packed = _elementwise_split(strategy, policy)
+    lanes = policy.lanes if packed else 1
+    pf = desc.packable_fraction if packed else 0.0
+    reduce_f = pf / lanes + (1.0 - pf)
+    g = params.body_granularity
+
+    int_body = _body(
+        {
+            OpClass.LSU: (desc.loads + desc.stores) / lanes,
+            OpClass.MISC: desc.misc_ops * reduce_f,
+            OpClass.INT: desc.int_ops * reduce_f + desc.addr_int_ops / lanes,
+            OpClass.SFU: desc.sfu_ops,
+        },
+        g,
+    )
+    fp_body = _body(
+        {
+            OpClass.LSU: desc.loads + desc.stores,
+            OpClass.MISC: desc.misc_ops * 0.5,
+            OpClass.INT: desc.addr_int_ops,
+            OpClass.FP: desc.fp_ops + desc.convert_ops,
+            OpClass.SFU: desc.sfu_ops,
+        },
+        g,
+    )
+
+    sm = machine.sm
+    resident = min(params.resident_warps, sm.max_warps_per_sm)
+    n_int = (
+        _round_role(resident * x, sm.partitions, sm.partitions, resident)
+        if x > 0
+        else 0
+    )
+    if x < 1:
+        n_fp = _round_role(
+            resident - n_int, sm.partitions, sm.partitions, resident
+        )
+        if n_int + n_fp > resident:
+            n_int = resident - n_fp
+    else:
+        n_fp = 0
+
+    sms = machine.sm_count
+    # Split grid totals by path weight (elements routed to each path).
+    total_instr = sum(totals.values())
+    int_path_weight = x
+    fp_path_weight = 1.0 - x
+    warps = _interleaved(
+        [],
+        _warps_for_role(int_body, total_instr * int_path_weight / sms, n_int),
+        _warps_for_role(fp_body, total_instr * fp_path_weight / sms, n_fp),
+        params.alternate_warps,
+        sm.partitions,
+    )
+    if not warps:
+        raise ScheduleError(
+            f"strategy {strategy.name} produced no work for kernel {desc.name}"
+        )
+    return KernelLaunch(
+        warps=warps,
+        bytes_moved=nbytes,
+        instruction_totals=totals,
+        label=f"{strategy.name}:{desc.name}",
+        extra={"int_fraction": x, "packed": packed},
+    )

@@ -1,0 +1,32 @@
+"""VitBit data preprocessing (Sec. 3.2, Algorithm 1).
+
+Splits the input matrix B column-wise into the three slices consumed by
+the fused kernel — B1 (packed integers, INT cores), B2 (converted to
+floating point, FP cores), B3 (zero-masked integers, Tensor cores) —
+and duplicates the weight matrix A in INT and FP formats.
+"""
+
+from repro.preprocess.split import SplitPlan, SplitMatrices, plan_split, split_matrix
+from repro.preprocess.convert import (
+    duplicate_weights,
+    int_to_float_exact,
+    restore_outputs,
+)
+from repro.preprocess.pipeline import (
+    PreprocessResult,
+    estimate_preprocess_seconds,
+    preprocess_input,
+)
+
+__all__ = [
+    "SplitPlan",
+    "SplitMatrices",
+    "plan_split",
+    "split_matrix",
+    "duplicate_weights",
+    "int_to_float_exact",
+    "restore_outputs",
+    "PreprocessResult",
+    "preprocess_input",
+    "estimate_preprocess_seconds",
+]

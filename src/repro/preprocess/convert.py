@@ -1,0 +1,81 @@
+"""Type conversions of the preprocessing stage (Algorithm 1 + Sec. 3.2).
+
+* :func:`duplicate_weights` — Step 1: the INT filter matrix A is
+  duplicated as A1 (integer) and A2 (float32 carrying the same
+  fixed-point values), done once at model-load time;
+* :func:`int_to_float_exact` — the checked int → float32 conversion
+  used for the B2 slice;
+* :func:`restore_outputs` — reassembles a full output matrix from the
+  per-pipe partial outputs after a fused GEMM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SplitError
+from repro.preprocess.split import SplitPlan
+from repro.utils.validation import check_dtype_integer, check_shape_2d
+
+__all__ = ["duplicate_weights", "int_to_float_exact", "restore_outputs"]
+
+#: Largest integer magnitude float32 represents exactly (2**24).
+_FP32_EXACT_LIMIT = 1 << 24
+
+
+def int_to_float_exact(values: np.ndarray) -> np.ndarray:
+    """Cast integers to float32, refusing values that would round.
+
+    The paper's correctness rests on int8 -> FP32 being lossless; this
+    guard turns a silent precision bug into a hard error if a caller
+    ever pushes 25-bit-plus integers down the FP path.
+    """
+    check_dtype_integer("values", values)
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.size and int(np.max(np.abs(arr))) > _FP32_EXACT_LIMIT:
+        raise SplitError(
+            "integer magnitudes exceed float32's exact range (2**24); "
+            "the FP CUDA-core slice would silently round"
+        )
+    return arr.astype(np.float32)
+
+
+def duplicate_weights(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Step 1: produce (A1 int64, A2 float32) views of the weight matrix.
+
+    Done once per model load; the paper counts this as negligible
+    one-time overhead.
+    """
+    check_dtype_integer("a", a)
+    check_shape_2d("a", a)
+    a1 = np.asarray(a, dtype=np.int64)
+    a2 = int_to_float_exact(a1)
+    return a1, a2
+
+
+def restore_outputs(
+    c1: np.ndarray, c2: np.ndarray, c3: np.ndarray, plan: SplitPlan
+) -> np.ndarray:
+    """Concatenate per-pipe GEMM outputs back into one (M, N) int64 matrix.
+
+    ``c1`` comes from the INT pipe (already unpacked to int64 columns),
+    ``c2`` from the FP pipe (float32, integer-valued — converted back
+    exactly), ``c3`` from the Tensor cores.
+    """
+    c1a = np.asarray(c1)
+    c2a = np.asarray(c2)
+    c3a = np.asarray(c3)
+    if c1a.shape[1] != plan.n1 or c2a.shape[1] != plan.n2 or c3a.shape[1] != plan.n3:
+        raise SplitError(
+            f"output slices {c1a.shape[1]}/{c2a.shape[1]}/{c3a.shape[1]} do not "
+            f"match plan {plan.n1}/{plan.n2}/{plan.n3}"
+        )
+    if np.issubdtype(c2a.dtype, np.floating):
+        c2_int = np.rint(c2a).astype(np.int64)
+        if c2a.size and not np.array_equal(c2_int.astype(c2a.dtype), c2a):
+            raise SplitError("FP-pipe outputs are not integer-valued")
+    else:
+        c2_int = c2a.astype(np.int64)
+    return np.concatenate(
+        [c1a.astype(np.int64), c2_int, c3a.astype(np.int64)], axis=1
+    )

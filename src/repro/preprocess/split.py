@@ -1,0 +1,168 @@
+"""Algorithm 1: column-wise splitting of the input matrix.
+
+The paper splits matrix B (the GEMM input) by *width*:
+
+* ``N3 = N * m / (1 + m)`` columns go to the Tensor cores,
+* of the remaining CUDA-core columns, ``n : 1`` go to the INT and FP
+  pipes (Eq. 1: packing n values per register makes the INT pipe
+  retire n columns per instruction, so giving it n times the data
+  equalizes the two pipes' *instruction* counts),
+* the INT slice is then packed ``n``-wide.
+
+We keep the paper's variable names (m = Tensor/CUDA ratio, n = INT/FP
+ratio = packing factor) and convention that splitting happens along the
+output-column axis.  All rounding respects register-group granularity:
+N1 is forced to a multiple of the packing lane count so no register
+straddles the B1/B2 boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SplitError
+from repro.packing.packer import Packer
+from repro.packing.policy import PackingPolicy
+from repro.utils.validation import check_dtype_integer, check_shape_2d
+
+__all__ = ["SplitPlan", "SplitMatrices", "plan_split", "split_matrix"]
+
+
+@dataclass(frozen=True)
+class SplitPlan:
+    """Column counts for the B1/B2/B3 slices of an N-column matrix.
+
+    ``n1`` columns feed the INT pipe (packed into ``n1 // lanes``
+    register groups), ``n2`` the FP pipe, ``n3`` the Tensor cores;
+    ``n1 + n2 + n3 == n_total``.
+    """
+
+    n_total: int
+    n1: int
+    n2: int
+    n3: int
+    tensor_cuda_ratio: float
+    int_fp_ratio: int
+    lanes: int
+
+    def __post_init__(self) -> None:
+        if min(self.n1, self.n2, self.n3) < 0:
+            raise SplitError(f"negative slice width in {self}")
+        if self.n1 + self.n2 + self.n3 != self.n_total:
+            raise SplitError(
+                f"slices {self.n1}+{self.n2}+{self.n3} != total {self.n_total}"
+            )
+        if self.lanes >= 1 and self.n1 % self.lanes:
+            raise SplitError(
+                f"INT slice of {self.n1} columns is not a multiple of "
+                f"{self.lanes} packing lanes"
+            )
+
+    @property
+    def n1_registers(self) -> int:
+        """Packed register groups holding the INT slice."""
+        return self.n1 // self.lanes if self.lanes else 0
+
+    @property
+    def cuda_columns(self) -> int:
+        """Columns handled by CUDA cores (INT + FP)."""
+        return self.n1 + self.n2
+
+
+@dataclass
+class SplitMatrices:
+    """The three slices of B after Algorithm 1.
+
+    ``b1_packed`` is uint32 (K x n1/lanes); ``b1_raw`` keeps the
+    unpacked INT slice for verification; ``b2`` is float32; ``b3`` is
+    the Tensor-core INT slice (int64 payloads, conceptually zero-masked
+    into 32-bit registers).
+    """
+
+    plan: SplitPlan
+    b1_packed: np.ndarray
+    b1_raw: np.ndarray
+    b2: np.ndarray
+    b3: np.ndarray
+
+
+def plan_split(
+    n_total: int,
+    tensor_cuda_ratio: float,
+    policy: PackingPolicy,
+    *,
+    int_fp_ratio: int | None = None,
+) -> SplitPlan:
+    """Compute slice widths (Algorithm 1 lines 3-6).
+
+    ``tensor_cuda_ratio`` is the paper's ``m`` (4 in their study: Tensor
+    cores get m columns for every CUDA-core column).  ``int_fp_ratio``
+    is the paper's ``n`` and defaults to the packing factor
+    ``policy.lanes`` per Eq. 1.  ``m = 0`` models a CUDA-core-only
+    kernel; a huge ``m`` degenerates to Tensor-only.
+    """
+    if n_total < 0:
+        raise SplitError(f"matrix width must be >= 0, got {n_total}")
+    if tensor_cuda_ratio < 0:
+        raise SplitError(f"tensor/CUDA ratio must be >= 0, got {tensor_cuda_ratio}")
+    n = int_fp_ratio if int_fp_ratio is not None else policy.lanes
+    if n < 0:
+        raise SplitError(f"INT/FP ratio must be >= 0, got {n}")
+
+    m = tensor_cuda_ratio
+    n3 = int(round(n_total * m / (1.0 + m)))
+    cuda = n_total - n3
+    if n == 0:  # FP-only CUDA slice
+        n1 = 0
+    else:
+        n1 = int(round(cuda * n / (1.0 + n)))
+        n1 -= n1 % policy.lanes  # keep register groups intact
+    n2 = cuda - n1
+    return SplitPlan(
+        n_total=n_total,
+        n1=n1,
+        n2=n2,
+        n3=n3,
+        tensor_cuda_ratio=m,
+        int_fp_ratio=n,
+        lanes=policy.lanes,
+    )
+
+
+def split_matrix(
+    b: np.ndarray, plan: SplitPlan, policy: PackingPolicy
+) -> SplitMatrices:
+    """Slice and convert B per ``plan`` (Algorithm 1 lines 7-35).
+
+    ``b`` is (K, N) with non-negative entries fitting the policy's lane
+    bitwidth (activations are zero-point offset upstream).  Columns
+    ``[0, n1)`` are packed, ``[n1, n1+n2)`` cast to float32 (exact for
+    <= 24-bit integers), and the rest passed through for Tensor cores.
+    """
+    check_dtype_integer("b", b)
+    check_shape_2d("b", b)
+    arr = np.asarray(b, dtype=np.int64)
+    if arr.shape[1] != plan.n_total:
+        raise SplitError(
+            f"matrix has {arr.shape[1]} columns but plan covers {plan.n_total}"
+        )
+    if plan.lanes != policy.lanes:
+        raise SplitError("plan was computed for a different packing policy")
+
+    b1_raw = arr[:, : plan.n1]
+    b2_raw = arr[:, plan.n1 : plan.n1 + plan.n2]
+    b3 = arr[:, plan.n1 + plan.n2 :]
+
+    packer = Packer(policy)
+    b1_packed = (
+        packer.pack(b1_raw) if plan.n1 else np.zeros((arr.shape[0], 0), dtype=np.uint32)
+    )
+    b2 = b2_raw.astype(np.float32)
+    if b2.size and not np.array_equal(b2.astype(np.int64), b2_raw):
+        raise SplitError(
+            "float conversion of the B2 slice is not exact; values exceed "
+            "the FP32 24-bit integer window"
+        )
+    return SplitMatrices(plan=plan, b1_packed=b1_packed, b1_raw=b1_raw, b2=b2, b3=b3)

@@ -1,0 +1,41 @@
+"""Cycle-approximate GPU simulator.
+
+This is the hardware substrate the reproduction runs on instead of a
+physical Jetson: a warp-scheduler/issue-port model of an Ampere SM with
+separate INT, FP, Tensor, load-store and SFU pipes.  It is *cycle
+approximate*: instruction streams are compressed (loop bodies x
+iterations), dependencies are modelled as a per-warp issue gap, and
+DRAM is a bandwidth bound applied at kernel granularity — enough to
+reproduce the paper's concurrency, IPC and instruction-count effects,
+at pure-Python speed.
+
+Typical use::
+
+    from repro.arch import jetson_orin_agx
+    from repro.sim import GPUSim, WarpProgram, OpClass
+
+    machine = jetson_orin_agx()
+    gpu = GPUSim(machine)
+    prog = WarpProgram.loop([(OpClass.LSU, 1), (OpClass.INT, 4)], iterations=64)
+    stats = gpu.run_kernel([prog] * 32, bytes_moved=1 << 20)
+    print(stats.ipc, stats.pipe_utilization[OpClass.INT])
+"""
+
+from repro.sim.instruction import OpClass, PipeTiming, default_timings
+from repro.sim.program import WarpProgram
+from repro.sim.smsim import SubPartitionSim, SMSim
+from repro.sim.gpu import GPUSim
+from repro.sim.memory import DramModel
+from repro.sim.trace import KernelStats
+
+__all__ = [
+    "OpClass",
+    "PipeTiming",
+    "default_timings",
+    "WarpProgram",
+    "SubPartitionSim",
+    "SMSim",
+    "GPUSim",
+    "DramModel",
+    "KernelStats",
+]

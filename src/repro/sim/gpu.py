@@ -1,0 +1,122 @@
+"""Whole-GPU kernel launch simulation.
+
+A kernel launch provides the warps resident on one *representative SM
+wave* (the grid is assumed homogeneous across SMs, true for the tiled
+GEMM and elementwise kernels this reproduction uses) plus the total
+grid size and DRAM traffic.  The GPU simulator runs the representative
+SM through the issue loop, scales to the number of waves, and applies
+the DRAM roofline:
+
+``kernel_cycles = max(compute_cycles, dram_cycles) + launch_overhead``.
+
+IPC and per-pipe utilization are reported against the final (possibly
+memory-bound) cycle count, matching how hardware profilers compute
+them — which is why memory-bound kernels show depressed IPC in Fig. 10
+just as they do on silicon.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.specs import MachineSpec
+from repro.errors import SimulationError
+from repro.sim.instruction import OpClass, PipeTiming, default_timings
+from repro.sim.memory import DramModel
+from repro.sim.program import WarpProgram
+from repro.sim.smsim import SMSim
+from repro.sim.trace import KernelStats
+
+__all__ = ["GPUSim"]
+
+
+class GPUSim:
+    """Simulates kernel launches on a :class:`~repro.arch.specs.MachineSpec`."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        *,
+        timings: dict[OpClass, PipeTiming] | None = None,
+        dram: DramModel | None = None,
+        include_launch_overhead: bool = True,
+    ):
+        self.machine = machine
+        self.timings = timings if timings is not None else default_timings(machine.sm)
+        self.dram = dram if dram is not None else DramModel(machine)
+        self.include_launch_overhead = include_launch_overhead
+
+    # -- launches -----------------------------------------------------------
+
+    def run_kernel(
+        self,
+        warps: list[WarpProgram],
+        *,
+        bytes_moved: float = 0.0,
+        total_warps: int | None = None,
+    ) -> KernelStats:
+        """Simulate one kernel.
+
+        Parameters
+        ----------
+        warps:
+            The warps resident on one SM during one wave (at most
+            ``sm.max_warps_per_sm``).
+        bytes_moved:
+            Total DRAM traffic of the whole kernel (all waves, all SMs).
+        total_warps:
+            Grid-wide warp count; defaults to ``len(warps) * sm_count``
+            (a single full wave).  Additional waves repeat the
+            representative SM's compute time.
+        """
+        if not warps:
+            raise SimulationError("run_kernel needs at least one warp")
+        sm = SMSim(self.machine.sm, self.timings)
+        parts = sm.run(warps)
+        wave_cycles = max(p.cycles for p in parts)
+
+        per_sm_wave = len(warps)
+        if total_warps is None:
+            total_warps = per_sm_wave * self.machine.sm_count
+        waves = max(1, math.ceil(total_warps / (per_sm_wave * self.machine.sm_count)))
+
+        compute_cycles = wave_cycles * waves
+        dram_cycles = self.dram.transfer_cycles(bytes_moved)
+        cycles = max(compute_cycles, int(math.ceil(dram_cycles)))
+        seconds = self.machine.cycles_to_seconds(cycles)
+        if self.include_launch_overhead:
+            seconds += self.machine.kernel_launch_overhead_us * 1e-6
+            cycles = int(round(seconds * self.machine.clock_hz))
+
+        # Scale the representative SM's instruction counts to the grid.
+        scale = total_warps / per_sm_wave
+        issued: dict[OpClass, int] = {}
+        for p in parts:
+            for op, n in p.issued.items():
+                issued[op] = issued.get(op, 0) + n
+        issued = {op: int(round(n * scale)) for op, n in issued.items()}
+
+        # Utilization against the final cycle count (memory-boundness
+        # shows up as depressed pipe utilization, as on hardware).
+        busy: dict[OpClass, float] = {}
+        for p in parts:
+            for op, b in p.pipe_busy.items():
+                busy[op] = busy.get(op, 0.0) + b
+        n_parts = len(parts)
+        util = {
+            op: (b / n_parts) * waves / cycles if cycles else 0.0
+            for op, b in busy.items()
+        }
+
+        return KernelStats(
+            cycles=cycles,
+            compute_cycles=compute_cycles,
+            dram_cycles=int(math.ceil(dram_cycles)),
+            seconds=seconds,
+            instructions=sum(issued.values()),
+            issued=issued,
+            pipe_utilization=util,
+            sm_count=self.machine.sm_count,
+            waves=waves,
+            memory_bound=dram_cycles > compute_cycles,
+        )

@@ -1,0 +1,105 @@
+"""Instruction classes and pipe timings.
+
+The simulator classifies warp instructions by the execution pipe they
+occupy.  Each class has a :class:`PipeTiming`:
+
+* ``initiation_interval`` — cycles the pipe stays busy per warp
+  instruction (``warp_size / pipe_lanes``; 2 for the 16-lane INT and FP
+  pipes, which is what makes co-issuing the two pipes from one
+  scheduler profitable);
+* ``issue_gap`` — cycles before the *same warp* may issue its next
+  instruction, a compact stand-in for dependent-instruction latency
+  partially hidden by ILP.
+
+Timings are derived from the :class:`~repro.arch.specs.SMSpec` by
+:func:`default_timings`, so architecture experiments (wider pipes, more
+tensor throughput) automatically propagate into the simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.arch.specs import SMSpec
+from repro.errors import SimulationError
+
+__all__ = [
+    "OpClass",
+    "PipeTiming",
+    "default_timings",
+    "TENSOR_MACS_PER_INSTR",
+    "TC_GEMM_EFFICIENCY",
+]
+
+
+class OpClass(enum.IntEnum):
+    """Execution pipe an instruction occupies."""
+
+    INT = 0  # INT32 ALU (IMAD and friends)
+    FP = 1  # FP32 ALU (FFMA and friends)
+    TENSOR = 2  # Tensor core MMA
+    LSU = 3  # load/store (shared-memory and global traffic)
+    SFU = 4  # special function (exp/rsqrt); also covers shifts on some parts
+    MISC = 5  # moves, predicates, branches, uniform ops (full-width path)
+
+
+#: MACs performed by one simulated tensor-core MMA instruction (a
+#: 16x8x32 INT8 fragment; the TC pipe stays busy for the cycles this
+#: takes at the spec's MAC rate).
+TENSOR_MACS_PER_INSTR = 4096
+
+
+@dataclass(frozen=True)
+class PipeTiming:
+    """Timing of one execution pipe."""
+
+    initiation_interval: int
+    issue_gap: int
+
+    def __post_init__(self) -> None:
+        if self.initiation_interval < 1:
+            raise SimulationError("initiation_interval must be >= 1")
+        if self.issue_gap < 1:
+            raise SimulationError("issue_gap must be >= 1")
+
+
+def _ii(warp_size: int, lanes: int) -> int:
+    return max(1, -(-warp_size // lanes))
+
+
+#: Fraction of Tensor-core peak a real GEMM kernel sustains on the
+#: paper's small ViT-Base shapes.  Calibrated so the Sec. 3.2 initial
+#: study reproduces: an INT-CUDA-core GEMM (pipe-bound at 16 warp-MACs
+#: per cycle per partition) takes ~7.5x the Tensor-core time.
+TC_GEMM_EFFICIENCY = 0.21
+
+
+def default_timings(
+    sm: SMSpec, tc_format: str = "int8", *, tc_efficiency: float = TC_GEMM_EFFICIENCY
+) -> dict[OpClass, PipeTiming]:
+    """Pipe timings implied by an SM spec.
+
+    The Tensor pipe's initiation interval is the time one
+    ``TENSOR_MACS_PER_INSTR``-MAC fragment occupies a Tensor core at the
+    spec's per-format MAC rate, derated by ``tc_efficiency`` (peak MMA
+    issue is never sustained on small GEMMs — operand fetch and
+    fragment layout stalls land inside the MMA's shadow).
+    """
+    if not 0 < tc_efficiency <= 1:
+        raise SimulationError(
+            f"tc_efficiency must be in (0, 1], got {tc_efficiency}"
+        )
+    ws = sm.warp_size
+    tc_macs_per_cycle = sm.tensor_core.macs_per_cycle(tc_format) * tc_efficiency
+    tc_ii = max(1, round(TENSOR_MACS_PER_INSTR / tc_macs_per_cycle))
+    return {
+        OpClass.INT: PipeTiming(_ii(ws, sm.int32_lanes_per_partition), issue_gap=2),
+        OpClass.FP: PipeTiming(_ii(ws, sm.fp32_lanes_per_partition), issue_gap=2),
+        OpClass.TENSOR: PipeTiming(tc_ii, issue_gap=2),
+        OpClass.LSU: PipeTiming(_ii(ws, sm.lsu_lanes_per_partition), issue_gap=2),
+        OpClass.SFU: PipeTiming(_ii(ws, sm.sfu_lanes_per_partition), issue_gap=2),
+        # Moves/predicates/branches retire through the full-width dispatch
+        # path: they consume an issue slot but no ALU pipe cycles.
+        OpClass.MISC: PipeTiming(1, issue_gap=1),
+    }

@@ -1,0 +1,53 @@
+"""DRAM bandwidth model.
+
+The embedded GPU's LPDDR5 (204.8 GB/s on Orin AGX) is shared by all
+SMs; kernels that stream more bytes than their compute hides become
+memory bound.  The model is a classic roofline bound applied at kernel
+granularity: a kernel moving ``bytes`` takes at least
+``bytes / bandwidth`` seconds regardless of its compute time.  That is
+deliberately coarse — it is exactly the effect that caps the paper's
+CUDA-core-kernel speedups (Fig. 7's 1.05x for IC+FC against the 2x an
+issue-only model would predict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import MachineSpec
+from repro.utils.validation import check_positive
+
+__all__ = ["DramModel"]
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """Bandwidth bound with a fixed efficiency factor.
+
+    ``efficiency`` is the fraction of peak bandwidth a streaming kernel
+    actually achieves (row-buffer misses, refresh, command overhead);
+    0.75 is a typical LPDDR5 figure and our calibration default.
+    """
+
+    machine: MachineSpec
+    efficiency: float = 0.75
+
+    def __post_init__(self) -> None:
+        check_positive("efficiency", self.efficiency)
+        if self.efficiency > 1.0:
+            raise ValueError(f"efficiency must be <= 1, got {self.efficiency}")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achievable bytes/second."""
+        return self.machine.dram_bandwidth_bytes_per_s * self.efficiency
+
+    def transfer_seconds(self, nbytes: float) -> float:
+        """Minimum time to move ``nbytes`` through DRAM."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return nbytes / self.effective_bandwidth
+
+    def transfer_cycles(self, nbytes: float) -> float:
+        """Same bound expressed in GPU cycles."""
+        return self.transfer_seconds(nbytes) * self.machine.clock_hz

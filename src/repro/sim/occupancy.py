@@ -1,0 +1,159 @@
+"""Occupancy calculator and the register-file packing of prior work.
+
+The paper positions VitBit against X. Wang & W. Zhang's *GPU register
+packing* (Trustcom 2017) and CORF's register coalescing: those
+techniques pack narrow values in the **register file**, freeing space
+so more thread blocks fit per SM (better latency hiding), but the
+operands reaching the ALUs are unchanged, so peak throughput is not
+(Sec. 2.2).  This module implements that storage-side model:
+
+* :class:`KernelResources` + :func:`occupancy` — the classic CUDA
+  occupancy calculation (warp slots, registers, block limits);
+* :func:`registers_after_packing` — the effective register footprint
+  when narrow-width live values share architectural registers;
+* :func:`occupancy_gain_from_register_packing` — how many extra
+  resident warps storage-side packing buys.
+
+The distinction the paper draws becomes checkable: storage packing
+raises *occupancy*; VitBit's operand packing raises *throughput*
+(tests assert both directions).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.specs import SMSpec
+from repro.errors import SimulationError
+
+__all__ = [
+    "KernelResources",
+    "Occupancy",
+    "occupancy",
+    "registers_after_packing",
+    "occupancy_gain_from_register_packing",
+]
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-thread/per-block resource demands of one kernel."""
+
+    registers_per_thread: int
+    threads_per_block: int
+    shared_mem_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        if self.registers_per_thread < 1:
+            raise SimulationError("registers_per_thread must be >= 1")
+        if self.threads_per_block < 1:
+            raise SimulationError("threads_per_block must be >= 1")
+        if self.shared_mem_per_block < 0:
+            raise SimulationError("shared_mem_per_block must be >= 0")
+
+    @property
+    def warps_per_block(self) -> int:
+        return -(-self.threads_per_block // 32)
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    limiter: str  # "warps" | "registers" | "blocks" | "shared_mem"
+
+    @property
+    def occupancy_fraction(self) -> float:
+        """Resident warps / warp slots (computed against 48 on Orin)."""
+        return self.warps_per_sm / 48.0
+
+
+#: Hardware block-residency limit per SM (Ampere).
+_MAX_BLOCKS_PER_SM = 16
+#: Shared memory per SM (bytes) on the modelled part.
+_SHARED_MEM_PER_SM = 164 * 1024
+#: Register allocation granularity (registers round up per warp).
+_REG_ALLOC_UNIT = 256
+
+
+def occupancy(sm: SMSpec, kernel: KernelResources) -> Occupancy:
+    """Resident blocks/warps per SM for ``kernel`` on ``sm``."""
+    wpb = kernel.warps_per_block
+    if kernel.threads_per_block > sm.max_threads_per_block:
+        raise SimulationError(
+            f"block of {kernel.threads_per_block} threads exceeds the SM "
+            f"limit of {sm.max_threads_per_block}"
+        )
+    # Registers round up to the allocation unit per warp.
+    regs_per_warp = (
+        -(-kernel.registers_per_thread * sm.warp_size // _REG_ALLOC_UNIT)
+        * _REG_ALLOC_UNIT
+    )
+    limits = {
+        "warps": sm.max_warps_per_sm // wpb,
+        "registers": sm.registers_per_sm // (regs_per_warp * wpb),
+        "blocks": _MAX_BLOCKS_PER_SM,
+    }
+    if kernel.shared_mem_per_block:
+        limits["shared_mem"] = _SHARED_MEM_PER_SM // kernel.shared_mem_per_block
+    blocks = min(limits.values())
+    if blocks < 1:
+        raise SimulationError(
+            f"kernel {kernel} does not fit a single block on the SM"
+        )
+    limiter = min(limits, key=lambda k: limits[k])
+    return Occupancy(
+        blocks_per_sm=blocks,
+        warps_per_sm=blocks * wpb,
+        limiter=limiter,
+    )
+
+
+def registers_after_packing(
+    registers_per_thread: int,
+    narrow_fraction: float,
+    narrow_bits: int,
+    *,
+    register_bits: int = 32,
+) -> int:
+    """Effective register demand under storage-side register packing.
+
+    ``narrow_fraction`` of the live registers hold values of
+    ``narrow_bits`` bits (detected at write-back in the prior work);
+    those share architectural registers ``register_bits //
+    narrow_bits``-to-one.  The rest stay full width.  Always >= 1.
+    """
+    if not 0.0 <= narrow_fraction <= 1.0:
+        raise SimulationError("narrow_fraction must be in [0, 1]")
+    if not 1 <= narrow_bits <= register_bits:
+        raise SimulationError("narrow_bits must be in 1..register_bits")
+    share = register_bits // narrow_bits
+    packed = registers_per_thread * narrow_fraction / share
+    full = registers_per_thread * (1.0 - narrow_fraction)
+    return max(1, math.ceil(packed + full))
+
+
+def occupancy_gain_from_register_packing(
+    sm: SMSpec,
+    kernel: KernelResources,
+    narrow_fraction: float,
+    narrow_bits: int,
+) -> tuple[Occupancy, Occupancy]:
+    """(baseline, packed) occupancy under Wang & Zhang-style packing.
+
+    The packed variant only changes the register demand — Sec. 2.2's
+    point that register-file packing raises *residency*, never the
+    ALUs' operand width or peak throughput.
+    """
+    base = occupancy(sm, kernel)
+    packed_kernel = KernelResources(
+        registers_per_thread=registers_after_packing(
+            kernel.registers_per_thread, narrow_fraction, narrow_bits
+        ),
+        threads_per_block=kernel.threads_per_block,
+        shared_mem_per_block=kernel.shared_mem_per_block,
+    )
+    return base, occupancy(sm, packed_kernel)

@@ -1,0 +1,88 @@
+"""Compressed warp instruction streams.
+
+A :class:`WarpProgram` is a loop body (sequence of ``(OpClass, count)``
+segments) executed for a number of iterations — the compressed form of
+a GPU kernel's steady-state inner loop.  Compression keeps simulation
+state tiny while preserving the *interleaving* of pipe demands, which is
+what the issue model cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.instruction import OpClass
+
+__all__ = ["WarpProgram"]
+
+
+@dataclass(frozen=True)
+class WarpProgram:
+    """A warp's instruction stream: ``body`` repeated ``iterations`` times.
+
+    ``body`` is a tuple of ``(op, count)`` segments; a segment of
+    ``(INT, 4)`` means four consecutive INT instructions.
+    """
+
+    body: tuple[tuple[OpClass, int], ...]
+    iterations: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise SimulationError("iterations must be >= 0")
+        for op, count in self.body:
+            if not isinstance(op, OpClass):
+                raise SimulationError(f"segment op must be OpClass, got {op!r}")
+            if count < 1:
+                raise SimulationError(f"segment count must be >= 1, got {count}")
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def loop(
+        body: list[tuple[OpClass, int]], iterations: int
+    ) -> "WarpProgram":
+        """A program repeating ``body`` (list of segments) ``iterations`` times."""
+        return WarpProgram(body=tuple(body), iterations=iterations)
+
+    @staticmethod
+    def straight(counts: dict[OpClass, int]) -> "WarpProgram":
+        """A single-iteration program with one segment per op class."""
+        body = tuple((op, c) for op, c in counts.items() if c > 0)
+        return WarpProgram(body=body, iterations=1)
+
+    @staticmethod
+    def empty() -> "WarpProgram":
+        """A warp with nothing to do (used for padding partitions)."""
+        return WarpProgram(body=(), iterations=0)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def instructions_per_iteration(self) -> int:
+        """Total instructions in one loop body."""
+        return sum(count for _, count in self.body)
+
+    @property
+    def total_instructions(self) -> int:
+        """Total instructions over all iterations."""
+        return self.instructions_per_iteration * self.iterations
+
+    def count(self, op: OpClass) -> int:
+        """Total instructions of class ``op`` over all iterations."""
+        per_iter = sum(c for o, c in self.body if o is op)
+        return per_iter * self.iterations
+
+    def mix(self) -> dict[OpClass, int]:
+        """Instruction totals per op class."""
+        out: dict[OpClass, int] = {}
+        for op, c in self.body:
+            out[op] = out.get(op, 0) + c
+        return {op: c * self.iterations for op, c in out.items()}
+
+    def scaled(self, factor: float) -> "WarpProgram":
+        """The same body with iterations scaled by ``factor`` (rounded, >= 0)."""
+        if factor < 0:
+            raise SimulationError("scale factor must be >= 0")
+        return WarpProgram(body=self.body, iterations=max(0, round(self.iterations * factor)))

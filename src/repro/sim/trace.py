@@ -1,0 +1,90 @@
+"""Simulation statistics containers.
+
+:class:`PartitionStats` comes out of one sub-partition's issue loop;
+:class:`KernelStats` aggregates a whole kernel launch (all waves, all
+SMs, DRAM bound applied) and exposes the derived metrics the paper's
+figures use: IPC (Fig. 10), per-pipe instruction counts (Fig. 9) and
+pipe utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.instruction import OpClass
+
+__all__ = ["PartitionStats", "KernelStats"]
+
+
+@dataclass
+class PartitionStats:
+    """Issue-loop results for one SM sub-partition."""
+
+    cycles: int = 0
+    issued: dict[OpClass, int] = field(default_factory=dict)
+    pipe_busy: dict[OpClass, int] = field(default_factory=dict)
+    idle_cycles: int = 0
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions issued."""
+        return sum(self.issued.values())
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle through this scheduler (<= 1)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def utilization(self, op: OpClass) -> float:
+        """Fraction of cycles the pipe for ``op`` was busy."""
+        if not self.cycles:
+            return 0.0
+        return self.pipe_busy.get(op, 0) / self.cycles
+
+
+@dataclass
+class KernelStats:
+    """Aggregate results of one simulated kernel launch."""
+
+    cycles: int = 0
+    compute_cycles: int = 0
+    dram_cycles: int = 0
+    seconds: float = 0.0
+    instructions: int = 0
+    issued: dict[OpClass, int] = field(default_factory=dict)
+    pipe_utilization: dict[OpClass, float] = field(default_factory=dict)
+    sm_count: int = 1
+    waves: int = 1
+    memory_bound: bool = False
+
+    @property
+    def ipc(self) -> float:
+        """Average instructions per cycle per SM (4 schedulers -> max 4)."""
+        if not self.cycles:
+            return 0.0
+        return self.instructions / (self.cycles * self.sm_count)
+
+    def scaled_add(self, other: "KernelStats") -> "KernelStats":
+        """Accumulate another kernel's stats (sequential execution)."""
+        out = KernelStats(
+            cycles=self.cycles + other.cycles,
+            compute_cycles=self.compute_cycles + other.compute_cycles,
+            dram_cycles=self.dram_cycles + other.dram_cycles,
+            seconds=self.seconds + other.seconds,
+            instructions=self.instructions + other.instructions,
+            sm_count=max(self.sm_count, other.sm_count),
+            waves=self.waves + other.waves,
+            memory_bound=self.memory_bound or other.memory_bound,
+        )
+        for src in (self.issued, other.issued):
+            for op, n in src.items():
+                out.issued[op] = out.issued.get(op, 0) + n
+        # Utilizations combine as cycle-weighted averages.
+        total = out.cycles or 1
+        ops = set(self.pipe_utilization) | set(other.pipe_utilization)
+        for op in ops:
+            out.pipe_utilization[op] = (
+                self.pipe_utilization.get(op, 0.0) * self.cycles
+                + other.pipe_utilization.get(op, 0.0) * other.cycles
+            ) / total
+        return out

@@ -1,0 +1,33 @@
+"""Shared utilities: bit manipulation, validation, RNG, table rendering."""
+
+from repro.utils.bitops import (
+    bit_length_unsigned,
+    field_mask,
+    lane_masks,
+    min_signed,
+    max_signed,
+    max_unsigned,
+    sign_extend,
+)
+from repro.utils.rng import make_rng
+from repro.utils.validation import (
+    check_dtype_integer,
+    check_in_range,
+    check_positive,
+    check_shape_2d,
+)
+
+__all__ = [
+    "bit_length_unsigned",
+    "field_mask",
+    "lane_masks",
+    "min_signed",
+    "max_signed",
+    "max_unsigned",
+    "sign_extend",
+    "make_rng",
+    "check_dtype_integer",
+    "check_in_range",
+    "check_positive",
+    "check_shape_2d",
+]

@@ -1,0 +1,104 @@
+"""Bit-level helpers used by the packing engine.
+
+All helpers are vectorized over NumPy arrays and operate on *unsigned*
+64-bit lanes internally so that shifts never invoke undefined behaviour.
+They are deliberately tiny and side-effect free: the SWAR layer
+(:mod:`repro.packing.swar`) builds its carry-isolation arguments out of
+these primitives, and the property-based tests exercise them directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError
+
+__all__ = [
+    "bit_length_unsigned",
+    "field_mask",
+    "lane_masks",
+    "min_signed",
+    "max_signed",
+    "max_unsigned",
+    "sign_extend",
+]
+
+
+def max_unsigned(bits: int) -> int:
+    """Largest value representable in ``bits`` unsigned bits (``2**bits - 1``)."""
+    if bits < 1:
+        raise FormatError(f"bitwidth must be >= 1, got {bits}")
+    return (1 << bits) - 1
+
+
+def max_signed(bits: int) -> int:
+    """Largest value representable in ``bits`` two's-complement bits."""
+    if bits < 1:
+        raise FormatError(f"bitwidth must be >= 1, got {bits}")
+    return (1 << (bits - 1)) - 1
+
+
+def min_signed(bits: int) -> int:
+    """Smallest (most negative) value in ``bits`` two's-complement bits."""
+    if bits < 1:
+        raise FormatError(f"bitwidth must be >= 1, got {bits}")
+    return -(1 << (bits - 1))
+
+
+def field_mask(bits: int) -> int:
+    """Mask with the low ``bits`` bits set, e.g. ``field_mask(8) == 0xFF``."""
+    return max_unsigned(bits)
+
+
+def lane_masks(field_bits: int, lanes: int, register_bits: int = 32) -> list[int]:
+    """Per-lane masks for ``lanes`` fields of ``field_bits`` bits each.
+
+    Lane 0 occupies the least-significant field.  Raises
+    :class:`~repro.errors.FormatError` if the lanes do not fit in the
+    register.
+
+    >>> [hex(m) for m in lane_masks(16, 2)]
+    ['0xffff', '0xffff0000']
+    """
+    if lanes < 1:
+        raise FormatError(f"lane count must be >= 1, got {lanes}")
+    if field_bits * lanes > register_bits:
+        raise FormatError(
+            f"{lanes} lanes of {field_bits} bits exceed a "
+            f"{register_bits}-bit register"
+        )
+    base = field_mask(field_bits)
+    return [base << (i * field_bits) for i in range(lanes)]
+
+
+def bit_length_unsigned(values: np.ndarray) -> int:
+    """Minimum unsigned bitwidth that represents every element of ``values``.
+
+    Values must be non-negative.  An all-zero array needs 1 bit.
+    """
+    arr = np.asarray(values)
+    if arr.size == 0:
+        return 1
+    lo = int(arr.min())
+    if lo < 0:
+        raise FormatError("bit_length_unsigned requires non-negative values")
+    hi = int(arr.max())
+    return max(1, int(hi).bit_length())
+
+
+def sign_extend(values: np.ndarray, bits: int) -> np.ndarray:
+    """Sign-extend ``bits``-wide two's-complement fields to int64.
+
+    ``values`` holds raw field contents (non-negative, < 2**bits); the
+    result reinterprets each field as a signed integer.
+
+    >>> sign_extend(np.array([0xFF]), 8).tolist()
+    [-1]
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    if bits < 1 or bits > 63:
+        raise FormatError(f"sign_extend supports 1..63 bits, got {bits}")
+    sign_bit = np.int64(1) << np.int64(bits - 1)
+    mask = np.int64(field_mask(bits))
+    arr = arr & mask
+    return np.where(arr & sign_bit, arr - (np.int64(1) << np.int64(bits)), arr)

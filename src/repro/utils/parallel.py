@@ -1,0 +1,55 @@
+"""Process-parallel parameter sweeps.
+
+Design-space exploration (architecture what-ifs, tile autotuning,
+calibration grids) is embarrassingly parallel: every point builds its
+own PerformanceModel and runs its own simulations.  :func:`sweep` maps
+a worker over a grid of points with ``ProcessPoolExecutor``, preserving
+input order and failing loudly — the standard HPC pattern, wrapped so
+benchmarks and examples don't re-implement it.
+
+The worker must be a module-level function (it is pickled to the
+workers), and each point must be picklable.  Pass ``processes=1`` to
+run serially (useful under coverage or debuggers).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["sweep", "default_processes"]
+
+P = TypeVar("P")
+R = TypeVar("R")
+
+
+def default_processes(limit: int | None = None) -> int:
+    """A sensible worker count: physical-ish parallelism, capped."""
+    n = os.cpu_count() or 1
+    return max(1, min(n, limit) if limit else n)
+
+
+def sweep(
+    worker: Callable[[P], R],
+    points: Sequence[P] | Iterable[P],
+    *,
+    processes: int | None = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """Evaluate ``worker`` on every point, in parallel, in input order.
+
+    Exceptions in workers propagate to the caller (the sweep is only as
+    good as its worst point).  With ``processes=1`` the map runs in the
+    calling process.
+    """
+    pts = list(points)
+    if not pts:
+        return []
+    n = processes if processes is not None else default_processes()
+    if n < 1:
+        raise ValueError(f"processes must be >= 1, got {n}")
+    if n == 1 or len(pts) == 1:
+        return [worker(p) for p in pts]
+    with ProcessPoolExecutor(max_workers=min(n, len(pts))) as pool:
+        return list(pool.map(worker, pts, chunksize=chunksize))

@@ -1,0 +1,28 @@
+"""Deterministic random-number-generator factories.
+
+Every stochastic component in the library (workload generators, synthetic
+weights, dropout masks) takes an explicit seed or Generator; this module
+centralizes construction so benchmarks and tests stay reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "DEFAULT_SEED"]
+
+DEFAULT_SEED = 0x51B17  # "VitBit"-flavoured default seed
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    * ``None`` → the library default seed (deterministic).
+    * ``int`` → PCG64 seeded with that value.
+    * an existing ``Generator`` → returned unchanged (caller keeps control).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for benchmark harness output.
+
+The benchmark harness prints the same rows/series the paper reports;
+this module renders them as aligned ASCII tables so the output of
+``pytest benchmarks/ --benchmark-only`` is directly comparable to the
+paper's tables and figure captions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value: object, ndigits: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    ndigits: int = 3,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows = [[_cell(v, ndigits) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    ndigits: int = 3,
+) -> str:
+    """Render one figure series as ``label: value`` lines with a header."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    width = max((len(x) for x in labels), default=0)
+    lines = [name]
+    for label, value in zip(labels, values):
+        lines.append(f"  {label.ljust(width)} : {value:.{ndigits}f}")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Small argument-validation helpers shared across the library.
+
+These keep validation messages uniform and make the public API fail
+early with actionable errors instead of deep NumPy stack traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_in_range",
+    "check_dtype_integer",
+    "check_shape_2d",
+]
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_dtype_integer(name: str, arr: np.ndarray) -> None:
+    """Raise ``TypeError`` unless ``arr`` has an integer dtype."""
+    if not np.issubdtype(np.asarray(arr).dtype, np.integer):
+        raise TypeError(
+            f"{name} must have an integer dtype, got {np.asarray(arr).dtype}"
+        )
+
+
+def check_shape_2d(name: str, arr: np.ndarray) -> None:
+    """Raise ``ValueError`` unless ``arr`` is two-dimensional."""
+    if np.asarray(arr).ndim != 2:
+        raise ValueError(
+            f"{name} must be a 2-D matrix, got shape {np.asarray(arr).shape}"
+        )

@@ -1,0 +1,43 @@
+"""Integer-only ViT-Base (the paper's evaluation workload, Table 2).
+
+The model follows I-ViT's computation rules (Li & Gu, ICCV 2023), which
+the paper adopts: int8 symmetric weights, uint8 zero-point activations,
+dyadic requantization, and shift-based Softmax/GeLU/LayerNorm — no
+floating point anywhere on the inference path.  Weights are synthetic
+(seeded random with calibrated scales); the paper's accuracy result
+("no loss from VitBit") maps to the strongest checkable form here:
+**bit-exactness** of packed/fused inference against the plain integer
+reference, verified by :func:`repro.vit.runtime.verify_bit_exact`.
+
+* :mod:`repro.vit.config` — hyperparameters (ViT-Base + test-size configs);
+* :mod:`repro.vit.layers` — integer layers over a pluggable GEMM executor;
+* :mod:`repro.vit.model` — the full IntViT;
+* :mod:`repro.vit.workload` — the per-inference kernel inventory the
+  performance model prices (Figs. 5-10);
+* :mod:`repro.vit.runtime` — functional execution under a Table 3
+  strategy + simulated end-to-end timing.
+"""
+
+from repro.vit.config import ViTConfig
+from repro.vit.layers import GemmExecutor, IntLinear
+from repro.vit.model import IntViT
+from repro.vit.workload import KernelWork, vit_workload
+from repro.vit.runtime import (
+    InferenceTiming,
+    run_inference,
+    time_inference,
+    verify_bit_exact,
+)
+
+__all__ = [
+    "ViTConfig",
+    "GemmExecutor",
+    "IntLinear",
+    "IntViT",
+    "KernelWork",
+    "vit_workload",
+    "InferenceTiming",
+    "run_inference",
+    "time_inference",
+    "verify_bit_exact",
+]

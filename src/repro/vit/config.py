@@ -1,0 +1,107 @@
+"""ViT model hyperparameters.
+
+:func:`ViTConfig.vit_base` is the paper's workload (Table 2): ViT-Base,
+224x224 images, patch 16 → 197 tokens, 12 layers of hidden 768 with 12
+heads and a 3072-wide MLP.  :func:`ViTConfig.test_tiny` is a structurally
+identical miniature for fast functional tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelConfigError
+
+__all__ = ["ViTConfig"]
+
+
+@dataclass(frozen=True)
+class ViTConfig:
+    """Integer-only Vision Transformer hyperparameters."""
+
+    image_size: int = 224
+    patch_size: int = 16
+    in_channels: int = 3
+    hidden: int = 768
+    depth: int = 12
+    heads: int = 12
+    mlp_dim: int = 3072
+    num_classes: int = 1000
+    #: fixed-point fraction bits used by the shift-based kernels
+    fraction_bits: int = 10
+    #: stored-activation bitwidth (unsigned with a zero point); 8 is
+    #: the paper's evaluated format, lower widths pack more lanes
+    activation_bits: int = 8
+    #: weight bitwidth (signed symmetric)
+    weight_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.image_size % self.patch_size:
+            raise ModelConfigError(
+                f"image size {self.image_size} is not a multiple of patch "
+                f"size {self.patch_size}"
+            )
+        if self.hidden % self.heads:
+            raise ModelConfigError(
+                f"hidden {self.hidden} is not divisible by {self.heads} heads"
+            )
+        for name in ("hidden", "depth", "heads", "mlp_dim", "num_classes"):
+            if getattr(self, name) < 1:
+                raise ModelConfigError(f"{name} must be >= 1")
+        if not 2 <= self.activation_bits <= 8:
+            raise ModelConfigError("activation_bits must be in 2..8")
+        if not 2 <= self.weight_bits <= 8:
+            raise ModelConfigError("weight_bits must be in 2..8")
+
+    @property
+    def activation_zero_point(self) -> int:
+        """Zero point of stored activations (semantic = stored - zp)."""
+        return 1 << (self.activation_bits - 1)
+
+    @property
+    def activation_max(self) -> int:
+        """Largest stored activation value (2**bits - 1)."""
+        return (1 << self.activation_bits) - 1
+
+    @property
+    def weight_bound(self) -> int:
+        """Symmetric weight magnitude bound (2**(bits-1) - 1)."""
+        return (1 << (self.weight_bits - 1)) - 1
+
+    @property
+    def patches(self) -> int:
+        """Patch count per image (196 for ViT-Base)."""
+        return (self.image_size // self.patch_size) ** 2
+
+    @property
+    def tokens(self) -> int:
+        """Sequence length including the class token (197 for ViT-Base)."""
+        return self.patches + 1
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head feature width (64 for ViT-Base)."""
+        return self.hidden // self.heads
+
+    @property
+    def patch_dim(self) -> int:
+        """Flattened patch input width (768 for ViT-Base)."""
+        return self.in_channels * self.patch_size * self.patch_size
+
+    @staticmethod
+    def vit_base() -> "ViTConfig":
+        """The paper's workload: ViT-Base on 224x224 inputs."""
+        return ViTConfig()
+
+    @staticmethod
+    def test_tiny() -> "ViTConfig":
+        """A miniature for tests: 2 layers, hidden 32, 17 tokens."""
+        return ViTConfig(
+            image_size=64,
+            patch_size=16,
+            hidden=32,
+            depth=2,
+            heads=2,
+            mlp_dim=64,
+            num_classes=10,
+        )

@@ -1,0 +1,153 @@
+"""Integer layers over a pluggable GEMM executor.
+
+Activations travel as **stored uint8** arrays of shape
+``(features, columns)`` — the paper's B-matrix orientation, where the
+column axis (tokens x batch) is what Algorithm 1 splits and packs.  The
+semantic value of an activation is ``stored - zero_point``; attention
+probabilities use zero point 0 (they are naturally non-negative).
+
+The :class:`GemmExecutor` decides *how* each GEMM runs: the plain
+integer reference, or the strategy's fused Tensor/INT/FP kernel with
+operand packing.  Every path is exact, which is what makes end-to-end
+bit-exactness checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+from repro.formats.quantize import DyadicScale
+from repro.fusion.strategies import Strategy
+from repro.kernels.fused_gemm import fused_gemm
+from repro.kernels.gemm import ic_gemm
+from repro.kernels.elementwise import requantize
+from repro.packing.gemm import PackedGemmStats
+from repro.packing.policy import PackingPolicy, policy_for_bitwidth
+from repro.preprocess.convert import duplicate_weights
+from repro.preprocess.split import split_matrix
+
+__all__ = ["GemmExecutor", "IntLinear"]
+
+
+class GemmExecutor:
+    """Runs integer GEMMs either as the reference or as a fused kernel.
+
+    Parameters
+    ----------
+    strategy:
+        ``None`` for the plain integer reference; otherwise a Table 3
+        strategy whose split/packing configuration every GEMM follows.
+    policy:
+        Packing policy (defaults to the Fig. 3 int8 policy).
+    tensor_cuda_ratio:
+        Algorithm 1's ``m`` for fused strategies (paper: 4).
+    method:
+        Packed-path evaluation, ``"lane"`` (fast, default) or
+        ``"chunked"`` (hardware-faithful; see packing.gemm).
+    """
+
+    def __init__(
+        self,
+        strategy: Strategy | None = None,
+        policy: PackingPolicy | None = None,
+        *,
+        tensor_cuda_ratio: float = 4.0,
+        method: str = "lane",
+    ):
+        self.strategy = strategy
+        self.policy = policy if policy is not None else policy_for_bitwidth(8)
+        self.tensor_cuda_ratio = tensor_cuda_ratio
+        self.method = method
+        self.gemm_count = 0
+        self.packed_stats = PackedGemmStats()
+
+    def gemm(
+        self,
+        a: np.ndarray,
+        b_stored: np.ndarray,
+        *,
+        b_zero_point: int | None,
+    ) -> np.ndarray:
+        """Exact ``a @ (b_stored - zp)`` under the configured strategy.
+
+        ``a`` is a signed integer matrix (weights or centered
+        activations); ``b_stored`` holds non-negative stored values.
+        """
+        self.gemm_count += 1
+        a64 = np.asarray(a, dtype=np.int64)
+        b64 = np.asarray(b_stored, dtype=np.int64)
+        if self.strategy is None:
+            c = ic_gemm(a64, b64)
+            if b_zero_point:
+                c = c - (a64.sum(axis=1, dtype=np.int64) * b_zero_point)[:, None]
+            return c
+        plan = self.strategy.split_plan(
+            b64.shape[1], self.policy, self.tensor_cuda_ratio
+        )
+        pol = self.policy if self.strategy.packing else self.policy.with_lanes(1)
+        split = split_matrix(b64, plan, pol)
+        a1, a2 = duplicate_weights(a64)
+        out = fused_gemm(
+            a1, a2, split, pol, b_zero_point=b_zero_point, method=self.method
+        )
+        s, o = self.packed_stats, out.packed_stats
+        s.packed_multiplies += o.packed_multiplies
+        s.packed_adds += o.packed_adds
+        s.spills += o.spills
+        s.m, s.n, s.k, s.lanes = o.m, o.n, o.k, max(s.lanes, o.lanes)
+        return out.c
+
+
+@dataclass
+class IntLinear:
+    """Integer linear layer: ``requant(W @ x + bias)``.
+
+    ``weight`` is (out, in) int8-range; ``bias`` lives in the
+    accumulator scale; ``out_scale`` is the dyadic requantization into
+    the next layer's stored-uint8 domain.
+    """
+
+    weight: np.ndarray
+    bias: np.ndarray
+    out_scale: DyadicScale
+    zero_point: int = 128
+    #: symmetric magnitude bound of the requantized output (the stored
+    #: value is ``centered + zero_point``); 127 for int8 activations.
+    out_bound: int = 127
+
+    def __post_init__(self) -> None:
+        w = np.asarray(self.weight)
+        if w.ndim != 2:
+            raise ModelConfigError(f"weight must be 2-D, got shape {w.shape}")
+        if np.asarray(self.bias).shape != (w.shape[0],):
+            raise ModelConfigError(
+                f"bias shape {np.asarray(self.bias).shape} does not match "
+                f"{w.shape[0]} output features"
+            )
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[0]
+
+    def forward(
+        self,
+        x_stored: np.ndarray,
+        executor: GemmExecutor,
+        *,
+        x_zero_point: int | None = None,
+    ) -> np.ndarray:
+        """(in, N) stored uint8 -> (out, N) stored uint8."""
+        zp = self.zero_point if x_zero_point is None else x_zero_point
+        acc = executor.gemm(self.weight, x_stored, b_zero_point=zp)
+        acc = acc + np.asarray(self.bias, dtype=np.int64)[:, None]
+        centered = requantize(
+            acc, self.out_scale, out_min=-self.out_bound, out_max=self.out_bound
+        )
+        return centered + self.zero_point

@@ -1,0 +1,320 @@
+"""The integer-only Vision Transformer.
+
+Structure follows Dosovitskiy et al.'s ViT with pre-LayerNorm blocks;
+all arithmetic follows I-ViT's integer-only rules via the kernels in
+:mod:`repro.kernels.elementwise`.  Weights are synthetic: seeded int8
+values with dyadic requantization scales chosen so activations occupy
+their int8 range without saturating (the "calibration" a real
+deployment derives from data).  This substitutes for the Hugging Face
+pretrained checkpoint per DESIGN.md — every code path (shapes, ranges,
+packing, fusion) matches the real model; only the parameter values are
+synthetic, which is irrelevant to the bit-exactness and performance
+questions the reproduction answers.
+
+Data layout: activations are stored-uint8 matrices ``(features, N)``
+with ``N = tokens * batch`` — the B-matrix orientation of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+from repro.formats.quantize import DyadicScale, dyadic_approximate
+from repro.kernels.elementwise import i_layernorm, requantize, residual_add, shiftgelu, shiftmax
+from repro.utils.rng import make_rng
+from repro.vit.config import ViTConfig
+from repro.vit.layers import GemmExecutor, IntLinear
+
+__all__ = ["IntViT"]
+
+
+def _synthetic_linear(
+    rng: np.random.Generator,
+    out_features: int,
+    in_features: int,
+    cfg: ViTConfig,
+) -> IntLinear:
+    """A linear layer with range-preserving synthetic quantized weights.
+
+    With centered activations of std ~``zp/2`` and symmetric weights of
+    std ~``w_bound/2``, the accumulator std is ~``(zp * w_bound / 4) *
+    sqrt(K)``; the dyadic scale maps ~2.5 sigma back to the activation
+    bound, so every layer's output occupies its integer range without
+    saturating — the property a real calibration run establishes.
+    """
+    wb = cfg.weight_bound
+    zp = cfg.activation_zero_point
+    w = rng.integers(-wb, wb + 1, size=(out_features, in_features), dtype=np.int64)
+    bias = rng.integers(-(zp * 8), zp * 8, size=out_features, dtype=np.int64)
+    acc_sigma = (zp * wb / 4.0) * np.sqrt(in_features)
+    scale = dyadic_approximate((zp - 1) / (2.5 * acc_sigma))
+    return IntLinear(
+        weight=w, bias=bias, out_scale=scale, zero_point=zp, out_bound=zp - 1
+    )
+
+
+@dataclass
+class _Block:
+    """One transformer encoder block's parameters."""
+
+    ln1_gamma: np.ndarray
+    ln1_beta: np.ndarray
+    qkv: IntLinear
+    proj: IntLinear
+    ln2_gamma: np.ndarray
+    ln2_beta: np.ndarray
+    fc1: IntLinear
+    fc2: IntLinear
+    attn_scale: DyadicScale
+    ctx_scale: DyadicScale
+    gelu_in_scale: DyadicScale
+    gelu_out_scale: DyadicScale
+    ln_out_scale: DyadicScale
+
+
+@dataclass
+class IntViT:
+    """Integer-only ViT (see module docstring).
+
+    Build with :meth:`IntViT.create`; run with :meth:`forward` under a
+    :class:`~repro.vit.layers.GemmExecutor`.
+    """
+
+    config: ViTConfig
+    patch_embed: IntLinear
+    cls_token: np.ndarray
+    pos_embed: np.ndarray
+    blocks: list[_Block]
+    head_ln_gamma: np.ndarray
+    head_ln_beta: np.ndarray
+    head: IntLinear
+    trace: dict = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def create(config: ViTConfig | None = None, seed: int | None = None) -> "IntViT":
+        """Build a model with synthetic calibrated weights."""
+        cfg = config if config is not None else ViTConfig.vit_base()
+        rng = make_rng(seed)
+        zp = cfg.activation_zero_point
+        f = cfg.fraction_bits
+        one = np.int64(1) << np.int64(f)
+
+        def ln_params(width: int) -> tuple[np.ndarray, np.ndarray]:
+            gamma = rng.integers(int(0.8 * one), int(1.2 * one), size=width, dtype=np.int64)
+            beta = rng.integers(-(1 << (f - 3)), 1 << (f - 3), size=width, dtype=np.int64)
+            return gamma, beta
+
+        bound = zp - 1  # symmetric activation magnitude bound
+        sigma_act = zp / 2.0
+        sigma_w = cfg.weight_bound / 2.0
+        prob_total = 1 << cfg.activation_bits  # shiftmax output scale
+        blocks = []
+        for _ in range(cfg.depth):
+            hg1, hb1 = ln_params(cfg.hidden)
+            hg2, hb2 = ln_params(cfg.hidden)
+            blocks.append(
+                _Block(
+                    ln1_gamma=hg1,
+                    ln1_beta=hb1,
+                    qkv=_synthetic_linear(rng, 3 * cfg.hidden, cfg.hidden, cfg),
+                    proj=_synthetic_linear(rng, cfg.hidden, cfg.hidden, cfg),
+                    ln2_gamma=hg2,
+                    ln2_beta=hb2,
+                    fc1=_synthetic_linear(rng, cfg.mlp_dim, cfg.hidden, cfg),
+                    fc2=_synthetic_linear(rng, cfg.hidden, cfg.mlp_dim, cfg),
+                    # scores ~ sigma_act^2 * sqrt(d); map ~2 sigma to +-4
+                    # fixed-point units so shiftmax sees usable range.
+                    attn_scale=dyadic_approximate(
+                        4.0 * (1 << f)
+                        / (2.0 * sigma_act * sigma_act * np.sqrt(cfg.head_dim))
+                    ),
+                    # context = V (act range) @ probs (sum ~ prob_total)
+                    ctx_scale=dyadic_approximate(
+                        bound / (2.0 * sigma_act * prob_total)
+                    ),
+                    gelu_in_scale=dyadic_approximate(
+                        4.0 * (1 << f)
+                        / (2.5 * sigma_act * sigma_w * np.sqrt(cfg.hidden))
+                    ),
+                    gelu_out_scale=dyadic_approximate(bound / (4.0 * (1 << f))),
+                    ln_out_scale=dyadic_approximate(bound / (3.0 * (1 << f))),
+                )
+            )
+        hg, hb = ln_params(cfg.hidden)
+        return IntViT(
+            config=cfg,
+            patch_embed=_synthetic_linear(rng, cfg.hidden, cfg.patch_dim, cfg),
+            cls_token=rng.integers(
+                0, cfg.activation_max + 1, size=(cfg.hidden, 1), dtype=np.int64
+            ),
+            pos_embed=rng.integers(
+                -max(1, zp // 8), max(2, zp // 8),
+                size=(cfg.hidden, cfg.tokens), dtype=np.int64,
+            ),
+            blocks=blocks,
+            head_ln_gamma=hg,
+            head_ln_beta=hb,
+            head=_synthetic_linear(rng, cfg.num_classes, cfg.hidden, cfg),
+        )
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _layernorm(
+        self, x_stored: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+        out_scale: DyadicScale,
+    ) -> np.ndarray:
+        """LN over the feature axis of (features, N) stored activations."""
+        cfg = self.config
+        bound = cfg.activation_zero_point - 1
+        centered = np.asarray(x_stored, dtype=np.int64) - cfg.activation_zero_point
+        normed = i_layernorm(
+            centered.T, gamma, beta, fraction_bits=cfg.fraction_bits
+        ).T
+        out = requantize(normed, out_scale, out_min=-bound, out_max=bound)
+        return out + cfg.activation_zero_point
+
+    def _attention(
+        self, x_stored: np.ndarray, blk: _Block, executor: GemmExecutor, batch: int
+    ) -> np.ndarray:
+        cfg = self.config
+        zp = cfg.activation_zero_point
+        qkv = blk.qkv.forward(x_stored, executor)  # (3h, N)
+        h, n = cfg.hidden, x_stored.shape[1]
+        q, k, v = qkv[:h], qkv[h : 2 * h], qkv[2 * h :]
+        d = cfg.head_dim
+        out = np.empty((h, n), dtype=np.int64)
+        tokens = cfg.tokens
+        for b in range(batch):
+            cols = slice(b * tokens, (b + 1) * tokens)
+            for head in range(cfg.heads):
+                rows = slice(head * d, (head + 1) * d)
+                q_c = q[rows, cols] - zp  # centered (d, T)
+                # scores (T, T) = q_c^T @ (k_stored - zp)
+                scores = executor.gemm(
+                    np.ascontiguousarray(q_c.T), k[rows, cols], b_zero_point=zp
+                )
+                scores_fp = blk.attn_scale.apply(scores)
+                probs = shiftmax(
+                    scores_fp,
+                    fraction_bits=cfg.fraction_bits,
+                    out_bits=cfg.activation_bits,
+                    axis=-1,
+                )
+                # stored unsigned, zero point 0 (probabilities are >= 0)
+                probs = np.minimum(probs, cfg.activation_max)
+                # context (d, T) = (v - zp) @ probs^T columns
+                v_c = v[rows, cols] - zp
+                ctx = executor.gemm(v_c, probs.T, b_zero_point=None)
+                ctx_q = requantize(
+                    ctx, blk.ctx_scale, out_min=-(zp - 1), out_max=zp - 1
+                )
+                out[rows, cols] = ctx_q + zp
+        return blk.proj.forward(out, executor)
+
+    def _mlp(self, x_stored: np.ndarray, blk: _Block, executor: GemmExecutor) -> np.ndarray:
+        cfg = self.config
+        zp = cfg.activation_zero_point
+        acc = executor.gemm(blk.fc1.weight, x_stored, b_zero_point=zp)
+        acc = acc + blk.fc1.bias[:, None]
+        pre = blk.gelu_in_scale.apply(acc)  # fixed point, F fraction bits
+        act = shiftgelu(pre, fraction_bits=cfg.fraction_bits)
+        stored = requantize(
+            act, blk.gelu_out_scale, out_min=-(zp - 1), out_max=zp - 1
+        ) + zp
+        return blk.fc2.forward(stored, executor)
+
+    def _residual(self, a_stored: np.ndarray, b_stored: np.ndarray) -> np.ndarray:
+        zp = self.config.activation_zero_point
+        total = residual_add(
+            np.asarray(a_stored, dtype=np.int64) - zp,
+            np.asarray(b_stored, dtype=np.int64) - zp,
+        )
+        return np.clip(total, -(zp - 1), zp - 1) + zp
+
+    # -- inference ---------------------------------------------------------------
+
+    def forward(self, images: np.ndarray, executor: GemmExecutor) -> np.ndarray:
+        """Integer inference.
+
+        ``images`` is uint8 (batch, channels, H, W).  Returns int64
+        logits of shape (num_classes, batch) — the head applied to each
+        image's class-token column.
+        """
+        cfg = self.config
+        imgs = np.asarray(images)
+        if imgs.ndim != 4 or imgs.shape[1:] != (
+            cfg.in_channels,
+            cfg.image_size,
+            cfg.image_size,
+        ):
+            raise ModelConfigError(
+                f"expected images of shape (B, {cfg.in_channels}, "
+                f"{cfg.image_size}, {cfg.image_size}), got {imgs.shape}"
+            )
+        if imgs.min() < 0 or imgs.max() > 255:
+            raise ModelConfigError("images must be uint8-range")
+        batch = imgs.shape[0]
+        p = cfg.patch_size
+        side = cfg.image_size // p
+
+        # Patchify to (patch_dim, patches * batch), batch-major columns.
+        cols = []
+        for b in range(batch):
+            img = imgs[b]
+            patches = (
+                img.reshape(cfg.in_channels, side, p, side, p)
+                .transpose(1, 3, 0, 2, 4)
+                .reshape(cfg.patches, cfg.patch_dim)
+            )
+            cols.append(patches.T)
+        x = np.concatenate(cols, axis=1).astype(np.int64)
+        # Quantize 8-bit pixels into the activation bitwidth (identity
+        # for the paper's int8 configuration).
+        if cfg.activation_bits < 8:
+            x = x >> np.int64(8 - cfg.activation_bits)
+
+        # Embed patches, prepend the class token, add position embeddings.
+        zp = cfg.activation_zero_point
+        emb = self.patch_embed.forward(x, executor)  # (hidden, patches*batch)
+        tokens = []
+        for b in range(batch):
+            sl = emb[:, b * cfg.patches : (b + 1) * cfg.patches]
+            tok = np.concatenate([self.cls_token, sl], axis=1) + self.pos_embed
+            tokens.append(np.clip(tok, 0, cfg.activation_max))
+        x = np.concatenate(tokens, axis=1)  # (hidden, tokens*batch)
+
+        self.trace["block_ranges"] = []
+        zp_f = float(zp)
+        for blk in self.blocks:
+            normed = self._layernorm(x, blk.ln1_gamma, blk.ln1_beta, blk.ln_out_scale)
+            x = self._residual(x, self._attention(normed, blk, executor, batch))
+            normed = self._layernorm(x, blk.ln2_gamma, blk.ln2_beta, blk.ln_out_scale)
+            x = self._residual(x, self._mlp(normed, blk, executor))
+            # Calibration telemetry: how much of the integer range each
+            # block's activations occupy, and how hard they saturate.
+            centered = x - zp
+            bound = zp - 1
+            self.trace["block_ranges"].append(
+                {
+                    "min": int(centered.min()),
+                    "max": int(centered.max()),
+                    "rms_fraction": float(
+                        np.sqrt(np.mean((centered / zp_f) ** 2))
+                    ),
+                    "saturated_fraction": float(
+                        np.mean(np.abs(centered) >= bound)
+                    ),
+                }
+            )
+
+        x = self._layernorm(x, self.head_ln_gamma, self.head_ln_beta,
+                            self.blocks[-1].ln_out_scale if self.blocks else
+                            dyadic_approximate(127 / (3.0 * (1 << cfg.fraction_bits))))
+        cls_cols = x[:, [b * cfg.tokens for b in range(batch)]]  # (hidden, batch)
+        logits = executor.gemm(self.head.weight, cls_cols, b_zero_point=zp)
+        return logits + self.head.bias[:, None]

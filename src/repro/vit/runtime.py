@@ -1,0 +1,194 @@
+"""End-to-end inference: functional execution and simulated timing.
+
+Two entry points mirror the paper's two claims:
+
+* :func:`verify_bit_exact` — the accuracy claim: inference under a
+  fused/packed strategy produces bit-identical logits to the plain
+  integer reference (stronger than "no accuracy loss on ImageNet").
+* :func:`time_inference` — the performance claim: price the full
+  kernel stream of :func:`~repro.vit.workload.vit_workload` under a
+  Table 3 strategy on the simulated Jetson, applying the paper's
+  strategy -> kernel-family mapping (Table 3's T/C labels): T-scoped
+  methods leave CUDA-core kernels at the IC baseline; VitBit (T,C)
+  accelerates both; C-scoped methods leave Tensor-core kernels on
+  Tensor cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+from repro.fusion.strategies import IC, TC, Strategy
+from repro.perfmodel.model import KernelTiming, PerformanceModel
+from repro.sim.instruction import OpClass
+from repro.utils.rng import make_rng
+from repro.vit.config import ViTConfig
+from repro.vit.layers import GemmExecutor
+from repro.vit.model import IntViT
+from repro.vit.workload import DEFAULT_BATCH, KernelWork, vit_workload
+
+__all__ = [
+    "run_inference",
+    "verify_bit_exact",
+    "InferenceTiming",
+    "time_inference",
+    "gemm_strategy_for",
+    "cuda_kernel_strategy_for",
+]
+
+
+# -- functional ----------------------------------------------------------------
+
+
+def run_inference(
+    model: IntViT,
+    images: np.ndarray,
+    strategy: Strategy | None = None,
+    *,
+    method: str = "lane",
+) -> np.ndarray:
+    """Integer inference under ``strategy`` (None = plain reference).
+
+    The packing policy follows the model's activation bitwidth (Fig. 3:
+    int8 packs 2 lanes, int4 packs 4, ...).
+    """
+    from repro.packing.policy import policy_for_bitwidth
+
+    policy = policy_for_bitwidth(model.config.activation_bits)
+    executor = GemmExecutor(strategy, policy, method=method)
+    return model.forward(images, executor)
+
+
+def verify_bit_exact(
+    model: IntViT,
+    strategy: Strategy,
+    *,
+    batch: int = 1,
+    seed: int | None = None,
+    method: str = "lane",
+) -> bool:
+    """The paper's accuracy claim, in its strongest checkable form.
+
+    Runs the same random images through the reference executor and the
+    ``strategy`` executor and compares logits bit for bit.
+    """
+    cfg = model.config
+    rng = make_rng(seed)
+    images = rng.integers(
+        0, 256, size=(batch, cfg.in_channels, cfg.image_size, cfg.image_size)
+    )
+    ref = run_inference(model, images, None)
+    got = run_inference(model, images, strategy, method=method)
+    return bool(np.array_equal(ref, got))
+
+
+# -- strategy mapping (Table 3's T/C scoping) -----------------------------------
+
+
+def gemm_strategy_for(strategy: Strategy) -> Strategy:
+    """How ``strategy`` executes Tensor-core kernels (GEMMs).
+
+    C-scoped methods (IC, FC, IC+FC) do not change GEMM execution in
+    the paper's end-to-end runs — GEMMs stay on Tensor cores.
+    """
+    return strategy if strategy.uses_tensor else TC
+
+
+def cuda_kernel_strategy_for(strategy: Strategy) -> Strategy:
+    """How ``strategy`` executes CUDA-core kernels.
+
+    T-scoped methods (TC, Tacker, TC+IC+FC) leave them at the IC
+    baseline; VitBit and the C-scoped methods apply themselves.
+    """
+    if "C" in strategy.kernel_scope.split(","):
+        return strategy
+    return IC
+
+
+# -- timing ---------------------------------------------------------------------
+
+
+@dataclass
+class InferenceTiming:
+    """Simulated end-to-end inference cost under one strategy."""
+
+    strategy: str
+    total_seconds: float
+    gemm_seconds: float
+    elementwise_seconds: float
+    kernel_launches: int
+    instructions: float
+    issued: dict[OpClass, float] = field(default_factory=dict)
+    per_kernel: list[tuple[str, float]] = field(default_factory=list)
+
+    def seconds_for(self, prefix: str) -> float:
+        """Total time of kernels whose name starts with ``prefix``."""
+        return sum(s for name, s in self.per_kernel if name.startswith(prefix))
+
+    def report(self) -> str:
+        """Per-kernel timing breakdown as an ASCII table."""
+        from repro.utils.tables import format_table
+
+        rows = [
+            (name, secs * 1e3, 100.0 * secs / self.total_seconds)
+            for name, secs in sorted(
+                self.per_kernel, key=lambda kv: kv[1], reverse=True
+            )
+        ]
+        rows.append(("TOTAL", self.total_seconds * 1e3, 100.0))
+        return format_table(
+            ["kernel", "time (ms)", "% of inference"],
+            rows,
+            title=f"Inference breakdown — {self.strategy} "
+            f"({self.kernel_launches} launches)",
+        )
+
+
+def time_inference(
+    pm: PerformanceModel,
+    strategy: Strategy,
+    *,
+    config: ViTConfig | None = None,
+    batch: int = DEFAULT_BATCH,
+    workload: list[KernelWork] | None = None,
+) -> InferenceTiming:
+    """Price one full inference under ``strategy`` on the simulated GPU."""
+    work = workload if workload is not None else vit_workload(config, batch)
+    if not work:
+        raise ModelConfigError("empty workload")
+    gemm_strat = gemm_strategy_for(strategy)
+    cuda_strat = cuda_kernel_strategy_for(strategy)
+
+    total = gemm_s = elem_s = 0.0
+    launches = 0
+    instructions = 0.0
+    issued: dict[OpClass, float] = {}
+    per_kernel: list[tuple[str, float]] = []
+    for kw in work:
+        if kw.kind == "gemm":
+            strat = gemm_strat if kw.fusable else TC
+            kt: KernelTiming = pm.time_gemm(kw.gemm, strat)
+            gemm_s += kt.seconds * kw.repeat
+        else:
+            kt = pm.time_elementwise(kw.elementwise, kw.n_elements, cuda_strat)
+            elem_s += kt.seconds * kw.repeat
+        total += kt.seconds * kw.repeat
+        launches += kw.repeat
+        instructions += kt.instructions * kw.repeat
+        for op, v in kt.issued.items():
+            issued[op] = issued.get(op, 0.0) + v * kw.repeat
+        per_kernel.append((kw.name, kt.seconds * kw.repeat))
+
+    return InferenceTiming(
+        strategy=strategy.name,
+        total_seconds=total,
+        gemm_seconds=gemm_s,
+        elementwise_seconds=elem_s,
+        kernel_launches=launches,
+        instructions=instructions,
+        issued=issued,
+        per_kernel=per_kernel,
+    )

@@ -1,0 +1,138 @@
+"""The per-inference kernel inventory (what Figs. 5-10 price).
+
+One ViT inference is a fixed sequence of kernel launches; this module
+enumerates them with their shapes so the performance model can price
+each under a Table 3 strategy.  Batched per-head GEMMs (attention
+scores/context) fold their batch into the column axis — the batched-N
+layout the real batched-GEMM kernels use, and the axis Algorithm 1
+splits.
+
+The default batch size is 8: the paper does not state one, and at
+batch 1 the weight streams dominate DRAM so every strategy is
+memory-bound on our LPDDR5 model; batch 8 puts the GEMMs in the
+compute-bound regime the paper's measurements imply (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelConfigError
+from repro.perfmodel.descriptors import ELEMENTWISE_KERNELS, GemmShape
+from repro.vit.config import ViTConfig
+
+__all__ = ["KernelWork", "vit_workload", "DEFAULT_BATCH"]
+
+DEFAULT_BATCH = 8
+
+
+@dataclass(frozen=True)
+class KernelWork:
+    """One kernel launch in the inference stream.
+
+    ``kind`` is ``"gemm"`` or ``"elementwise"``; exactly one of
+    ``gemm``/``elementwise`` is set.  ``scope`` mirrors Table 3's
+    labels: ``"T"`` for Tensor-core kernels, ``"C"`` for CUDA-core
+    kernels.  ``repeat`` counts identical launches (e.g. per block).
+
+    ``fusable`` marks GEMMs the kernel-reconstruction step rewrites.
+    The paper's reconstruction targets the *Linear* kernels (Fig. 6);
+    the batched per-head attention matmuls and the classifier head are
+    small/memory-bound shapes where splitting off an FP32 slice only
+    adds traffic, so they stay on Tensor cores under every strategy.
+    """
+
+    name: str
+    kind: str
+    scope: str
+    gemm: GemmShape | None = None
+    elementwise: str | None = None
+    n_elements: int = 0
+    repeat: int = 1
+    fusable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind == "gemm":
+            if self.gemm is None or self.elementwise is not None:
+                raise ModelConfigError(f"GEMM work {self.name!r} needs a shape only")
+        elif self.kind == "elementwise":
+            if self.elementwise is None or self.n_elements < 1:
+                raise ModelConfigError(
+                    f"elementwise work {self.name!r} needs a kernel and size"
+                )
+            if self.elementwise not in ELEMENTWISE_KERNELS:
+                raise ModelConfigError(
+                    f"unknown elementwise kernel {self.elementwise!r}"
+                )
+        else:
+            raise ModelConfigError(f"unknown kind {self.kind!r}")
+        if self.repeat < 1:
+            raise ModelConfigError("repeat must be >= 1")
+
+
+def vit_workload(
+    config: ViTConfig | None = None, batch: int = DEFAULT_BATCH
+) -> list[KernelWork]:
+    """All kernel launches of one ViT inference, in execution order."""
+    cfg = config if config is not None else ViTConfig.vit_base()
+    if batch < 1:
+        raise ModelConfigError(f"batch must be >= 1, got {batch}")
+    t, h, d = cfg.tokens, cfg.hidden, cfg.head_dim
+    n = t * batch
+    seq = h * n  # elements of one (hidden, tokens*batch) activation
+    work: list[KernelWork] = []
+
+    work.append(
+        KernelWork(
+            "patch_embed",
+            "gemm",
+            "T",
+            gemm=GemmShape(h, cfg.patches * batch, cfg.patch_dim, name="patch_embed"),
+        )
+    )
+
+    blocks = cfg.depth
+    work += [
+        KernelWork("ln1", "elementwise", "C", elementwise="layernorm",
+                   n_elements=seq, repeat=blocks),
+        KernelWork("qkv", "gemm", "T", repeat=blocks,
+                   gemm=GemmShape(3 * h, n, h, name="qkv")),
+        KernelWork("attn_scores", "gemm", "T", repeat=blocks, fusable=False,
+                   gemm=GemmShape(t, t * cfg.heads * batch, d, name="attn_scores")),
+        KernelWork("softmax", "elementwise", "C", elementwise="softmax",
+                   n_elements=cfg.heads * t * t * batch, repeat=blocks),
+        KernelWork("attn_context", "gemm", "T", repeat=blocks, fusable=False,
+                   gemm=GemmShape(d, t * cfg.heads * batch, t, name="attn_context")),
+        KernelWork("proj", "gemm", "T", repeat=blocks,
+                   gemm=GemmShape(h, n, h, name="proj")),
+        KernelWork("attn_dropout", "elementwise", "C", elementwise="dropout",
+                   n_elements=seq, repeat=blocks),
+        KernelWork("residual1", "elementwise", "C", elementwise="residual",
+                   n_elements=seq, repeat=blocks),
+        KernelWork("ln2", "elementwise", "C", elementwise="layernorm",
+                   n_elements=seq, repeat=blocks),
+        KernelWork("fc1", "gemm", "T", repeat=blocks,
+                   gemm=GemmShape(cfg.mlp_dim, n, h, name="fc1")),
+        KernelWork("gelu", "elementwise", "C", elementwise="gelu",
+                   n_elements=cfg.mlp_dim * n, repeat=blocks),
+        KernelWork("fc2", "gemm", "T", repeat=blocks,
+                   gemm=GemmShape(h, n, cfg.mlp_dim, name="fc2")),
+        KernelWork("mlp_dropout", "elementwise", "C", elementwise="dropout",
+                   n_elements=seq, repeat=blocks),
+        KernelWork("residual2", "elementwise", "C", elementwise="residual",
+                   n_elements=seq, repeat=blocks),
+        KernelWork("requant", "elementwise", "C", elementwise="requantize",
+                   n_elements=seq, repeat=2 * blocks),
+    ]
+
+    work.append(
+        KernelWork("head_ln", "elementwise", "C", elementwise="layernorm",
+                   n_elements=seq)
+    )
+    work.append(
+        KernelWork(
+            "head", "gemm", "T", fusable=False,
+            gemm=GemmShape(cfg.num_classes, batch, h, name="head"),
+        )
+    )
+    return work

@@ -1,0 +1,33 @@
+"""Model zoo: standard ViT/DeiT variants for scaling studies.
+
+The paper evaluates ViT-Base only; these configs let the benchmarks ask
+how VitBit's gains scale with model width/depth (DeiT-Tiny's 192-wide
+GEMMs stress the m rule differently than ViT-Large's 1024-wide ones).
+All are integer-only models built through :class:`~repro.vit.model.IntViT`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelConfigError
+from repro.vit.config import ViTConfig
+
+__all__ = ["MODEL_ZOO", "model_config"]
+
+
+MODEL_ZOO: dict[str, ViTConfig] = {
+    "deit-tiny": ViTConfig(hidden=192, depth=12, heads=3, mlp_dim=768),
+    "deit-small": ViTConfig(hidden=384, depth=12, heads=6, mlp_dim=1536),
+    "vit-base": ViTConfig.vit_base(),
+    "vit-large": ViTConfig(hidden=1024, depth=24, heads=16, mlp_dim=4096),
+    "test-tiny": ViTConfig.test_tiny(),
+}
+
+
+def model_config(name: str) -> ViTConfig:
+    """Look up a zoo model by name (case-insensitive)."""
+    try:
+        return MODEL_ZOO[name.lower()]
+    except KeyError:
+        raise ModelConfigError(
+            f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}"
+        ) from None

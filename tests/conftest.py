@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import jetson_orin_agx
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG, fresh per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The paper's evaluation platform."""
+    return jetson_orin_agx()

@@ -1,0 +1,141 @@
+"""Unit + property tests for guard-bit budgets and chunked accumulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PackingError
+from repro.packing import (
+    ChunkedAccumulator,
+    Packer,
+    guard_bits,
+    packed_scalar_mul,
+    policy_for_bitwidth,
+    safe_accumulation_depth,
+)
+
+POL8 = policy_for_bitwidth(8)
+POL5 = policy_for_bitwidth(5)
+POL4 = policy_for_bitwidth(4)
+
+
+class TestGuardBits:
+    def test_int8_pair_has_zero_guard(self):
+        # 8-bit x 8-bit product exactly fills the 16-bit field.
+        assert guard_bits(POL8, 8, 8) == 0
+
+    def test_int7_weights_buy_one_guard_bit(self):
+        assert guard_bits(POL8, 7, 8) == 1
+
+    def test_int5_triple_has_zero_guard(self):
+        assert guard_bits(POL5, 5, 5) == 0
+
+    def test_b_wider_than_policy_rejected(self):
+        with pytest.raises(PackingError):
+            guard_bits(POL8, 8, 9)
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(PackingError):
+            guard_bits(POL8, 0, 8)
+
+
+class TestSafeDepth:
+    def test_int8_symmetric_weights(self):
+        # 127 * 255 = 32385; floor(65535 / 32385) = 2.
+        assert safe_accumulation_depth(POL8, 7, 8) == 2
+
+    def test_int8_full_unsigned(self):
+        # 255 * 255 = 65025; floor(65535 / 65025) = 1.
+        assert safe_accumulation_depth(POL8, 8, 8) == 1
+
+    def test_int4(self):
+        # 15 * 15 = 225; floor(255 / 225) = 1.
+        assert safe_accumulation_depth(POL4, 4, 4) == 1
+
+    def test_small_operands_deep_budget(self):
+        # 3 * 3 = 9 products in a 16-bit field -> 7281 safe adds.
+        assert safe_accumulation_depth(POL8, 2, 2) == 65535 // 9
+
+    def test_widened_fields_buy_depth(self):
+        pol = policy_for_bitwidth(5).with_lanes(2)  # 16-bit fields
+        assert safe_accumulation_depth(pol, 5, 5) > safe_accumulation_depth(
+            POL5, 5, 5
+        )
+
+
+class TestChunkedAccumulator:
+    def test_exact_deep_accumulation(self, rng):
+        """Accumulating far past the safe depth stays exact via spills."""
+        pol = POL8
+        packer = Packer(pol)
+        k = 100
+        scalars = rng.integers(0, 128, size=k)
+        lanes = rng.integers(0, 256, size=(k, 2))
+        acc = ChunkedAccumulator(pol, a_bits=7, b_bits=8, shape=(1,))
+        for s, row in zip(scalars, lanes):
+            packed = packer.pack(row)
+            acc.add(packed_scalar_mul(int(s), packed, pol))
+        result = acc.result()[0]
+        expected = (scalars[:, None] * lanes).sum(axis=0)
+        assert np.array_equal(result, expected)
+        assert acc.spill_count >= k // acc.safe_depth
+
+    def test_spill_counts(self):
+        acc = ChunkedAccumulator(POL8, a_bits=7, b_bits=8, shape=(1,))
+        assert acc.safe_depth == 2
+        packer = Packer(POL8)
+        reg = packed_scalar_mul(1, packer.pack(np.array([1, 1])), POL8)
+        for _ in range(5):
+            acc.add(reg)
+        acc.result()
+        # 5 adds at depth 2 -> spills at adds 3 and 5, plus the final flush.
+        assert acc.spill_count == 3
+        assert acc.add_count == 5
+
+    def test_result_idempotent(self):
+        acc = ChunkedAccumulator(POL8, a_bits=7, b_bits=8, shape=(2,))
+        packer = Packer(POL8)
+        reg = packer.pack(np.array([3, 4, 5, 6]))  # two registers, shape (2,)
+        acc.add(reg)
+        first = acc.result()
+        second = acc.result()
+        assert np.array_equal(first, second)
+
+    def test_empty_accumulator_is_zero(self):
+        acc = ChunkedAccumulator(POL8, a_bits=7, b_bits=8, shape=(3,))
+        assert np.array_equal(acc.result(), np.zeros((3, 2), dtype=np.int64))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    bits=st.integers(min_value=2, max_value=8),
+    a_bits=st.integers(min_value=1, max_value=8),
+    k=st.integers(min_value=1, max_value=60),
+    data=st.data(),
+)
+def test_property_chunked_accumulation_exact(bits, a_bits, k, data):
+    """For any operand widths and depth, the chunked result is exact."""
+    pol = policy_for_bitwidth(bits)
+    a_bits = min(a_bits, pol.field_bits - bits)  # single product must fit
+    if a_bits < 1:
+        return
+    packer = Packer(pol)
+    scalars = np.array(
+        data.draw(st.lists(st.integers(0, (1 << a_bits) - 1), min_size=k, max_size=k))
+    )
+    lanes = np.array(
+        data.draw(
+            st.lists(
+                st.lists(st.integers(0, pol.max_value), min_size=pol.lanes, max_size=pol.lanes),
+                min_size=k,
+                max_size=k,
+            )
+        )
+    )
+    acc = ChunkedAccumulator(pol, a_bits=a_bits, b_bits=bits, shape=(1,))
+    for s, row in zip(scalars, lanes):
+        acc.add(packed_scalar_mul(int(s), packer.pack(row), pol))
+    assert np.array_equal(acc.result()[0], (scalars[:, None] * lanes).sum(axis=0))

@@ -1,0 +1,40 @@
+"""Keep docs/API.md in sync with the code, and audit docstring coverage."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pathlib
+import sys
+
+import pytest
+
+TOOLS = pathlib.Path(__file__).resolve().parents[1] / "tools"
+sys.path.insert(0, str(TOOLS))
+
+from gen_api_index import OUT, iter_modules, render  # noqa: E402
+
+
+def test_api_index_is_fresh():
+    """docs/API.md must match a regeneration from the current code."""
+    assert OUT.exists(), "run: python tools/gen_api_index.py"
+    assert OUT.read_text() == render()
+
+
+def test_every_package_is_indexed():
+    names = iter_modules()
+    for pkg in ("repro.packing", "repro.fusion", "repro.vit", "repro.sim",
+                "repro.perfmodel", "repro.arch", "repro.kernels",
+                "repro.preprocess", "repro.formats", "repro.cnn"):
+        assert pkg in names
+
+
+@pytest.mark.parametrize("name", [n for n in iter_modules()])
+def test_every_public_symbol_documented(name):
+    """Every ``__all__`` entry exists and carries a docstring."""
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        obj = getattr(module, symbol, None)
+        assert obj is not None, f"{name}.{symbol} exported but missing"
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert inspect.getdoc(obj), f"{name}.{symbol} is undocumented"

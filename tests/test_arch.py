@@ -1,0 +1,135 @@
+"""Unit tests for repro.arch: machine specs, Table 1 throughput, density."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import (
+    arithmetic_density,
+    cuda_core_peak_ops,
+    jetson_orin_agx,
+    normalized_density,
+    peak_throughput_table,
+    tensor_core_peak_ops,
+)
+from repro.arch.throughput import packed_cuda_core_peak_ops
+from repro.arch.specs import MachineSpec, SMSpec
+from repro.errors import FormatError
+
+
+class TestOrinSpec:
+    def test_table2_cuda_cores(self, machine):
+        assert machine.cuda_cores == 1792
+
+    def test_table2_tensor_cores(self, machine):
+        assert machine.tensor_cores == 56
+
+    def test_table2_memory(self, machine):
+        assert machine.dram_bandwidth_gbps == pytest.approx(204.8)
+        assert machine.dram_capacity_gb == 32.0
+
+    def test_sm_count(self, machine):
+        assert machine.sm_count == 14
+
+    def test_equal_int_fp_lanes(self, machine):
+        # Sec. 3.2: "the number of available INT cores and FP cores per
+        # SM is the same" — the premise of Eq. 1.
+        assert machine.sm.int_lanes == machine.sm.fp_lanes
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(
+                name="bad",
+                sm_count=0,
+                clock_ghz=1.0,
+                dram_bandwidth_gbps=100.0,
+                dram_capacity_gb=8.0,
+            )
+
+    def test_cycles_to_seconds(self, machine):
+        assert machine.cycles_to_seconds(machine.clock_hz) == pytest.approx(1.0)
+
+
+class TestTable1:
+    """Every row of Table 1, within 2% of the paper's numbers."""
+
+    PAPER = {
+        ("FP32", "CUDA Core"): 4.0,
+        ("FP16", "CUDA Core"): 8.0,
+        ("TF32", "Tensor Core"): 32.0,
+        ("FP16", "Tensor Core"): 65.0,
+        ("BFloat16", "Tensor Core"): 65.0,
+        ("INT32", "CUDA Core"): 4.0,
+        ("INT8", "Tensor Core"): 131.0,
+        ("INT4", "Tensor Core"): 262.0,
+    }
+
+    def test_all_rows_present(self, machine):
+        rows = {(r.fmt, r.unit) for r in peak_throughput_table(machine)}
+        assert rows == set(self.PAPER)
+
+    @pytest.mark.parametrize("key", sorted(PAPER))
+    def test_row_value(self, machine, key):
+        rows = {(r.fmt, r.unit): r.teraops for r in peak_throughput_table(machine)}
+        assert rows[key] == pytest.approx(self.PAPER[key], rel=0.02)
+
+    def test_int8_cuda_equals_int32_without_packing(self, machine):
+        # Table 1 caption: zero-masked INT8 on CUDA cores runs at INT32 speed.
+        assert cuda_core_peak_ops(machine, "int32") == packed_cuda_core_peak_ops(
+            machine, pack_factor=1
+        )
+
+    def test_packing_doubles_int8_cuda_peak(self, machine):
+        assert packed_cuda_core_peak_ops(machine, 2) == pytest.approx(
+            2 * cuda_core_peak_ops(machine, "int32")
+        )
+
+    def test_sec21_hypothetical_native_int8(self, machine):
+        # Sec. 2.1: native INT8 CUDA cores would reach ~32 TOPS, i.e. ~25%
+        # of the Tensor cores' INT8 peak.
+        hypothetical = packed_cuda_core_peak_ops(machine, 8)
+        assert hypothetical / 1e12 == pytest.approx(32.0, rel=0.02)
+        ratio = hypothetical / tensor_core_peak_ops(machine, "int8")
+        assert ratio == pytest.approx(0.25, rel=0.05)
+
+    def test_unknown_pipe_rejected(self, machine):
+        with pytest.raises(FormatError):
+            cuda_core_peak_ops(machine, "int64")
+
+    def test_unknown_tc_format_rejected(self, machine):
+        with pytest.raises(FormatError):
+            tensor_core_peak_ops(machine, "fp64")
+
+    def test_bad_simd_factor_rejected(self, machine):
+        with pytest.raises(FormatError):
+            cuda_core_peak_ops(machine, "int32", simd_factor=0)
+
+
+class TestDensity:
+    def test_density_scales_inverse_with_time(self, machine):
+        d1 = arithmetic_density(machine, 1e9, 1.0)
+        d2 = arithmetic_density(machine, 1e9, 0.5)
+        assert d2 == pytest.approx(2 * d1)
+
+    def test_normalized_density_is_speedup(self, machine):
+        # Same useful ops, faster execution -> density ratio == speedup.
+        assert normalized_density(machine, 1e9, 0.8, 1.0) == pytest.approx(1.25)
+
+    def test_rejects_nonpositive(self, machine):
+        with pytest.raises(ValueError):
+            arithmetic_density(machine, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            arithmetic_density(machine, 1.0, 0.0)
+
+
+class TestSMSpec:
+    def test_warps_per_partition(self):
+        sm = SMSpec()
+        assert sm.max_warps_per_partition == 12
+
+    def test_marketing_core_count(self):
+        assert SMSpec().cuda_cores == 128
+
+    def test_tensor_core_unknown_format(self):
+        with pytest.raises(FormatError):
+            SMSpec().tensor_core.macs_per_cycle("fp8")

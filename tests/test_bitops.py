@@ -1,0 +1,119 @@
+"""Unit tests for repro.utils.bitops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.utils.bitops import (
+    bit_length_unsigned,
+    field_mask,
+    lane_masks,
+    max_signed,
+    max_unsigned,
+    min_signed,
+    sign_extend,
+)
+
+
+class TestRanges:
+    def test_max_unsigned(self):
+        assert max_unsigned(1) == 1
+        assert max_unsigned(8) == 255
+        assert max_unsigned(32) == 0xFFFFFFFF
+
+    def test_max_signed(self):
+        assert max_signed(8) == 127
+        assert max_signed(2) == 1
+
+    def test_min_signed(self):
+        assert min_signed(8) == -128
+        assert min_signed(2) == -2
+
+    @pytest.mark.parametrize("fn", [max_unsigned, max_signed, min_signed])
+    def test_zero_bits_rejected(self, fn):
+        with pytest.raises(FormatError):
+            fn(0)
+
+    @given(st.integers(min_value=1, max_value=63))
+    def test_signed_range_is_symmetric_plus_one(self, bits):
+        assert min_signed(bits) == -(max_signed(bits) + 1)
+
+
+class TestMasks:
+    def test_field_mask(self):
+        assert field_mask(8) == 0xFF
+        assert field_mask(16) == 0xFFFF
+
+    def test_lane_masks_int8_pair(self):
+        assert lane_masks(16, 2) == [0xFFFF, 0xFFFF0000]
+
+    def test_lane_masks_int4_quad(self):
+        masks = lane_masks(8, 4)
+        assert masks == [0xFF, 0xFF00, 0xFF0000, 0xFF000000]
+
+    def test_lane_masks_disjoint(self):
+        masks = lane_masks(10, 3)
+        combined = 0
+        for m in masks:
+            assert combined & m == 0
+            combined |= m
+
+    def test_lane_masks_overflow_rejected(self):
+        with pytest.raises(FormatError):
+            lane_masks(16, 3)
+
+    def test_lane_masks_zero_lanes_rejected(self):
+        with pytest.raises(FormatError):
+            lane_masks(8, 0)
+
+
+class TestBitLength:
+    def test_empty_needs_one_bit(self):
+        assert bit_length_unsigned(np.array([], dtype=np.int64)) == 1
+
+    def test_zero_needs_one_bit(self):
+        assert bit_length_unsigned(np.zeros(5, dtype=np.int64)) == 1
+
+    def test_255_needs_eight_bits(self):
+        assert bit_length_unsigned(np.array([255])) == 8
+
+    def test_256_needs_nine_bits(self):
+        assert bit_length_unsigned(np.array([3, 256, 7])) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(FormatError):
+            bit_length_unsigned(np.array([-1]))
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_matches_python_bit_length(self, v):
+        expected = max(1, v.bit_length())
+        assert bit_length_unsigned(np.array([v])) == expected
+
+
+class TestSignExtend:
+    def test_int8_minus_one(self):
+        assert sign_extend(np.array([0xFF]), 8).tolist() == [-1]
+
+    def test_int8_min(self):
+        assert sign_extend(np.array([0x80]), 8).tolist() == [-128]
+
+    def test_positive_passthrough(self):
+        assert sign_extend(np.array([0x7F]), 8).tolist() == [127]
+
+    def test_bits_out_of_range(self):
+        with pytest.raises(FormatError):
+            sign_extend(np.array([1]), 64)
+
+    @given(
+        st.integers(min_value=2, max_value=32),
+        st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    )
+    def test_roundtrip_via_twos_complement(self, bits, value):
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        value = max(lo, min(hi, value))
+        raw = value & ((1 << bits) - 1)
+        assert sign_extend(np.array([raw]), bits).tolist() == [value]

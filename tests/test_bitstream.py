@@ -1,0 +1,145 @@
+"""Tests for dense bitstream packing (sub-byte DRAM storage)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PackingError
+from repro.packing import bitstream_words, pack_bitstream, unpack_bitstream
+
+
+class TestWords:
+    def test_exact_fit(self):
+        assert bitstream_words(32, 1) == 1
+        assert bitstream_words(4, 8) == 1
+        assert bitstream_words(1, 32) == 1
+
+    def test_straddle_rounds_up(self):
+        assert bitstream_words(6, 6) == 2  # 36 bits
+        assert bitstream_words(5, 6) == 1  # 30 bits
+
+    def test_zero(self):
+        assert bitstream_words(0, 7) == 0
+
+    def test_invalid(self):
+        with pytest.raises(PackingError):
+            bitstream_words(-1, 8)
+        with pytest.raises(PackingError):
+            bitstream_words(1, 0)
+        with pytest.raises(PackingError):
+            bitstream_words(1, 33)
+
+
+class TestPack:
+    def test_layout_lsb_first(self):
+        # 6-bit fields: v0 in bits 0..5, v1 in 6..11, ...
+        w = pack_bitstream(np.array([0b111111, 0, 0b101010]), 6)
+        assert w[0] & 0x3F == 0b111111
+        assert (w[0] >> 12) & 0x3F == 0b101010
+
+    def test_straddling_field(self):
+        # Sixth 6-bit field straddles the word boundary (bits 30..35).
+        vals = np.array([0, 0, 0, 0, 0, 0b110011])
+        w = pack_bitstream(vals, 6)
+        assert w.size == 2
+        lo = (int(w[0]) >> 30) & 0b11
+        hi = int(w[1]) & 0b1111
+        assert (hi << 2) | lo == 0b110011
+
+    def test_tail_zero_padded(self):
+        w = pack_bitstream(np.array([1]), 3)
+        assert int(w[0]) == 1
+
+    def test_oversized_code_rejected(self):
+        with pytest.raises(PackingError):
+            pack_bitstream(np.array([8]), 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(PackingError):
+            pack_bitstream(np.array([-1]), 3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(PackingError):
+            pack_bitstream(np.zeros((2, 2), dtype=np.int64), 3)
+
+    def test_density(self):
+        # 6-bit storage is exactly 0.75 B/value at scale.
+        w = pack_bitstream(np.zeros(1600, dtype=np.int64), 6)
+        assert w.size * 4 == 1200
+
+
+class TestUnpack:
+    def test_short_stream_rejected(self):
+        w = pack_bitstream(np.arange(4), 8)
+        with pytest.raises(PackingError):
+            unpack_bitstream(w, 10, 8)
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(PackingError):
+            unpack_bitstream(np.zeros(1, dtype=np.int64), 1, 8)
+
+    def test_partial_read(self):
+        vals = np.arange(20) % 64
+        w = pack_bitstream(vals, 6)
+        assert np.array_equal(unpack_bitstream(w, 7, 6), vals[:7])
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    bits=st.integers(min_value=1, max_value=32),
+    n=st.integers(min_value=0, max_value=300),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_bitstream_roundtrip(bits, n, seed):
+    rng = np.random.default_rng(seed)
+    hi = (1 << bits) - 1 if bits < 63 else (1 << 62)
+    vals = rng.integers(0, hi, size=n, endpoint=True)
+    words = pack_bitstream(vals, bits)
+    assert words.size == bitstream_words(n, bits)
+    assert np.array_equal(unpack_bitstream(words, n, bits), vals)
+
+
+class TestExpandToRegisters:
+    def test_storage_to_compute_bridge(self, rng):
+        """Dense 6-bit storage expands into carry-safe 2-lane registers
+        and the packed GEMM over them is exact."""
+        from repro.packing import (
+            Packer,
+            expand_to_registers,
+            policy_for_bitwidth,
+        )
+
+        pol = policy_for_bitwidth(6)
+        vals = rng.integers(0, 64, size=100)
+        stream = pack_bitstream(vals, 6)
+        regs = expand_to_registers(stream, 100, 6, pol)
+        assert regs.dtype == np.uint32
+        assert regs.shape == (50,)
+        assert np.array_equal(Packer(pol).unpack(regs, 100), vals)
+
+    def test_width_mismatch_rejected(self, rng):
+        from repro.packing import expand_to_registers, policy_for_bitwidth
+
+        pol = policy_for_bitwidth(4)
+        stream = pack_bitstream(rng.integers(0, 64, size=10), 6)
+        with pytest.raises(PackingError):
+            expand_to_registers(stream, 10, 6, pol)
+
+
+def test_integration_fp6_weights_dense_storage(rng):
+    """The full arbitrary-format story: quantize float weights to FP6,
+    store densely (0.75 B/value), load back, dequantize — lossless
+    against direct quantization."""
+    from repro.formats.lowfp import FP6_E2M3
+
+    w = rng.normal(size=4096)
+    codes = FP6_E2M3.encode(w)
+    stream = pack_bitstream(codes.astype(np.int64), 6)
+    assert stream.size * 4 <= 0.76 * w.size
+    codes_back = unpack_bitstream(stream, w.size, 6)
+    assert np.array_equal(
+        FP6_E2M3.decode(codes_back), FP6_E2M3.quantize(w)
+    )

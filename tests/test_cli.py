@@ -1,0 +1,79 @@
+"""Tests for the ``python -m repro`` command line."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+from repro.errors import ModelConfigError
+from repro.vit.zoo import MODEL_ZOO, model_config
+
+
+class TestZoo:
+    def test_all_models_valid(self):
+        for name, cfg in MODEL_ZOO.items():
+            assert cfg.tokens > 0, name
+
+    def test_lookup_case_insensitive(self):
+        assert model_config("ViT-Base") is MODEL_ZOO["vit-base"]
+
+    def test_unknown_model(self):
+        with pytest.raises(ModelConfigError):
+            model_config("resnet50")
+
+    def test_vit_base_is_table2(self):
+        cfg = model_config("vit-base")
+        assert (cfg.hidden, cfg.depth) == (768, 12)
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Tensor Core" in out and "INT32" in out
+
+    def test_policy_all(self, capsys):
+        assert main(["policy"]) == 0
+        assert "values/reg" in capsys.readouterr().out
+
+    def test_policy_single(self, capsys):
+        assert main(["policy", "--bits", "8"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") < 8  # one data row
+
+    def test_study(self, capsys):
+        assert main(["study", "--batch", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "m = 4" in out
+
+    def test_fig5_small_model(self, capsys):
+        assert main(["fig5", "--model", "deit-tiny", "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "VitBit" in out
+
+    def test_verify_tiny(self, capsys):
+        assert main(["verify", "--model", "test-tiny"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_energy(self, capsys):
+        assert main(["energy", "--batch", "4"]) == 0
+        assert "mJ" in capsys.readouterr().out
+
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        assert "vit-base" in capsys.readouterr().out
+
+    def test_render(self, capsys):
+        assert main(["render", "--bits", "4", "--columns", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__ void vitbit_gemm(" in out
+        assert "4 MACs" in out
+
+    def test_breakdown(self, capsys):
+        assert main(["breakdown", "--strategy", "TC", "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out and "fc1" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

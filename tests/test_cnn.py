@@ -1,0 +1,163 @@
+"""Tests for the integer CNN workload family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnn import (
+    IntConvNet,
+    convnet_workload,
+    im2col,
+    int_avgpool2d,
+    int_conv2d,
+    int_maxpool2d,
+    int_relu,
+)
+from repro.errors import ModelConfigError
+from repro.formats.quantize import DyadicScale
+from repro.fusion import FC, IC_FC, TACKER, VITBIT
+from repro.vit.layers import GemmExecutor
+
+
+class TestIm2col:
+    def test_identity_kernel(self, rng):
+        x = rng.integers(0, 256, size=(2, 4, 4))
+        cols = im2col(x, 1, 1)
+        assert cols.shape == (2, 16)
+        assert np.array_equal(cols, x.reshape(2, 16))
+
+    def test_patch_contents(self):
+        x = np.arange(16, dtype=np.int64).reshape(1, 4, 4)
+        cols = im2col(x, 2, 2, stride=2)
+        assert cols.shape == (4, 4)
+        # First output pixel's receptive field is the top-left 2x2.
+        assert cols[:, 0].tolist() == [0, 1, 4, 5]
+        assert cols[:, 3].tolist() == [10, 11, 14, 15]
+
+    def test_padding_uses_pad_value(self):
+        x = np.ones((1, 2, 2), dtype=np.int64)
+        cols = im2col(x, 3, 3, pad=1, pad_value=99)
+        assert cols.shape == (9, 4)
+        assert (cols == 99).sum() == 5 * 4  # 5 padded taps per corner window
+
+    def test_output_size_error(self):
+        with pytest.raises(ModelConfigError):
+            im2col(np.zeros((1, 2, 2), dtype=np.int64), 5, 5)
+
+    def test_conv_equivalence(self, rng):
+        """im2col + matmul equals a direct convolution loop."""
+        x = rng.integers(-10, 10, size=(3, 6, 6))
+        w = rng.integers(-5, 6, size=(4, 3, 3, 3))
+        cols = im2col(x, 3, 3, pad=1)
+        got = (w.reshape(4, -1) @ cols).reshape(4, 6, 6)
+        ref = np.zeros((4, 6, 6), dtype=np.int64)
+        xp = np.zeros((3, 8, 8), dtype=np.int64)
+        xp[:, 1:7, 1:7] = x
+        for oc in range(4):
+            for i in range(6):
+                for j in range(6):
+                    ref[oc, i, j] = int(
+                        (w[oc] * xp[:, i : i + 3, j : j + 3]).sum()
+                    )
+        assert np.array_equal(got, ref)
+
+
+class TestOps:
+    def test_relu_clamps_at_zero_point(self):
+        x = np.array([[[100, 128, 200]]])
+        assert int_relu(x, zero_point=128)[0, 0].tolist() == [128, 128, 200]
+
+    def test_maxpool(self):
+        x = np.arange(16, dtype=np.int64).reshape(1, 4, 4)
+        out = int_maxpool2d(x, 2)
+        assert out[0].tolist() == [[5, 7], [13, 15]]
+
+    def test_avgpool_floor(self):
+        x = np.array([[[1, 2], [3, 5]]])
+        assert int_avgpool2d(x, 2)[0, 0, 0] == 2  # floor(11/4)
+
+    def test_conv_zero_padding_is_semantic_zero(self, rng):
+        """Padding with the zero point contributes nothing: a conv over
+        an all-zero-point image yields only bias-driven outputs."""
+        w = rng.integers(-127, 128, size=(2, 1, 3, 3), dtype=np.int64)
+        bias = np.array([7, -7], dtype=np.int64)
+        x = np.full((1, 4, 4), 128, dtype=np.int64)  # semantic zeros
+        out = int_conv2d(
+            x, w, bias, DyadicScale(1, 0), GemmExecutor(None),
+            zero_point=128, pad=1,
+        )
+        assert np.all(out[0] == 128 + 7)
+        assert np.all(out[1] == 128 - 7)
+
+
+class TestIntConvNet:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return IntConvNet.create(seed=11)
+
+    @pytest.fixture(scope="class")
+    def images(self):
+        return np.random.default_rng(5).integers(0, 256, size=(2, 3, 32, 32))
+
+    def test_logit_shape(self, net, images):
+        logits = net.forward(images, GemmExecutor(None))
+        assert logits.shape == (10, 2)
+
+    @pytest.mark.parametrize(
+        "strategy", [FC, IC_FC, TACKER, VITBIT], ids=lambda s: s.name
+    )
+    def test_bit_exact_under_strategies(self, net, images, strategy):
+        ref = net.forward(images, GemmExecutor(None))
+        got = net.forward(images, GemmExecutor(strategy))
+        assert np.array_equal(ref, got)
+
+    def test_batch_independence(self, net, images):
+        both = net.forward(images, GemmExecutor(None))
+        solo = net.forward(images[:1], GemmExecutor(None))
+        assert np.array_equal(both[:, :1], solo)
+
+    def test_bad_input_shape(self, net):
+        with pytest.raises(ModelConfigError):
+            net.forward(np.zeros((1, 1, 32, 32), dtype=np.int64), GemmExecutor(None))
+
+    def test_indivisible_image_rejected(self):
+        with pytest.raises(ModelConfigError):
+            IntConvNet.create(image_size=30)
+
+
+class TestWorkload:
+    def test_structure(self):
+        work = convnet_workload()
+        kinds = [kw.kind for kw in work]
+        assert kinds.count("gemm") == 4  # 3 convs + head
+        assert work[-1].name == "head" and not work[-1].fusable
+
+    def test_conv_gemm_shapes(self):
+        work = convnet_workload(image_size=32, channels=(16, 32, 64), batch=4)
+        conv0 = next(kw for kw in work if kw.name == "conv0")
+        assert (conv0.gemm.m, conv0.gemm.k) == (16, 27)
+        assert conv0.gemm.n == 32 * 32 * 4
+
+    def test_timing_runs(self, machine):
+        from repro.fusion import TC
+        from repro.perfmodel import PerformanceModel
+        from repro.vit import time_inference
+
+        pm = PerformanceModel(machine)
+        t = time_inference(pm, TC, workload=convnet_workload(batch=4))
+        assert t.total_seconds > 0
+
+    def test_large_cnn_benefits_from_vitbit(self, machine):
+        """Fat conv GEMMs (ImageNet-class channels) gain; the tiny
+        CIFAR-class net is launch/memory bound and does not — the same
+        size threshold as the ViT batch crossover."""
+        from repro.fusion import TC, VITBIT
+        from repro.perfmodel import PerformanceModel
+        from repro.vit import time_inference
+
+        pm = PerformanceModel(machine)
+        work = convnet_workload(image_size=64, channels=(128, 256, 512), batch=8)
+        base = time_inference(pm, TC, workload=work).total_seconds
+        vb = time_inference(pm, VITBIT, workload=work).total_seconds
+        assert base / vb > 1.1

@@ -1,0 +1,89 @@
+"""Tests for inter-kernel co-scheduling (the original Tacker form)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import jetson_orin_agx
+from repro.errors import ScheduleError
+from repro.fusion import IC, TC, co_schedule, throughput_gain
+from repro.packing import policy_for_bitwidth
+from repro.perfmodel import ELEMENTWISE_KERNELS, CostParams, GemmShape
+from repro.perfmodel.warpsets import elementwise_launch, gemm_launch
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return jetson_orin_agx()
+
+
+@pytest.fixture(scope="module")
+def launches(machine):
+    from repro.fusion import FC
+
+    pol = policy_for_bitwidth(8)
+    params = CostParams(target_sim_instructions=12_000)
+    shape = GemmShape(512, 1024, 512)
+    return {
+        "tc_gemm": gemm_launch(shape, TC, machine, pol, params, 4.0),
+        # INT-pipe-bound and FP-pipe-bound CUDA GEMMs: the perfectly
+        # complementary pair for co-scheduling.
+        "ic_gemm": gemm_launch(shape, IC, machine, pol, params, 0.0),
+        "fc_gemm": gemm_launch(shape, FC, machine, pol, params, 0.0),
+        "softmax": elementwise_launch(
+            ELEMENTWISE_KERNELS["softmax"], 1_500_000, IC, machine, pol, params
+        ),
+        "gelu": elementwise_launch(
+            ELEMENTWISE_KERNELS["gelu"], 1_500_000, IC, machine, pol, params
+        ),
+    }
+
+
+class TestCoSchedule:
+    def test_complementary_pipes_gain(self, machine, launches):
+        """INT-pipe-bound + FP-pipe-bound kernels overlap well — the
+        same physics as the paper's IC+FC, achieved across kernels."""
+        r = co_schedule(machine, launches["ic_gemm"], launches["fc_gemm"])
+        assert r.speedup > 1.2
+
+    def test_tensor_plus_cuda_kernel_gains(self, machine, launches):
+        """The original Tacker pairing: TC GEMM + CUDA elementwise."""
+        r = co_schedule(machine, launches["tc_gemm"], launches["softmax"])
+        assert r.speedup > 1.1
+
+    def test_colliding_kernels_do_not_gain(self, machine, launches):
+        """Two INT-pipe kernels fight for the same resources."""
+        r = co_schedule(machine, launches["softmax"], launches["gelu"])
+        assert r.speedup == pytest.approx(1.0, abs=0.08)
+
+    def test_fused_never_loses_work(self, machine, launches):
+        r = co_schedule(machine, launches["tc_gemm"], launches["softmax"])
+        assert r.fused.instructions > 0
+
+    def test_share_tunes_balance(self, machine, launches):
+        """With both kernels saturating residency, the slot split
+        shifts the finishing times."""
+        lo = co_schedule(machine, launches["ic_gemm"], launches["fc_gemm"],
+                         share_a=0.25)
+        hi = co_schedule(machine, launches["ic_gemm"], launches["fc_gemm"],
+                         share_a=0.75)
+        assert lo.fused_seconds != hi.fused_seconds
+
+    def test_invalid_share_rejected(self, machine, launches):
+        with pytest.raises(ScheduleError):
+            co_schedule(machine, launches["ic_gemm"], launches["softmax"],
+                        share_a=0.0)
+        with pytest.raises(ScheduleError):
+            co_schedule(machine, launches["ic_gemm"], launches["softmax"],
+                        share_a=1.0)
+
+    def test_throughput_gain_wrapper(self, machine, launches):
+        g = throughput_gain(machine, launches["ic_gemm"], launches["fc_gemm"])
+        assert g > 1.0
+
+    def test_sequential_matches_sum(self, machine, launches):
+        r = co_schedule(machine, launches["ic_gemm"], launches["softmax"])
+        assert r.sequential_seconds > r.fused_seconds
+        assert r.sequential_seconds == pytest.approx(
+            r.fused_seconds * r.speedup
+        )

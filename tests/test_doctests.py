@@ -1,0 +1,23 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.packing.mixed
+import repro.packing.policy
+import repro.utils.bitops
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.packing.policy, repro.packing.mixed, repro.utils.bitops],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0

@@ -1,0 +1,226 @@
+"""Unit + property tests for the integer-only elementwise kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelConfigError
+from repro.formats.quantize import DyadicScale
+from repro.kernels import (
+    dropout,
+    i_exp2_fixed,
+    i_layernorm,
+    i_sqrt,
+    requantize,
+    residual_add,
+    shiftgelu,
+    shiftmax,
+)
+
+F = 10
+ONE = 1 << F
+
+
+class TestIExp2:
+    def test_zero_maps_to_one(self):
+        assert i_exp2_fixed(np.array([0]), F).tolist() == [ONE]
+
+    def test_minus_one_halves(self):
+        out = i_exp2_fixed(np.array([-ONE]), F)[0]
+        assert abs(out - ONE // 2) <= 2
+
+    def test_deep_underflow_is_zero(self):
+        assert i_exp2_fixed(np.array([-100 * ONE]), F).tolist() == [0]
+
+    def test_positive_rejected(self):
+        with pytest.raises(ModelConfigError):
+            i_exp2_fixed(np.array([1]), F)
+
+    @given(st.integers(min_value=-20 * ONE, max_value=0))
+    def test_relative_error_bounded(self, t):
+        # Quadratic mantissa: ~0.3% approximation error plus fixed-point
+        # truncation; 1% is the contract the attention math relies on.
+        got = int(i_exp2_fixed(np.array([t]), F)[0])
+        want = 2.0 ** (t / ONE) * ONE
+        assert abs(got - want) <= max(3, 0.01 * want)
+
+    def test_monotone_within_one_ulp(self):
+        t = np.arange(-8 * ONE, 1)
+        out = i_exp2_fixed(t, F)
+        assert np.all(np.diff(out) >= -1)
+
+
+class TestShiftmax:
+    def test_close_to_float_softmax(self, rng):
+        q = rng.integers(-4 * ONE, 4 * ONE, size=(10, 50))
+        p = shiftmax(q, fraction_bits=F, out_bits=8)
+        x = (q - q.max(-1, keepdims=True)) / ONE
+        ref = np.exp(x)
+        ref = ref / ref.sum(-1, keepdims=True)
+        assert np.abs(p / 256 - ref).max() < 0.05
+
+    def test_rows_sum_to_about_one(self, rng):
+        q = rng.integers(-4 * ONE, 4 * ONE, size=(20, 64))
+        p = shiftmax(q, fraction_bits=F, out_bits=8)
+        sums = p.sum(-1)
+        assert np.all(sums <= 256)
+        assert np.all(sums >= 256 - 64)  # <= 1 ULP loss per element
+
+    def test_outputs_nonnegative(self, rng):
+        q = rng.integers(-(1 << 15), 1 << 15, size=(4, 9))
+        assert shiftmax(q).min() >= 0
+
+    def test_invariant_to_shift(self, rng):
+        q = rng.integers(-ONE, ONE, size=(3, 8))
+        assert np.array_equal(shiftmax(q), shiftmax(q + 12345))
+
+    def test_peaked_input(self):
+        q = np.array([[0, 10 * ONE, 0, 0]])
+        p = shiftmax(q, out_bits=8)
+        assert p[0, 1] >= 250
+
+    def test_bad_out_bits(self):
+        with pytest.raises(ModelConfigError):
+            shiftmax(np.array([[1]]), out_bits=1)
+
+
+class TestShiftGelu:
+    def test_close_to_float_gelu(self, rng):
+        x = rng.integers(-4 * ONE, 4 * ONE, size=2000)
+        got = shiftgelu(x, fraction_bits=F) / ONE
+        xf = x / ONE
+        ref = xf / (1 + np.exp(-1.702 * xf))
+        assert np.abs(got - ref).max() < 0.06
+
+    def test_zero_is_zero(self):
+        assert shiftgelu(np.array([0])).tolist() == [0]
+
+    def test_large_positive_passthrough(self):
+        x = np.array([8 * ONE])
+        assert abs(int(shiftgelu(x)[0]) - 8 * ONE) <= ONE // 16
+
+    def test_large_negative_is_near_zero(self):
+        x = np.array([-8 * ONE])
+        assert abs(int(shiftgelu(x)[0])) <= ONE // 16
+
+
+class TestISqrt:
+    def test_perfect_squares(self):
+        v = np.arange(100, dtype=np.int64) ** 2
+        assert np.array_equal(i_sqrt(v), np.arange(100))
+
+    def test_floor_property(self, rng):
+        v = rng.integers(0, 1 << 50, size=5000)
+        r = i_sqrt(v)
+        assert np.all(r * r <= v)
+        assert np.all((r + 1) * (r + 1) > v)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelConfigError):
+            i_sqrt(np.array([-1]))
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ModelConfigError):
+            i_sqrt(np.array([1 << 53]))
+
+    @given(st.integers(min_value=0, max_value=(1 << 52) - 1))
+    def test_property_exact_isqrt(self, v):
+        import math
+
+        assert int(i_sqrt(np.array([v]))[0]) == math.isqrt(v)
+
+
+class TestILayerNorm:
+    def test_close_to_float_layernorm(self, rng):
+        q = rng.integers(-4000, 4000, size=(8, 768))
+        gamma = np.full(768, ONE, dtype=np.int64)
+        beta = np.zeros(768, dtype=np.int64)
+        got = i_layernorm(q, gamma, beta, fraction_bits=F) / ONE
+        ref = (q - q.mean(-1, keepdims=True)) / q.std(-1, keepdims=True)
+        assert np.abs(got - ref).max() < 0.02
+
+    def test_affine_applied(self, rng):
+        q = rng.integers(-1000, 1000, size=(2, 64))
+        gamma = np.full(64, 2 * ONE, dtype=np.int64)
+        beta = np.full(64, 77, dtype=np.int64)
+        base = i_layernorm(q, np.full(64, ONE, dtype=np.int64), np.zeros(64, dtype=np.int64))
+        out = i_layernorm(q, gamma, beta)
+        assert np.abs(out - (2 * base + 77)).max() <= 2
+
+    def test_constant_row(self):
+        q = np.full((1, 16), 42, dtype=np.int64)
+        out = i_layernorm(q, np.full(16, ONE, dtype=np.int64), np.zeros(16, dtype=np.int64))
+        assert np.array_equal(out, np.zeros((1, 16), dtype=np.int64))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ModelConfigError):
+            i_layernorm(
+                np.zeros((2, 0), dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+            )
+
+    def test_oversized_inputs_rejected_before_wrap(self):
+        """Inputs wide enough to wrap the int64 variance sum must be
+        refused, not silently corrupted."""
+        q = np.full((1, 8), 1 << 21, dtype=np.int64)
+        with pytest.raises(ModelConfigError):
+            i_layernorm(
+                q, np.full(8, ONE, dtype=np.int64), np.zeros(8, dtype=np.int64)
+            )
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        q = rng.integers(-100, 100, size=50)
+        assert np.array_equal(dropout(q, rate=0.5, training=False), q)
+
+    def test_training_zeroes_about_rate(self, rng):
+        q = np.ones(20000, dtype=np.int64) * 1000
+        out = dropout(q, rate=0.3, training=True, seed=7)
+        frac = float((out == 0).mean())
+        assert 0.25 < frac < 0.35
+
+    def test_survivors_scaled(self):
+        q = np.full(1000, 1 << 12, dtype=np.int64)
+        out = dropout(q, rate=0.5, training=True, seed=1)
+        survivors = out[out != 0]
+        assert np.allclose(survivors, 2 * (1 << 12), rtol=0.01)
+
+    def test_deterministic(self, rng):
+        q = rng.integers(-100, 100, size=100)
+        a = dropout(q, rate=0.2, training=True, seed=3)
+        b = dropout(q, rate=0.2, training=True, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ModelConfigError):
+            dropout(np.array([1]), rate=1.0, training=True)
+
+
+class TestResidualRequant:
+    def test_residual_add(self, rng):
+        a = rng.integers(-100, 100, size=(3, 4))
+        b = rng.integers(-100, 100, size=(3, 4))
+        assert np.array_equal(residual_add(a, b), a + b)
+
+    def test_residual_shape_mismatch(self):
+        with pytest.raises(ModelConfigError):
+            residual_add(np.zeros(3, dtype=np.int64), np.zeros(4, dtype=np.int64))
+
+    def test_requantize_saturates(self):
+        scale = DyadicScale(multiplier=1, shift=0)
+        out = requantize(np.array([-500, 0, 500]), scale, out_min=-127, out_max=127)
+        assert out.tolist() == [-127, 0, 127]
+
+    def test_requantize_rescales(self):
+        scale = DyadicScale(multiplier=1, shift=4)  # /16
+        out = requantize(np.array([160]), scale, out_min=-127, out_max=127)
+        assert out.tolist() == [10]
+
+    def test_requantize_empty_range_rejected(self):
+        with pytest.raises(ModelConfigError):
+            requantize(np.array([1]), DyadicScale(1, 0), out_min=5, out_max=4)

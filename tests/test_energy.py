@@ -1,0 +1,88 @@
+"""Unit tests for the energy model (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import jetson_orin_agx
+from repro.arch.energy import (
+    EnergyBreakdown,
+    EnergyParams,
+    inference_energy,
+    kernel_energy,
+)
+from repro.errors import ModelConfigError
+from repro.fusion import TC, VITBIT
+from repro.perfmodel import PerformanceModel
+from repro.sim.instruction import OpClass
+
+
+class TestKernelEnergy:
+    def test_zero_work_costs_static_only(self):
+        e = kernel_energy({}, 0.0, 1.0)
+        assert e.dynamic_compute == 0.0
+        assert e.dynamic_dram == 0.0
+        assert e.static == pytest.approx(EnergyParams().static_watts)
+
+    def test_compute_energy_scales_with_instructions(self):
+        a = kernel_energy({OpClass.INT: 1e6}, 0.0, 0.0)
+        b = kernel_energy({OpClass.INT: 2e6}, 0.0, 0.0)
+        assert b.dynamic_compute == pytest.approx(2 * a.dynamic_compute)
+
+    def test_tensor_instruction_cheaper_per_mac(self):
+        p = EnergyParams()
+        tc_per_mac = p.pj_per_instruction[OpClass.TENSOR] / 4096
+        int_per_mac = p.pj_per_instruction[OpClass.INT] / 32
+        assert tc_per_mac < int_per_mac / 2
+
+    def test_dram_energy(self):
+        e = kernel_energy({}, 1e9, 0.0)
+        assert e.dynamic_dram == pytest.approx(1e9 * 80e-12)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ModelConfigError):
+            kernel_energy({}, -1.0, 0.0)
+        with pytest.raises(ModelConfigError):
+            kernel_energy({}, 0.0, -1.0)
+
+    def test_breakdown_addition(self):
+        a = EnergyBreakdown(1.0, 2.0, 3.0)
+        b = EnergyBreakdown(0.5, 0.5, 0.5)
+        total = a + b
+        assert total.total == pytest.approx(7.5)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ModelConfigError):
+            EnergyParams(static_watts=-1.0)
+
+
+class TestInferenceEnergy:
+    @pytest.fixture(scope="class")
+    def pm(self):
+        return PerformanceModel(jetson_orin_agx())
+
+    def test_total_positive_and_decomposes(self, pm):
+        e = inference_energy(pm, TC)
+        assert e.total > 0
+        assert e.total == pytest.approx(
+            e.dynamic_compute + e.dynamic_dram + e.static
+        )
+
+    def test_vitbit_saves_static_energy(self, pm):
+        """Finishing sooner always saves leakage — the one energy term
+        every speedup improves."""
+        tc = inference_energy(pm, TC)
+        vb = inference_energy(pm, VITBIT)
+        assert vb.static < tc.static
+
+    def test_fusion_pays_compute_energy(self, pm):
+        """The extension's finding: CUDA-core MACs cost more energy
+        than Tensor-core MACs, so fusion trades energy for latency."""
+        tc = inference_energy(pm, TC)
+        vb = inference_energy(pm, VITBIT)
+        assert vb.dynamic_compute > tc.dynamic_compute
+
+    def test_energy_scales_with_batch(self, pm):
+        small = inference_energy(pm, TC, batch=4)
+        large = inference_energy(pm, TC, batch=16)
+        assert large.total > 1.5 * small.total

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,needle",
+    [
+        ("quickstart.py", "bit-exact = True"),
+        ("packing_policy_explorer.py", "exact=True"),
+        ("arbitrary_formats.py", "bit-exact"),
+        ("cnn_inference.py", "bit-exact: True"),
+    ],
+)
+def test_example_runs(script, needle):
+    proc = _run(script)
+    assert proc.returncode == 0, proc.stderr
+    assert needle in proc.stdout
+
+
+def test_vit_inference_example():
+    proc = _run("vit_inference.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "bit-exact: True" in proc.stdout
+    assert "VitBit" in proc.stdout
+
+
+def test_trace_visualizer_example(tmp_path):
+    out = tmp_path / "trace.json"
+    proc = _run("trace_visualizer.py", "--out", str(out))
+    assert proc.returncode == 0, proc.stderr
+    assert "issue events" in proc.stdout
+    import json
+
+    doc = json.loads(out.read_text())
+    assert len(doc["traceEvents"]) > 100
+
+
+def test_kernel_fusion_study_example():
+    proc = _run("kernel_fusion_study.py", "--batch", "4")
+    assert proc.returncode == 0, proc.stderr
+    assert "m = 4" in proc.stdout or "m = 3" in proc.stdout
+    assert "pipe utilization" in proc.stdout

@@ -1,0 +1,133 @@
+"""Failure-injection tests: what happens when packing assumptions break.
+
+The packed GEMM's correctness rests on structural properties (carry
+isolation, range discipline, spill scheduling).  These tests *break*
+the assumptions on purpose and check the failure is the one the design
+predicts — detected where detection is promised, and *contained* where
+it is not:
+
+* a bit flip in one packed register corrupts only the output columns of
+  that register's lane group (fault containment along lane boundaries);
+* range violations are rejected before any arithmetic happens;
+* disabling the carry checks reproduces the exact wrapped value the
+  hardware would compute (the model fails the same way silicon does).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OverflowBudgetError, PackingError
+from repro.packing import (
+    Packer,
+    packed_add,
+    packed_gemm_unsigned,
+    packed_scalar_mul,
+    policy_for_bitwidth,
+    reference_gemm,
+)
+
+POL8 = policy_for_bitwidth(8)
+
+
+class TestFaultContainment:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        k_idx=st.integers(min_value=0, max_value=19),
+        group=st.integers(min_value=0, max_value=4),
+        bit=st.integers(min_value=0, max_value=31),
+    )
+    def test_property_bit_flip_contained_to_lane_group(
+        self, seed, k_idx, group, bit
+    ):
+        """Flipping one bit of one packed register perturbs only the
+        output columns of that register's group — packing does not
+        spread faults across groups or rows beyond the affected dot
+        products."""
+        rng = np.random.default_rng(seed)
+        m, k, n = 6, 20, 10  # 5 register groups of 2 columns
+        a = rng.integers(0, 128, size=(m, k))
+        b = rng.integers(0, 256, size=(k, n))
+        packer = Packer(POL8)
+        bp = packer.pack(b)  # (k, 5)
+        clean = packer.unpack(bp, n)
+
+        corrupted = bp.copy()
+        corrupted[k_idx, group] ^= np.uint32(1 << bit)
+        b_bad = packer.unpack(corrupted, n)
+
+        c_clean = reference_gemm(a, clean)
+        c_bad = reference_gemm(a, b_bad.astype(np.int64))
+        diff_cols = np.nonzero(np.any(c_clean != c_bad, axis=0))[0]
+        allowed = {group * 2, group * 2 + 1}
+        assert set(diff_cols.tolist()) <= allowed
+
+    def test_weight_fault_spreads_across_row(self, rng):
+        """Contrast: a corrupted (unpacked) weight touches a whole
+        output row — packing's fault domain is strictly narrower."""
+        a = rng.integers(1, 128, size=(4, 16))
+        b = rng.integers(1, 256, size=(16, 8))
+        a_bad = a.copy()
+        a_bad[2, 5] += 1
+        diff = reference_gemm(a, b) != reference_gemm(a_bad, b)
+        assert diff[2].all()  # every column of row 2 moved
+        assert not diff[[0, 1, 3]].any()
+
+
+class TestRangeViolations:
+    def test_out_of_range_operand_rejected_before_compute(self, rng):
+        b = rng.integers(0, 256, size=(8, 4))
+        b[3, 2] = 256  # one element over
+        a = rng.integers(0, 128, size=(2, 8))
+        with pytest.raises(PackingError):
+            packed_gemm_unsigned(a, b, POL8)
+
+    def test_oversized_scalar_detected(self):
+        p = Packer(POL8)
+        regs = p.pack(np.array([200, 200]))
+        with pytest.raises(OverflowBudgetError):
+            packed_scalar_mul(400, regs, POL8)
+
+    def test_add_overflow_detected(self):
+        hot = np.array([0xFFFF_0000], dtype=np.uint32)  # lane 1 full
+        with pytest.raises(OverflowBudgetError):
+            packed_add(hot, np.array([0x0001_0000], dtype=np.uint32), POL8)
+
+
+class TestHardwareFaithfulWrap:
+    def test_nonstrict_mode_reproduces_silicon_wrap(self):
+        """With checks off, the model computes exactly the corrupted
+        value a real 32-bit ADD would produce: the carry crosses into
+        the next lane."""
+        lane0_full = np.array([0x0000_FFFF], dtype=np.uint32)
+        one = np.array([0x0000_0001], dtype=np.uint32)
+        wrapped = packed_add(lane0_full, one, POL8, strict=False)
+        assert int(wrapped[0]) == 0x0001_0000  # lane 1 gained a bogus +1
+        p = Packer(POL8)
+        assert p.unpack(wrapped, 2).tolist() == [0, 1]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        x=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        y=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_property_nonstrict_add_is_mod_2_32(self, x, y):
+        xa = np.array([x], dtype=np.uint32)
+        ya = np.array([y], dtype=np.uint32)
+        out = packed_add(xa, ya, POL8, strict=False)
+        assert int(out[0]) == (x + y) % (1 << 32)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        s=st.integers(min_value=0, max_value=0xFFFF),
+        reg=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_property_nonstrict_mul_is_mod_2_32(self, s, reg):
+        out = packed_scalar_mul(
+            s, np.array([reg], dtype=np.uint32), POL8, strict=False
+        )
+        assert int(out[0]) == (s * reg) % (1 << 32)

@@ -1,0 +1,170 @@
+"""Unit tests for repro.formats (integer formats, float formats, quantization)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats import (
+    BF16,
+    FP16,
+    FP32,
+    INT4,
+    INT8,
+    TF32,
+    UINT8,
+    DyadicScale,
+    IntFormat,
+    dequantize,
+    dyadic_approximate,
+    dyadic_rescale,
+    quantize_symmetric,
+)
+
+
+class TestIntFormat:
+    def test_int8_range(self):
+        assert (INT8.min_value, INT8.max_value) == (-128, 127)
+
+    def test_uint8_range(self):
+        assert (UINT8.min_value, UINT8.max_value) == (0, 255)
+
+    def test_int4_range(self):
+        assert (INT4.min_value, INT4.max_value) == (-8, 7)
+
+    def test_name(self):
+        assert INT8.name == "int8"
+        assert UINT8.name == "uint8"
+
+    def test_magnitude_bits(self):
+        assert INT8.magnitude_bits == 7
+        assert UINT8.magnitude_bits == 8
+
+    def test_invalid_bitwidths(self):
+        with pytest.raises(FormatError):
+            IntFormat(0)
+        with pytest.raises(FormatError):
+            IntFormat(33)
+        with pytest.raises(FormatError):
+            IntFormat(1, signed=True)
+
+    def test_contains(self):
+        assert INT8.contains(np.array([-128, 127]))
+        assert not INT8.contains(np.array([128]))
+        assert INT8.contains(np.array([], dtype=np.int64))
+
+    def test_clip_saturates(self):
+        out = INT8.clip(np.array([-1000, 0, 1000]))
+        assert out.tolist() == [-128, 0, 127]
+
+    def test_symmetric_clip_drops_most_negative(self):
+        assert INT8.symmetric_clip(np.array([-128])).tolist() == [-127]
+
+    def test_random_in_range(self):
+        rng = np.random.default_rng(0)
+        vals = INT4.random(rng, (1000,))
+        assert vals.min() >= -8 and vals.max() <= 7
+
+    def test_product_bits_matches_fig3(self):
+        # Fig 3(b): 8-bit inputs -> up to 16-bit products (unsigned view).
+        assert UINT8.product_bits() == 16
+        assert IntFormat(5, signed=False).product_bits() == 10
+        assert IntFormat(4, signed=False).product_bits() == 8
+
+    def test_accumulation_bits_grows_with_depth(self):
+        base = UINT8.product_bits()
+        assert UINT8.accumulation_bits(None, 1) == base
+        assert UINT8.accumulation_bits(None, 2) == base + 1
+        assert UINT8.accumulation_bits(None, 1024) == base + 10
+
+    def test_accumulation_depth_must_be_positive(self):
+        with pytest.raises(FormatError):
+            UINT8.accumulation_bits(None, 0)
+
+
+class TestFloatFormat:
+    def test_table1_storage(self):
+        assert FP32.storage_bits == 32
+        assert FP16.storage_bits == 16
+        assert TF32.storage_bits == 32
+        assert BF16.storage_bits == 16
+
+    def test_exact_int_window(self):
+        assert FP32.exact_int_bits == 24
+        assert FP16.exact_int_bits == 11
+
+    def test_int8_roundtrips_through_fp32(self):
+        assert FP32.represents_int_exactly(8)
+        vals = np.arange(-128, 128)
+        assert FP32.roundtrip_exact(vals)
+
+    def test_int8_roundtrips_through_fp16(self):
+        assert FP16.represents_int_exactly(8)
+
+    def test_large_ints_do_not_roundtrip_bf16(self):
+        assert not BF16.represents_int_exactly(16)
+        assert not BF16.roundtrip_exact(np.array([10001]))
+
+    def test_degenerate_rejected(self):
+        from repro.formats.fpfmt import FloatFormat
+
+        with pytest.raises(FormatError):
+            FloatFormat("bad", exponent_bits=1, mantissa_bits=3, storage_bits=8)
+
+
+class TestQuantize:
+    def test_symmetric_roundtrip_error_bounded(self, rng):
+        x = rng.normal(size=1000)
+        q, params = quantize_symmetric(x, INT8)
+        err = np.abs(dequantize(q, params) - x).max()
+        assert err <= params.scale / 2 + 1e-12
+
+    def test_explicit_scale_saturates(self):
+        q, _ = quantize_symmetric(np.array([10.0]), INT8, scale=0.01)
+        assert q.tolist() == [127]
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            quantize_symmetric(np.array([1.0]), INT8, scale=0.0)
+
+    def test_all_zero_input(self):
+        q, params = quantize_symmetric(np.zeros(4), INT8)
+        assert np.all(q == 0) and params.scale == 1.0
+
+
+class TestDyadic:
+    def test_value_reconstruction(self):
+        d = DyadicScale(multiplier=3, shift=2)
+        assert d.value == 0.75
+
+    def test_apply_rounds_half_up(self):
+        d = DyadicScale(multiplier=1, shift=1)  # x/2
+        assert d.apply(np.array([3])).tolist() == [2]
+        assert d.apply(np.array([-3])).tolist() == [-1]
+
+    def test_invalid_shift(self):
+        with pytest.raises(FormatError):
+            DyadicScale(multiplier=1, shift=63)
+
+    def test_negative_multiplier_rejected(self):
+        with pytest.raises(FormatError):
+            DyadicScale(multiplier=-1, shift=0)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_approximation_relative_error(self, scale):
+        d = dyadic_approximate(scale, mult_bits=16)
+        assert abs(d.value - scale) / scale < 2e-4 or d.multiplier == 1
+
+    def test_rescale_matches_float_within_one(self, rng):
+        d = dyadic_approximate(0.0371)
+        x = rng.integers(-(2**20), 2**20, size=1000)
+        got = dyadic_rescale(x, d)
+        want = np.round(x * d.value)
+        assert np.abs(got - want).max() <= 1
+
+    def test_zero_shift_is_pure_multiply(self):
+        d = DyadicScale(multiplier=7, shift=0)
+        assert d.apply(np.array([3])).tolist() == [21]

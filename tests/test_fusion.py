@@ -1,0 +1,166 @@
+"""Unit tests for strategies (Table 3), ratios (Eq. 1), and scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.fusion import (
+    FC,
+    IC,
+    IC_FC,
+    PAPER_TENSOR_CUDA_RATIO,
+    STRATEGIES,
+    TACKER,
+    TC,
+    TC_IC_FC,
+    VITBIT,
+    eq1_int_fp_ratio,
+    interleave_warp_roles,
+    strategy_by_name,
+    tensor_cuda_ratio_from_times,
+)
+from repro.fusion.strategies import Strategy
+from repro.packing import policy_for_bitwidth
+
+POL8 = policy_for_bitwidth(8)
+
+
+class TestTable3:
+    def test_seven_strategies_in_paper_order(self):
+        assert [s.name for s in STRATEGIES] == [
+            "TC", "IC", "FC", "IC+FC", "Tacker", "TC+IC+FC", "VitBit",
+        ]
+
+    def test_scopes_match_table3(self):
+        scopes = {s.name: s.kernel_scope for s in STRATEGIES}
+        assert scopes == {
+            "TC": "T", "IC": "C", "FC": "C", "IC+FC": "C",
+            "Tacker": "T", "TC+IC+FC": "T", "VitBit": "T,C",
+        }
+
+    def test_only_vitbit_packs(self):
+        assert [s.name for s in STRATEGIES if s.packing] == ["VitBit"]
+
+    def test_unit_engagement(self):
+        assert TC.uses_tensor and not TC.uses_cuda
+        assert IC.uses_int and not IC.uses_fp and not IC.uses_tensor
+        assert FC.uses_fp and not FC.uses_int
+        assert TACKER.uses_tensor and TACKER.uses_int and not TACKER.uses_fp
+        assert all(getattr(TC_IC_FC, f"uses_{u}") for u in ("tensor", "int", "fp"))
+
+    def test_lookup_by_name(self):
+        assert strategy_by_name("vitbit") is VITBIT
+        assert strategy_by_name("IC+FC") is IC_FC
+        with pytest.raises(ScheduleError):
+            strategy_by_name("nope")
+
+    def test_invalid_strategies_rejected(self):
+        with pytest.raises(ScheduleError):
+            Strategy("x", False, False, False, False, "T", "no units")
+        with pytest.raises(ScheduleError):
+            Strategy("x", False, False, True, True, "C", "packs without INT")
+        with pytest.raises(ScheduleError):
+            Strategy("x", True, False, False, False, "X", "bad scope")
+
+
+class TestSplitPlans:
+    def test_tc_plan_is_tensor_only(self):
+        plan = TC.split_plan(100, POL8, 4.0)
+        assert (plan.n1, plan.n2, plan.n3) == (0, 0, 100)
+
+    def test_ic_plan_is_int_only(self):
+        plan = IC.split_plan(100, POL8, 4.0)
+        assert (plan.n1, plan.n2, plan.n3) == (100, 0, 0)
+
+    def test_fc_plan_is_fp_only(self):
+        plan = FC.split_plan(100, POL8, 4.0)
+        assert (plan.n1, plan.n2, plan.n3) == (0, 100, 0)
+
+    def test_icfc_splits_evenly(self):
+        plan = IC_FC.split_plan(100, POL8, 4.0)
+        assert plan.n3 == 0
+        assert plan.n1 == 50 and plan.n2 == 50
+
+    def test_vitbit_plan_uses_eq1(self):
+        plan = VITBIT.split_plan(1000, POL8, 4.0)
+        assert plan.n3 == 800
+        # Eq. 1 with n = 2 lanes: INT gets ~2/3 of the CUDA columns.
+        assert plan.n1 == pytest.approx(2 * plan.n2, abs=2 * POL8.lanes)
+        assert plan.n1 % POL8.lanes == 0
+
+    def test_tacker_plan_has_no_fp(self):
+        plan = TACKER.split_plan(800, POL8, 7.0)
+        assert plan.n2 == 0 and plan.n1 > 0 and plan.n3 > 0
+
+    def test_fused_strategy_requires_positive_m(self):
+        with pytest.raises(ScheduleError):
+            VITBIT.split_plan(100, POL8, 0.0)
+
+    def test_pack_factor(self):
+        assert VITBIT.pack_factor(POL8) == 2
+        assert IC.pack_factor(POL8) == 1
+        assert VITBIT.pack_factor(policy_for_bitwidth(4)) == 4
+
+
+class TestEq1:
+    def test_ratio_equals_lanes_with_packing(self):
+        assert eq1_int_fp_ratio(POL8, packing=True) == 2
+        assert eq1_int_fp_ratio(policy_for_bitwidth(4), packing=True) == 4
+
+    def test_ratio_is_one_without_packing(self):
+        assert eq1_int_fp_ratio(POL8, packing=False) == 1
+
+
+class TestMRule:
+    def test_paper_ratio(self):
+        assert PAPER_TENSOR_CUDA_RATIO == 4.0
+
+    def test_ratio_from_times(self):
+        assert tensor_cuda_ratio_from_times(1.0, 4.2) == 4
+        assert tensor_cuda_ratio_from_times(1.0, 4.2, round_to_int=False) == 4.2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ScheduleError):
+            tensor_cuda_ratio_from_times(0.0, 4.0)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ScheduleError):
+            tensor_cuda_ratio_from_times(2.0, 1.0)
+
+
+class TestInterleave:
+    def test_tensor_first(self):
+        roles = interleave_warp_roles(2, 2, 2)
+        assert roles[:2] == ["tensor", "tensor"]
+
+    def test_alternating_singles(self):
+        roles = interleave_warp_roles(0, 3, 3)
+        assert roles == ["int", "fp", "int", "fp", "int", "fp"]
+
+    def test_grouped_alternation(self):
+        roles = interleave_warp_roles(0, 8, 8, group=4)
+        assert roles == ["int"] * 4 + ["fp"] * 4 + ["int"] * 4 + ["fp"] * 4
+
+    def test_group_respects_uneven_counts(self):
+        roles = interleave_warp_roles(0, 6, 2, group=4)
+        assert roles.count("int") == 6 and roles.count("fp") == 2
+
+    def test_contiguous_mode(self):
+        roles = interleave_warp_roles(1, 2, 2, alternate=False)
+        assert roles == ["tensor", "int", "int", "fp", "fp"]
+
+    def test_all_counts_preserved(self):
+        for nt, ni, nf in [(0, 5, 7), (3, 0, 4), (2, 9, 0), (1, 1, 1)]:
+            roles = interleave_warp_roles(nt, ni, nf, group=4)
+            assert roles.count("tensor") == nt
+            assert roles.count("int") == ni
+            assert roles.count("fp") == nf
+
+    def test_negative_rejected(self):
+        with pytest.raises(ScheduleError):
+            interleave_warp_roles(-1, 0, 0)
+
+    def test_bad_group_rejected(self):
+        with pytest.raises(ScheduleError):
+            interleave_warp_roles(0, 1, 1, group=0)

@@ -1,0 +1,57 @@
+"""Golden-value regression: the model's headline numbers stay pinned.
+
+Benchmark assertions allow paper-shaped tolerances; this test pins the
+model's own outputs to ±2% of `benchmarks/golden.json`, so calibration
+or simulator changes must be *intentional* (regenerate with
+``python tools/gen_goldens.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+TOOLS = pathlib.Path(__file__).resolve().parents[1] / "tools"
+sys.path.insert(0, str(TOOLS))
+
+from gen_goldens import OUT, compute  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def current():
+    return compute()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert OUT.exists(), "run: python tools/gen_goldens.py"
+    return json.loads(OUT.read_text())
+
+
+def _flat(d, prefix=""):
+    for k, v in d.items():
+        if isinstance(v, dict):
+            yield from _flat(v, f"{prefix}{k}.")
+        else:
+            yield f"{prefix}{k}", v
+
+
+def test_goldens_match(current, golden):
+    cur = dict(_flat(current))
+    gold = dict(_flat(golden))
+    assert set(cur) == set(gold)
+    for key, want in gold.items():
+        got = cur[key]
+        assert got == pytest.approx(want, rel=0.02), key
+
+
+def test_goldens_encode_paper_shape(golden):
+    """The pinned values themselves encode the paper's ordering."""
+    fig5 = golden["fig5_speedups"]
+    assert 1.0 < fig5["Tacker"] < fig5["TC+IC+FC"] < fig5["VitBit"]
+    study = golden["initial_study_x_tc"]
+    assert study["IC"] > study["IC+FC"] > study["IC+FC+P"] > 1.0
+    assert golden["m_rule"] == 4

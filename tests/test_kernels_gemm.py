@@ -1,0 +1,115 @@
+"""Unit tests for the per-unit reference GEMMs and the fused GEMM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PackingError
+from repro.kernels import fc_gemm, fused_gemm, ic_gemm, tc_gemm
+from repro.packing import policy_for_bitwidth, reference_gemm
+from repro.preprocess import duplicate_weights, preprocess_input
+
+POL8 = policy_for_bitwidth(8)
+
+
+class TestUnitGemms:
+    def test_all_paths_agree(self, rng):
+        a = rng.integers(-127, 128, size=(9, 40))
+        b = rng.integers(-128, 128, size=(40, 13))
+        ref = reference_gemm(a, b)
+        assert np.array_equal(tc_gemm(a, b), ref)
+        assert np.array_equal(ic_gemm(a, b), ref)
+        assert np.array_equal(fc_gemm(a, b), ref)
+
+    def test_tc_gemm_int32_overflow_detected(self):
+        a = np.full((1, 140000), 127, dtype=np.int64)
+        b = np.full((140000, 1), 127, dtype=np.int64)
+        with pytest.raises(PackingError):
+            tc_gemm(a, b)
+
+    def test_fc_gemm_exact_window_guard(self):
+        a = np.full((1, 2), 1 << 13, dtype=np.int64)
+        b = np.full((2, 1), 1 << 13, dtype=np.int64)
+        with pytest.raises(PackingError):
+            fc_gemm(a, b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(PackingError):
+            ic_gemm(np.ones((2, 3), dtype=np.int64), np.ones((2, 3), dtype=np.int64))
+
+    def test_float_input_rejected(self):
+        with pytest.raises(TypeError):
+            tc_gemm(np.ones((2, 2)), np.ones((2, 2), dtype=np.int64))
+
+
+class TestFusedGemm:
+    def _run(self, rng, m_ratio, mrows=32, k=64, n=60, zp=128):
+        a = rng.integers(-127, 128, size=(mrows, k))
+        b_true = rng.integers(-128, 128, size=(k, n))
+        res = preprocess_input(b_true + zp, m_ratio, POL8)
+        a1, a2 = duplicate_weights(a)
+        out = fused_gemm(a1, a2, res.matrices, POL8, b_zero_point=zp)
+        return out, reference_gemm(a, b_true), res.plan
+
+    def test_bit_exact_m4(self, rng):
+        out, ref, _ = self._run(rng, 4.0)
+        assert np.array_equal(out.c, ref)
+
+    def test_bit_exact_cuda_only(self, rng):
+        out, ref, plan = self._run(rng, 0.0)
+        assert plan.n3 == 0
+        assert np.array_equal(out.c, ref)
+
+    def test_bit_exact_tensor_only(self, rng):
+        out, ref, plan = self._run(rng, 1e9)
+        assert plan.n3 == plan.n_total
+        assert np.array_equal(out.c, ref)
+
+    def test_partial_shapes(self, rng):
+        out, _, plan = self._run(rng, 4.0)
+        assert out.c1.shape[1] == plan.n1
+        assert out.c2.shape[1] == plan.n2
+        assert out.c3.shape[1] == plan.n3
+
+    def test_packed_stats_populated(self, rng):
+        out, _, plan = self._run(rng, 4.0)
+        if plan.n1:
+            assert out.packed_stats.packed_multiplies > 0
+            assert out.packed_stats.sign_split_passes == 2
+
+    def test_mismatched_weights_rejected(self, rng):
+        a = rng.integers(-127, 128, size=(4, 8))
+        res = preprocess_input(
+            rng.integers(0, 256, size=(8, 10)), 4.0, POL8
+        )
+        with pytest.raises(PackingError):
+            fused_gemm(a, np.zeros((5, 8), dtype=np.float32), res.matrices, POL8)
+
+    def test_unsigned_b_without_zero_point(self, rng):
+        a = rng.integers(-127, 128, size=(8, 16))
+        b = rng.integers(0, 256, size=(16, 20))
+        res = preprocess_input(b, 2.0, POL8)
+        a1, a2 = duplicate_weights(a)
+        out = fused_gemm(a1, a2, res.matrices, POL8)
+        assert np.array_equal(out.c, reference_gemm(a, b))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    m_ratio=st.floats(min_value=0.0, max_value=16.0),
+    n=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_fused_gemm_bit_exact_for_any_split(m_ratio, n, seed):
+    """The paper's accuracy claim: for any Tensor/CUDA split ratio the
+    fused kernel's output equals the plain integer GEMM bit for bit."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-127, 128, size=(5, 24))
+    b_true = rng.integers(-128, 128, size=(24, n))
+    res = preprocess_input(b_true + 128, m_ratio, POL8)
+    a1, a2 = duplicate_weights(a)
+    out = fused_gemm(a1, a2, res.matrices, POL8, b_zero_point=128)
+    assert np.array_equal(out.c, reference_gemm(a, b_true))

@@ -1,0 +1,170 @@
+"""Tests for the low-precision float formats and MX microscaling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats.lowfp import (
+    FP4_E2M1,
+    FP6_E2M3,
+    FP6_E3M2,
+    FP8_E4M3,
+    FP8_E5M2,
+    MiniFloat,
+    MXBlock,
+)
+
+ALL_FORMATS = (FP8_E4M3, FP8_E5M2, FP6_E3M2, FP6_E2M3, FP4_E2M1)
+
+
+class TestStructure:
+    def test_storage_bits(self):
+        assert FP8_E4M3.bits == 8
+        assert FP6_E3M2.bits == 6
+        assert FP4_E2M1.bits == 4
+
+    def test_fp4_value_set(self):
+        """The canonical OCP FP4 (E2M1) value set."""
+        vals = sorted(set(abs(v) for v in FP4_E2M1.all_values()))
+        assert vals == [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0]
+
+    def test_fp8_e4m3_max(self):
+        # All-codes-finite convention: 480 (OCP E4M3FN reserves 448+ for NaN).
+        assert FP8_E4M3.max_value == 480.0
+
+    def test_dynamic_range_ordering(self):
+        # More exponent bits -> wider range; more mantissa -> finer steps.
+        assert FP8_E5M2.max_value > FP8_E4M3.max_value
+        assert FP6_E2M3.max_value < FP6_E3M2.max_value
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(FormatError):
+            MiniFloat("bad", exp_bits=0, man_bits=3)
+        with pytest.raises(FormatError):
+            MiniFloat("big", exp_bits=10, man_bits=10)
+
+
+class TestCodec:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS, ids=lambda f: f.name)
+    def test_decode_encode_identity_on_all_codes(self, fmt):
+        vals = fmt.all_values()
+        codes = fmt.encode(vals)
+        assert np.array_equal(fmt.decode(codes), vals)
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS, ids=lambda f: f.name)
+    def test_quantize_is_nearest(self, fmt, rng):
+        """Brute-force: quantization picks (one of) the closest
+        representable value(s)."""
+        x = rng.normal(scale=fmt.max_value / 3, size=2000)
+        q = fmt.quantize(x)
+        vals = np.unique(fmt.all_values())
+        best = np.min(np.abs(x[:, None] - vals[None, :]), axis=1)
+        got = np.abs(q - x)
+        assert np.allclose(got, best, rtol=0, atol=1e-9)
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS, ids=lambda f: f.name)
+    def test_saturation(self, fmt):
+        q = fmt.quantize(np.array([1e30, -1e30]))
+        assert q.tolist() == [fmt.max_value, -fmt.max_value]
+
+    def test_zero_is_exact(self):
+        for fmt in ALL_FORMATS:
+            assert fmt.quantize(np.array([0.0])).tolist() == [0.0]
+
+    def test_subnormals_represented(self):
+        for fmt in ALL_FORMATS:
+            q = fmt.quantize(np.array([fmt.min_subnormal]))
+            assert q[0] == fmt.min_subnormal
+
+    def test_sign_symmetry(self, rng):
+        x = rng.normal(size=500)
+        for fmt in ALL_FORMATS:
+            assert np.array_equal(fmt.quantize(x), -fmt.quantize(-x))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(FormatError):
+            FP8_E4M3.encode(np.array([np.inf]))
+        with pytest.raises(FormatError):
+            FP8_E4M3.encode(np.array([np.nan]))
+
+    def test_bad_codes_rejected(self):
+        with pytest.raises(FormatError):
+            FP4_E2M1.decode(np.array([16]))
+
+    @given(st.floats(min_value=-480.0, max_value=480.0, allow_nan=False))
+    def test_property_quantize_idempotent(self, x):
+        q1 = FP8_E4M3.quantize(np.array([x]))
+        q2 = FP8_E4M3.quantize(q1)
+        assert np.array_equal(q1, q2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        exp_bits=st.integers(min_value=2, max_value=5),
+        man_bits=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_property_relative_error_bound(self, exp_bits, man_bits, seed):
+        """For normal-range inputs the relative error is <= 2^-(m+1)."""
+        fmt = MiniFloat("t", exp_bits, man_bits)
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(fmt.min_normal, fmt.max_value / 2, size=200)
+        q = fmt.quantize(x)
+        rel = np.abs(q - x) / x
+        assert rel.max() <= 2.0 ** (-(man_bits + 1)) * 1.0000001
+
+
+class TestMXBlock:
+    def test_bits_per_value(self):
+        assert MXBlock(FP4_E2M1, 32).bits_per_value == pytest.approx(4.25)
+        assert MXBlock(FP8_E4M3, 32).bits_per_value == pytest.approx(8.25)
+
+    def test_roundtrip_shape(self, rng):
+        mx = MXBlock(FP6_E2M3, 32)
+        x = rng.normal(size=100)
+        s, c = mx.quantize(x)
+        assert s.size == 4 and c.size == 100
+        assert mx.dequantize(s, c).shape == (100,)
+
+    def test_block_peak_always_representable(self, rng):
+        """The OCP scale rule: the block max never saturates."""
+        mx = MXBlock(FP4_E2M1, 16)
+        x = rng.normal(size=160) * 1000
+        s, c = mx.quantize(x)
+        back = mx.dequantize(s, c)
+        for i in range(10):
+            sl = slice(16 * i, 16 * (i + 1))
+            peak_idx = np.argmax(np.abs(x[sl]))
+            rel = abs(back[sl][peak_idx] - x[sl][peak_idx]) / abs(x[sl][peak_idx])
+            assert rel <= 0.25  # fp4's worst normal-range step
+
+    def test_normal_inputs_error_reasonable(self, rng):
+        """Gaussian data within a block quantizes with bounded median
+        error (heavy-tailed data underflows, by design)."""
+        mx = MXBlock(FP4_E2M1, 32)
+        x = rng.normal(size=3200)
+        s, c = mx.quantize(x)
+        back = mx.dequantize(s, c)
+        rel = np.abs(back - x) / np.maximum(np.abs(x), 1e-12)
+        assert np.median(rel) < 0.25
+
+    def test_zero_block(self):
+        mx = MXBlock(FP4_E2M1, 8)
+        s, c = mx.quantize(np.zeros(8))
+        assert np.all(mx.dequantize(s, c) == 0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(FormatError):
+            MXBlock(FP4_E2M1).quantize(np.zeros((2, 2)))
+
+    def test_fp8_blocks_tighter_than_fp4(self, rng):
+        x = rng.normal(size=640)
+        err = {}
+        for fmt in (FP8_E4M3, FP4_E2M1):
+            mx = MXBlock(fmt, 32)
+            s, c = mx.quantize(x)
+            err[fmt.name] = float(np.abs(mx.dequantize(s, c) - x).mean())
+        assert err["fp8_e4m3"] < err["fp4_e2m1"]

@@ -1,0 +1,180 @@
+"""Tests for mixed-bitwidth packing policies (W4A8 etc.) and the
+low-bitwidth integer ViT variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError, ModelConfigError
+from repro.fusion import VITBIT
+from repro.packing import (
+    PackingPolicy,
+    max_lanes_for_operands,
+    packed_gemm,
+    packed_gemm_unsigned,
+    policy_for_operands,
+    reference_gemm,
+)
+from repro.vit import IntViT, ViTConfig, verify_bit_exact
+
+
+class TestMixedPolicy:
+    def test_w4a8_packs_two(self):
+        pol = policy_for_operands(4, 8)
+        assert (pol.lanes, pol.field_bits) == (2, 16)
+        assert pol.effective_multiplier_bits == 4
+
+    def test_w4a4_packs_four(self):
+        assert policy_for_operands(4, 4).lanes == 4
+
+    def test_w8a2_packs_three(self):
+        pol = policy_for_operands(8, 2)
+        assert (pol.lanes, pol.field_bits) == (3, 10)
+
+    def test_w2a8_packs_three(self):
+        # Symmetric rule would forbid this (field 10 < 2*8); the mixed
+        # rule allows it because the multiplier is only 2 bits wide.
+        pol = policy_for_operands(2, 8)
+        assert pol.lanes == 3
+
+    def test_cap_lanes(self):
+        assert policy_for_operands(2, 2, cap_lanes=4).lanes == 4
+        assert policy_for_operands(2, 2).lanes == 8
+
+    def test_guard_bits_from_asymmetry(self):
+        # W4A8 products are 12 bits in 16-bit fields: 4 guard bits.
+        pol = policy_for_operands(4, 8)
+        assert pol.product_bits == 12
+        assert pol.field_bits - pol.product_bits == 4
+
+    def test_invalid_widths(self):
+        with pytest.raises(FormatError):
+            policy_for_operands(0, 8)
+        with pytest.raises(FormatError):
+            policy_for_operands(8, 33)
+        with pytest.raises(FormatError):
+            policy_for_operands(8, 8, cap_lanes=0)
+
+    def test_symmetric_validation_still_guards(self):
+        # Hand-built unsafe policies are still rejected.
+        with pytest.raises(FormatError):
+            PackingPolicy(value_bits=8, lanes=3, field_bits=10, multiplier_bits=8)
+
+    def test_max_lanes(self):
+        assert max_lanes_for_operands(4, 8) == 2
+        assert max_lanes_for_operands(1, 1) == 16
+
+    def test_with_lanes_preserves_multiplier(self):
+        pol = policy_for_operands(4, 8).with_lanes(1)
+        assert pol.effective_multiplier_bits == 4
+
+
+class TestMixedGemm:
+    @pytest.mark.parametrize(
+        "a_bits,b_bits",
+        [(2, 8), (4, 8), (8, 2), (8, 4), (3, 5), (5, 3), (4, 4)],
+    )
+    def test_unsigned_exact(self, a_bits, b_bits, rng):
+        pol = policy_for_operands(a_bits, b_bits)
+        a = rng.integers(0, 1 << a_bits, size=(7, 60))
+        b = rng.integers(0, 1 << b_bits, size=(60, 13))
+        assert np.array_equal(
+            packed_gemm_unsigned(a, b, pol), reference_gemm(a, b)
+        )
+
+    def test_w4a8_signed_weights_exact(self, rng):
+        pol = policy_for_operands(4, 8)
+        a = rng.integers(-7, 8, size=(9, 80))
+        b = rng.integers(-128, 128, size=(80, 21))
+        assert np.array_equal(
+            packed_gemm(a, b, pol, b_zero_point=128), reference_gemm(a, b)
+        )
+
+    def test_oversized_multiplier_wide_field_degrades_gracefully(self, rng):
+        """A multiplier wider than the policy's nominal width still
+        yields an exact result when single products happen to fit the
+        field — the guard-bit accounting just spills every MAC."""
+        pol = policy_for_operands(4, 8)  # 16-bit fields
+        a = rng.integers(0, 256, size=(2, 40))  # 8-bit, policy nominal 4
+        b = rng.integers(0, 256, size=(40, 6))
+        assert np.array_equal(
+            packed_gemm_unsigned(a, b, pol), reference_gemm(a, b)
+        )
+
+    def test_oversized_multiplier_narrow_field_rejected(self, rng):
+        """When a single product cannot fit the field at all, the GEMM
+        must refuse rather than corrupt the neighbouring lane."""
+        from repro.errors import PackingError
+
+        pol = policy_for_operands(2, 8)  # 10-bit fields
+        a = np.full((2, 40), 255, dtype=np.int64)  # 8-bit multiplier
+        b = rng.integers(0, 256, size=(40, 6))
+        with pytest.raises(PackingError):
+            packed_gemm_unsigned(a, b, pol)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a_bits=st.integers(min_value=1, max_value=12),
+    b_bits=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_mixed_gemm_exact(a_bits, b_bits, seed):
+    pol = policy_for_operands(a_bits, b_bits)
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 1 << a_bits, size=(4, 25))
+    b = rng.integers(0, 1 << b_bits, size=(25, 7))
+    assert np.array_equal(packed_gemm_unsigned(a, b, pol), reference_gemm(a, b))
+
+
+class TestLowBitViT:
+    @pytest.mark.parametrize("bits", [4, 5, 6, 8])
+    def test_bit_exact_at_lower_widths(self, bits):
+        cfg = ViTConfig(
+            image_size=64, patch_size=16, hidden=32, depth=1, heads=2,
+            mlp_dim=64, num_classes=10,
+            activation_bits=bits, weight_bits=bits,
+        )
+        model = IntViT.create(cfg, seed=5)
+        assert verify_bit_exact(model, VITBIT, batch=1, seed=6)
+
+    @pytest.mark.parametrize("bits", [4, 8])
+    @pytest.mark.parametrize(
+        "strategy_name", ["IC", "FC", "IC+FC", "Tacker", "TC+IC+FC"]
+    )
+    def test_bit_exact_matrix(self, bits, strategy_name):
+        """The headline accuracy claim over the full (strategy x
+        bitwidth) matrix, not just VitBit at int8."""
+        from repro.fusion import strategy_by_name
+
+        cfg = ViTConfig(
+            image_size=64, patch_size=16, hidden=32, depth=1, heads=2,
+            mlp_dim=64, num_classes=10,
+            activation_bits=bits, weight_bits=bits,
+        )
+        model = IntViT.create(cfg, seed=8)
+        assert verify_bit_exact(
+            model, strategy_by_name(strategy_name), batch=1, seed=9
+        )
+
+    def test_mixed_width_model(self):
+        cfg = ViTConfig(
+            image_size=64, patch_size=16, hidden=32, depth=1, heads=2,
+            mlp_dim=64, num_classes=10,
+            activation_bits=8, weight_bits=4,
+        )
+        model = IntViT.create(cfg, seed=5)
+        assert verify_bit_exact(model, VITBIT, batch=1, seed=6)
+
+    def test_invalid_bitwidths_rejected(self):
+        with pytest.raises(ModelConfigError):
+            ViTConfig(activation_bits=1)
+        with pytest.raises(ModelConfigError):
+            ViTConfig(weight_bits=9)
+
+    def test_zero_point_tracks_bits(self):
+        assert ViTConfig(activation_bits=4).activation_zero_point == 8
+        assert ViTConfig().activation_zero_point == 128

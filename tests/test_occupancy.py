@@ -1,0 +1,98 @@
+"""Unit tests for the occupancy calculator and prior-work register packing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.specs import SMSpec
+from repro.errors import SimulationError
+from repro.sim.occupancy import (
+    KernelResources,
+    occupancy,
+    occupancy_gain_from_register_packing,
+    registers_after_packing,
+)
+
+SM = SMSpec()
+
+
+class TestKernelResources:
+    def test_warps_per_block(self):
+        assert KernelResources(32, 256).warps_per_block == 8
+        assert KernelResources(32, 33).warps_per_block == 2
+
+    def test_invalid_rejected(self):
+        with pytest.raises(SimulationError):
+            KernelResources(0, 256)
+        with pytest.raises(SimulationError):
+            KernelResources(32, 0)
+        with pytest.raises(SimulationError):
+            KernelResources(32, 32, shared_mem_per_block=-1)
+
+
+class TestOccupancy:
+    def test_light_kernel_is_warp_limited(self):
+        occ = occupancy(SM, KernelResources(16, 128))
+        assert occ.limiter == "warps"
+        assert occ.warps_per_sm == SM.max_warps_per_sm
+        assert occ.occupancy_fraction == 1.0
+
+    def test_register_hungry_kernel_is_register_limited(self):
+        occ = occupancy(SM, KernelResources(128, 256))
+        assert occ.limiter == "registers"
+        assert occ.warps_per_sm < SM.max_warps_per_sm
+
+    def test_shared_memory_limit(self):
+        occ = occupancy(
+            SM, KernelResources(16, 64, shared_mem_per_block=96 * 1024)
+        )
+        assert occ.limiter == "shared_mem"
+        assert occ.blocks_per_sm == 1
+
+    def test_block_limit(self):
+        occ = occupancy(SM, KernelResources(8, 32))
+        assert occ.blocks_per_sm <= 16
+
+    def test_too_large_block_rejected(self):
+        with pytest.raises(SimulationError):
+            occupancy(SM, KernelResources(16, 2048))
+
+    def test_impossible_kernel_rejected(self):
+        with pytest.raises(SimulationError):
+            occupancy(SM, KernelResources(255, 1024))
+
+
+class TestRegisterPacking:
+    def test_no_narrow_values_no_change(self):
+        assert registers_after_packing(64, 0.0, 8) == 64
+
+    def test_all_narrow_quarters_demand(self):
+        assert registers_after_packing(64, 1.0, 8) == 16
+
+    def test_partial(self):
+        # 60% of 64 registers share 4:1, the rest stay full width.
+        assert registers_after_packing(64, 0.6, 8) == 36
+
+    def test_never_below_one(self):
+        assert registers_after_packing(1, 1.0, 1) == 1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(SimulationError):
+            registers_after_packing(64, 1.5, 8)
+
+    def test_invalid_bits(self):
+        with pytest.raises(SimulationError):
+            registers_after_packing(64, 0.5, 0)
+
+    def test_occupancy_gain_monotone(self):
+        kernel = KernelResources(96, 256)
+        base, packed = occupancy_gain_from_register_packing(SM, kernel, 0.5, 8)
+        assert packed.warps_per_sm >= base.warps_per_sm
+
+    def test_sec22_distinction(self):
+        """Storage packing raises residency; it cannot change the ALU
+        operand width (there is no throughput term here at all —
+        that's the whole point of the paper's Sec. 2.2)."""
+        kernel = KernelResources(64, 256)
+        base, packed = occupancy_gain_from_register_packing(SM, kernel, 0.6, 8)
+        assert packed.warps_per_sm > base.warps_per_sm

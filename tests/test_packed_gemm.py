@@ -1,0 +1,153 @@
+"""Unit + property tests for the packed GEMM kernel (exactness)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PackingError
+from repro.packing import (
+    PackedGemmStats,
+    packed_gemm,
+    packed_gemm_unsigned,
+    policy_for_bitwidth,
+    reference_gemm,
+)
+
+POL8 = policy_for_bitwidth(8)
+
+
+class TestUnsignedPath:
+    @pytest.mark.parametrize("bits", [2, 3, 4, 5, 6, 7, 8])
+    def test_exact_for_all_packable_bitwidths(self, bits, rng):
+        pol = policy_for_bitwidth(bits)
+        hi = pol.max_value + 1
+        a = rng.integers(0, hi, size=(9, 40))
+        b = rng.integers(0, hi, size=(40, 23))
+        assert np.array_equal(
+            packed_gemm_unsigned(a, b, pol), reference_gemm(a, b)
+        )
+
+    def test_exact_at_extremes(self):
+        a = np.full((3, 16), 127, dtype=np.int64)
+        b = np.full((16, 4), 255, dtype=np.int64)
+        assert np.array_equal(packed_gemm_unsigned(a, b, POL8), reference_gemm(a, b))
+
+    def test_single_column(self, rng):
+        a = rng.integers(0, 128, size=(4, 10))
+        b = rng.integers(0, 256, size=(10, 1))
+        assert np.array_equal(packed_gemm_unsigned(a, b, POL8), reference_gemm(a, b))
+
+    def test_odd_column_count(self, rng):
+        a = rng.integers(0, 128, size=(4, 10))
+        b = rng.integers(0, 256, size=(10, 7))
+        assert np.array_equal(packed_gemm_unsigned(a, b, POL8), reference_gemm(a, b))
+
+    def test_k_of_one(self, rng):
+        a = rng.integers(0, 128, size=(4, 1))
+        b = rng.integers(0, 256, size=(1, 6))
+        assert np.array_equal(packed_gemm_unsigned(a, b, POL8), reference_gemm(a, b))
+
+    def test_negative_a_rejected(self):
+        a = np.array([[-1, 2]])
+        b = np.zeros((2, 2), dtype=np.int64)
+        with pytest.raises(PackingError):
+            packed_gemm_unsigned(a, b, POL8)
+
+    def test_oversized_b_rejected(self):
+        a = np.ones((1, 1), dtype=np.int64)
+        b = np.array([[256]])
+        with pytest.raises(PackingError):
+            packed_gemm_unsigned(a, b, POL8)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PackingError):
+            packed_gemm_unsigned(
+                np.ones((2, 3), dtype=np.int64), np.ones((4, 2), dtype=np.int64), POL8
+            )
+
+
+class TestSignedPath:
+    def test_signed_a_unsigned_b(self, rng):
+        a = rng.integers(-127, 128, size=(8, 50))
+        b = rng.integers(0, 256, size=(50, 12))
+        assert np.array_equal(packed_gemm(a, b, POL8), reference_gemm(a, b))
+
+    def test_signed_a_signed_b_with_zero_point(self, rng):
+        a = rng.integers(-127, 128, size=(8, 50))
+        b = rng.integers(-128, 128, size=(50, 12))
+        got = packed_gemm(a, b, POL8, b_zero_point=128)
+        assert np.array_equal(got, reference_gemm(a, b))
+
+    def test_all_negative_a(self, rng):
+        a = -rng.integers(1, 128, size=(4, 20))
+        b = rng.integers(0, 256, size=(20, 6))
+        assert np.array_equal(packed_gemm(a, b, POL8), reference_gemm(a, b))
+
+    def test_unsigned_a_falls_back_to_single_pass(self, rng):
+        a = rng.integers(0, 128, size=(4, 20))
+        b = rng.integers(0, 256, size=(20, 6))
+        stats = PackedGemmStats()
+        packed_gemm(a, b, POL8, stats=stats)
+        assert stats.sign_split_passes == 1
+
+    def test_sign_split_costs_two_passes(self, rng):
+        a = rng.integers(-127, 128, size=(4, 20))
+        b = rng.integers(0, 256, size=(20, 6))
+        stats = PackedGemmStats()
+        packed_gemm(a, b, POL8, stats=stats)
+        assert stats.sign_split_passes == 2
+
+    def test_signed_b_without_zero_point_rejected(self):
+        a = np.ones((1, 2), dtype=np.int64)
+        b = np.array([[-1], [1]])
+        with pytest.raises(PackingError):
+            packed_gemm(a, b, POL8)
+
+    def test_negative_zero_point_rejected(self):
+        a = np.ones((1, 2), dtype=np.int64)
+        b = np.ones((2, 2), dtype=np.int64)
+        with pytest.raises(PackingError):
+            packed_gemm(a, b, POL8, b_zero_point=-1)
+
+
+class TestStats:
+    def test_instruction_reduction_approaches_lanes(self, rng):
+        """With N a multiple of lanes and no spill accounting, the packed
+        multiply count is exactly unpacked/lanes."""
+        a = rng.integers(0, 128, size=(16, 64))
+        b = rng.integers(0, 256, size=(64, 32))
+        stats = PackedGemmStats()
+        packed_gemm_unsigned(a, b, POL8, stats=stats)
+        assert stats.packed_multiplies == stats.unpacked_multiplies // 2
+
+    def test_dims_recorded(self, rng):
+        a = rng.integers(0, 128, size=(3, 5))
+        b = rng.integers(0, 256, size=(5, 4))
+        stats = PackedGemmStats()
+        packed_gemm_unsigned(a, b, POL8, stats=stats)
+        assert (stats.m, stats.n, stats.k, stats.lanes) == (3, 4, 5, 2)
+
+    def test_empty_stats_reduction_is_one(self):
+        assert PackedGemmStats().instruction_reduction == 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bits=st.integers(min_value=2, max_value=8),
+    m=st.integers(min_value=1, max_value=6),
+    n=st.integers(min_value=1, max_value=10),
+    k=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_signed_packed_gemm_exact(bits, m, n, k, seed):
+    """Packed GEMM == reference GEMM for arbitrary shapes/bitwidths/signs."""
+    pol = policy_for_bitwidth(bits)
+    rng = np.random.default_rng(seed)
+    bound = (1 << (bits - 1)) if bits > 1 else 1
+    a = rng.integers(-(bound - 1) if bits > 1 else 0, bound, size=(m, k))
+    b = rng.integers(-bound if bits > 1 else 0, bound, size=(k, n))
+    got = packed_gemm(a, b, pol, b_zero_point=bound if bits > 1 else None)
+    assert np.array_equal(got, reference_gemm(a, b))

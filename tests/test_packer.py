@@ -1,0 +1,133 @@
+"""Unit + property tests for pack/unpack round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PackingError
+from repro.packing import Packer, policy_for_bitwidth
+
+
+@pytest.fixture(params=[2, 3, 4, 5, 6, 7, 8, 9, 12, 16])
+def packer(request) -> Packer:
+    return Packer(policy_for_bitwidth(request.param))
+
+
+class TestPackBasics:
+    def test_int8_pair_layout(self):
+        p = Packer(policy_for_bitwidth(8))
+        packed = p.pack(np.array([0x12, 0x34]))
+        # Lane 0 (first element) sits in the low field.
+        assert packed.tolist() == [0x0034_0012]
+
+    def test_int8_pair_layout_explicit(self):
+        p = Packer(policy_for_bitwidth(8))
+        packed = p.pack(np.array([1, 2]))
+        assert packed.tolist() == [(2 << 16) | 1]
+
+    def test_int4_quad_layout(self):
+        p = Packer(policy_for_bitwidth(4))
+        packed = p.pack(np.array([1, 2, 3, 4]))
+        assert packed.tolist() == [(4 << 24) | (3 << 16) | (2 << 8) | 1]
+
+    def test_tail_zero_padded(self):
+        p = Packer(policy_for_bitwidth(8))
+        packed = p.pack(np.array([7, 8, 9]))
+        assert packed.shape == (2,)
+        assert packed.tolist()[1] == 9  # lane 1 of last register is 0
+
+    def test_output_dtype_uint32(self):
+        p = Packer(policy_for_bitwidth(8))
+        assert p.pack(np.array([1])).dtype == np.uint32
+
+    def test_2d_packs_last_axis(self):
+        p = Packer(policy_for_bitwidth(8))
+        arr = np.arange(12).reshape(3, 4)
+        packed = p.pack(arr)
+        assert packed.shape == (3, 2)
+        assert np.array_equal(p.unpack(packed, 4), arr)
+
+    def test_scalar_rejected(self):
+        with pytest.raises(PackingError):
+            Packer(policy_for_bitwidth(8)).pack(np.int64(3))
+
+    def test_negative_rejected(self):
+        with pytest.raises(PackingError):
+            Packer(policy_for_bitwidth(8)).pack(np.array([-1]))
+
+    def test_oversized_rejected(self):
+        with pytest.raises(PackingError):
+            Packer(policy_for_bitwidth(8)).pack(np.array([256]))
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            Packer(policy_for_bitwidth(8)).pack(np.array([1.5]))
+
+
+class TestUnpack:
+    def test_unpack_count_trims(self):
+        p = Packer(policy_for_bitwidth(8))
+        packed = p.pack(np.array([5, 6, 7]))
+        assert p.unpack(packed, 3).tolist() == [5, 6, 7]
+
+    def test_unpack_default_includes_padding(self):
+        p = Packer(policy_for_bitwidth(8))
+        packed = p.pack(np.array([5, 6, 7]))
+        assert p.unpack(packed).tolist() == [5, 6, 7, 0]
+
+    def test_bad_count_rejected(self):
+        p = Packer(policy_for_bitwidth(8))
+        packed = p.pack(np.array([5]))
+        with pytest.raises(PackingError):
+            p.unpack(packed, 5)
+
+
+class TestRoundtrip:
+    def test_roundtrip_all_bitwidths(self, packer, rng):
+        n = 257
+        vals = rng.integers(0, packer.policy.max_value, size=n, endpoint=True)
+        assert packer.roundtrip_exact(vals)
+
+    def test_roundtrip_extremes(self, packer):
+        vals = np.array([0, packer.policy.max_value] * 5)
+        assert packer.roundtrip_exact(vals)
+
+    def test_roundtrip_batch(self, packer, rng):
+        vals = rng.integers(
+            0, packer.policy.max_value, size=(4, 6, 10), endpoint=True
+        )
+        assert packer.roundtrip_exact(vals)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    bits=st.integers(min_value=1, max_value=16),
+    data=st.data(),
+)
+def test_property_roundtrip(bits, data):
+    """pack -> unpack is the identity for any in-range payload."""
+    pol = policy_for_bitwidth(bits)
+    n = data.draw(st.integers(min_value=1, max_value=64))
+    vals = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=pol.max_value),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    p = Packer(pol)
+    arr = np.array(vals, dtype=np.int64)
+    assert np.array_equal(p.unpack(p.pack(arr), n), arr)
+
+
+@settings(max_examples=100, deadline=None)
+@given(bits=st.integers(min_value=1, max_value=16), n=st.integers(1, 100))
+def test_property_register_count(bits, n):
+    """Packing n values yields ceil(n / lanes) registers."""
+    pol = policy_for_bitwidth(bits)
+    p = Packer(pol)
+    packed = p.pack(np.zeros(n, dtype=np.int64))
+    assert packed.shape == (-(-n // pol.lanes),)

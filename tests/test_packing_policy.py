@@ -1,0 +1,133 @@
+"""Unit + property tests for the Fig. 3 packing policy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FormatError, PackingError
+from repro.packing import PackingPolicy, max_lanes_for_bitwidth, policy_for_bitwidth
+
+
+class TestFig3Policy:
+    """The exact table from Fig. 3 of the paper."""
+
+    @pytest.mark.parametrize("bits", range(9, 33))
+    def test_wide_values_use_zero_masking(self, bits):
+        pol = policy_for_bitwidth(bits)
+        assert pol.lanes == 1
+
+    @pytest.mark.parametrize("bits", [6, 7, 8])
+    def test_mid_values_pack_two(self, bits):
+        pol = policy_for_bitwidth(bits)
+        assert (pol.lanes, pol.field_bits) == (2, 16)
+
+    def test_five_bit_packs_three(self):
+        pol = policy_for_bitwidth(5)
+        assert (pol.lanes, pol.field_bits) == (3, 10)
+
+    @pytest.mark.parametrize("bits", [2, 3, 4])
+    def test_low_values_pack_four(self, bits):
+        # Fig. 3(d): "up to 4 integer values with a bitwidth of lower
+        # than [or equal to] 4" — the paper caps at 4.
+        pol = policy_for_bitwidth(bits)
+        assert pol.lanes == 4
+
+    def test_uncapped_two_bit_packs_eight(self):
+        assert policy_for_bitwidth(2, cap_lanes=None).lanes == 8
+
+    def test_product_always_fits_field(self):
+        for bits in range(1, 33):
+            pol = policy_for_bitwidth(bits)
+            if pol.lanes > 1:
+                assert pol.field_bits >= 2 * bits
+
+    def test_fields_fit_register(self):
+        for bits in range(1, 33):
+            pol = policy_for_bitwidth(bits)
+            assert pol.lanes * pol.field_bits <= 32
+
+
+class TestPolicyValidation:
+    def test_carry_unsafe_policy_rejected(self):
+        with pytest.raises(FormatError):
+            PackingPolicy(value_bits=8, lanes=2, field_bits=12)
+
+    def test_register_overflow_rejected(self):
+        with pytest.raises(FormatError):
+            PackingPolicy(value_bits=8, lanes=3, field_bits=16)
+
+    def test_field_too_small_for_value(self):
+        with pytest.raises(FormatError):
+            PackingPolicy(value_bits=8, lanes=1, field_bits=4)
+
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(FormatError):
+            PackingPolicy(value_bits=8, lanes=0, field_bits=16)
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(FormatError):
+            policy_for_bitwidth(8, cap_lanes=0)
+
+    def test_bits_out_of_range(self):
+        with pytest.raises(FormatError):
+            max_lanes_for_bitwidth(0)
+        with pytest.raises(FormatError):
+            max_lanes_for_bitwidth(33)
+
+
+class TestDerived:
+    def test_masks(self):
+        pol = policy_for_bitwidth(8)
+        assert pol.value_mask == 0xFF
+        assert pol.field_mask == 0xFFFF
+
+    def test_shift_amounts(self):
+        assert policy_for_bitwidth(8).shift_amounts == (0, 16)
+        assert policy_for_bitwidth(4).shift_amounts == (0, 8, 16, 24)
+
+    def test_registers_needed(self):
+        pol = policy_for_bitwidth(8)
+        assert pol.registers_needed(0) == 0
+        assert pol.registers_needed(1) == 1
+        assert pol.registers_needed(2) == 1
+        assert pol.registers_needed(3) == 2
+
+    def test_registers_needed_negative(self):
+        with pytest.raises(PackingError):
+            policy_for_bitwidth(8).registers_needed(-1)
+
+    def test_bit_utilization_improves_with_packing(self):
+        # Sec. 3.2: packing improves bit-level register utilization.
+        packed = policy_for_bitwidth(8).bit_utilization()
+        unpacked = PackingPolicy(value_bits=8, lanes=1, field_bits=32).bit_utilization()
+        assert packed == pytest.approx(0.5)
+        assert unpacked == pytest.approx(0.25)
+        assert packed > unpacked
+
+    def test_with_lanes_widens_fields(self):
+        pol = policy_for_bitwidth(5).with_lanes(2)
+        assert (pol.lanes, pol.field_bits) == (2, 16)
+
+    def test_with_lanes_rejects_unsafe(self):
+        with pytest.raises(FormatError):
+            policy_for_bitwidth(8).with_lanes(3)
+
+
+@given(st.integers(min_value=1, max_value=16))
+def test_property_lane_count_monotone_nonincreasing(bits):
+    """More bits can never allow more lanes."""
+    if bits < 16:
+        assert max_lanes_for_bitwidth(bits) >= max_lanes_for_bitwidth(bits + 1)
+
+
+@given(st.integers(min_value=1, max_value=32))
+def test_property_policy_is_self_consistent(bits):
+    pol = policy_for_bitwidth(bits)
+    assert 1 <= pol.lanes <= 4
+    assert pol.lanes * pol.field_bits <= pol.register_bits
+    if pol.lanes > 1:
+        # One worst-case product per field, no carry into the neighbour.
+        max_product = pol.max_value * pol.max_value
+        assert max_product <= pol.field_mask

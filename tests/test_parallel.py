@@ -1,0 +1,67 @@
+"""Tests for the parallel sweep utility."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.utils.parallel import default_processes, sweep
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _boom(x: int) -> int:
+    if x == 3:
+        raise ValueError("bad point")
+    return x
+
+
+class TestSweep:
+    def test_order_preserved_serial(self):
+        assert sweep(_square, [3, 1, 2], processes=1) == [9, 1, 4]
+
+    def test_order_preserved_parallel(self):
+        out = sweep(_square, list(range(20)), processes=4)
+        assert out == [x * x for x in range(20)]
+
+    def test_empty(self):
+        assert sweep(_square, [], processes=4) == []
+
+    def test_single_point_runs_inline(self):
+        assert sweep(_square, [7], processes=8) == [49]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError):
+            sweep(_boom, [1, 2, 3, 4], processes=2)
+
+    def test_invalid_processes(self):
+        with pytest.raises(ValueError):
+            sweep(_square, [1], processes=0)
+
+    def test_default_processes(self):
+        assert default_processes() >= 1
+        assert default_processes(limit=2) <= 2
+        assert default_processes(limit=2) >= 1
+
+    def test_matches_serial(self):
+        pts = list(range(11))
+        assert sweep(_square, pts, processes=3) == sweep(
+            _square, pts, processes=1
+        )
+
+
+def test_sweep_with_simulated_machines():
+    """Integration: the design-space worker is picklable and parallel
+    results equal serial results."""
+    import sys
+    sys.path.insert(0, str(__import__("pathlib").Path(__file__).parents[1] / "examples"))
+    from design_space_sweep import evaluate
+
+    points = [(1.0, 1.0), (2.0, 1.0)]
+    par = sweep(evaluate, points, processes=2)
+    ser = sweep(evaluate, points, processes=1)
+    assert par == ser
+    assert par[0][2] == pytest.approx(1.19, abs=0.05)

@@ -1,0 +1,232 @@
+"""Unit + behavioural tests for the performance model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelConfigError
+from repro.fusion import FC, IC, IC_FC, TACKER, TC, TC_IC_FC, VITBIT
+from repro.fusion.strategies import Strategy
+from repro.perfmodel import (
+    ELEMENTWISE_KERNELS,
+    CostParams,
+    ElementwiseDesc,
+    GemmShape,
+    PerformanceModel,
+    analytic_elementwise_seconds,
+    analytic_gemm_seconds,
+    calibrate,
+)
+from repro.perfmodel.warpsets import (
+    elementwise_instruction_totals,
+    gemm_bytes,
+    gemm_instruction_totals,
+)
+from repro.packing import policy_for_bitwidth
+from repro.sim.instruction import OpClass
+
+POL8 = policy_for_bitwidth(8)
+SHAPE = GemmShape(768, 1576, 768, name="proj")
+CUDA_PACKED = Strategy(
+    "IC+FC+P", False, True, True, True, "C", "packed CUDA-only"
+)
+
+
+@pytest.fixture(scope="module")
+def pm_no_oh(machine):
+    return PerformanceModel(machine, include_launch_overhead=False)
+
+
+@pytest.fixture(scope="session")
+def machine():
+    from repro.arch import jetson_orin_agx
+
+    return jetson_orin_agx()
+
+
+class TestGemmShape:
+    def test_macs_and_flops(self):
+        s = GemmShape(2, 3, 4)
+        assert s.macs == 24 and s.flops == 48
+
+    def test_label(self):
+        assert GemmShape(1, 2, 3, name="x").label() == "x (1x2x3)"
+        assert GemmShape(1, 2, 3).label() == "1x2x3"
+
+    def test_invalid_dims(self):
+        with pytest.raises(ModelConfigError):
+            GemmShape(0, 1, 1)
+
+
+class TestDescriptors:
+    def test_all_fig7_kernels_present(self):
+        assert set(ELEMENTWISE_KERNELS) == {
+            "softmax", "gelu", "layernorm", "dropout", "residual", "requantize",
+        }
+
+    def test_bad_packable_fraction(self):
+        with pytest.raises(ModelConfigError):
+            ElementwiseDesc(name="x", int_ops=1, fp_ops=1, packable_fraction=1.5)
+
+    def test_bad_cost_params(self):
+        with pytest.raises(ValueError):
+            CostParams(resident_warps=0)
+        with pytest.raises(ModelConfigError):
+            CostParams(packed_byte_factor=0.0)
+
+
+class TestInstructionTotals:
+    def test_tc_only_has_no_cuda_instructions(self):
+        plan = TC.split_plan(SHAPE.n, POL8, 4.0)
+        totals = gemm_instruction_totals(SHAPE, plan, POL8, CostParams())
+        assert totals[OpClass.INT] == 0
+        assert totals[OpClass.FP] == 0
+        assert totals[OpClass.TENSOR] > 0
+
+    def test_packing_halves_int_instructions(self):
+        base = gemm_instruction_totals(
+            SHAPE, IC.split_plan(SHAPE.n, POL8, 0.0), POL8, CostParams()
+        )
+        packed_plan = CUDA_PACKED.split_plan(SHAPE.n, POL8, 0.0)
+        packed = gemm_instruction_totals(SHAPE, packed_plan, POL8, CostParams())
+        int_per_col_base = base[OpClass.INT] / SHAPE.n
+        int_per_col_packed = packed[OpClass.INT] / packed_plan.n1
+        assert int_per_col_packed == pytest.approx(int_per_col_base / 2)
+
+    def test_spill_accounting_adds_instructions(self):
+        plan = CUDA_PACKED.split_plan(SHAPE.n, POL8, 0.0)
+        ideal = gemm_instruction_totals(SHAPE, plan, POL8, CostParams())
+        taxed = gemm_instruction_totals(
+            SHAPE, plan, POL8, CostParams(count_spills=True)
+        )
+        assert taxed[OpClass.INT] > ideal[OpClass.INT]
+
+    def test_sign_split_doubles_int_instructions(self):
+        plan = CUDA_PACKED.split_plan(SHAPE.n, POL8, 0.0)
+        ideal = gemm_instruction_totals(SHAPE, plan, POL8, CostParams())
+        taxed = gemm_instruction_totals(
+            SHAPE, plan, POL8, CostParams(count_sign_split=True)
+        )
+        assert taxed[OpClass.INT] == pytest.approx(2 * ideal[OpClass.INT])
+
+    def test_elementwise_totals_scale_linearly(self):
+        desc = ELEMENTWISE_KERNELS["gelu"]
+        small = elementwise_instruction_totals(desc, 1000, IC, POL8)
+        large = elementwise_instruction_totals(desc, 2000, IC, POL8)
+        for op in small:
+            assert large[op] == pytest.approx(2 * small[op])
+
+    def test_elementwise_rejects_tensor_only(self):
+        with pytest.raises(ModelConfigError):
+            elementwise_instruction_totals(
+                ELEMENTWISE_KERNELS["gelu"], 100, TC, POL8
+            )
+
+
+class TestGemmBytes:
+    def test_fp_slice_costs_weight_duplicate(self):
+        tc_plan = TC.split_plan(SHAPE.n, POL8, 4.0)
+        fused_plan = VITBIT.split_plan(SHAPE.n, POL8, 4.0)
+        assert gemm_bytes(SHAPE, fused_plan, POL8) > gemm_bytes(
+            SHAPE, tc_plan, POL8
+        ) + SHAPE.m * SHAPE.k * 3  # at least the fp32 A2 stream
+
+    def test_bytes_positive(self):
+        for s in (TC, IC, FC, IC_FC):
+            plan = s.split_plan(SHAPE.n, POL8, 4.0)
+            assert gemm_bytes(SHAPE, plan, POL8) > 0
+
+
+class TestTimeGemm:
+    def test_monotone_in_work(self, pm_no_oh):
+        small = pm_no_oh.time_gemm(GemmShape(256, 1576, 256), TC).seconds
+        large = pm_no_oh.time_gemm(GemmShape(512, 1576, 512), TC).seconds
+        assert large > small
+
+    def test_results_cached(self, pm_no_oh):
+        a = pm_no_oh.time_gemm(SHAPE, TC)
+        b = pm_no_oh.time_gemm(SHAPE, TC)
+        assert a is b
+
+    def test_clear_cache(self, pm_no_oh):
+        a = pm_no_oh.time_gemm(SHAPE, TC)
+        pm_no_oh.clear_cache()
+        b = pm_no_oh.time_gemm(SHAPE, TC)
+        assert a is not b and a.seconds == b.seconds
+
+    def test_launch_overhead_included_when_asked(self, machine):
+        with_oh = PerformanceModel(machine, include_launch_overhead=True)
+        without = PerformanceModel(machine, include_launch_overhead=False)
+        t1 = with_oh.time_gemm(SHAPE, TC)
+        t2 = without.time_gemm(SHAPE, TC)
+        assert t1.seconds - t2.seconds == pytest.approx(
+            machine.kernel_launch_overhead_us * 1e-6
+        )
+        assert t1.useful_seconds == pytest.approx(t2.seconds, rel=1e-6)
+
+    def test_explicit_ratio_overrides_rule(self, pm_no_oh):
+        auto = pm_no_oh.time_gemm(SHAPE, VITBIT)
+        forced = pm_no_oh.time_gemm(SHAPE, VITBIT, tensor_cuda_ratio=1.0)
+        assert forced.seconds > auto.seconds  # m=1 starves the Tensor cores
+
+    def test_m_rule_matches_paper(self, pm_no_oh):
+        assert pm_no_oh.determine_tensor_cuda_ratio(SHAPE, VITBIT) == 4
+        assert pm_no_oh.determine_tensor_cuda_ratio(SHAPE, TACKER) >= 6
+
+    def test_strategy_ordering_on_linear_kernels(self, pm_no_oh):
+        """The paper's headline ordering at the GEMM level."""
+        t = {
+            s.name: pm_no_oh.time_gemm(SHAPE, s).seconds
+            for s in (TC, TACKER, TC_IC_FC, VITBIT)
+        }
+        assert t["VitBit"] < t["TC+IC+FC"] < t["Tacker"] < t["TC"]
+
+
+class TestTimeElementwise:
+    def test_unknown_kernel_rejected(self, pm_no_oh):
+        with pytest.raises(KeyError):
+            pm_no_oh.time_elementwise("conv", 100, IC)
+
+    def test_custom_descriptor_accepted(self, pm_no_oh):
+        desc = ElementwiseDesc(name="custom", int_ops=4, fp_ops=4)
+        kt = pm_no_oh.time_elementwise(desc, 100_000, IC)
+        assert kt.seconds > 0
+
+    def test_vitbit_beats_ic_on_every_fig7_kernel(self, pm_no_oh):
+        n = 768 * 1576
+        for kernel in ELEMENTWISE_KERNELS:
+            t_ic = pm_no_oh.time_elementwise(kernel, n, IC).seconds
+            t_vb = pm_no_oh.time_elementwise(kernel, n, VITBIT).seconds
+            assert t_vb < t_ic, kernel
+
+    def test_memory_bound_flag(self, pm_no_oh):
+        kt = pm_no_oh.time_elementwise("gelu", 10_000_000, IC)
+        assert kt.memory_bound
+
+
+class TestAnalyticModel:
+    def test_agrees_with_simulator(self, machine):
+        report = calibrate(machine, tolerance=1.6)
+        assert report.worst_ratio <= 1.6
+        assert 0.8 <= report.mean_ratio <= 1.4
+
+    def test_analytic_ordering_matches(self, machine):
+        # The analytic model takes m explicitly; use each strategy's
+        # balanced ratio (the m rule's output on this shape).
+        ratios = {"TC": 4.0, "Tacker": 7.0, "TC+IC+FC": 6.0, "VitBit": 4.0}
+        ana = {
+            s.name: analytic_gemm_seconds(
+                SHAPE, s, machine, POL8,
+                tensor_cuda_ratio=ratios[s.name],
+                include_launch_overhead=False,
+            )
+            for s in (TC, TACKER, TC_IC_FC, VITBIT)
+        }
+        assert ana["VitBit"] < ana["TC"]
+        assert ana["TC+IC+FC"] < ana["Tacker"] < ana["TC"]
+
+    def test_analytic_elementwise_positive(self, machine):
+        t = analytic_elementwise_seconds(
+            ELEMENTWISE_KERNELS["softmax"], 100_000, IC, machine, POL8
+        )
+        assert t > 0

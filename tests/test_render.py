@@ -1,0 +1,79 @@
+"""Tests for the kernel source renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.fusion import VITBIT
+from repro.kernels.render import render_fused_gemm, render_pack_helpers
+from repro.packing import policy_for_bitwidth
+
+POL8 = policy_for_bitwidth(8)
+POL4 = policy_for_bitwidth(4)
+
+
+class TestPackHelpers:
+    def test_int8_shifts(self):
+        src = render_pack_helpers(POL8)
+        assert "<< 0;" in src and "<< 16;" in src
+        assert "0xFFu" in src  # value mask
+        assert "0xFFFFu" in src  # field mask
+
+    def test_int4_has_four_lanes(self):
+        src = render_pack_helpers(POL4)
+        assert src.count("reg |=") == 4
+        assert "<< 24;" in src
+
+    def test_compiles_as_text(self):
+        src = render_pack_helpers(POL8)
+        assert src.count("{") == src.count("}")
+
+
+class TestFusedGemm:
+    def _plan(self, policy=POL8, n=200):
+        return VITBIT.split_plan(n, policy, 4.0)
+
+    def test_structure(self):
+        src = render_fused_gemm(self._plan(), POL8)
+        assert "__global__ void vitbit_gemm(" in src
+        assert "tc_gemm_imma" in src
+        assert "int_gemm_packed" in src
+        assert "fp_gemm" in src
+
+    def test_reports_plan_widths(self):
+        plan = self._plan()
+        src = render_fused_gemm(plan, POL8)
+        assert f"{plan.n1} columns" in src
+        assert f"{plan.n2} columns" in src
+        assert f"{plan.n3} columns" in src
+
+    def test_spill_depth_matches_budget(self):
+        src = render_fused_gemm(self._plan(), POL8)
+        # int8 symmetric weights: safe depth 2.
+        assert "% 2 == 0" in src
+        assert "spill to wide" in src
+
+    def test_zero_point_epilogue(self):
+        src = render_fused_gemm(self._plan(), POL8, zero_point=128)
+        assert "* 128" in src
+        src_none = render_fused_gemm(self._plan(), POL8, zero_point=None)
+        assert "* 128" not in src_none
+
+    def test_four_lane_variant(self):
+        plan = VITBIT.split_plan(400, POL4, 4.0)
+        src = render_fused_gemm(plan, POL4)
+        assert "acc3" in src and "4 MACs" in src
+
+    def test_balanced_braces(self):
+        src = render_fused_gemm(self._plan(), POL8)
+        assert src.count("{") == src.count("}")
+
+    def test_policy_plan_mismatch_rejected(self):
+        plan = self._plan(POL8)
+        with pytest.raises(ScheduleError):
+            render_fused_gemm(plan, POL4)
+
+    def test_custom_name(self):
+        src = render_fused_gemm(self._plan(), POL8, kernel_name="my_kernel")
+        assert "void my_kernel(" in src

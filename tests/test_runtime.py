@@ -1,0 +1,76 @@
+"""Integration tests for end-to-end inference timing (Fig. 5 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import jetson_orin_agx
+from repro.errors import ModelConfigError
+from repro.fusion import FC, IC, IC_FC, TACKER, TC, TC_IC_FC, VITBIT
+from repro.perfmodel import PerformanceModel
+from repro.vit import time_inference, vit_workload
+from repro.vit.runtime import cuda_kernel_strategy_for, gemm_strategy_for
+
+
+@pytest.fixture(scope="module")
+def pm():
+    return PerformanceModel(jetson_orin_agx())
+
+
+class TestStrategyMapping:
+    def test_t_scope_keeps_ic_elementwise(self):
+        for s in (TC, TACKER, TC_IC_FC):
+            assert cuda_kernel_strategy_for(s) is IC
+
+    def test_vitbit_applies_to_both(self):
+        assert cuda_kernel_strategy_for(VITBIT) is VITBIT
+        assert gemm_strategy_for(VITBIT) is VITBIT
+
+    def test_c_scope_keeps_tc_gemms(self):
+        for s in (IC, FC, IC_FC):
+            assert gemm_strategy_for(s) is TC
+            assert cuda_kernel_strategy_for(s) is s
+
+
+class TestTimeInference:
+    def test_totals_decompose(self, pm):
+        t = time_inference(pm, TC)
+        assert t.total_seconds == pytest.approx(
+            t.gemm_seconds + t.elementwise_seconds
+        )
+        assert t.kernel_launches == sum(kw.repeat for kw in vit_workload())
+        assert len(t.per_kernel) > 0
+
+    def test_fig5_ordering(self, pm):
+        base = time_inference(pm, TC).total_seconds
+        speedups = {
+            s.name: base / time_inference(pm, s).total_seconds
+            for s in (TACKER, TC_IC_FC, VITBIT)
+        }
+        assert 1.0 < speedups["Tacker"] < speedups["TC+IC+FC"] < speedups["VitBit"]
+        assert speedups["VitBit"] == pytest.approx(1.22, abs=0.06)
+
+    def test_seconds_for_prefix(self, pm):
+        t = time_inference(pm, TC)
+        assert t.seconds_for("fc") > 0
+        assert t.seconds_for("nonexistent") == 0.0
+
+    def test_empty_workload_rejected(self, pm):
+        with pytest.raises(ModelConfigError):
+            time_inference(pm, TC, workload=[])
+
+    def test_batch_scales_time(self, pm):
+        small = time_inference(pm, TC, batch=4).total_seconds
+        large = time_inference(pm, TC, batch=16).total_seconds
+        assert large > 1.5 * small
+
+    def test_instruction_totals_positive(self, pm):
+        t = time_inference(pm, VITBIT)
+        assert t.instructions > 0
+        assert sum(t.issued.values()) == pytest.approx(t.instructions)
+
+    def test_gemm_fraction_dominates(self, pm):
+        """The compute-bound regime DESIGN.md argues for: GEMMs are the
+        majority of TC-baseline inference time at the default batch."""
+        t = time_inference(pm, TC)
+        assert t.gemm_seconds > 0.55 * t.total_seconds

@@ -1,0 +1,210 @@
+"""Unit tests for the cycle-approximate simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.specs import SMSpec
+from repro.errors import SimulationError
+from repro.sim import (
+    DramModel,
+    GPUSim,
+    OpClass,
+    SMSim,
+    SubPartitionSim,
+    WarpProgram,
+    default_timings,
+)
+
+
+def make_gpu(machine):
+    return GPUSim(machine, include_launch_overhead=False)
+
+
+class TestWarpProgram:
+    def test_counts(self):
+        p = WarpProgram.loop([(OpClass.INT, 4), (OpClass.LSU, 1)], iterations=10)
+        assert p.count(OpClass.INT) == 40
+        assert p.count(OpClass.LSU) == 10
+        assert p.total_instructions == 50
+
+    def test_mix(self):
+        p = WarpProgram.loop([(OpClass.INT, 2), (OpClass.FP, 3)], iterations=2)
+        assert p.mix() == {OpClass.INT: 4, OpClass.FP: 6}
+
+    def test_straight(self):
+        p = WarpProgram.straight({OpClass.FP: 5, OpClass.INT: 0})
+        assert p.total_instructions == 5
+        assert p.count(OpClass.INT) == 0
+
+    def test_empty(self):
+        p = WarpProgram.empty()
+        assert p.total_instructions == 0
+
+    def test_scaled(self):
+        p = WarpProgram.loop([(OpClass.INT, 1)], iterations=10)
+        assert p.scaled(0.5).iterations == 5
+        assert p.scaled(2.0).iterations == 20
+
+    def test_invalid_segment_rejected(self):
+        with pytest.raises(SimulationError):
+            WarpProgram(body=((OpClass.INT, 0),), iterations=1)
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(SimulationError):
+            WarpProgram(body=((OpClass.INT, 1),), iterations=-1)
+
+
+class TestTimings:
+    def test_sixteen_lane_pipes_have_ii_two(self):
+        t = default_timings(SMSpec())
+        assert t[OpClass.INT].initiation_interval == 2
+        assert t[OpClass.FP].initiation_interval == 2
+
+    def test_lsu_matches_alu_interval(self):
+        t = default_timings(SMSpec())
+        assert t[OpClass.LSU].initiation_interval == 2
+
+    def test_sfu_slower_than_alu(self):
+        t = default_timings(SMSpec())
+        assert t[OpClass.SFU].initiation_interval > t[OpClass.INT].initiation_interval
+
+    def test_tensor_ii_reflects_efficiency(self):
+        full = default_timings(SMSpec(), tc_efficiency=1.0)
+        derated = default_timings(SMSpec(), tc_efficiency=0.25)
+        assert derated[OpClass.TENSOR].initiation_interval == pytest.approx(
+            4 * full[OpClass.TENSOR].initiation_interval, rel=0.1
+        )
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(SimulationError):
+            default_timings(SMSpec(), tc_efficiency=0.0)
+
+
+class TestSubPartition:
+    def test_single_warp_single_instruction(self):
+        t = default_timings(SMSpec())
+        sim = SubPartitionSim(t, [WarpProgram.straight({OpClass.INT: 1})])
+        stats = sim.run()
+        assert stats.instructions == 1
+        assert stats.issued[OpClass.INT] == 1
+
+    def test_empty_workload(self):
+        t = default_timings(SMSpec())
+        stats = SubPartitionSim(t, [WarpProgram.empty()]).run()
+        assert stats.cycles == 0 and stats.instructions == 0
+
+    def test_int_only_bounded_by_pipe(self):
+        """Many warps of pure INT work saturate the INT pipe: one
+        instruction per ii cycles."""
+        t = default_timings(SMSpec())
+        ii = t[OpClass.INT].initiation_interval
+        n_instr = 50
+        warps = [WarpProgram.loop([(OpClass.INT, n_instr)], 1) for _ in range(8)]
+        stats = SubPartitionSim(t, warps).run()
+        assert stats.cycles == pytest.approx(8 * n_instr * ii, rel=0.02)
+        assert stats.utilization(OpClass.INT) > 0.98
+
+    def test_int_fp_mix_dual_issues(self):
+        """Equal INT and FP warp populations nearly double throughput."""
+        t = default_timings(SMSpec())
+        n_instr = 50
+        int_warps = [WarpProgram.loop([(OpClass.INT, n_instr)], 1) for _ in range(4)]
+        fp_warps = [WarpProgram.loop([(OpClass.FP, n_instr)], 1) for _ in range(4)]
+        solo = SubPartitionSim(t, int_warps + int_warps).run()
+        dual = SubPartitionSim(t, int_warps + fp_warps).run()
+        assert solo.instructions == dual.instructions
+        assert dual.cycles < 0.55 * solo.cycles + 10
+
+    def test_deadlock_guard(self):
+        t = default_timings(SMSpec())
+        warps = [WarpProgram.loop([(OpClass.INT, 1)], iterations=10**6)]
+        with pytest.raises(SimulationError):
+            SubPartitionSim(t, warps).run(max_cycles=100)
+
+    def test_ipc_never_exceeds_one(self):
+        t = default_timings(SMSpec())
+        warps = [
+            WarpProgram.loop([(OpClass.INT, 2), (OpClass.FP, 2), (OpClass.LSU, 1)], 20)
+            for _ in range(12)
+        ]
+        stats = SubPartitionSim(t, warps).run()
+        assert 0 < stats.ipc <= 1.0
+
+
+class TestSMSim:
+    def test_distribute_round_robin(self):
+        sm = SMSim(SMSpec())
+        warps = [WarpProgram.straight({OpClass.INT: i + 1}) for i in range(8)]
+        buckets = sm.distribute(warps)
+        assert [len(b) for b in buckets] == [2, 2, 2, 2]
+
+    def test_residency_limit(self):
+        sm = SMSim(SMSpec())
+        warps = [WarpProgram.empty()] * 49
+        with pytest.raises(SimulationError):
+            sm.distribute(warps)
+
+
+class TestDram:
+    def test_transfer_time(self, machine):
+        dram = DramModel(machine, efficiency=1.0)
+        secs = dram.transfer_seconds(machine.dram_bandwidth_bytes_per_s)
+        assert secs == pytest.approx(1.0)
+
+    def test_efficiency_bounds(self, machine):
+        with pytest.raises(ValueError):
+            DramModel(machine, efficiency=1.5)
+        with pytest.raises(ValueError):
+            DramModel(machine, efficiency=0.0)
+
+    def test_negative_bytes_rejected(self, machine):
+        with pytest.raises(ValueError):
+            DramModel(machine).transfer_seconds(-1)
+
+
+class TestGPUSim:
+    def test_compute_bound_kernel(self, machine):
+        gpu = make_gpu(machine)
+        warps = [WarpProgram.loop([(OpClass.INT, 10)], 10)] * 8
+        stats = gpu.run_kernel(warps)
+        assert not stats.memory_bound
+        assert stats.cycles == stats.compute_cycles
+
+    def test_memory_bound_kernel(self, machine):
+        gpu = make_gpu(machine)
+        warps = [WarpProgram.loop([(OpClass.INT, 1)], 1)] * 4
+        stats = gpu.run_kernel(warps, bytes_moved=1 << 30)
+        assert stats.memory_bound
+        assert stats.cycles >= stats.dram_cycles
+
+    def test_waves_scale_compute(self, machine):
+        gpu = make_gpu(machine)
+        warps = [WarpProgram.loop([(OpClass.INT, 10)], 10)] * 8
+        one = gpu.run_kernel(warps)
+        two = gpu.run_kernel(
+            warps, total_warps=2 * len(warps) * machine.sm_count
+        )
+        assert two.compute_cycles == 2 * one.compute_cycles
+        assert two.instructions == 2 * one.instructions
+
+    def test_launch_overhead_added(self, machine):
+        with_oh = GPUSim(machine, include_launch_overhead=True)
+        without = make_gpu(machine)
+        warps = [WarpProgram.loop([(OpClass.INT, 5)], 1)] * 4
+        t1 = with_oh.run_kernel(warps).seconds
+        t2 = without.run_kernel(warps).seconds
+        assert t1 - t2 == pytest.approx(machine.kernel_launch_overhead_us * 1e-6)
+
+    def test_empty_launch_rejected(self, machine):
+        with pytest.raises(SimulationError):
+            make_gpu(machine).run_kernel([])
+
+    def test_stats_accumulate(self, machine):
+        gpu = make_gpu(machine)
+        warps = [WarpProgram.loop([(OpClass.INT, 5)], 2)] * 4
+        a = gpu.run_kernel(warps)
+        b = gpu.run_kernel(warps)
+        total = a.scaled_add(b)
+        assert total.cycles == a.cycles + b.cycles
+        assert total.instructions == a.instructions + b.instructions

@@ -1,0 +1,105 @@
+"""Property / metamorphic tests on the simulator's invariants.
+
+The cycle simulator has no ground truth to compare against, but it has
+*laws*: conservation of issued instructions, monotonicity in work,
+scale-invariance of steady-state rates, and bounds set by its busiest
+resource.  Violations of any of these are simulator bugs regardless of
+calibration, so they get their own property suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.specs import SMSpec
+from repro.sim import OpClass, SubPartitionSim, WarpProgram, default_timings
+
+TIMINGS = default_timings(SMSpec())
+
+ops = st.sampled_from([OpClass.INT, OpClass.FP, OpClass.LSU, OpClass.MISC])
+segments = st.lists(
+    st.tuples(ops, st.integers(min_value=1, max_value=4)),
+    min_size=1,
+    max_size=4,
+)
+programs = st.builds(
+    WarpProgram,
+    body=segments.map(tuple),
+    iterations=st.integers(min_value=1, max_value=20),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(warps=st.lists(programs, min_size=1, max_size=8))
+def test_property_instruction_conservation(warps):
+    """Every instruction of every warp is issued exactly once."""
+    stats = SubPartitionSim(TIMINGS, warps).run()
+    expected = {}
+    for w in warps:
+        for op, n in w.mix().items():
+            expected[op] = expected.get(op, 0) + n
+    assert stats.issued == {op: n for op, n in expected.items() if n}
+
+
+@settings(max_examples=60, deadline=None)
+@given(warps=st.lists(programs, min_size=1, max_size=6))
+def test_property_cycles_bounded_below_by_busiest_resource(warps):
+    """Cycles >= max(pipe occupancy, total instructions)."""
+    stats = SubPartitionSim(TIMINGS, warps).run()
+    pipe_bound = max(
+        (
+            n * TIMINGS[op].initiation_interval
+            for op, n in stats.issued.items()
+        ),
+        default=0,
+    )
+    issue_bound = stats.instructions
+    assert stats.cycles >= max(pipe_bound, issue_bound)
+
+
+@settings(max_examples=40, deadline=None)
+@given(prog=programs, copies=st.integers(min_value=1, max_value=3))
+def test_property_more_iterations_never_faster(prog, copies):
+    """Doubling every warp's iterations cannot reduce cycles."""
+    warps = [prog] * copies
+    doubled = [prog.scaled(2.0)] * copies
+    a = SubPartitionSim(TIMINGS, warps).run()
+    b = SubPartitionSim(TIMINGS, doubled).run()
+    assert b.cycles >= a.cycles
+
+
+@settings(max_examples=40, deadline=None)
+@given(prog=programs)
+def test_property_steady_state_rate_scale_invariant(prog):
+    """A homogeneous warp set's cycles grow ~linearly with iterations
+    (the assumption behind the performance model's work scaling)."""
+    base = prog.scaled(4.0)
+    big = prog.scaled(16.0)
+    warps_a = [base] * 8
+    warps_b = [big] * 8
+    a = SubPartitionSim(TIMINGS, warps_a).run()
+    b = SubPartitionSim(TIMINGS, warps_b).run()
+    rate_a = a.instructions / a.cycles
+    rate_b = b.instructions / b.cycles
+    assert rate_b == pytest.approx(rate_a, rel=0.15)
+
+
+@settings(max_examples=40, deadline=None)
+@given(warps=st.lists(programs, min_size=2, max_size=8))
+def test_property_determinism(warps):
+    """Same input -> identical statistics."""
+    a = SubPartitionSim(TIMINGS, warps).run()
+    b = SubPartitionSim(TIMINGS, warps).run()
+    assert a.cycles == b.cycles
+    assert a.issued == b.issued
+
+
+@settings(max_examples=30, deadline=None)
+@given(warps=st.lists(programs, min_size=1, max_size=6))
+def test_property_lrr_and_oldest_issue_same_work(warps):
+    """Scheduling policy changes timing, never the work done."""
+    oldest = SubPartitionSim(TIMINGS, warps, policy="oldest").run()
+    lrr = SubPartitionSim(TIMINGS, warps, policy="lrr").run()
+    assert oldest.issued == lrr.issued

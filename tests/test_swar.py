@@ -1,0 +1,161 @@
+"""Unit + property tests for SWAR primitives (carry isolation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OverflowBudgetError, PackingError
+from repro.packing import (
+    Packer,
+    lane_extract,
+    lane_insert,
+    packed_add,
+    packed_scalar_mul,
+    policy_for_bitwidth,
+)
+
+POL8 = policy_for_bitwidth(8)
+POL4 = policy_for_bitwidth(4)
+
+
+class TestPackedAdd:
+    def test_lanewise_addition(self):
+        p = Packer(POL8)
+        x = p.pack(np.array([10, 20]))
+        y = p.pack(np.array([1, 2]))
+        out = packed_add(x, y, POL8)
+        assert p.unpack(out, 2).tolist() == [11, 22]
+
+    def test_no_cross_lane_carry_when_in_budget(self):
+        p = Packer(POL8)
+        # Lane sums up to the field max are fine.
+        x = p.pack(np.array([255, 255]))
+        y = Packer(POL8).pack(np.array([255, 255]))
+        # 255 + 255 = 510 < 65535 -> legal.
+        out = packed_add(x, y, POL8)
+        assert p.unpack(out, 2).tolist() == [510, 510]
+
+    def test_overflow_detected(self):
+        # Construct registers whose lane-0 field is nearly full.
+        x = np.array([0xFFFF], dtype=np.uint32)
+        y = np.array([0x0001], dtype=np.uint32)
+        with pytest.raises(OverflowBudgetError):
+            packed_add(x, y, POL8)
+
+    def test_nonstrict_wraps_like_hardware(self):
+        x = np.array([0xFFFF], dtype=np.uint32)
+        y = np.array([0x0001], dtype=np.uint32)
+        out = packed_add(x, y, POL8, strict=False)
+        # The carry corrupts lane 1 — exactly what the hardware would do.
+        assert out.tolist() == [0x10000]
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(PackingError):
+            packed_add(np.array([1], dtype=np.int64), np.array([1], dtype=np.uint32), POL8)
+
+
+class TestPackedScalarMul:
+    def test_single_multiply_computes_all_lanes(self):
+        # The paper's claim: "a single multiplication automatically
+        # completes the multiplications with packed values."
+        p = Packer(POL8)
+        x = p.pack(np.array([3, 7]))
+        out = packed_scalar_mul(5, x, POL8)
+        assert p.unpack(out, 2).tolist() == [15, 35]
+
+    def test_worst_case_products_fit(self):
+        p = Packer(POL8)
+        x = p.pack(np.array([255, 255]))
+        out = packed_scalar_mul(255, x, POL8)
+        assert p.unpack(out, 2).tolist() == [255 * 255, 255 * 255]
+
+    def test_four_lane_multiply(self):
+        p = Packer(POL4)
+        x = p.pack(np.array([1, 2, 3, 15]))
+        out = packed_scalar_mul(15, x, POL4)
+        assert p.unpack(out, 4).tolist() == [15, 30, 45, 225]
+
+    def test_negative_scalar_rejected(self):
+        x = Packer(POL8).pack(np.array([1, 2]))
+        with pytest.raises(PackingError):
+            packed_scalar_mul(-1, x, POL8)
+
+    def test_oversized_scalar_overflow_detected(self):
+        # A 9-bit scalar times an 8-bit lane can exceed the 16-bit field.
+        x = Packer(POL8).pack(np.array([255, 255]))
+        with pytest.raises(OverflowBudgetError):
+            packed_scalar_mul(500, x, POL8)
+
+    def test_broadcast_scalar_array(self):
+        p = Packer(POL8)
+        x = p.pack(np.array([[2, 3], [4, 5]]))  # (2, 1) registers
+        s = np.array([[10], [100]])
+        out = packed_scalar_mul(s, x, POL8)
+        assert p.unpack(out, 2).tolist() == [[20, 30], [400, 500]]
+
+
+class TestLaneAccess:
+    def test_extract(self):
+        p = Packer(POL4)
+        x = p.pack(np.array([1, 2, 3, 4]))
+        assert [lane_extract(x, i, POL4).tolist()[0] for i in range(4)] == [1, 2, 3, 4]
+
+    def test_insert(self):
+        p = Packer(POL4)
+        x = p.pack(np.array([1, 2, 3, 4]))
+        y = lane_insert(x, 2, np.array([9]), POL4)
+        assert p.unpack(y, 4).tolist() == [1, 2, 9, 4]
+
+    def test_extract_bad_lane(self):
+        x = np.zeros(1, dtype=np.uint32)
+        with pytest.raises(PackingError):
+            lane_extract(x, 2, POL8)
+
+    def test_insert_bad_value(self):
+        x = np.zeros(1, dtype=np.uint32)
+        with pytest.raises(PackingError):
+            lane_insert(x, 0, np.array([1 << 20]), POL8)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    bits=st.integers(min_value=2, max_value=8),
+    data=st.data(),
+)
+def test_property_scalar_mul_equals_elementwise(bits, data):
+    """packed multiply == element-wise multiply after unpack, always."""
+    pol = policy_for_bitwidth(bits)
+    n = data.draw(st.integers(min_value=1, max_value=32))
+    vals = np.array(
+        data.draw(
+            st.lists(
+                st.integers(0, pol.max_value), min_size=n, max_size=n
+            )
+        ),
+        dtype=np.int64,
+    )
+    scalar = data.draw(st.integers(0, pol.max_value))
+    p = Packer(pol)
+    out = packed_scalar_mul(scalar, p.pack(vals), pol)
+    assert np.array_equal(p.unpack(out, n), vals * scalar)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    bits=st.integers(min_value=2, max_value=8),
+    data=st.data(),
+)
+def test_property_add_equals_elementwise(bits, data):
+    """packed add == element-wise add when lane sums stay in budget."""
+    pol = policy_for_bitwidth(bits)
+    n = data.draw(st.integers(min_value=1, max_value=32))
+    half = pol.field_mask // 2
+    lo = min(pol.max_value, half)
+    xs = np.array(data.draw(st.lists(st.integers(0, lo), min_size=n, max_size=n)))
+    ys = np.array(data.draw(st.lists(st.integers(0, lo), min_size=n, max_size=n)))
+    p = Packer(pol)
+    out = packed_add(p.pack(xs), p.pack(ys), pol)
+    assert np.array_equal(p.unpack(out, n), xs + ys)

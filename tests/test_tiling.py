@@ -1,0 +1,126 @@
+"""Tests for the tiled-GEMM kernel builder and autotuner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import jetson_orin_agx
+from repro.errors import ModelConfigError, ScheduleError
+from repro.kernels.tiling import (
+    TileConfig,
+    autotune,
+    build_tiled_gemm,
+    simulate_tiled,
+)
+from repro.perfmodel import GemmShape
+from repro.sim.instruction import OpClass
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return jetson_orin_agx()
+
+
+SHAPE = GemmShape(768, 1576, 768)
+
+
+class TestTileConfig:
+    def test_defaults_consistent(self):
+        t = TileConfig()
+        assert t.threads == 256
+        assert t.macs_per_thread_per_k == 16
+
+    def test_undersized_register_blocking_rejected(self):
+        # 128x128 outputs need more than 2x2 regs across 4 warps.
+        with pytest.raises(ModelConfigError):
+            TileConfig(bm=128, bn=128, bk=8, warps=4, regs_m=2, regs_n=2)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ModelConfigError):
+            TileConfig(bm=0)
+
+    def test_label(self):
+        assert TileConfig().label() == "64x64x16/w8r4x4"
+
+
+class TestBuild:
+    def test_loads_per_alu_emerges_near_cost_model(self, machine):
+        """The structural stream lands near the aggregate model's
+        lambda = 0.45 loads per ALU op — the constants corroborate."""
+        g = build_tiled_gemm(SHAPE, TileConfig(32, 32, 8, 4, 4, 2), machine)
+        assert 0.2 < g.loads_per_alu < 0.7
+
+    def test_bigger_tiles_amortize_staging(self, machine):
+        """Staging traffic per MAC scales with (bm+bn)/(bm*bn): bigger
+        output tiles reuse each staged operand more."""
+        small = build_tiled_gemm(SHAPE, TileConfig(32, 32, 8, 4, 4, 2), machine)
+        large = build_tiled_gemm(
+            SHAPE, TileConfig(128, 128, 16, 16, 8, 4), machine
+        )
+        assert large.loads_per_alu < small.loads_per_alu
+
+    def test_packing_shrinks_grid_not_thread(self, machine):
+        base = build_tiled_gemm(SHAPE, TileConfig(), machine, pack_lanes=1)
+        packed = build_tiled_gemm(SHAPE, TileConfig(), machine, pack_lanes=2)
+        assert packed.total_warps == pytest.approx(base.total_warps / 2, rel=0.1)
+        # Per-warp body is identical; only the grid shrank.
+        assert packed.warps_per_sm[0].body == base.warps_per_sm[0].body
+
+    def test_fp_pipe_variant(self, machine):
+        g = build_tiled_gemm(SHAPE, TileConfig(), machine, pipe=OpClass.FP)
+        mix = g.warps_per_sm[0].mix()
+        assert OpClass.FP in mix and OpClass.INT not in mix
+
+    def test_tensor_pipe_rejected(self, machine):
+        with pytest.raises(ScheduleError):
+            build_tiled_gemm(SHAPE, TileConfig(), machine, pipe=OpClass.TENSOR)
+
+    def test_bad_pack_lanes(self, machine):
+        with pytest.raises(ModelConfigError):
+            build_tiled_gemm(SHAPE, TileConfig(), machine, pack_lanes=0)
+
+
+class TestSimulate:
+    def test_times_consistent_with_aggregate_model(self, machine):
+        """The structural kernel's time should land in the same decade
+        as the aggregate cost model's IC GEMM (which reproduces the
+        paper's 7.5x anchor)."""
+        from repro.fusion import IC
+        from repro.perfmodel import PerformanceModel
+
+        pm = PerformanceModel(machine, include_launch_overhead=False)
+        aggregate = pm.time_gemm(SHAPE, IC).seconds
+        tile, stats = autotune(SHAPE, machine)
+        assert stats.seconds == pytest.approx(aggregate, rel=0.35)
+
+    def test_work_scaling_preserves_rate(self, machine):
+        g = build_tiled_gemm(SHAPE, TileConfig(), machine)
+        a = simulate_tiled(g, machine, target_instructions=10_000)
+        b = simulate_tiled(g, machine, target_instructions=40_000)
+        assert a.seconds == pytest.approx(b.seconds, rel=0.1)
+
+
+class TestAutotune:
+    def test_returns_candidate_minimum(self, machine):
+        cands = (
+            TileConfig(32, 32, 8, 4, 4, 2),
+            TileConfig(64, 64, 16, 8, 4, 4),
+        )
+        best, stats = autotune(SHAPE, machine, candidates=cands)
+        assert best in cands
+        for tile in cands:
+            other = simulate_tiled(
+                build_tiled_gemm(SHAPE, tile, machine), machine
+            )
+            assert stats.seconds <= other.seconds * 1.001
+
+    def test_packed_autotune_beats_unpacked(self, machine):
+        _, base = autotune(SHAPE, machine)
+        _, packed = autotune(SHAPE, machine, pack_lanes=2)
+        speedup = base.seconds / packed.seconds
+        assert 1.4 < speedup <= 2.05
+
+    def test_four_lane_packing_scales_further(self, machine):
+        _, two = autotune(SHAPE, machine, pack_lanes=2)
+        _, four = autotune(SHAPE, machine, pack_lanes=4)
+        assert four.seconds < two.seconds

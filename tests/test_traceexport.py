@@ -1,0 +1,100 @@
+"""Tests for the Chrome-trace exporter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.arch.specs import SMSpec
+from repro.errors import SimulationError
+from repro.sim import OpClass, SubPartitionSim, WarpProgram, default_timings
+from repro.sim.traceexport import record_partition_trace, to_chrome_trace
+
+TIMINGS = default_timings(SMSpec())
+
+
+def _mixed_warps():
+    return [
+        WarpProgram.loop([(OpClass.LSU, 1), (OpClass.INT, 4)], 10),
+        WarpProgram.loop([(OpClass.LSU, 1), (OpClass.FP, 4)], 10),
+        WarpProgram.loop([(OpClass.MISC, 2), (OpClass.INT, 2)], 5),
+    ]
+
+
+class TestRecorder:
+    def test_event_count_matches_instructions(self):
+        warps = _mixed_warps()
+        events, _ = record_partition_trace(TIMINGS, warps)
+        assert len(events) == sum(w.total_instructions for w in warps)
+
+    def test_cycles_match_simulator(self):
+        """The recorder must replicate SubPartitionSim exactly."""
+        warps = _mixed_warps()
+        _, cycles = record_partition_trace(TIMINGS, warps)
+        stats = SubPartitionSim(TIMINGS, warps).run()
+        assert cycles == stats.cycles
+
+    def test_cycles_match_simulator_lrr(self):
+        warps = _mixed_warps()
+        _, cycles = record_partition_trace(TIMINGS, warps, policy="lrr")
+        stats = SubPartitionSim(TIMINGS, warps, policy="lrr").run()
+        assert cycles == stats.cycles
+
+    def test_no_pipe_overlap(self):
+        """Events on one pipe never overlap (pipe exclusivity)."""
+        events, _ = record_partition_trace(TIMINGS, _mixed_warps())
+        by_pipe: dict[OpClass, list] = {}
+        for ev in events:
+            by_pipe.setdefault(ev.op, []).append(ev)
+        for evs in by_pipe.values():
+            evs.sort(key=lambda e: e.start_cycle)
+            for a, b in zip(evs, evs[1:]):
+                assert a.start_cycle + a.duration <= b.start_cycle
+
+    def test_warp_program_order_preserved(self):
+        """A warp's events follow its program order."""
+        warps = [_mixed_warps()[0]]
+        events, _ = record_partition_trace(TIMINGS, warps)
+        ops = [ev.op for ev in events if ev.warp == 0]
+        expected = ([OpClass.LSU] + [OpClass.INT] * 4) * 10
+        assert ops == expected
+
+    def test_cap_enforced(self):
+        huge = [WarpProgram.loop([(OpClass.INT, 100)], 10_000)]
+        with pytest.raises(SimulationError):
+            record_partition_trace(TIMINGS, huge, max_events=1000)
+
+
+class TestChromeExport:
+    def test_valid_json_with_events(self):
+        events, _ = record_partition_trace(TIMINGS, _mixed_warps())
+        doc = json.loads(to_chrome_trace(events, clock_ghz=2.232))
+        assert len(doc["traceEvents"]) == len(events)
+        first = doc["traceEvents"][0]
+        assert set(first) >= {"name", "ph", "ts", "dur", "tid"}
+        assert first["ph"] == "X"
+
+    def test_group_by_warp(self):
+        events, _ = record_partition_trace(TIMINGS, _mixed_warps())
+        doc = json.loads(to_chrome_trace(events, by="warp"))
+        tids = {e["tid"] for e in doc["traceEvents"]}
+        assert tids == {"warp 0", "warp 1", "warp 2"}
+
+    def test_group_by_pipe(self):
+        events, _ = record_partition_trace(TIMINGS, _mixed_warps())
+        doc = json.loads(to_chrome_trace(events, by="pipe"))
+        tids = {e["tid"] for e in doc["traceEvents"]}
+        assert "INT" in tids and "LSU" in tids
+
+    def test_bad_grouping_rejected(self):
+        with pytest.raises(SimulationError):
+            to_chrome_trace([], by="block")
+
+    def test_timescale(self):
+        events, _ = record_partition_trace(TIMINGS, _mixed_warps())
+        slow = json.loads(to_chrome_trace(events, clock_ghz=1.0))
+        fast = json.loads(to_chrome_trace(events, clock_ghz=2.0))
+        s = max(e["ts"] + e["dur"] for e in slow["traceEvents"])
+        f = max(e["ts"] + e["dur"] for e in fast["traceEvents"])
+        assert s == pytest.approx(2 * f)

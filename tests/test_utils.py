@@ -1,0 +1,93 @@
+"""Unit tests for the shared utilities (tables, rng, validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import DEFAULT_SEED, make_rng
+from repro.utils.tables import format_series, format_table
+from repro.utils.validation import (
+    check_dtype_integer,
+    check_in_range,
+    check_positive,
+    check_shape_2d,
+)
+
+
+class TestTables:
+    def test_alignment(self):
+        out = format_table(["a", "long_header"], [(1, 2.5), (300, 4.125)])
+        lines = out.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [(1.23456,)], ndigits=2)
+        assert "1.23" in out and "1.2345" not in out
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_series(self):
+        out = format_series("name", ["x", "yy"], [1.0, 2.0])
+        assert out.splitlines()[0] == "name"
+        assert "yy" in out
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", ["a"], [1.0, 2.0])
+
+
+class TestRng:
+    def test_none_uses_default_seed(self):
+        a = make_rng(None).integers(0, 1 << 30, size=5)
+        b = make_rng(DEFAULT_SEED).integers(0, 1 << 30, size=5)
+        assert np.array_equal(a, b)
+
+    def test_int_seed_deterministic(self):
+        assert np.array_equal(
+            make_rng(7).integers(0, 100, 10), make_rng(7).integers(0, 100, 10)
+        )
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+    def test_check_in_range(self):
+        check_in_range("x", 5, 0, 10)
+        check_in_range("x", 0, 0, 10)
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 0, 10)
+
+    def test_check_dtype_integer(self):
+        check_dtype_integer("x", np.array([1, 2]))
+        with pytest.raises(TypeError):
+            check_dtype_integer("x", np.array([1.0]))
+        with pytest.raises(TypeError):
+            check_dtype_integer("x", np.array([True]) + 0.5)
+
+    def test_check_shape_2d(self):
+        check_shape_2d("x", np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            check_shape_2d("x", np.zeros(3))
+        with pytest.raises(ValueError):
+            check_shape_2d("x", np.zeros((1, 2, 3)))

@@ -1,0 +1,208 @@
+"""Unit + integration tests for the integer-only ViT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelConfigError
+from repro.fusion import FC, IC, IC_FC, TACKER, TC, TC_IC_FC, VITBIT
+from repro.utils.rng import make_rng
+from repro.vit import (
+    GemmExecutor,
+    IntViT,
+    ViTConfig,
+    run_inference,
+    verify_bit_exact,
+    vit_workload,
+)
+from repro.vit.layers import IntLinear
+from repro.formats.quantize import DyadicScale
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    return IntViT.create(ViTConfig.test_tiny(), seed=42)
+
+
+@pytest.fixture
+def tiny_images(rng):
+    cfg = ViTConfig.test_tiny()
+    return rng.integers(0, 256, size=(2, cfg.in_channels, cfg.image_size, cfg.image_size))
+
+
+class TestConfig:
+    def test_vit_base_matches_table2(self):
+        cfg = ViTConfig.vit_base()
+        assert cfg.hidden == 768
+        assert cfg.depth == 12
+        assert cfg.heads == 12
+        assert cfg.mlp_dim == 3072
+        assert cfg.tokens == 197
+        assert cfg.head_dim == 64
+        assert cfg.patch_dim == 768
+
+    def test_invalid_configs(self):
+        with pytest.raises(ModelConfigError):
+            ViTConfig(image_size=225)
+        with pytest.raises(ModelConfigError):
+            ViTConfig(hidden=100, heads=7)
+        with pytest.raises(ModelConfigError):
+            ViTConfig(depth=0)
+
+    def test_tiny_is_small_but_structural(self):
+        cfg = ViTConfig.test_tiny()
+        assert cfg.tokens == 17
+        assert cfg.hidden % cfg.heads == 0
+
+
+class TestIntLinear:
+    def test_forward_range(self, rng):
+        lin = IntLinear(
+            weight=rng.integers(-127, 128, size=(8, 16)),
+            bias=np.zeros(8, dtype=np.int64),
+            out_scale=DyadicScale(1, 8),
+        )
+        x = rng.integers(0, 256, size=(16, 5))
+        out = lin.forward(x, GemmExecutor(None))
+        assert out.shape == (8, 5)
+        assert out.min() >= 1 and out.max() <= 255
+
+    def test_bad_bias_shape(self, rng):
+        with pytest.raises(ModelConfigError):
+            IntLinear(
+                weight=rng.integers(-1, 2, size=(4, 4)),
+                bias=np.zeros(3, dtype=np.int64),
+                out_scale=DyadicScale(1, 1),
+            )
+
+    def test_strategies_agree(self, rng):
+        lin = IntLinear(
+            weight=rng.integers(-127, 128, size=(12, 24)),
+            bias=rng.integers(-100, 100, size=12),
+            out_scale=DyadicScale(3, 10),
+        )
+        x = rng.integers(0, 256, size=(24, 40))
+        ref = lin.forward(x, GemmExecutor(None))
+        for strategy in (IC, FC, IC_FC, TACKER, TC_IC_FC, VITBIT):
+            got = lin.forward(x, GemmExecutor(strategy))
+            assert np.array_equal(got, ref), strategy.name
+
+
+class TestModelForward:
+    def test_logit_shape(self, tiny_model, tiny_images):
+        logits = run_inference(tiny_model, tiny_images)
+        assert logits.shape == (tiny_model.config.num_classes, 2)
+
+    def test_deterministic(self, tiny_model, tiny_images):
+        a = run_inference(tiny_model, tiny_images)
+        b = run_inference(tiny_model, tiny_images)
+        assert np.array_equal(a, b)
+
+    def test_batch_consistency(self, tiny_model, tiny_images):
+        """Each image's logits are independent of its batch neighbours."""
+        both = run_inference(tiny_model, tiny_images)
+        solo = run_inference(tiny_model, tiny_images[:1])
+        assert np.array_equal(both[:, :1], solo)
+
+    def test_rejects_bad_shapes(self, tiny_model, rng):
+        with pytest.raises(ModelConfigError):
+            run_inference(tiny_model, rng.integers(0, 256, size=(1, 3, 8, 8)))
+
+    def test_rejects_out_of_range(self, tiny_model, tiny_images):
+        with pytest.raises(ModelConfigError):
+            run_inference(tiny_model, tiny_images - 300)
+
+    def test_calibration_telemetry(self, tiny_model, tiny_images):
+        """The synthetic calibration holds: every block's activations
+        use a healthy slice of the integer range without mass
+        saturation — the property a real calibration run establishes
+        and the packing exactness quietly depends on."""
+        run_inference(tiny_model, tiny_images)
+        ranges = tiny_model.trace["block_ranges"]
+        assert len(ranges) == tiny_model.config.depth
+        for r in ranges:
+            assert r["rms_fraction"] > 0.05  # not collapsed to zero
+            assert r["saturated_fraction"] < 0.35  # not clipped to rails
+
+    def test_images_affect_logits(self, tiny_model, rng):
+        cfg = tiny_model.config
+        a = rng.integers(0, 256, size=(1, 3, cfg.image_size, cfg.image_size))
+        b = rng.integers(0, 256, size=(1, 3, cfg.image_size, cfg.image_size))
+        la = run_inference(tiny_model, a)
+        lb = run_inference(tiny_model, b)
+        assert not np.array_equal(la, lb)
+
+
+class TestBitExactness:
+    """The paper's accuracy claim, per strategy."""
+
+    @pytest.mark.parametrize(
+        "strategy", [IC, FC, IC_FC, TACKER, TC_IC_FC, VITBIT],
+        ids=lambda s: s.name,
+    )
+    def test_strategy_is_bit_exact(self, tiny_model, strategy):
+        assert verify_bit_exact(tiny_model, strategy, batch=1, seed=3)
+
+    def test_vitbit_chunked_matches_lane(self, tiny_model, rng):
+        cfg = tiny_model.config
+        imgs = rng.integers(0, 256, size=(1, 3, cfg.image_size, cfg.image_size))
+        lane = run_inference(tiny_model, imgs, VITBIT, method="lane")
+        chunked = run_inference(tiny_model, imgs, VITBIT, method="chunked")
+        assert np.array_equal(lane, chunked)
+
+    def test_executor_records_packing_stats(self, tiny_model, rng):
+        cfg = tiny_model.config
+        imgs = rng.integers(0, 256, size=(1, 3, cfg.image_size, cfg.image_size))
+        ex = GemmExecutor(VITBIT)
+        tiny_model.forward(imgs, ex)
+        assert ex.gemm_count > 0
+        assert ex.packed_stats.packed_multiplies > 0
+
+
+class TestWorkload:
+    def test_kernel_stream_structure(self):
+        work = vit_workload()
+        names = [kw.name for kw in work]
+        assert names[0] == "patch_embed" and names[-1] == "head"
+        gemms = [kw for kw in work if kw.kind == "gemm"]
+        elems = [kw for kw in work if kw.kind == "elementwise"]
+        assert {k.gemm.name for k in gemms} == {
+            "patch_embed", "qkv", "attn_scores", "attn_context",
+            "proj", "fc1", "fc2", "head",
+        }
+        assert {k.elementwise for k in elems} == {
+            "layernorm", "softmax", "gelu", "dropout", "residual", "requantize",
+        }
+
+    def test_launch_count_scales_with_depth(self):
+        base = sum(kw.repeat for kw in vit_workload())
+        deep = sum(
+            kw.repeat
+            for kw in vit_workload(
+                ViTConfig(depth=24), batch=8
+            )
+        )
+        assert deep > 1.8 * base
+
+    def test_linear_shapes_match_vit_base(self):
+        shapes = {
+            kw.gemm.name: kw.gemm
+            for kw in vit_workload(batch=1)
+            if kw.kind == "gemm"
+        }
+        assert (shapes["qkv"].m, shapes["qkv"].k) == (2304, 768)
+        assert (shapes["fc1"].m, shapes["fc1"].k) == (3072, 768)
+        assert (shapes["fc2"].m, shapes["fc2"].k) == (768, 3072)
+        assert shapes["qkv"].n == 197
+
+    def test_attention_matmuls_not_fusable(self):
+        work = vit_workload()
+        by_name = {kw.name: kw for kw in work}
+        assert not by_name["attn_scores"].fusable
+        assert not by_name["attn_context"].fusable
+        assert by_name["qkv"].fusable
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(ModelConfigError):
+            vit_workload(batch=0)

@@ -1,0 +1,124 @@
+"""White-box tests for the kernel -> warp-set lowering internals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import jetson_orin_agx
+from repro.fusion import IC, IC_FC, TC, VITBIT
+from repro.packing import policy_for_bitwidth
+from repro.perfmodel import CostParams, GemmShape
+from repro.perfmodel.warpsets import (
+    _body,
+    _round_role,
+    elementwise_launch,
+    gemm_launch,
+)
+from repro.perfmodel.descriptors import ELEMENTWISE_KERNELS
+from repro.sim.instruction import OpClass
+
+POL8 = policy_for_bitwidth(8)
+SHAPE = GemmShape(768, 1576, 768)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return jetson_orin_agx()
+
+
+class TestBodyQuantization:
+    def test_largest_entry_becomes_granularity(self):
+        body = _body({OpClass.INT: 1.0, OpClass.LSU: 0.5}, granularity=8)
+        counts = dict(body)
+        assert counts[OpClass.INT] == 8
+        assert counts[OpClass.LSU] == 4
+
+    def test_tiny_entries_dropped(self):
+        body = _body({OpClass.INT: 1.0, OpClass.SFU: 0.01}, granularity=8)
+        assert OpClass.SFU not in dict(body)
+
+    def test_empty_mix(self):
+        assert _body({}, granularity=8) == ()
+        assert _body({OpClass.INT: 0.0}, granularity=8) == ()
+
+    def test_deterministic_order(self):
+        a = _body({OpClass.INT: 1.0, OpClass.LSU: 0.5, OpClass.MISC: 0.2}, 10)
+        b = _body({OpClass.MISC: 0.2, OpClass.INT: 1.0, OpClass.LSU: 0.5}, 10)
+        assert a == b
+        assert a[0][0] is OpClass.LSU  # loads lead the loop body
+
+
+class TestRoundRole:
+    def test_multiples_of_partitions(self):
+        for n in (1, 5, 17, 44):
+            assert _round_role(n, 4, 4, 48) % 4 == 0
+
+    def test_zero_work(self):
+        assert _round_role(0.0, 4, 0, 48) == 0
+
+    def test_caps_at_hi(self):
+        assert _round_role(100, 4, 4, 44) == 44
+
+    def test_minimum_one_group(self):
+        assert _round_role(0.5, 4, 4, 48) == 4
+
+
+class TestGemmLaunchInvariants:
+    def test_residency_respected(self, machine):
+        for strat in (TC, IC, IC_FC, VITBIT):
+            launch = gemm_launch(SHAPE, strat, machine, POL8, CostParams(), 4.0)
+            assert len(launch.warps) <= machine.sm.max_warps_per_sm
+
+    def test_instruction_totals_cover_warps(self, machine):
+        """Per-SM resident instruction counts approximate the grid
+        totals divided by the SM count."""
+        launch = gemm_launch(SHAPE, VITBIT, machine, POL8, CostParams(), 4.0)
+        resident = sum(w.total_instructions for w in launch.warps)
+        expected = launch.total_instructions / machine.sm_count
+        assert resident == pytest.approx(expected, rel=0.15)
+
+    def test_vitbit_has_all_three_roles(self, machine):
+        launch = gemm_launch(SHAPE, VITBIT, machine, POL8, CostParams(), 4.0)
+        ops = set()
+        for w in launch.warps:
+            ops |= {op for op, _ in w.body}
+        assert {OpClass.TENSOR, OpClass.INT, OpClass.FP} <= ops
+
+    def test_tc_only_has_no_cuda_roles(self, machine):
+        launch = gemm_launch(SHAPE, TC, machine, POL8, CostParams(), 4.0)
+        for w in launch.warps:
+            assert all(op in (OpClass.TENSOR, OpClass.LSU) for op, _ in w.body)
+
+    def test_roles_alternate_within_partitions(self, machine):
+        """After round-robin distribution, every partition must hold
+        both INT and FP warps (the paper's interleaving intent)."""
+        launch = gemm_launch(SHAPE, IC_FC, machine, POL8, CostParams(), 0.0)
+        parts = machine.sm.partitions
+        for p in range(parts):
+            ops = set()
+            for w in launch.warps[p::parts]:
+                ops |= {op for op, _ in w.body}
+            assert OpClass.INT in ops and OpClass.FP in ops
+
+
+class TestElementwiseLaunchInvariants:
+    def test_residency_and_roles(self, machine):
+        desc = ELEMENTWISE_KERNELS["gelu"]
+        launch = elementwise_launch(
+            desc, 1_000_000, VITBIT, machine, POL8, CostParams()
+        )
+        assert len(launch.warps) <= machine.sm.max_warps_per_sm
+        assert launch.extra["packed"] is True
+        assert 0.6 < launch.extra["int_fraction"] < 0.7  # Eq. 1 at 2 lanes
+
+    def test_bytes_shrink_with_packing(self, machine):
+        desc = ELEMENTWISE_KERNELS["gelu"]
+        base = elementwise_launch(desc, 10**6, IC, machine, POL8, CostParams())
+        packed = elementwise_launch(desc, 10**6, VITBIT, machine, POL8, CostParams())
+        assert packed.bytes_moved < base.bytes_moved
+
+    def test_ic_launch_is_int_only(self, machine):
+        desc = ELEMENTWISE_KERNELS["softmax"]
+        launch = elementwise_launch(desc, 10**6, IC, machine, POL8, CostParams())
+        for w in launch.warps:
+            assert OpClass.FP not in {op for op, _ in w.body}

@@ -1,0 +1,89 @@
+"""Generate docs/API.md: an index of the public API from docstrings.
+
+Walks every ``repro`` module, collects the names it exports via
+``__all__``, and emits one markdown section per module with each
+symbol's signature and first docstring line.  Run after API changes:
+
+    python tools/gen_api_index.py
+
+``tests/test_api_index.py`` regenerates the index in memory and
+compares it to the committed file, so the documentation cannot drift
+from the code.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+import sys
+
+import repro
+
+OUT = pathlib.Path(__file__).resolve().parents[1] / "docs" / "API.md"
+
+
+def _first_line(obj: object) -> str:
+    doc = inspect.getdoc(obj) or ""
+    return doc.splitlines()[0] if doc else "(undocumented)"
+
+
+def _signature(obj: object) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return ""
+
+
+def iter_modules() -> list[str]:
+    """All repro modules, sorted, that declare a public API."""
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "__main__" in info.name:
+            continue
+        names.append(info.name)
+    return sorted(names)
+
+
+def render() -> str:
+    lines = [
+        "# API index",
+        "",
+        "One line per public symbol, generated from docstrings by",
+        "`tools/gen_api_index.py` — regenerate after API changes",
+        "(`tests/test_api_index.py` enforces freshness).",
+        "",
+    ]
+    for name in iter_modules():
+        module = importlib.import_module(name)
+        public = getattr(module, "__all__", None)
+        if not public:
+            continue
+        lines.append(f"## `{name}`")
+        mod_doc = _first_line(module)
+        lines.append("")
+        lines.append(mod_doc)
+        lines.append("")
+        for symbol in public:
+            obj = getattr(module, symbol, None)
+            if obj is None:
+                continue
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                sig = _signature(obj)
+                kind = "class" if inspect.isclass(obj) else "def"
+                lines.append(f"- **`{kind} {symbol}{sig}`** — {_first_line(obj)}")
+            else:
+                lines.append(f"- **`{symbol}`** — constant")
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    OUT.write_text(render())
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
