@@ -2,13 +2,21 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples reports clean
+.PHONY: install test lint bench examples reports clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static verification: ruff (generic style, when available) + the
+# repo's own AST lint and analysis self-check (see docs/ANALYSIS.md).
+lint:
+	@if command -v ruff >/dev/null 2>&1; then ruff check .; \
+	else echo "ruff not installed; skipping generic style checks"; fi
+	PYTHONPATH=src $(PYTHON) -m repro analyze --lint
+	PYTHONPATH=src $(PYTHON) -m repro analyze --self-check
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -17,7 +17,6 @@ These quantify the decisions the paper makes implicitly:
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 import pytest
 

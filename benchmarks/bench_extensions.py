@@ -18,9 +18,7 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.arch import jetson_orin_agx
 from repro.arch.energy import inference_energy
 from repro.arch.specs import SMSpec
 from repro.fusion import TACKER, TC, TC_IC_FC, VITBIT

@@ -16,10 +16,8 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-import pytest
 
-from repro.fusion import TC, VITBIT
+from repro.fusion import VITBIT
 from repro.preprocess import (
     duplicate_weights,
     estimate_preprocess_seconds,

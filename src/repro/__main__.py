@@ -20,6 +20,10 @@ Commands
     Per-kernel timing breakdown of one inference.
 ``models``
     List the model zoo.
+``analyze [--bits N --k K | --strategy NAME | --lint [PATH ...] | --self-check]``
+    Static verification: prove/refute a packing plan's overflow safety,
+    check a strategy's lowered schedules, lint the repo, or run the full
+    self-check sweep (the default).  Exits non-zero on error findings.
 """
 
 from __future__ import annotations
@@ -155,6 +159,73 @@ def _cmd_breakdown(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        DiagnosticReport,
+        Severity,
+        check_launch,
+        lint_paths,
+        prove_packed_accumulation,
+        run_repo_lint,
+        self_check,
+    )
+    from repro.packing.accumulate import safe_accumulation_depth as _depth
+
+    report = DiagnosticReport()
+    ran_anything = False
+
+    if args.bits is not None:
+        pol = policy_for_bitwidth(args.bits)
+        if args.lanes is not None:
+            pol = pol.with_lanes(args.lanes)
+        chunk = args.chunk
+        if chunk == 0:  # 0 = the planner's safe depth
+            a_bits = (
+                args.a_bits
+                if args.a_bits is not None
+                else pol.effective_multiplier_bits
+            )
+            chunk = min(args.k, _depth(pol, a_bits, pol.value_bits))
+        proof = prove_packed_accumulation(
+            pol, k=args.k, a_bits=args.a_bits, chunk_depth=chunk
+        )
+        print(proof.describe())
+        report.extend(proof.diagnostics)
+        ran_anything = True
+
+    if args.strategy is not None:
+        from repro.perfmodel.descriptors import CostParams
+        from repro.perfmodel.warpsets import gemm_launch
+
+        machine = jetson_orin_agx()
+        strategy = strategy_by_name(args.strategy)
+        pol = policy_for_bitwidth(8)
+        shape = GemmShape(768, 197 * args.batch, 768, name="proj")
+        launch = gemm_launch(shape, strategy, machine, pol, CostParams(), 4.0)
+        plan_policy = (
+            pol.with_lanes(launch.plan.lanes) if launch.plan is not None else pol
+        )
+        report.extend(check_launch(launch, machine, policy=plan_policy))
+        ran_anything = True
+
+    if args.lint:
+        if args.path:
+            # Explicit paths get the full rule set (src/-style strictness).
+            report.extend(lint_paths(args.path))
+        else:
+            # Whole repo with per-directory rule sets (tests/benchmarks
+            # only get the unused-import rule).
+            report.extend(run_repo_lint().diagnostics)
+        ran_anything = True
+
+    if args.self_check or not ran_anything:
+        report.extend(self_check().diagnostics)
+
+    min_sev = Severity.INFO if args.verbose else Severity.WARNING
+    print(report.render(min_severity=min_sev))
+    return report.exit_code
+
+
 def _cmd_models(_args: argparse.Namespace) -> int:
     rows = [
         (name, c.hidden, c.depth, c.heads, c.mlp_dim, c.tokens)
@@ -168,6 +239,7 @@ def _cmd_models(_args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro``; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="VitBit reproduction command line",
@@ -203,6 +275,30 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("models", help="list the model zoo")
 
+    p = sub.add_parser("analyze", help="static verification (see docs/ANALYSIS.md)")
+    p.add_argument("--bits", type=int, default=None,
+                   help="prove/refute the Fig. 3 policy for this bitwidth")
+    p.add_argument("--k", type=int, default=4096,
+                   help="GEMM reduction depth to prove (default 4096)")
+    p.add_argument("--a-bits", type=int, default=None,
+                   help="multiplier bitwidth (default: the policy's width)")
+    p.add_argument("--lanes", type=int, default=None,
+                   help="override the policy's packing factor")
+    p.add_argument("--chunk", type=int, default=None,
+                   help="spill chunk depth; 0 = the planner's safe depth "
+                   "(default: no spilling)")
+    p.add_argument("--strategy", default=None,
+                   help="check one Table 3 strategy's lowered GEMM schedule")
+    p.add_argument("--batch", type=int, default=8)
+    p.add_argument("--lint", action="store_true",
+                   help="run the VB3xx AST lint (whole repo, or --path)")
+    p.add_argument("--path", nargs="*", default=None,
+                   help="files/directories for --lint (full rule set)")
+    p.add_argument("--self-check", action="store_true", dest="self_check",
+                   help="run every pass over the repo's own configurations")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print info-level findings")
+
     args = parser.parse_args(argv)
     handlers = {
         "table1": _cmd_table1,
@@ -214,6 +310,7 @@ def main(argv: list[str] | None = None) -> int:
         "render": _cmd_render,
         "breakdown": _cmd_breakdown,
         "models": _cmd_models,
+        "analyze": _cmd_analyze,
     }
     return handlers[args.command](args)
 

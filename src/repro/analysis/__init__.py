@@ -1,0 +1,63 @@
+"""Static verification of packing plans, schedules, and repo invariants.
+
+VitBit's correctness rests on invariants the rest of the library checks
+only at run time: packed lanes must never carry into their neighbours
+(the Fig. 3 guard-bit policy), and the fused kernel's warp-to-pipe
+assignment must respect the m/n ratios of Eq. 1.  This package checks
+them *statically*:
+
+* :mod:`repro.analysis.overflow` — an interval abstract interpreter
+  that proves (or refutes, with a concrete witness) that no lane of a
+  packed IMAD accumulation chain can overflow its field or the 32-bit
+  register, replacing "run with ``strict=True`` and hope" with an
+  upfront guarantee;
+* :mod:`repro.analysis.schedule_check` — structural diagnostics over
+  :class:`~repro.sim.program.WarpProgram` sets and
+  :class:`~repro.perfmodel.warpsets.KernelLaunch` lowerings (degenerate
+  programs, oversubscription, Eq. 1 ratio violations, starvation);
+* :mod:`repro.analysis.lint` — a small AST lint pass enforcing repo
+  invariants (no raw casts on packed arrays outside ``packing/``,
+  explicit ``strict=`` at SWAR call sites, docstring coverage);
+* :mod:`repro.analysis.selfcheck` — runs all passes over the seed
+  configurations (``python -m repro analyze --self-check``).
+
+Diagnostics share one code space (see ``docs/ANALYSIS.md``): ``VB1xx``
+packing/overflow, ``VB2xx`` schedule, ``VB3xx`` lint.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.analysis.intervals import Interval
+from repro.analysis.overflow import (
+    OverflowProof,
+    OverflowWitness,
+    preflight_gemm,
+    prove_packed_accumulation,
+)
+from repro.analysis.schedule_check import (
+    check_coschedule_shares,
+    check_launch,
+    check_program,
+    check_split_plan,
+    check_warp_set,
+)
+from repro.analysis.lint import lint_paths, run_repo_lint
+from repro.analysis.selfcheck import self_check
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Interval",
+    "OverflowWitness",
+    "OverflowProof",
+    "prove_packed_accumulation",
+    "preflight_gemm",
+    "check_program",
+    "check_warp_set",
+    "check_split_plan",
+    "check_launch",
+    "check_coschedule_shares",
+    "lint_paths",
+    "run_repo_lint",
+    "self_check",
+]

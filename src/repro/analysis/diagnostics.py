@@ -1,0 +1,127 @@
+"""Structured diagnostics shared by every static-analysis pass.
+
+A :class:`Diagnostic` is one finding — a stable code (``VB101``), a
+severity, a human message, a location, and an optional fix hint.  A
+:class:`DiagnosticReport` aggregates findings across passes and renders
+them compiler-style, one per line, so the CLI can print them and exit
+non-zero exactly when an error-severity finding exists.
+
+The code space (documented in ``docs/ANALYSIS.md``):
+
+* ``VB1xx`` — packing / lane-overflow proofs,
+* ``VB2xx`` — schedule and warp-program checks,
+* ``VB3xx`` — repo lint (AST pass).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Diagnostic", "DiagnosticReport"]
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; only :attr:`ERROR` fails a run."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Attributes
+    ----------
+    code:
+        Stable identifier like ``"VB101"``; the leading digit groups the
+        pass (1 packing, 2 schedule, 3 lint).
+    severity:
+        :class:`Severity` of the finding.
+    message:
+        Human-readable description of what is wrong.
+    location:
+        Where — a ``file.py:line`` pair for lint findings, a structured
+        label (``"policy(bits=8, lanes=2)"``, ``"warp[3]"``) otherwise.
+    hint:
+        Optional suggestion for fixing the finding.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    location: str = ""
+    hint: str = ""
+
+    def render(self) -> str:
+        """Compiler-style one-line rendering."""
+        loc = f"{self.location}: " if self.location else ""
+        hint = f" (hint: {self.hint})" if self.hint else ""
+        return f"{loc}{self.severity}[{self.code}]: {self.message}{hint}"
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of diagnostics with severity accounting."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        """Append one finding."""
+        self.diagnostics.append(diag)
+
+    def extend(self, diags: list[Diagnostic]) -> None:
+        """Append many findings."""
+        self.diagnostics.extend(diags)
+
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        """All findings at exactly ``severity``."""
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Error-severity findings."""
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """Warning-severity findings."""
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        """True when at least one error-severity finding exists."""
+        return bool(self.errors)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 1 when errors exist, else 0."""
+        return 1 if self.has_errors else 0
+
+    def filter(self, code_prefix: str) -> list[Diagnostic]:
+        """Findings whose code starts with ``code_prefix`` (e.g. ``"VB1"``)."""
+        return [d for d in self.diagnostics if d.code.startswith(code_prefix)]
+
+    def render(self, *, min_severity: Severity = Severity.INFO) -> str:
+        """All findings at or above ``min_severity``, one per line.
+
+        Errors sort first, then warnings, then infos; ties keep
+        insertion order.  An empty report renders a clean-bill line.
+        """
+        shown = [d for d in self.diagnostics if d.severity >= min_severity]
+        if not shown:
+            return "no findings"
+        ordered = sorted(
+            shown, key=lambda d: -int(d.severity)
+        )  # stable: insertion order within a severity
+        lines = [d.render() for d in ordered]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.by_severity(Severity.INFO))} info(s)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Integer interval arithmetic — the prover's abstract domain.
+
+The lane-overflow prover (:mod:`repro.analysis.overflow`) tracks each
+lane of a packed register as a closed integer interval ``[lo, hi]`` and
+pushes it through the operations a packed IMAD chain performs: multiply
+by a bounded scalar, add another lane interval, accumulate ``k`` times.
+Intervals are *sound*: the concrete lane value always lies inside the
+abstract interval, so "the interval's ``hi`` fits the field" is a proof
+and "``hi`` exceeds the field" pinpoints the worst-case witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PackingError
+
+__all__ = ["Interval"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise PackingError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def point(value: int) -> "Interval":
+        """The singleton interval ``[value, value]``."""
+        return Interval(value, value)
+
+    @staticmethod
+    def from_bits(bits: int) -> "Interval":
+        """The unsigned range of a ``bits``-bit magnitude: ``[0, 2**bits - 1]``."""
+        if bits < 0:
+            raise PackingError(f"bitwidth must be >= 0, got {bits}")
+        return Interval(0, (1 << bits) - 1) if bits else Interval(0, 0)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: "Interval") -> "Interval":
+        """Sound sum: ``[lo+lo, hi+hi]``."""
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        """Sound product (general sign handling via corner enumeration)."""
+        corners = (
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        )
+        return Interval(min(corners), max(corners))
+
+    def scale(self, k: int) -> "Interval":
+        """``k`` accumulations of this interval (``k >= 0``)."""
+        if k < 0:
+            raise PackingError(f"accumulation count must be >= 0, got {k}")
+        return Interval(self.lo * k, self.hi * k)
+
+    def join(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both (the lattice join)."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    # -- queries -------------------------------------------------------------
+
+    def contains(self, value: int) -> bool:
+        """True when ``lo <= value <= hi``."""
+        return self.lo <= value <= self.hi
+
+    @property
+    def nonnegative(self) -> bool:
+        """True when every member is >= 0."""
+        return self.lo >= 0
+
+    def fits(self, limit: int) -> bool:
+        """True when the whole interval lies in ``[0, limit]``.
+
+        This is the lane-safety predicate: a lane whose abstract value
+        fits ``[0, field_mask]`` can never wrap into its neighbour.
+        """
+        return self.lo >= 0 and self.hi <= limit
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"

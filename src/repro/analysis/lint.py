@@ -1,0 +1,393 @@
+"""Repo lint: a small AST pass enforcing VitBit-specific invariants.
+
+Generic style is ruff's job (see ``[tool.ruff]`` in ``pyproject.toml``);
+this pass checks the rules a generic linter cannot know:
+
+* ``VB301`` — every public module, class, function, and method in
+  ``src/`` carries a docstring (the API index is generated from them);
+* ``VB302`` — no raw narrowing cast (``.astype(np.int32)`` /
+  ``np.uint32`` / ``int(...)``) applied to packed-register data outside
+  ``repro/packing`` — packed ``uint32`` words are bit containers, and
+  reinterpreting them as integers outside the packing layer is how lane
+  corruption sneaks in;
+* ``VB303`` — no magic field/register mask literals (``0xFFFF``,
+  ``0xFFFFFFFF``) outside the packing/format/bit-twiddling layers;
+  consult :class:`~repro.packing.policy.PackingPolicy` instead;
+* ``VB304`` — SWAR call sites (``packed_add`` / ``packed_scalar_mul``)
+  in ``src/`` must pass ``strict=`` explicitly: whether a call is
+  hardware-faithful-but-checked or wrapping is a load-bearing decision;
+* ``VB305`` — no unused module-level imports (names re-exported via
+  ``__all__`` count as used).
+
+A finding on a line containing ``# vblint: skip`` (or ``# vblint:
+VB30x`` naming its code) is suppressed.  ``run_repo_lint`` applies all
+rules to ``src/`` and the import rule to ``tests/``, ``benchmarks/``,
+``tools/``, and ``examples/``, and is kept clean — ``make lint`` runs
+it over the repo.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+
+__all__ = ["ALL_RULES", "lint_file", "lint_paths", "run_repo_lint"]
+
+#: Every rule code this pass implements.
+ALL_RULES: frozenset[str] = frozenset(
+    {"VB301", "VB302", "VB303", "VB304", "VB305"}
+)
+
+#: Rules applied outside ``src/`` (tests may legitimately omit
+#: docstrings, exercise non-strict SWAR, and poke at raw registers).
+_IMPORT_ONLY: frozenset[str] = frozenset({"VB305"})
+
+#: Mask literals that should come from ``PackingPolicy`` instead.
+_MASK_LITERALS = {0xFFFF, 0xFFFF_FFFF}  # vblint: VB303
+
+#: Sub-paths (relative, POSIX) exempt from the packed-cast rule: the
+#: packing layer itself is where raw register manipulation belongs.
+_CAST_EXEMPT = ("repro/packing/",)
+
+#: Sub-paths exempt from the magic-mask rule: bit-twiddling is their job.
+_MASK_EXEMPT = ("repro/packing/", "repro/formats/", "repro/utils/")
+
+_SWAR_CALLS = {"packed_add", "packed_scalar_mul"}
+
+_NARROWING_DTYPES = {"int32", "uint32", "int16", "int8"}
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    """All identifier fragments mentioned in an expression."""
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            out.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            out.add(sub.attr)
+    return out
+
+
+def _mentions_packed(node: ast.AST) -> bool:
+    return any("packed" in name.lower() for name in _names_in(node))
+
+
+def _dtype_token(node: ast.AST) -> str | None:
+    """The dtype a cast argument denotes, if recognizable."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Attribute):  # np.int32
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-file rule engine; collects diagnostics as it walks."""
+
+    def __init__(self, rel: str, source: str, rules: frozenset[str]):
+        self.rel = rel
+        self.lines = source.splitlines()
+        self.rules = rules
+        self.diags: list[Diagnostic] = []
+        self._class_depth = 0
+        self._func_depth = 0
+        self._imports: dict[str, int] = {}
+        self._used: set[str] = set()
+        self._exported: set[str] = set()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _suppressed(self, lineno: int, code: str) -> bool:
+        if not 1 <= lineno <= len(self.lines):
+            return False
+        line = self.lines[lineno - 1]
+        if "# vblint:" not in line:
+            return False
+        tag = line.split("# vblint:", 1)[1].strip()
+        return tag == "skip" or code in tag
+
+    def _report(
+        self, code: str, lineno: int, message: str, hint: str = "",
+        severity: Severity = Severity.ERROR,
+    ) -> None:
+        if code not in self.rules or self._suppressed(lineno, code):
+            return
+        self.diags.append(
+            Diagnostic(
+                code=code,
+                severity=severity,
+                message=message,
+                location=f"{self.rel}:{lineno}",
+                hint=hint,
+            )
+        )
+
+    # -- VB301: docstrings ---------------------------------------------------
+
+    def _check_docstring(self, node: ast.AST, kind: str, name: str) -> None:
+        if name.startswith("_"):
+            return
+        if not ast.get_docstring(node):
+            self._report(
+                "VB301",
+                getattr(node, "lineno", 1),
+                f"public {kind} `{name}` has no docstring",
+                hint="the API index (docs/API.md) is generated from "
+                "docstrings",
+            )
+
+    # -- visitors ------------------------------------------------------------
+
+    def run(self, tree: ast.Module) -> None:
+        """Execute all selected rules over a parsed module."""
+        if "VB301" in self.rules and not ast.get_docstring(tree):
+            self._report("VB301", 1, "module has no docstring")
+        self.visit(tree)
+        self._finish_imports()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        """VB301 on public classes; tracks nesting for method labelling."""
+        if self._func_depth == 0:
+            self._check_docstring(node, "class", node.name)
+        self._class_depth += 1
+        self.generic_visit(node)
+        self._class_depth -= 1
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        # Docstrings are required at module and class scope only; local
+        # helper closures document themselves by their enclosing scope.
+        if self._func_depth == 0:
+            kind = "method" if self._class_depth else "function"
+            self._check_docstring(node, kind, node.name)
+        self._func_depth += 1
+        self.generic_visit(node)
+        self._func_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """VB301 on public functions and methods."""
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """VB301 on public async functions and methods."""
+        self._visit_function(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """VB302 (raw casts on packed data) and VB304 (implicit strict=)."""
+        # VB302: narrowing casts on packed data outside the packing layer.
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "astype"
+            and node.args
+            and (_dtype_token(node.args[0]) or "") in _NARROWING_DTYPES
+            and _mentions_packed(func.value)
+        ):
+            self._report(
+                "VB302",
+                node.lineno,
+                "raw narrowing cast on packed register data outside "
+                "repro/packing",
+                hint="unpack through Packer.unpack / lane_extract instead",
+            )
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "int"
+            and len(node.args) == 1
+            and _mentions_packed(node.args[0])
+        ):
+            self._report(
+                "VB302",
+                node.lineno,
+                "int() applied to packed register data outside repro/packing",
+                hint="unpack through Packer.unpack / lane_extract instead",
+            )
+        # VB304: SWAR calls must choose strict= explicitly.
+        callee = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        if callee in _SWAR_CALLS:
+            if not any(kw.arg == "strict" for kw in node.keywords):
+                self._report(
+                    "VB304",
+                    node.lineno,
+                    f"{callee}() without an explicit strict= argument",
+                    hint="strict=True checks lane overflow; strict=False "
+                    "models the wrapping hardware — say which you mean",
+                )
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        """VB303 on magic field/register mask literals."""
+        if (
+            isinstance(node.value, int)
+            and not isinstance(node.value, bool)
+            and node.value in _MASK_LITERALS
+        ):
+            self._report(
+                "VB303",
+                node.lineno,
+                f"magic mask literal {node.value:#x}; consult PackingPolicy "
+                "(field_mask / register_bits) instead",
+                severity=Severity.WARNING,
+            )
+
+    # -- VB305: unused imports ----------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        """Record `import x` bindings for VB305."""
+        for alias in node.names:
+            bound = (alias.asname or alias.name).split(".")[0]
+            self._imports.setdefault(bound, node.lineno)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        """Record `from m import x` bindings for VB305."""
+        if node.module == "__future__":
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            self._imports.setdefault(alias.asname or alias.name, node.lineno)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        """Record name loads as uses for VB305."""
+        if isinstance(node.ctx, ast.Load):
+            self._used.add(node.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        """Record `__all__` entries — re-exports count as uses (VB305)."""
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(node.value, (ast.List, ast.Tuple)):
+                    for elt in node.value.elts:
+                        if isinstance(elt, ast.Constant):
+                            self._exported.add(str(elt.value))
+        self.generic_visit(node)
+
+    def _finish_imports(self) -> None:
+        for name, lineno in self._imports.items():
+            if name in self._used or name in self._exported:
+                continue
+            if "noqa" in self.lines[lineno - 1]:
+                continue
+            self._report(
+                "VB305",
+                lineno,
+                f"`{name}` imported but unused",
+                hint="delete the import or add it to __all__",
+                severity=Severity.WARNING,
+            )
+
+
+def lint_file(
+    path: str | pathlib.Path,
+    *,
+    rules: frozenset[str] | None = None,
+    rel: str | None = None,
+) -> list[Diagnostic]:
+    """Lint one Python file; returns its diagnostics.
+
+    ``rules`` selects the codes to run (default: all).  ``rel``
+    overrides the path shown in diagnostic locations (the repo-relative
+    form reads better than an absolute path).
+    """
+    if rules is None:
+        rules = ALL_RULES
+    p = pathlib.Path(path)
+    shown = rel if rel is not None else str(p)
+    source = p.read_text()
+    try:
+        tree = ast.parse(source, filename=shown)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                code="VB300",
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+                location=f"{shown}:{exc.lineno or 1}",
+            )
+        ]
+    effective = set(rules)
+    posix = pathlib.PurePosixPath(shown).as_posix()
+    if any(part in posix for part in _CAST_EXEMPT):
+        effective.discard("VB302")
+        effective.discard("VB304")
+    if any(part in posix for part in _MASK_EXEMPT):
+        effective.discard("VB303")
+    linter = _Linter(shown, source, frozenset(effective))
+    linter.run(tree)
+    return linter.diags
+
+
+def lint_paths(
+    paths: list[str | pathlib.Path],
+    *,
+    rules: frozenset[str] | None = None,
+    root: str | pathlib.Path | None = None,
+) -> list[Diagnostic]:
+    """Lint files and directories (recursively); returns all diagnostics."""
+    if rules is None:
+        rules = ALL_RULES
+    base = pathlib.Path(root) if root is not None else None
+    files: list[pathlib.Path] = []
+    for entry in paths:
+        p = pathlib.Path(entry)
+        if p.is_dir():
+            files.extend(
+                f
+                for f in sorted(p.rglob("*.py"))
+                if "__pycache__" not in f.parts and "egg-info" not in str(f)
+            )
+        else:
+            files.append(p)
+    diags: list[Diagnostic] = []
+    for f in files:
+        rel = None
+        if base is not None:
+            try:
+                rel = str(f.resolve().relative_to(base.resolve()))
+            except ValueError:
+                rel = str(f)
+        diags.extend(lint_file(f, rules=rules, rel=rel))
+    return diags
+
+
+def find_repo_root() -> pathlib.Path | None:
+    """The source checkout's root, if we are running from one."""
+    here = pathlib.Path(__file__).resolve()
+    for candidate in here.parents:
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return None
+
+
+def run_repo_lint(
+    root: str | pathlib.Path | None = None,
+) -> DiagnosticReport:
+    """Lint the whole repository with the per-directory rule sets.
+
+    ``src/`` gets every rule; ``tests/``, ``benchmarks/``, ``tools/``,
+    and ``examples/`` get the unused-import rule only.  Returns an empty
+    report when no source checkout can be located (installed package).
+    """
+    base = pathlib.Path(root) if root is not None else find_repo_root()
+    report = DiagnosticReport()
+    if base is None:
+        return report
+    src = base / "src"
+    if src.is_dir():
+        report.extend(lint_paths([src], rules=ALL_RULES, root=base))
+    for name in ("tests", "benchmarks", "tools", "examples"):
+        d = base / name
+        if d.is_dir():
+            report.extend(lint_paths([d], rules=_IMPORT_ONLY, root=base))
+    return report

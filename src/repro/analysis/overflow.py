@@ -1,0 +1,373 @@
+"""The lane-overflow prover: upfront safety proofs for packing plans.
+
+A packed dot product issues, per K step, one ``packed_scalar_mul``
+(scalar from A times a packed register of B lanes) and one
+``packed_add`` into a packed accumulator.  The chain is *exact* iff
+every lane's running sum fits its field — the invariant the Fig. 3
+guard-bit policy is designed around, which the rest of the library only
+verifies at run time (``strict=True``).
+
+This module decides the question statically.  Given a
+:class:`~repro.packing.policy.PackingPolicy`, operand ranges (or
+bitwidths), a GEMM K depth, and an optional spill chunk depth, the
+interval abstract interpreter either
+
+* **proves** no lane of the IMAD chain can overflow its field or the
+  32-bit register — for *any* inputs in range — or
+* **refutes** the plan with a concrete :class:`OverflowWitness` triple
+  ``(scalar, lane value, depth)`` that reproduces the overflow under
+  ``strict=True`` execution.
+
+Because lanes occupy ``lanes * field_bits <= 32`` bits, per-lane field
+safety implies the packed register cannot wrap either; the prover still
+reports the register-level margin separately (``VB102``) because a
+wrapped register corrupts *neighbouring* lanes, which is a strictly
+worse failure than one saturated field.
+
+Diagnostic codes: ``VB101`` lane-field overflow, ``VB102`` register
+overflow, ``VB103`` a single product cannot fit its field, ``VB104``
+operands out of packable range, ``VB105`` scalar wider than the
+policy's multiplier width (the Fig. 3 sizing guarantee is void),
+``VB106`` informational safety margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.intervals import Interval
+from repro.errors import OverflowBudgetError, PackingError
+from repro.packing.policy import PackingPolicy
+
+__all__ = [
+    "OverflowWitness",
+    "OverflowProof",
+    "prove_packed_accumulation",
+    "preflight_gemm",
+]
+
+#: Depth reported for plans that can never overflow (0/1-valued operands).
+UNBOUNDED_DEPTH = 1 << 30
+
+
+@dataclass(frozen=True)
+class OverflowWitness:
+    """A concrete input triple that overflows a lane field.
+
+    Feeding ``scalar`` against a register whose lanes all hold
+    ``lane_value``, ``depth`` accumulated products reach ``lane_total``
+    in every lane, exceeding ``field_limit`` — so a strict SWAR
+    execution raises :class:`~repro.errors.OverflowBudgetError` at
+    exactly step ``depth``.
+    """
+
+    scalar: int
+    lane_value: int
+    depth: int
+    lane_total: int
+    field_limit: int
+
+    def describe(self) -> str:
+        """One-line reproduction recipe."""
+        return (
+            f"scalar={self.scalar} x lane_value={self.lane_value} "
+            f"accumulated {self.depth}x reaches {self.lane_total} "
+            f"> field limit {self.field_limit}"
+        )
+
+
+@dataclass
+class OverflowProof:
+    """Outcome of the lane-overflow prover for one packing plan.
+
+    ``safe`` is a *proof*: no inputs within the declared ranges can
+    overflow within ``depth_checked`` accumulations.  When ``safe`` is
+    False, ``witness`` is a concrete refutation.  ``max_safe_depth`` is
+    the largest accumulation depth the plan supports without spilling
+    (the per-(bitwidth, packing-factor) budget of the paper's Sec. 3.2
+    guard-bit discussion).
+    """
+
+    policy: PackingPolicy
+    a_range: Interval
+    b_range: Interval
+    k: int
+    depth_checked: int
+    max_safe_depth: int
+    safe: bool
+    witness: OverflowWitness | None
+    diagnostics: list[Diagnostic]
+
+    @property
+    def guard_bits_free(self) -> int:
+        """Field bits spare beyond one worst-case product (>= 0 when safe)."""
+        prod = (self.a_range * self.b_range).hi
+        return self.policy.field_bits - max(1, prod).bit_length()
+
+    def describe(self) -> str:
+        """One-line verdict summary."""
+        plan = (
+            f"{self.policy.value_bits}-bit x {self.policy.lanes}-pack "
+            f"(field {self.policy.field_bits}, K={self.k}, "
+            f"chunk {self.depth_checked})"
+        )
+        if self.safe:
+            return f"SAFE {plan}: max safe depth {self.max_safe_depth}"
+        assert self.witness is not None
+        return f"OVERFLOW {plan}: {self.witness.describe()}"
+
+
+def _location(policy: PackingPolicy) -> str:
+    return (
+        f"policy(bits={policy.value_bits}, lanes={policy.lanes}, "
+        f"field={policy.field_bits})"
+    )
+
+
+def prove_packed_accumulation(
+    policy: PackingPolicy,
+    *,
+    k: int,
+    a_bits: int | None = None,
+    a_range: Interval | None = None,
+    b_bits: int | None = None,
+    b_range: Interval | None = None,
+    chunk_depth: int | None = None,
+) -> OverflowProof:
+    """Prove or refute lane safety of a packed IMAD accumulation chain.
+
+    Parameters
+    ----------
+    policy:
+        The packing plan under test.
+    k:
+        GEMM reduction depth — how many products each lane accumulates.
+    a_bits / a_range:
+        Range of the unpacked multiplier stream, as a magnitude bitwidth
+        or an explicit :class:`~repro.analysis.intervals.Interval`
+        (default: the policy's ``effective_multiplier_bits``).  Must be
+        non-negative — signed multipliers are sign-split upstream.
+    b_bits / b_range:
+        Range of the packed lane payloads (default: the policy's
+        ``value_bits``).
+    chunk_depth:
+        Accumulation length between spills to wide accumulators.  The
+        default (``None``) models *no* spilling — the whole K chain runs
+        packed, which is the "run strict and hope" configuration this
+        prover replaces.  Pass the planned chunk depth (e.g. from
+        :func:`repro.packing.accumulate.safe_accumulation_depth`) to
+        verify a chunked execution.
+
+    Returns
+    -------
+    OverflowProof
+        ``safe=True`` with the per-plan depth budget, or ``safe=False``
+        with a concrete :class:`OverflowWitness` and ``VB1xx``
+        diagnostics.
+    """
+    if k < 1:
+        raise PackingError(f"accumulation depth k must be >= 1, got {k}")
+    if chunk_depth is not None and chunk_depth < 1:
+        raise PackingError(f"chunk_depth must be >= 1, got {chunk_depth}")
+    if a_range is None:
+        a_range = Interval.from_bits(
+            policy.effective_multiplier_bits if a_bits is None else a_bits
+        )
+    if b_range is None:
+        b_range = Interval.from_bits(
+            policy.value_bits if b_bits is None else b_bits
+        )
+    if not a_range.nonnegative:
+        raise PackingError(
+            "packed multiplication requires non-negative scalars; "
+            "sign-split signed multipliers first (see repro.packing.gemm)"
+        )
+    loc = _location(policy)
+    diags: list[Diagnostic] = []
+
+    # Range sanity: lanes must be packable at all.
+    if not b_range.fits(policy.max_value):
+        diags.append(
+            Diagnostic(
+                code="VB104",
+                severity=Severity.ERROR,
+                message=(
+                    f"lane payload range {b_range} exceeds the packable "
+                    f"range [0, {policy.max_value}] of "
+                    f"{policy.value_bits}-bit lanes"
+                ),
+                location=loc,
+                hint="widen value_bits or offset operands by their zero point",
+            )
+        )
+    if (
+        policy.lanes > 1
+        and a_range.hi > (1 << policy.effective_multiplier_bits) - 1
+    ):
+        diags.append(
+            Diagnostic(
+                code="VB105",
+                severity=Severity.WARNING,
+                message=(
+                    f"scalar range {a_range} exceeds the policy's "
+                    f"{policy.effective_multiplier_bits}-bit multiplier "
+                    "width; the Fig. 3 field sizing no longer guarantees "
+                    "single-product fit"
+                ),
+                location=loc,
+                hint="use repro.packing.mixed.policy_for_operands for "
+                "asymmetric widths",
+            )
+        )
+
+    # Abstract interpretation of the chain.  Every lane starts at 0 and
+    # accumulates one product interval per step; all lanes share the
+    # same abstract state (the packer may place any in-range payload in
+    # any lane), so one interval models all of them.
+    product = a_range * b_range
+    depth_checked = min(k, chunk_depth) if chunk_depth is not None else k
+    field_limit = policy.field_mask
+
+    if product.hi <= 0:
+        max_safe_depth = UNBOUNDED_DEPTH
+    else:
+        max_safe_depth = field_limit // product.hi
+
+    lane_after = product.scale(depth_checked)
+    safe = lane_after.fits(field_limit) and not any(
+        d.severity is Severity.ERROR for d in diags
+    )
+
+    witness: OverflowWitness | None = None
+    if not lane_after.fits(field_limit):
+        # Smallest depth at which the worst-case inputs overflow; by
+        # construction <= depth_checked, so the witness is realizable
+        # within the plan being checked.
+        fail_depth = max_safe_depth + 1
+        witness = OverflowWitness(
+            scalar=a_range.hi,
+            lane_value=b_range.hi,
+            depth=fail_depth,
+            lane_total=product.hi * fail_depth,
+            field_limit=field_limit,
+        )
+        if max_safe_depth == 0:
+            diags.append(
+                Diagnostic(
+                    code="VB103",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"a single worst-case product ({a_range.hi} x "
+                        f"{b_range.hi} = {product.hi}) does not fit the "
+                        f"{policy.field_bits}-bit field"
+                    ),
+                    location=loc,
+                    hint="reduce operand bitwidths or pack fewer lanes "
+                    "(wider fields)",
+                )
+            )
+        else:
+            diags.append(
+                Diagnostic(
+                    code="VB101",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"lane overflow at accumulation depth "
+                        f"{witness.depth} of {depth_checked}: "
+                        f"{witness.describe()}"
+                    ),
+                    location=loc,
+                    hint=(
+                        f"spill to wide accumulators every "
+                        f"{max_safe_depth} products "
+                        "(repro.packing.accumulate.ChunkedAccumulator)"
+                    ),
+                )
+            )
+        # Register-level wrap: strictly worse — the carry corrupts the
+        # neighbouring lane's payload rather than saturating one field.
+        top_shift = (policy.lanes - 1) * policy.field_bits
+        reg_limit = (1 << policy.register_bits) - 1
+        total_hi = sum(
+            witness.lane_total << s for s in policy.shift_amounts
+        )
+        if total_hi > reg_limit or (witness.lane_total << top_shift) > reg_limit:
+            diags.append(
+                Diagnostic(
+                    code="VB102",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"worst-case packed value {total_hi} exceeds the "
+                        f"{policy.register_bits}-bit register; the hardware "
+                        "IMAD would wrap and corrupt neighbouring lanes"
+                    ),
+                    location=loc,
+                )
+            )
+    else:
+        margin = (
+            "unbounded"
+            if max_safe_depth >= UNBOUNDED_DEPTH
+            else f"{max_safe_depth - depth_checked} further products"
+        )
+        diags.append(
+            Diagnostic(
+                code="VB106",
+                severity=Severity.INFO,
+                message=(
+                    f"proved safe for depth {depth_checked} (budget "
+                    f"{max_safe_depth}; margin {margin})"
+                ),
+                location=loc,
+            )
+        )
+
+    return OverflowProof(
+        policy=policy,
+        a_range=a_range,
+        b_range=b_range,
+        k=k,
+        depth_checked=depth_checked,
+        max_safe_depth=int(max_safe_depth),
+        safe=safe,
+        witness=witness,
+        diagnostics=diags,
+    )
+
+
+def preflight_gemm(
+    policy: PackingPolicy, a_bits: int, k: int
+) -> OverflowProof:
+    """Cheap pre-flight proof for a chunked packed GEMM.
+
+    Called by :func:`repro.packing.gemm.packed_gemm_unsigned` (and
+    transitively by :func:`repro.kernels.fused_gemm.fused_gemm`) before
+    any data is packed: proves that the planned chunked execution —
+    spilling every ``max_safe_depth`` products — cannot overflow for
+    operands within their declared bitwidths, and raises
+    :class:`~repro.errors.OverflowBudgetError` carrying the witness when
+    no safe chunk depth exists at all.
+
+    Pure integer arithmetic on five scalars; costs nanoseconds against
+    a GEMM's O(MNK) work.
+    """
+    probe = prove_packed_accumulation(policy, k=k, a_bits=a_bits)
+    if probe.max_safe_depth < 1:
+        assert probe.witness is not None
+        raise OverflowBudgetError(
+            "packing plan refuted before execution: "
+            + probe.witness.describe()
+            + f" [{_location(policy)}]"
+        )
+    chunk = min(probe.max_safe_depth, k)
+    proof = prove_packed_accumulation(
+        policy, k=k, a_bits=a_bits, chunk_depth=chunk
+    )
+    if not proof.safe:  # pragma: no cover - unreachable once chunked
+        assert proof.witness is not None
+        raise OverflowBudgetError(
+            "packing plan refuted before execution: "
+            + proof.witness.describe()
+        )
+    return proof

@@ -1,0 +1,372 @@
+"""Static diagnostics over warp programs, warp sets, and kernel launches.
+
+GPU modelling work validates simulated instruction streams *before*
+timing them; this module gives the VitBit stack the same discipline.
+Checks run on plain :class:`~repro.sim.program.WarpProgram` objects, on
+the warp set lowered for one SM, and on a full
+:class:`~repro.perfmodel.warpsets.KernelLaunch`, and every finding is a
+structured :class:`~repro.analysis.diagnostics.Diagnostic` rather than
+a late ``ScheduleError`` deep inside the simulator.
+
+Diagnostic codes
+----------------
+* ``VB201`` — degenerate (zero-instruction) program occupying a slot,
+* ``VB202`` — program issues on a pipe the timing model does not know,
+* ``VB203`` — warp set empty or oversubscribing the SM's warp slots,
+* ``VB204`` — residency not a multiple of the SM's sub-partitions,
+* ``VB205`` — split plan inconsistent with Algorithm 1 / Eq. 1's
+  ``n : 1`` INT:FP rule,
+* ``VB206`` — pipe starvation: grid work for a compute pipe but no
+  resident warp ever issues on it,
+* ``VB207`` — under-occupancy: fewer warps than warp schedulers,
+* ``VB208`` — warp-set pipe mix diverges from the launch's grid-level
+  instruction accounting,
+* ``VB209`` — co-schedule share leaves one kernel without slots/work.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.arch.specs import MachineSpec, SMSpec
+from repro.packing.policy import PackingPolicy
+from repro.perfmodel.warpsets import KernelLaunch
+from repro.preprocess.split import SplitPlan, plan_split
+from repro.sim.instruction import OpClass, PipeTiming, default_timings
+from repro.sim.program import WarpProgram
+
+__all__ = [
+    "check_program",
+    "check_warp_set",
+    "check_split_plan",
+    "check_launch",
+    "check_coschedule_shares",
+]
+
+#: Pipes whose starvation/consistency is checked.  LSU/MISC/SFU demand
+#: below the lowering's body granularity is dropped by design, so only
+#: the compute pipes participate in VB206/VB208.
+_COMPUTE_PIPES = (OpClass.INT, OpClass.FP, OpClass.TENSOR)
+
+#: Acceptable per-pipe drift between the warp-set accounting and the
+#: grid-level totals (the lowering rounds iteration counts per role).
+_MIX_TOLERANCE = 8.0
+
+
+def check_program(
+    prog: WarpProgram,
+    *,
+    timings: dict[OpClass, PipeTiming] | None = None,
+    location: str = "program",
+) -> list[Diagnostic]:
+    """Diagnostics for one warp program.
+
+    ``timings`` (when given) defines the pipes the machine model knows;
+    a body segment on any other pipe is a hard error — the simulator
+    would fault mid-run.
+    """
+    diags: list[Diagnostic] = []
+    if prog.is_empty:
+        diags.append(
+            Diagnostic(
+                code="VB201",
+                severity=Severity.WARNING,
+                message=(
+                    "degenerate program (zero instructions) occupies a "
+                    "warp slot"
+                ),
+                location=location,
+                hint="drop it from the warp set or use WarpProgram.empty() "
+                "only for explicit padding",
+            )
+        )
+    if timings is not None:
+        for op, _count in prog.body:
+            if op not in timings:
+                diags.append(
+                    Diagnostic(
+                        code="VB202",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"program issues on pipe {op.name} which has "
+                            "no timing entry in the machine model"
+                        ),
+                        location=location,
+                    )
+                )
+    return diags
+
+
+def _mix_of(warps: list[WarpProgram]) -> dict[OpClass, int]:
+    totals: dict[OpClass, int] = {}
+    for w in warps:
+        for op, count in w.mix().items():
+            totals[op] = totals.get(op, 0) + count
+    return totals
+
+
+def check_warp_set(
+    warps: list[WarpProgram],
+    sm: SMSpec,
+    *,
+    timings: dict[OpClass, PipeTiming] | None = None,
+    label: str = "warpset",
+) -> list[Diagnostic]:
+    """Structural diagnostics for the warp set resident on one SM."""
+    diags: list[Diagnostic] = []
+    n = len(warps)
+    if n == 0:
+        diags.append(
+            Diagnostic(
+                code="VB203",
+                severity=Severity.ERROR,
+                message="warp set is empty; the SM would idle forever",
+                location=label,
+            )
+        )
+        return diags
+    if n > sm.max_warps_per_sm:
+        diags.append(
+            Diagnostic(
+                code="VB203",
+                severity=Severity.ERROR,
+                message=(
+                    f"{n} resident warps oversubscribe the SM's "
+                    f"{sm.max_warps_per_sm} warp slots"
+                ),
+                location=label,
+                hint="scale per-warp iterations instead of adding warps",
+            )
+        )
+    if n % sm.partitions:
+        diags.append(
+            Diagnostic(
+                code="VB204",
+                severity=Severity.WARNING,
+                message=(
+                    f"{n} warps do not divide evenly over "
+                    f"{sm.partitions} sub-partitions; the SM finishes at "
+                    "the slowest scheduler"
+                ),
+                location=label,
+                hint="round role populations to a multiple of the "
+                "partition count",
+            )
+        )
+    if n < sm.partitions:
+        diags.append(
+            Diagnostic(
+                code="VB207",
+                severity=Severity.WARNING,
+                message=(
+                    f"only {n} warps for {sm.partitions} warp schedulers; "
+                    "some sub-partitions never issue"
+                ),
+                location=label,
+            )
+        )
+    for i, w in enumerate(warps):
+        diags.extend(
+            check_program(w, timings=timings, location=f"{label}.warp[{i}]")
+        )
+    return diags
+
+
+def check_split_plan(
+    plan: SplitPlan,
+    policy: PackingPolicy,
+    *,
+    location: str = "plan",
+) -> list[Diagnostic]:
+    """Check a column-split plan against Algorithm 1 and Eq. 1.
+
+    The Eq. 1 rule: when the INT slice is packed ``lanes``-wide and the
+    FP pipe participates, the INT pipe must receive ``lanes`` columns
+    per FP column so the two equal-width pipes retire the same
+    instruction count.
+    """
+    diags: list[Diagnostic] = []
+    if plan.lanes != policy.lanes:
+        diags.append(
+            Diagnostic(
+                code="VB205",
+                severity=Severity.ERROR,
+                message=(
+                    f"plan was computed for {plan.lanes} lanes but the "
+                    f"policy packs {policy.lanes}"
+                ),
+                location=location,
+            )
+        )
+        return diags
+    if plan.lanes > 1 and plan.n1 % plan.lanes:
+        diags.append(
+            Diagnostic(
+                code="VB205",
+                severity=Severity.ERROR,
+                message=(
+                    f"INT slice of {plan.n1} columns is not a multiple of "
+                    f"{plan.lanes} packing lanes; a register would straddle "
+                    "the B1/B2 boundary"
+                ),
+                location=location,
+            )
+        )
+    if plan.lanes > 1 and plan.n1 and plan.n2 and plan.int_fp_ratio != plan.lanes:
+        diags.append(
+            Diagnostic(
+                code="VB205",
+                severity=Severity.WARNING,
+                message=(
+                    f"INT:FP ratio {plan.int_fp_ratio}:1 is inconsistent "
+                    f"with Eq. 1's n:1 rule for a {plan.lanes}-lane packing "
+                    "(the pipes will retire unequal instruction counts)"
+                ),
+                location=location,
+                hint="use Strategy.split_plan or eq1_int_fp_ratio",
+            )
+        )
+    ideal = plan_split(
+        plan.n_total,
+        plan.tensor_cuda_ratio,
+        policy,
+        int_fp_ratio=plan.int_fp_ratio,
+    )
+    if (ideal.n1, ideal.n2, ideal.n3) != (plan.n1, plan.n2, plan.n3):
+        diags.append(
+            Diagnostic(
+                code="VB205",
+                severity=Severity.WARNING,
+                message=(
+                    f"slice widths ({plan.n1}, {plan.n2}, {plan.n3}) deviate "
+                    f"from Algorithm 1's split ({ideal.n1}, {ideal.n2}, "
+                    f"{ideal.n3}) for m={plan.tensor_cuda_ratio}, "
+                    f"n={plan.int_fp_ratio}"
+                ),
+                location=location,
+            )
+        )
+    return diags
+
+
+def check_launch(
+    launch: KernelLaunch,
+    machine: MachineSpec,
+    *,
+    policy: PackingPolicy | None = None,
+) -> list[Diagnostic]:
+    """Full static validation of one lowered kernel launch.
+
+    Combines the warp-set checks with plan validation (when the launch
+    carries a plan and ``policy`` is given) and cross-checks the warp
+    set's pipe mix against the launch's grid-level instruction totals.
+    """
+    label = launch.label or "launch"
+    timings = default_timings(machine.sm)
+    diags = check_warp_set(
+        launch.warps, machine.sm, timings=timings, label=label
+    )
+    if launch.plan is not None and policy is not None:
+        diags.extend(
+            check_split_plan(launch.plan, policy, location=f"{label}.plan")
+        )
+
+    warp_mix = _mix_of(launch.warps)
+    for op in _COMPUTE_PIPES:
+        grid = launch.instruction_totals.get(op, 0.0)
+        local = warp_mix.get(op, 0) * machine.sm_count
+        if grid > 0 and local == 0:
+            diags.append(
+                Diagnostic(
+                    code="VB206",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"{op.name} pipe has {grid:.0f} instructions of "
+                        "grid work but no resident warp ever issues on it "
+                        "(starved pipe)"
+                    ),
+                    location=label,
+                )
+            )
+        elif grid > 0 and local > 0:
+            drift = max(local / grid, grid / local)
+            if drift > _MIX_TOLERANCE:
+                diags.append(
+                    Diagnostic(
+                        code="VB208",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"warp-set {op.name} work ({local:.0f} "
+                            "instructions across SMs) diverges from the "
+                            f"grid total ({grid:.0f}) by more than "
+                            f"{_MIX_TOLERANCE:.0f}x"
+                        ),
+                        location=label,
+                    )
+                )
+        elif grid == 0 and local > 0:
+            diags.append(
+                Diagnostic(
+                    code="VB208",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"warps issue {local} {op.name} instructions but "
+                        "the launch accounts zero grid work on that pipe"
+                    ),
+                    location=label,
+                )
+            )
+    return diags
+
+
+def check_coschedule_shares(
+    machine: MachineSpec,
+    a: KernelLaunch,
+    b: KernelLaunch,
+    *,
+    share_a: float = 0.5,
+) -> list[Diagnostic]:
+    """Validate a Tacker-style co-schedule before fusing two launches.
+
+    Mirrors the slot arithmetic of
+    :func:`repro.fusion.coschedule.co_schedule` and reports ``VB209``
+    when the share leaves either kernel without a warp slot or either
+    side has no work to scale into its slots.
+    """
+    diags: list[Diagnostic] = []
+    if not 0.0 < share_a < 1.0:
+        diags.append(
+            Diagnostic(
+                code="VB209",
+                severity=Severity.ERROR,
+                message=f"share_a must lie strictly in (0, 1), got {share_a}",
+                location="coschedule",
+            )
+        )
+        return diags
+    slots = machine.sm.max_warps_per_sm
+    slots_a = max(1, min(slots - 1, round(slots * share_a)))
+    slots_b = slots - slots_a
+    for name, launch, side_slots in (
+        ("a", a, slots_a),
+        ("b", b, slots_b),
+    ):
+        active = [w for w in launch.warps if w.total_instructions > 0]
+        if side_slots < 1:
+            diags.append(
+                Diagnostic(
+                    code="VB209",
+                    severity=Severity.ERROR,
+                    message=f"kernel {name} receives no warp slots",
+                    location=f"coschedule.{launch.label or name}",
+                )
+            )
+        if not active:
+            diags.append(
+                Diagnostic(
+                    code="VB209",
+                    severity=Severity.ERROR,
+                    message=f"kernel {name} has no work to co-schedule",
+                    location=f"coschedule.{launch.label or name}",
+                )
+            )
+    return diags

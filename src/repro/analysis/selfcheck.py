@@ -1,0 +1,114 @@
+"""The ``repro analyze --self-check`` sweep: verify the repo's own plans.
+
+Runs every analysis pass over the configurations the seed benchmarks
+actually use — Fig. 3 policies across bitwidths, the mixed-width W*A*
+policies, every Table 3 strategy lowered over representative ViT-Base
+GEMM and elementwise shapes on the Jetson Orin AGX model, plus the repo
+lint — and aggregates the findings into one
+:class:`~repro.analysis.diagnostics.DiagnosticReport`.  A clean tree
+exits 0; CI runs this as the analysis suite's own regression test.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.analysis.lint import run_repo_lint
+from repro.analysis.overflow import prove_packed_accumulation
+from repro.analysis.schedule_check import check_launch
+from repro.arch.specs import jetson_orin_agx
+from repro.packing.accumulate import safe_accumulation_depth
+from repro.packing.mixed import policy_for_operands
+from repro.packing.policy import PackingPolicy, policy_for_bitwidth
+from repro.perfmodel.descriptors import ELEMENTWISE_KERNELS, CostParams, GemmShape
+from repro.perfmodel.warpsets import elementwise_launch, gemm_launch
+from repro.fusion.strategies import STRATEGIES
+
+__all__ = ["self_check"]
+
+#: Reduction depths exercised per policy (ViT-Base K values).
+_DEPTHS = (768, 3072)
+
+#: Mixed (multiplier, packed) width pairs checked by the prover.
+_MIXED_PAIRS = ((4, 8), (8, 4), (2, 8), (8, 2), (4, 4), (6, 6))
+
+#: Representative ViT-Base GEMMs (proj and fc1 of one block, batch 1).
+_GEMM_SHAPES = (
+    GemmShape(768, 197, 768, name="proj"),
+    GemmShape(3072, 197, 768, name="fc1"),
+)
+
+#: Representative CUDA-core kernels and element counts.
+_ELEMENTWISE = (("softmax", 197 * 197 * 12), ("gelu", 3072 * 197))
+
+
+def _check_policy(policy: PackingPolicy, report: DiagnosticReport) -> None:
+    """Prove the chunked execution of ``policy`` safe at the ViT depths."""
+    a_bits = policy.effective_multiplier_bits
+    for k in _DEPTHS:
+        chunk = min(k, safe_accumulation_depth(policy, a_bits, policy.value_bits))
+        proof = prove_packed_accumulation(
+            policy, k=k, a_bits=a_bits, chunk_depth=chunk
+        )
+        report.extend(proof.diagnostics)
+        if proof.max_safe_depth != safe_accumulation_depth(
+            policy, a_bits, policy.value_bits
+        ):
+            report.add(
+                Diagnostic(
+                    code="VB101",
+                    severity=Severity.ERROR,
+                    message=(
+                        "prover depth budget "
+                        f"{proof.max_safe_depth} disagrees with "
+                        "packing.accumulate.safe_accumulation_depth "
+                        f"({safe_accumulation_depth(policy, a_bits, policy.value_bits)})"
+                    ),
+                    location=f"policy(bits={policy.value_bits}, lanes={policy.lanes})",
+                )
+            )
+
+
+def self_check(*, lint: bool = True) -> DiagnosticReport:
+    """Run every analysis pass over the repo's own configurations.
+
+    Covers the Fig. 3 policies for bitwidths 2..12, the mixed-width
+    pairs, every Table 3 strategy lowered over ViT-Base shapes on the
+    Jetson Orin AGX machine model, and (when a source checkout is
+    found and ``lint`` is true) the repo lint.
+    """
+    report = DiagnosticReport()
+
+    for bits in range(2, 13):
+        _check_policy(policy_for_bitwidth(bits), report)
+    for a_bits, b_bits in _MIXED_PAIRS:
+        _check_policy(policy_for_operands(a_bits, b_bits), report)
+
+    machine = jetson_orin_agx()
+    params = CostParams()
+    policy = policy_for_bitwidth(8)
+    for strategy in STRATEGIES:
+        for shape in _GEMM_SHAPES:
+            launch = gemm_launch(shape, strategy, machine, policy, params, 4.0)
+            # Validate the plan against the policy it was computed for
+            # (non-packing strategies plan with a single-lane variant).
+            plan_policy = (
+                policy.with_lanes(launch.plan.lanes)
+                if launch.plan is not None
+                else policy
+            )
+            report.extend(check_launch(launch, machine, policy=plan_policy))
+        if strategy.uses_cuda:
+            for kernel, n_elements in _ELEMENTWISE:
+                launch = elementwise_launch(
+                    ELEMENTWISE_KERNELS[kernel],
+                    n_elements,
+                    strategy,
+                    machine,
+                    policy,
+                    params,
+                )
+                report.extend(check_launch(launch, machine))
+
+    if lint:
+        report.extend(run_repo_lint().diagnostics)
+    return report

@@ -63,6 +63,7 @@ class EnergyBreakdown:
 
     @property
     def total(self) -> float:
+        """Total energy in joules (dynamic compute + DRAM + static)."""
         return self.dynamic_compute + self.dynamic_dram + self.static
 
     def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":

@@ -25,6 +25,7 @@ from repro.packing.gemm import PackedGemmStats, packed_gemm
 from repro.packing.policy import PackingPolicy
 from repro.preprocess.convert import restore_outputs
 from repro.preprocess.split import SplitMatrices
+from repro.utils.bitops import bit_length_unsigned
 
 __all__ = ["FusedGemmOutput", "fused_gemm"]
 
@@ -78,6 +79,18 @@ def fused_gemm(
 
     # INT path: packed SWAR GEMM over the stored (non-negative) B1.
     if plan.n1:
+        # Pre-flight the packing plan before any path computes: proves
+        # the chunked accumulation safe for the worst-case magnitudes or
+        # fails with a concrete overflow witness (lazy import — analysis
+        # depends on the packing package).
+        from repro.analysis.overflow import preflight_gemm
+
+        a_mag = np.abs(a1)
+        preflight_gemm(
+            policy,
+            a_bits=bit_length_unsigned(a_mag) if a_mag.size else 1,
+            k=a1.shape[1],
+        )
         c1 = packed_gemm(a1, split.b1_raw, policy, stats=stats, method=method)
         if correction is not None:
             c1 = c1 - correction

@@ -69,6 +69,7 @@ class TileConfig:
 
     @property
     def threads(self) -> int:
+        """Threads per block (32 per warp)."""
         return self.warps * _WARP
 
     @property
@@ -77,6 +78,7 @@ class TileConfig:
         return self.regs_m * self.regs_n
 
     def label(self) -> str:
+        """Compact tile descriptor used in tables and sweep output."""
         return (
             f"{self.bm}x{self.bn}x{self.bk}/w{self.warps}"
             f"r{self.regs_m}x{self.regs_n}"

@@ -145,6 +145,12 @@ def packed_gemm_unsigned(
         )
     if a_bits is None:
         a_bits = bit_length_unsigned(a64) if a64.size else 1
+    # Pre-flight: prove the chunked plan safe (or fail with a concrete
+    # witness) before packing a single register.  Imported lazily —
+    # repro.analysis depends on this package.
+    from repro.analysis.overflow import preflight_gemm
+
+    preflight_gemm(policy, a_bits=a_bits, k=k)
     packer = Packer(policy)
     bp = packer.pack(np.asarray(b, dtype=np.int64)).astype(np.int64)  # (K, G)
     groups = bp.shape[1]

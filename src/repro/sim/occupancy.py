@@ -54,6 +54,7 @@ class KernelResources:
 
     @property
     def warps_per_block(self) -> int:
+        """Warps one block occupies (threads rounded up to warp size)."""
         return -(-self.threads_per_block // 32)
 
 

@@ -31,6 +31,15 @@ class WarpProgram:
     def __post_init__(self) -> None:
         if self.iterations < 0:
             raise SimulationError("iterations must be >= 0")
+        if self.iterations == 0 and self.body:
+            # The empty-program contract: zero instructions is spelled
+            # WarpProgram.empty() — body () — so `is_empty` and equality
+            # have one canonical form.  A non-empty body that never runs
+            # is almost always a scaling bug upstream.
+            raise SimulationError(
+                "iterations=0 with a non-empty body; use WarpProgram.empty() "
+                "for a padding warp"
+            )
         for op, count in self.body:
             if not isinstance(op, OpClass):
                 raise SimulationError(f"segment op must be OpClass, got {op!r}")
@@ -48,8 +57,13 @@ class WarpProgram:
 
     @staticmethod
     def straight(counts: dict[OpClass, int]) -> "WarpProgram":
-        """A single-iteration program with one segment per op class."""
+        """A single-iteration program with one segment per op class.
+
+        All-zero ``counts`` normalize to :meth:`empty`.
+        """
         body = tuple((op, c) for op, c in counts.items() if c > 0)
+        if not body:
+            return WarpProgram.empty()
         return WarpProgram(body=body, iterations=1)
 
     @staticmethod
@@ -58,6 +72,11 @@ class WarpProgram:
         return WarpProgram(body=(), iterations=0)
 
     # -- queries --------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the program issues no instructions at all."""
+        return not self.body or self.iterations == 0
 
     @property
     def instructions_per_iteration(self) -> int:
@@ -82,7 +101,15 @@ class WarpProgram:
         return {op: c * self.iterations for op, c in out.items()}
 
     def scaled(self, factor: float) -> "WarpProgram":
-        """The same body with iterations scaled by ``factor`` (rounded, >= 0)."""
+        """The same body with iterations scaled by ``factor`` (rounded, >= 0).
+
+        A scale that rounds the iteration count to zero yields
+        :meth:`empty` — the canonical no-work program — rather than a
+        dead body.
+        """
         if factor < 0:
             raise SimulationError("scale factor must be >= 0")
-        return WarpProgram(body=self.body, iterations=max(0, round(self.iterations * factor)))
+        iterations = max(0, round(self.iterations * factor))
+        if iterations == 0:
+            return WarpProgram.empty()
+        return WarpProgram(body=self.body, iterations=iterations)

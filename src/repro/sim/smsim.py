@@ -50,6 +50,7 @@ class _WarpState:
             self.remaining = body[0][1]
 
     def current_op(self) -> OpClass:
+        """Op class of the instruction this warp issues next."""
         return self.program.body[self.seg][0]
 
     def advance(self) -> None:

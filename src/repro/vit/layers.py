@@ -130,10 +130,12 @@ class IntLinear:
 
     @property
     def in_features(self) -> int:
+        """Input width of the layer (columns of the weight matrix)."""
         return self.weight.shape[1]
 
     @property
     def out_features(self) -> int:
+        """Output width of the layer (rows of the weight matrix)."""
         return self.weight.shape[0]
 
     def forward(

@@ -1,0 +1,173 @@
+"""The VB3xx AST lint: synthetic violations, suppressions, repo cleanliness."""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+
+from repro.analysis import run_repo_lint, self_check
+from repro.analysis.lint import lint_file, lint_paths
+
+
+def _lint_snippet(tmp_path: pathlib.Path, source: str, name="repro/snippet.py"):
+    path = tmp_path / pathlib.Path(name).name
+    path.write_text(textwrap.dedent(source))
+    return lint_file(path, rel=name)
+
+
+class TestRules:
+    def test_missing_docstrings_vb301(self, tmp_path):
+        diags = _lint_snippet(
+            tmp_path,
+            '''
+            def public(): ...
+
+            class Thing:
+                def method(self): ...
+            ''',
+        )
+        codes = [d.code for d in diags]
+        assert codes.count("VB301") == 4  # module, function, class, method
+
+    def test_nested_helpers_need_no_docstring(self, tmp_path):
+        diags = _lint_snippet(
+            tmp_path,
+            '''
+            """Module."""
+
+            def outer():
+                """Doc."""
+                def helper(x):
+                    return x
+                return helper
+            ''',
+        )
+        assert diags == []
+
+    def test_raw_cast_on_packed_vb302(self, tmp_path):
+        diags = _lint_snippet(
+            tmp_path,
+            '''
+            """Module."""
+            import numpy as np
+
+            def f(packed_acc):
+                """Doc."""
+                a = packed_acc.astype(np.int32)
+                b = int(packed_acc[0])
+                return a, b
+            ''',
+        )
+        assert [d.code for d in diags] == ["VB302", "VB302"]
+
+    def test_cast_rule_exempt_inside_packing(self, tmp_path):
+        diags = _lint_snippet(
+            tmp_path,
+            '''
+            """Module."""
+            import numpy as np
+
+            def f(packed_acc):
+                """Doc."""
+                return packed_acc.astype(np.uint32)
+            ''',
+            name="repro/packing/snippet.py",
+        )
+        assert diags == []
+
+    def test_magic_mask_vb303(self, tmp_path):
+        diags = _lint_snippet(
+            tmp_path,
+            '''
+            """Module."""
+            MASK = 0xFFFF
+            ''',
+        )
+        assert [d.code for d in diags] == ["VB303"]
+
+    def test_implicit_strict_vb304(self, tmp_path):
+        diags = _lint_snippet(
+            tmp_path,
+            '''
+            """Module."""
+            from repro.packing.swar import packed_add
+
+            def f(x, y, policy):
+                """Doc."""
+                return packed_add(x, y, policy)
+            ''',
+        )
+        assert [d.code for d in diags] == ["VB304"]
+
+    def test_explicit_strict_is_clean(self, tmp_path):
+        diags = _lint_snippet(
+            tmp_path,
+            '''
+            """Module."""
+            from repro.packing.swar import packed_add
+
+            def f(x, y, policy):
+                """Doc."""
+                return packed_add(x, y, policy, strict=False)
+            ''',
+        )
+        assert diags == []
+
+    def test_unused_import_vb305(self, tmp_path):
+        diags = _lint_snippet(
+            tmp_path,
+            '''
+            """Module."""
+            import os
+            import sys
+
+            print(sys.argv)
+            ''',
+        )
+        assert [d.code for d in diags] == ["VB305"]
+        assert "`os`" in diags[0].message
+
+    def test_all_reexport_counts_as_use(self, tmp_path):
+        diags = _lint_snippet(
+            tmp_path,
+            '''
+            """Module."""
+            from repro.errors import PackingError
+
+            __all__ = ["PackingError"]
+            ''',
+        )
+        assert diags == []
+
+    def test_suppression_comment(self, tmp_path):
+        diags = _lint_snippet(
+            tmp_path,
+            '''
+            """Module."""
+            MASK = 0xFFFF  # vblint: VB303
+            OTHER = 0xFFFFFFFF  # vblint: skip
+            THIRD = 0xFFFF
+            ''',
+        )
+        assert len(diags) == 1 and diags[0].location.endswith(":5")
+
+    def test_syntax_error_vb300(self, tmp_path):
+        diags = _lint_snippet(tmp_path, "def broken(:\n")
+        assert [d.code for d in diags] == ["VB300"]
+
+    def test_lint_paths_recurses(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        diags = lint_paths([tmp_path])
+        assert any(d.code == "VB301" for d in diags)  # missing module docstring
+
+
+class TestRepoIsClean:
+    def test_repo_lint_is_clean(self):
+        report = run_repo_lint()
+        assert report.diagnostics == [], report.render()
+
+    def test_self_check_is_clean(self):
+        report = self_check()
+        assert not report.has_errors, report.render()
+        assert report.warnings == [], report.render()

@@ -1,0 +1,199 @@
+"""The lane-overflow prover vs brute-force strict SWAR execution.
+
+The prover's contract: a SAFE verdict means no inputs within the
+declared ranges can raise ``OverflowBudgetError`` under ``strict=True``
+execution, and a refutation's witness must reproduce the overflow at
+exactly the step it names.  Both directions are property-tested across
+bitwidths 4..9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OverflowBudgetError, PackingError
+from repro.analysis import (
+    Interval,
+    preflight_gemm,
+    prove_packed_accumulation,
+)
+from repro.analysis.overflow import UNBOUNDED_DEPTH
+from repro.packing import policy_for_bitwidth, safe_accumulation_depth
+from repro.packing.gemm import packed_gemm_unsigned
+from repro.packing.packer import Packer
+from repro.packing.swar import packed_add, packed_scalar_mul
+
+
+def _run_chain(policy, scalar: int, lane_value: int, depth: int) -> None:
+    """Accumulate ``depth`` products under strict SWAR semantics."""
+    packer = Packer(policy)
+    reg = packer.pack(np.full((policy.lanes,), lane_value, dtype=np.int64))
+    acc = np.zeros_like(reg)
+    for _ in range(depth):
+        prod = packed_scalar_mul(int(scalar), reg, policy, strict=True)
+        acc = packed_add(acc, prod, policy, strict=True)
+
+
+class TestInterval:
+    def test_point_and_bits(self):
+        assert Interval.point(5) == Interval(5, 5)
+        assert Interval.from_bits(8) == Interval(0, 255)
+        assert Interval.from_bits(0) == Interval(0, 0)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(PackingError):
+            Interval(3, 2)
+
+    def test_arithmetic_is_sound(self):
+        a, b = Interval(-2, 3), Interval(1, 4)
+        assert a + b == Interval(-1, 7)
+        assert a * b == Interval(-8, 12)
+        assert Interval(2, 3).scale(4) == Interval(8, 12)
+        assert a.join(b) == Interval(-2, 4)
+
+    def test_fits(self):
+        assert Interval(0, 255).fits(255)
+        assert not Interval(0, 256).fits(255)
+        assert not Interval(-1, 0).fits(255)
+
+
+class TestProverAgainstExecution:
+    @settings(max_examples=60, deadline=None)
+    @given(bits=st.integers(4, 9), k=st.integers(1, 64))
+    def test_verdict_matches_strict_execution(self, bits, k):
+        policy = policy_for_bitwidth(bits)
+        proof = prove_packed_accumulation(policy, k=k)
+        a_max = (1 << policy.effective_multiplier_bits) - 1
+        if proof.safe:
+            # Proof: even the worst-case inputs cannot overflow.
+            _run_chain(policy, a_max, policy.max_value, k)
+        else:
+            w = proof.witness
+            assert w is not None
+            assert w.depth <= k
+            with pytest.raises(OverflowBudgetError):
+                _run_chain(policy, w.scalar, w.lane_value, w.depth)
+
+    @settings(max_examples=40, deadline=None)
+    @given(bits=st.integers(4, 9))
+    def test_witness_overflows_at_exactly_its_depth(self, bits):
+        policy = policy_for_bitwidth(bits)
+        proof = prove_packed_accumulation(policy, k=4096)
+        if proof.safe:  # 9-bit single-lane plans have huge budgets
+            assert proof.max_safe_depth >= 4096
+            return
+        w = proof.witness
+        assert w is not None
+        if w.depth > 1:
+            # One step earlier the chain is still exact...
+            _run_chain(policy, w.scalar, w.lane_value, w.depth - 1)
+        # ...and the named step overflows.
+        with pytest.raises(OverflowBudgetError):
+            _run_chain(policy, w.scalar, w.lane_value, w.depth)
+
+    @settings(max_examples=60, deadline=None)
+    @given(bits=st.integers(4, 9), k=st.integers(1, 32), seed=st.integers(0, 2**16))
+    def test_safe_verdict_covers_random_inputs(self, bits, k, seed):
+        policy = policy_for_bitwidth(bits)
+        proof = prove_packed_accumulation(policy, k=k)
+        if not proof.safe:
+            return
+        rng = np.random.default_rng(seed)
+        packer = Packer(policy)
+        a_max = (1 << policy.effective_multiplier_bits) - 1
+        reg = packer.pack(
+            rng.integers(0, policy.max_value + 1, size=policy.lanes, dtype=np.int64)
+        )
+        acc = np.zeros_like(reg)
+        for _ in range(k):
+            s = int(rng.integers(0, a_max + 1))
+            acc = packed_add(
+                acc, packed_scalar_mul(s, reg, policy, strict=True), policy, strict=True
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(bits=st.integers(2, 12))
+    def test_budget_agrees_with_accumulate_module(self, bits):
+        policy = policy_for_bitwidth(bits)
+        a_bits = policy.effective_multiplier_bits
+        proof = prove_packed_accumulation(policy, k=1 << 20)
+        assert proof.max_safe_depth == safe_accumulation_depth(
+            policy, a_bits, policy.value_bits
+        )
+
+
+class TestProverDiagnostics:
+    def test_refutation_is_vb101_with_witness(self):
+        proof = prove_packed_accumulation(policy_for_bitwidth(8), k=4096)
+        assert not proof.safe
+        codes = {d.code for d in proof.diagnostics}
+        assert "VB101" in codes
+        assert proof.witness is not None
+        assert proof.witness.lane_total > proof.witness.field_limit
+
+    def test_chunked_plan_is_proved_safe(self):
+        policy = policy_for_bitwidth(8)
+        proof = prove_packed_accumulation(policy, k=4096, chunk_depth=1)
+        assert proof.safe and proof.witness is None
+        assert any(d.code == "VB106" for d in proof.diagnostics)
+
+    def test_out_of_range_payloads_are_vb104(self):
+        policy = policy_for_bitwidth(8)
+        proof = prove_packed_accumulation(
+            policy, k=1, b_range=Interval(0, 1000), chunk_depth=1
+        )
+        assert not proof.safe
+        assert any(d.code == "VB104" for d in proof.diagnostics)
+
+    def test_wide_scalar_is_vb105(self):
+        policy = policy_for_bitwidth(4)  # 4 lanes, 8-bit fields
+        proof = prove_packed_accumulation(policy, k=1, a_bits=6)
+        assert any(d.code == "VB105" for d in proof.diagnostics)
+
+    def test_negative_scalars_rejected(self):
+        with pytest.raises(PackingError):
+            prove_packed_accumulation(
+                policy_for_bitwidth(8), k=4, a_range=Interval(-1, 3)
+            )
+
+    def test_degenerate_operands_unbounded(self):
+        proof = prove_packed_accumulation(
+            policy_for_bitwidth(8), k=1 << 20, b_range=Interval(0, 0)
+        )
+        assert proof.safe
+        assert proof.max_safe_depth == UNBOUNDED_DEPTH
+
+
+class TestPreflight:
+    def test_preflight_passes_seed_plans(self):
+        for bits in range(2, 13):
+            policy = policy_for_bitwidth(bits)
+            proof = preflight_gemm(
+                policy, a_bits=policy.effective_multiplier_bits, k=768
+            )
+            assert proof.safe
+
+    def test_preflight_refutes_impossible_plan(self):
+        # A 16-bit multiplier against 8-bit lanes in 16-bit fields: a
+        # single product cannot fit, so no chunk depth helps.
+        with pytest.raises(OverflowBudgetError, match="refuted"):
+            preflight_gemm(policy_for_bitwidth(8), a_bits=16, k=16)
+
+    def test_packed_gemm_runs_preflight(self):
+        # Operands wider than any safe plan fail before packing.
+        policy = policy_for_bitwidth(8)
+        a = np.array([[1 << 16]], dtype=np.int64)
+        b = np.array([[1]], dtype=np.int64)
+        with pytest.raises(OverflowBudgetError, match="refuted"):
+            packed_gemm_unsigned(a, b, policy)
+
+    def test_packed_gemm_still_exact_after_preflight(self):
+        rng = np.random.default_rng(7)
+        policy = policy_for_bitwidth(8)
+        a = rng.integers(0, 256, (8, 24), dtype=np.int64)
+        b = rng.integers(0, 256, (24, 10), dtype=np.int64)
+        c = packed_gemm_unsigned(a, b, policy)
+        assert np.array_equal(c, a @ b)

@@ -1,0 +1,190 @@
+"""Schedule checker diagnostics and the WarpProgram empty-program contract."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.analysis import (
+    check_coschedule_shares,
+    check_launch,
+    check_program,
+    check_split_plan,
+    check_warp_set,
+)
+from repro.arch.specs import jetson_orin_agx
+from repro.fusion import STRATEGIES, VITBIT
+from repro.packing import policy_for_bitwidth
+from repro.perfmodel.descriptors import CostParams, GemmShape
+from repro.perfmodel.warpsets import KernelLaunch, gemm_launch
+from repro.sim.instruction import OpClass, default_timings
+from repro.sim.program import WarpProgram
+
+
+class TestEmptyProgramContract:
+    def test_zero_iterations_with_body_rejected(self):
+        with pytest.raises(SimulationError):
+            WarpProgram(body=((OpClass.INT, 4),), iterations=0)
+
+    def test_empty_is_canonical(self):
+        e = WarpProgram.empty()
+        assert e.is_empty and e.body == () and e.iterations == 0
+
+    def test_straight_normalizes_all_zero_counts(self):
+        assert WarpProgram.straight({OpClass.INT: 0}) == WarpProgram.empty()
+        assert WarpProgram.straight({}) == WarpProgram.empty()
+
+    def test_scaled_to_zero_yields_empty(self):
+        prog = WarpProgram(body=((OpClass.INT, 4),), iterations=3)
+        assert prog.scaled(0.0) == WarpProgram.empty()
+        assert prog.scaled(0.01) == WarpProgram.empty()
+
+    def test_scaled_nonzero_keeps_body(self):
+        prog = WarpProgram(body=((OpClass.INT, 4),), iterations=3)
+        assert prog.scaled(2.0).iterations == 6
+
+    def test_is_empty_false_for_real_programs(self):
+        assert not WarpProgram(body=((OpClass.FP, 1),), iterations=1).is_empty
+
+
+class TestCheckProgram:
+    def test_degenerate_program_flagged(self):
+        diags = check_program(WarpProgram.empty())
+        assert [d.code for d in diags] == ["VB201"]
+
+    def test_unknown_pipe_flagged(self):
+        sm = jetson_orin_agx().sm
+        timings = {OpClass.INT: default_timings(sm)[OpClass.INT]}
+        prog = WarpProgram(body=((OpClass.FP, 2),), iterations=1)
+        diags = check_program(prog, timings=timings)
+        assert any(d.code == "VB202" for d in diags)
+
+    def test_clean_program_has_no_findings(self):
+        sm = jetson_orin_agx().sm
+        prog = WarpProgram(body=((OpClass.INT, 2),), iterations=4)
+        assert check_program(prog, timings=default_timings(sm)) == []
+
+
+class TestCheckWarpSet:
+    def _warp(self):
+        return WarpProgram(body=((OpClass.INT, 4),), iterations=8)
+
+    def test_empty_set_is_error(self):
+        diags = check_warp_set([], jetson_orin_agx().sm)
+        assert [d.code for d in diags] == ["VB203"]
+
+    def test_oversubscription_is_error(self):
+        sm = jetson_orin_agx().sm
+        warps = [self._warp()] * (sm.max_warps_per_sm + 4)
+        assert any(d.code == "VB203" for d in check_warp_set(warps, sm))
+
+    def test_partition_imbalance_is_warning(self):
+        sm = jetson_orin_agx().sm
+        diags = check_warp_set([self._warp()] * (sm.partitions + 1), sm)
+        assert any(d.code == "VB204" for d in diags)
+
+    def test_under_occupancy_is_warning(self):
+        sm = jetson_orin_agx().sm
+        diags = check_warp_set([self._warp()], sm)
+        assert any(d.code == "VB207" for d in diags)
+
+    def test_full_partition_multiple_is_clean(self):
+        sm = jetson_orin_agx().sm
+        diags = check_warp_set([self._warp()] * (2 * sm.partitions), sm)
+        assert diags == []
+
+
+class TestCheckSplitPlan:
+    def _plan(self):
+        return VITBIT.split_plan(1576, policy_for_bitwidth(8), 4.0)
+
+    def test_algorithm1_plan_is_clean(self):
+        assert check_split_plan(self._plan(), policy_for_bitwidth(8)) == []
+
+    def test_lane_mismatch_is_error(self):
+        diags = check_split_plan(self._plan(), policy_for_bitwidth(4))
+        assert any(d.code == "VB205" for d in diags)
+
+    def test_deviating_slices_are_flagged(self):
+        # Shift one packing group from B2 to B1: still lane-aligned (so
+        # constructible), but no longer the Algorithm 1 split.
+        plan = self._plan()
+        bad = dataclasses.replace(
+            plan, n1=plan.n1 + plan.lanes, n2=plan.n2 - plan.lanes
+        )
+        diags = check_split_plan(bad, policy_for_bitwidth(8))
+        assert any(d.code == "VB205" for d in diags)
+
+    def test_eq1_ratio_violation_is_flagged(self):
+        plan = self._plan()
+        bad = dataclasses.replace(plan, int_fp_ratio=5)
+        diags = check_split_plan(bad, policy_for_bitwidth(8))
+        assert any(d.code == "VB205" for d in diags)
+
+
+class TestCheckLaunch:
+    def test_all_seed_strategies_lower_cleanly(self):
+        machine = jetson_orin_agx()
+        policy = policy_for_bitwidth(8)
+        shape = GemmShape(768, 197, 768, name="proj")
+        for strategy in STRATEGIES:
+            launch = gemm_launch(
+                shape, strategy, machine, policy, CostParams(), 4.0
+            )
+            plan_policy = (
+                policy.with_lanes(launch.plan.lanes)
+                if launch.plan is not None
+                else policy
+            )
+            diags = check_launch(launch, machine, policy=plan_policy)
+            assert diags == [], (strategy.name, [d.render() for d in diags])
+
+    def test_starved_pipe_is_flagged(self):
+        machine = jetson_orin_agx()
+        sm = machine.sm
+        launch = KernelLaunch(
+            warps=[WarpProgram(body=((OpClass.FP, 4),), iterations=8)]
+            * sm.partitions,
+            bytes_moved=0.0,
+            instruction_totals={OpClass.INT: 1e6, OpClass.FP: 1e3},
+            label="starved",
+        )
+        diags = check_launch(launch, machine)
+        assert any(d.code == "VB206" for d in diags)
+
+
+class TestCoschedule:
+    def _launch(self, op=OpClass.INT):
+        return KernelLaunch(
+            warps=[WarpProgram(body=((op, 4),), iterations=8)] * 4,
+            bytes_moved=0.0,
+            instruction_totals={op: 1e3},
+            label="k",
+        )
+
+    def test_valid_share_is_clean(self):
+        machine = jetson_orin_agx()
+        diags = check_coschedule_shares(
+            machine, self._launch(), self._launch(OpClass.FP)
+        )
+        assert diags == []
+
+    def test_degenerate_share_is_error(self):
+        machine = jetson_orin_agx()
+        diags = check_coschedule_shares(
+            machine, self._launch(), self._launch(), share_a=1.0
+        )
+        assert any(d.code == "VB209" for d in diags)
+
+    def test_workless_kernel_is_error(self):
+        machine = jetson_orin_agx()
+        idle = KernelLaunch(
+            warps=[WarpProgram.empty()] * 4,
+            bytes_moved=0.0,
+            instruction_totals={},
+            label="idle",
+        )
+        diags = check_coschedule_shares(machine, self._launch(), idle)
+        assert any(d.code == "VB209" for d in diags)

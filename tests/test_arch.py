@@ -7,7 +7,6 @@ import pytest
 from repro.arch import (
     arithmetic_density,
     cuda_core_peak_ops,
-    jetson_orin_agx,
     normalized_density,
     peak_throughput_table,
     tensor_core_peak_ops,

@@ -77,3 +77,31 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestAnalyze:
+    def test_overflowing_plan_fails_with_witness(self, capsys):
+        assert main(["analyze", "--bits", "8", "--k", "4096"]) == 1
+        out = capsys.readouterr().out
+        assert "VB101" in out and "OVERFLOW" in out
+        assert "scalar=255" in out  # the concrete witness
+
+    def test_chunked_plan_passes(self, capsys):
+        assert main(["analyze", "--bits", "8", "--k", "4096", "--chunk", "0"]) == 0
+        assert "SAFE" in capsys.readouterr().out
+
+    def test_self_check_passes(self, capsys):
+        assert main(["analyze", "--self-check"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_bare_analyze_runs_self_check(self, capsys):
+        assert main(["analyze"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_lint_is_clean(self, capsys):
+        assert main(["analyze", "--lint"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_strategy_schedules_are_clean(self, capsys):
+        for name in ("TC", "Tacker", "VitBit"):
+            assert main(["analyze", "--strategy", name, "--batch", "4"]) == 0

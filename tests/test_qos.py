@@ -8,7 +8,6 @@ from repro.arch import jetson_orin_agx
 from repro.errors import ScheduleError
 from repro.fusion import FC, IC, TC
 from repro.fusion.qos import (
-    PipeSignature,
     QosAdmission,
     pipe_signature,
     predict_corun,

@@ -6,8 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ModelConfigError
-from repro.fusion import FC, IC, IC_FC, TACKER, TC, TC_IC_FC, VITBIT
-from repro.utils.rng import make_rng
+from repro.fusion import FC, IC, IC_FC, TACKER, TC_IC_FC, VITBIT
 from repro.vit import (
     GemmExecutor,
     IntViT,

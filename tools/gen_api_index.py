@@ -54,6 +54,10 @@ def render() -> str:
         "`tools/gen_api_index.py` — regenerate after API changes",
         "(`tests/test_api_index.py` enforces freshness).",
         "",
+        "The static-analysis layer (`repro.analysis`, the `analyze` CLI",
+        "command, and the `VB1xx`/`VB2xx`/`VB3xx` diagnostic codes) is",
+        "documented separately in [ANALYSIS.md](ANALYSIS.md).",
+        "",
     ]
     for name in iter_modules():
         module = importlib.import_module(name)
