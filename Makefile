@@ -7,8 +7,10 @@ PYTHON ?= python
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
+# The ROADMAP's tier-1 invocation: PYTHONPATH=src so no editable
+# install is needed (matches lint below).
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -x -q
 
 # Static verification: ruff (generic style, when available) + the
 # repo's own AST lint and analysis self-check (see docs/ANALYSIS.md).
@@ -19,7 +21,7 @@ lint:
 	PYTHONPATH=src $(PYTHON) -m repro analyze --self-check
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Regenerate every paper table/figure report under benchmarks/out/
 reports: bench

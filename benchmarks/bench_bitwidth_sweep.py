@@ -16,30 +16,49 @@ import pytest
 from repro.fusion import TC, VITBIT
 from repro.packing import policy_for_bitwidth
 from repro.perfmodel import PerformanceModel
+from repro.runner import run_sweep
 from repro.utils.tables import format_table
 from repro.vit import time_inference
 
+BITS = (8, 6, 5, 4)
+
+
+def _bitwidth_point(point):
+    """Price VitBit at one operand bitwidth (module-level: pickled to
+    sweep workers)."""
+    machine, bits = point
+    policy = policy_for_bitwidth(bits)
+    pm = PerformanceModel(machine, policy)
+    base = time_inference(pm, TC).total_seconds
+    vb = time_inference(pm, VITBIT).total_seconds
+    return (policy.lanes, base / vb)
+
 
 def _sweep(machine):
-    out = {}
-    for bits in (8, 6, 5, 4):
-        policy = policy_for_bitwidth(bits)
-        pm = PerformanceModel(machine, policy)
-        base = time_inference(pm, TC).total_seconds
-        vb = time_inference(pm, VITBIT).total_seconds
-        out[bits] = (policy.lanes, base / vb)
-    return out
+    rep = run_sweep(
+        _bitwidth_point,
+        [(machine, bits) for bits in BITS],
+        labels=[f"{bits}-bit" for bits in BITS],
+        label="bitwidth sweep",
+    )
+    return dict(zip(BITS, rep.values)), rep
 
 
 def test_bitwidth_sweep(machine, report, benchmark):
-    results = benchmark(_sweep, machine)
+    results, rep = benchmark(_sweep, machine)
     table = format_table(
         ["operand bits", "packing lanes", "VitBit speedup vs TC"],
         [(bits, lanes, s) for bits, (lanes, s) in results.items()],
         title="Future work — end-to-end VitBit speedup vs operand bitwidth "
         "(Fig. 3 policy drives the packing factor)",
     )
-    report("bitwidth_sweep", table)
+    report(
+        "bitwidth_sweep",
+        table,
+        speedups={bits: round(s, 4) for bits, (lanes, s) in results.items()},
+        sweep_wall_seconds=round(rep.wall_seconds, 4),
+        cache_hit_rate=round(rep.hit_rate, 4),
+    )
 
     # More lanes -> more speedup; int8's 2 lanes are the paper's 1.22x
     # regime, int4's 4 lanes should clearly beat it.

@@ -24,9 +24,20 @@ import pytest
 
 from repro.fusion import TC, VITBIT
 from repro.perfmodel import GemmShape, PerformanceModel
+from repro.runner import run_sweep
 from repro.sim.instruction import default_timings
 from repro.utils.tables import format_table
 from repro.vit import time_inference
+
+
+def _whatif_point(m):
+    """Price one architectural variant (module-level: pickled to
+    sweep workers)."""
+    pm = PerformanceModel(m)
+    base = time_inference(pm, TC).total_seconds
+    vb = time_inference(pm, VITBIT).total_seconds
+    mr = pm.determine_tensor_cuda_ratio(GemmShape(768, 1576, 768), VITBIT)
+    return (base * 1e3, base / vb, mr)
 
 
 def _variant_machines(machine):
@@ -50,24 +61,30 @@ def _variant_machines(machine):
 
 
 def test_whatif_architecture_sweep(machine, report, benchmark):
-    def run():
-        out = {}
-        for name, m in _variant_machines(machine).items():
-            pm = PerformanceModel(m)
-            base = time_inference(pm, TC).total_seconds
-            vb = time_inference(pm, VITBIT).total_seconds
-            shape = GemmShape(768, 1576, 768)
-            mr = pm.determine_tensor_cuda_ratio(shape, VITBIT)
-            out[name] = (base * 1e3, base / vb, mr)
-        return out
+    variants = _variant_machines(machine)
 
-    results = benchmark(run)
+    def run():
+        rep = run_sweep(
+            _whatif_point,
+            list(variants.values()),
+            labels=list(variants),
+            label="what-if architecture sweep",
+        )
+        return dict(zip(variants, rep.values)), rep
+
+    results, rep = benchmark(run)
     table = format_table(
         ["machine", "TC inference (ms)", "VitBit speedup", "ratio m"],
         [(k, v[0], v[1], v[2]) for k, v in results.items()],
         title="What-if — VitBit across architectural variants",
     )
-    report("whatif_architecture", table)
+    report(
+        "whatif_architecture",
+        table,
+        speedups={k: round(v[1], 4) for k, v in results.items()},
+        sweep_wall_seconds=round(rep.wall_seconds, 4),
+        cache_hit_rate=round(rep.hit_rate, 4),
+    )
 
     paper = results["Jetson AGX Orin (paper)"]
     fat_tc = results["4x Tensor cores (discrete-class)"]

@@ -6,21 +6,31 @@ them to ``benchmarks/out/<name>.txt``, and asserts the *shape* of the
 result (ordering, rough factors) — not absolute numbers, since the
 substrate is a simulator rather than the authors' Jetson.
 
+Beyond the per-bench text reports, the session writes a machine-readable
+``benchmarks/out/summary.json`` with per-bench wall times, the key
+factors each bench chose to record (``report(name, text, **factors)``),
+and the timing-cache hit rate — the trajectory file future PRs diff to
+catch performance regressions.
+
 Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
 tables inline, or read the files under ``benchmarks/out/``.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 from repro.arch import jetson_orin_agx
 from repro.packing import policy_for_bitwidth
-from repro.perfmodel import PerformanceModel
+from repro.perfmodel import PerformanceModel, TimingCache
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Accumulated across the session, dumped to summary.json at the end.
+_SUMMARY: dict = {"benches": {}, "factors": {}}
 
 
 @pytest.fixture(scope="session")
@@ -43,12 +53,45 @@ def pm(machine):
 
 @pytest.fixture(scope="session")
 def report():
-    """Callable writing a named report to stdout and benchmarks/out/."""
+    """Callable writing a named report to stdout and benchmarks/out/.
+
+    Keyword arguments are recorded as that bench's *key factors* in
+    ``summary.json`` (JSON-serializable scalars/dicts only).
+    """
     OUT_DIR.mkdir(exist_ok=True)
 
-    def _write(name: str, text: str) -> None:
+    def _write(name: str, text: str, **factors) -> None:
         print()
         print(text)
         (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        if factors:
+            _SUMMARY["factors"][name] = factors
 
     return _write
+
+
+def pytest_runtest_logreport(report):
+    """Record each bench's call-phase wall time for summary.json."""
+    if report.when == "call" and report.passed:
+        _SUMMARY["benches"][report.nodeid] = round(report.duration, 4)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write benchmarks/out/summary.json (the perf-trajectory record)."""
+    if not _SUMMARY["benches"]:
+        return
+    OUT_DIR.mkdir(exist_ok=True)
+    stats = TimingCache.default().stats()
+    payload = {
+        "benches": _SUMMARY["benches"],
+        "factors": _SUMMARY["factors"],
+        "total_bench_seconds": round(sum(_SUMMARY["benches"].values()), 4),
+        "timing_cache": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "entries": stats.entries,
+            "hit_rate": round(stats.hit_rate, 4),
+            "persistent": stats.persistent,
+        },
+    }
+    (OUT_DIR / "summary.json").write_text(json.dumps(payload, indent=2) + "\n")

@@ -18,6 +18,9 @@ Commands
     Emit the reconstructed fused GEMM as annotated CUDA-like source.
 ``breakdown [--batch B] [--strategy NAME]``
     Per-kernel timing breakdown of one inference.
+``bench [--batch B] [--model NAME] [--processes N] [--clear-cache]``
+    Price the Fig. 5 workload with the parallel sweep runner; reports
+    wall-clock, timing-cache hit rate and per-kernel timings.
 ``models``
     List the model zoo.
 ``analyze [--bits N --k K | --strategy NAME | --lint [PATH ...] | --self-check]``
@@ -159,6 +162,62 @@ def _cmd_breakdown(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perfmodel import TimingCache
+    from repro.runner import price_inference_strategies
+
+    cache = TimingCache.default()
+    if args.clear_cache:
+        removed = cache.clear()
+        print(f"cleared {removed} timing-cache entries")
+    machine = jetson_orin_agx()
+    strategies = [TC, TACKER, TC_IC_FC, VITBIT]
+    rep = price_inference_strategies(
+        machine,
+        strategies,
+        model_name=args.model,
+        batch=args.batch,
+        processes=args.processes,
+    )
+    print(rep.render())
+    base = rep.values[0]["total_seconds"]
+    rows = [
+        (
+            v["strategy"],
+            v["total_seconds"] * 1e3,
+            base / v["total_seconds"],
+            v["gemm_seconds"] * 1e3,
+            v["elementwise_seconds"] * 1e3,
+            v["kernel_launches"],
+        )
+        for v in rep.values
+    ]
+    print()
+    print(format_table(
+        ["method", "inference (ms)", "speedup", "GEMM (ms)", "CUDA (ms)",
+         "launches"],
+        rows,
+        title=f"{args.model} @ batch {args.batch} — "
+        f"wall {rep.wall_seconds*1e3:.0f} ms, "
+        f"cache hit rate {rep.hit_rate:.0%}, "
+        f"{rep.simulations} fresh simulations",
+    ))
+    slowest = sorted(
+        rep.values[-1]["per_kernel"], key=lambda kv: kv[1], reverse=True
+    )[:8]
+    print()
+    print(format_table(
+        ["kernel", "time (ms)"],
+        [(name, s * 1e3) for name, s in slowest],
+        title=f"slowest kernels — {rep.values[-1]['strategy']}",
+        ndigits=4,
+    ))
+    stats = cache.stats()
+    print(f"\ntiming cache: {stats.entries} entries at "
+          f"{stats.directory or '<memory>'}")
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import (
         DiagnosticReport,
@@ -273,6 +332,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--batch", type=int, default=8)
     p.add_argument("--strategy", default="VitBit")
 
+    p = sub.add_parser("bench", help="parallel pricing sweep with cache metering")
+    p.add_argument("--batch", type=int, default=8)
+    p.add_argument("--model", default="vit-base")
+    p.add_argument("--processes", type=int, default=None)
+    p.add_argument("--clear-cache", action="store_true", dest="clear_cache",
+                   help="drop the persistent timing cache first (cold run)")
+
     sub.add_parser("models", help="list the model zoo")
 
     p = sub.add_parser("analyze", help="static verification (see docs/ANALYSIS.md)")
@@ -309,6 +375,7 @@ def main(argv: list[str] | None = None) -> int:
         "energy": _cmd_energy,
         "render": _cmd_render,
         "breakdown": _cmd_breakdown,
+        "bench": _cmd_bench,
         "models": _cmd_models,
         "analyze": _cmd_analyze,
     }

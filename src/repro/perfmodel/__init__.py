@@ -22,6 +22,7 @@ from repro.perfmodel.descriptors import (
 from repro.perfmodel.model import KernelTiming, PerformanceModel
 from repro.perfmodel.analytic import analytic_gemm_seconds, analytic_elementwise_seconds
 from repro.perfmodel.calibrate import CalibrationReport, calibrate
+from repro.perfmodel.timingcache import ENGINE_VERSION, CacheStats, TimingCache
 
 __all__ = [
     "GemmShape",
@@ -30,6 +31,9 @@ __all__ = [
     "ELEMENTWISE_KERNELS",
     "PerformanceModel",
     "KernelTiming",
+    "TimingCache",
+    "CacheStats",
+    "ENGINE_VERSION",
     "analytic_gemm_seconds",
     "analytic_elementwise_seconds",
     "calibrate",

@@ -11,10 +11,11 @@ scaling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import asdict, dataclass, field
 
 from repro.arch.specs import MachineSpec
-from repro.errors import ScheduleError
+from repro.errors import ScheduleError, SimulationError
 from repro.fusion.ratio import PAPER_TENSOR_CUDA_RATIO, tensor_cuda_ratio_from_times
 from repro.fusion.strategies import IC, TC, Strategy
 from repro.packing.policy import PackingPolicy, policy_for_bitwidth
@@ -24,6 +25,7 @@ from repro.perfmodel.descriptors import (
     ElementwiseDesc,
     GemmShape,
 )
+from repro.perfmodel.timingcache import ENGINE_VERSION, TimingCache
 from repro.perfmodel.warpsets import (
     KernelLaunch,
     elementwise_launch,
@@ -34,6 +36,43 @@ from repro.sim.instruction import OpClass
 from repro.sim.trace import KernelStats
 
 __all__ = ["KernelTiming", "PerformanceModel"]
+
+
+def _timing_to_value(timing: KernelTiming) -> dict:
+    """JSON-serializable form of a timing (label/extra excluded: they
+    are presentation metadata, reattached from the live launch)."""
+    return {
+        "seconds": timing.seconds,
+        "compute_seconds": timing.compute_seconds,
+        "dram_seconds": timing.dram_seconds,
+        "launch_overhead_seconds": timing.launch_overhead_seconds,
+        "instructions": timing.instructions,
+        "issued": {op.name: n for op, n in timing.issued.items()},
+        "ipc": timing.ipc,
+        "pipe_utilization": {
+            op.name: u for op, u in timing.pipe_utilization.items()
+        },
+        "memory_bound": timing.memory_bound,
+    }
+
+
+def _timing_from_value(value: dict, launch: KernelLaunch) -> KernelTiming:
+    """Rebuild a :class:`KernelTiming` from its cached JSON form."""
+    return KernelTiming(
+        seconds=value["seconds"],
+        compute_seconds=value["compute_seconds"],
+        dram_seconds=value["dram_seconds"],
+        launch_overhead_seconds=value["launch_overhead_seconds"],
+        instructions=value["instructions"],
+        issued={OpClass[name]: n for name, n in value["issued"].items()},
+        ipc=value["ipc"],
+        pipe_utilization={
+            OpClass[name]: u for name, u in value["pipe_utilization"].items()
+        },
+        memory_bound=value["memory_bound"],
+        label=launch.label,
+        extra=dict(launch.extra),
+    )
 
 
 @dataclass
@@ -68,19 +107,68 @@ class PerformanceModel:
         params: CostParams | None = None,
         *,
         include_launch_overhead: bool = True,
+        sim_mode: str = "periodic",
+        timing_cache: TimingCache | None = None,
     ):
         self.machine = machine
         self.policy = policy if policy is not None else policy_for_bitwidth(8)
         self.params = params if params is not None else CostParams()
         self.include_launch_overhead = include_launch_overhead
-        self._gpu = GPUSim(machine, include_launch_overhead=False)
+        self.sim_mode = sim_mode
+        self._gpu = GPUSim(machine, include_launch_overhead=False, mode=sim_mode)
+        self.timing_cache = (
+            timing_cache if timing_cache is not None else TimingCache.default()
+        )
         self._cache: dict[tuple, KernelTiming] = {}
         self._ratio_cache: dict[tuple, float] = {}
 
     # -- scaled simulation ---------------------------------------------------
 
+    def _cache_payload(self, launch: KernelLaunch) -> dict:
+        """Every input that can influence ``_simulate``'s result, in
+        JSON-serializable form (the persistent cache key material)."""
+        return {
+            "engine": ENGINE_VERSION,
+            "machine": asdict(self.machine),
+            "timings": {
+                op.name: [t.initiation_interval, t.issue_gap]
+                for op, t in self._gpu.timings.items()
+            },
+            "mode": self.sim_mode,
+            "include_launch_overhead": self.include_launch_overhead,
+            "params": asdict(self.params),
+            "warps": [
+                [[op.name, c] for op, c in w.body] + [w.iterations]
+                for w in launch.warps
+            ],
+            "bytes_moved": launch.bytes_moved,
+        }
+
     def _simulate(self, launch: KernelLaunch) -> KernelTiming:
-        """Run a launch through the simulator with work scaling."""
+        """Run a launch through the simulator with work scaling.
+
+        Results are memoized in the persistent :class:`TimingCache`
+        keyed by :meth:`_cache_payload`, so repeat pricings — including
+        across processes — skip simulation entirely.  With
+        ``REPRO_REQUIRE_WARM_CACHE=1`` a cache miss raises instead of
+        simulating (the CI warm-cache smoke check).
+        """
+        payload = self._cache_payload(launch)
+        cached = self.timing_cache.get(payload)
+        if cached is not None:
+            return _timing_from_value(cached, launch)
+        if os.environ.get("REPRO_REQUIRE_WARM_CACHE") == "1":
+            raise SimulationError(
+                f"timing-cache miss for launch {launch.label!r} with "
+                "REPRO_REQUIRE_WARM_CACHE=1 (the warm-cache run was "
+                "expected to perform zero simulations)"
+            )
+        timing = self._simulate_uncached(launch)
+        self.timing_cache.put(payload, _timing_to_value(timing))
+        return timing
+
+    def _simulate_uncached(self, launch: KernelLaunch) -> KernelTiming:
+        """The actual work-scaled simulation behind :meth:`_simulate`."""
         resident_instr = sum(w.total_instructions for w in launch.warps)
         target = self.params.target_sim_instructions
         scale_down = max(1.0, resident_instr / target)
@@ -224,6 +312,12 @@ class PerformanceModel:
         return gemm_instruction_totals(shape, plan, self.policy, self.params)
 
     def clear_cache(self) -> None:
-        """Drop memoized kernel timings (after mutating params)."""
+        """Drop memoized kernel timings (after mutating params).
+
+        Only the in-process memos are dropped; the persistent
+        :class:`TimingCache` is content-addressed, so mutated params
+        simply hash to different keys (use ``timing_cache.clear()`` to
+        reclaim disk).
+        """
         self._cache.clear()
         self._ratio_cache.clear()

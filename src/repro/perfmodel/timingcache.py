@@ -1,0 +1,206 @@
+"""Persistent, content-addressed kernel-timing cache.
+
+The simulator is deterministic: a kernel timing is a pure function of
+the machine spec, the pipe timings, the cost parameters, the engine
+(mode + version), and the launch itself (warps + DRAM traffic).  That
+function is expensive, so its results are cached *across processes* in
+a directory of small JSON files, one per content hash — repeated
+``make bench`` / pytest runs skip simulation entirely.
+
+Keying
+------
+Callers build a JSON-serializable *payload* describing every input
+that can influence the result (see
+:meth:`repro.perfmodel.model.PerformanceModel._cache_payload`); the
+cache hashes the canonical JSON encoding (sorted keys, no whitespace)
+with SHA-256 and uses the digest as the filename.  An engine version
+tag (:data:`ENGINE_VERSION`) is part of every payload, so changing the
+simulator's observable behaviour only requires bumping one constant to
+invalidate stale entries.
+
+Environment knobs
+-----------------
+``REPRO_TIMING_CACHE=0``
+    Disable the cache entirely (every lookup misses, nothing is
+    written).
+``REPRO_TIMING_CACHE_DIR=<dir>``
+    Override the cache directory (default:
+    ``benchmarks/out/.timing_cache/`` under the repo root).
+``REPRO_REQUIRE_WARM_CACHE=1``
+    Honoured by :class:`~repro.perfmodel.model.PerformanceModel`, not
+    here: a cache miss raises instead of simulating — the CI benchmark
+    smoke job uses it to prove warm reruns simulate nothing.
+
+Unwritable directories degrade gracefully: the cache falls back to
+process-local memory instead of raising.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["ENGINE_VERSION", "CacheStats", "TimingCache"]
+
+#: Version tag mixed into every cache key.  Bump whenever the simulator
+#: or the performance model changes observable timing behaviour.
+ENGINE_VERSION = "vitbit-perf-engine-1"
+
+#: Default cache location, resolved relative to the repo root so every
+#: entry point (pytest, ``make bench``, ``python -m repro``) shares it.
+_DEFAULT_SUBDIR = Path("benchmarks") / "out" / ".timing_cache"
+
+
+def _default_directory() -> Path:
+    """The default on-disk location (repo-root relative)."""
+    root = Path(__file__).resolve().parents[3]
+    return root / _DEFAULT_SUBDIR
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters and entry count of one :class:`TimingCache`."""
+
+    hits: int
+    misses: int
+    entries: int
+    directory: str
+    enabled: bool
+    persistent: bool
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class TimingCache:
+    """Content-addressed JSON cache for kernel timings.
+
+    ``get``/``put`` take the *payload* (a JSON-serializable dict of
+    every timing-relevant input); hashing is internal.  Values must be
+    JSON-serializable dicts.  A ``TimingCache(directory=None)`` or one
+    whose directory cannot be created keeps entries in process memory
+    only.
+    """
+
+    def __init__(self, directory: str | Path | None = None, *, enabled: bool = True):
+        self.enabled = enabled
+        self._memory: dict[str, dict] = {}
+        self._hits = 0
+        self._misses = 0
+        self._dir: Path | None = None
+        if enabled and directory is not None:
+            path = Path(directory)
+            try:
+                path.mkdir(parents=True, exist_ok=True)
+                self._dir = path
+            except OSError:
+                self._dir = None  # degrade to memory-only
+
+    # -- keying ---------------------------------------------------------------
+
+    @staticmethod
+    def key_for(payload: dict) -> str:
+        """SHA-256 of the canonical JSON encoding of ``payload``."""
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    # -- lookup / store -------------------------------------------------------
+
+    def get(self, payload: dict) -> dict | None:
+        """Cached value for ``payload``, or ``None`` on a miss."""
+        if not self.enabled:
+            self._misses += 1
+            return None
+        key = self.key_for(payload)
+        value = self._memory.get(key)
+        if value is None and self._dir is not None:
+            try:
+                with open(self._dir / f"{key}.json", encoding="utf-8") as fh:
+                    value = json.load(fh)
+                self._memory[key] = value
+            except (OSError, ValueError):
+                value = None  # missing or corrupt entry == miss
+        if value is None:
+            self._misses += 1
+        else:
+            self._hits += 1
+        return value
+
+    def put(self, payload: dict, value: dict) -> None:
+        """Store ``value`` under ``payload``'s content hash (atomic)."""
+        if not self.enabled:
+            return
+        key = self.key_for(payload)
+        self._memory[key] = value
+        if self._dir is None:
+            return
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(value, fh, separators=(",", ":"))
+            os.replace(tmp, self._dir / f"{key}.json")
+        except OSError:
+            pass  # persistence is best-effort; memory entry stands
+
+    # -- maintenance ----------------------------------------------------------
+
+    def clear(self) -> int:
+        """Drop every entry (memory and disk); returns entries removed."""
+        removed = len(self._memory)
+        self._memory.clear()
+        if self._dir is not None:
+            for f in self._dir.glob("*.json"):
+                try:
+                    f.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        self._hits = 0
+        self._misses = 0
+        return removed
+
+    def stats(self) -> CacheStats:
+        """Current hit/miss counters and entry count."""
+        entries = len(self._memory)
+        if self._dir is not None:
+            entries = len(list(self._dir.glob("*.json")))
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            entries=entries,
+            directory=str(self._dir) if self._dir is not None else "",
+            enabled=self.enabled,
+            persistent=self._dir is not None,
+        )
+
+    # -- process-wide default -------------------------------------------------
+
+    _default: "TimingCache | None" = None
+
+    @classmethod
+    def default(cls) -> "TimingCache":
+        """The shared process-wide cache, honouring the env knobs."""
+        if cls._default is None:
+            enabled = os.environ.get("REPRO_TIMING_CACHE", "1") != "0"
+            override = os.environ.get("REPRO_TIMING_CACHE_DIR")
+            directory: Path | None
+            if not enabled:
+                directory = None
+            elif override:
+                directory = Path(override)
+            else:
+                directory = _default_directory()
+            cls._default = cls(directory, enabled=enabled)
+        return cls._default
+
+    @classmethod
+    def reset_default(cls) -> None:
+        """Forget the shared instance (re-reads env on next access)."""
+        cls._default = None

@@ -1,0 +1,229 @@
+"""Parallel sweep runner with timing-cache write-back.
+
+Design-space sweeps (architecture what-ifs, bitwidth sweeps, strategy
+pricings) are embarrassingly parallel *and* cache-friendly: every point
+builds a :class:`~repro.perfmodel.PerformanceModel` and prices kernels
+that land in the persistent
+:class:`~repro.perfmodel.timingcache.TimingCache`.  :func:`run_sweep`
+fans the points across processes (via :func:`repro.utils.parallel.sweep`)
+and measures, per point, the wall time, the number of fresh
+:class:`~repro.sim.smsim.SubPartitionSim` runs, and the cache hit/miss
+delta — workers share the on-disk cache directory, so one worker's
+simulation is every later run's cache hit (write-back).
+
+Workers must be module-level functions and points picklable (they cross
+a process boundary); see :func:`price_inference_strategies` for the
+canonical example.  ``processes=1`` runs serially in-process, which is
+what the benchmarks use under coverage.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.arch.specs import MachineSpec
+from repro.fusion.strategies import Strategy
+from repro.perfmodel.model import PerformanceModel
+from repro.perfmodel.timingcache import TimingCache
+from repro.sim.smsim import SubPartitionSim
+from repro.utils.parallel import default_processes, sweep
+
+__all__ = [
+    "PointOutcome",
+    "SweepReport",
+    "run_sweep",
+    "price_inference_strategies",
+]
+
+P = TypeVar("P")
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """One sweep point's result plus its measured cost."""
+
+    label: str
+    value: object
+    seconds: float
+    simulations: int
+    cache_hits: int
+    cache_misses: int
+
+
+@dataclass
+class SweepReport:
+    """Aggregated outcome of one :func:`run_sweep` call."""
+
+    label: str
+    outcomes: list[PointOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    processes: int = 1
+
+    @property
+    def values(self) -> list:
+        """Per-point worker return values, in input order."""
+        return [o.value for o in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        """Timing-cache hits summed over all points."""
+        return sum(o.cache_hits for o in self.outcomes)
+
+    @property
+    def cache_misses(self) -> int:
+        """Timing-cache misses summed over all points."""
+        return sum(o.cache_misses for o in self.outcomes)
+
+    @property
+    def simulations(self) -> int:
+        """Fresh sub-partition simulations summed over all points."""
+        return sum(o.simulations for o in self.outcomes)
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits over lookups (0.0 when nothing was looked up)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        from repro.utils.tables import format_table
+
+        rows = [
+            (o.label, o.seconds * 1e3, o.simulations, o.cache_hits, o.cache_misses)
+            for o in self.outcomes
+        ]
+        rows.append(
+            (
+                "TOTAL",
+                self.wall_seconds * 1e3,
+                self.simulations,
+                self.cache_hits,
+                self.cache_misses,
+            )
+        )
+        return format_table(
+            ["point", "wall (ms)", "sims", "cache hits", "misses"],
+            rows,
+            title=f"{self.label} — {self.processes} process(es), "
+            f"hit rate {self.hit_rate:.0%}",
+            ndigits=1,
+        )
+
+
+def _measure_point(worker: Callable, labeled_point: tuple) -> tuple:
+    """Run ``worker`` on one point, measuring cost (executes in the
+    worker process; counters are process-local deltas)."""
+    label, point = labeled_point
+    cache = TimingCache.default()
+    before = cache.stats()
+    sims_before = SubPartitionSim.invocations
+    t0 = time.perf_counter()
+    value = worker(point)
+    dt = time.perf_counter() - t0
+    after = cache.stats()
+    return (
+        label,
+        value,
+        dt,
+        SubPartitionSim.invocations - sims_before,
+        after.hits - before.hits,
+        after.misses - before.misses,
+    )
+
+
+def run_sweep(
+    worker: Callable[[P], object],
+    points: Sequence[P] | Iterable[P],
+    *,
+    labels: Sequence[str] | None = None,
+    processes: int | None = None,
+    label: str = "sweep",
+) -> SweepReport:
+    """Evaluate ``worker`` on every point in parallel, with metering.
+
+    Results preserve input order.  ``worker`` must be a module-level
+    function (pickled to the workers); simulations performed by one
+    point are written back to the shared on-disk timing cache, so
+    other points — and future runs — hit instead of simulating.
+    """
+    pts = list(points)
+    names = (
+        [str(x) for x in labels]
+        if labels is not None
+        else [f"point {i}" for i in range(len(pts))]
+    )
+    if len(names) != len(pts):
+        raise ValueError(
+            f"{len(names)} labels for {len(pts)} points"
+        )
+    n = processes if processes is not None else default_processes()
+    t0 = time.perf_counter()
+    raw = sweep(
+        functools.partial(_measure_point, worker),
+        list(zip(names, pts)),
+        processes=n,
+    )
+    wall = time.perf_counter() - t0
+    outcomes = [
+        PointOutcome(
+            label=lbl,
+            value=value,
+            seconds=dt,
+            simulations=sims,
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+        for lbl, value, dt, sims, hits, misses in raw
+    ]
+    return SweepReport(
+        label=label,
+        outcomes=outcomes,
+        wall_seconds=wall,
+        processes=min(n, max(1, len(pts))),
+    )
+
+
+def _price_strategy(point: tuple) -> dict:
+    """Worker: price one inference strategy (module-level, picklable)."""
+    from repro.vit.runtime import time_inference
+    from repro.vit.zoo import model_config
+
+    machine, strategy, model_name, batch = point
+    pm = PerformanceModel(machine)
+    timing = time_inference(
+        pm, strategy, config=model_config(model_name), batch=batch
+    )
+    return {
+        "strategy": strategy.name,
+        "total_seconds": timing.total_seconds,
+        "gemm_seconds": timing.gemm_seconds,
+        "elementwise_seconds": timing.elementwise_seconds,
+        "kernel_launches": timing.kernel_launches,
+        "per_kernel": timing.per_kernel,
+    }
+
+
+def price_inference_strategies(
+    machine: MachineSpec,
+    strategies: Sequence[Strategy],
+    *,
+    model_name: str = "vit-base",
+    batch: int = 8,
+    processes: int | None = None,
+) -> SweepReport:
+    """Price a full inference under every strategy, one per worker.
+
+    The Fig. 5 workload, parallelized: each strategy's kernel stream is
+    priced in its own process against the shared timing cache.
+    """
+    return run_sweep(
+        _price_strategy,
+        [(machine, s, model_name, batch) for s in strategies],
+        labels=[s.name for s in strategies],
+        processes=processes,
+        label=f"inference pricing — {model_name} @ batch {batch}",
+    )

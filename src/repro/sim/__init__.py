@@ -23,7 +23,7 @@ Typical use::
 
 from repro.sim.instruction import OpClass, PipeTiming, default_timings
 from repro.sim.program import WarpProgram
-from repro.sim.smsim import SubPartitionSim, SMSim
+from repro.sim.smsim import SIM_MODES, SMSim, SubPartitionSim, clear_partition_memo
 from repro.sim.gpu import GPUSim
 from repro.sim.memory import DramModel
 from repro.sim.trace import KernelStats
@@ -35,6 +35,8 @@ __all__ = [
     "WarpProgram",
     "SubPartitionSim",
     "SMSim",
+    "SIM_MODES",
+    "clear_partition_memo",
     "GPUSim",
     "DramModel",
     "KernelStats",

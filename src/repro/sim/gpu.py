@@ -40,11 +40,13 @@ class GPUSim:
         timings: dict[OpClass, PipeTiming] | None = None,
         dram: DramModel | None = None,
         include_launch_overhead: bool = True,
+        mode: str = "periodic",
     ):
         self.machine = machine
         self.timings = timings if timings is not None else default_timings(machine.sm)
         self.dram = dram if dram is not None else DramModel(machine)
         self.include_launch_overhead = include_launch_overhead
+        self.mode = mode
 
     # -- launches -----------------------------------------------------------
 
@@ -71,7 +73,7 @@ class GPUSim:
         """
         if not warps:
             raise SimulationError("run_kernel needs at least one warp")
-        sm = SMSim(self.machine.sm, self.timings)
+        sm = SMSim(self.machine.sm, self.timings, mode=self.mode)
         parts = sm.run(warps)
         wave_cycles = max(p.cycles for p in parts)
 

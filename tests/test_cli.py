@@ -74,6 +74,22 @@ class TestCli:
         out = capsys.readouterr().out
         assert "TOTAL" in out and "fc1" in out
 
+    def test_bench(self, capsys, tmp_path, monkeypatch):
+        from repro.perfmodel import TimingCache
+
+        monkeypatch.setenv("REPRO_TIMING_CACHE_DIR", str(tmp_path / "c"))
+        TimingCache.reset_default()
+        try:
+            assert main(
+                ["bench", "--model", "test-tiny", "--batch", "1",
+                 "--processes", "1"]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "cache hit rate" in out and "VitBit" in out
+            assert "timing cache:" in out
+        finally:
+            TimingCache.reset_default()
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

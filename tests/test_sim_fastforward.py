@@ -1,0 +1,166 @@
+"""Bit-identity of the periodic fast-forward engine vs the exact loop.
+
+The ``"periodic"`` engine (the default, see
+:mod:`repro.sim.smsim`) detects steady-state recurrence and advances
+whole periods arithmetically.  Its contract is *bit-identity*: every
+field of :class:`~repro.sim.trace.PartitionStats` must equal the plain
+cycle loop's, on any workload — the property corpus below exercises
+both scheduling policies, mixed segment bodies, empty-warp padding and
+tail iterations, and a regression check pins the Fig. 10 IPC numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.specs import SMSpec
+from repro.errors import SimulationError
+from repro.sim import OpClass, SubPartitionSim, WarpProgram, default_timings
+from repro.sim.instruction import PipeTiming
+from repro.sim.smsim import SIM_MODES, SMSim, clear_partition_memo
+
+TIMINGS = default_timings(SMSpec())
+
+ops = st.sampled_from(
+    [OpClass.INT, OpClass.FP, OpClass.TENSOR, OpClass.LSU, OpClass.MISC]
+)
+segments = st.lists(
+    st.tuples(ops, st.integers(min_value=1, max_value=5)),
+    min_size=1,
+    max_size=4,
+)
+# Mixed bodies; iteration counts reach deep enough for the detector to
+# lock onto a period, and 1-iteration programs exercise pure tails.
+programs = st.one_of(
+    st.builds(
+        WarpProgram,
+        body=segments.map(tuple),
+        iterations=st.integers(min_value=1, max_value=80),
+    ),
+    st.just(WarpProgram.empty()),  # padding warps
+)
+policies = st.sampled_from(["oldest", "lrr"])
+timings_strategy = st.fixed_dictionaries(
+    {
+        op: st.builds(
+            PipeTiming,
+            initiation_interval=st.integers(min_value=1, max_value=8),
+            issue_gap=st.integers(min_value=1, max_value=6),
+        )
+        for op in (OpClass.INT, OpClass.FP, OpClass.TENSOR, OpClass.LSU,
+                   OpClass.MISC)
+    }
+)
+
+
+def _stats_tuple(stats):
+    return (stats.cycles, stats.issued, stats.pipe_busy, stats.idle_cycles)
+
+
+@settings(max_examples=150, deadline=None)
+@given(warps=st.lists(programs, min_size=1, max_size=10), policy=policies)
+def test_property_periodic_bit_identical_default_timings(warps, policy):
+    """Periodic == exact on every PartitionStats field (Orin timings)."""
+    exact = SubPartitionSim(TIMINGS, warps, policy=policy, mode="exact").run()
+    fast = SubPartitionSim(TIMINGS, warps, policy=policy, mode="periodic").run()
+    assert _stats_tuple(fast) == _stats_tuple(exact)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    warps=st.lists(programs, min_size=1, max_size=8),
+    policy=policies,
+    timings=timings_strategy,
+)
+def test_property_periodic_bit_identical_random_timings(warps, policy, timings):
+    """Bit-identity must hold for arbitrary pipe timings, not just the
+    calibrated Orin set."""
+    exact = SubPartitionSim(timings, warps, policy=policy, mode="exact").run()
+    fast = SubPartitionSim(timings, warps, policy=policy, mode="periodic").run()
+    assert _stats_tuple(fast) == _stats_tuple(exact)
+
+
+@settings(max_examples=40, deadline=None)
+@given(prog=st.builds(
+    WarpProgram,
+    body=segments.map(tuple),
+    iterations=st.integers(min_value=50, max_value=400),
+), copies=st.integers(min_value=1, max_value=8), policy=policies)
+def test_property_homogeneous_long_runs_bit_identical(prog, copies, policy):
+    """The fast-forward's bread and butter — many identical long-running
+    warps — stays exact including the drain tail."""
+    warps = [prog] * copies
+    exact = SubPartitionSim(TIMINGS, warps, policy=policy, mode="exact").run()
+    fast = SubPartitionSim(TIMINGS, warps, policy=policy, mode="periodic").run()
+    assert _stats_tuple(fast) == _stats_tuple(exact)
+
+
+def test_modes_validated():
+    """Unknown modes are rejected up front."""
+    with pytest.raises(SimulationError):
+        SubPartitionSim(TIMINGS, [WarpProgram.empty()], mode="turbo")
+    assert set(SIM_MODES) == {"periodic", "exact"}
+
+
+def test_max_cycles_guard_consistent_across_modes():
+    """Both engines raise on workloads exceeding the cycle guard."""
+    prog = WarpProgram(body=((OpClass.INT, 4),), iterations=1000)
+    for mode in SIM_MODES:
+        with pytest.raises(SimulationError):
+            SubPartitionSim(TIMINGS, [prog], mode=mode).run(max_cycles=100)
+
+
+def test_smsim_modes_agree_and_memo_replays():
+    """SMSim's per-partition results match across engines, and the
+    process-wide memo replays fresh PartitionStats copies."""
+    clear_partition_memo()
+    warps = [
+        WarpProgram(body=((OpClass.INT, 4), (OpClass.FP, 4)), iterations=30)
+        for _ in range(16)
+    ]
+    sm = SMSpec()
+    exact = SMSim(sm, mode="exact").run(warps)
+    before = SubPartitionSim.invocations
+    fast = SMSim(sm, mode="periodic").run(warps)
+    for a, b in zip(exact, fast):
+        assert _stats_tuple(a) == _stats_tuple(b)
+    # All four buckets are identical -> one fresh simulation.
+    assert SubPartitionSim.invocations - before == 1
+    # A repeat run replays from the process-wide memo: zero fresh sims,
+    # and the replayed stats are independent copies.
+    before = SubPartitionSim.invocations
+    again = SMSim(sm, mode="periodic").run(warps)
+    assert SubPartitionSim.invocations == before
+    again[0].issued[OpClass.INT] = -1
+    assert SMSim(sm, mode="periodic").run(warps)[0].issued[OpClass.INT] != -1
+    clear_partition_memo()
+
+
+def test_fig10_ipc_regression_unchanged_by_engine():
+    """The Fig. 10 IPC series must be identical under both engines
+    (the periodic engine is a pure optimization, not a model change)."""
+    from repro.arch import jetson_orin_agx
+    from repro.fusion import FC, IC, IC_FC
+    from repro.perfmodel import GemmShape, PerformanceModel
+    from repro.perfmodel.timingcache import TimingCache
+
+    shapes = [
+        GemmShape(2304, 1576, 768, name="qkv"),
+        GemmShape(768, 1576, 768, name="proj"),
+    ]
+    cache = TimingCache(None, enabled=False)  # isolate from disk cache
+    series = {}
+    for mode in SIM_MODES:
+        clear_partition_memo()
+        pm = PerformanceModel(
+            jetson_orin_agx(), sim_mode=mode, timing_cache=cache
+        )
+        series[mode] = [
+            (pm.time_gemm(s, strat).instructions, pm.time_gemm(s, strat).seconds)
+            for s in shapes
+            for strat in (IC, FC, IC_FC)
+        ]
+    assert series["periodic"] == series["exact"]
+    clear_partition_memo()

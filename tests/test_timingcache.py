@@ -1,0 +1,138 @@
+"""The persistent timing cache: keying, round-trips, env knobs."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.arch import jetson_orin_agx
+from repro.errors import SimulationError
+from repro.fusion import VITBIT
+from repro.perfmodel import GemmShape, PerformanceModel, TimingCache
+from repro.sim.smsim import SubPartitionSim, clear_partition_memo
+
+SHAPE = GemmShape(256, 512, 256, name="t")
+
+
+def _fresh_pm(tmp_path, **kw):
+    return PerformanceModel(
+        jetson_orin_agx(),
+        timing_cache=TimingCache(tmp_path / "cache"),
+        **kw,
+    )
+
+
+def test_key_is_stable_and_order_insensitive():
+    """Canonical JSON: key ignores dict insertion order."""
+    a = TimingCache.key_for({"x": 1, "y": [1, 2]})
+    b = TimingCache.key_for({"y": [1, 2], "x": 1})
+    assert a == b and len(a) == 64
+    assert a != TimingCache.key_for({"x": 2, "y": [1, 2]})
+
+
+def test_roundtrip_and_stats(tmp_path):
+    cache = TimingCache(tmp_path / "c")
+    payload = {"k": 1}
+    assert cache.get(payload) is None
+    cache.put(payload, {"v": 3.5})
+    assert cache.get(payload) == {"v": 3.5}
+    s = cache.stats()
+    assert (s.hits, s.misses, s.entries, s.persistent) == (1, 1, 1, True)
+    assert s.hit_rate == 0.5
+    assert cache.clear() >= 1
+    assert cache.get(payload) is None
+
+
+def test_persists_across_instances(tmp_path):
+    """A second TimingCache over the same directory sees the entries —
+    the cross-process contract."""
+    d = tmp_path / "c"
+    TimingCache(d).put({"k": 2}, {"v": 1})
+    assert TimingCache(d).get({"k": 2}) == {"v": 1}
+
+
+def test_disabled_cache_never_hits(tmp_path):
+    cache = TimingCache(tmp_path / "c", enabled=False)
+    cache.put({"k": 1}, {"v": 1})
+    assert cache.get({"k": 1}) is None
+    assert not cache.stats().enabled
+
+
+def test_uncreatable_directory_degrades_to_memory(tmp_path):
+    """A cache dir that cannot be created (path under a regular file —
+    robust even when running as root) falls back to process memory."""
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    cache = TimingCache(blocker / "sub")
+    cache.put({"k": 1}, {"v": 1})
+    assert cache.get({"k": 1}) == {"v": 1}  # memory fallback works
+    assert not cache.stats().persistent
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    d = tmp_path / "c"
+    cache = TimingCache(d)
+    cache.put({"k": 1}, {"v": 1})
+    key = TimingCache.key_for({"k": 1})
+    (d / f"{key}.json").write_text("{not json")
+    assert TimingCache(d).get({"k": 1}) is None
+
+
+def test_model_warm_pricing_simulates_nothing(tmp_path):
+    """Same launch, fresh model over the same cache dir: zero sims and
+    float-identical timings."""
+    clear_partition_memo()
+    pm = _fresh_pm(tmp_path)
+    cold = pm.time_gemm(SHAPE, VITBIT)
+    clear_partition_memo()
+    before = SubPartitionSim.invocations
+    warm = _fresh_pm(tmp_path).time_gemm(SHAPE, VITBIT)
+    assert SubPartitionSim.invocations == before
+    assert warm.seconds == cold.seconds
+    assert warm.issued == cold.issued
+    assert warm.pipe_utilization == cold.pipe_utilization
+    assert warm.label == cold.label
+
+
+def test_require_warm_cache_raises_on_miss(tmp_path):
+    pm = _fresh_pm(tmp_path)
+    os.environ["REPRO_REQUIRE_WARM_CACHE"] = "1"
+    try:
+        with pytest.raises(SimulationError):
+            pm.time_gemm(SHAPE, VITBIT)
+    finally:
+        del os.environ["REPRO_REQUIRE_WARM_CACHE"]
+    pm.clear_cache()
+    pm.time_gemm(SHAPE, VITBIT)  # without the env it simulates fine
+
+
+def test_engine_version_and_mode_partition_the_keyspace(tmp_path):
+    """Different sim modes must never share entries (they are
+    bit-identical today, but the key must not rely on that)."""
+    pm_a = _fresh_pm(tmp_path)
+    pm_b = _fresh_pm(tmp_path, sim_mode="exact")
+    key_a = TimingCache.key_for(pm_a._cache_payload(_launch(pm_a)))
+    key_b = TimingCache.key_for(pm_b._cache_payload(_launch(pm_b)))
+    assert key_a != key_b
+
+
+def _launch(pm):
+    from repro.perfmodel.warpsets import gemm_launch
+
+    return gemm_launch(SHAPE, VITBIT, pm.machine, pm.policy, pm.params, 4.0)
+
+
+def test_default_cache_honors_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TIMING_CACHE", "0")
+    TimingCache.reset_default()
+    assert not TimingCache.default().enabled
+    monkeypatch.delenv("REPRO_TIMING_CACHE")
+    monkeypatch.setenv("REPRO_TIMING_CACHE_DIR", str(tmp_path / "alt"))
+    TimingCache.reset_default()
+    cache = TimingCache.default()
+    assert cache.enabled
+    cache.put({"k": 9}, {"v": 9})
+    assert (tmp_path / "alt").exists()
+    monkeypatch.delenv("REPRO_TIMING_CACHE_DIR")
+    TimingCache.reset_default()
