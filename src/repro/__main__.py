@@ -27,6 +27,11 @@ Commands
     Static verification: prove/refute a packing plan's overflow safety,
     check a strategy's lowered schedules, lint the repo, or run the full
     self-check sweep (the default).  Exits non-zero on error findings.
+``serve [--requests N] [--rate R] [--seed S] [--model NAME] ...``
+    Deterministic open-loop serving benchmark on the simulated clock:
+    admission control, dynamic batching, QoS deadlines, graceful
+    degradation.  Reports throughput and p50/p95/p99 latency and merges
+    them into ``benchmarks/out/summary.json`` under ``"serve"``.
 """
 
 from __future__ import annotations
@@ -285,6 +290,33 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import LoadSpec, ServeConfig, run_load
+    from repro.vit.zoo import model_config as _model_config
+
+    _model_config(args.model)  # fail fast on unknown models
+    config = ServeConfig(
+        strategy=strategy_by_name(args.strategy),
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        inject_refute_bits=(
+            frozenset(args.inject_refute) if args.inject_refute else frozenset()
+        ),
+    )
+    spec = LoadSpec(
+        requests=args.requests,
+        rate_per_s=args.rate,
+        seed=args.seed,
+        model=args.model,
+    )
+    report = run_load(jetson_orin_agx(), config, spec)
+    print(report.render())
+    if args.summary:
+        out = report.write_summary(args.summary)
+        print(f"\nwrote serve summary to {out}")
+    return 1 if report.unhandled_errors or report.stats.get("failed", 0) else 0
+
+
 def _cmd_models(_args: argparse.Namespace) -> int:
     rows = [
         (name, c.hidden, c.depth, c.heads, c.mlp_dim, c.tokens)
@@ -339,6 +371,26 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--clear-cache", action="store_true", dest="clear_cache",
                    help="drop the persistent timing cache first (cold run)")
 
+    p = sub.add_parser("serve", help="batched serving benchmark (simulated clock)")
+    p.add_argument("--requests", type=int, default=200,
+                   help="requests in the open-loop stream (default 200)")
+    p.add_argument("--rate", type=float, default=300.0,
+                   help="mean Poisson arrival rate, req/s (default 300)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--model", default="vit-base")
+    p.add_argument("--strategy", default="VitBit",
+                   help="preferred execution strategy (Table 3 name)")
+    p.add_argument("--max-queue", type=int, default=64, dest="max_queue",
+                   help="bounded-queue capacity (backpressure threshold)")
+    p.add_argument("--max-batch", type=int, default=32, dest="max_batch")
+    p.add_argument("--inject-refute", type=int, nargs="*", default=None,
+                   dest="inject_refute", metavar="BITS",
+                   help="treat these bitwidths' packing preflight as refuted "
+                   "(forces the degraded fallback path; used by CI)")
+    p.add_argument("--summary", default="benchmarks/out/summary.json",
+                   help="summary.json to merge the report into "
+                   "('' to skip writing)")
+
     sub.add_parser("models", help="list the model zoo")
 
     p = sub.add_parser("analyze", help="static verification (see docs/ANALYSIS.md)")
@@ -378,6 +430,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "models": _cmd_models,
         "analyze": _cmd_analyze,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

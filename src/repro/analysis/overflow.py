@@ -143,6 +143,8 @@ def prove_packed_accumulation(
         The packing plan under test.
     k:
         GEMM reduction depth — how many products each lane accumulates.
+        ``k = 0`` (an empty reduction) is trivially safe: no product is
+        ever formed, so every lane stays at zero.
     a_bits / a_range:
         Range of the unpacked multiplier stream, as a magnitude bitwidth
         or an explicit :class:`~repro.analysis.intervals.Interval`
@@ -166,8 +168,8 @@ def prove_packed_accumulation(
         with a concrete :class:`OverflowWitness` and ``VB1xx``
         diagnostics.
     """
-    if k < 1:
-        raise PackingError(f"accumulation depth k must be >= 1, got {k}")
+    if k < 0:
+        raise PackingError(f"accumulation depth k must be >= 0, got {k}")
     if chunk_depth is not None and chunk_depth < 1:
         raise PackingError(f"chunk_depth must be >= 1, got {chunk_depth}")
     if a_range is None:
@@ -353,6 +355,10 @@ def preflight_gemm(
     a GEMM's O(MNK) work.
     """
     probe = prove_packed_accumulation(policy, k=k, a_bits=a_bits)
+    if k == 0:
+        # An empty reduction accumulates nothing: trivially safe even
+        # when no depth-1 chunk would be (probe.safe is True above).
+        return probe
     if probe.max_safe_depth < 1:
         assert probe.witness is not None
         raise OverflowBudgetError(

@@ -17,6 +17,9 @@ __all__ = [
     "ScheduleError",
     "CalibrationError",
     "ModelConfigError",
+    "ServeError",
+    "AdmissionError",
+    "RatioClampWarning",
 ]
 
 
@@ -58,3 +61,20 @@ class CalibrationError(ReproError):
 
 class ModelConfigError(ReproError):
     """A DNN model configuration is internally inconsistent."""
+
+
+class ServeError(ReproError):
+    """The inference serving layer hit an invalid state (e.g. deadlock)."""
+
+
+class AdmissionError(ServeError):
+    """A request was refused admission (queue full or deadline infeasible)."""
+
+
+class RatioClampWarning(UserWarning):
+    """The Tensor:CUDA split rule did not apply and was clamped to m = 1.
+
+    Emitted by :func:`repro.fusion.ratio.tensor_cuda_ratio_from_times`
+    when ``clamp=True`` and the CUDA-core GEMM came out faster than the
+    Tensor-core GEMM — a configuration the paper's rule does not cover.
+    """

@@ -33,10 +33,16 @@ from repro.fusion.ratio import (
 from repro.fusion.schedule import interleave_warp_roles
 from repro.fusion.coschedule import CoScheduleResult, co_schedule, throughput_gain
 from repro.fusion.qos import (
+    BATCH,
+    INTERACTIVE,
+    QOS_CLASSES,
+    STANDARD,
     PipeSignature,
     QosAdmission,
+    QosClass,
     pipe_signature,
     predict_corun,
+    qos_class,
 )
 
 __all__ = [
@@ -61,4 +67,10 @@ __all__ = [
     "pipe_signature",
     "predict_corun",
     "QosAdmission",
+    "QosClass",
+    "INTERACTIVE",
+    "STANDARD",
+    "BATCH",
+    "QOS_CLASSES",
+    "qos_class",
 ]

@@ -29,7 +29,18 @@ from repro.perfmodel.warpsets import KernelLaunch
 from repro.sim.gpu import GPUSim
 from repro.sim.instruction import OpClass, default_timings
 
-__all__ = ["PipeSignature", "pipe_signature", "predict_corun", "QosAdmission"]
+__all__ = [
+    "PipeSignature",
+    "pipe_signature",
+    "predict_corun",
+    "QosAdmission",
+    "QosClass",
+    "INTERACTIVE",
+    "STANDARD",
+    "BATCH",
+    "QOS_CLASSES",
+    "qos_class",
+]
 
 
 @dataclass(frozen=True)
@@ -111,6 +122,62 @@ def predict_corun(
         combined = a.demand(r) + b.demand(r)  # type: ignore[arg-type]
         worst = max(worst, combined)
     return worst, worst
+
+
+@dataclass(frozen=True)
+class QosClass:
+    """A service class: how much latency a request class will tolerate.
+
+    The serving layer (:mod:`repro.serve`) tags every request with one
+    of these; they map onto this module's admission machinery through
+    ``max_slowdown`` — the same budget :class:`QosAdmission` protects a
+    co-scheduled kernel with, here protecting a request against
+    batching/queueing delay relative to a solo batch-1 inference.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``qos_class(name)``).
+    deadline_seconds:
+        Default end-to-end deadline (arrival to completion) on the
+        simulated clock; requests past it are expired, not served.
+    max_slowdown:
+        Admission budget: a request is only batched/queued while its
+        predicted completion stays within ``max_slowdown`` times the
+        solo batch-1 latency (>= 1, like :class:`QosAdmission`).
+    """
+
+    name: str
+    deadline_seconds: float
+    max_slowdown: float
+
+    def __post_init__(self) -> None:
+        if self.deadline_seconds <= 0:
+            raise ScheduleError("QoS deadline must be positive")
+        if self.max_slowdown < 1.0:
+            raise ScheduleError("QoS slowdown budget must be >= 1")
+
+
+#: Latency-critical traffic: small batches, tight deadline.
+INTERACTIVE = QosClass("interactive", deadline_seconds=0.025, max_slowdown=3.0)
+#: The default class: moderate batching for throughput.
+STANDARD = QosClass("standard", deadline_seconds=0.100, max_slowdown=12.0)
+#: Throughput traffic: deadline loose enough for full batches.
+BATCH = QosClass("batch", deadline_seconds=1.000, max_slowdown=100.0)
+
+QOS_CLASSES: dict[str, QosClass] = {
+    c.name: c for c in (INTERACTIVE, STANDARD, BATCH)
+}
+
+
+def qos_class(name: str) -> QosClass:
+    """Look up a QoS class by name (case-insensitive)."""
+    try:
+        return QOS_CLASSES[name.lower()]
+    except KeyError:
+        raise ScheduleError(
+            f"unknown QoS class {name!r}; available: {sorted(QOS_CLASSES)}"
+        ) from None
 
 
 @dataclass

@@ -15,7 +15,9 @@ Two ratios govern Algorithm 1:
 
 from __future__ import annotations
 
-from repro.errors import ScheduleError
+import warnings
+
+from repro.errors import RatioClampWarning, ScheduleError
 from repro.packing.policy import PackingPolicy
 
 __all__ = [
@@ -39,7 +41,11 @@ def eq1_int_fp_ratio(policy: PackingPolicy, packing: bool = True) -> int:
 
 
 def tensor_cuda_ratio_from_times(
-    tensor_seconds: float, cuda_seconds: float, *, round_to_int: bool = True
+    tensor_seconds: float,
+    cuda_seconds: float,
+    *,
+    round_to_int: bool = True,
+    clamp: bool = False,
 ) -> float:
     """The paper's rule: ``m = time_CUDA / time_Tensor`` on the same GEMM.
 
@@ -47,6 +53,15 @@ def tensor_cuda_ratio_from_times(
     1/4 of the columns Tensor cores get, so both finish together.  The
     paper rounds to an integer ratio (4:1); pass ``round_to_int=False``
     for the exact balance point.
+
+    When the CUDA-core GEMM comes out *faster* than the Tensor-core GEMM
+    the rule does not apply.  The strict default raises
+    :class:`~repro.errors.ScheduleError` — the paper-faithful behaviour,
+    right for calibration and the figures.  ``clamp=True`` instead
+    degrades to an even ``m = 1`` split and records a
+    :class:`~repro.errors.RatioClampWarning`, so long sweeps and the
+    serving layer survive one odd calibration point instead of aborting
+    from inside a worker.
     """
     if tensor_seconds <= 0 or cuda_seconds <= 0:
         raise ScheduleError(
@@ -55,11 +70,21 @@ def tensor_cuda_ratio_from_times(
         )
     m = cuda_seconds / tensor_seconds
     if m < 1.0:
-        # CUDA cores faster than Tensor cores never happens on real
-        # DNN GEMMs; treat it as a configuration error rather than
-        # silently inverting the split.
-        raise ScheduleError(
-            "CUDA-core GEMM came out faster than the Tensor-core GEMM; "
-            "the Tensor:CUDA split rule does not apply"
+        if not clamp:
+            # CUDA cores faster than Tensor cores never happens on real
+            # DNN GEMMs; treat it as a configuration error rather than
+            # silently inverting the split.
+            raise ScheduleError(
+                "CUDA-core GEMM came out faster than the Tensor-core GEMM "
+                f"(m = {m:.3f} < 1); the Tensor:CUDA split rule does not "
+                "apply — pass clamp=True to degrade to an even m=1 split"
+            )
+        warnings.warn(
+            RatioClampWarning(
+                f"Tensor:CUDA ratio m = {m:.3f} < 1 (CUDA-core GEMM "
+                "faster than Tensor-core GEMM); clamping to m = 1"
+            ),
+            stacklevel=2,
         )
+        return 1.0
     return round(m) if round_to_int else m

@@ -75,6 +75,24 @@ class Strategy:
         """True when any CUDA-core pipe participates."""
         return self.uses_int or self.uses_fp
 
+    @property
+    def is_fused(self) -> bool:
+        """True when the strategy needs the packed/fused machinery —
+        i.e. when a preflight refutation can apply to it at all."""
+        return self.packing or (self.uses_tensor and self.uses_cuda)
+
+    def degraded(self) -> "Strategy":
+        """The graceful-degradation baseline for this strategy.
+
+        When the fused/packed path fails preflight (overflow prover
+        refutation, inapplicable split rule), the serving layer falls
+        back to the plain single-pipe baseline: Tensor-only for
+        Tensor-capable strategies, the INT CUDA baseline otherwise.
+        Both are always schedulable — they need neither a packing plan
+        nor the Tensor:CUDA split rule.
+        """
+        return TC if self.uses_tensor else IC
+
     def pack_factor(self, policy: PackingPolicy) -> int:
         """Operands per INT-pipe register under this strategy (1 = zero-masked)."""
         return policy.lanes if self.packing else 1

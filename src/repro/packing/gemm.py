@@ -145,6 +145,8 @@ def packed_gemm_unsigned(
             "packed_gemm_unsigned requires non-negative A; use packed_gemm "
             "for signed multipliers"
         )
+    if k == 0:
+        return _empty_k_result(m, n, k, policy, stats)
     if a_bits is None:
         a_bits = bit_length_unsigned(a64) if a64.size else 1
     packer, bp, depth = _prepare_b(
@@ -154,6 +156,28 @@ def packed_gemm_unsigned(
         a64, bp, packer, policy,
         n=n, depth=depth, stats=stats, method=method,
     )
+
+
+def _empty_k_result(
+    m: int,
+    n: int,
+    k: int,
+    policy: PackingPolicy,
+    stats: PackedGemmStats | None,
+) -> np.ndarray:
+    """The K=0 product: an empty sum is zero in every output cell.
+
+    ``reference_gemm`` (NumPy matmul) returns ``zeros((M, N))`` for
+    ``(M, 0) @ (0, N)``; the packed paths must agree — no register is
+    packed and no instruction issues, so the stats stay at zero work.
+    """
+    if stats is not None:
+        stats.m, stats.n, stats.k = m, n, k
+        stats.lanes = policy.lanes
+        stats.safe_depth = safe_accumulation_depth(
+            policy, policy.effective_multiplier_bits, policy.value_bits
+        )
+    return np.zeros((m, n), dtype=np.int64)
 
 
 def _prepare_b(
@@ -270,9 +294,22 @@ def packed_gemm(
     if b_shift.size and (
         int(b_shift.min()) < 0 or int(b_shift.max()) > policy.max_value
     ):
+        if b_zero_point is None and int(b64.min()) < 0:
+            # The actionable diagnosis: the caller passed signed B but no
+            # zero point, which is the parameter that fixes it.
+            suggested = -int(b64.min())
+            raise PackingError(
+                f"signed B (min {int(b64.min())}) requires b_zero_point: "
+                f"pass b_zero_point={suggested} (= -B.min()) so that "
+                f"B + b_zero_point lies in [0, {policy.max_value}] for "
+                f"{policy.value_bits}-bit lanes; the rank-1 zero-point "
+                "correction keeps the product exact"
+            )
         raise PackingError(
-            "B (after zero-point offset) must lie in "
-            f"[0, {policy.max_value}] for {policy.value_bits}-bit lanes"
+            f"B (after zero-point offset {b_zero_point or 0}) must lie in "
+            f"[0, {policy.max_value}] for {policy.value_bits}-bit lanes; "
+            f"got range [{int(b_shift.min())}, {int(b_shift.max())}] — "
+            "adjust b_zero_point or widen the packing policy"
         )
 
     negative = a64.size and int(a64.min()) < 0

@@ -12,10 +12,11 @@ scaling.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import asdict, dataclass, field
 
 from repro.arch.specs import MachineSpec
-from repro.errors import ScheduleError, SimulationError
+from repro.errors import RatioClampWarning, ScheduleError, SimulationError
 from repro.fusion.ratio import PAPER_TENSOR_CUDA_RATIO, tensor_cuda_ratio_from_times
 from repro.fusion.strategies import IC, TC, Strategy
 from repro.packing.policy import PackingPolicy, policy_for_bitwidth
@@ -109,12 +110,18 @@ class PerformanceModel:
         include_launch_overhead: bool = True,
         sim_mode: str = "periodic",
         timing_cache: TimingCache | None = None,
+        clamp_ratio: bool = False,
     ):
         self.machine = machine
         self.policy = policy if policy is not None else policy_for_bitwidth(8)
         self.params = params if params is not None else CostParams()
         self.include_launch_overhead = include_launch_overhead
         self.sim_mode = sim_mode
+        #: Degrade an inapplicable Tensor:CUDA split rule to m = 1
+        #: instead of raising (sweeps/serving); clamps are counted in
+        #: :attr:`ratio_clamps`.  Strict (False) is paper-faithful.
+        self.clamp_ratio = clamp_ratio
+        self.ratio_clamps = 0
         self._gpu = GPUSim(machine, include_launch_overhead=False, mode=sim_mode)
         self.timing_cache = (
             timing_cache if timing_cache is not None else TimingCache.default()
@@ -264,13 +271,24 @@ class PerformanceModel:
         return self._cache[key]
 
     def determine_tensor_cuda_ratio(
-        self, shape: GemmShape, cuda_strategy: Strategy, *, round_to_int: bool = True
+        self,
+        shape: GemmShape,
+        cuda_strategy: Strategy,
+        *,
+        round_to_int: bool = True,
+        clamp: bool | None = None,
     ) -> float:
         """The paper's m rule: time the GEMM on Tensor cores alone and on
         the CUDA cores alone (under ``cuda_strategy``'s pipe/packing
-        configuration) and return their ratio."""
+        configuration) and return their ratio.
+
+        ``clamp`` (default: the model's :attr:`clamp_ratio`) degrades an
+        inapplicable rule (CUDA faster than Tensor) to m = 1 and bumps
+        :attr:`ratio_clamps` instead of raising ScheduleError.
+        """
+        do_clamp = self.clamp_ratio if clamp is None else clamp
         rkey = ("ratio", shape, cuda_strategy.uses_int, cuda_strategy.uses_fp,
-                cuda_strategy.packing, round_to_int)
+                cuda_strategy.packing, round_to_int, do_clamp)
         if rkey in self._ratio_cache:
             return self._ratio_cache[rkey]
         t_tc = self.time_gemm(shape, TC).useful_seconds
@@ -289,7 +307,13 @@ class PerformanceModel:
             shape, cuda_only, self.machine, self.policy, self.params, 0.0
         )
         t_cuda = self._simulate(launch).useful_seconds
-        m = tensor_cuda_ratio_from_times(t_tc, t_cuda, round_to_int=round_to_int)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", RatioClampWarning)
+            m = tensor_cuda_ratio_from_times(
+                t_tc, t_cuda, round_to_int=round_to_int, clamp=do_clamp
+            )
+        if any(isinstance(w.message, RatioClampWarning) for w in caught):
+            self.ratio_clamps += 1
         self._ratio_cache[rkey] = m
         return m
 

@@ -188,12 +188,19 @@ def run_sweep(
 
 
 def _price_strategy(point: tuple) -> dict:
-    """Worker: price one inference strategy (module-level, picklable)."""
+    """Worker: price one inference strategy (module-level, picklable).
+
+    Runs with ``clamp_ratio=True``: one odd calibration point (CUDA
+    probe faster than the Tensor probe) degrades that GEMM to an even
+    m=1 split with a recorded warning instead of aborting the whole
+    sweep from inside the worker.  The clamp changes nothing when the
+    split rule applies, so ordinary sweeps are bit-identical to strict.
+    """
     from repro.vit.runtime import time_inference
     from repro.vit.zoo import model_config
 
     machine, strategy, model_name, batch = point
-    pm = PerformanceModel(machine)
+    pm = PerformanceModel(machine, clamp_ratio=True)
     timing = time_inference(
         pm, strategy, config=model_config(model_name), batch=batch
     )

@@ -1,0 +1,42 @@
+"""Batched inference serving over the simulated VitBit runtime.
+
+The serving layer turns the per-kernel performance model into an
+end-to-end system study: an asyncio service with admission control and
+a bounded queue (backpressure), dynamic batching sized per dispatch by
+the cached :class:`~repro.perfmodel.PerformanceModel`, QoS classes with
+deadlines, and graceful degradation — a refuted packing preflight
+drops the batch to the Tensor-only baseline instead of failing it,
+and an inapplicable Tensor:CUDA split rule clamps to m = 1.
+
+Everything runs on a pluggable clock.  The default
+:class:`~repro.serve.clock.SimulatedClock` gives deterministic
+discrete-event time, so `repro serve` benchmarks (throughput,
+p50/p95/p99 latency) are reproducible byte-for-byte across machines.
+"""
+
+from repro.serve.batcher import BatchDecision, BatchPlanner, batch_palette
+from repro.serve.clock import Clock, SimulatedClock, WallClock
+from repro.serve.loadgen import LoadSpec, ServeReport, generate_requests, run_load
+from repro.serve.queue import BoundedRequestQueue
+from repro.serve.request import InferenceRequest, RequestResult, RequestStatus
+from repro.serve.service import InferenceService, ServeConfig, ServeStats
+
+__all__ = [
+    "BatchDecision",
+    "BatchPlanner",
+    "batch_palette",
+    "Clock",
+    "SimulatedClock",
+    "WallClock",
+    "LoadSpec",
+    "ServeReport",
+    "generate_requests",
+    "run_load",
+    "BoundedRequestQueue",
+    "InferenceRequest",
+    "RequestResult",
+    "RequestStatus",
+    "InferenceService",
+    "ServeConfig",
+    "ServeStats",
+]

@@ -1,0 +1,132 @@
+"""Dynamic batching policy driven by the performance model.
+
+The planner answers one question per dispatch: *given the requests
+compatible with the one at the head of the queue, how many should ride
+in this batch?*  Bigger batches amortize weight traffic and kernel
+launches (higher throughput), smaller ones finish sooner (lower
+latency); the right size depends on the machine, the model and the
+bitwidth — exactly what the calibrated
+:class:`~repro.perfmodel.PerformanceModel` prices.  The planner probes
+a power-of-two palette of sizes through the (cached) model and takes
+the largest one every member's QoS admits:
+
+* **deadline**: predicted completion ``now + t(b)`` must precede each
+  member's absolute deadline;
+* **slowdown**: ``t(b)`` must stay within the member's
+  :class:`~repro.fusion.qos.QosClass` budget ``max_slowdown * t(1)`` —
+  the batching analogue of Tacker's co-run admission test.
+
+Requests whose deadline has already passed are separated out so the
+service can expire them instead of wasting a batch slot; if not even a
+solo batch can meet the head request's deadline it is still served
+best-effort (the completion check will expire it) rather than starved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ServeError
+from repro.fusion.strategies import Strategy
+
+__all__ = ["BatchDecision", "BatchPlanner", "batch_palette"]
+
+#: Prices one (model, bits, strategy, batch_size) inference in seconds.
+PriceFn = Callable[[str, int, Strategy, int], float]
+
+
+def batch_palette(max_batch: int) -> tuple[int, ...]:
+    """Power-of-two batch sizes up to ``max_batch`` (inclusive).
+
+    A small fixed palette keeps the set of priced kernel shapes — and
+    therefore the persistent timing-cache footprint — bounded and
+    deterministic across runs.
+    """
+    if max_batch < 1:
+        raise ServeError(f"max_batch must be >= 1, got {max_batch}")
+    sizes = []
+    b = 1
+    while b < max_batch:
+        sizes.append(b)
+        b *= 2
+    sizes.append(max_batch)
+    return tuple(dict.fromkeys(sizes))
+
+
+@dataclass
+class BatchDecision:
+    """The planner's verdict for one dispatch."""
+
+    size: int
+    service_seconds: float
+    solo_seconds: float
+    #: Candidates chosen for this batch, FIFO order.
+    admitted: list = field(default_factory=list)
+    #: Candidates whose deadline had already passed at planning time.
+    expired: list = field(default_factory=list)
+    #: False when even a solo batch misses the head request's deadline
+    #: (served best-effort anyway).
+    feasible: bool = True
+
+
+class BatchPlanner:
+    """Chooses the batch size per dispatch via the performance model."""
+
+    def __init__(self, price: PriceFn, max_batch: int):
+        self._price = price
+        self.palette = batch_palette(max_batch)
+
+    def plan(
+        self,
+        candidates: Sequence,
+        now: float,
+        strategy: Strategy,
+        bits: int,
+        model: str = "vit-base",
+    ) -> BatchDecision:
+        """Pick the largest QoS-admissible batch from ``candidates``.
+
+        ``candidates`` are pending entries exposing ``arrival`` (their
+        admission timestamp) and ``request`` (the
+        :class:`~repro.serve.request.InferenceRequest`); the head of
+        the queue must be first.
+        """
+        expired = [c for c in candidates if now > c.arrival + c.request.deadline]
+        live = [c for c in candidates if now <= c.arrival + c.request.deadline]
+        if not live:
+            return BatchDecision(
+                size=0, service_seconds=0.0, solo_seconds=0.0, expired=expired
+            )
+
+        solo = self._price(model, bits, strategy, 1)
+        for size in sorted(self.palette, reverse=True):
+            if size > len(live):
+                continue
+            members = live[:size]
+            t = self._price(model, bits, strategy, size)
+            if all(self._admits(c, now, t, solo) for c in members):
+                return BatchDecision(
+                    size=size,
+                    service_seconds=t,
+                    solo_seconds=solo,
+                    admitted=members,
+                    expired=expired,
+                )
+        # Not even a solo batch satisfies the head request's budget:
+        # serve it best-effort rather than starving it forever.
+        return BatchDecision(
+            size=1,
+            service_seconds=solo,
+            solo_seconds=solo,
+            admitted=live[:1],
+            expired=expired,
+            feasible=False,
+        )
+
+    @staticmethod
+    def _admits(candidate, now: float, t: float, solo: float) -> bool:
+        req = candidate.request
+        meets_deadline = now + t <= candidate.arrival + req.deadline
+        within_budget = t <= req.qos.max_slowdown * solo
+        return meets_deadline and within_budget

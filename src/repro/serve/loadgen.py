@@ -1,0 +1,276 @@
+"""Deterministic open-loop load generation and the serving report.
+
+The generator draws a request schedule — Poisson arrivals, a
+mixed-bitwidth model mix, a QoS class mix — from a seeded RNG, so a
+given ``LoadSpec`` always produces the identical stream, byte for byte.
+Submission is *open-loop*: requests arrive at their scheduled simulated
+times whether or not earlier ones completed, which is what exposes
+queueing collapse and makes backpressure measurable.
+
+:func:`run_load` wires a :class:`~repro.serve.service.InferenceService`
+to a :class:`~repro.serve.clock.SimulatedClock`, drives the schedule,
+and folds the per-request results into a :class:`ServeReport` with
+throughput and p50/p95/p99 latency (overall and per QoS class).
+``ServeReport.write_summary`` merges the numbers into
+``benchmarks/out/summary.json`` under the ``"serve"`` key, next to the
+benchmark trajectory the perf engine already records there.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch import jetson_orin_agx
+from repro.arch.specs import MachineSpec
+from repro.errors import ServeError
+from repro.fusion.qos import QOS_CLASSES
+from repro.serve.clock import SimulatedClock
+from repro.serve.request import InferenceRequest, RequestResult, RequestStatus
+from repro.serve.service import InferenceService, ServeConfig
+from repro.utils.rng import make_rng
+
+__all__ = ["LoadSpec", "ServeReport", "generate_requests", "run_load"]
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """A deterministic open-loop request stream."""
+
+    requests: int = 200
+    #: Mean arrival rate (Poisson process), requests per simulated second.
+    rate_per_s: float = 400.0
+    seed: int = 0
+    model: str = "vit-base"
+    #: Activation-bitwidth mix of the stream (bitwidth -> weight).
+    bits_mix: tuple = ((8, 0.75), (4, 0.25))
+    #: QoS class mix (class name -> weight).
+    qos_mix: tuple = (("interactive", 0.2), ("standard", 0.6), ("batch", 0.2))
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ServeError(f"requests must be >= 1, got {self.requests}")
+        if self.rate_per_s <= 0:
+            raise ServeError(f"rate_per_s must be positive, got {self.rate_per_s}")
+        for name, _ in self.qos_mix:
+            if name not in QOS_CLASSES:
+                raise ServeError(f"unknown QoS class {name!r} in qos_mix")
+
+
+def _normalized(mix: tuple) -> tuple[list, np.ndarray]:
+    values = [v for v, _ in mix]
+    weights = np.asarray([w for _, w in mix], dtype=np.float64)
+    if len(values) == 0 or float(weights.sum()) <= 0:
+        raise ServeError("mix must contain at least one positive weight")
+    return values, weights / weights.sum()
+
+
+def generate_requests(spec: LoadSpec) -> list[tuple[float, InferenceRequest]]:
+    """The schedule: ``(arrival_seconds, request)`` pairs, time-sorted."""
+    rng = make_rng(spec.seed)
+    bit_values, bit_p = _normalized(spec.bits_mix)
+    qos_values, qos_p = _normalized(spec.qos_mix)
+    gaps = rng.exponential(1.0 / spec.rate_per_s, size=spec.requests)
+    arrivals = np.cumsum(gaps)
+    bit_idx = rng.choice(len(bit_values), size=spec.requests, p=bit_p)
+    qos_idx = rng.choice(len(qos_values), size=spec.requests, p=qos_p)
+    schedule = []
+    for i in range(spec.requests):
+        schedule.append(
+            (
+                float(arrivals[i]),
+                InferenceRequest(
+                    request_id=i,
+                    model=spec.model,
+                    bits=int(bit_values[bit_idx[i]]),
+                    qos=QOS_CLASSES[qos_values[qos_idx[i]]],
+                ),
+            )
+        )
+    return schedule
+
+
+def _percentiles(latencies_ms: list[float]) -> dict:
+    if not latencies_ms:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    arr = np.asarray(latencies_ms)
+    return {
+        "p50": round(float(np.percentile(arr, 50)), 4),
+        "p95": round(float(np.percentile(arr, 95)), 4),
+        "p99": round(float(np.percentile(arr, 99)), 4),
+    }
+
+
+@dataclass
+class ServeReport:
+    """Aggregated outcome of one load run."""
+
+    spec: LoadSpec
+    results: list[RequestResult]
+    stats: dict
+    ratio_clamps: int
+    sim_seconds: float
+    wall_seconds: float
+    unhandled_errors: int = 0
+    latency_ms: dict = field(init=False)
+
+    def __post_init__(self) -> None:
+        completed = [r for r in self.results if r.ok]
+        self.latency_ms = {
+            "overall": _percentiles([r.latency_seconds * 1e3 for r in completed])
+        }
+        for name in QOS_CLASSES:
+            per = [r.latency_seconds * 1e3 for r in completed if r.qos == name]
+            if per:
+                self.latency_ms[name] = _percentiles(per)
+
+    # -- derived -------------------------------------------------------------
+
+    def count(self, status: RequestStatus) -> int:
+        """Requests that ended in ``status``."""
+        return sum(1 for r in self.results if r.status is status)
+
+    @property
+    def completed(self) -> int:
+        """Requests served to completion within their deadline."""
+        return self.count(RequestStatus.COMPLETED)
+
+    @property
+    def fallbacks(self) -> int:
+        """Requests served by the degraded baseline."""
+        return sum(1 for r in self.results if r.ok and r.fallback)
+
+    @property
+    def throughput_per_s(self) -> float:
+        """Completed requests per simulated second."""
+        return self.completed / self.sim_seconds if self.sim_seconds > 0 else 0.0
+
+    # -- presentation --------------------------------------------------------
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        from repro.utils.tables import format_table
+
+        rows = []
+        for name in ["overall", *QOS_CLASSES]:
+            if name not in self.latency_ms:
+                continue
+            pct = self.latency_ms[name]
+            done = (
+                self.completed
+                if name == "overall"
+                else sum(1 for r in self.results if r.ok and r.qos == name)
+            )
+            rows.append((name, done, pct["p50"], pct["p95"], pct["p99"]))
+        table = format_table(
+            ["class", "completed", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+            rows,
+            title=(
+                f"serve — {self.spec.requests} requests @ "
+                f"{self.spec.rate_per_s:.0f}/s over "
+                f"{self.sim_seconds * 1e3:.1f} simulated ms "
+                f"({self.wall_seconds * 1e3:.0f} ms wall)"
+            ),
+            ndigits=3,
+        )
+        lines = [
+            table,
+            "",
+            f"throughput {self.throughput_per_s:.0f} req/s · "
+            f"{self.stats.get('batches', 0)} batches "
+            f"(sizes {self.stats.get('batch_sizes', {})})",
+            f"outcomes: {self.completed} completed, "
+            f"{self.count(RequestStatus.REJECTED)} rejected, "
+            f"{self.count(RequestStatus.EXPIRED)} expired, "
+            f"{self.count(RequestStatus.FAILED)} failed, "
+            f"{self.unhandled_errors} unhandled errors",
+            f"degradation: {self.fallbacks} fallback requests in "
+            f"{self.stats.get('fallback_batches', 0)} batches, "
+            f"{self.ratio_clamps} split-rule clamps",
+        ]
+        return "\n".join(lines)
+
+    def to_summary(self) -> dict:
+        """JSON-serializable form for ``summary.json``."""
+        return {
+            "requests": self.spec.requests,
+            "rate_per_s": self.spec.rate_per_s,
+            "seed": self.spec.seed,
+            "model": self.spec.model,
+            "sim_seconds": round(self.sim_seconds, 6),
+            "wall_seconds": round(self.wall_seconds, 4),
+            "throughput_per_s": round(self.throughput_per_s, 2),
+            "latency_ms": self.latency_ms,
+            "completed": self.completed,
+            "rejected": self.count(RequestStatus.REJECTED),
+            "expired": self.count(RequestStatus.EXPIRED),
+            "failed": self.count(RequestStatus.FAILED),
+            "unhandled_errors": self.unhandled_errors,
+            "fallback_requests": self.fallbacks,
+            "ratio_clamps": self.ratio_clamps,
+            "stats": self.stats,
+        }
+
+    def write_summary(self, path: "str | pathlib.Path") -> pathlib.Path:
+        """Merge this report into ``summary.json`` under ``"serve"``."""
+        out = pathlib.Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        payload: dict = {}
+        if out.exists():
+            try:
+                existing = json.loads(out.read_text())
+                if isinstance(existing, dict):
+                    payload = existing
+            except (OSError, json.JSONDecodeError):
+                payload = {}
+        payload["serve"] = self.to_summary()
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        return out
+
+
+async def _drive(
+    service: InferenceService, schedule: list[tuple[float, InferenceRequest]]
+) -> list[RequestResult]:
+    """Open-loop driver: submit at the scheduled simulated times."""
+    import asyncio
+
+    await service.start()
+    futures = []
+    for arrival, request in schedule:
+        delay = arrival - service.clock.now()
+        if delay > 0:
+            await service.clock.sleep(delay)
+        futures.append(service.submit_nowait(request))
+    results = await asyncio.gather(*futures)
+    await service.stop()
+    return list(results)
+
+
+def run_load(
+    machine: MachineSpec | None = None,
+    config: ServeConfig | None = None,
+    spec: LoadSpec | None = None,
+) -> ServeReport:
+    """Run one deterministic open-loop benchmark on the simulated clock."""
+    machine = machine if machine is not None else jetson_orin_agx()
+    config = config if config is not None else ServeConfig()
+    spec = spec if spec is not None else LoadSpec()
+    clock = SimulatedClock()
+    service = InferenceService(machine, config, clock)
+    schedule = generate_requests(spec)
+    t0 = time.perf_counter()
+    results = clock.run(_drive(service, schedule))
+    wall = time.perf_counter() - t0
+    return ServeReport(
+        spec=spec,
+        results=results,
+        stats=service.stats.as_dict(),
+        ratio_clamps=service.ratio_clamps,
+        sim_seconds=clock.now(),
+        wall_seconds=wall,
+        unhandled_errors=0,
+    )

@@ -1,0 +1,119 @@
+"""Bounded admission queue with backpressure.
+
+The service's front door: a FIFO of pending requests with a hard
+capacity.  When the queue is full, :meth:`BoundedRequestQueue.put_nowait`
+raises :class:`~repro.errors.AdmissionError` — the backpressure signal
+the admission layer converts into a ``REJECTED`` result instead of
+letting an unbounded backlog grow until every deadline is dead on
+arrival (load shedding beats queueing collapse).
+
+Consumers (the batch workers) block on :meth:`get`; the batcher then
+peeks the remaining queue for batch-compatible requests with
+:meth:`peek_matching` and removes the chosen ones with :meth:`take`,
+preserving FIFO order for everything left behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Callable, Iterable, TypeVar
+
+from repro.errors import AdmissionError, ServeError
+from repro.serve.clock import Clock
+
+__all__ = ["BoundedRequestQueue"]
+
+T = TypeVar("T")
+
+
+class BoundedRequestQueue:
+    """A bounded FIFO of pending work, tied to the serving clock."""
+
+    def __init__(self, capacity: int, clock: Clock):
+        if capacity < 1:
+            raise ServeError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._clock = clock
+        self._items: deque = deque()
+        self._getters: deque[asyncio.Future] = deque()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def full(self) -> bool:
+        """True when the next put would be rejected."""
+        return len(self._items) >= self.capacity
+
+    def put_nowait(self, item: T) -> None:
+        """Enqueue or raise :class:`AdmissionError` when at capacity."""
+        if self._closed:
+            raise ServeError("queue is closed")
+        if self.full:
+            raise AdmissionError(
+                f"queue full ({self.capacity} pending requests); "
+                "backpressure — retry later or shed load"
+            )
+        self._items.append(item)
+        self._clock.touch()
+        self._wake_one()
+
+    async def get(self) -> T | None:
+        """Next item in FIFO order; ``None`` once closed and drained."""
+        while True:
+            if self._items:
+                item = self._items.popleft()
+                self._clock.touch()
+                return item
+            if self._closed:
+                return None
+            fut: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._getters.append(fut)
+            await fut
+
+    def peek_matching(
+        self, pred: Callable[[T], bool], limit: int
+    ) -> list[T]:
+        """Up to ``limit`` queued items satisfying ``pred`` (FIFO order,
+        not removed)."""
+        out: list[T] = []
+        for item in self._items:
+            if len(out) >= limit:
+                break
+            if pred(item):
+                out.append(item)
+        return out
+
+    def take(self, items: Iterable[T]) -> None:
+        """Remove specific items (previously peeked) from the queue."""
+        chosen = {id(x) for x in items}
+        kept = deque(x for x in self._items if id(x) not in chosen)
+        removed = len(self._items) - len(kept)
+        if removed != len(chosen):
+            raise ServeError("take() got items that are not queued")
+        self._items = kept
+        if removed:
+            self._clock.touch()
+
+    def close(self) -> None:
+        """Stop accepting work and wake every blocked consumer."""
+        self._closed = True
+        self._clock.touch()
+        while self._getters:
+            fut = self._getters.popleft()
+            if not fut.done():
+                fut.set_result(None)
+
+    def _wake_one(self) -> None:
+        while self._getters:
+            fut = self._getters.popleft()
+            if not fut.done():
+                fut.set_result(None)
+                return

@@ -1,0 +1,95 @@
+"""Request and result types for the batched inference service.
+
+A request names *what* to infer (model, activation bitwidth) and *how
+urgently* (a :class:`~repro.fusion.qos.QosClass` carrying the deadline
+and slowdown budget).  Mixed-bitwidth streams are first-class: the
+batcher only groups requests whose (model, bits) agree, since the
+packing policy — and therefore the fused kernel — differs per bitwidth.
+
+Every submitted request resolves to exactly one :class:`RequestResult`;
+the service never lets an internal error escape to the submitter —
+failures surface as ``FAILED`` results with the error text in
+``detail``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ServeError
+from repro.fusion.qos import STANDARD, QosClass
+
+__all__ = ["RequestStatus", "InferenceRequest", "RequestResult"]
+
+
+class RequestStatus(enum.Enum):
+    """Terminal state of one request."""
+
+    #: Served to completion within its deadline.
+    COMPLETED = "completed"
+    #: Refused at admission (queue full or deadline already infeasible).
+    REJECTED = "rejected"
+    #: Admitted but its deadline passed before/while being served.
+    EXPIRED = "expired"
+    #: An internal error exhausted the retry budget.
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One inference to serve.
+
+    ``bits`` is the activation bitwidth of the requested model variant;
+    it selects the packing policy (Fig. 3) and thereby which fused
+    kernel the batch compiles to.  ``deadline_seconds`` overrides the
+    QoS class default when set.
+    """
+
+    request_id: int
+    model: str = "vit-base"
+    bits: int = 8
+    qos: QosClass = STANDARD
+    deadline_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 32:
+            raise ServeError(f"bits must be in 1..32, got {self.bits}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ServeError("deadline_seconds must be positive")
+
+    @property
+    def deadline(self) -> float:
+        """Relative deadline in seconds (class default unless overridden)."""
+        return (
+            self.deadline_seconds
+            if self.deadline_seconds is not None
+            else self.qos.deadline_seconds
+        )
+
+    def batch_key(self) -> tuple:
+        """Requests sharing this key may be served in one batch."""
+        return (self.model, self.bits)
+
+
+@dataclass
+class RequestResult:
+    """Terminal outcome of one request, as seen by the submitter."""
+
+    request_id: int
+    status: RequestStatus
+    qos: str = "standard"
+    latency_seconds: float = 0.0
+    strategy: str = ""
+    #: True when the fused path was refuted and the batch was served by
+    #: the degraded (Tensor-only / single-pipe) baseline instead.
+    fallback: bool = False
+    batch_size: int = 0
+    retries: int = 0
+    detail: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the request was actually served."""
+        return self.status is RequestStatus.COMPLETED

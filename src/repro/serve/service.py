@@ -1,0 +1,396 @@
+"""The asyncio batched inference service.
+
+One :class:`InferenceService` models one serving replica group in
+front of the simulated GPU: requests enter through admission control
+into a bounded queue, batch workers pull compatible groups, a
+:class:`~repro.serve.batcher.BatchPlanner` sizes each batch via the
+performance model, and the batch "executes" by advancing the serving
+clock by the priced service time.
+
+Request lifecycle
+-----------------
+``submit`` → admission (reject on full queue or a deadline no solo
+batch could meet) → queued → batched → preflight → execute → resolve.
+Every submitted request resolves to exactly one
+:class:`~repro.serve.request.RequestResult`; internal errors become
+``FAILED`` results after the retry budget, never exceptions at the
+submitter.
+
+Graceful degradation
+--------------------
+Before a (model, bitwidth) pair is first served on the fused path, the
+service runs :func:`~repro.vit.runtime.preflight_strategy`: the
+overflow prover must certify the packing plan and the split must
+lower.  A refutation — including the fault-injection hook
+``ServeConfig.inject_refute_bits`` used by tests and CI — does not fail
+the request: the batch is served by the strategy's
+:meth:`~repro.fusion.strategies.Strategy.degraded` baseline (Tensor
+cores only, for VitBit) and the fallback is counted per request and
+per batch.  Inapplicable Tensor:CUDA split *rules* degrade milder
+still: the clamped m = 1 split, counted in :attr:`ratio_clamps`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.arch.specs import MachineSpec
+from repro.errors import (
+    AdmissionError,
+    OverflowBudgetError,
+    PackingError,
+    ReproError,
+    ScheduleError,
+    ServeError,
+)
+from repro.fusion.strategies import VITBIT, Strategy
+from repro.packing.policy import policy_for_bitwidth
+from repro.perfmodel.model import PerformanceModel
+from repro.serve.batcher import BatchPlanner
+from repro.serve.clock import Clock, SimulatedClock
+from repro.serve.queue import BoundedRequestQueue
+from repro.serve.request import InferenceRequest, RequestResult, RequestStatus
+from repro.vit.runtime import preflight_strategy, time_inference
+from repro.vit.zoo import model_config
+
+__all__ = ["ServeConfig", "ServeStats", "InferenceService"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one serving replica group."""
+
+    #: The preferred execution strategy for every batch.
+    strategy: Strategy = VITBIT
+    #: Bounded-queue capacity; puts beyond it are rejected (backpressure).
+    max_queue: int = 64
+    #: Largest batch the planner may choose.
+    max_batch: int = 32
+    #: How long a worker lingers after picking up the queue head to let
+    #: compatible requests accumulate (simulated seconds).
+    batch_window_seconds: float = 0.002
+    #: Concurrent batch workers (replicas).
+    workers: int = 1
+    #: Requeue attempts after an internal pricing/scheduling error.
+    max_retries: int = 1
+    #: Reject at admission when even a solo batch cannot meet the
+    #: request's deadline (cheaper than expiring it later).
+    admission_deadline_check: bool = True
+    #: Fault injection: bitwidths whose packing preflight is treated as
+    #: refuted, forcing the degraded path (tests and the CI smoke job).
+    inject_refute_bits: frozenset = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1 or self.max_batch < 1 or self.workers < 1:
+            raise ServeError("max_queue, max_batch and workers must be >= 1")
+        if self.batch_window_seconds < 0 or self.max_retries < 0:
+            raise ServeError("batch_window_seconds/max_retries must be >= 0")
+
+
+@dataclass
+class ServeStats:
+    """Service-side counters (request outcomes live in the results)."""
+
+    submitted: int = 0
+    accepted: int = 0
+    rejected_queue_full: int = 0
+    rejected_infeasible: int = 0
+    completed: int = 0
+    expired: int = 0
+    failed: int = 0
+    retries: int = 0
+    batches: int = 0
+    #: Batches served by the degraded baseline after a refuted preflight.
+    fallback_batches: int = 0
+    #: Requests served by the degraded baseline.
+    fallback_requests: int = 0
+    #: Chosen batch size -> how many batches used it.
+    batch_sizes: dict = field(default_factory=dict)
+
+    @property
+    def rejected(self) -> int:
+        """Total admission rejections (backpressure + infeasible)."""
+        return self.rejected_queue_full + self.rejected_infeasible
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot of every counter."""
+        return {
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_infeasible": self.rejected_infeasible,
+            "completed": self.completed,
+            "expired": self.expired,
+            "failed": self.failed,
+            "retries": self.retries,
+            "batches": self.batches,
+            "fallback_batches": self.fallback_batches,
+            "fallback_requests": self.fallback_requests,
+            "batch_sizes": {str(k): v for k, v in sorted(self.batch_sizes.items())},
+        }
+
+
+class _Pending:
+    """A queued request with its resolution future."""
+
+    __slots__ = ("request", "future", "arrival", "retries")
+
+    def __init__(self, request: InferenceRequest, future: asyncio.Future, arrival: float):
+        self.request = request
+        self.future = future
+        self.arrival = arrival
+        self.retries = 0
+
+
+class InferenceService:
+    """Batched inference over the ViT runtime and performance model."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        config: ServeConfig | None = None,
+        clock: Clock | None = None,
+    ):
+        self.machine = machine
+        self.config = config if config is not None else ServeConfig()
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.queue: BoundedRequestQueue = BoundedRequestQueue(
+            self.config.max_queue, self.clock
+        )
+        self.stats = ServeStats()
+        self._pms: dict[int, PerformanceModel] = {}
+        #: (model, bits) -> (effective strategy, fallback?, reason)
+        self._preflight: dict[tuple, tuple[Strategy, bool, str]] = {}
+        self._price_memo: dict[tuple, float] = {}
+        self._planner = BatchPlanner(self._price, self.config.max_batch)
+        self._workers: list[asyncio.Task] = []
+
+    # -- model plumbing ------------------------------------------------------
+
+    def pm_for(self, bits: int) -> PerformanceModel:
+        """The (clamping) performance model for one activation bitwidth."""
+        if bits not in self._pms:
+            self._pms[bits] = PerformanceModel(
+                self.machine, policy_for_bitwidth(bits), clamp_ratio=True
+            )
+        return self._pms[bits]
+
+    @property
+    def ratio_clamps(self) -> int:
+        """Split-rule clamp events across every bitwidth's model."""
+        return sum(pm.ratio_clamps for pm in self._pms.values())
+
+    def _price(self, model: str, bits: int, strategy: Strategy, batch: int) -> float:
+        """Priced service time of one (model, bits, strategy, batch)."""
+        key = (model, bits, strategy.name, batch)
+        if key not in self._price_memo:
+            timing = time_inference(
+                self.pm_for(bits), strategy, config=model_config(model), batch=batch
+            )
+            self._price_memo[key] = timing.total_seconds
+        return self._price_memo[key]
+
+    def effective_strategy(self, model: str, bits: int) -> tuple[Strategy, bool, str]:
+        """The strategy a (model, bits) batch actually runs, after preflight.
+
+        Returns ``(strategy, fallback, reason)``; memoized, so the
+        prover and split probes run once per pair.
+        """
+        key = (model, bits)
+        if key not in self._preflight:
+            strategy = self.config.strategy
+            fallback, reason = False, ""
+            try:
+                if bits in self.config.inject_refute_bits:
+                    raise OverflowBudgetError(
+                        f"injected refutation of the {bits}-bit packing "
+                        "plan (ServeConfig.inject_refute_bits)"
+                    )
+                preflight_strategy(
+                    self.pm_for(bits), strategy, config=model_config(model), batch=1
+                )
+            except (OverflowBudgetError, PackingError, ScheduleError) as exc:
+                strategy = self.config.strategy.degraded()
+                fallback, reason = True, str(exc)
+            self._preflight[key] = (strategy, fallback, reason)
+        return self._preflight[key]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the batch workers."""
+        if self._workers:
+            raise ServeError("service already started")
+        self._workers = [
+            asyncio.ensure_future(self._worker()) for _ in range(self.config.workers)
+        ]
+
+    async def stop(self) -> None:
+        """Stop accepting work, drain the queue, join the workers."""
+        self.queue.close()
+        if self._workers:
+            await asyncio.gather(*self._workers)
+            self._workers = []
+
+    # -- submission ----------------------------------------------------------
+
+    def submit_nowait(self, request: InferenceRequest) -> asyncio.Future:
+        """Admit (or reject) a request; returns the result future."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        pending = _Pending(request, future, self.clock.now())
+        self.stats.submitted += 1
+        try:
+            if self.config.admission_deadline_check:
+                strategy, _, _ = self.effective_strategy(request.model, request.bits)
+                solo = self._price(request.model, request.bits, strategy, 1)
+                if solo > request.deadline:
+                    self.stats.rejected_infeasible += 1
+                    self._finish(
+                        pending,
+                        RequestStatus.REJECTED,
+                        detail=(
+                            f"infeasible deadline: solo service time "
+                            f"{solo * 1e3:.2f} ms exceeds the "
+                            f"{request.deadline * 1e3:.2f} ms deadline"
+                        ),
+                    )
+                    return future
+            self.queue.put_nowait(pending)
+            self.stats.accepted += 1
+        except AdmissionError as exc:
+            self.stats.rejected_queue_full += 1
+            self._finish(pending, RequestStatus.REJECTED, detail=str(exc))
+        except ReproError as exc:
+            self.stats.failed += 1
+            self._finish(pending, RequestStatus.FAILED, detail=str(exc))
+        return future
+
+    async def submit(self, request: InferenceRequest) -> RequestResult:
+        """Submit and await the request's terminal result."""
+        return await self.submit_nowait(request)
+
+    # -- the batch worker ----------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            head = await self.queue.get()
+            if head is None:
+                return
+            if self.config.batch_window_seconds > 0:
+                await self.clock.sleep(self.config.batch_window_seconds)
+            await self._dispatch(head)
+
+    async def _dispatch(self, head: _Pending) -> None:
+        request = head.request
+        key = request.batch_key()
+        extra = self.queue.peek_matching(
+            lambda p: p.request.batch_key() == key, self.config.max_batch - 1
+        )
+        candidates = [head] + extra
+        now = self.clock.now()
+        try:
+            strategy, fallback, reason = self.effective_strategy(
+                request.model, request.bits
+            )
+            decision = self._planner.plan(
+                candidates, now, strategy, request.bits, request.model
+            )
+        except ReproError as exc:
+            self._retry_or_fail(head, exc)
+            return
+
+        self.queue.take([c for c in decision.admitted + decision.expired if c is not head])
+        for p in decision.expired:
+            self.stats.expired += 1
+            self._finish(
+                p,
+                RequestStatus.EXPIRED,
+                strategy=strategy,
+                detail="deadline passed while queued",
+            )
+        if not decision.admitted:
+            return
+
+        self.stats.batches += 1
+        self.stats.batch_sizes[decision.size] = (
+            self.stats.batch_sizes.get(decision.size, 0) + 1
+        )
+        if fallback:
+            self.stats.fallback_batches += 1
+        await self.clock.sleep(decision.service_seconds)
+
+        done = self.clock.now()
+        for p in decision.admitted:
+            latency = done - p.arrival
+            if done > p.arrival + p.request.deadline:
+                self.stats.expired += 1
+                self._finish(
+                    p,
+                    RequestStatus.EXPIRED,
+                    strategy=strategy,
+                    fallback=fallback,
+                    batch_size=decision.size,
+                    latency=latency,
+                    detail="completed after deadline (best-effort batch)",
+                )
+            else:
+                self.stats.completed += 1
+                if fallback:
+                    self.stats.fallback_requests += 1
+                self._finish(
+                    p,
+                    RequestStatus.COMPLETED,
+                    strategy=strategy,
+                    fallback=fallback,
+                    batch_size=decision.size,
+                    latency=latency,
+                    detail=reason if fallback else "",
+                )
+
+    def _retry_or_fail(self, pending: _Pending, exc: ReproError) -> None:
+        if pending.retries < self.config.max_retries:
+            pending.retries += 1
+            self.stats.retries += 1
+            try:
+                self.queue.put_nowait(pending)
+                return
+            except (AdmissionError, ServeError):
+                pass
+        self.stats.failed += 1
+        self._finish(
+            pending,
+            RequestStatus.FAILED,
+            retries=pending.retries,
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+
+    def _finish(
+        self,
+        pending: _Pending,
+        status: RequestStatus,
+        *,
+        strategy: Strategy | None = None,
+        fallback: bool = False,
+        batch_size: int = 0,
+        latency: float = 0.0,
+        retries: int = 0,
+        detail: str = "",
+    ) -> None:
+        if pending.future.done():
+            return
+        pending.future.set_result(
+            RequestResult(
+                request_id=pending.request.request_id,
+                status=status,
+                qos=pending.request.qos.name,
+                latency_seconds=latency,
+                strategy=strategy.name if strategy is not None else "",
+                fallback=fallback,
+                batch_size=batch_size,
+                retries=retries,
+                detail=detail,
+            )
+        )
+        self.clock.touch()

@@ -24,6 +24,7 @@ from repro.vit.model import IntViT
 from repro.vit.workload import KernelWork, vit_workload
 from repro.vit.runtime import (
     InferenceTiming,
+    preflight_strategy,
     run_inference,
     time_inference,
     verify_bit_exact,
@@ -39,5 +40,6 @@ __all__ = [
     "InferenceTiming",
     "run_inference",
     "time_inference",
+    "preflight_strategy",
     "verify_bit_exact",
 ]

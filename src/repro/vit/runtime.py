@@ -35,6 +35,7 @@ __all__ = [
     "verify_bit_exact",
     "InferenceTiming",
     "time_inference",
+    "preflight_strategy",
     "gemm_strategy_for",
     "cuda_kernel_strategy_for",
 ]
@@ -106,6 +107,57 @@ def cuda_kernel_strategy_for(strategy: Strategy) -> Strategy:
     if "C" in strategy.kernel_scope.split(","):
         return strategy
     return IC
+
+
+# -- serving preflight ----------------------------------------------------------
+
+
+def preflight_strategy(
+    pm: PerformanceModel,
+    strategy: Strategy,
+    *,
+    config: ViTConfig | None = None,
+    batch: int = DEFAULT_BATCH,
+    workload: list[KernelWork] | None = None,
+) -> None:
+    """Prove ``strategy`` serviceable for this workload before dispatch.
+
+    The serving layer calls this once per (model, bitwidth, strategy)
+    before committing a batch to the fused path; on failure the batch
+    falls back to the :meth:`~repro.fusion.strategies.Strategy.degraded`
+    baseline instead of erroring mid-request.  Two things can refute a
+    fused plan:
+
+    * the overflow prover refutes the packing plan for some fusable
+      GEMM's reduction depth (:class:`~repro.errors.OverflowBudgetError`
+      with a concrete witness), or
+    * lowering the Tensor:CUDA split fails
+      (:class:`~repro.errors.ScheduleError`; with ``pm.clamp_ratio``
+      set, an inapplicable split *rule* degrades to m = 1 instead and
+      is counted in ``pm.ratio_clamps``).
+
+    Non-fused strategies pass trivially.  All probes land in the
+    model's caches, so repeat preflights cost nothing.
+    """
+    if not strategy.is_fused:
+        return
+    from repro.analysis.overflow import preflight_gemm
+
+    work = workload if workload is not None else vit_workload(config, batch)
+    gemm_strat = gemm_strategy_for(strategy)
+    proven_depths: set[int] = set()
+    for kw in work:
+        if kw.kind != "gemm" or not kw.fusable or kw.gemm is None:
+            continue
+        if strategy.packing and kw.gemm.k not in proven_depths:
+            proven_depths.add(kw.gemm.k)
+            preflight_gemm(
+                pm.policy,
+                a_bits=pm.policy.effective_multiplier_bits,
+                k=kw.gemm.k,
+            )
+        if gemm_strat.uses_tensor and gemm_strat.uses_cuda:
+            pm.determine_tensor_cuda_ratio(kw.gemm, gemm_strat)
 
 
 # -- timing ---------------------------------------------------------------------

@@ -1,0 +1,153 @@
+"""Degenerate GEMM shapes: M=0, N=0, K=0 and single-column.
+
+The serving layer batches arbitrary request streams, so the kernels
+must agree with ``reference_gemm`` on empty dimensions too — in
+particular the K=0 product, where an empty sum is zero in every output
+cell (not an error).  These tests pin the contract across the
+reference, packed and fused paths, and the overflow prover's view that
+a depth-0 accumulation is trivially safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import prove_packed_accumulation
+from repro.analysis.overflow import preflight_gemm
+from repro.errors import PackingError
+from repro.kernels import fused_gemm
+from repro.packing import (
+    PackedGemmStats,
+    packed_gemm,
+    packed_gemm_unsigned,
+    policy_for_bitwidth,
+    reference_gemm,
+)
+from repro.preprocess import duplicate_weights, preprocess_input
+
+POL8 = policy_for_bitwidth(8)
+
+
+def _zeros(shape):
+    return np.zeros(shape, dtype=np.int64)
+
+
+class TestReferenceGemm:
+    @pytest.mark.parametrize("m,k,n", [(2, 0, 3), (0, 5, 3), (2, 5, 0), (0, 0, 0)])
+    def test_empty_dims(self, m, k, n):
+        out = reference_gemm(_zeros((m, k)), _zeros((k, n)))
+        assert out.shape == (m, n)
+        assert np.array_equal(out, _zeros((m, n)))
+
+
+class TestPackedGemmDegenerate:
+    def test_k_zero_returns_zeros(self):
+        """The ISSUE acceptance case: (2,0) @ (0,3) -> zeros((2,3))."""
+        out = packed_gemm_unsigned(_zeros((2, 0)), _zeros((0, 3)), POL8)
+        assert out.shape == (2, 3)
+        assert np.array_equal(out, _zeros((2, 3)))
+
+    def test_k_zero_signed_path(self):
+        out = packed_gemm(_zeros((2, 0)), _zeros((0, 3)), POL8)
+        assert np.array_equal(out, reference_gemm(_zeros((2, 0)), _zeros((0, 3))))
+
+    def test_k_zero_stats_populated(self):
+        stats = PackedGemmStats()
+        out = packed_gemm_unsigned(_zeros((4, 0)), _zeros((0, 2)), POL8, stats=stats)
+        assert out.shape == (4, 2)
+        assert (stats.m, stats.n, stats.k) == (4, 2, 0)
+        assert stats.lanes == POL8.lanes
+        assert stats.safe_depth >= 1
+
+    @pytest.mark.parametrize("m,k,n", [(0, 5, 3), (2, 5, 0), (0, 0, 0), (3, 0, 0)])
+    def test_other_empty_dims(self, m, k, n, rng):
+        a = rng.integers(0, 128, size=(m, k))
+        b = rng.integers(0, 256, size=(k, n))
+        out = packed_gemm_unsigned(a, b, POL8)
+        assert out.shape == (m, n)
+        assert np.array_equal(out, reference_gemm(a, b))
+
+    def test_signed_b_without_zero_point_is_actionable(self, rng):
+        a = rng.integers(-127, 128, size=(3, 6))
+        b = rng.integers(-128, 128, size=(6, 4))
+        b[0, 0] = -5  # guarantee a negative entry
+        with pytest.raises(PackingError) as exc:
+            packed_gemm(a, b, POL8)
+        msg = str(exc.value)
+        assert "b_zero_point" in msg
+        assert f"b_zero_point={-int(b.min())}" in msg
+
+    def test_signed_b_with_zero_point_still_works(self, rng):
+        a = rng.integers(-127, 128, size=(3, 6))
+        b = rng.integers(-128, 128, size=(6, 4))
+        out = packed_gemm(a, b, POL8, b_zero_point=128)
+        assert np.array_equal(out, reference_gemm(a, b))
+
+
+class TestProverDegenerate:
+    def test_depth_zero_is_trivially_safe(self):
+        proof = prove_packed_accumulation(POL8, k=0)
+        assert proof.safe
+
+    def test_negative_depth_still_rejected(self):
+        with pytest.raises(PackingError):
+            prove_packed_accumulation(POL8, k=-1)
+
+    def test_preflight_depth_zero(self):
+        probe = preflight_gemm(POL8, a_bits=POL8.effective_multiplier_bits, k=0)
+        assert probe.safe
+
+
+class TestFusedGemmDegenerate:
+    def _run(self, rng, m, k, n, m_ratio=4.0):
+        a = rng.integers(-127, 128, size=(m, k))
+        b_true = rng.integers(-128, 128, size=(k, n))
+        res = preprocess_input(b_true + 128, m_ratio, POL8)
+        a1, a2 = duplicate_weights(a)
+        out = fused_gemm(a1, a2, res.matrices, POL8, b_zero_point=128)
+        return out.c, reference_gemm(a, b_true)
+
+    @pytest.mark.parametrize("m,k,n", [(4, 8, 0), (0, 8, 6), (4, 0, 6), (4, 8, 1)])
+    def test_degenerate_bit_exact(self, m, k, n, rng):
+        got, ref = self._run(rng, m, k, n)
+        assert got.shape == ref.shape
+        assert np.array_equal(got, ref)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    m=st.integers(min_value=0, max_value=6),
+    k=st.integers(min_value=0, max_value=24),
+    n=st.integers(min_value=0, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_packed_matches_reference_incl_empty(m, k, n, seed):
+    """packed == reference over the whole shape lattice, empties included."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 128, size=(m, k))
+    b = rng.integers(0, 256, size=(k, n))
+    assert np.array_equal(
+        packed_gemm_unsigned(a, b, POL8), reference_gemm(a, b)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    m=st.integers(min_value=0, max_value=5),
+    k=st.integers(min_value=0, max_value=16),
+    n=st.integers(min_value=0, max_value=8),
+    m_ratio=st.floats(min_value=0.0, max_value=16.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_fused_matches_reference_incl_empty(m, k, n, m_ratio, seed):
+    """The fused kernel's bit-exactness extends to empty dimensions."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-127, 128, size=(m, k))
+    b_true = rng.integers(-128, 128, size=(k, n))
+    res = preprocess_input(b_true + 128, m_ratio, POL8)
+    a1, a2 = duplicate_weights(a)
+    out = fused_gemm(a1, a2, res.matrices, POL8, b_zero_point=128)
+    assert np.array_equal(out.c, reference_gemm(a, b_true))

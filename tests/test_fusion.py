@@ -128,6 +128,33 @@ class TestMRule:
         with pytest.raises(ScheduleError):
             tensor_cuda_ratio_from_times(2.0, 1.0)
 
+    def test_inverted_message_mentions_clamp(self):
+        with pytest.raises(ScheduleError, match="clamp=True"):
+            tensor_cuda_ratio_from_times(1.4, 1.0)
+
+    def test_clamp_degrades_to_unit_ratio_with_warning(self):
+        import warnings
+
+        from repro.errors import RatioClampWarning
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            m = tensor_cuda_ratio_from_times(1.4, 1.0, clamp=True)
+        assert m == 1.0
+        assert any(issubclass(w.category, RatioClampWarning) for w in caught)
+
+    def test_clamp_does_not_alter_applicable_rule(self):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert tensor_cuda_ratio_from_times(1.0, 4.2, clamp=True) == 4
+        assert not caught
+
+    def test_clamp_still_rejects_nonpositive_times(self):
+        with pytest.raises(ScheduleError):
+            tensor_cuda_ratio_from_times(0.0, 4.0, clamp=True)
+
 
 class TestInterleave:
     def test_tensor_first(self):

@@ -173,6 +173,39 @@ class TestTimeGemm:
         assert pm_no_oh.determine_tensor_cuda_ratio(SHAPE, VITBIT) == 4
         assert pm_no_oh.determine_tensor_cuda_ratio(SHAPE, TACKER) >= 6
 
+    def test_clamp_ratio_degrades_and_counts(self, machine, monkeypatch):
+        """An inapplicable m rule (CUDA beats Tensor) clamps to m = 1 and
+        bumps the model's counter when ``clamp_ratio=True``; strict models
+        still raise."""
+        from repro.errors import ScheduleError
+        from repro.fusion.ratio import tensor_cuda_ratio_from_times
+        from repro.perfmodel import model as model_mod
+
+        def inverted(t_tc, t_cuda, *, round_to_int=True, clamp=False):
+            # Pretend the measured times came out inverted.
+            return tensor_cuda_ratio_from_times(
+                1.4, 1.0, round_to_int=round_to_int, clamp=clamp
+            )
+
+        monkeypatch.setattr(model_mod, "tensor_cuda_ratio_from_times", inverted)
+
+        strict = PerformanceModel(machine, include_launch_overhead=False)
+        with pytest.raises(ScheduleError, match="clamp=True"):
+            strict.determine_tensor_cuda_ratio(SHAPE, VITBIT)
+        assert strict.ratio_clamps == 0
+
+        lenient = PerformanceModel(
+            machine, include_launch_overhead=False, clamp_ratio=True
+        )
+        assert lenient.determine_tensor_cuda_ratio(SHAPE, VITBIT) == 1.0
+        assert lenient.ratio_clamps == 1
+        # Memoized: a repeat does not double-count.
+        assert lenient.determine_tensor_cuda_ratio(SHAPE, VITBIT) == 1.0
+        assert lenient.ratio_clamps == 1
+        # Per-call override beats the constructor default.
+        with pytest.raises(ScheduleError):
+            lenient.determine_tensor_cuda_ratio(SHAPE, VITBIT, clamp=False)
+
     def test_strategy_ordering_on_linear_kernels(self, pm_no_oh):
         """The paper's headline ordering at the GEMM level."""
         t = {

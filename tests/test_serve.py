@@ -1,0 +1,303 @@
+"""Tests for the batched inference serving layer (`repro.serve`).
+
+Everything runs on the :class:`SimulatedClock`, so these tests advance
+hundreds of simulated milliseconds in a few host milliseconds and are
+bit-deterministic: the same seed produces the same latency
+distribution on every run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.arch import jetson_orin_agx
+from repro.errors import AdmissionError, ServeError
+from repro.fusion.qos import BATCH, INTERACTIVE, STANDARD, qos_class
+from repro.serve import (
+    BoundedRequestQueue,
+    InferenceRequest,
+    InferenceService,
+    LoadSpec,
+    RequestStatus,
+    ServeConfig,
+    SimulatedClock,
+    batch_palette,
+    generate_requests,
+    run_load,
+)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return jetson_orin_agx()
+
+
+# ---------------------------------------------------------------------------
+# clock
+
+
+class TestSimulatedClock:
+    def test_sleep_advances_virtual_time_only(self):
+        clock = SimulatedClock()
+
+        async def main():
+            await clock.sleep(1.5)
+            return clock.now()
+
+        assert clock.run(main()) == pytest.approx(1.5)
+
+    def test_interleaved_sleepers_fire_in_order(self):
+        clock = SimulatedClock()
+        order = []
+
+        async def sleeper(name, delay):
+            await clock.sleep(delay)
+            order.append((name, clock.now()))
+
+        async def main():
+            await asyncio.gather(
+                sleeper("c", 0.3), sleeper("a", 0.1), sleeper("b", 0.2)
+            )
+
+        clock.run(main())
+        assert [n for n, _ in order] == ["a", "b", "c"]
+        assert [t for _, t in order] == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_deadlock_detected_not_hung(self):
+        clock = SimulatedClock()
+
+        async def main():
+            await asyncio.get_running_loop().create_future()  # never resolved
+
+        with pytest.raises(ServeError, match="deadlock"):
+            clock.run(main())
+
+
+# ---------------------------------------------------------------------------
+# queue
+
+
+class TestBoundedQueue:
+    def test_backpressure_raises_admission_error(self):
+        clock = SimulatedClock()
+        q = BoundedRequestQueue(2, clock)
+        q.put_nowait("a")
+        q.put_nowait("b")
+        with pytest.raises(AdmissionError, match="queue full"):
+            q.put_nowait("c")
+
+    def test_fifo_and_close(self):
+        clock = SimulatedClock()
+        q = BoundedRequestQueue(8, clock)
+
+        async def main():
+            q.put_nowait("a")
+            q.put_nowait("b")
+            first = await q.get()
+            second = await q.get()
+            q.close()
+            third = await q.get()  # drained + closed -> None
+            return first, second, third
+
+        assert clock.run(main()) == ("a", "b", None)
+
+    def test_peek_and_take_preserve_order(self):
+        clock = SimulatedClock()
+        q = BoundedRequestQueue(8, clock)
+
+        async def main():
+            for x in ["a1", "b1", "a2", "b2"]:
+                q.put_nowait(x)
+            picked = q.peek_matching(lambda s: s.startswith("a"), limit=8)
+            q.take(picked)
+            return picked, list(q._items)
+
+        picked, left = clock.run(main())
+        assert picked == ["a1", "a2"]
+        assert left == ["b1", "b2"]
+
+
+# ---------------------------------------------------------------------------
+# batching palette
+
+
+def test_batch_palette_powers_of_two_inclusive():
+    assert batch_palette(32) == (1, 2, 4, 8, 16, 32)
+    assert batch_palette(24) == (1, 2, 4, 8, 16, 24)
+    assert batch_palette(1) == (1,)
+    with pytest.raises(ServeError):
+        batch_palette(0)
+
+
+# ---------------------------------------------------------------------------
+# service
+
+
+def _serve(machine, config, requests):
+    """Run a list of (arrival, request) through a fresh service."""
+    clock = SimulatedClock()
+    service = InferenceService(machine, config, clock)
+
+    async def main():
+        await service.start()
+        futures = []
+        for arrival, req in requests:
+            delay = arrival - clock.now()
+            if delay > 0:
+                await clock.sleep(delay)
+            futures.append(service.submit_nowait(req))
+        results = await asyncio.gather(*futures)
+        await service.stop()
+        return list(results)
+
+    return service, clock.run(main())
+
+
+class TestInferenceService:
+    def test_single_request_completes(self, machine):
+        service, results = _serve(
+            machine,
+            ServeConfig(),
+            [(0.0, InferenceRequest(0, model="test-tiny", qos=STANDARD))],
+        )
+        (r,) = results
+        assert r.status is RequestStatus.COMPLETED
+        assert r.latency_seconds > 0
+        assert not r.fallback
+        assert service.stats.batches == 1
+
+    def test_compatible_requests_batch_together(self, machine):
+        reqs = [
+            (0.0, InferenceRequest(i, model="test-tiny", qos=BATCH))
+            for i in range(4)
+        ]
+        service, results = _serve(machine, ServeConfig(), reqs)
+        assert all(r.status is RequestStatus.COMPLETED for r in results)
+        # all four arrived before the batch window closed -> one batch
+        assert service.stats.batches == 1
+        assert results[0].batch_size == 4
+
+    def test_mixed_bitwidths_never_share_a_batch(self, machine):
+        reqs = [
+            (0.0, InferenceRequest(0, model="test-tiny", bits=8, qos=BATCH)),
+            (0.0, InferenceRequest(1, model="test-tiny", bits=4, qos=BATCH)),
+        ]
+        service, results = _serve(machine, ServeConfig(), reqs)
+        assert all(r.ok for r in results)
+        assert service.stats.batches == 2
+        assert all(r.batch_size == 1 for r in results)
+
+    def test_queue_full_rejects_with_result_not_exception(self, machine):
+        config = ServeConfig(max_queue=1, max_batch=1, batch_window_seconds=0.0)
+        reqs = [
+            (0.0, InferenceRequest(i, model="test-tiny", qos=BATCH))
+            for i in range(12)
+        ]
+        service, results = _serve(machine, config, reqs)
+        rejected = [r for r in results if r.status is RequestStatus.REJECTED]
+        completed = [r for r in results if r.ok]
+        assert rejected and completed
+        assert service.stats.rejected_queue_full == len(rejected)
+        assert all("queue full" in r.detail for r in rejected)
+
+    def test_infeasible_deadline_rejected_at_admission(self, machine):
+        # vit-base cannot finish in 1 microsecond even solo.
+        req = InferenceRequest(0, qos=STANDARD, deadline_seconds=1e-6)
+        service, results = _serve(machine, ServeConfig(), [(0.0, req)])
+        (r,) = results
+        assert r.status is RequestStatus.REJECTED
+        assert "infeasible deadline" in r.detail
+        assert service.stats.rejected_infeasible == 1
+
+    def test_deadline_expiry_while_queued(self, machine):
+        # One worker, zero batch window: a long batch-class request heads
+        # the queue; a tight-deadline request behind it expires unserved.
+        config = ServeConfig(
+            max_batch=1, batch_window_seconds=0.0, admission_deadline_check=False
+        )
+        tight = InferenceRequest(1, model="test-tiny", qos=INTERACTIVE,
+                                 deadline_seconds=1e-4)
+        reqs = [
+            (0.0, InferenceRequest(0, model="test-tiny", qos=BATCH)),
+            (0.0, tight),
+        ]
+        service, results = _serve(machine, config, reqs)
+        statuses = {r.request_id: r.status for r in results}
+        assert statuses[0] is RequestStatus.COMPLETED
+        assert statuses[1] is RequestStatus.EXPIRED
+        assert service.stats.expired == 1
+
+    def test_injected_refutation_degrades_not_fails(self, machine):
+        config = ServeConfig(inject_refute_bits=frozenset({8}))
+        reqs = [
+            (0.0, InferenceRequest(i, model="test-tiny", qos=BATCH))
+            for i in range(4)
+        ]
+        service, results = _serve(machine, config, reqs)
+        assert all(r.status is RequestStatus.COMPLETED for r in results)
+        assert all(r.fallback for r in results)
+        assert all("injected refutation" in r.detail for r in results)
+        # VitBit (TC+IC+FC+P) degrades to the Tensor-only baseline.
+        assert results[0].strategy == "TC"
+        assert service.stats.fallback_requests == 4
+        assert service.stats.fallback_batches == 1
+        assert service.stats.failed == 0
+
+    def test_refutation_is_per_bitwidth(self, machine):
+        config = ServeConfig(inject_refute_bits=frozenset({4}))
+        reqs = [
+            (0.0, InferenceRequest(0, model="test-tiny", bits=8, qos=BATCH)),
+            (0.0, InferenceRequest(1, model="test-tiny", bits=4, qos=BATCH)),
+        ]
+        _, results = _serve(machine, config, reqs)
+        by_id = {r.request_id: r for r in results}
+        assert not by_id[0].fallback and by_id[0].strategy == "VitBit"
+        assert by_id[1].fallback and by_id[1].strategy == "TC"
+
+
+# ---------------------------------------------------------------------------
+# load generation and the end-to-end benchmark
+
+
+class TestLoadgen:
+    def test_schedule_is_deterministic(self):
+        spec = LoadSpec(requests=20, seed=42)
+        s1, s2 = generate_requests(spec), generate_requests(spec)
+        assert [(a, r.bits, r.qos.name) for a, r in s1] == [
+            (a, r.bits, r.qos.name) for a, r in s2
+        ]
+
+    def test_unknown_qos_rejected(self):
+        from repro.errors import ScheduleError
+
+        with pytest.raises(ServeError, match="unknown QoS class"):
+            LoadSpec(qos_mix=(("warp-speed", 1.0),))
+        with pytest.raises(ScheduleError, match="unknown QoS class"):
+            qos_class("warp-speed")
+
+    def test_run_load_end_to_end_deterministic(self, machine):
+        spec = LoadSpec(requests=40, rate_per_s=500.0, seed=9, model="test-tiny")
+        r1 = run_load(machine, ServeConfig(), spec)
+        r2 = run_load(machine, ServeConfig(), spec)
+        s1, s2 = r1.to_summary(), r2.to_summary()
+        s1.pop("wall_seconds")
+        s2.pop("wall_seconds")
+        assert s1 == s2
+        assert s1["failed"] == 0 and s1["unhandled_errors"] == 0
+        assert s1["completed"] + s1["rejected"] + s1["expired"] == 40
+        assert s1["latency_ms"]["overall"]["p50"] > 0
+
+    def test_summary_merges_into_existing_file(self, machine, tmp_path):
+        import json
+
+        out = tmp_path / "summary.json"
+        out.write_text(json.dumps({"benches": {"keep": 1}}))
+        spec = LoadSpec(requests=10, rate_per_s=500.0, seed=1, model="test-tiny")
+        report = run_load(machine, ServeConfig(), spec)
+        report.write_summary(out)
+        data = json.loads(out.read_text())
+        assert data["benches"] == {"keep": 1}  # pre-existing keys survive
+        assert data["serve"]["requests"] == 10
+        assert report.render()  # renders without error
