@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench examples reports clean
+.PHONY: install test coverage lint bench examples reports clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -11,6 +11,11 @@ install:
 # install is needed (matches lint below).
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -x -q
+
+# Tier-1 tests under the CI coverage floor (needs pytest-cov).
+coverage:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q \
+		--cov=repro --cov-report=term-missing --cov-fail-under=75
 
 # Static verification: ruff (generic style, when available) + the
 # repo's own AST lint and analysis self-check (see docs/ANALYSIS.md).

@@ -18,11 +18,11 @@ tables inline, or read the files under ``benchmarks/out/``.
 
 from __future__ import annotations
 
-import json
 import pathlib
 
 import pytest
 
+from repro import obs
 from repro.arch import jetson_orin_agx
 from repro.packing import policy_for_bitwidth
 from repro.perfmodel import PerformanceModel, TimingCache
@@ -77,21 +77,28 @@ def pytest_runtest_logreport(report):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Write benchmarks/out/summary.json (the perf-trajectory record)."""
+    """Merge benchmarks/out/summary.json (the perf-trajectory record).
+
+    Only the bench-owned sections are replaced — a ``"serve"`` section
+    written by a concurrent ``repro serve`` survives — and the write is
+    atomic (temp file + rename via :func:`repro.obs.merge_summary`).
+    """
     if not _SUMMARY["benches"]:
         return
-    OUT_DIR.mkdir(exist_ok=True)
     stats = TimingCache.default().stats()
-    payload = {
-        "benches": _SUMMARY["benches"],
-        "factors": _SUMMARY["factors"],
-        "total_bench_seconds": round(sum(_SUMMARY["benches"].values()), 4),
-        "timing_cache": {
-            "hits": stats.hits,
-            "misses": stats.misses,
-            "entries": stats.entries,
-            "hit_rate": round(stats.hit_rate, 4),
-            "persistent": stats.persistent,
+    obs.merge_summary(
+        OUT_DIR / "summary.json",
+        {
+            "benches": _SUMMARY["benches"],
+            "factors": _SUMMARY["factors"],
+            "total_bench_seconds": round(sum(_SUMMARY["benches"].values()), 4),
+            "timing_cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "entries": stats.entries,
+                "hit_rate": round(stats.hit_rate, 4),
+                "persistent": stats.persistent,
+            },
+            "metrics": obs.snapshot(),
         },
-    }
-    (OUT_DIR / "summary.json").write_text(json.dumps(payload, indent=2) + "\n")
+    )

@@ -31,12 +31,20 @@ Commands
     Deterministic open-loop serving benchmark on the simulated clock:
     admission control, dynamic batching, QoS deadlines, graceful
     degradation.  Reports throughput and p50/p95/p99 latency and merges
-    them into ``benchmarks/out/summary.json`` under ``"serve"``.
+    them into ``benchmarks/out/summary.json`` under ``"serve"`` plus a
+    full metrics snapshot under ``"metrics"``; ``--trace PATH`` writes
+    the span timeline as Chrome-tracing JSON.
+``metrics [--format table|json|prom] [--summary PATH]``
+    Render the ``"metrics"`` section of ``summary.json`` (written by
+    ``serve``/``bench``) as a table, canonical JSON, or the Prometheus
+    text exposition format.  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 
 from repro.arch import jetson_orin_agx, peak_throughput_table
@@ -313,8 +321,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(report.render())
     if args.summary:
         out = report.write_summary(args.summary)
-        print(f"\nwrote serve summary to {out}")
+        print(f"\nwrote serve summary + metrics to {out} "
+              "(inspect with: python -m repro metrics)")
+    if args.trace:
+        from repro import obs
+
+        trace_out = pathlib.Path(args.trace)
+        trace_out.parent.mkdir(parents=True, exist_ok=True)
+        trace_out.write_text(obs.get_tracer().to_chrome_trace() + "\n")
+        print(f"wrote {len(obs.get_tracer().spans)} spans to {trace_out} "
+              "(load in chrome://tracing or Perfetto)")
     return 1 if report.unhandled_errors or report.stats.get("failed", 0) else 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    path = pathlib.Path(args.summary)
+    if not path.exists():
+        print(f"no summary at {path} — run `python -m repro serve` or "
+              "`python -m repro bench` first")
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"unreadable summary at {path}: {exc}")
+        return 1
+    snapshot = payload.get("metrics")
+    if not isinstance(snapshot, dict) or not snapshot:
+        print(f"{path} has no \"metrics\" section — rerun "
+              "`python -m repro serve` (PR 5+) to record one")
+        return 1
+    if args.format == "json":
+        print(obs.snapshot_to_json(snapshot), end="")
+    elif args.format == "prom":
+        print(obs.snapshot_to_prometheus(snapshot), end="")
+    else:
+        print(obs.render_metrics_table(snapshot))
+    return 0
 
 
 def _cmd_models(_args: argparse.Namespace) -> int:
@@ -390,6 +434,16 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--summary", default="benchmarks/out/summary.json",
                    help="summary.json to merge the report into "
                    "('' to skip writing)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write the span timeline as Chrome-tracing JSON")
+
+    p = sub.add_parser("metrics", help="render the recorded metrics snapshot")
+    p.add_argument("--format", choices=["table", "json", "prom"],
+                   default="table",
+                   help="output format (default: table; prom = Prometheus "
+                   "text exposition)")
+    p.add_argument("--summary", default="benchmarks/out/summary.json",
+                   help="summary.json holding the \"metrics\" section")
 
     sub.add_parser("models", help="list the model zoo")
 
@@ -431,6 +485,7 @@ def main(argv: list[str] | None = None) -> int:
         "models": _cmd_models,
         "analyze": _cmd_analyze,
         "serve": _cmd_serve,
+        "metrics": _cmd_metrics,
     }
     return handlers[args.command](args)
 

@@ -19,6 +19,7 @@ __all__ = [
     "ModelConfigError",
     "ServeError",
     "AdmissionError",
+    "ObservabilityError",
     "RatioClampWarning",
 ]
 
@@ -69,6 +70,10 @@ class ServeError(ReproError):
 
 class AdmissionError(ServeError):
     """A request was refused admission (queue full or deadline infeasible)."""
+
+
+class ObservabilityError(ReproError):
+    """A metric was registered or used inconsistently (type, buckets)."""
 
 
 class RatioClampWarning(UserWarning):

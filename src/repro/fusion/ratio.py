@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import warnings
 
+from repro import obs
 from repro.errors import RatioClampWarning, ScheduleError
 from repro.packing.policy import PackingPolicy
 
@@ -79,6 +80,10 @@ def tensor_cuda_ratio_from_times(
                 f"(m = {m:.3f} < 1); the Tensor:CUDA split rule does not "
                 "apply — pass clamp=True to degrade to an even m=1 split"
             )
+        obs.counter(
+            "ratio_clamps_total",
+            "Tensor:CUDA split rules degraded to an even m = 1 split",
+        ).inc()
         warnings.warn(
             RatioClampWarning(
                 f"Tensor:CUDA ratio m = {m:.3f} < 1 (CUDA-core GEMM "

@@ -1,0 +1,115 @@
+"""Unified observability: one metrics registry and one tracer per process.
+
+Runtime signals used to live in per-module counters — timing-cache
+hit/miss tallies in :mod:`repro.perfmodel.timingcache`, fallback and
+clamp counts in the serving layer, pack-instruction stats in
+:mod:`repro.packing.gemm`.  This package gives them one home:
+
+* :mod:`repro.obs.registry` — counters, gauges and explicit-bucket
+  histograms in a process-wide :class:`MetricsRegistry`;
+* :mod:`repro.obs.tracer` — span-based tracing whose timestamps come
+  from the active :class:`~repro.serve.clock.SimulatedClock` during a
+  simulation (deterministic traces) and the wall clock otherwise;
+* :mod:`repro.obs.export` — JSON / Prometheus / table exporters plus
+  the atomic ``summary.json`` section merge every writer shares.
+
+Instrumented call sites use the conveniences below, which proxy to the
+process-wide defaults::
+
+    from repro import obs
+    obs.counter("timing_cache_hits_total", "...").inc()
+    with obs.get_tracer().span("serve.batch", size=4):
+        ...
+
+Existing per-module counters keep working (they are still the source
+of per-instance numbers); the registry is the cross-cutting, per-run
+aggregate view.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    merge_summary,
+    render_metrics_table,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_labels,
+)
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    activate_clock,
+    active_clock,
+    current_time,
+    deactivate_clock,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "render_labels",
+    "Tracer",
+    "Span",
+    "activate_clock",
+    "deactivate_clock",
+    "active_clock",
+    "current_time",
+    "counter",
+    "gauge",
+    "histogram",
+    "get_registry",
+    "get_tracer",
+    "snapshot",
+    "reset_observability",
+    "merge_summary",
+    "snapshot_to_json",
+    "snapshot_to_prometheus",
+    "render_metrics_table",
+]
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return MetricsRegistry.default()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default :class:`Tracer`."""
+    return Tracer.default()
+
+
+def counter(name: str, help_text: str = "", labels: dict | None = None) -> Counter:
+    """Get or create ``name`` as a counter in the default registry."""
+    return get_registry().counter(name, help_text, labels)
+
+
+def gauge(name: str, help_text: str = "", labels: dict | None = None) -> Gauge:
+    """Get or create ``name`` as a gauge in the default registry."""
+    return get_registry().gauge(name, help_text, labels)
+
+
+def histogram(name: str, help_text: str = "", *,
+              buckets: tuple[float, ...],
+              labels: dict | None = None) -> Histogram:
+    """Get or create ``name`` as a histogram in the default registry."""
+    return get_registry().histogram(name, help_text, buckets=buckets,
+                                    labels=labels)
+
+
+def snapshot() -> dict:
+    """Deterministically ordered snapshot of the default registry."""
+    return get_registry().snapshot()
+
+
+def reset_observability() -> None:
+    """Fresh default registry *and* tracer (test isolation)."""
+    MetricsRegistry.reset_default()
+    Tracer.reset_default()

@@ -1,0 +1,154 @@
+"""Metrics exporters and the atomic ``summary.json`` merge.
+
+Three output formats over one :meth:`~repro.obs.registry.MetricsRegistry.snapshot`
+dict (all pure functions of the snapshot, so they render identically
+from a live registry or from a snapshot read back out of
+``summary.json``):
+
+* :func:`snapshot_to_json` — canonical JSON (sorted keys), the form
+  merged into ``benchmarks/out/summary.json`` under ``"metrics"``;
+* :func:`snapshot_to_prometheus` — the Prometheus text exposition
+  format (``# HELP`` / ``# TYPE`` / samples, cumulative ``le=``
+  histogram buckets), scrape-ready;
+* :func:`render_metrics_table` — the human view ``repro metrics``
+  prints.
+
+:func:`merge_summary` is the one writer every summary producer goes
+through: read the existing file, replace only the caller's sections,
+write to a temp file in the same directory and :func:`os.replace` it
+into place — so a concurrent ``repro bench`` and ``repro serve`` can
+interleave without tearing each other's sections (rename is atomic on
+POSIX; readers see the old or the new file, never a torn one).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+
+__all__ = [
+    "snapshot_to_json",
+    "snapshot_to_prometheus",
+    "render_metrics_table",
+    "merge_summary",
+]
+
+
+def snapshot_to_json(snapshot: dict) -> str:
+    """Canonical JSON encoding (sorted keys, 2-space indent, newline)."""
+    return json.dumps(snapshot, sort_keys=True, indent=2) + "\n"
+
+
+def _prom_number(value: float) -> str:
+    """Prometheus sample rendering: integers without a trailing ``.0``."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _prom_line(name: str, labels: str, value: float,
+               extra_label: str = "") -> str:
+    joined = ",".join(x for x in (labels, extra_label) if x)
+    body = f"{{{joined}}}" if joined else ""
+    return f"{name}{body} {_prom_number(value)}"
+
+
+def snapshot_to_prometheus(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Histograms emit cumulative ``_bucket{le=...}`` samples plus
+    ``_sum`` and ``_count``, counters and gauges one sample per label
+    set; families are ordered by name, samples by label string, so the
+    output is deterministic.
+    """
+    lines: list[str] = []
+    for kind in ("counters", "gauges", "histograms"):
+        prom_type = kind[:-1]
+        for name in sorted(snapshot.get(kind, {})):
+            fam = snapshot[kind][name]
+            if fam.get("help"):
+                lines.append(f"# HELP {name} {fam['help']}")
+            lines.append(f"# TYPE {name} {prom_type}")
+            for labels in sorted(fam["values"]):
+                value = fam["values"][labels]
+                if prom_type != "histogram":
+                    lines.append(_prom_line(name, labels, float(value)))
+                    continue
+                cumulative = 0
+                for bound, count in zip(fam["buckets"], value["counts"]):
+                    cumulative += count
+                    lines.append(_prom_line(
+                        f"{name}_bucket", labels, cumulative,
+                        f'le="{_prom_number(float(bound))}"',
+                    ))
+                cumulative += value["counts"][-1]
+                lines.append(_prom_line(
+                    f"{name}_bucket", labels, cumulative, 'le="+Inf"'
+                ))
+                lines.append(_prom_line(f"{name}_sum", labels,
+                                        float(value["sum"])))
+                lines.append(_prom_line(f"{name}_count", labels,
+                                        float(value["count"])))
+    return "\n".join(lines) + "\n"
+
+
+def render_metrics_table(snapshot: dict) -> str:
+    """Human-readable table of every metric (the ``repro metrics`` view)."""
+    from repro.utils.tables import format_table
+
+    rows: list[tuple] = []
+    for kind in ("counters", "gauges"):
+        for name in sorted(snapshot.get(kind, {})):
+            fam = snapshot[kind][name]
+            for labels in sorted(fam["values"]):
+                shown = f"{name}{{{labels}}}" if labels else name
+                rows.append((shown, kind[:-1], fam["values"][labels]))
+    for name in sorted(snapshot.get("histograms", {})):
+        fam = snapshot["histograms"][name]
+        for labels in sorted(fam["values"]):
+            v = fam["values"][labels]
+            shown = f"{name}{{{labels}}}" if labels else name
+            mean = v["sum"] / v["count"] if v["count"] else 0.0
+            rows.append((shown, "histogram",
+                         f"n={v['count']} mean={mean:.4g}"))
+    if not rows:
+        return "no metrics recorded"
+    return format_table(["metric", "type", "value"], rows,
+                        title="metrics snapshot")
+
+
+def merge_summary(path: "str | pathlib.Path", sections: dict) -> pathlib.Path:
+    """Atomically merge ``sections`` into the JSON file at ``path``.
+
+    Only the given top-level keys are replaced; everything else in an
+    existing file is preserved (a corrupt or non-dict file is treated
+    as empty).  The write goes through a same-directory temp file and
+    ``os.replace``, so concurrent writers interleave at file
+    granularity instead of tearing each other's output.
+    """
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    payload: dict = {}
+    if out.exists():
+        try:
+            existing = json.loads(out.read_text())
+            if isinstance(existing, dict):
+                payload = existing
+        except (OSError, ValueError):
+            payload = {}
+    payload.update(sections)
+    fd, tmp = tempfile.mkstemp(dir=out.parent, prefix=out.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp, out)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return out

@@ -1,0 +1,259 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` holds every runtime signal the stack
+emits — timing-cache hits, serve batch sizes, fallback counts, sweep
+timings — so a run's health is one snapshot away instead of being
+scattered across per-module counters.  The design follows the
+Prometheus data model in miniature:
+
+* a metric *family* is a name + type + help string;
+* each family has one child per distinct **label set** (e.g.
+  ``serve_requests_total{status="completed"}``);
+* :class:`Counter` only goes up, :class:`Gauge` is set to the latest
+  value, :class:`Histogram` buckets observations against **explicit**
+  upper bounds (no adaptive buckets — bucket layout is part of the
+  metric's identity, so snapshots from different runs are comparable).
+
+Determinism
+-----------
+Snapshots are fully ordered (families by name, children by rendered
+label string), so two runs that perform the same work produce
+byte-identical ``json.dumps(snapshot, sort_keys=True)`` output — the
+property the serving determinism tests lock down.  Nothing in this
+module reads the wall clock.
+
+Instrumented call sites use the module-level conveniences in
+:mod:`repro.obs` (``counter(...)``, ``gauge(...)``,
+``histogram(...)``), which proxy to the process-wide default registry;
+tests swap the default with :meth:`MetricsRegistry.reset_default`.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_labels",
+]
+
+
+def render_labels(labels: dict | None) -> str:
+    """Canonical ``k="v"`` rendering of a label set (sorted, stable).
+
+    The empty label set renders as ``""``; snapshots and the
+    Prometheus exporter both key children by this string, so ordering
+    is identical everywhere.
+    """
+    if not labels:
+        return ""
+    return ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+
+
+class Counter:
+    """A monotonically increasing value (events since process start)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counters only go up; inc({amount}) is negative"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue depth, cache entries)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: int | float) -> None:
+        """Replace the gauge's value."""
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        self.value += amount
+
+
+class Histogram:
+    """Observations bucketed against explicit upper bounds.
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an
+    implicit ``+Inf`` bucket catches the rest.  ``counts[i]`` is the
+    number of observations ``<= buckets[i]`` *exclusive of earlier
+    buckets* (per-bucket, not cumulative — the exporters cumulate).
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...]) -> None:
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ObservabilityError(
+                f"histogram buckets must be non-empty and strictly "
+                f"increasing, got {buckets!r}"
+            )
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: int | float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """One metric family: shared name/type/help, children per label set."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 buckets: tuple[float, ...] | None):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.children: dict[str, Counter | Gauge | Histogram] = {}
+
+    def child(self, labels: dict | None):
+        """The child metric for ``labels`` (created on first use)."""
+        key = render_labels(labels)
+        got = self.children.get(key)
+        if got is None:
+            got = (
+                Histogram(self.buckets)
+                if self.kind == "histogram"
+                else _KINDS[self.kind]()
+            )
+            self.children[key] = got
+        return got
+
+
+class MetricsRegistry:
+    """Registry of metric families with a process-wide default instance."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # -- registration ---------------------------------------------------------
+
+    def _family(self, name: str, kind: str, help_text: str,
+                buckets: tuple[float, ...] | None = None) -> _Family:
+        fam = self._families.get(name)
+        if fam is None:
+            with self._lock:
+                fam = self._families.get(name)
+                if fam is None:
+                    fam = _Family(name, kind, help_text, buckets)
+                    self._families[name] = fam
+        if fam.kind != kind:
+            raise ObservabilityError(
+                f"metric {name!r} already registered as a {fam.kind}, "
+                f"requested as a {kind}"
+            )
+        if kind == "histogram" and buckets is not None and fam.buckets != tuple(
+            float(b) for b in buckets
+        ):
+            raise ObservabilityError(
+                f"histogram {name!r} already registered with buckets "
+                f"{fam.buckets}, requested {tuple(buckets)} — bucket layout "
+                "is part of a histogram's identity"
+            )
+        return fam
+
+    def counter(self, name: str, help_text: str = "",
+                labels: dict | None = None) -> Counter:
+        """Get or create the counter ``name`` for ``labels``."""
+        return self._family(name, "counter", help_text).child(labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: dict | None = None) -> Gauge:
+        """Get or create the gauge ``name`` for ``labels``."""
+        return self._family(name, "gauge", help_text).child(labels)
+
+    def histogram(self, name: str, help_text: str = "", *,
+                  buckets: tuple[float, ...],
+                  labels: dict | None = None) -> Histogram:
+        """Get or create the histogram ``name`` (explicit ``buckets``)."""
+        fam = self._family(name, "histogram", help_text,
+                           tuple(float(b) for b in buckets))
+        return fam.child(labels)
+
+    # -- snapshot -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable state of every metric, deterministically ordered.
+
+        Shape::
+
+            {"counters":   {name: {"help": str, "values": {labels: v}}},
+             "gauges":     {name: {"help": str, "values": {labels: v}}},
+             "histograms": {name: {"help": str, "buckets": [...],
+                                   "values": {labels: {"counts": [...],
+                                                       "sum": s,
+                                                       "count": n}}}}}
+
+        ``labels`` keys are the :func:`render_labels` strings; the
+        ``counts`` list has one entry per finite bucket plus ``+Inf``.
+        """
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._families):
+            fam = self._families[name]
+            values: dict = {}
+            for key in sorted(fam.children):
+                child = fam.children[key]
+                if fam.kind == "histogram":
+                    values[key] = {
+                        "counts": list(child.counts),
+                        "sum": child.sum,
+                        "count": child.count,
+                    }
+                else:
+                    values[key] = child.value
+            entry: dict = {"help": fam.help, "values": values}
+            if fam.kind == "histogram":
+                entry["buckets"] = list(fam.buckets)
+            out[fam.kind + "s"][name] = entry
+        return out
+
+    def reset(self) -> None:
+        """Drop every family (a fresh registry in place)."""
+        with self._lock:
+            self._families.clear()
+
+    # -- process-wide default -------------------------------------------------
+
+    _default: "MetricsRegistry | None" = None
+
+    @classmethod
+    def default(cls) -> "MetricsRegistry":
+        """The shared process-wide registry instrumented code publishes to."""
+        if cls._default is None:
+            cls._default = cls()
+        return cls._default
+
+    @classmethod
+    def reset_default(cls) -> None:
+        """Replace the shared registry with a fresh one (tests)."""
+        cls._default = cls()

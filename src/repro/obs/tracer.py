@@ -1,0 +1,142 @@
+"""Span-based tracing with deterministic timestamps.
+
+A *span* is one named, timed region of work with optional attributes —
+the serving layer opens one per dispatched batch, so a run's execution
+timeline can be replayed in ``chrome://tracing`` / Perfetto next to the
+instruction-level simulator traces of :mod:`repro.sim.traceexport`.
+
+Timestamps come from the **active clock**: while a
+:class:`~repro.serve.clock.SimulatedClock` drives a simulation it
+registers itself here (:func:`activate_clock` /
+:func:`deactivate_clock`), and every span opened in that window is
+stamped with *simulated* seconds — the same seed therefore produces a
+byte-identical trace on every run.  Outside a simulation, spans fall
+back to the host's monotonic clock (:func:`time.perf_counter`).
+
+The tracer itself is clock-agnostic: it calls :func:`current_time` at
+span entry and exit and stores plain ``(name, start, duration, attrs)``
+tuples.  Export to the Chrome-trace JSON format goes through
+:func:`repro.sim.traceexport.spans_to_chrome_trace` so both trace
+flavours share one serialization path.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "activate_clock",
+    "deactivate_clock",
+    "active_clock",
+    "current_time",
+]
+
+#: The innermost active simulated clock (a stack: nested drivers nest).
+_ACTIVE_CLOCKS: list = []
+
+
+def activate_clock(clock) -> None:
+    """Make ``clock`` (anything with ``.now()``) the tracing time source."""
+    _ACTIVE_CLOCKS.append(clock)
+
+
+def deactivate_clock(clock) -> None:
+    """Remove ``clock`` from the active stack (innermost-first)."""
+    for i in range(len(_ACTIVE_CLOCKS) - 1, -1, -1):
+        if _ACTIVE_CLOCKS[i] is clock:
+            del _ACTIVE_CLOCKS[i]
+            return
+
+
+def active_clock():
+    """The innermost active clock, or ``None`` outside a simulation."""
+    return _ACTIVE_CLOCKS[-1] if _ACTIVE_CLOCKS else None
+
+
+def current_time() -> float:
+    """Seconds from the active clock (simulated) or the host (wall)."""
+    clock = active_clock()
+    return clock.now() if clock is not None else time.perf_counter()
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed timed region: name, start, duration, attributes."""
+
+    name: str
+    start_seconds: float
+    duration_seconds: float
+    attrs: tuple = ()
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (attribute pairs become a dict)."""
+        return {
+            "name": self.name,
+            "start_seconds": self.start_seconds,
+            "duration_seconds": self.duration_seconds,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass
+class Tracer:
+    """Collects completed spans; one per process by default.
+
+    ``with tracer.span("serve.batch", size=4): ...`` appends one
+    :class:`Span` on exit.  Spans are recorded even when the body
+    raises (the exception propagates), so failed work is visible in the
+    timeline too.
+    """
+
+    spans: list = field(default_factory=list)
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Context manager timing one region; attributes are frozen."""
+        start = current_time()
+        try:
+            yield
+        finally:
+            end = current_time()
+            self.spans.append(
+                Span(
+                    name=name,
+                    start_seconds=start,
+                    duration_seconds=end - start,
+                    attrs=tuple(sorted(attrs.items())),
+                )
+            )
+
+    def snapshot(self) -> list:
+        """JSON-serializable list of every recorded span, in order."""
+        return [s.as_dict() for s in self.spans]
+
+    def to_chrome_trace(self) -> str:
+        """Chrome-tracing JSON of the recorded spans (Perfetto-loadable)."""
+        from repro.sim.traceexport import spans_to_chrome_trace
+
+        return spans_to_chrome_trace(self.spans)
+
+    def clear(self) -> None:
+        """Forget every recorded span."""
+        self.spans.clear()
+
+    # -- process-wide default -------------------------------------------------
+
+    _default: "Tracer | None" = None
+
+    @classmethod
+    def default(cls) -> "Tracer":
+        """The shared process-wide tracer instrumented code appends to."""
+        if cls._default is None:
+            cls._default = cls()
+        return cls._default
+
+    @classmethod
+    def reset_default(cls) -> None:
+        """Replace the shared tracer with a fresh one (tests)."""
+        cls._default = cls()

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import OverflowBudgetError, PackingError
 from repro.packing.accumulate import safe_accumulation_depth
 from repro.packing.packer import Packer
@@ -206,6 +207,10 @@ def _prepare_b(
     if stats is not None:
         # One shift+OR pair per lane merged into each packed register.
         stats.pack_instructions += bp.size * 2 * (policy.lanes - 1)
+    obs.counter(
+        "pack_instructions_total",
+        "shift/OR instructions spent building packed B registers",
+    ).inc(bp.size * 2 * (policy.lanes - 1))
     return packer, bp, depth
 
 
@@ -257,6 +262,14 @@ def _packed_gemm_prepacked(
         stats.packed_multiplies += m * groups * k
         stats.packed_adds += m * groups * max(0, k - spills)
         stats.spills += m * groups * spills
+    obs.counter(
+        "packed_multiplies_total",
+        "packed IMAD-equivalents issued on the INT pipe",
+    ).inc(m * groups * k)
+    obs.counter(
+        "packed_spills_total",
+        "packed-accumulator spills to wide accumulators",
+    ).inc(m * groups * spills)
     return c
 
 

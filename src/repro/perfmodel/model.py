@@ -15,6 +15,7 @@ import os
 import warnings
 from dataclasses import asdict, dataclass, field
 
+from repro import obs
 from repro.arch.specs import MachineSpec
 from repro.errors import RatioClampWarning, ScheduleError, SimulationError
 from repro.fusion.ratio import PAPER_TENSOR_CUDA_RATIO, tensor_cuda_ratio_from_times
@@ -176,6 +177,10 @@ class PerformanceModel:
 
     def _simulate_uncached(self, launch: KernelLaunch) -> KernelTiming:
         """The actual work-scaled simulation behind :meth:`_simulate`."""
+        obs.counter(
+            "perfmodel_simulations_total",
+            "fresh (uncached) work-scaled kernel simulations",
+        ).inc()
         resident_instr = sum(w.total_instructions for w in launch.warps)
         target = self.params.target_sim_instructions
         scale_down = max(1.0, resident_instr / target)

@@ -44,6 +44,8 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import obs
+
 __all__ = ["ENGINE_VERSION", "CacheStats", "TimingCache"]
 
 #: Version tag mixed into every cache key.  Bump whenever the simulator
@@ -116,7 +118,7 @@ class TimingCache:
     def get(self, payload: dict) -> dict | None:
         """Cached value for ``payload``, or ``None`` on a miss."""
         if not self.enabled:
-            self._misses += 1
+            self._record_miss()
             return None
         key = self.key_for(payload)
         value = self._memory.get(key)
@@ -128,10 +130,21 @@ class TimingCache:
             except (OSError, ValueError):
                 value = None  # missing or corrupt entry == miss
         if value is None:
-            self._misses += 1
+            self._record_miss()
         else:
             self._hits += 1
+            obs.counter(
+                "timing_cache_hits_total",
+                "kernel-timing cache lookups served without simulating",
+            ).inc()
         return value
+
+    def _record_miss(self) -> None:
+        self._misses += 1
+        obs.counter(
+            "timing_cache_misses_total",
+            "kernel-timing cache lookups that required fresh simulation",
+        ).inc()
 
     def put(self, payload: dict, value: dict) -> None:
         """Store ``value`` under ``payload``'s content hash (atomic)."""
@@ -171,6 +184,10 @@ class TimingCache:
         entries = len(self._memory)
         if self._dir is not None:
             entries = len(list(self._dir.glob("*.json")))
+        obs.gauge(
+            "timing_cache_entries",
+            "entries in the persistent kernel-timing cache",
+        ).set(entries)
         return CacheStats(
             hits=self._hits,
             misses=self._misses,

@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro import obs
 from repro.arch.specs import MachineSpec
 from repro.fusion.strategies import Strategy
 from repro.perfmodel.model import PerformanceModel
@@ -179,12 +180,48 @@ def run_sweep(
         )
         for lbl, value, dt, sims, hits, misses in raw
     ]
+    _publish_sweep_metrics(outcomes, wall)
     return SweepReport(
         label=label,
         outcomes=outcomes,
         wall_seconds=wall,
         processes=min(n, max(1, len(pts))),
     )
+
+
+def _publish_sweep_metrics(outcomes: "list[PointOutcome]", wall: float) -> None:
+    """Fold per-point sweep costs into the process-wide registry.
+
+    Workers run in separate processes, so their registries are lost;
+    the parent republishes the measured deltas each point reported —
+    the same numbers :class:`SweepReport` aggregates.
+    """
+    point_seconds = obs.histogram(
+        "sweep_point_seconds",
+        "wall-clock seconds per sweep point (worker-measured)",
+        buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0),
+    )
+    for o in outcomes:
+        point_seconds.observe(o.seconds)
+        obs.counter(
+            "sweep_simulations_total",
+            "fresh sub-partition simulations across sweep points",
+        ).inc(o.simulations)
+        obs.counter(
+            "sweep_cache_hits_total",
+            "timing-cache hits across sweep points",
+        ).inc(o.cache_hits)
+        obs.counter(
+            "sweep_cache_misses_total",
+            "timing-cache misses across sweep points",
+        ).inc(o.cache_misses)
+    obs.counter("sweep_points_total", "sweep points evaluated").inc(
+        len(outcomes)
+    )
+    obs.gauge(
+        "sweep_last_wall_seconds",
+        "wall-clock seconds of the most recent sweep",
+    ).set(wall)
 
 
 def _price_strategy(point: tuple) -> dict:

@@ -40,6 +40,7 @@ import time
 from typing import Any
 
 from repro.errors import ServeError
+from repro.obs.tracer import activate_clock, deactivate_clock
 
 __all__ = ["Clock", "SimulatedClock", "WallClock"]
 
@@ -136,8 +137,15 @@ class SimulatedClock(Clock):
             quiet = quiet + 1 if self._activity == before else 0
 
     async def run_until(self, main) -> Any:
-        """Drive ``main`` to completion, advancing virtual time as needed."""
+        """Drive ``main`` to completion, advancing virtual time as needed.
+
+        While the driver runs, this clock registers itself as the
+        observability time source (:func:`repro.obs.tracer.activate_clock`),
+        so every span opened inside the simulation is stamped with
+        simulated seconds — traces of same-seed runs are byte-identical.
+        """
         task = asyncio.ensure_future(main)
+        activate_clock(self)
         try:
             while not task.done():
                 await self._quiesce()
@@ -152,6 +160,7 @@ class SimulatedClock(Clock):
                     )
                 self._fire_next()
         finally:
+            deactivate_clock(self)
             if not task.done():
                 task.cancel()
         return task.result()

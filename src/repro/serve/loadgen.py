@@ -18,13 +18,13 @@ benchmark trajectory the perf engine already records there.
 
 from __future__ import annotations
 
-import json
 import pathlib
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.arch import jetson_orin_agx
 from repro.arch.specs import MachineSpec
 from repro.errors import ServeError
@@ -116,6 +116,10 @@ class ServeReport:
     sim_seconds: float
     wall_seconds: float
     unhandled_errors: int = 0
+    #: Process-wide metrics snapshot taken right after the run (the
+    #: ``"metrics"`` section of ``summary.json``; empty when the caller
+    #: did not capture one).
+    metrics: dict = field(default_factory=dict)
     latency_ms: dict = field(init=False)
 
     def __post_init__(self) -> None:
@@ -216,20 +220,18 @@ class ServeReport:
         }
 
     def write_summary(self, path: "str | pathlib.Path") -> pathlib.Path:
-        """Merge this report into ``summary.json`` under ``"serve"``."""
-        out = pathlib.Path(path)
-        out.parent.mkdir(parents=True, exist_ok=True)
-        payload: dict = {}
-        if out.exists():
-            try:
-                existing = json.loads(out.read_text())
-                if isinstance(existing, dict):
-                    payload = existing
-            except (OSError, json.JSONDecodeError):
-                payload = {}
-        payload["serve"] = self.to_summary()
-        out.write_text(json.dumps(payload, indent=2) + "\n")
-        return out
+        """Merge this report into ``summary.json`` under ``"serve"``.
+
+        The report's metrics snapshot (when captured) rides along under
+        ``"metrics"``.  The write is atomic (temp file + rename via
+        :func:`repro.obs.merge_summary`) and preserves every other
+        section, so a concurrent ``repro bench`` cannot be torn and
+        cannot be torn by us.
+        """
+        sections: dict = {"serve": self.to_summary()}
+        if self.metrics:
+            sections["metrics"] = self.metrics
+        return obs.merge_summary(path, sections)
 
 
 async def _drive(
@@ -273,4 +275,5 @@ def run_load(
         sim_seconds=clock.now(),
         wall_seconds=wall,
         unhandled_errors=0,
+        metrics=obs.snapshot(),
     )

@@ -19,6 +19,7 @@ import asyncio
 from collections import deque
 from typing import Callable, Iterable, TypeVar
 
+from repro import obs
 from repro.errors import AdmissionError, ServeError
 from repro.serve.clock import Clock
 
@@ -62,6 +63,7 @@ class BoundedRequestQueue:
                 "backpressure — retry later or shed load"
             )
         self._items.append(item)
+        self._publish_depth()
         self._clock.touch()
         self._wake_one()
 
@@ -70,6 +72,7 @@ class BoundedRequestQueue:
         while True:
             if self._items:
                 item = self._items.popleft()
+                self._publish_depth()
                 self._clock.touch()
                 return item
             if self._closed:
@@ -100,6 +103,7 @@ class BoundedRequestQueue:
             raise ServeError("take() got items that are not queued")
         self._items = kept
         if removed:
+            self._publish_depth()
             self._clock.touch()
 
     def close(self) -> None:
@@ -110,6 +114,18 @@ class BoundedRequestQueue:
             fut = self._getters.popleft()
             if not fut.done():
                 fut.set_result(None)
+
+    def _publish_depth(self) -> None:
+        """Publish the current depth and its high-water histogram."""
+        depth = len(self._items)
+        obs.gauge(
+            "serve_queue_depth", "pending requests in the admission queue"
+        ).set(depth)
+        obs.histogram(
+            "serve_queue_depth_observed",
+            "admission-queue depth at each enqueue/dequeue",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128),
+        ).observe(depth)
 
     def _wake_one(self) -> None:
         while self._getters:

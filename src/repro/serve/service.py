@@ -35,6 +35,7 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.arch.specs import MachineSpec
 from repro.errors import (
     AdmissionError,
@@ -55,6 +56,14 @@ from repro.vit.runtime import preflight_strategy, time_inference
 from repro.vit.zoo import model_config
 
 __all__ = ["ServeConfig", "ServeStats", "InferenceService"]
+
+#: Batch-size histogram bounds: the power-of-two planner palette.
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+#: Simulated-latency histogram bounds (seconds).
+_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0
+)
 
 
 @dataclass(frozen=True)
@@ -213,6 +222,11 @@ class InferenceService:
             except (OverflowBudgetError, PackingError, ScheduleError) as exc:
                 strategy = self.config.strategy.degraded()
                 fallback, reason = True, str(exc)
+                obs.counter(
+                    "serve_preflight_refutations_total",
+                    "(model, bitwidth) preflights refuted into the "
+                    "degraded baseline",
+                ).inc()
             self._preflight[key] = (strategy, fallback, reason)
         return self._preflight[key]
 
@@ -241,12 +255,22 @@ class InferenceService:
         future: asyncio.Future = loop.create_future()
         pending = _Pending(request, future, self.clock.now())
         self.stats.submitted += 1
+        obs.counter(
+            "serve_requests_total",
+            "requests by terminal status (submitted counts admissions tried)",
+            {"status": "submitted"},
+        ).inc()
         try:
             if self.config.admission_deadline_check:
                 strategy, _, _ = self.effective_strategy(request.model, request.bits)
                 solo = self._price(request.model, request.bits, strategy, 1)
                 if solo > request.deadline:
                     self.stats.rejected_infeasible += 1
+                    obs.counter(
+                        "serve_rejections_total",
+                        "admission rejections by reason",
+                        {"reason": "infeasible_deadline"},
+                    ).inc()
                     self._finish(
                         pending,
                         RequestStatus.REJECTED,
@@ -261,6 +285,11 @@ class InferenceService:
             self.stats.accepted += 1
         except AdmissionError as exc:
             self.stats.rejected_queue_full += 1
+            obs.counter(
+                "serve_rejections_total",
+                "admission rejections by reason",
+                {"reason": "queue_full"},
+            ).inc()
             self._finish(pending, RequestStatus.REJECTED, detail=str(exc))
         except ReproError as exc:
             self.stats.failed += 1
@@ -317,9 +346,27 @@ class InferenceService:
         self.stats.batch_sizes[decision.size] = (
             self.stats.batch_sizes.get(decision.size, 0) + 1
         )
+        obs.counter("serve_batches_total", "dispatched batches").inc()
+        obs.histogram(
+            "serve_batch_size",
+            "chosen batch size per dispatch",
+            buckets=_BATCH_SIZE_BUCKETS,
+        ).observe(decision.size)
         if fallback:
             self.stats.fallback_batches += 1
-        await self.clock.sleep(decision.service_seconds)
+            obs.counter(
+                "serve_fallback_batches_total",
+                "batches served by the degraded baseline",
+            ).inc()
+        with obs.get_tracer().span(
+            "serve.batch",
+            model=request.model,
+            bits=request.bits,
+            size=decision.size,
+            strategy=strategy.name,
+            fallback=fallback,
+        ):
+            await self.clock.sleep(decision.service_seconds)
 
         done = self.clock.now()
         for p in decision.admitted:
@@ -339,6 +386,15 @@ class InferenceService:
                 self.stats.completed += 1
                 if fallback:
                     self.stats.fallback_requests += 1
+                    obs.counter(
+                        "serve_fallback_requests_total",
+                        "requests served by the degraded baseline",
+                    ).inc()
+                obs.histogram(
+                    "serve_latency_seconds",
+                    "simulated completion latency of served requests",
+                    buckets=_LATENCY_BUCKETS,
+                ).observe(latency)
                 self._finish(
                     p,
                     RequestStatus.COMPLETED,
@@ -380,6 +436,11 @@ class InferenceService:
     ) -> None:
         if pending.future.done():
             return
+        obs.counter(
+            "serve_requests_total",
+            "requests by terminal status (submitted counts admissions tried)",
+            {"status": status.name.lower()},
+        ).inc()
         pending.future.set_result(
             RequestResult(
                 request_id=pending.request.request_id,

@@ -22,7 +22,12 @@ from repro.sim.instruction import OpClass, PipeTiming
 from repro.sim.program import WarpProgram
 from repro.sim.smsim import _WarpState
 
-__all__ = ["TraceEvent", "record_partition_trace", "to_chrome_trace"]
+__all__ = [
+    "TraceEvent",
+    "record_partition_trace",
+    "to_chrome_trace",
+    "spans_to_chrome_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -130,6 +135,35 @@ def to_chrome_trace(
                 "ts": ev.start_cycle * us_per_cycle,
                 "dur": ev.duration * us_per_cycle,
                 "args": {"warp": ev.warp, "cycle": ev.start_cycle},
+            }
+        )
+    return json.dumps({"traceEvents": out, "displayTimeUnit": "ns"})
+
+
+def spans_to_chrome_trace(spans) -> str:
+    """Serialize observability spans as Chrome-tracing JSON.
+
+    ``spans`` is an iterable of :class:`repro.obs.tracer.Span` (or any
+    object with ``name``, ``start_seconds``, ``duration_seconds`` and
+    an ``attrs`` pair sequence).  Span times are *seconds* — simulated
+    seconds when a :class:`~repro.serve.clock.SimulatedClock` was
+    active — and convert to the microsecond ``ts``/``dur`` the format
+    expects; each distinct span name gets its own timeline row, so the
+    serving layer's batches land next to the simulator's pipe rows in
+    one Perfetto view.
+    """
+    out = []
+    for sp in spans:
+        out.append(
+            {
+                "name": sp.name,
+                "cat": "span",
+                "ph": "X",
+                "pid": 0,
+                "tid": sp.name,
+                "ts": sp.start_seconds * 1e6,
+                "dur": sp.duration_seconds * 1e6,
+                "args": dict(sp.attrs),
             }
         )
     return json.dumps({"traceEvents": out, "displayTimeUnit": "ns"})

@@ -1,0 +1,185 @@
+"""Seeded differential fuzzing of the GEMM stack.
+
+One seeded RNG (via :func:`repro.utils.rng.make_rng`) drives random
+shapes, zero points, and bitwidths through the three GEMM
+implementations — :func:`reference_gemm` (the int64 oracle),
+:func:`packed_gemm` in both evaluation methods, and the fused
+Tensor + INT + FP kernel — asserting bit-exact agreement everywhere.
+
+A second battery checks the *prover/executor contract*: whenever
+:func:`repro.analysis.overflow.preflight_gemm` passes a plan, executing
+that plan must match the oracle bit for bit; whenever it refutes the
+plan, execution must raise the same :class:`OverflowBudgetError` rather
+than silently produce a wrong product.  The fuzzer may never find a
+case the prover passes that then mismatches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.overflow import preflight_gemm
+from repro.errors import OverflowBudgetError
+from repro.kernels import fused_gemm
+from repro.packing import policy_for_bitwidth
+from repro.packing.gemm import packed_gemm, packed_gemm_unsigned, reference_gemm
+from repro.preprocess import duplicate_weights, preprocess_input
+from repro.utils.rng import make_rng
+
+#: Bitwidths spanning every Fig. 3 packing regime: 4 lanes (4-bit),
+#: 3 lanes (5-bit), 2 lanes (6- and 8-bit), and the unpacked 1-lane
+#: fallback (9-bit).
+BITWIDTHS = (4, 5, 6, 8, 9)
+
+FUZZ_SEED = 0x51B17F
+
+
+def _random_shape(rng: np.random.Generator) -> tuple[int, int, int]:
+    """A random (M, N, K) triple, biased toward small awkward shapes."""
+    m = int(rng.integers(1, 13))
+    n = int(rng.integers(1, 25))
+    # K = 0 (empty reduction) is a legal degenerate case the packed
+    # paths must agree on; keep it in the pool.
+    k = int(rng.integers(0, 97))
+    return m, n, k
+
+
+class TestDifferentialSignedPacked:
+    """packed_gemm (sign-split + zero point) vs the int64 oracle."""
+
+    @pytest.mark.parametrize("bits", BITWIDTHS)
+    def test_signed_agreement_both_methods(self, bits):
+        rng = make_rng(FUZZ_SEED + bits)
+        policy = policy_for_bitwidth(bits)
+        zp = 1 << (bits - 1)
+        for _ in range(12):
+            m, n, k = _random_shape(rng)
+            a = rng.integers(-(zp - 1), zp, size=(m, k))
+            b = rng.integers(-zp, zp, size=(k, n))
+            ref = reference_gemm(a, b)
+            for method in ("chunked", "lane"):
+                got = packed_gemm(
+                    a, b, policy, b_zero_point=zp, method=method
+                )
+                assert np.array_equal(got, ref), (
+                    f"bits={bits} method={method} shape=({m},{n},{k})"
+                )
+
+    @pytest.mark.parametrize("bits", BITWIDTHS)
+    def test_unsigned_agreement_both_methods(self, bits):
+        rng = make_rng(FUZZ_SEED ^ bits)
+        policy = policy_for_bitwidth(bits)
+        hi = policy.max_value + 1
+        for _ in range(12):
+            m, n, k = _random_shape(rng)
+            a = rng.integers(0, hi, size=(m, k))
+            b = rng.integers(0, hi, size=(k, n))
+            ref = reference_gemm(a, b)
+            chunked = packed_gemm_unsigned(a, b, policy, method="chunked")
+            lane = packed_gemm_unsigned(a, b, policy, method="lane")
+            assert np.array_equal(chunked, ref)
+            assert np.array_equal(lane, ref)
+
+    def test_random_zero_points(self):
+        """Any zero point that keeps B packable must stay exact."""
+        rng = make_rng(FUZZ_SEED + 1000)
+        policy = policy_for_bitwidth(8)
+        for _ in range(10):
+            m, n, k = _random_shape(rng)
+            zp = int(rng.integers(0, policy.max_value + 1))
+            b = rng.integers(-zp, policy.max_value - zp + 1, size=(k, n))
+            a = rng.integers(-127, 128, size=(m, k))
+            got = packed_gemm(a, b, policy, b_zero_point=zp)
+            assert np.array_equal(got, reference_gemm(a, b))
+
+
+class TestProverExecutorContract:
+    """preflight_gemm's verdict must be consistent with execution."""
+
+    def test_verdicts_match_execution(self):
+        """Prover passes => bit-exact; prover refutes => execution raises.
+
+        Scalars are drawn wider than the policy's multiplier width on
+        purpose: that is the regime where single products stop fitting
+        their lane field and the prover must start refuting.
+        """
+        rng = make_rng(FUZZ_SEED + 2000)
+        passed = refuted = 0
+        for _ in range(30):
+            bits = int(rng.choice(BITWIDTHS))
+            policy = policy_for_bitwidth(bits)
+            a_bits = int(rng.integers(1, 22))
+            m, n, k = _random_shape(rng)
+            k = max(k, 1)  # K=0 is trivially safe; covered elsewhere
+            a = rng.integers(0, 1 << a_bits, size=(m, k))
+            b = rng.integers(0, policy.max_value + 1, size=(k, n))
+            try:
+                proof = preflight_gemm(policy, a_bits=a_bits, k=k)
+            except OverflowBudgetError:
+                refuted += 1
+                with pytest.raises(OverflowBudgetError):
+                    packed_gemm_unsigned(a, b, policy, a_bits=a_bits)
+                continue
+            passed += 1
+            assert proof.safe
+            got = packed_gemm_unsigned(a, b, policy, a_bits=a_bits)
+            assert np.array_equal(got, reference_gemm(a, b)), (
+                f"prover passed bits={bits} a_bits={a_bits} k={k} "
+                "but execution mismatched the oracle"
+            )
+        # The sweep must actually exercise both sides of the contract.
+        assert passed > 0 and refuted > 0
+
+    def test_empty_reduction_always_safe(self):
+        """K=0 plans are trivially safe and produce the zero matrix."""
+        for bits in BITWIDTHS:
+            policy = policy_for_bitwidth(bits)
+            proof = preflight_gemm(policy, a_bits=bits, k=0)
+            assert proof.safe
+            a = np.zeros((3, 0), dtype=np.int64)
+            b = np.zeros((0, 5), dtype=np.int64)
+            got = packed_gemm_unsigned(a, b, policy)
+            assert np.array_equal(got, np.zeros((3, 5), dtype=np.int64))
+
+
+class TestDifferentialFused:
+    """The fused three-path kernel vs the oracle across random splits."""
+
+    def test_fused_agreement_random_splits(self):
+        rng = make_rng(FUZZ_SEED + 3000)
+        policy = policy_for_bitwidth(8)
+        zp = 128
+        for m_ratio in (0.0, 1.0, 4.0):
+            for _ in range(4):
+                m, n, k = _random_shape(rng)
+                k = max(k, 1)
+                a = rng.integers(-127, 128, size=(m, k))
+                b_true = rng.integers(-128, 128, size=(k, n))
+                res = preprocess_input(b_true + zp, m_ratio, policy)
+                a1, a2 = duplicate_weights(a)
+                out = fused_gemm(a1, a2, res.matrices, policy, b_zero_point=zp)
+                assert np.array_equal(out.c, reference_gemm(a, b_true)), (
+                    f"m_ratio={m_ratio} shape=({m},{n},{k})"
+                )
+
+    def test_fused_agreement_low_bitwidth(self):
+        """4-bit operands (4-lane packing) through the fused kernel."""
+        rng = make_rng(FUZZ_SEED + 4000)
+        policy = policy_for_bitwidth(4)
+        zp = 8
+        for _ in range(6):
+            m, n, k = _random_shape(rng)
+            k = max(k, 1)
+            a = rng.integers(-7, 8, size=(m, k))
+            b_true = rng.integers(-8, 8, size=(k, n))
+            res = preprocess_input(b_true + zp, 2.0, policy)
+            a1, a2 = duplicate_weights(a)
+            out = fused_gemm(a1, a2, res.matrices, policy, b_zero_point=zp)
+            assert np.array_equal(out.c, reference_gemm(a, b_true))
+
+    def test_fuzz_is_reproducible(self):
+        """Same seed, same stream: the fuzzer itself is deterministic."""
+        draws1 = make_rng(FUZZ_SEED).integers(0, 1 << 30, size=16)
+        draws2 = make_rng(FUZZ_SEED).integers(0, 1 << 30, size=16)
+        assert np.array_equal(draws1, draws2)

@@ -1,0 +1,227 @@
+"""Unit and regression tests for the unified observability layer.
+
+Covers the metric primitives, the exporters, the simulated-clock bridge
+in the tracer, and the headline determinism guarantee: two same-seed
+``run_load`` runs under the :class:`SimulatedClock` produce
+byte-identical metrics snapshots and byte-identical span traces.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import ObservabilityError
+from repro.obs.registry import MetricsRegistry, render_labels
+from repro.obs.tracer import Tracer, active_clock
+from repro.perfmodel.timingcache import TimingCache
+from repro.serve.clock import SimulatedClock
+from repro.serve.loadgen import LoadSpec, run_load
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    """A private registry (the process default stays untouched)."""
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def fresh_observability(monkeypatch):
+    """Isolated process-wide defaults: clean registry/tracer, no
+    persistent timing cache, restored afterwards."""
+    monkeypatch.setenv("REPRO_TIMING_CACHE", "0")
+    TimingCache.reset_default()
+    obs.reset_observability()
+    yield
+    TimingCache.reset_default()
+    obs.reset_observability()
+
+
+class TestRegistry:
+    def test_counter_monotonic(self, registry):
+        c = registry.counter("requests_total", "help")
+        c.inc()
+        c.inc(3)
+        assert registry.snapshot()["counters"]["requests_total"]["values"][""] == 4
+
+    def test_counter_rejects_negative(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.counter("c", "").inc(-1)
+
+    def test_labels_are_distinct_children(self, registry):
+        registry.counter("req", "", labels={"status": "ok"}).inc()
+        registry.counter("req", "", labels={"status": "err"}).inc(2)
+        values = registry.snapshot()["counters"]["req"]["values"]
+        assert values[render_labels({"status": "ok"})] == 1
+        assert values[render_labels({"status": "err"})] == 2
+
+    def test_render_labels_sorted_and_stable(self):
+        assert render_labels({"b": "2", "a": "1"}) == 'a="1",b="2"'
+        assert render_labels(None) == ""
+
+    def test_type_conflict_rejected(self, registry):
+        registry.counter("x", "")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x", "")
+
+    def test_histogram_bucket_conflict_rejected(self, registry):
+        registry.histogram("h", "", buckets=(1.0, 2.0))
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h", "", buckets=(1.0, 4.0))
+
+    def test_histogram_counts_and_sum(self, registry):
+        h = registry.histogram("h", "", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        snap = registry.snapshot()["histograms"]["h"]["values"][""]
+        # Per-bucket (non-cumulative) counts; last slot is +Inf.
+        assert snap["counts"] == [1, 1, 1, 1]
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(105.0)
+
+    def test_gauge_set_and_inc(self, registry):
+        g = registry.gauge("depth", "")
+        g.set(5)
+        g.inc(-2)
+        assert registry.snapshot()["gauges"]["depth"]["values"][""] == 3
+
+    def test_reset_clears_everything(self, registry):
+        registry.counter("c", "").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestExporters:
+    def _snap(self):
+        r = MetricsRegistry()
+        r.counter("hits_total", "cache hits").inc(7)
+        r.histogram("batch", "sizes", buckets=(1.0, 2.0)).observe(2)
+        r.gauge("depth", "queue depth", labels={"q": "a"}).set(3)
+        return r.snapshot()
+
+    def test_json_round_trip_sorted(self):
+        text = obs.snapshot_to_json(self._snap())
+        assert text.endswith("\n")
+        parsed = json.loads(text)
+        assert parsed["counters"]["hits_total"]["values"][""] == 7
+        # Byte-stable: serializing the parse reproduces the text.
+        assert obs.snapshot_to_json(parsed) == text
+
+    def test_prometheus_exposition(self):
+        text = obs.snapshot_to_prometheus(self._snap())
+        assert "# TYPE hits_total counter" in text
+        assert "hits_total 7" in text
+        # Histogram buckets are cumulative with le labels and +Inf.
+        assert 'batch_bucket{le="1"} 0' in text
+        assert 'batch_bucket{le="2"} 1' in text
+        assert 'batch_bucket{le="+Inf"} 1' in text
+        assert "batch_count 1" in text
+        assert 'depth{q="a"} 3' in text
+
+    def test_table_render(self):
+        text = obs.render_metrics_table(self._snap())
+        assert "hits_total" in text and "batch" in text
+
+
+class TestTracer:
+    def test_span_uses_simulated_clock_when_active(self):
+        tracer = Tracer()
+        clock = SimulatedClock()
+
+        async def work():
+            with tracer.span("step", kind="test"):
+                await clock.sleep(0.25)
+
+        clock.run(work())
+        (span,) = tracer.snapshot()
+        assert span["name"] == "step"
+        assert span["start_seconds"] == pytest.approx(0.0)
+        assert span["duration_seconds"] == pytest.approx(0.25)
+        assert span["attrs"] == {"kind": "test"}
+
+    def test_clock_deactivated_after_run(self):
+        clock = SimulatedClock()
+
+        async def work():
+            assert active_clock() is clock
+
+        clock.run(work())
+        assert active_clock() is None
+
+    def test_span_records_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert [s["name"] for s in tracer.snapshot()] == ["boom"]
+
+    def test_chrome_trace_export(self):
+        tracer = Tracer()
+        clock = SimulatedClock()
+
+        async def work():
+            with tracer.span("step", size=2):
+                await clock.sleep(0.001)
+
+        clock.run(work())
+        events = json.loads(tracer.to_chrome_trace())["traceEvents"]
+        (ev,) = events
+        assert ev["name"] == "step"
+        assert ev["ts"] == pytest.approx(0.0)
+        assert ev["dur"] == pytest.approx(1000.0)  # microseconds
+        assert ev["args"] == {"size": 2}
+
+
+class TestServeDeterminism:
+    """ISSUE acceptance: same seed, same snapshot, byte for byte."""
+
+    SPEC = LoadSpec(requests=50, seed=11)
+
+    def _one_run(self):
+        TimingCache.reset_default()
+        obs.reset_observability()
+        report = run_load(spec=self.SPEC)
+        metrics = obs.snapshot_to_json(obs.snapshot())
+        trace = obs.get_tracer().to_chrome_trace()
+        return report, metrics, trace
+
+    def test_same_seed_identical_metrics_and_traces(self, fresh_observability):
+        _, metrics1, trace1 = self._one_run()
+        _, metrics2, trace2 = self._one_run()
+        assert metrics1 == metrics2
+        assert trace1 == trace2
+
+    def test_serve_populates_expected_metrics(self, fresh_observability):
+        report, metrics, _ = self._one_run()
+        snap = json.loads(metrics)
+        counters = snap["counters"]
+        assert counters["serve_batches_total"]["values"][""] > 0
+        statuses = counters["serve_requests_total"]["values"]
+        assert statuses[render_labels({"status": "submitted"})] == 50
+        hist = snap["histograms"]["serve_batch_size"]["values"][""]
+        assert hist["count"] == counters["serve_batches_total"]["values"][""]
+        # The report carried the same snapshot along.
+        assert report.metrics == snap
+
+    def test_spans_use_simulated_time(self, fresh_observability):
+        self._one_run()
+        spans = obs.get_tracer().snapshot()
+        assert spans, "serve run should record batch spans"
+        # Simulated time: every span starts within the sim horizon
+        # (well under a wall-clock epoch timestamp).
+        assert all(0.0 <= s["start_seconds"] < 60.0 for s in spans)
+        assert all(s["name"] == "serve.batch" for s in spans)
+
+    def test_write_summary_includes_metrics(self, fresh_observability, tmp_path):
+        report, _, _ = self._one_run()
+        path = tmp_path / "summary.json"
+        report.write_summary(path)
+        payload = json.loads(path.read_text())
+        assert "serve" in payload
+        assert payload["metrics"] == report.metrics

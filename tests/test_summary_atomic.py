@@ -1,0 +1,104 @@
+"""Atomicity and section-preservation of the shared summary.json merge.
+
+``benchmarks/out/summary.json`` is written by two independent producers
+— the bench session (``benches``/``factors``/``timing_cache`` sections)
+and the serving CLI (``serve``/``metrics`` sections).  Both go through
+:func:`repro.obs.merge_summary`, which must (a) replace only the
+caller's sections, (b) write temp-then-rename so a reader never sees a
+torn file, and (c) leave no temp droppings behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import merge_summary
+from repro.serve.loadgen import LoadSpec, run_load
+
+
+class TestMergeSummary:
+    def test_creates_file_and_parents(self, tmp_path):
+        path = tmp_path / "nested" / "out" / "summary.json"
+        merge_summary(path, {"serve": {"requests": 1}})
+        assert json.loads(path.read_text()) == {"serve": {"requests": 1}}
+
+    def test_preserves_other_sections(self, tmp_path):
+        path = tmp_path / "summary.json"
+        merge_summary(path, {"benches": {"b1": 0.5}, "factors": {}})
+        merge_summary(path, {"serve": {"requests": 9}})
+        payload = json.loads(path.read_text())
+        assert payload["benches"] == {"b1": 0.5}
+        assert payload["serve"] == {"requests": 9}
+
+    def test_replaces_own_section_only(self, tmp_path):
+        path = tmp_path / "summary.json"
+        merge_summary(path, {"serve": {"requests": 1}, "metrics": {"a": 1}})
+        merge_summary(path, {"serve": {"requests": 2}})
+        payload = json.loads(path.read_text())
+        assert payload["serve"] == {"requests": 2}
+        assert payload["metrics"] == {"a": 1}
+
+    def test_interleaved_bench_and_serve_writers(self, tmp_path):
+        """The ISSUE scenario: bench and serve merges interleave; both
+        producers' sections survive every interleaving."""
+        path = tmp_path / "summary.json"
+        for round_idx in range(3):
+            merge_summary(path, {"benches": {"b": round_idx}})
+            merge_summary(path, {"serve": {"round": round_idx}})
+        payload = json.loads(path.read_text())
+        assert payload["benches"] == {"b": 2}
+        assert payload["serve"] == {"round": 2}
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "summary.json"
+        for _ in range(5):
+            merge_summary(path, {"serve": {"x": 1}})
+        assert os.listdir(tmp_path) == ["summary.json"]
+
+    def test_corrupt_existing_file_is_recovered(self, tmp_path):
+        path = tmp_path / "summary.json"
+        path.write_text("{not json")
+        merge_summary(path, {"serve": {"requests": 3}})
+        assert json.loads(path.read_text()) == {"serve": {"requests": 3}}
+
+    def test_file_is_always_complete_json(self, tmp_path):
+        """After any number of merges the on-disk bytes parse: the
+        rename is atomic, so there is no partially-written state."""
+        path = tmp_path / "summary.json"
+        big = {"blob": ["x" * 100] * 200}
+        for i in range(4):
+            merge_summary(path, {f"section_{i}": big})
+            json.loads(path.read_text())  # must never raise
+        assert len(json.loads(path.read_text())) == 4
+
+
+class TestWriteSummaryEndToEnd:
+    def test_serve_report_merge_preserves_bench_sections(self, tmp_path):
+        path = tmp_path / "summary.json"
+        merge_summary(
+            path,
+            {"benches": {"bench_x": 1.0}, "total_bench_seconds": 1.0},
+        )
+        report = run_load(spec=LoadSpec(requests=10, seed=3))
+        report.write_summary(path)
+        payload = json.loads(path.read_text())
+        assert payload["benches"] == {"bench_x": 1.0}
+        assert payload["serve"]["requests"] == 10
+        assert "metrics" in payload
+
+    def test_write_summary_returns_path(self, tmp_path):
+        report = run_load(spec=LoadSpec(requests=5, seed=1))
+        out = report.write_summary(tmp_path / "s.json")
+        assert out == tmp_path / "s.json"
+        assert out.exists()
+
+
+@pytest.mark.parametrize("sections", [{}, {"only": {}}])
+def test_merge_summary_degenerate_sections(tmp_path, sections):
+    """Empty or trivial section dicts still produce valid JSON."""
+    path = tmp_path / "summary.json"
+    merge_summary(path, sections)
+    assert json.loads(path.read_text()) == sections
