@@ -1,0 +1,144 @@
+"""SLO attainment and recovery time of the cluster under chaos.
+
+The serving PRs priced the happy path; this bench prices the *unhappy*
+ones.  Each scenario replays a seeded fault schedule (worker kill,
+grey hang, latency spike, refuted-packing storm, queue poison) against
+the 3-replica cluster and reports per-QoS SLO attainment, failure
+detection/recovery times, and the bit-exactness canary — which must
+read **zero** in every scenario: chaos is allowed to cost latency,
+never correctness.
+
+The headline assertion mirrors the robustness acceptance bar: with a
+replica killed mid-run, every QoS class still attains >= 99% of its
+admitted requests, recovery completes in bounded simulated time, and
+two runs of the same seeds agree byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.chaos import ChaosSpec
+from repro.serve import ClusterConfig, LoadSpec, run_cluster_load
+from repro.serve.request import RequestStatus
+from repro.utils.tables import format_table
+
+_SPEC = LoadSpec(requests=150, rate_per_s=400.0, seed=0, model="vit-base")
+_CONFIG = ClusterConfig(replicas=3, seed=0)
+
+#: Named fault mixes (cache chaos is exercised in tests/test_chaos.py
+#: against a scratch cache directory, not the shared bench cache).
+_SCENARIOS = {
+    "baseline": None,
+    "worker-kill": ChaosSpec(seed=42, crashes=2),
+    "grey-failure": ChaosSpec(seed=43, crashes=0, hangs=2),
+    "latency-spike": ChaosSpec(seed=44, crashes=0, latency_spikes=2),
+    "refute-storm": ChaosSpec(seed=45, crashes=0, refute_storms=1,
+                              poison_requests=2),
+    "full-chaos": ChaosSpec(seed=46, crashes=1, hangs=1, latency_spikes=1,
+                            refute_storms=1, poison_requests=2),
+}
+
+
+def _run_scenario(machine, chaos):
+    return run_cluster_load(machine, _CONFIG, _SPEC, chaos=chaos)
+
+
+def _slo_floor(report) -> float:
+    """Worst per-QoS SLO attainment of one run (1.0 when nothing admitted)."""
+    per_qos = [v["attainment"] for k, v in report.slo.items() if k != "overall"]
+    return min(per_qos) if per_qos else 1.0
+
+
+def test_worker_kill_slo(machine, report, benchmark):
+    """Headline drill: kill replicas mid-run, hold >= 99% SLO per QoS."""
+    rep = benchmark.pedantic(
+        lambda: _run_scenario(machine, _SCENARIOS["worker-kill"]),
+        rounds=1, iterations=1,
+    )
+    rerun = _run_scenario(machine, _SCENARIOS["worker-kill"])
+
+    recov = rep.recovery_seconds
+    lines = [
+        rep.render(),
+        "",
+        f"determinism: rerun identical = "
+        f"{rep.deterministic_summary() == rerun.deterministic_summary()}",
+    ]
+    report(
+        "chaos_worker_kill",
+        "\n".join(lines),
+        slo={k: v["attainment"] for k, v in rep.slo.items()},
+        failures_detected=rep.stats["failures_detected"],
+        restarts=rep.stats["restarts"],
+        mean_recovery_ms=round(
+            sum(recov) / len(recov) * 1e3, 3) if recov else 0.0,
+        bit_inexact=rep.bit_inexact,
+        verified_batches=rep.verified_batches,
+    )
+
+    # The acceptance bar: >= 99% per-QoS SLO attainment with replicas
+    # dying, zero non-bit-exact responses, deterministic reruns.
+    assert _slo_floor(rep) >= 0.99
+    assert rep.bit_inexact == 0 and rep.verified_batches > 0
+    assert rep.stats["failures_detected"] >= 1
+    assert rep.stats["restarts"] >= 1
+    assert all(r < 0.1 for r in recov), "recovery exceeded 100 simulated ms"
+    assert json.dumps(rep.deterministic_summary(), sort_keys=True) == \
+        json.dumps(rerun.deterministic_summary(), sort_keys=True)
+
+
+def test_chaos_scenario_sweep(machine, report, benchmark):
+    """Every fault mix: SLO table + the zero-bit-inexact invariant."""
+    results = benchmark.pedantic(
+        lambda: {
+            name: _run_scenario(machine, chaos)
+            for name, chaos in _SCENARIOS.items()
+        },
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for name, rep in results.items():
+        recov = rep.recovery_seconds
+        rows.append(
+            (
+                name,
+                f"{rep.slo['overall']['attainment']:.2%}",
+                f"{_slo_floor(rep):.2%}",
+                rep.stats["failures_detected"],
+                rep.stats["restarts"],
+                round(sum(recov) / len(recov) * 1e3, 2) if recov else 0.0,
+                rep.count(RequestStatus.FAILED),
+                rep.bit_inexact,
+            )
+        )
+    table = format_table(
+        ["scenario", "SLO overall", "SLO floor", "failures", "restarts",
+         "mean recovery (ms)", "failed", "bit-inexact"],
+        rows,
+        title=f"chaos scenarios — {_SPEC.requests} requests @ "
+        f"{_SPEC.rate_per_s:.0f}/s, {_CONFIG.replicas} replicas",
+    )
+    report(
+        "chaos_scenarios",
+        table,
+        slo_floor={n: round(_slo_floor(r), 4) for n, r in results.items()},
+        bit_inexact={n: r.bit_inexact for n, r in results.items()},
+    )
+
+    base = results["baseline"]
+    assert _slo_floor(base) == 1.0, "pristine cluster must attain every SLO"
+    assert base.stats["failures_detected"] == 0
+    for name, rep in results.items():
+        # Chaos may cost latency/availability, never correctness.
+        assert rep.bit_inexact == 0, f"{name} produced bit-inexact results"
+        assert rep.verified_batches > 0
+        assert _slo_floor(rep) >= 0.95, f"{name} fell below the SLO floor"
+    # The refute storm must degrade, not fail: batches served during
+    # the storm take the Tensor-only baseline instead of erroring.
+    storm = results["refute-storm"]
+    fallback = sum(
+        r["stats"].get("fallback_batches", 0) for r in storm.replica_stats
+    )
+    assert fallback > 0, "storm scenario never exercised the degraded path"

@@ -33,7 +33,16 @@ Commands
     degradation.  Reports throughput and p50/p95/p99 latency and merges
     them into ``benchmarks/out/summary.json`` under ``"serve"`` plus a
     full metrics snapshot under ``"metrics"``; ``--trace PATH`` writes
-    the span timeline as Chrome-tracing JSON.
+    the span timeline as Chrome-tracing JSON.  ``--replicas N`` (> 1)
+    serves through the self-healing replicated cluster instead, and
+    ``--chaos-seed S`` injects the seeded fault schedule while it runs
+    (see ``docs/ROBUSTNESS.md``).
+``chaos [--seed S] [--requests N] [--replicas N] ...``
+    Deterministic chaos drill: run one seeded fault scenario against
+    the replicated cluster **twice** and require byte-identical stats
+    and traces plus zero bit-inexact results.  Non-zero exit on any
+    determinism or correctness violation — the CI chaos smoke job is
+    exactly this command.
 ``metrics [--format table|json|prom] [--summary PATH]``
     Render the ``"metrics"`` section of ``summary.json`` (written by
     ``serve``/``bench``) as a table, canonical JSON, or the Prometheus
@@ -298,6 +307,31 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _default_chaos_spec(seed: int, horizon: float) -> "object":
+    """The CLI's standard fault mix for one seeded chaos scenario."""
+    from repro.chaos import ChaosSpec
+
+    return ChaosSpec(
+        seed=seed,
+        horizon_seconds=horizon,
+        crashes=1,
+        hangs=1,
+        latency_spikes=1,
+        refute_storms=1,
+        poison_requests=1,
+    )
+
+
+def _write_trace(path: str) -> None:
+    from repro import obs
+
+    trace_out = pathlib.Path(path)
+    trace_out.parent.mkdir(parents=True, exist_ok=True)
+    trace_out.write_text(obs.get_tracer().to_chrome_trace() + "\n")
+    print(f"wrote {len(obs.get_tracer().spans)} spans to {trace_out} "
+          "(load in chrome://tracing or Perfetto)")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import LoadSpec, ServeConfig, run_load
     from repro.vit.zoo import model_config as _model_config
@@ -317,6 +351,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         model=args.model,
     )
+    if args.replicas > 1 or args.chaos_seed is not None:
+        from repro.serve import ClusterConfig, run_cluster_load
+
+        chaos = None
+        if args.chaos_seed is not None:
+            chaos = _default_chaos_spec(
+                args.chaos_seed, horizon=0.8 * args.requests / args.rate
+            )
+        cluster_config = ClusterConfig(
+            replicas=args.replicas, service=config, seed=args.seed
+        )
+        report = run_cluster_load(
+            jetson_orin_agx(), cluster_config, spec, chaos=chaos
+        )
+        print(report.render())
+        if args.summary:
+            out = report.write_summary(args.summary)
+            print(f"\nwrote cluster summary + metrics to {out} "
+                  "(inspect with: python -m repro metrics)")
+        if args.trace:
+            _write_trace(args.trace)
+        return 1 if report.bit_inexact else 0
     report = run_load(jetson_orin_agx(), config, spec)
     print(report.render())
     if args.summary:
@@ -324,14 +380,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"\nwrote serve summary + metrics to {out} "
               "(inspect with: python -m repro metrics)")
     if args.trace:
-        from repro import obs
-
-        trace_out = pathlib.Path(args.trace)
-        trace_out.parent.mkdir(parents=True, exist_ok=True)
-        trace_out.write_text(obs.get_tracer().to_chrome_trace() + "\n")
-        print(f"wrote {len(obs.get_tracer().spans)} spans to {trace_out} "
-              "(load in chrome://tracing or Perfetto)")
+        _write_trace(args.trace)
     return 1 if report.unhandled_errors or report.stats.get("failed", 0) else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.serve import ClusterConfig, LoadSpec, run_cluster_load
+
+    spec = LoadSpec(
+        requests=args.requests,
+        rate_per_s=args.rate,
+        seed=args.seed,
+        model=args.model,
+    )
+    config = ClusterConfig(replicas=args.replicas, seed=args.seed)
+    chaos = _default_chaos_spec(
+        args.chaos_seed, horizon=0.8 * args.requests / args.rate
+    )
+
+    def _one_run() -> tuple:
+        tracer = obs.get_tracer()
+        before = len(tracer.spans)
+        report = run_cluster_load(jetson_orin_agx(), config, spec, chaos=chaos)
+        return report, tracer.snapshot()[before:]
+
+    report1, trace1 = _one_run()
+    report2, trace2 = _one_run()
+    print(report1.render())
+    print()
+
+    ok = True
+    s1 = json.dumps(report1.deterministic_summary(), sort_keys=True)
+    s2 = json.dumps(report2.deterministic_summary(), sort_keys=True)
+    if s1 != s2:
+        ok = False
+        print("FAIL: two runs of the same seeds produced different stats")
+    t1, t2 = json.dumps(trace1, sort_keys=True), json.dumps(trace2, sort_keys=True)
+    if t1 != t2:
+        ok = False
+        print("FAIL: two runs of the same seeds produced different traces")
+    if report1.bit_inexact or report2.bit_inexact:
+        ok = False
+        print(f"FAIL: {report1.bit_inexact + report2.bit_inexact} "
+              "bit-inexact batch results under chaos (must be zero)")
+    if ok:
+        print(f"chaos drill PASS: seed {args.chaos_seed} is deterministic "
+              f"({len(trace1)} spans byte-identical across runs) and every "
+              f"one of {report1.verified_batches} verified batches was "
+              "bit-exact")
+    if args.summary:
+        out = report1.write_summary(args.summary)
+        print(f"wrote cluster summary + metrics to {out}")
+    return 0 if ok else 1
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -431,11 +532,31 @@ def main(argv: list[str] | None = None) -> int:
                    dest="inject_refute", metavar="BITS",
                    help="treat these bitwidths' packing preflight as refuted "
                    "(forces the degraded fallback path; used by CI)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="serve through the replicated cluster with this many "
+                   "replicas (default 1 = single service)")
+    p.add_argument("--chaos-seed", type=int, default=None, dest="chaos_seed",
+                   help="inject the seeded chaos fault schedule while serving "
+                   "(implies the cluster path)")
     p.add_argument("--summary", default="benchmarks/out/summary.json",
                    help="summary.json to merge the report into "
                    "('' to skip writing)")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="write the span timeline as Chrome-tracing JSON")
+
+    p = sub.add_parser("chaos", help="deterministic chaos drill (run twice, "
+                       "require identical stats/traces and bit-exactness)")
+    p.add_argument("--chaos-seed", type=int, default=42, dest="chaos_seed",
+                   help="seed of the fault timeline (default 42)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed of the load schedule and router jitter")
+    p.add_argument("--requests", type=int, default=150)
+    p.add_argument("--rate", type=float, default=400.0)
+    p.add_argument("--model", default="vit-base")
+    p.add_argument("--replicas", type=int, default=3)
+    p.add_argument("--summary", default="",
+                   help="summary.json to merge the first run's report into "
+                   "(default: don't write)")
 
     p = sub.add_parser("metrics", help="render the recorded metrics snapshot")
     p.add_argument("--format", choices=["table", "json", "prom"],
@@ -485,6 +606,7 @@ def main(argv: list[str] | None = None) -> int:
         "models": _cmd_models,
         "analyze": _cmd_analyze,
         "serve": _cmd_serve,
+        "chaos": _cmd_chaos,
         "metrics": _cmd_metrics,
     }
     return handlers[args.command](args)

@@ -1,0 +1,30 @@
+"""Deterministic, seed-driven fault injection for the serving cluster.
+
+Chaos here is *reproducible* chaos: a :class:`ChaosSpec` seed expands —
+via :func:`generate_timeline` — into a fixed schedule of
+:class:`ChaosEvent` faults on the **simulated** clock, and the
+:class:`ChaosEngine` replays that schedule against a live
+:class:`~repro.serve.cluster.ServingCluster`.  Nothing about the
+injection consults wall time or unseeded randomness, so the same seed
+produces byte-identical fault timelines, stats and traces on every
+run — which is what lets CI *assert* resilience properties (SLO
+attainment, zero bit-inexact results, bounded recovery time) instead
+of eyeballing them.
+
+Fault repertoire (see :class:`FaultKind`): worker crashes and grey
+hangs, batch-latency spikes, timing-cache corruption and eviction,
+refuted-packing storms, and queue-poison requests.  Every injected
+fault is counted in ``chaos_faults_injected_total`` and opens a
+``chaos.fault`` span.  See ``docs/ROBUSTNESS.md``.
+"""
+
+from repro.chaos.engine import ChaosEngine, ChaosSpec, generate_timeline
+from repro.chaos.faults import ChaosEvent, FaultKind
+
+__all__ = [
+    "ChaosEngine",
+    "ChaosEvent",
+    "ChaosSpec",
+    "FaultKind",
+    "generate_timeline",
+]

@@ -1,0 +1,298 @@
+"""Seeded fault-timeline generation and replay.
+
+Two halves, split on purpose:
+
+* :func:`generate_timeline` is a *pure* function of a
+  :class:`ChaosSpec` — it expands the seed into a time-sorted list of
+  :class:`~repro.chaos.faults.ChaosEvent` values, consuming the RNG in
+  a fixed order (kind by kind, attribute by attribute) so the schedule
+  is byte-stable across processes and platforms;
+* :class:`ChaosEngine` replays a timeline against a live
+  :class:`~repro.serve.cluster.ServingCluster`, sleeping on the
+  cluster's simulated clock between events.  Applying a fault draws
+  **no** randomness — everything variable was decided at generation
+  time — so the engine cannot perturb determinism at runtime.
+
+Cache faults edit the process-wide
+:class:`~repro.perfmodel.timingcache.TimingCache` behind the running
+simulation (corrupting or deleting on-disk entries, then dropping the
+in-memory mirror).  They affect cache *hygiene* counters only, never
+simulated timings: the performance model recomputes identical numbers
+on a miss, which is exactly the property the chaos CI job pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+from repro.chaos.faults import ChaosEvent, FaultKind
+from repro.errors import ServeError
+from repro.fusion.qos import QOS_CLASSES
+from repro.perfmodel.timingcache import TimingCache
+from repro.serve.request import InferenceRequest
+from repro.utils.rng import make_rng
+
+__all__ = ["ChaosSpec", "ChaosEngine", "generate_timeline"]
+
+#: Request-id block used for poison submissions, far above any load
+#: generator id so the two streams can never collide.
+_POISON_ID_BASE = 10_000_000
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A seed plus fault counts — everything a chaos run needs.
+
+    The timeline derives deterministically from this value; two specs
+    that compare equal always yield identical fault schedules.
+    """
+
+    #: Seed of the timeline RNG (also echoed into reports).
+    seed: int = 42
+    #: Faults land uniformly inside ``[0.05, 0.95] * horizon_seconds``.
+    horizon_seconds: float = 0.4
+    #: How many of each fault kind to schedule.
+    crashes: int = 1
+    hangs: int = 0
+    latency_spikes: int = 0
+    cache_corruptions: int = 0
+    cache_evictions: int = 0
+    refute_storms: int = 0
+    poison_requests: int = 0
+    #: How long a hang holds before its delayed release (the heartbeat
+    #: monitor usually crash-restarts the replica first).
+    hang_seconds: float = 0.05
+    #: Service-time multiplier and hold time of a latency spike.
+    spike_magnitude: float = 8.0
+    spike_seconds: float = 0.05
+    #: Bitwidth and hold time of a refuted-packing storm.
+    storm_bits: int = 8
+    storm_seconds: float = 0.1
+    #: On-disk cache entries touched per corruption/eviction event.
+    cache_entries_per_event: int = 4
+    #: Model name submitted by queue-poison events (must be unknown).
+    poison_model: str = "__chaos-poison__"
+
+    def __post_init__(self) -> None:
+        if self.horizon_seconds <= 0:
+            raise ServeError("horizon_seconds must be positive")
+        counts = (
+            self.crashes, self.hangs, self.latency_spikes,
+            self.cache_corruptions, self.cache_evictions,
+            self.refute_storms, self.poison_requests,
+        )
+        if any(c < 0 for c in counts):
+            raise ServeError("fault counts must be >= 0")
+
+    @property
+    def total_faults(self) -> int:
+        """Scheduled events across every kind."""
+        return (
+            self.crashes + self.hangs + self.latency_spikes
+            + self.cache_corruptions + self.cache_evictions
+            + self.refute_storms + self.poison_requests
+        )
+
+
+def generate_timeline(spec: ChaosSpec) -> list[ChaosEvent]:
+    """Expand ``spec`` into a time-sorted fault schedule (pure).
+
+    RNG consumption order is fixed — kinds in declaration order, one
+    ``(times, replicas)`` draw pair per kind — so adding faults of one
+    kind never reshuffles another kind's schedule.
+    """
+    rng = make_rng(spec.seed)
+    lo, hi = 0.05 * spec.horizon_seconds, 0.95 * spec.horizon_seconds
+    events: list[ChaosEvent] = []
+
+    def _draw(count: int) -> list[tuple[float, int]]:
+        if count == 0:
+            return []
+        times = rng.uniform(lo, hi, size=count)
+        replicas = rng.integers(0, 1 << 16, size=count)
+        return [(float(t), int(r)) for t, r in zip(times, replicas)]
+
+    for at, rep in _draw(spec.crashes):
+        events.append(ChaosEvent(at, FaultKind.WORKER_CRASH, replica=rep))
+    for at, rep in _draw(spec.hangs):
+        events.append(
+            ChaosEvent(
+                at, FaultKind.WORKER_HANG, replica=rep,
+                duration=spec.hang_seconds,
+            )
+        )
+    for at, rep in _draw(spec.latency_spikes):
+        events.append(
+            ChaosEvent(
+                at, FaultKind.LATENCY_SPIKE, replica=rep,
+                duration=spec.spike_seconds, magnitude=spec.spike_magnitude,
+            )
+        )
+    for at, rep in _draw(spec.cache_corruptions):
+        events.append(
+            ChaosEvent(
+                at, FaultKind.CACHE_CORRUPT, replica=rep,
+                magnitude=float(spec.cache_entries_per_event),
+            )
+        )
+    for at, rep in _draw(spec.cache_evictions):
+        events.append(
+            ChaosEvent(
+                at, FaultKind.CACHE_EVICT, replica=rep,
+                magnitude=float(spec.cache_entries_per_event),
+            )
+        )
+    for at, rep in _draw(spec.refute_storms):
+        events.append(
+            ChaosEvent(
+                at, FaultKind.REFUTE_STORM, replica=rep,
+                duration=spec.storm_seconds, bits=spec.storm_bits,
+            )
+        )
+    for at, rep in _draw(spec.poison_requests):
+        events.append(ChaosEvent(at, FaultKind.QUEUE_POISON, replica=rep))
+
+    # Stable order: time, then kind name, then replica draw.
+    events.sort(key=lambda e: (e.at_seconds, e.kind.value, e.replica))
+    return events
+
+
+class ChaosEngine:
+    """Replays a :class:`ChaosSpec` timeline against a live cluster.
+
+    Run :meth:`run` as a task alongside the load driver (both on the
+    cluster's simulated clock).  Injection is single-threaded and
+    RNG-free; any runtime variability would break the byte-identical
+    determinism contract, so there is none.
+    """
+
+    def __init__(self, spec: ChaosSpec, cluster):
+        self.spec = spec
+        self.cluster = cluster
+        self.timeline = generate_timeline(spec)
+        self.injected: list[ChaosEvent] = []
+        self.skipped: list[ChaosEvent] = []
+        self.poison_outcomes: dict[str, int] = {}
+        self._poison_tasks: list = []
+
+    # -- replay --------------------------------------------------------------
+
+    async def run(self) -> None:
+        """Inject every scheduled fault at its simulated time, in order."""
+        clock = self.cluster.clock
+        for event in self.timeline:
+            delay = event.at_seconds - clock.now()
+            if delay > 0:
+                await clock.sleep(delay)
+            applied = self._apply(event)
+            (self.injected if applied else self.skipped).append(event)
+            if applied:
+                obs.counter(
+                    "chaos_faults_injected_total",
+                    "faults injected by the chaos engine, by kind",
+                    {"kind": event.kind.value},
+                ).inc()
+        for task in self._poison_tasks:
+            result = await task
+            key = result.status.value
+            self.poison_outcomes[key] = self.poison_outcomes.get(key, 0) + 1
+        self._poison_tasks = []
+        # Let delayed releases (unhang, spike reset, storm clear) fire
+        # before the load driver tears the cluster down.
+        tail = max(
+            (e.at_seconds + e.duration for e in self.injected),
+            default=0.0,
+        )
+        remaining = tail - clock.now()
+        if remaining > 0:
+            await clock.sleep(remaining)
+
+    def _apply(self, event: ChaosEvent) -> bool:
+        """Inject one fault; False when it lands on nothing (replica
+        already down, empty cache, ...) — recorded as skipped."""
+        import asyncio
+
+        with obs.get_tracer().span(
+            "chaos.fault",
+            kind=event.kind.value,
+            replica=event.replica % len(self.cluster.replicas),
+        ):
+            index = event.replica % len(self.cluster.replicas)
+            if event.kind is FaultKind.WORKER_CRASH:
+                return self.cluster.inject_crash(
+                    index, f"replica {index} crashed: chaos injection"
+                )
+            if event.kind is FaultKind.WORKER_HANG:
+                return self.cluster.inject_hang(index, event.duration)
+            if event.kind is FaultKind.LATENCY_SPIKE:
+                return self.cluster.inject_latency_spike(
+                    index, event.magnitude, event.duration
+                )
+            if event.kind is FaultKind.CACHE_CORRUPT:
+                return self._cache_fault(event, corrupt=True)
+            if event.kind is FaultKind.CACHE_EVICT:
+                return self._cache_fault(event, corrupt=False)
+            if event.kind is FaultKind.REFUTE_STORM:
+                self.cluster.set_refute_storm(event.bits, True)
+
+                async def _clear(bits=event.bits, hold=event.duration):
+                    await self.cluster.clock.sleep(hold)
+                    self.cluster.set_refute_storm(bits, False)
+
+                self.cluster._spawn(_clear())
+                return True
+            if event.kind is FaultKind.QUEUE_POISON:
+                request = InferenceRequest(
+                    request_id=_POISON_ID_BASE + len(self._poison_tasks),
+                    model=self.spec.poison_model,
+                    bits=8,
+                    qos=QOS_CLASSES["standard"],
+                )
+                self._poison_tasks.append(
+                    asyncio.ensure_future(self.cluster.submit(request))
+                )
+                return True
+            raise ServeError(f"unknown fault kind {event.kind!r}")
+
+    def _cache_fault(self, event: ChaosEvent, *, corrupt: bool) -> bool:
+        """Corrupt or evict the first N on-disk timing-cache entries.
+
+        Deterministic target choice (sorted keys, no RNG); the entries
+        hit depend on host cache state, which is why cache hygiene
+        counters are deliberately outside the deterministic summary.
+        """
+        cache = TimingCache.default()
+        keys = cache.on_disk_entries()[: int(event.magnitude)]
+        touched = 0
+        for key in keys:
+            path = cache.entry_path(key)
+            if path is None:
+                break
+            try:
+                if corrupt:
+                    path.write_text("{corrupt json", encoding="utf-8")
+                else:
+                    path.unlink()
+                touched += 1
+            except OSError:
+                continue
+        cache.invalidate_memory()
+        return touched > 0
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Deterministic record of the run (seed, counts, timeline)."""
+        by_kind: dict[str, int] = {}
+        for event in self.injected:
+            by_kind[event.kind.value] = by_kind.get(event.kind.value, 0) + 1
+        return {
+            "seed": self.spec.seed,
+            "scheduled": len(self.timeline),
+            "injected": len(self.injected),
+            "skipped": len(self.skipped),
+            "by_kind": dict(sorted(by_kind.items())),
+            "poison_outcomes": dict(sorted(self.poison_outcomes.items())),
+            "timeline": [e.as_dict() for e in self.timeline],
+        }

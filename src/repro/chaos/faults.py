@@ -1,0 +1,73 @@
+"""The fault vocabulary of the chaos engine.
+
+A fault is data, not behaviour: :class:`ChaosEvent` records *what*
+happens *when* (on the simulated clock) to *which* replica, and the
+:class:`~repro.chaos.engine.ChaosEngine` interprets it against a live
+cluster.  Keeping events as frozen values is what makes a timeline
+comparable across runs — the determinism check is literally an
+equality test on ``[e.as_dict() for e in timeline]``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["FaultKind", "ChaosEvent"]
+
+
+class FaultKind(enum.Enum):
+    """Every fault the chaos engine knows how to inject."""
+
+    #: Kill one replica outright; its queued and in-flight requests
+    #: fail immediately and the cluster must detect + restart it.
+    WORKER_CRASH = "worker_crash"
+    #: Wedge one replica's batch workers (grey failure): it stops
+    #: serving *and* heartbeating but does not fail requests — the
+    #: heartbeat monitor must notice.
+    WORKER_HANG = "worker_hang"
+    #: Multiply one replica's batch execution times for a while, the
+    #: way thermal throttling would; planned deadlines start slipping.
+    LATENCY_SPIKE = "latency_spike"
+    #: Overwrite on-disk kernel-timing cache entries with garbage and
+    #: drop the in-memory mirror; lookups must quarantine, not crash
+    #: and never serve corrupt timings.
+    CACHE_CORRUPT = "cache_corrupt"
+    #: Delete on-disk kernel-timing cache entries and drop the mirror;
+    #: a pure cold-path stressor (misses, never wrong results).
+    CACHE_EVICT = "cache_evict"
+    #: Force a bitwidth's packing preflight to refute cluster-wide for
+    #: a while; every affected batch must take the degraded baseline.
+    REFUTE_STORM = "refute_storm"
+    #: Submit a malformed request (unknown model) through the router;
+    #: it must fail cleanly without poisoning the batch pipeline.
+    QUEUE_POISON = "queue_poison"
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault on the simulated clock."""
+
+    #: Simulated time at which the engine injects this fault.
+    at_seconds: float
+    kind: FaultKind
+    #: Raw replica draw; the engine maps it onto a live replica index
+    #: with ``replica % len(cluster.replicas)``.
+    replica: int = 0
+    #: How long the fault holds (hang/spike/storm), simulated seconds.
+    duration: float = 0.0
+    #: Kind-specific intensity (spike multiplier, cache-entry count).
+    magnitude: float = 0.0
+    #: Target bitwidth (refute storms).
+    bits: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (timeline snapshots and comparisons)."""
+        return {
+            "at_seconds": round(self.at_seconds, 9),
+            "kind": self.kind.value,
+            "replica": self.replica,
+            "duration": round(self.duration, 9),
+            "magnitude": self.magnitude,
+            "bits": self.bits,
+        }

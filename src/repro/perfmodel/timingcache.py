@@ -73,6 +73,8 @@ class CacheStats:
     directory: str
     enabled: bool
     persistent: bool
+    #: Corrupt on-disk entries quarantined by :meth:`TimingCache.get`.
+    corrupt: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -96,6 +98,7 @@ class TimingCache:
         self._memory: dict[str, dict] = {}
         self._hits = 0
         self._misses = 0
+        self._corrupt = 0
         self._dir: Path | None = None
         if enabled and directory is not None:
             path = Path(directory)
@@ -116,7 +119,13 @@ class TimingCache:
     # -- lookup / store -------------------------------------------------------
 
     def get(self, payload: dict) -> dict | None:
-        """Cached value for ``payload``, or ``None`` on a miss."""
+        """Cached value for ``payload``, or ``None`` on a miss.
+
+        A corrupt on-disk entry (unparseable JSON) is quarantined —
+        renamed to ``<key>.json.corrupt``, or deleted when the rename
+        fails — so the next cold process does not re-parse it forever;
+        each quarantine increments ``timing_cache_corrupt_total``.
+        """
         if not self.enabled:
             self._record_miss()
             return None
@@ -127,8 +136,11 @@ class TimingCache:
                 with open(self._dir / f"{key}.json", encoding="utf-8") as fh:
                     value = json.load(fh)
                 self._memory[key] = value
-            except (OSError, ValueError):
-                value = None  # missing or corrupt entry == miss
+            except OSError:
+                value = None  # missing/unreadable entry == miss
+            except ValueError:
+                value = None  # corrupt entry == miss, but quarantine it
+                self._quarantine(key)
         if value is None:
             self._record_miss()
         else:
@@ -146,21 +158,52 @@ class TimingCache:
             "kernel-timing cache lookups that required fresh simulation",
         ).inc()
 
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt on-disk entry out of the lookup path."""
+        self._corrupt += 1
+        obs.counter(
+            "timing_cache_corrupt_total",
+            "corrupt kernel-timing cache entries quarantined on lookup",
+        ).inc()
+        if self._dir is None:
+            return
+        entry = self._dir / f"{key}.json"
+        try:
+            os.replace(entry, self._dir / f"{key}.json.corrupt")
+        except OSError:
+            try:
+                entry.unlink()
+            except OSError:
+                pass  # leave it; the next lookup will retry the quarantine
+
     def put(self, payload: dict, value: dict) -> None:
-        """Store ``value`` under ``payload``'s content hash (atomic)."""
+        """Store ``value`` under ``payload``'s content hash (atomic).
+
+        Persistence is best-effort: I/O errors and non-JSON-serializable
+        values leave only the in-memory entry, and the ``mkstemp`` temp
+        file is cleaned up on every failure path.
+        """
         if not self.enabled:
             return
         key = self.key_for(payload)
         self._memory[key] = value
         if self._dir is None:
             return
+        tmp = None
         try:
             fd, tmp = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(value, fh, separators=(",", ":"))
             os.replace(tmp, self._dir / f"{key}.json")
-        except OSError:
+            tmp = None
+        except (OSError, TypeError, ValueError):
             pass  # persistence is best-effort; memory entry stands
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
 
     # -- maintenance ----------------------------------------------------------
 
@@ -177,7 +220,32 @@ class TimingCache:
                     pass
         self._hits = 0
         self._misses = 0
+        self._corrupt = 0
         return removed
+
+    def invalidate_memory(self) -> int:
+        """Drop the in-process mirror of the on-disk entries.
+
+        The next lookup of each key re-reads (and re-validates) the disk
+        file.  Used by the chaos engine's cache-corruption/eviction
+        faults, which edit the directory behind the running process;
+        returns the number of entries dropped.
+        """
+        dropped = len(self._memory)
+        self._memory.clear()
+        return dropped
+
+    def on_disk_entries(self) -> list[str]:
+        """Sorted content-hash keys currently present on disk."""
+        if self._dir is None:
+            return []
+        return sorted(p.stem for p in self._dir.glob("*.json"))
+
+    def entry_path(self, key: str) -> Path | None:
+        """Path of one on-disk entry, or ``None`` for a memory-only cache."""
+        if self._dir is None:
+            return None
+        return self._dir / f"{key}.json"
 
     def stats(self) -> CacheStats:
         """Current hit/miss counters and entry count."""
@@ -195,6 +263,7 @@ class TimingCache:
             directory=str(self._dir) if self._dir is not None else "",
             enabled=self.enabled,
             persistent=self._dir is not None,
+            corrupt=self._corrupt,
         )
 
     # -- process-wide default -------------------------------------------------

@@ -8,6 +8,12 @@ deadlines, and graceful degradation — a refuted packing preflight
 drops the batch to the Tensor-only baseline instead of failing it,
 and an inapplicable Tensor:CUDA split rule clamps to m = 1.
 
+On top of the single service sits the replicated cluster
+(:mod:`repro.serve.cluster`): N replicas behind a health-checked
+router with write-ahead failover, deadline-aware retries, request
+hedging and load shedding — the self-healing deployment the
+:mod:`repro.chaos` engine injects faults into.
+
 Everything runs on a pluggable clock.  The default
 :class:`~repro.serve.clock.SimulatedClock` gives deterministic
 discrete-event time, so `repro serve` benchmarks (throughput,
@@ -16,6 +22,16 @@ p50/p95/p99 latency) are reproducible byte-for-byte across machines.
 
 from repro.serve.batcher import BatchDecision, BatchPlanner, batch_palette
 from repro.serve.clock import Clock, SimulatedClock, WallClock
+from repro.serve.cluster import (
+    ClusterConfig,
+    ClusterReport,
+    ClusterStats,
+    IntentLog,
+    Replica,
+    ReplicaState,
+    ServingCluster,
+    run_cluster_load,
+)
 from repro.serve.loadgen import LoadSpec, ServeReport, generate_requests, run_load
 from repro.serve.queue import BoundedRequestQueue
 from repro.serve.request import InferenceRequest, RequestResult, RequestStatus
@@ -28,6 +44,14 @@ __all__ = [
     "Clock",
     "SimulatedClock",
     "WallClock",
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterStats",
+    "IntentLog",
+    "Replica",
+    "ReplicaState",
+    "ServingCluster",
+    "run_cluster_load",
     "LoadSpec",
     "ServeReport",
     "generate_requests",

@@ -1,0 +1,1018 @@
+"""Self-healing replicated serving cluster.
+
+One :class:`~repro.serve.service.InferenceService` is a pristine
+worker; a deployment is N of them behind a router that keeps the
+latency and bit-exactness story intact while replicas crash, hang and
+slow down.  This module adds that layer on the same deterministic
+simulated clock:
+
+* **replication + routing** — :class:`ServingCluster` runs
+  ``replicas`` independent :class:`InferenceService` instances and
+  routes each request to the least-loaded replica with a fresh
+  heartbeat;
+* **failure detection** — every replica heartbeats on the sim clock; a
+  heartbeat older than ``heartbeat_timeout_seconds`` declares the
+  replica dead (covers both crashes and grey-failure hangs) and a
+  restart is scheduled after ``restart_delay_seconds``;
+* **crash recovery** — admissions are recorded in a write-ahead
+  :class:`IntentLog`; when a replica dies, its queued and in-flight
+  requests fail over to a healthy replica with deadline-aware
+  exponential backoff plus seeded jitter (byte-identical timelines per
+  seed);
+* **request hedging** — an ``interactive`` request still unresolved
+  after ``hedge_delay_seconds`` is duplicated on a second replica;
+  first terminal result wins and the loser is cancelled out of its
+  queue when still possible;
+* **load shedding** — under overload the router sheds ``batch`` then
+  ``standard`` traffic at admission, protecting ``interactive`` QoS
+  (the serving-layer analogue of the graceful-degradation tiering);
+* **bit-exactness canary** — every dispatched batch runs a tiny
+  packed-vs-reference GEMM with that batch's bitwidth policy; a
+  mismatch is counted in ``bit_inexact``, which every chaos scenario
+  asserts stays **zero**: faults may cost latency, never correctness.
+
+Drive it with :func:`run_cluster_load` (optionally under a
+:class:`~repro.chaos.ChaosEngine`), or from the CLI via
+``repro serve --replicas N --chaos-seed S``.  See
+``docs/ROBUSTNESS.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.arch import jetson_orin_agx
+from repro.arch.specs import MachineSpec
+from repro.errors import ServeError
+from repro.fusion.qos import QOS_CLASSES
+from repro.packing import packed_gemm_unsigned, policy_for_bitwidth, reference_gemm
+from repro.serve.clock import Clock, SimulatedClock
+from repro.serve.loadgen import LoadSpec, _percentiles, generate_requests
+from repro.serve.request import InferenceRequest, RequestResult, RequestStatus
+from repro.serve.service import InferenceService, ServeConfig
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterStats",
+    "ClusterReport",
+    "IntentLog",
+    "Replica",
+    "ReplicaState",
+    "ServingCluster",
+    "run_cluster_load",
+]
+
+#: Substrings of a FAILED result's detail that mark it as a replica
+#: availability failure (safe to fail over) rather than a request
+#: problem (poison/pricing error — retrying elsewhere cannot help).
+_FAILOVER_MARKERS = ("crashed", "queue is closed")
+
+
+def _is_failover(result: RequestResult) -> bool:
+    """True when ``result`` is a replica-availability failure."""
+    return result.status is RequestStatus.FAILED and any(
+        marker in result.detail for marker in _FAILOVER_MARKERS
+    )
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tunables of the replicated cluster (router + replicas)."""
+
+    #: Number of independent serving replicas.
+    replicas: int = 3
+    #: Per-replica service configuration.
+    service: ServeConfig = field(default_factory=ServeConfig)
+    #: Replica heartbeat period on the simulated clock.
+    heartbeat_interval_seconds: float = 0.004
+    #: Heartbeat age beyond which a replica is declared dead.
+    heartbeat_timeout_seconds: float = 0.016
+    #: Delay between failure detection and the replacement coming up.
+    restart_delay_seconds: float = 0.010
+    #: Router-level failover attempts per request (on top of the
+    #: replica-internal retry budget).
+    max_retries: int = 3
+    #: First failover backoff; doubles per attempt (``backoff_factor``).
+    backoff_base_seconds: float = 0.002
+    backoff_factor: float = 2.0
+    #: Jitter fraction: each backoff stretches by up to this much,
+    #: drawn from the router's seeded RNG (deterministic per seed).
+    backoff_jitter: float = 0.5
+    #: Hedge interactive requests still unresolved after this long;
+    #: ``None`` disables hedging.
+    hedge_delay_seconds: float | None = 0.008
+    #: Cluster-wide pending-request depth at which ``batch`` traffic is
+    #: shed at the router.
+    shed_batch_depth: int = 48
+    #: Depth at which ``standard`` traffic is shed too.
+    shed_standard_depth: int = 96
+    #: Run the packed-vs-reference bit-exactness canary per batch.
+    verify_results: bool = True
+    #: Seed of the router RNG (backoff jitter, canary data).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ServeError(f"replicas must be >= 1, got {self.replicas}")
+        if self.heartbeat_timeout_seconds < self.heartbeat_interval_seconds:
+            raise ServeError("heartbeat timeout must cover >= one interval")
+        if self.max_retries < 0 or self.backoff_base_seconds < 0:
+            raise ServeError("max_retries/backoff_base_seconds must be >= 0")
+        if not 0 <= self.shed_batch_depth <= self.shed_standard_depth:
+            raise ServeError(
+                "need 0 <= shed_batch_depth <= shed_standard_depth"
+            )
+
+
+@dataclass
+class ClusterStats:
+    """Router-side counters (replica internals live in each ``ServeStats``)."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    expired: int = 0
+    failed: int = 0
+    #: Requests shed at the router, by QoS class name.
+    shed: dict = field(default_factory=dict)
+    #: Failover re-admissions driven by the write-ahead intent log.
+    wal_readmitted: int = 0
+    #: Dead replicas declared by the heartbeat monitor.
+    failures_detected: int = 0
+    #: Replicas brought back up after a failure.
+    restarts: int = 0
+    #: Interactive requests duplicated onto a second replica.
+    hedges: int = 0
+    #: Hedged duplicates that finished first (won the race).
+    hedges_won: int = 0
+    #: Losing duplicates withdrawn from their queue in time.
+    hedges_cancelled: int = 0
+    #: Losing duplicates already in flight (their work was wasted).
+    hedges_wasted: int = 0
+    #: Detection-to-recovery times of every healed replica (sim s).
+    recovery_seconds: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot of every counter."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "failed": self.failed,
+            "shed": dict(sorted(self.shed.items())),
+            "wal_readmitted": self.wal_readmitted,
+            "failures_detected": self.failures_detected,
+            "restarts": self.restarts,
+            "hedges": self.hedges,
+            "hedges_won": self.hedges_won,
+            "hedges_cancelled": self.hedges_cancelled,
+            "hedges_wasted": self.hedges_wasted,
+            "recovery_seconds": [round(r, 6) for r in self.recovery_seconds],
+        }
+
+
+@dataclass
+class _Intent:
+    """One write-ahead log record: a request the cluster owes a result."""
+
+    request: InferenceRequest
+    arrival: float
+    attempts: int = 0
+    replica: int | None = None
+
+
+class IntentLog:
+    """Write-ahead intent log of admitted-but-unresolved requests.
+
+    Admission appends an intent *before* the request reaches any
+    replica queue; resolution removes it.  When a replica dies, every
+    intent assigned to it is still in the log, which is what lets the
+    router re-admit the victim requests instead of losing them — the
+    serving analogue of WAL redo.
+    """
+
+    def __init__(self) -> None:
+        self._open: dict[int, _Intent] = {}
+        self.appended = 0
+        self.resolved = 0
+        self.readmitted = 0
+
+    def __len__(self) -> int:
+        return len(self._open)
+
+    def open(self, request: InferenceRequest, arrival: float) -> _Intent:
+        """Record the intent to serve ``request`` (before dispatch)."""
+        intent = _Intent(request=request, arrival=arrival)
+        self._open[request.request_id] = intent
+        self.appended += 1
+        return intent
+
+    def assign(self, request_id: int, replica: int) -> None:
+        """Note which replica currently holds the request."""
+        if request_id in self._open:
+            self._open[request_id].replica = replica
+
+    def readmit(self, request_id: int) -> int:
+        """Count one failover re-admission; returns the attempt number."""
+        self.readmitted += 1
+        intent = self._open.get(request_id)
+        if intent is None:
+            return 0
+        intent.attempts += 1
+        return intent.attempts
+
+    def close(self, request_id: int) -> None:
+        """Resolve the intent (the client got its terminal result)."""
+        if self._open.pop(request_id, None) is not None:
+            self.resolved += 1
+
+    def assigned_to(self, replica: int) -> list[InferenceRequest]:
+        """Open intents currently held by ``replica`` (crash audit)."""
+        return [
+            i.request
+            for i in self._open.values()
+            if i.replica == replica
+        ]
+
+
+class ReplicaState(enum.Enum):
+    """Liveness of one replica as the router sees it."""
+
+    #: Serving (heartbeats may still be stale — see the monitor).
+    UP = "up"
+    #: Crashed or torn down; a restart may be pending.
+    DOWN = "down"
+
+
+class Replica:
+    """One serving replica: an :class:`InferenceService` plus liveness.
+
+    The replica owns its service instance (rebuilt on every restart —
+    crash-stops lose soft state, like real processes), a heartbeat task
+    on the shared simulated clock, and a generation counter so delayed
+    chaos timers (unhang, spike reset) cannot touch a successor
+    incarnation.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        machine: MachineSpec,
+        config: ServeConfig,
+        clock: Clock,
+        heartbeat_interval: float,
+    ):
+        self.index = index
+        self.machine = machine
+        self.config = config
+        self.clock = clock
+        self.heartbeat_interval = heartbeat_interval
+        self.state = ReplicaState.DOWN
+        self.service: InferenceService | None = None
+        self.generation = 0
+        self.last_heartbeat = float("-inf")
+        self.failed_at: float | None = None
+        self.crashes = 0
+        self._hb_task: asyncio.Task | None = None
+
+    @property
+    def name(self) -> str:
+        """Stable display name (``replica-<index>``)."""
+        return f"replica-{self.index}"
+
+    @property
+    def load(self) -> int:
+        """Pending requests on this replica (queued + in flight)."""
+        if self.service is None:
+            return 0
+        return len(self.service.queue) + self.service.inflight
+
+    def heartbeat_fresh(self, now: float, timeout: float) -> bool:
+        """True when the last heartbeat is within ``timeout`` of ``now``."""
+        return now - self.last_heartbeat <= timeout
+
+    async def start(self, verifier=None, refute_bits=()) -> None:
+        """(Re)build the service and begin serving + heartbeating."""
+        self.generation += 1
+        self.service = InferenceService(self.machine, self.config, self.clock)
+        self.service.verifier = verifier
+        for bits in refute_bits:
+            self.service.force_refute(bits)
+        await self.service.start()
+        self.state = ReplicaState.UP
+        self.last_heartbeat = self.clock.now()
+        self._hb_task = asyncio.ensure_future(self._heartbeat())
+
+    async def _heartbeat(self) -> None:
+        while self.state is ReplicaState.UP:
+            service = self.service
+            if service is not None and not service.paused:
+                self.last_heartbeat = self.clock.now()
+            await self.clock.sleep(self.heartbeat_interval)
+
+    def crash(self, detail: str) -> list[InferenceRequest]:
+        """Kill this replica; returns the requests its crash stranded."""
+        if self.state is ReplicaState.DOWN:
+            return []
+        self.state = ReplicaState.DOWN
+        self.crashes += 1
+        self.failed_at = self.clock.now()
+        if self._hb_task is not None:
+            self._hb_task.cancel()
+            self._hb_task = None
+        service, self.service = self.service, None
+        return service.abort(detail) if service is not None else []
+
+    def hang(self) -> int:
+        """Wedge the workers (grey failure); returns the generation so
+        the matching unhang can be fenced against restarts."""
+        if self.service is not None:
+            self.service.pause()
+        return self.generation
+
+    def unhang(self, generation: int) -> None:
+        """Release a hang, unless the replica was since restarted."""
+        if self.generation == generation and self.service is not None:
+            self.service.resume()
+
+    async def shutdown(self) -> None:
+        """Graceful stop at cluster teardown (drains the queue)."""
+        if self._hb_task is not None:
+            self._hb_task.cancel()
+            self._hb_task = None
+        self.state = ReplicaState.DOWN
+        if self.service is not None:
+            self.service.resume()
+            if not self.service.aborted:
+                await self.service.stop()
+
+
+class ServingCluster:
+    """N replicas, one router: submit here, survive faults there."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        config: ClusterConfig | None = None,
+        clock: Clock | None = None,
+    ):
+        self.machine = machine
+        self.config = config if config is not None else ClusterConfig()
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.stats = ClusterStats()
+        self.wal = IntentLog()
+        self.replicas = [
+            Replica(
+                i,
+                machine,
+                self.config.service,
+                self.clock,
+                self.config.heartbeat_interval_seconds,
+            )
+            for i in range(self.config.replicas)
+        ]
+        self._rng = make_rng(self.config.seed)
+        self._canary_calls = 0
+        self._storm_bits: set[int] = set()
+        self._monitor_task: asyncio.Task | None = None
+        self._aux_tasks: list[asyncio.Task] = []
+        self._running = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bring every replica up and start the failure detector."""
+        if self._running:
+            raise ServeError("cluster already started")
+        self._running = True
+        for replica in self.replicas:
+            await replica.start(
+                verifier=self._verifier(), refute_bits=self._storm_bits
+            )
+        self._monitor_task = asyncio.ensure_future(self._monitor())
+
+    async def stop(self) -> None:
+        """Stop chaos timers and the monitor, drain every replica."""
+        self._running = False
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            self._monitor_task = None
+        for task in self._aux_tasks:
+            task.cancel()
+        self._aux_tasks = []
+        for replica in self.replicas:
+            await replica.shutdown()
+
+    def _spawn(self, coro) -> None:
+        """Track a helper task so :meth:`stop` can cancel it."""
+        self._aux_tasks.append(asyncio.ensure_future(coro))
+
+    # -- health --------------------------------------------------------------
+
+    def healthy(self) -> list[Replica]:
+        """Replicas that are up with a fresh heartbeat, router order."""
+        now = self.clock.now()
+        return [
+            r
+            for r in self.replicas
+            if r.state is ReplicaState.UP
+            and r.service is not None
+            and not r.service.aborted
+            and r.heartbeat_fresh(now, self.config.heartbeat_timeout_seconds)
+        ]
+
+    @property
+    def pending(self) -> int:
+        """Cluster-wide pending requests (queued + in flight)."""
+        return sum(r.load for r in self.replicas if r.state is ReplicaState.UP)
+
+    async def _monitor(self) -> None:
+        """Failure detector: declare stale replicas dead, heal them."""
+        timeout = self.config.heartbeat_timeout_seconds
+        while self._running:
+            now = self.clock.now()
+            for replica in self.replicas:
+                if replica.state is ReplicaState.UP and not replica.heartbeat_fresh(
+                    now, timeout
+                ):
+                    self._declare_dead(
+                        replica,
+                        f"replica {replica.index} crashed: heartbeat older "
+                        f"than {timeout * 1e3:.0f} ms",
+                    )
+            await self.clock.sleep(self.config.heartbeat_interval_seconds)
+
+    def _declare_dead(self, replica: Replica, detail: str) -> None:
+        """Tear a replica down and schedule its replacement."""
+        self.stats.failures_detected += 1
+        obs.counter(
+            "cluster_failures_detected_total",
+            "replicas declared dead by the heartbeat monitor",
+        ).inc()
+        lost = replica.crash(detail)
+        for request in lost:
+            self.wal.assign(request.request_id, -1)  # orphaned, pending retry
+        self._spawn(self._restart_later(replica))
+
+    def inject_crash(self, index: int, detail: str = "") -> bool:
+        """Chaos hook: crash replica ``index`` now (False when down)."""
+        replica = self.replicas[index]
+        if replica.state is ReplicaState.DOWN:
+            return False
+        self._declare_dead(
+            replica, detail or f"replica {index} crashed: injected fault"
+        )
+        return True
+
+    def inject_hang(self, index: int, duration: float) -> bool:
+        """Chaos hook: wedge replica ``index`` for ``duration`` seconds.
+
+        The hang itself is silent — detection is the heartbeat
+        monitor's job; if it fires first the replica is crash-restarted
+        and the delayed unhang fences on the generation.
+        """
+        replica = self.replicas[index]
+        if replica.state is ReplicaState.DOWN or replica.service is None:
+            return False
+        generation = replica.hang()
+
+        async def _release() -> None:
+            await self.clock.sleep(duration)
+            replica.unhang(generation)
+
+        self._spawn(_release())
+        return True
+
+    def inject_latency_spike(
+        self, index: int, magnitude: float, duration: float
+    ) -> bool:
+        """Chaos hook: scale replica ``index``'s service times."""
+        replica = self.replicas[index]
+        if replica.state is ReplicaState.DOWN or replica.service is None:
+            return False
+        service, generation = replica.service, replica.generation
+        service.latency_scale = magnitude
+
+        async def _reset() -> None:
+            await self.clock.sleep(duration)
+            if replica.generation == generation and replica.service is service:
+                service.latency_scale = 1.0
+
+        self._spawn(_reset())
+        return True
+
+    def set_refute_storm(self, bits: int, active: bool) -> None:
+        """Chaos hook: force every replica's ``bits`` preflight refuted.
+
+        Replicas restarted while the storm is active inherit it, so the
+        degraded path holds cluster-wide until the storm clears.
+        """
+        if active:
+            self._storm_bits.add(bits)
+        else:
+            self._storm_bits.discard(bits)
+        for replica in self.replicas:
+            if replica.service is not None:
+                replica.service.force_refute(bits, active)
+
+    async def _restart_later(self, replica: Replica) -> None:
+        await self.clock.sleep(self.config.restart_delay_seconds)
+        if not self._running or replica.state is not ReplicaState.DOWN:
+            return
+        await replica.start(
+            verifier=self._verifier(), refute_bits=self._storm_bits
+        )
+        self.stats.restarts += 1
+        if replica.failed_at is not None:
+            recovery = self.clock.now() - replica.failed_at
+            self.stats.recovery_seconds.append(recovery)
+            obs.histogram(
+                "cluster_recovery_seconds",
+                "failure detection to replacement-up time",
+                buckets=(0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5),
+            ).observe(recovery)
+        obs.counter(
+            "cluster_restarts_total", "replicas healed after a failure"
+        ).inc()
+
+    # -- bit-exactness canary -------------------------------------------------
+
+    def _verifier(self):
+        """The per-batch verifier to install, or ``None`` when disabled."""
+        return self._verify_batch if self.config.verify_results else None
+
+    def _verify_batch(self, model, bits, strategy, size) -> bool:
+        """Tiny packed-vs-reference GEMM in this batch's bitwidth policy.
+
+        Deterministic data (router seed + call counter); any mismatch
+        means a wrong packed result escaped — counted, never ignored.
+        """
+        self._canary_calls += 1
+        rng = make_rng((self.config.seed << 20) ^ self._canary_calls)
+        policy = policy_for_bitwidth(bits)
+        k = 8
+        a = rng.integers(0, 1 << min(bits, 7), size=(2, k), dtype=np.int64)
+        b = rng.integers(0, 1 << policy.value_bits, size=(k, 2 * policy.lanes),
+                         dtype=np.int64)
+        got = packed_gemm_unsigned(a, b, policy)
+        return bool(np.array_equal(got, reference_gemm(a, b)))
+
+    # -- routing -------------------------------------------------------------
+
+    def _pick_replica(self, exclude: Replica | None = None) -> Replica | None:
+        """Least-loaded healthy replica (ties -> lowest index)."""
+        candidates = [r for r in self.healthy() if r is not exclude]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: (r.load, r.index))
+
+    def _shed_class(self, qos_name: str) -> bool:
+        """Does the current overload tier shed ``qos_name`` traffic?"""
+        depth = self.pending
+        if depth >= self.config.shed_standard_depth:
+            return qos_name in ("standard", "batch")
+        if depth >= self.config.shed_batch_depth:
+            return qos_name == "batch"
+        return False
+
+    def _backoff(self, attempt: int) -> float:
+        """Deadline-aware failover delay: exponential base + jitter."""
+        base = self.config.backoff_base_seconds * (
+            self.config.backoff_factor ** max(0, attempt - 1)
+        )
+        return base * (1.0 + self.config.backoff_jitter * float(self._rng.random()))
+
+    async def _race(self, futures: list) -> None:
+        """Wait until any future in ``futures`` is done (deterministic:
+        callbacks are registered in list order and touch the clock)."""
+        if any(f.done() for f in futures):
+            return
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+
+        def _done(_f) -> None:
+            if not waiter.done():
+                waiter.set_result(None)
+                self.clock.touch()
+
+        for f in futures:
+            f.add_done_callback(_done)
+        try:
+            await waiter
+        finally:
+            for f in futures:
+                f.remove_done_callback(_done)
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, request: InferenceRequest) -> RequestResult:
+        """Serve one request through the cluster; always returns a result."""
+        arrival = self.clock.now()
+        deadline_at = arrival + request.deadline
+        self.stats.submitted += 1
+        self.wal.open(request, arrival)
+        try:
+            result = await self._serve_one(request, arrival, deadline_at)
+        finally:
+            self.wal.close(request.request_id)
+        self._account(result)
+        return result
+
+    def _account(self, result: RequestResult) -> None:
+        if result.status is RequestStatus.COMPLETED:
+            self.stats.completed += 1
+        elif result.status is RequestStatus.REJECTED:
+            self.stats.rejected += 1
+        elif result.status is RequestStatus.EXPIRED:
+            self.stats.expired += 1
+        else:
+            self.stats.failed += 1
+
+    def _shed_result(self, request: InferenceRequest) -> RequestResult:
+        qos = request.qos.name
+        self.stats.shed[qos] = self.stats.shed.get(qos, 0) + 1
+        obs.counter(
+            "cluster_shed_total",
+            "requests shed at the router under overload",
+            {"qos": qos},
+        ).inc()
+        return RequestResult(
+            request_id=request.request_id,
+            status=RequestStatus.REJECTED,
+            qos=qos,
+            detail=f"load shed: cluster depth {self.pending} over the "
+            f"{qos!r} shedding tier",
+        )
+
+    async def _serve_one(
+        self, request: InferenceRequest, arrival: float, deadline_at: float
+    ) -> RequestResult:
+        if self._shed_class(request.qos.name):
+            return self._shed_result(request)
+        attempt = 0
+        while True:
+            replica = self._pick_replica()
+            if replica is None:
+                # Whole cluster dark: wait one detection period for a
+                # restart, unless the deadline dies first.
+                if self.clock.now() >= deadline_at:
+                    return RequestResult(
+                        request_id=request.request_id,
+                        status=RequestStatus.EXPIRED,
+                        qos=request.qos.name,
+                        retries=attempt,
+                        detail="no healthy replica before the deadline",
+                    )
+                await self.clock.sleep(self.config.heartbeat_interval_seconds)
+                continue
+            self.wal.assign(request.request_id, replica.index)
+            future = replica.service.submit_nowait(request)
+            result = await self._await_hedged(request, replica, future)
+            if not _is_failover(result):
+                result.retries = max(result.retries, attempt)
+                result.extra.setdefault("replica", replica.name)
+                return result
+            # Replica died with our request: redo from the intent log.
+            if attempt >= self.config.max_retries:
+                result.retries = attempt
+                result.detail += f" (failover budget of {attempt} exhausted)"
+                return result
+            attempt = self.wal.readmit(request.request_id)
+            self.stats.wal_readmitted += 1
+            obs.counter(
+                "cluster_wal_readmitted_total",
+                "requests re-admitted from the write-ahead intent log "
+                "after a replica failure",
+            ).inc()
+            await self.clock.sleep(self._backoff(attempt))
+            if self.clock.now() >= deadline_at:
+                return RequestResult(
+                    request_id=request.request_id,
+                    status=RequestStatus.EXPIRED,
+                    qos=request.qos.name,
+                    retries=attempt,
+                    detail="deadline passed during failover backoff",
+                )
+
+    async def _await_hedged(
+        self,
+        request: InferenceRequest,
+        primary: Replica,
+        future: asyncio.Future,
+    ) -> RequestResult:
+        """Await the primary result, hedging interactive stragglers."""
+        delay = self.config.hedge_delay_seconds
+        if delay is None or request.qos.name != "interactive":
+            return await future
+        timer = asyncio.ensure_future(self.clock.sleep(delay))
+        await self._race([future, timer])
+        if future.done():
+            timer.cancel()
+            return future.result()
+        secondary = self._pick_replica(exclude=primary)
+        if secondary is None:
+            return await future
+        self.stats.hedges += 1
+        obs.counter(
+            "cluster_hedges_total", "interactive requests hedged"
+        ).inc()
+        hedge = secondary.service.submit_nowait(request)
+        await self._race([future, hedge])
+        if future.done() and not _is_failover(future.result()):
+            # Primary won: withdraw the duplicate if it is still queued.
+            if secondary.service is not None and secondary.service.cancel_queued(
+                request.request_id
+            ):
+                self.stats.hedges_cancelled += 1
+            elif not hedge.done():
+                self.stats.hedges_wasted += 1
+            return future.result()
+        if hedge.done():
+            result = hedge.result()
+            if not _is_failover(result):
+                self.stats.hedges_won += 1
+                result.extra["hedged"] = True
+                result.extra["replica"] = secondary.name
+                if primary.service is not None:
+                    primary.service.cancel_queued(request.request_id)
+                return result
+        # Both ended in failover failures (or the primary did and the
+        # hedge is still pending): fall back to whichever is terminal.
+        if future.done():
+            return future.result()
+        return await future
+
+    # -- reporting -----------------------------------------------------------
+
+    def replica_stats(self) -> list[dict]:
+        """Current per-replica ``ServeStats`` snapshots (live services)."""
+        return [
+            {
+                "replica": r.name,
+                "generation": r.generation,
+                "crashes": r.crashes,
+                "state": r.state.value,
+                "stats": r.service.stats.as_dict() if r.service else {},
+            }
+            for r in self.replicas
+        ]
+
+    @property
+    def bit_inexact(self) -> int:
+        """Canary mismatches across live replica incarnations."""
+        return sum(
+            r.service.stats.bit_inexact
+            for r in self.replicas
+            if r.service is not None
+        )
+
+    @property
+    def verified_batches(self) -> int:
+        """Canary runs across live replica incarnations."""
+        return sum(
+            r.service.stats.verified_batches
+            for r in self.replicas
+            if r.service is not None
+        )
+
+
+@dataclass
+class ClusterReport:
+    """Aggregated outcome of one cluster load run (chaos or pristine)."""
+
+    spec: LoadSpec
+    results: list[RequestResult]
+    stats: dict
+    replica_stats: list
+    chaos: dict | None
+    bit_inexact: int
+    verified_batches: int
+    sim_seconds: float
+    wall_seconds: float
+    metrics: dict = field(default_factory=dict)
+    latency_ms: dict = field(init=False)
+    slo: dict = field(init=False)
+
+    def __post_init__(self) -> None:
+        completed = [r for r in self.results if r.ok]
+        self.latency_ms = {
+            "overall": _percentiles([r.latency_seconds * 1e3 for r in completed])
+        }
+        for name in QOS_CLASSES:
+            per = [r.latency_seconds * 1e3 for r in completed if r.qos == name]
+            if per:
+                self.latency_ms[name] = _percentiles(per)
+        self.slo = self._slo_attainment()
+
+    def _slo_attainment(self) -> dict:
+        """Per-QoS completed / (completed + expired + failed).
+
+        Admission-controlled outcomes (rejections, shedding, hedge
+        cancellations) are intentional refusals, not SLO misses; only
+        admitted requests that then missed count against the SLO.
+        """
+        served = {RequestStatus.COMPLETED, RequestStatus.EXPIRED,
+                  RequestStatus.FAILED}
+        out = {}
+        for name in ["overall", *QOS_CLASSES]:
+            pool = [
+                r
+                for r in self.results
+                if r.status in served and (name == "overall" or r.qos == name)
+            ]
+            if not pool:
+                continue
+            done = sum(1 for r in pool if r.ok)
+            out[name] = {
+                "attained": done,
+                "admitted": len(pool),
+                "attainment": round(done / len(pool), 6),
+            }
+        return out
+
+    def count(self, status: RequestStatus) -> int:
+        """Requests that ended in ``status``."""
+        return sum(1 for r in self.results if r.status is status)
+
+    @property
+    def completed(self) -> int:
+        """Requests served to completion within their deadline."""
+        return self.count(RequestStatus.COMPLETED)
+
+    @property
+    def throughput_per_s(self) -> float:
+        """Completed requests per simulated second."""
+        return self.completed / self.sim_seconds if self.sim_seconds > 0 else 0.0
+
+    @property
+    def recovery_seconds(self) -> list:
+        """Detection-to-recovery times of healed replicas (sim s)."""
+        return list(self.stats.get("recovery_seconds", []))
+
+    def render(self) -> str:
+        """Human-readable summary (latency, SLO, faults, recovery)."""
+        from repro.utils.tables import format_table
+
+        rows = []
+        for name in ["overall", *QOS_CLASSES]:
+            if name not in self.latency_ms and name not in self.slo:
+                continue
+            pct = self.latency_ms.get(name, _percentiles([]))
+            slo = self.slo.get(name, {})
+            rows.append(
+                (
+                    name,
+                    slo.get("attained", 0),
+                    slo.get("admitted", 0),
+                    f"{slo.get('attainment', 0.0):.2%}",
+                    pct["p50"],
+                    pct["p95"],
+                    pct["p99"],
+                )
+            )
+        s = self.stats
+        table = format_table(
+            ["class", "attained", "admitted", "SLO", "p50 (ms)", "p95 (ms)",
+             "p99 (ms)"],
+            rows,
+            title=(
+                f"cluster — {self.spec.requests} requests @ "
+                f"{self.spec.rate_per_s:.0f}/s, "
+                f"{len(self.replica_stats)} replicas, "
+                f"{self.sim_seconds * 1e3:.1f} simulated ms "
+                f"({self.wall_seconds * 1e3:.0f} ms wall)"
+            ),
+            ndigits=3,
+        )
+        recov = self.recovery_seconds
+        lines = [
+            table,
+            "",
+            f"throughput {self.throughput_per_s:.0f} req/s · outcomes: "
+            f"{self.completed} completed, "
+            f"{self.count(RequestStatus.REJECTED)} rejected "
+            f"(shed {sum(s.get('shed', {}).values())}), "
+            f"{self.count(RequestStatus.EXPIRED)} expired, "
+            f"{self.count(RequestStatus.FAILED)} failed",
+            f"resilience: {s.get('failures_detected', 0)} failures detected, "
+            f"{s.get('restarts', 0)} restarts "
+            f"(mean recovery {np.mean(recov) * 1e3:.1f} ms)"
+            if recov
+            else "resilience: no replica failures",
+            f"failover: {s.get('wal_readmitted', 0)} WAL re-admissions · "
+            f"hedging: {s.get('hedges', 0)} hedged, "
+            f"{s.get('hedges_won', 0)} won, "
+            f"{s.get('hedges_cancelled', 0)} cancelled, "
+            f"{s.get('hedges_wasted', 0)} wasted",
+            f"bit-exactness: {self.bit_inexact} inexact of "
+            f"{self.verified_batches} verified batches",
+        ]
+        if self.chaos:
+            lines.append(
+                f"chaos: seed {self.chaos.get('seed')} injected "
+                f"{self.chaos.get('injected', 0)} faults "
+                f"({self.chaos.get('by_kind', {})})"
+            )
+        return "\n".join(lines)
+
+    def to_summary(self) -> dict:
+        """JSON-serializable form for ``summary.json`` (wall time kept
+        out of the deterministic core — see :meth:`deterministic_summary`)."""
+        payload = self.deterministic_summary()
+        payload["wall_seconds"] = round(self.wall_seconds, 4)
+        return payload
+
+    def deterministic_summary(self) -> dict:
+        """The summary minus host-dependent fields; two runs with the
+        same seeds must produce byte-identical JSON for this dict."""
+        return {
+            "requests": self.spec.requests,
+            "rate_per_s": self.spec.rate_per_s,
+            "seed": self.spec.seed,
+            "model": self.spec.model,
+            "replicas": len(self.replica_stats),
+            "sim_seconds": round(self.sim_seconds, 6),
+            "throughput_per_s": round(self.throughput_per_s, 2),
+            "latency_ms": self.latency_ms,
+            "slo": self.slo,
+            "completed": self.completed,
+            "rejected": self.count(RequestStatus.REJECTED),
+            "expired": self.count(RequestStatus.EXPIRED),
+            "failed": self.count(RequestStatus.FAILED),
+            "bit_inexact": self.bit_inexact,
+            "verified_batches": self.verified_batches,
+            "stats": self.stats,
+            "replica_stats": self.replica_stats,
+            "chaos": self.chaos,
+        }
+
+    def write_summary(self, path) -> "object":
+        """Merge this report into ``summary.json`` under ``"cluster"``."""
+        sections: dict = {"cluster": self.to_summary()}
+        if self.metrics:
+            sections["metrics"] = self.metrics
+        return obs.merge_summary(path, sections)
+
+
+def run_cluster_load(
+    machine: MachineSpec | None = None,
+    config: ClusterConfig | None = None,
+    spec: LoadSpec | None = None,
+    chaos=None,
+) -> ClusterReport:
+    """One deterministic cluster benchmark, optionally under chaos.
+
+    ``chaos`` is a :class:`repro.chaos.ChaosSpec` (or ``None`` for a
+    pristine run); the fault timeline, the load schedule and the
+    cluster's own jitter all come from seeded RNGs, so the same seeds
+    produce byte-identical stats and traces.
+    """
+    from repro.chaos import ChaosEngine
+
+    machine = machine if machine is not None else jetson_orin_agx()
+    config = config if config is not None else ClusterConfig()
+    spec = spec if spec is not None else LoadSpec()
+    clock = SimulatedClock()
+    cluster = ServingCluster(machine, config, clock)
+    engine = ChaosEngine(chaos, cluster) if chaos is not None else None
+    schedule = generate_requests(spec)
+
+    async def _main() -> list[RequestResult]:
+        await cluster.start()
+        chaos_task = (
+            asyncio.ensure_future(engine.run()) if engine is not None else None
+        )
+        futures = []
+        for arrival, request in schedule:
+            delay = arrival - clock.now()
+            if delay > 0:
+                await clock.sleep(delay)
+            futures.append(asyncio.ensure_future(cluster.submit(request)))
+        results = await asyncio.gather(*futures)
+        if chaos_task is not None:
+            await chaos_task
+        await cluster.stop()
+        return list(results)
+
+    t0 = time.perf_counter()
+    results = clock.run(_main())
+    wall = time.perf_counter() - t0
+    return ClusterReport(
+        spec=spec,
+        results=results,
+        stats=cluster.stats.as_dict(),
+        replica_stats=cluster.replica_stats(),
+        chaos=engine.summary() if engine is not None else None,
+        bit_inexact=cluster.bit_inexact,
+        verified_batches=cluster.verified_batches,
+        sim_seconds=clock.now(),
+        wall_seconds=wall,
+        metrics=obs.snapshot(),
+    )

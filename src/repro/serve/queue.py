@@ -106,6 +106,30 @@ class BoundedRequestQueue:
             self._publish_depth()
             self._clock.touch()
 
+    def remove_first(self, pred: Callable[[T], bool]) -> T | None:
+        """Remove and return the first queued item satisfying ``pred``.
+
+        Returns ``None`` when nothing matches; FIFO order of the rest is
+        preserved.  Used to withdraw a hedged duplicate that lost its
+        race before it wastes a batch slot.
+        """
+        for item in self._items:
+            if pred(item):
+                self._items.remove(item)
+                self._publish_depth()
+                self._clock.touch()
+                return item
+        return None
+
+    def drain(self) -> list:
+        """Remove and return every queued item (crash/abort recovery)."""
+        items = list(self._items)
+        self._items.clear()
+        if items:
+            self._publish_depth()
+            self._clock.touch()
+        return items
+
     def close(self) -> None:
         """Stop accepting work and wake every blocked consumer."""
         self._closed = True

@@ -34,6 +34,8 @@ class RequestStatus(enum.Enum):
     EXPIRED = "expired"
     #: An internal error exhausted the retry budget.
     FAILED = "failed"
+    #: Withdrawn while queued (e.g. a hedged duplicate whose twin won).
+    CANCELLED = "cancelled"
 
 
 @dataclass(frozen=True)

@@ -114,6 +114,14 @@ class ServeStats:
     fallback_batches: int = 0
     #: Requests served by the degraded baseline.
     fallback_requests: int = 0
+    #: Requests withdrawn while queued (hedged duplicates).
+    cancelled: int = 0
+    #: Requests failed by :meth:`InferenceService.abort` (replica crash).
+    aborted: int = 0
+    #: Batches checked by the bit-exactness verifier (when installed).
+    verified_batches: int = 0
+    #: Verified batches whose packed result did NOT match the reference.
+    bit_inexact: int = 0
     #: Chosen batch size -> how many batches used it.
     batch_sizes: dict = field(default_factory=dict)
 
@@ -136,6 +144,10 @@ class ServeStats:
             "batches": self.batches,
             "fallback_batches": self.fallback_batches,
             "fallback_requests": self.fallback_requests,
+            "cancelled": self.cancelled,
+            "aborted": self.aborted,
+            "verified_batches": self.verified_batches,
+            "bit_inexact": self.bit_inexact,
             "batch_sizes": {str(k): v for k, v in sorted(self.batch_sizes.items())},
         }
 
@@ -168,12 +180,30 @@ class InferenceService:
             self.config.max_queue, self.clock
         )
         self.stats = ServeStats()
+        #: Service-time multiplier applied at execution (not planning)
+        #: time — the chaos engine's latency-spike fault raises it, so
+        #: planned batches overrun their budgets the way a thermally
+        #: throttled GPU would.
+        self.latency_scale: float = 1.0
+        #: Optional bit-exactness probe ``(model, bits, strategy, size)
+        #: -> bool`` run after every dispatched batch; a False return is
+        #: counted in ``stats.bit_inexact`` (never raised).  The cluster
+        #: layer installs a packed-vs-reference GEMM canary here.
+        self.verifier = None
         self._pms: dict[int, PerformanceModel] = {}
         #: (model, bits) -> (effective strategy, fallback?, reason)
         self._preflight: dict[tuple, tuple[Strategy, bool, str]] = {}
         self._price_memo: dict[tuple, float] = {}
         self._planner = BatchPlanner(self._price, self.config.max_batch)
         self._workers: list[asyncio.Task] = []
+        #: Bitwidths currently treated as refuted (seeded from the
+        #: config; :meth:`force_refute` mutates it for chaos storms).
+        self._injected_refute: set[int] = set(self.config.inject_refute_bits)
+        #: Requests picked up by a worker but not yet resolved; failed
+        #: en masse by :meth:`abort` so a crash never strands a future.
+        self._inflight: set[_Pending] = set()
+        self._paused: asyncio.Future | None = None
+        self._aborted = False
 
     # -- model plumbing ------------------------------------------------------
 
@@ -211,7 +241,7 @@ class InferenceService:
             strategy = self.config.strategy
             fallback, reason = False, ""
             try:
-                if bits in self.config.inject_refute_bits:
+                if bits in self._injected_refute:
                     raise OverflowBudgetError(
                         f"injected refutation of the {bits}-bit packing "
                         "plan (ServeConfig.inject_refute_bits)"
@@ -230,6 +260,21 @@ class InferenceService:
             self._preflight[key] = (strategy, fallback, reason)
         return self._preflight[key]
 
+    def force_refute(self, bits: int, active: bool = True) -> None:
+        """Treat ``bits``-wide packing preflights as refuted (or stop).
+
+        The chaos engine's refuted-packing storm toggles this at
+        runtime; the memoized preflight verdicts for that bitwidth are
+        invalidated so the next batch re-probes and degrades (or
+        recovers) immediately.
+        """
+        if active:
+            self._injected_refute.add(bits)
+        else:
+            self._injected_refute.discard(bits)
+        for key in [k for k in self._preflight if k[1] == bits]:
+            del self._preflight[key]
+
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
@@ -246,6 +291,73 @@ class InferenceService:
         if self._workers:
             await asyncio.gather(*self._workers)
             self._workers = []
+
+    @property
+    def paused(self) -> bool:
+        """True while the workers are hung (chaos worker-hang fault)."""
+        return self._paused is not None
+
+    @property
+    def aborted(self) -> bool:
+        """True once :meth:`abort` has torn this service down."""
+        return self._aborted
+
+    @property
+    def inflight(self) -> int:
+        """Requests picked up by a worker but not yet resolved."""
+        return len(self._inflight)
+
+    def pause(self) -> None:
+        """Hang the batch workers: no new dispatches until :meth:`resume`.
+
+        Queued requests sit, heartbeats stop advancing, and the cluster
+        failure detector eventually declares the replica dead — exactly
+        the grey-failure a wedged GPU driver produces.
+        """
+        if self._paused is None:
+            self._paused = asyncio.get_running_loop().create_future()
+
+    def resume(self) -> None:
+        """Release workers hung by :meth:`pause` (no-op when running)."""
+        if self._paused is not None:
+            gate, self._paused = self._paused, None
+            if not gate.done():
+                gate.set_result(None)
+            self.clock.touch()
+
+    def abort(self, detail: str = "replica crashed") -> list[InferenceRequest]:
+        """Crash this service: kill the workers, fail all pending work.
+
+        Every queued and in-flight request resolves immediately as
+        ``FAILED`` with ``detail`` — mid-batch work included — so no
+        submitter future is ever stranded.  Returns the requests that
+        were lost, in FIFO-ish order, for the cluster's write-ahead
+        intent log to re-admit elsewhere.  Idempotent.
+        """
+        if self._aborted:
+            return []
+        self._aborted = True
+        for task in self._workers:
+            task.cancel()
+        self._workers = []
+        self.resume()
+        self.queue.close()
+        casualties = list(self.queue.drain()) + sorted(
+            self._inflight, key=lambda p: p.request.request_id
+        )
+        self._inflight.clear()
+        lost = []
+        for pending in casualties:
+            if pending.future.done():
+                continue
+            lost.append(pending.request)
+            self.stats.aborted += 1
+            self.stats.failed += 1
+            self._finish(pending, RequestStatus.FAILED, detail=detail)
+        obs.counter(
+            "serve_aborts_total", "service crashes (chaos or failover)"
+        ).inc()
+        return lost
 
     # -- submission ----------------------------------------------------------
 
@@ -307,6 +419,11 @@ class InferenceService:
             head = await self.queue.get()
             if head is None:
                 return
+            # Track the head from pickup so a crash between dequeue and
+            # dispatch still fails (and recovers) it.
+            self._inflight.add(head)
+            if self._paused is not None:
+                await self._paused
             if self.config.batch_window_seconds > 0:
                 await self.clock.sleep(self.config.batch_window_seconds)
             await self._dispatch(head)
@@ -331,6 +448,8 @@ class InferenceService:
             return
 
         self.queue.take([c for c in decision.admitted + decision.expired if c is not head])
+        self._inflight.update(decision.admitted)
+        self._inflight.update(decision.expired)
         for p in decision.expired:
             self.stats.expired += 1
             self._finish(
@@ -366,7 +485,22 @@ class InferenceService:
             strategy=strategy.name,
             fallback=fallback,
         ):
-            await self.clock.sleep(decision.service_seconds)
+            # latency_scale is applied here, not at planning time: an
+            # injected latency spike slows execution without the planner
+            # knowing, so deadline overruns surface as expiries.
+            await self.clock.sleep(decision.service_seconds * self.latency_scale)
+
+        if self.verifier is not None:
+            self.stats.verified_batches += 1
+            if not self.verifier(
+                request.model, request.bits, strategy, decision.size
+            ):
+                self.stats.bit_inexact += 1
+                obs.counter(
+                    "serve_bit_inexact_total",
+                    "verified batches whose packed result diverged from "
+                    "the reference (must stay zero)",
+                ).inc()
 
         done = self.clock.now()
         for p in decision.admitted:
@@ -407,13 +541,18 @@ class InferenceService:
 
     def _retry_or_fail(self, pending: _Pending, exc: ReproError) -> None:
         if pending.retries < self.config.max_retries:
-            pending.retries += 1
-            self.stats.retries += 1
             try:
                 self.queue.put_nowait(pending)
-                return
             except (AdmissionError, ServeError):
-                pass
+                pass  # rejected requeue: fall through without counting a retry
+            else:
+                # Count the retry only once the requeue is accepted, so a
+                # rejected attempt neither overcounts stats.retries nor
+                # reports a stale count in the failure result below.
+                pending.retries += 1
+                self.stats.retries += 1
+                self._inflight.discard(pending)
+                return
         self.stats.failed += 1
         self._finish(
             pending,
@@ -421,6 +560,27 @@ class InferenceService:
             retries=pending.retries,
             detail=f"{type(exc).__name__}: {exc}",
         )
+
+    def cancel_queued(self, request_id: int) -> bool:
+        """Withdraw a still-queued request (hedged duplicate lost its race).
+
+        Returns True when the request was found in the queue and
+        resolved as ``CANCELLED``; False when it is already being served
+        (or finished), in which case its batch simply runs to completion
+        and the stale result is discarded by the caller.
+        """
+        pending = self.queue.remove_first(
+            lambda p: p.request.request_id == request_id and not p.future.done()
+        )
+        if pending is None:
+            return False
+        self.stats.cancelled += 1
+        self._finish(
+            pending,
+            RequestStatus.CANCELLED,
+            detail="hedged duplicate cancelled (primary completed first)",
+        )
+        return True
 
     def _finish(
         self,
@@ -434,6 +594,7 @@ class InferenceService:
         retries: int = 0,
         detail: str = "",
     ) -> None:
+        self._inflight.discard(pending)
         if pending.future.done():
             return
         obs.counter(

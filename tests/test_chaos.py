@@ -1,0 +1,462 @@
+"""The chaos engine and the self-healing replicated cluster.
+
+Everything here runs on the :class:`SimulatedClock`, so crashes,
+hangs, failovers and restarts all play out in deterministic virtual
+time — the central claims under test are (a) faults never produce a
+wrong (non-bit-exact) or stranded result, and (b) the same seeds
+produce byte-identical stats and traces on every run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import obs
+from repro.chaos import ChaosEngine, ChaosSpec, FaultKind, generate_timeline
+from repro.chaos.faults import ChaosEvent
+from repro.perfmodel import TimingCache
+from repro.serve import (
+    ClusterConfig,
+    InferenceRequest,
+    LoadSpec,
+    RequestStatus,
+    ReplicaState,
+    ServingCluster,
+    SimulatedClock,
+    run_cluster_load,
+)
+from repro.fusion.qos import INTERACTIVE, STANDARD
+
+
+def _cluster(machine, clock, **overrides):
+    defaults = dict(replicas=3, seed=0)
+    defaults.update(overrides)
+    return ServingCluster(machine, ClusterConfig(**defaults), clock)
+
+
+def _requests(n, qos=STANDARD, bits=8, start_id=0):
+    return [
+        InferenceRequest(request_id=start_id + i, model="vit-base",
+                         bits=bits, qos=qos)
+        for i in range(n)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# fault timelines
+
+
+class TestTimeline:
+    def test_deterministic_sorted_and_counted(self):
+        spec = ChaosSpec(seed=7, crashes=2, hangs=1, latency_spikes=3,
+                         refute_storms=1, poison_requests=2)
+        t1, t2 = generate_timeline(spec), generate_timeline(spec)
+        assert [e.as_dict() for e in t1] == [e.as_dict() for e in t2]
+        assert len(t1) == spec.total_faults
+        times = [e.at_seconds for e in t1]
+        assert times == sorted(times)
+        assert all(
+            0.05 * spec.horizon_seconds <= t <= 0.95 * spec.horizon_seconds
+            for t in times
+        )
+
+    def test_kinds_draw_independently(self):
+        """Adding faults of a later kind never reshuffles an earlier
+        kind's schedule (fixed RNG consumption order)."""
+        a = generate_timeline(ChaosSpec(seed=3, crashes=2))
+        b = generate_timeline(ChaosSpec(seed=3, crashes=2, poison_requests=4))
+        crashes = [e for e in b if e.kind is FaultKind.WORKER_CRASH]
+        assert [e.as_dict() for e in a] == [e.as_dict() for e in crashes]
+
+    def test_different_seeds_differ(self):
+        a = generate_timeline(ChaosSpec(seed=1, crashes=3))
+        b = generate_timeline(ChaosSpec(seed=2, crashes=3))
+        assert [e.at_seconds for e in a] != [e.at_seconds for e in b]
+
+    def test_bad_spec_rejected(self):
+        from repro.errors import ServeError
+
+        with pytest.raises(ServeError):
+            ChaosSpec(horizon_seconds=0.0)
+        with pytest.raises(ServeError):
+            ChaosSpec(crashes=-1)
+
+
+# ---------------------------------------------------------------------------
+# crash recovery
+
+
+class TestCrashRecovery:
+    def test_worker_crash_mid_batch_fails_over(self, machine):
+        """Kill a replica with requests queued and in flight: every
+        submitter still gets a terminal result, and the WAL re-admits
+        the victims to surviving replicas."""
+        clock = SimulatedClock()
+        cluster = _cluster(machine, clock)
+
+        async def main():
+            await cluster.start()
+            futs = [
+                asyncio.ensure_future(cluster.submit(r))
+                for r in _requests(12)
+            ]
+            # Let batches get picked up, then kill the busiest replica.
+            await clock.sleep(0.003)
+            victim = max(cluster.replicas, key=lambda r: (r.load, -r.index))
+            assert cluster.inject_crash(victim.index)
+            results = await asyncio.gather(*futs)
+            await cluster.stop()
+            return victim.index, results
+
+        victim, results = clock.run(main())
+        assert len(results) == 12
+        assert all(
+            r.status in (RequestStatus.COMPLETED, RequestStatus.EXPIRED)
+            for r in results
+        ), [r.detail for r in results if r.status is RequestStatus.FAILED]
+        assert cluster.stats.failures_detected == 1
+        assert cluster.stats.wal_readmitted >= 1
+        assert cluster.wal.resolved == 12 and len(cluster.wal) == 0
+        assert cluster.bit_inexact == 0
+
+    def test_crashed_replica_restarts_and_serves_again(self, machine):
+        clock = SimulatedClock()
+        cluster = _cluster(machine, clock)
+
+        async def main():
+            await cluster.start()
+            assert cluster.inject_crash(0)
+            assert cluster.replicas[0].state is ReplicaState.DOWN
+            await clock.sleep(
+                cluster.config.restart_delay_seconds
+                + cluster.config.heartbeat_interval_seconds
+            )
+            state = cluster.replicas[0].state
+            generation = cluster.replicas[0].generation
+            result = await cluster.submit(_requests(1)[0])
+            await cluster.stop()
+            return state, generation, result
+
+        state, generation, result = clock.run(main())
+        assert state is ReplicaState.UP
+        assert generation == 2  # second incarnation
+        assert result.status is RequestStatus.COMPLETED
+        assert cluster.stats.restarts == 1
+        assert len(cluster.stats.recovery_seconds) == 1
+
+    def test_hang_detected_by_heartbeat_monitor(self, machine):
+        """A grey failure (wedged workers, no crash) must be detected
+        via stale heartbeats and crash-restarted."""
+        clock = SimulatedClock()
+        cluster = _cluster(machine, clock)
+
+        async def main():
+            await cluster.start()
+            assert cluster.inject_hang(1, duration=10.0)  # effectively forever
+            futs = [
+                asyncio.ensure_future(cluster.submit(r)) for r in _requests(6)
+            ]
+            await clock.sleep(
+                cluster.config.heartbeat_timeout_seconds
+                + 2 * cluster.config.heartbeat_interval_seconds
+            )
+            detected = cluster.stats.failures_detected
+            results = await asyncio.gather(*futs)
+            await cluster.stop()
+            return detected, results
+
+        detected, results = clock.run(main())
+        assert detected == 1
+        assert all(r.status is not RequestStatus.FAILED for r in results)
+
+    def test_whole_cluster_dark_waits_for_restart(self, machine):
+        """With every replica down, a pending submit waits for the
+        first restart instead of failing immediately."""
+        clock = SimulatedClock()
+        cluster = _cluster(machine, clock)
+
+        async def main():
+            await cluster.start()
+            for i in range(3):
+                cluster.inject_crash(i)
+            assert cluster.healthy() == []
+            result = await cluster.submit(_requests(1)[0])
+            await cluster.stop()
+            return result
+
+        result = clock.run(main())
+        assert result.status is RequestStatus.COMPLETED
+        assert cluster.stats.restarts >= 1
+
+
+# ---------------------------------------------------------------------------
+# hedging
+
+
+class TestHedging:
+    def test_straggler_interactive_request_is_hedged(self, machine):
+        """Spike one replica into uselessness: the hedge on a healthy
+        replica wins within the interactive deadline."""
+        clock = SimulatedClock()
+        cluster = _cluster(machine, clock, hedge_delay_seconds=0.004)
+
+        async def main():
+            await cluster.start()
+            # Routing is least-loaded with lowest-index ties, so the
+            # next submit lands on the spiked replica 0.
+            assert cluster.inject_latency_spike(0, magnitude=40.0,
+                                                duration=0.5)
+            result = await cluster.submit(
+                InferenceRequest(request_id=0, model="vit-base", bits=8,
+                                 qos=INTERACTIVE)
+            )
+            await cluster.stop()
+            return result
+
+        result = clock.run(main())
+        assert result.status is RequestStatus.COMPLETED
+        assert result.extra.get("hedged") is True
+        assert result.extra["replica"] == "replica-1"
+        assert cluster.stats.hedges == 1
+        assert cluster.stats.hedges_won == 1
+
+    def test_hedge_loser_is_cancelled_out_of_its_queue(self, machine):
+        """When the primary wins, the duplicate is withdrawn from the
+        secondary's queue before it wastes a batch slot."""
+        clock = SimulatedClock()
+        cluster = _cluster(machine, clock, hedge_delay_seconds=0.004)
+
+        async def main():
+            await cluster.start()
+            # Occupy the secondary replicas: pause their workers with a
+            # blocker request held at the gate, so a hedged duplicate
+            # can only sit *queued* behind it (cancellable), never
+            # in flight.
+            for i in (1, 2):
+                service = cluster.replicas[i].service
+                service.pause()
+                service.submit_nowait(_requests(1, start_id=10 + i)[0])
+            await clock.sleep(0.0005)  # let the workers park at the gate
+            result = await cluster.submit(
+                InferenceRequest(request_id=0, model="vit-base", bits=8,
+                                 qos=INTERACTIVE)
+            )
+            cluster.replicas[1].service.resume()
+            cluster.replicas[2].service.resume()
+            await cluster.stop()
+            return result
+
+        result = clock.run(main())
+        assert result.status is RequestStatus.COMPLETED
+        assert "hedged" not in result.extra  # the primary won
+        assert cluster.stats.hedges == 1
+        assert cluster.stats.hedges_won == 0
+        assert cluster.stats.hedges_cancelled == 1
+        cancelled = sum(
+            r["stats"].get("cancelled", 0) for r in cluster.replica_stats()
+        )
+        assert cancelled == 1
+
+
+# ---------------------------------------------------------------------------
+# cache chaos
+
+
+class TestCacheChaos:
+    def test_cache_corruption_quarantined_under_load(
+        self, machine, tmp_path, monkeypatch
+    ):
+        """Corrupt on-disk timing-cache entries mid-run: lookups must
+        quarantine them and recompute, never crash or mis-serve."""
+        cache = TimingCache(tmp_path / "chaos-cache")
+        monkeypatch.setattr(TimingCache, "_default", cache)
+
+        # Warm the cache so the fault has entries to corrupt.
+        warm = run_cluster_load(
+            machine,
+            ClusterConfig(replicas=2, seed=0),
+            LoadSpec(requests=20, rate_per_s=400.0, seed=0),
+        )
+        assert warm.completed > 0
+        assert len(cache.on_disk_entries()) > 0
+
+        clock = SimulatedClock()
+        cluster = _cluster(machine, clock, replicas=2)
+        spec = ChaosSpec(seed=5, crashes=0, cache_corruptions=1,
+                         cache_evictions=1, cache_entries_per_event=2)
+        engine = ChaosEngine(spec, cluster)
+        event = ChaosEvent(0.0, FaultKind.CACHE_CORRUPT, magnitude=2.0)
+        assert engine._cache_fault(event, corrupt=True)
+        corrupted = list((tmp_path / "chaos-cache").glob("*.json.corrupt"))
+        assert not corrupted  # corrupt in place; quarantine happens on read
+
+        # The rerun prices the same workload, so it looks the corrupted
+        # keys up again: they must be quarantined and recomputed, with
+        # identical results and zero bit-inexact batches.
+        rerun = run_cluster_load(
+            machine,
+            ClusterConfig(replicas=2, seed=0),
+            LoadSpec(requests=20, rate_per_s=400.0, seed=0),
+            chaos=spec,
+        )
+        assert rerun.completed == warm.completed
+        assert cache.stats().corrupt >= 1
+        assert list((tmp_path / "chaos-cache").glob("*.json.corrupt"))
+        assert rerun.bit_inexact == 0
+
+    def test_cache_eviction_forces_cold_recompute(self, machine, tmp_path,
+                                                  monkeypatch):
+        cache = TimingCache(tmp_path / "c")
+        monkeypatch.setattr(TimingCache, "_default", cache)
+        clock = SimulatedClock()
+        cluster = _cluster(machine, clock, replicas=2)
+        engine = ChaosEngine(ChaosSpec(seed=1, crashes=0), cluster)
+        cache.put({"k": 1}, {"v": 1})
+        assert cache.on_disk_entries()
+        event = ChaosEvent(0.0, FaultKind.CACHE_EVICT, magnitude=8.0)
+        assert engine._cache_fault(event, corrupt=False)
+        assert cache.on_disk_entries() == []
+        assert cache.get({"k": 1}) is None  # memory mirror dropped too
+
+
+# ---------------------------------------------------------------------------
+# degradation under chaos
+
+
+class TestDegradation:
+    def test_refute_storm_survives_replica_restart(self, machine):
+        """A replica restarted during a storm inherits the refutation,
+        so the degraded path holds cluster-wide until the storm clears."""
+        clock = SimulatedClock()
+        cluster = _cluster(machine, clock)
+
+        async def main():
+            await cluster.start()
+            cluster.set_refute_storm(8, True)
+            cluster.inject_crash(0)
+            await clock.sleep(0.02)  # past restart_delay
+            restarted = cluster.replicas[0].service
+            inherits = 8 in restarted._injected_refute
+            r1 = await cluster.submit(_requests(1)[0])
+            cluster.set_refute_storm(8, False)
+            r2 = await cluster.submit(_requests(1, start_id=1)[0])
+            await cluster.stop()
+            return inherits, r1, r2
+
+        inherits, r1, r2 = clock.run(main())
+        assert inherits
+        assert r1.status is RequestStatus.COMPLETED and r1.fallback
+        assert r2.status is RequestStatus.COMPLETED and not r2.fallback
+
+    def test_poison_request_fails_cleanly(self, machine):
+        """An unknown-model request fails without poisoning the
+        pipeline for its neighbours."""
+        clock = SimulatedClock()
+        cluster = _cluster(machine, clock)
+
+        async def main():
+            await cluster.start()
+            poison = asyncio.ensure_future(
+                cluster.submit(
+                    InferenceRequest(request_id=99, model="__no-such-model__",
+                                     bits=8, qos=STANDARD)
+                )
+            )
+            good = asyncio.ensure_future(cluster.submit(_requests(1)[0]))
+            results = await asyncio.gather(poison, good)
+            await cluster.stop()
+            return results
+
+        poison, good = clock.run(main())
+        assert poison.status is RequestStatus.FAILED
+        assert "unknown model" in poison.detail
+        assert poison.retries == 0  # not a replica failure: no failover
+        assert good.status is RequestStatus.COMPLETED
+
+    def test_load_shedding_protects_interactive(self, machine):
+        """Past the shedding tier, batch traffic is refused at the
+        router while interactive traffic is still admitted."""
+        clock = SimulatedClock()
+        cluster = _cluster(machine, clock, replicas=1, shed_batch_depth=2,
+                           shed_standard_depth=1000,
+                           hedge_delay_seconds=None)
+
+        async def main():
+            await cluster.start()
+            cluster.replicas[0].service.pause()  # make depth build up
+            futs = [
+                asyncio.ensure_future(cluster.submit(r))
+                for r in _requests(4)
+            ]
+            await clock.sleep(0.001)
+            from repro.fusion.qos import BATCH
+
+            shed = asyncio.ensure_future(
+                cluster.submit(
+                    InferenceRequest(request_id=50, model="vit-base",
+                                     bits=8, qos=BATCH)
+                )
+            )
+            kept = asyncio.ensure_future(
+                cluster.submit(
+                    InferenceRequest(request_id=51, model="vit-base",
+                                     bits=8, qos=INTERACTIVE)
+                )
+            )
+            await clock.sleep(0.001)
+            cluster.replicas[0].service.resume()
+            results = await asyncio.gather(*futs, shed, kept)
+            await cluster.stop()
+            return results
+
+        results = clock.run(main())
+        shed, kept = results[-2], results[-1]
+        assert shed.status is RequestStatus.REJECTED
+        assert "load shed" in shed.detail
+        assert kept.status is RequestStatus.COMPLETED
+        assert cluster.stats.shed == {"batch": 1}
+
+
+# ---------------------------------------------------------------------------
+# determinism and bit-exactness (the acceptance bar)
+
+
+class TestDeterminism:
+    CHAOS = ChaosSpec(seed=42, crashes=1, hangs=1, latency_spikes=1,
+                      refute_storms=1, poison_requests=1)
+    SPEC = LoadSpec(requests=80, rate_per_s=400.0, seed=7)
+    CONFIG = ClusterConfig(replicas=3, seed=42)
+
+    def _run(self, machine):
+        tracer = obs.get_tracer()
+        before = len(tracer.spans)
+        report = run_cluster_load(machine, self.CONFIG, self.SPEC,
+                                  chaos=self.CHAOS)
+        return report, tracer.snapshot()[before:]
+
+    def test_same_seed_identical_stats_and_traces(self, machine):
+        r1, t1 = self._run(machine)
+        r2, t2 = self._run(machine)
+        assert json.dumps(r1.deterministic_summary(), sort_keys=True) == \
+            json.dumps(r2.deterministic_summary(), sort_keys=True)
+        assert json.dumps(t1, sort_keys=True) == json.dumps(t2, sort_keys=True)
+        assert len(t1) > 0
+
+    def test_zero_bit_inexact_under_chaos(self, machine):
+        report, _ = self._run(machine)
+        assert report.verified_batches > 0
+        assert report.bit_inexact == 0
+        # And chaos actually happened: this is not a vacuous pass.
+        assert report.chaos["injected"] >= 4
+        assert report.stats["failures_detected"] >= 1
+
+    def test_summary_round_trips_through_json(self, machine, tmp_path):
+        report, _ = self._run(machine)
+        out = report.write_summary(tmp_path / "summary.json")
+        payload = json.loads(out.read_text())
+        assert payload["cluster"]["bit_inexact"] == 0
+        assert payload["cluster"]["chaos"]["seed"] == 42
+        assert "metrics" in payload

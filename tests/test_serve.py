@@ -301,3 +301,127 @@ class TestLoadgen:
         assert data["benches"] == {"keep": 1}  # pre-existing keys survive
         assert data["serve"]["requests"] == 10
         assert report.render()  # renders without error
+
+
+# ---------------------------------------------------------------------------
+# retry accounting, cancellation and crash-abort (the cluster's hooks)
+
+
+class TestRetryAccounting:
+    def _pending(self, request_id=0):
+        from repro.serve.service import _Pending
+
+        return _Pending(
+            InferenceRequest(request_id=request_id, model="vit-base", bits=8),
+            asyncio.get_running_loop().create_future(),
+            0.0,
+        )
+
+    def test_accepted_requeue_counts_one_retry(self, machine):
+        clock = SimulatedClock()
+        service = InferenceService(machine, ServeConfig(max_retries=1), clock)
+
+        async def main():
+            pending = self._pending()
+            service._retry_or_fail(pending, ServeError("transient"))
+            return pending
+
+        pending = clock.run(main())
+        assert not pending.future.done()  # requeued, not failed
+        assert pending.retries == 1
+        assert service.stats.retries == 1
+        assert len(service.queue) == 1
+
+    def test_rejected_requeue_fails_with_accurate_count(self, machine):
+        """A requeue bounced by a full queue must not bump the retry
+        counters, and the failure result reports the true count."""
+        clock = SimulatedClock()
+        service = InferenceService(
+            machine, ServeConfig(max_queue=1, max_retries=3), clock
+        )
+
+        async def main():
+            service.queue.put_nowait(self._pending(90))  # fill to capacity
+            pending = self._pending()
+            service._retry_or_fail(pending, ServeError("transient"))
+            return pending
+
+        pending = clock.run(main())
+        result = pending.future.result()
+        assert result.status is RequestStatus.FAILED
+        assert result.retries == 0  # never actually retried
+        assert pending.retries == 0
+        assert service.stats.retries == 0
+        assert service.stats.failed == 1
+
+
+class TestAbortAndCancel:
+    def test_abort_fails_queued_and_inflight_deterministically(self, machine):
+        """abort() resolves every pending future as FAILED and returns
+        the lost requests in a stable order."""
+        clock = SimulatedClock()
+        service = InferenceService(machine, ServeConfig(), clock)
+
+        async def main():
+            await service.start()
+            futs = [
+                service.submit_nowait(
+                    InferenceRequest(request_id=i, model="vit-base", bits=8)
+                )
+                for i in range(5)
+            ]
+            await clock.sleep(0.001)  # a worker picks up the head
+            lost = service.abort("replica crashed: test")
+            results = await asyncio.gather(*futs)
+            return lost, results
+
+        lost, results = clock.run(main())
+        # Queued requests first (FIFO), then in-flight ones in sorted
+        # order — the head (id 0) was already picked up by a worker.
+        assert [r.request_id for r in lost] == [1, 2, 3, 4, 0]
+        assert all(r.status is RequestStatus.FAILED for r in results)
+        assert all("crashed" in r.detail for r in results)
+        assert service.stats.aborted == 5
+        assert service.aborted
+        assert service.abort() == []  # idempotent
+
+    def test_cancel_queued_only_hits_waiting_requests(self, machine):
+        clock = SimulatedClock()
+        service = InferenceService(machine, ServeConfig(), clock)
+
+        async def main():
+            # No workers started: everything stays queued.
+            fut = service.submit_nowait(
+                InferenceRequest(request_id=7, model="vit-base", bits=8)
+            )
+            assert service.cancel_queued(7) is True
+            assert service.cancel_queued(7) is False  # already resolved
+            assert service.cancel_queued(999) is False  # never existed
+            return fut
+
+        fut = clock.run(main())
+        result = fut.result()
+        assert result.status is RequestStatus.CANCELLED
+        assert service.stats.cancelled == 1
+        assert len(service.queue) == 0
+
+    def test_pause_resume_gates_dispatch(self, machine):
+        clock = SimulatedClock()
+        service = InferenceService(machine, ServeConfig(), clock)
+
+        async def main():
+            await service.start()
+            service.pause()
+            fut = service.submit_nowait(
+                InferenceRequest(request_id=0, model="test-tiny", bits=8)
+            )
+            await clock.sleep(0.05)
+            still_pending = not fut.done()
+            service.resume()
+            result = await fut
+            await service.stop()
+            return still_pending, result
+
+        still_pending, result = clock.run(main())
+        assert still_pending  # nothing dispatched while paused
+        assert result.status is RequestStatus.COMPLETED

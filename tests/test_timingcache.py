@@ -136,3 +136,58 @@ def test_default_cache_honors_env(tmp_path, monkeypatch):
     assert (tmp_path / "alt").exists()
     monkeypatch.delenv("REPRO_TIMING_CACHE_DIR")
     TimingCache.reset_default()
+
+
+def test_corrupt_entry_quarantined_with_metric(tmp_path):
+    """A corrupt on-disk entry is renamed out of the lookup path and
+    counted, so cold processes stop re-parsing it forever."""
+    d = tmp_path / "c"
+    cache = TimingCache(d)
+    cache.put({"k": 1}, {"v": 1})
+    key = TimingCache.key_for({"k": 1})
+    (d / f"{key}.json").write_text("{not json")
+
+    fresh = TimingCache(d)
+    assert fresh.get({"k": 1}) is None
+    assert fresh.stats().corrupt == 1
+    assert not (d / f"{key}.json").exists()
+    assert (d / f"{key}.json.corrupt").exists()
+    # The quarantined entry no longer counts toward live entries, and
+    # the next lookup is a clean miss (no second quarantine).
+    assert fresh.get({"k": 1}) is None
+    assert fresh.stats().corrupt == 1
+
+
+def test_put_failure_leaves_no_temp_files(tmp_path):
+    """A non-serializable value must not leak mkstemp droppings into
+    the cache directory (they would accumulate forever)."""
+    d = tmp_path / "c"
+    cache = TimingCache(d)
+    bad = {"v": object()}  # json.dump raises TypeError mid-write
+    cache.put({"k": 1}, bad)
+    assert list(d.glob("*.tmp")) == []
+    assert cache.get({"k": 1}) is bad  # memory entry still stands
+    # A good value afterwards persists normally.
+    cache.put({"k": 2}, {"v": 2})
+    assert TimingCache(d).get({"k": 2}) == {"v": 2}
+    assert list(d.glob("*.tmp")) == []
+
+
+def test_chaos_maintenance_hooks(tmp_path):
+    """invalidate_memory / on_disk_entries / entry_path — the chaos
+    engine's cache-fault surface."""
+    d = tmp_path / "c"
+    cache = TimingCache(d)
+    cache.put({"k": 1}, {"v": 1})
+    cache.put({"k": 2}, {"v": 2})
+    keys = cache.on_disk_entries()
+    assert len(keys) == 2 and keys == sorted(keys)
+    assert cache.entry_path(keys[0]) == d / f"{keys[0]}.json"
+    assert cache.invalidate_memory() == 2
+    # Mirrors dropped, disk intact: the next get re-reads the file.
+    assert cache.get({"k": 1}) == {"v": 1}
+    memory_only = TimingCache(None)
+    assert memory_only.on_disk_entries() == []
+    assert memory_only.entry_path("x") is None
+    memory_only.put({"k": 1}, {"v": 1})
+    assert memory_only.invalidate_memory() == 1
