@@ -15,14 +15,16 @@ test:
 # Tier-1 tests under the CI coverage floor (needs pytest-cov).
 coverage:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q \
-		--cov=repro --cov-report=term-missing --cov-fail-under=75
+		--cov=repro --cov-report=term-missing --cov-fail-under=78
 
 # Static verification: ruff (generic style, when available) + the
-# repo's own AST lint and analysis self-check (see docs/ANALYSIS.md).
+# repo's own AST lint, the lane dataflow verifier sweep, and the
+# analysis self-check (see docs/ANALYSIS.md).
 lint:
 	@if command -v ruff >/dev/null 2>&1; then ruff check .; \
 	else echo "ruff not installed; skipping generic style checks"; fi
 	PYTHONPATH=src $(PYTHON) -m repro analyze --lint
+	PYTHONPATH=src $(PYTHON) -m repro analyze --dataflow
 	PYTHONPATH=src $(PYTHON) -m repro analyze --self-check
 
 bench:

@@ -23,10 +23,16 @@ Commands
     wall-clock, timing-cache hit rate and per-kernel timings.
 ``models``
     List the model zoo.
-``analyze [--bits N --k K | --strategy NAME | --lint [PATH ...] | --self-check]``
+``analyze [--bits N --k K | --dataflow | --strategy NAME | --lint [PATH ...] | --self-check]``
     Static verification: prove/refute a packing plan's overflow safety,
-    check a strategy's lowered schedules, lint the repo, or run the full
-    self-check sweep (the default).  Exits non-zero on error findings.
+    run the lane dataflow verifier (``--dataflow``: capture the IR of
+    real packed GEMMs and abstractly interpret it, or verify one
+    ``--a-bits/--b-bits/--lanes/--k`` plan; the sweep also emits the
+    proven-safe-depth table into ``--summary``), check a strategy's
+    lowered schedules, lint the repo, or run the full self-check sweep
+    (the default).  ``--format json`` prints machine-readable
+    diagnostics (code, severity, location, witness) for CI annotation.
+    Exits non-zero on error findings.
 ``serve [--requests N] [--rate R] [--seed S] [--model NAME] ...``
     Deterministic open-loop serving benchmark on the simulated clock:
     admission control, dynamic batching, QoS deadlines, graceful
@@ -240,6 +246,74 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _analyze_dataflow(args: argparse.Namespace, *, echo: bool) -> list:
+    """Run the lane dataflow verifier; returns its diagnostics.
+
+    With explicit operand widths this verifies a single plan's canonical
+    chain; otherwise it executes small packed GEMMs over the standard
+    Fig. 3 and asymmetric configurations under IR capture, verifies every
+    emitted program, and writes the proven-safe-depth table.
+    """
+    import numpy as np
+
+    from repro.analysis import dataflow, laneir
+    from repro.packing.gemm import packed_gemm_unsigned
+    from repro.packing.mixed import policy_for_operands
+
+    diags: list = []
+    if args.bits is not None or args.a_bits is not None or args.b_bits is not None:
+        # Single-plan mode: prove/refute one (a_bits, b_bits, layout).
+        if args.a_bits is not None or args.b_bits is not None:
+            a_bits = args.a_bits if args.a_bits is not None else (args.bits or 8)
+            b_bits = args.b_bits if args.b_bits is not None else (args.bits or 8)
+            pol = policy_for_operands(a_bits, b_bits)
+        else:
+            pol = policy_for_bitwidth(args.bits)
+            a_bits = pol.effective_multiplier_bits
+            b_bits = pol.value_bits
+        if args.lanes is not None:
+            pol = pol.with_lanes(args.lanes)
+        chunk = args.chunk
+        if chunk == 0:  # 0 = the proven-safe depth
+            chunk = dataflow.proven_chunk_depth(pol, a_bits, b_bits)
+        res = dataflow.prove_chain(
+            pol,
+            k=args.k,
+            a_bits=a_bits,
+            chunk_depth=chunk,
+            name=f"a{a_bits}b{b_bits}x{pol.lanes}",
+        )
+        if echo:
+            print(res.describe())
+        return list(res.diagnostics)
+
+    # Sweep mode: capture the IR real packed GEMMs emit and verify it.
+    rng = np.random.default_rng(0)
+    cases = []
+    for bits in (2, 4, 8):
+        pol = policy_for_bitwidth(bits)
+        cases.append(
+            (f"fig3_b{bits}", pol, pol.effective_multiplier_bits, bits)
+        )
+    for a_b, b_b in ((8, 4), (4, 8), (8, 2)):
+        cases.append((f"mixed_a{a_b}b{b_b}", policy_for_operands(a_b, b_b), a_b, b_b))
+    for name, pol, a_bits, b_bits in cases:
+        k = 48
+        a = rng.integers(0, 1 << a_bits, size=(3, k)).astype(np.int64)
+        b = rng.integers(0, 1 << b_bits, size=(k, 2 * pol.lanes)).astype(np.int64)
+        with laneir.capture(name) as prog:
+            c = packed_gemm_unsigned(a, b, pol, a_bits=a_bits)
+        assert np.array_equal(c, a @ b)  # verifier and execution see one chain
+        res = dataflow.verify_program(prog)
+        if echo:
+            print(f"{res.describe()}  [{prog.flat_size()} ops]")
+        diags.extend(res.diagnostics)
+    table = dataflow.write_safe_depth_table(args.summary)
+    if echo:
+        print(f"wrote safe-depth table ({len(table)} plans) to {args.summary}")
+    return diags
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import (
         DiagnosticReport,
@@ -254,8 +328,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
     report = DiagnosticReport()
     ran_anything = False
+    echo = args.format == "text"
 
-    if args.bits is not None:
+    if args.dataflow:
+        report.extend(_analyze_dataflow(args, echo=echo))
+        ran_anything = True
+    elif args.bits is not None:
         pol = policy_for_bitwidth(args.bits)
         if args.lanes is not None:
             pol = pol.with_lanes(args.lanes)
@@ -270,7 +348,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         proof = prove_packed_accumulation(
             pol, k=args.k, a_bits=args.a_bits, chunk_depth=chunk
         )
-        print(proof.describe())
+        if echo:
+            print(proof.describe())
         report.extend(proof.diagnostics)
         ran_anything = True
 
@@ -303,7 +382,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         report.extend(self_check().diagnostics)
 
     min_sev = Severity.INFO if args.verbose else Severity.WARNING
-    print(report.render(min_severity=min_sev))
+    if args.format == "json":
+        print(report.to_json(min_severity=min_sev))
+    else:
+        print(report.render(min_severity=min_sev))
     return report.exit_code
 
 
@@ -575,8 +657,21 @@ def main(argv: list[str] | None = None) -> int:
                    help="GEMM reduction depth to prove (default 4096)")
     p.add_argument("--a-bits", type=int, default=None,
                    help="multiplier bitwidth (default: the policy's width)")
+    p.add_argument("--b-bits", type=int, default=None, dest="b_bits",
+                   help="packed operand bitwidth (with --dataflow: derive "
+                   "an asymmetric layout via policy_for_operands)")
     p.add_argument("--lanes", type=int, default=None,
                    help="override the policy's packing factor")
+    p.add_argument("--dataflow", action="store_true",
+                   help="run the lane dataflow verifier: one plan when "
+                   "operand widths are given, else capture+verify the "
+                   "standard configs and emit the safe-depth table")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="diagnostic output format (json = machine-readable "
+                   "codes, locations, witnesses)")
+    p.add_argument("--summary", default="benchmarks/out/summary.json",
+                   help="summary.json receiving the safe-depth table "
+                   "(--dataflow sweep mode)")
     p.add_argument("--chunk", type=int, default=None,
                    help="spill chunk depth; 0 = the planner's safe depth "
                    "(default: no spilling)")

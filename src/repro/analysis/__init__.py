@@ -6,11 +6,24 @@ only at run time: packed lanes must never carry into their neighbours
 assignment must respect the m/n ratios of Eq. 1.  This package checks
 them *statically*:
 
-* :mod:`repro.analysis.overflow` — an interval abstract interpreter
-  that proves (or refutes, with a concrete witness) that no lane of a
+* :mod:`repro.analysis.overflow` — a closed-form interval prover that
+  proves (or refutes, with a concrete witness) that no lane of a
   packed IMAD accumulation chain can overflow its field or the 32-bit
   register, replacing "run with ``strict=True`` and hope" with an
   upfront guarantee;
+* :mod:`repro.analysis.laneir` — a typed lane IR (``pack`` /
+  ``packed_mul`` / ``packed_add`` / ``spill`` / ``reduce`` / ``loop``
+  over :class:`~repro.analysis.laneir.LaneLayout` layouts, asymmetric
+  widths first-class) that the packing layer emits alongside execution
+  via :func:`~repro.analysis.laneir.capture`;
+* :mod:`repro.analysis.dataflow` — a general abstract interpreter over
+  lane programs (product domain: per-lane intervals x layout facts)
+  that proves or refutes lane overflow, guard-bit exhaustion,
+  cross-lane contamination, register wrap, and use-before-def, derives
+  the RAW/WAW/WAR dependence graph, and emits the proven-safe-depth
+  table consumed by the packer and serve preflight.  The closed-form
+  prover is kept as a differential cross-check (``VB4xx`` on
+  disagreement);
 * :mod:`repro.analysis.schedule_check` — structural diagnostics over
   :class:`~repro.sim.program.WarpProgram` sets and
   :class:`~repro.perfmodel.warpsets.KernelLaunch` lowerings (degenerate
@@ -22,7 +35,8 @@ them *statically*:
   configurations (``python -m repro analyze --self-check``).
 
 Diagnostics share one code space (see ``docs/ANALYSIS.md``): ``VB1xx``
-packing/overflow, ``VB2xx`` schedule, ``VB3xx`` lint.
+packing/overflow/dataflow, ``VB2xx`` schedule, ``VB3xx`` lint, ``VB4xx``
+cross-prover disagreement (always an error — one prover is unsound).
 """
 
 from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
@@ -32,6 +46,26 @@ from repro.analysis.overflow import (
     OverflowWitness,
     preflight_gemm,
     prove_packed_accumulation,
+)
+from repro.analysis.laneir import (
+    LaneField,
+    LaneLayout,
+    LaneOp,
+    LaneProgram,
+    capture,
+    gemm_chain_program,
+)
+from repro.analysis.dataflow import (
+    DataflowResult,
+    DependenceGraph,
+    LaneWitness,
+    first_failing_depth,
+    load_safe_depth_table,
+    prove_chain,
+    proven_chunk_depth,
+    safe_depth_table,
+    verify_program,
+    write_safe_depth_table,
 )
 from repro.analysis.schedule_check import (
     check_coschedule_shares,
@@ -52,6 +86,22 @@ __all__ = [
     "OverflowProof",
     "prove_packed_accumulation",
     "preflight_gemm",
+    "LaneField",
+    "LaneLayout",
+    "LaneOp",
+    "LaneProgram",
+    "capture",
+    "gemm_chain_program",
+    "DataflowResult",
+    "DependenceGraph",
+    "LaneWitness",
+    "verify_program",
+    "prove_chain",
+    "first_failing_depth",
+    "proven_chunk_depth",
+    "safe_depth_table",
+    "load_safe_depth_table",
+    "write_safe_depth_table",
     "check_program",
     "check_warp_set",
     "check_split_plan",

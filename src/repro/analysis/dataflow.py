@@ -1,0 +1,1124 @@
+"""Abstract interpretation over lane-IR programs.
+
+This is the general verifier the closed-form prover in
+:mod:`repro.analysis.overflow` could not be: it executes any
+:class:`~repro.analysis.laneir.LaneProgram` over a product domain of
+**per-lane intervals x layout facts**, so every check works for
+arbitrary (asymmetric, gap-ridden, zero-point-offset) lane layouts, not
+just the uniform Fig. 3 chain.
+
+Per program it proves or refutes:
+
+* **lane-field overflow** (``VB110``) — a lane's abstract value exceeds
+  its field capacity, with a concrete :class:`LaneWitness`;
+* **guard-bit exhaustion** (``VB111`` warning) — a lane ends a chain
+  with zero guard margin: the next accumulation would overflow;
+* **cross-lane carry contamination** (``VB112``) — an overflowing lane
+  has a neighbour field inside its carry range, or two packed operands
+  with different layouts are combined;
+* **32-bit register wrap** (``VB113``) — the packed value exceeds the
+  register, corrupting the top lane;
+* **use-before-def** (``VB114``);
+* plus ``VB115`` (dependence summary, info), ``VB116`` (proved safe,
+  info) and ``VB118`` (loop not summarizable, warning).
+
+Loops are interpreted with **linear fast-forward**: the body runs
+concretely twice; when every written register's abstract state advances
+by a constant per-trip delta the interpreter jumps the remaining trips
+arithmetically — including computing the *exact first failing trip* for
+witnesses — so a K=4096 (or K=2^30) chain verifies in microseconds.
+
+The module also derives the per-instruction **dependence graph**
+(RAW/WAW/WAR edges from read/write sets — the input ROADMAP item 2's
+compiled scheduler replays) and emits the **proven-safe-depth table**
+over (a_bits, b_bits, layout) that the packer and serve preflights
+consume (``benchmarks/out/summary.json``, key ``safe_depths``).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.analysis.intervals import Interval
+from repro.analysis.laneir import LaneLayout, LaneOp, LaneProgram, gemm_chain_program
+from repro.errors import AnalysisError, PackingError
+
+__all__ = [
+    "LaneWitness",
+    "PackedVal",
+    "WideVal",
+    "DependenceGraph",
+    "DataflowResult",
+    "verify_program",
+    "prove_chain",
+    "first_failing_depth",
+    "proven_chunk_depth",
+    "safe_depth_table",
+    "write_safe_depth_table",
+    "load_safe_depth_table",
+    "use_safe_depth_table",
+    "UNBOUNDED_DEPTH",
+]
+
+#: Depth reported for chains that can never overflow; shared meaning
+#: with :data:`repro.analysis.overflow.UNBOUNDED_DEPTH`.
+UNBOUNDED_DEPTH = 1 << 30
+
+#: Loop bodies whose state does not advance linearly are unrolled up to
+#: this many trips before the interpreter gives up with ``VB118``.
+UNROLL_CAP = 4096
+
+
+@dataclass(frozen=True)
+class LaneWitness:
+    """A concrete refutation: which lane of which op overflows, and how.
+
+    ``value_hi`` is the worst-case abstract value that exceeds
+    ``capacity``.  For accumulation chains the optional ``scalar``,
+    ``lane_value`` and ``depth`` fields give the reproduction recipe of
+    :class:`repro.analysis.overflow.OverflowWitness`: feed ``scalar`` x
+    ``lane_value`` products ``depth`` times under ``strict=True`` SWAR
+    and the execution raises at exactly that step.
+    """
+
+    op_index: int
+    op: str
+    lane: int
+    value_hi: int
+    capacity: int
+    scalar: int | None = None
+    lane_value: int | None = None
+    depth: int | None = None
+
+    def describe(self) -> str:
+        """One-line reproduction recipe."""
+        base = (
+            f"lane {self.lane} of op#{self.op_index} ({self.op}) reaches "
+            f"{self.value_hi} > capacity {self.capacity}"
+        )
+        if self.depth is not None and self.scalar is not None:
+            base += (
+                f" [scalar={self.scalar} x lane_value={self.lane_value} "
+                f"at depth {self.depth}]"
+            )
+        return base
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for ``--format json`` output."""
+        out = {
+            "op_index": self.op_index,
+            "op": self.op,
+            "lane": self.lane,
+            "value_hi": self.value_hi,
+            "capacity": self.capacity,
+        }
+        if self.depth is not None:
+            out.update(
+                scalar=self.scalar, lane_value=self.lane_value, depth=self.depth
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class PackedVal:
+    """Abstract value of a packed register: one interval per lane field.
+
+    ``depth`` counts worst-case products accumulated into the register
+    (0 for a fresh pack) — it is what a refutation reports as the
+    failing accumulation step.
+    """
+
+    layout: LaneLayout
+    lanes: tuple[Interval, ...]
+    depth: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.lanes) != self.layout.lanes:
+            raise AnalysisError(
+                f"{len(self.lanes)} lane intervals for a "
+                f"{self.layout.lanes}-lane layout"
+            )
+
+    @classmethod
+    def zeros(cls, layout: LaneLayout) -> "PackedVal":
+        """The all-zero packed register."""
+        return cls(layout, tuple(Interval.point(0) for _ in layout.fields))
+
+    def register_interval(self) -> Interval:
+        """Abstract value of the whole register (lanes shifted + summed)."""
+        lo = sum(iv.lo << f.offset for iv, f in zip(self.lanes, self.layout.fields))
+        hi = sum(iv.hi << f.offset for iv, f in zip(self.lanes, self.layout.fields))
+        return Interval(lo, hi)
+
+
+@dataclass(frozen=True)
+class WideVal:
+    """Abstract value of a wide (per-lane int64) accumulator."""
+
+    lanes: tuple[Interval, ...]
+
+
+@dataclass
+class DependenceGraph:
+    """RAW/WAW/WAR edges over a program's top-level instructions.
+
+    Nodes are op indices (loops are compound nodes whose read/write sets
+    union their bodies); ``weight`` prices a node at its trip count so
+    the critical path measures the serial chain length a scheduler
+    cannot hide.
+    """
+
+    nodes: list[dict] = field(default_factory=list)
+    edges: list[dict] = field(default_factory=list)
+    critical_path: list[int] = field(default_factory=list)
+    critical_length: int = 0
+
+    @classmethod
+    def from_program(cls, program: LaneProgram) -> "DependenceGraph":
+        """Derive the graph from per-instruction read/write sets."""
+        graph = cls()
+        last_writer: dict[str, int] = {}
+        readers_since: dict[str, set[int]] = {}
+        for i, op in enumerate(program.ops):
+            weight = op.attrs.get("trips", 1) if op.op == "loop" else 1
+            graph.nodes.append(
+                {
+                    "index": i,
+                    "op": op.op,
+                    "dest": op.dest,
+                    "weight": int(weight),
+                    "text": op.render(),
+                }
+            )
+            seen: set[tuple[int, int, str]] = set()
+
+            def edge(src: int, kind: str, reg: str) -> None:
+                key = (src, i, kind)
+                if src != i and key not in seen:
+                    seen.add(key)
+                    graph.edges.append(
+                        {"src": src, "dst": i, "kind": kind, "reg": reg}
+                    )
+
+            reads, writes = op.reads(), op.writes()
+            for r in sorted(reads):
+                if r in last_writer:
+                    edge(last_writer[r], "RAW", r)
+            for w in sorted(writes):
+                if w in last_writer:
+                    edge(last_writer[w], "WAW", w)
+                for reader in sorted(readers_since.get(w, ())):
+                    edge(reader, "WAR", w)
+            for r in reads:
+                readers_since.setdefault(r, set()).add(i)
+            for w in writes:
+                last_writer[w] = i
+                readers_since[w] = set()
+        graph._critical()
+        return graph
+
+    def _critical(self) -> None:
+        """Longest weighted path (ops are already topologically ordered)."""
+        n = len(self.nodes)
+        if not n:
+            return
+        dist = [node["weight"] for node in self.nodes]
+        prev = [-1] * n
+        for e in self.edges:
+            s, d = e["src"], e["dst"]
+            cand = dist[s] + self.nodes[d]["weight"]
+            if cand > dist[d]:
+                dist[d] = cand
+                prev[d] = s
+        end = max(range(n), key=dist.__getitem__)
+        path = []
+        while end != -1:
+            path.append(end)
+            end = prev[end]
+        self.critical_path = path[::-1]
+        self.critical_length = max(dist)
+
+    def to_dict(self) -> dict:
+        """JSON-ready export (the scheduler input of ROADMAP item 2)."""
+        return {
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "critical_path": self.critical_path,
+            "critical_length": self.critical_length,
+        }
+
+
+@dataclass
+class DataflowResult:
+    """Verdict of :func:`verify_program` for one lane program.
+
+    ``safe`` is a *proof* (no reachable state violates any check);
+    ``proven`` distinguishes "proved safe" from "gave up" (``VB118``):
+    a program can be un-refuted yet unproven.  ``max_safe_depth`` is
+    populated by the chain entry points.
+    """
+
+    program: LaneProgram
+    safe: bool
+    proven: bool
+    diagnostics: list[Diagnostic]
+    witness: LaneWitness | None
+    dependence: DependenceGraph
+    max_safe_depth: int | None = None
+
+    def report(self) -> DiagnosticReport:
+        """The diagnostics as a renderable report."""
+        rep = DiagnosticReport()
+        rep.extend(self.diagnostics)
+        return rep
+
+    def describe(self) -> str:
+        """One-line verdict summary."""
+        if self.safe:
+            extra = (
+                f", max safe depth {self.max_safe_depth}"
+                if self.max_safe_depth is not None
+                else ""
+            )
+            return f"SAFE {self.program.name}{extra}"
+        if self.witness is not None:
+            return f"REFUTED {self.program.name}: {self.witness.describe()}"
+        return f"UNPROVEN {self.program.name}"
+
+
+class _Refuted(Exception):
+    """Internal: interpretation stopped at a refuting state."""
+
+    def __init__(self, diags: list[Diagnostic], witness: LaneWitness | None):
+        super().__init__(witness.describe() if witness else "refuted")
+        self.diags = diags
+        self.witness = witness
+
+
+def _loc(program: LaneProgram, index: int, op: LaneOp) -> str:
+    return f"{program.name}:op#{index}({op.op})"
+
+
+class _Interp:
+    """The abstract interpreter: per-lane intervals x layout facts."""
+
+    def __init__(self, program: LaneProgram):
+        self.program = program
+        self.state: dict[str, object] = dict(program.inputs)
+        self.diags: list[Diagnostic] = []
+        self.gave_up = False
+        # The packed_mul feeding each register, for witness recipes.
+        self._mul_src: dict[str, tuple[Interval, tuple[Interval, ...]]] = {}
+        # Opcode that last wrote each register (VB111 cares only about
+        # accumulators, i.e. packed_add results left un-spilled).
+        self.last_write_op: dict[str, str] = {}
+
+    # -- checks ---------------------------------------------------------------
+
+    def _check_packed(self, val: PackedVal, index: int, op: LaneOp) -> None:
+        """Field, contamination, and register-wrap checks on one value."""
+        layout = val.layout
+        for lane, (iv, f) in enumerate(zip(val.lanes, layout.fields)):
+            if iv.lo < 0:
+                raise _Refuted(
+                    [
+                        Diagnostic(
+                            code="VB110",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"lane {lane} may go negative ({iv}); "
+                                "zero-padded SWAR holds non-negative "
+                                "payloads only"
+                            ),
+                            location=_loc(self.program, index, op),
+                            hint="offset operands by their zero point first",
+                        )
+                    ],
+                    LaneWitness(index, op.op, lane, iv.lo, f.capacity),
+                )
+            if iv.hi > f.capacity:
+                self._refute_overflow(val, lane, iv, f, index, op)
+        reg = val.register_interval()
+        reg_max = (1 << layout.register_bits) - 1
+        if reg.hi > reg_max:  # pragma: no cover - implied by field checks
+            raise _Refuted(
+                [
+                    Diagnostic(
+                        code="VB113",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"packed value may reach {reg.hi}, beyond the "
+                            f"{layout.register_bits}-bit register; the "
+                            "hardware op would wrap and corrupt the top lane"
+                        ),
+                        location=_loc(self.program, index, op),
+                    )
+                ],
+                None,
+            )
+
+    def _refute_overflow(
+        self,
+        val: PackedVal,
+        lane: int,
+        iv: Interval,
+        f,
+        index: int,
+        op: LaneOp,
+    ) -> None:
+        """Build the VB110 (+VB112/VB113) refutation for one lane."""
+        loc = _loc(self.program, index, op)
+        witness = self._witness_for(val, lane, iv, f, index, op)
+        diags = [
+            Diagnostic(
+                code="VB110",
+                severity=Severity.ERROR,
+                message=(
+                    f"lane {lane} (field {f.offset}:{f.width}) overflows: "
+                    + witness.describe()
+                ),
+                location=loc,
+                hint="spill to wide accumulators sooner, or widen the field",
+                data={"witness": witness.to_dict()},
+            )
+        ]
+        # Carry contamination: does another field sit inside the bits the
+        # overflowing value spills into?
+        spill_end = f.offset + max(iv.hi.bit_length(), f.width)
+        victims = [
+            g
+            for g in val.layout.fields
+            if g.offset >= f.offset + f.width and g.offset < spill_end
+        ]
+        if victims:
+            v = victims[0]
+            diags.append(
+                Diagnostic(
+                    code="VB112",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"the carry out of lane {lane} lands inside the "
+                        f"field at bit {v.offset} — cross-lane "
+                        "contamination: the neighbour's payload is "
+                        "silently corrupted"
+                    ),
+                    location=loc,
+                )
+            )
+        reg_max = (1 << val.layout.register_bits) - 1
+        if val.register_interval().hi > reg_max:
+            diags.append(
+                Diagnostic(
+                    code="VB113",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"worst-case packed value exceeds the "
+                        f"{val.layout.register_bits}-bit register; the "
+                        "hardware op would wrap"
+                    ),
+                    location=loc,
+                )
+            )
+        raise _Refuted(diags, witness)
+
+    def _witness_for(
+        self, val: PackedVal, lane: int, iv: Interval, f, index: int, op: LaneOp
+    ) -> LaneWitness:
+        """Attach the chain reproduction recipe when one is derivable."""
+        recipe = self._mul_src.get(op.dest or "", None)
+        if recipe is None and op.op == "packed_add":
+            for src in op.srcs:
+                if src in self._mul_src:
+                    recipe = self._mul_src[src]
+                    break
+        scalar = lane_value = depth = None
+        if recipe is not None:
+            scalar_iv, b_lanes = recipe
+            if lane < len(b_lanes):
+                scalar, lane_value = scalar_iv.hi, b_lanes[lane].hi
+                depth = max(val.depth, 1)
+        return LaneWitness(
+            op_index=index,
+            op=op.op,
+            lane=lane,
+            value_hi=iv.hi,
+            capacity=f.capacity,
+            scalar=scalar,
+            lane_value=lane_value,
+            depth=depth,
+        )
+
+    def _read(self, reg: str, index: int, op: LaneOp):
+        if reg not in self.state:
+            raise _Refuted(
+                [
+                    Diagnostic(
+                        code="VB114",
+                        severity=Severity.ERROR,
+                        message=f"register {reg!r} is read before any definition",
+                        location=_loc(self.program, index, op),
+                        hint="declare it in program.inputs or emit a pack first",
+                    )
+                ],
+                None,
+            )
+        return self.state[reg]
+
+    def _read_packed(self, reg: str, index: int, op: LaneOp) -> PackedVal:
+        val = self._read(reg, index, op)
+        if not isinstance(val, PackedVal):
+            raise _Refuted(
+                [
+                    Diagnostic(
+                        code="VB112",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"register {reg!r} is not a packed value here "
+                            f"({type(val).__name__}); mixing packed and "
+                            "unpacked operands corrupts lanes"
+                        ),
+                        location=_loc(self.program, index, op),
+                    )
+                ],
+                None,
+            )
+        return val
+
+    # -- op semantics ---------------------------------------------------------
+
+    def run_op(self, index: int, op: LaneOp) -> None:
+        """Dispatch one instruction to its transfer function."""
+        getattr(self, f"_op_{op.op}")(index, op)
+        if op.dest is not None:
+            self.last_write_op[op.dest] = op.op
+
+    def _op_pack(self, index: int, op: LaneOp) -> None:
+        layout = op.layout
+        assert layout is not None
+        ranges = op.attrs.get("ranges")
+        if ranges is None:
+            ranges = tuple(f.value_range for f in layout.fields)
+        stored = tuple(
+            Interval(iv.lo + f.zero_point, iv.hi + f.zero_point)
+            for iv, f in zip(ranges, layout.fields)
+        )
+        val = PackedVal(layout, stored)
+        self._check_packed(val, index, op)
+        self.state[op.dest] = val
+
+    def _op_const(self, index: int, op: LaneOp) -> None:
+        iv = op.attrs.get("range")
+        if iv is None:
+            iv = Interval.point(int(op.attrs.get("value", 0)))
+        self.state[op.dest] = iv
+
+    def _op_packed_mul(self, index: int, op: LaneOp) -> None:
+        scalar_reg, packed_reg = op.srcs
+        scalar = self._read(scalar_reg, index, op)
+        if isinstance(scalar, PackedVal):
+            scalar = scalar.register_interval()  # degenerate but sound
+        packed = self._read_packed(packed_reg, index, op)
+        if scalar.lo < 0:
+            raise _Refuted(
+                [
+                    Diagnostic(
+                        code="VB110",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"packed_mul scalar {scalar} may be negative; "
+                            "sign-split signed multipliers first"
+                        ),
+                        location=_loc(self.program, index, op),
+                    )
+                ],
+                None,
+            )
+        lanes = tuple(iv * scalar for iv in packed.lanes)
+        val = PackedVal(packed.layout, lanes, depth=max(packed.depth, 1))
+        self._mul_src[op.dest] = (scalar, packed.lanes)
+        self._check_packed(val, index, op)
+        self.state[op.dest] = val
+
+    def _op_packed_add(self, index: int, op: LaneOp) -> None:
+        x = self._read_packed(op.srcs[0], index, op)
+        y = self._read_packed(op.srcs[1], index, op)
+        if x.layout != y.layout:
+            raise _Refuted(
+                [
+                    Diagnostic(
+                        code="VB112",
+                        severity=Severity.ERROR,
+                        message=(
+                            "packed_add operands carry different layouts "
+                            f"({x.layout.describe()} vs {y.layout.describe()}); "
+                            "lane fields would alias across boundaries"
+                        ),
+                        location=_loc(self.program, index, op),
+                    )
+                ],
+                None,
+            )
+        lanes = tuple(a + b for a, b in zip(x.lanes, y.lanes))
+        val = PackedVal(x.layout, lanes, depth=x.depth + y.depth)
+        self._check_packed(val, index, op)
+        self.state[op.dest] = val
+
+    def _op_shift(self, index: int, op: LaneOp) -> None:
+        src = self._read_packed(op.srcs[0], index, op)
+        by = int(op.attrs["by"])
+        try:
+            layout = src.layout.shifted(by)
+        except Exception as exc:
+            raise _Refuted(
+                [
+                    Diagnostic(
+                        code="VB112",
+                        severity=Severity.ERROR,
+                        message=f"shift by {by} splits a lane field: {exc}",
+                        location=_loc(self.program, index, op),
+                    )
+                ],
+                None,
+            ) from exc
+        keep = {f.offset - by for f in layout.fields}
+        lanes = tuple(
+            iv
+            for iv, f in zip(src.lanes, src.layout.fields)
+            if f.offset in keep
+        )
+        self.state[op.dest] = PackedVal(layout, lanes, depth=src.depth)
+
+    def _op_mask(self, index: int, op: LaneOp) -> None:
+        src = self._read_packed(op.srcs[0], index, op)
+        mask = int(op.attrs["mask"])
+        fields, lanes = [], []
+        for iv, f in zip(src.lanes, src.layout.fields):
+            field_mask = ((1 << f.width) - 1) << f.offset
+            covered = mask & field_mask
+            if covered == 0:
+                continue
+            fields.append(f)
+            # Full coverage keeps the interval; partial coverage is
+            # over-approximated (masking never increases the value).
+            lanes.append(iv if covered == field_mask else Interval(0, iv.hi))
+        if not fields:
+            raise _Refuted(
+                [
+                    Diagnostic(
+                        code="VB112",
+                        severity=Severity.ERROR,
+                        message=f"mask {mask:#x} clears every lane field",
+                        location=_loc(self.program, index, op),
+                    )
+                ],
+                None,
+            )
+        layout = LaneLayout(tuple(fields), src.layout.register_bits)
+        self.state[op.dest] = PackedVal(layout, tuple(lanes), depth=src.depth)
+
+    def _op_unpack(self, index: int, op: LaneOp) -> None:
+        src = self._read_packed(op.srcs[0], index, op)
+        lanes = tuple(
+            Interval(iv.lo - f.zero_point, iv.hi - f.zero_point)
+            for iv, f in zip(src.lanes, src.layout.fields)
+        )
+        self.state[op.dest] = WideVal(lanes)
+
+    def _op_spill(self, index: int, op: LaneOp) -> None:
+        src_reg = op.srcs[0]
+        src = self._read_packed(src_reg, index, op)
+        lanes = tuple(
+            Interval(iv.lo - f.zero_point, iv.hi - f.zero_point)
+            for iv, f in zip(src.lanes, src.layout.fields)
+        )
+        prior = self.state.get(op.dest)
+        if isinstance(prior, WideVal):
+            lanes = tuple(a + b for a, b in zip(prior.lanes, lanes))
+        self.state[op.dest] = WideVal(lanes)
+        self.state[src_reg] = PackedVal.zeros(src.layout)
+
+    def _op_reduce(self, index: int, op: LaneOp) -> None:
+        src = self._read(op.srcs[0], index, op)
+        self.state[op.dest] = src
+
+    # -- loops: linear fast-forward -------------------------------------------
+
+    def _op_loop(self, index: int, op: LaneOp) -> None:
+        trips = int(op.attrs["trips"])
+        body: tuple[LaneOp, ...] = tuple(op.attrs["body"])
+        if trips <= 0:
+            return
+        written = sorted(op.writes())
+
+        def run_body() -> None:
+            for sub in body:
+                self.run_op(index, sub)
+
+        def snapshot() -> dict:
+            return {r: self.state.get(r) for r in written}
+
+        # Three concrete trips give two consecutive deltas; only when
+        # they agree is per-trip growth certifiably constant, and only
+        # then does the arithmetic jump below preserve soundness.
+        run_body()
+        if trips == 1:
+            return
+        s1 = snapshot()
+        run_body()
+        if trips == 2:
+            return
+        s2 = snapshot()
+        run_body()
+        if trips == 3:
+            return
+        s3 = snapshot()
+        d12 = _linear_deltas(s1, s2)
+        d23 = _linear_deltas(s2, s3)
+        if d12 is None or d23 is None or d12 != d23:
+            self._unroll_rest(index, op, run_body, trips - 3)
+            return
+        remaining = trips - 3
+        fail_trip = self._first_failing_trip(s3, d23, remaining, base_trip=3)
+        if fail_trip is None:
+            for reg, d in d23.items():
+                self.state[reg] = _advance(s3[reg], d, remaining)
+            return
+        # Jump to the state after trip ``fail_trip - 1`` and run the
+        # failing trip concretely: the body's own checks then raise with
+        # the true op context, recipe, and first-failure depth.
+        for reg, d in d23.items():
+            self.state[reg] = _advance(s3[reg], d, fail_trip - 1 - 3)
+        run_body()
+
+    def _unroll_rest(self, index: int, op: LaneOp, run_body, remaining: int) -> None:
+        """Fallback when the body is not linear: bounded concrete unroll."""
+        if remaining > UNROLL_CAP:
+            self.gave_up = True
+            self.diags.append(
+                Diagnostic(
+                    code="VB118",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"loop of {remaining + 3} trips is not linearly "
+                        f"summarizable and exceeds the {UNROLL_CAP}-trip "
+                        "unroll cap; the program is UNPROVEN beyond trip "
+                        f"{UNROLL_CAP + 2}"
+                    ),
+                    location=_loc(self.program, index, op),
+                    hint="restructure the loop body so per-trip growth is "
+                    "constant",
+                )
+            )
+            remaining = UNROLL_CAP
+        for _ in range(remaining):
+            run_body()
+
+    def _first_failing_trip(
+        self, base: dict, deltas: dict, remaining: int, *, base_trip: int
+    ) -> int | None:
+        """Earliest trip in ``(base_trip, base_trip+remaining]`` that
+        violates a lane capacity bound.
+
+        State at trip ``t`` is ``base + (t - base_trip) * delta``
+        (certified linear), so each per-lane bound solves in closed
+        form.  Field safety implies register safety (the layout
+        validator keeps all fields inside the register), so lane
+        capacity is the only bound that needs solving.
+        """
+        best: int | None = None
+        for reg, val in base.items():
+            if not isinstance(val, PackedVal):
+                continue
+            d = deltas[reg]
+            for lane, (iv, f) in enumerate(zip(val.lanes, val.layout.fields)):
+                dhi = d.lanes[lane].hi
+                if dhi <= 0:
+                    continue
+                headroom = f.capacity - iv.hi
+                steps = headroom // dhi + 1  # first step where hi > capacity
+                trip = base_trip + steps
+                if trip <= base_trip + remaining and (best is None or trip < best):
+                    best = trip
+        return best
+
+
+@dataclass(frozen=True)
+class _PackedDelta:
+    lanes: tuple[Interval, ...]
+    depth: int
+
+
+def _linear_deltas(s1: dict, s2: dict) -> dict | None:
+    """Per-register per-trip deltas, or ``None`` when growth is not linear.
+
+    Registers must keep their type and layout between trips; intervals
+    advance by ``(dlo, dhi)`` per trip, scalar intervals must be fixed.
+    """
+    deltas: dict = {}
+    for reg, v1 in s1.items():
+        v2 = s2[reg]
+        if type(v1) is not type(v2):
+            return None
+        if isinstance(v1, PackedVal):
+            if v1.layout != v2.layout:
+                return None
+            deltas[reg] = _PackedDelta(
+                lanes=tuple(
+                    Interval(b.lo - a.lo, b.hi - a.hi)
+                    if b.lo - a.lo <= b.hi - a.hi
+                    else None
+                    for a, b in zip(v1.lanes, v2.lanes)
+                ),
+                depth=v2.depth - v1.depth,
+            )
+            if any(d is None for d in deltas[reg].lanes):
+                return None
+        elif isinstance(v1, WideVal):
+            if len(v1.lanes) != len(v2.lanes):
+                return None
+            lane_deltas = []
+            for a, b in zip(v1.lanes, v2.lanes):
+                dlo, dhi = b.lo - a.lo, b.hi - a.hi
+                if dlo > dhi:
+                    return None
+                lane_deltas.append(Interval(dlo, dhi))
+            deltas[reg] = _PackedDelta(lanes=tuple(lane_deltas), depth=0)
+        elif isinstance(v1, Interval):
+            if v1 != v2:
+                return None
+            deltas[reg] = _PackedDelta(lanes=(), depth=0)
+        elif v1 is None or v1 == v2:
+            deltas[reg] = _PackedDelta(lanes=(), depth=0)
+        else:
+            return None
+    return deltas
+
+
+def _advance(val, delta: _PackedDelta, trips: int):
+    """State after ``trips`` further linear trips."""
+    if trips == 0 or not isinstance(val, (PackedVal, WideVal)):
+        return val
+    lanes = tuple(
+        Interval(iv.lo + d.lo * trips, iv.hi + d.hi * trips)
+        for iv, d in zip(val.lanes, delta.lanes)
+    )
+    if isinstance(val, PackedVal):
+        return replace(val, lanes=lanes, depth=val.depth + delta.depth * trips)
+    return WideVal(lanes)
+
+
+def _guard_exhaustion(program: LaneProgram, interp: _Interp) -> list[Diagnostic]:
+    """``VB111``: packed accumulators left live with no guard margin.
+
+    A register that ends the program un-spilled after ``depth``
+    accumulation steps grows by roughly ``hi / depth`` per step; when its
+    remaining headroom is below that, the *next* accumulation would
+    overflow — legal as written, but a chain with zero guard margin is
+    one refactor away from a VB110.
+    """
+    diags: list[Diagnostic] = []
+    for reg, val in sorted(interp.state.items()):
+        if not isinstance(val, PackedVal) or val.depth < 1:
+            continue
+        if interp.last_write_op.get(reg) != "packed_add":
+            continue
+        for lane, (iv, f) in enumerate(zip(val.lanes, val.layout.fields)):
+            if iv.hi > 0 and (f.capacity - iv.hi) * val.depth < iv.hi:
+                diags.append(
+                    Diagnostic(
+                        code="VB111",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"guard bits exhausted: lane {lane} of {reg!r} "
+                            f"ends at {iv.hi} with {f.capacity - iv.hi} "
+                            f"headroom after {val.depth} steps — the next "
+                            "accumulation would overflow"
+                        ),
+                        location=program.name,
+                        hint="spill the register before extending the chain",
+                    )
+                )
+    return diags
+
+
+def verify_program(program: LaneProgram) -> DataflowResult:
+    """Abstractly interpret ``program`` and return the full verdict.
+
+    Stops at the first refutation (its diagnostics carry the witness);
+    the dependence graph is derived regardless, since it depends only on
+    read/write sets, never on values.
+    """
+    dependence = DependenceGraph.from_program(program)
+    interp = _Interp(program)
+    witness: LaneWitness | None = None
+    refuted = False
+    try:
+        for i, op in enumerate(program.ops):
+            interp.run_op(i, op)
+    except _Refuted as r:
+        interp.diags.extend(r.diags)
+        witness = r.witness
+        refuted = True
+    proven = not refuted and not interp.gave_up
+    safe = proven and not any(
+        d.severity is Severity.ERROR for d in interp.diags
+    )
+    diags = list(interp.diags)
+    if not refuted:
+        diags.extend(_guard_exhaustion(program, interp))
+    if safe:
+        diags.append(
+            Diagnostic(
+                code="VB116",
+                severity=Severity.INFO,
+                message=(
+                    f"proved safe: {program.flat_size()} ops, no lane can "
+                    "overflow its field for any in-range inputs"
+                ),
+                location=program.name,
+            )
+        )
+    diags.append(
+        Diagnostic(
+            code="VB115",
+            severity=Severity.INFO,
+            message=(
+                f"dependence graph: {len(dependence.nodes)} nodes, "
+                f"{len(dependence.edges)} edges "
+                f"({sum(1 for e in dependence.edges if e['kind'] == 'RAW')} RAW), "
+                f"critical path {dependence.critical_length}"
+            ),
+            location=program.name,
+            data={"dependence": dependence.to_dict()},
+        )
+    )
+    return DataflowResult(
+        program=program,
+        safe=safe,
+        proven=proven,
+        diagnostics=diags,
+        witness=witness,
+        dependence=dependence,
+    )
+
+
+# -- chain entry points --------------------------------------------------------
+
+
+def _layout_of(policy_or_layout) -> LaneLayout:
+    if isinstance(policy_or_layout, LaneLayout):
+        return policy_or_layout
+    return LaneLayout.from_policy(policy_or_layout)
+
+
+def prove_chain(
+    policy_or_layout,
+    *,
+    k: int,
+    a_bits: int | None = None,
+    a_range: Interval | None = None,
+    b_range: Interval | None = None,
+    chunk_depth: int | None = None,
+    name: str = "gemm_chain",
+) -> DataflowResult:
+    """Verify the canonical chunked packed-GEMM chain for one plan.
+
+    The dataflow twin of
+    :func:`repro.analysis.overflow.prove_packed_accumulation`, but over
+    any layout — asymmetric layouts pass a :class:`LaneLayout` directly.
+    """
+    layout = _layout_of(policy_or_layout)
+    if a_range is None:
+        if a_bits is None:
+            a_bits = getattr(policy_or_layout, "effective_multiplier_bits", None)
+            if a_bits is None:
+                raise PackingError("prove_chain needs a_bits or a_range")
+        a_range = Interval.from_bits(a_bits)
+    program = gemm_chain_program(
+        layout,
+        a_range=a_range,
+        b_range=b_range,
+        k=k,
+        chunk_depth=chunk_depth,
+        name=name,
+    )
+    result = verify_program(program)
+    result.max_safe_depth = first_failing_depth(
+        layout, a_range=a_range, b_range=b_range
+    )
+    return result
+
+
+def first_failing_depth(
+    layout_or_policy,
+    *,
+    a_range: Interval,
+    b_range: Interval | None = None,
+) -> int:
+    """Largest accumulation depth the layout provably supports unspilled.
+
+    Runs the unchunked chain at ``K = 2**30``; linear fast-forward makes
+    this O(1), and the refutation witness pinpoints the exact first
+    failing trip, so the proven budget is ``witness.depth - 1``.
+    """
+    layout = _layout_of(layout_or_policy)
+    program = gemm_chain_program(
+        layout,
+        a_range=a_range,
+        b_range=b_range,
+        k=UNBOUNDED_DEPTH,
+        chunk_depth=None,
+        name="depth_probe",
+    )
+    result = verify_program(program)
+    if result.safe:
+        return UNBOUNDED_DEPTH
+    if result.witness is None or result.witness.depth is None:
+        return 0  # pragma: no cover - chain witnesses always carry depth
+    return result.witness.depth - 1
+
+
+# -- the proven-safe-depth table ----------------------------------------------
+
+#: (a_bits, b_bits) pairs the default table covers: the Fig. 3
+#: symmetric points plus the Gope et al. asymmetric pairs.
+DEFAULT_PAIRS: tuple[tuple[int, int], ...] = (
+    (8, 8),
+    (4, 4),
+    (6, 6),
+    (8, 4),
+    (4, 8),
+    (8, 2),
+    (2, 8),
+)
+
+#: Table entries installed via :func:`use_safe_depth_table`, consulted
+#: (and cross-checked) by :func:`proven_chunk_depth`.
+_DEPTH_REGISTRY: dict[str, dict] = {}
+
+
+def _pair_key(a_bits: int, b_bits: int, lanes: int) -> str:
+    return f"a{a_bits}b{b_bits}x{lanes}"
+
+
+def safe_depth_table(
+    pairs: tuple[tuple[int, int], ...] = DEFAULT_PAIRS,
+) -> dict[str, dict]:
+    """Proven-safe-depth entries over (a_bits, b_bits, layout).
+
+    Each entry records the dataflow-proven depth alongside the legacy
+    closed-form budget; the two must agree (``VB402`` otherwise — raised
+    as :class:`~repro.errors.AnalysisError` because a disagreement means
+    one prover is unsound).
+    """
+    from repro.packing.accumulate import safe_accumulation_depth
+    from repro.packing.mixed import policy_for_operands
+
+    table: dict[str, dict] = {}
+    for a_bits, b_bits in pairs:
+        policy = policy_for_operands(a_bits, b_bits)
+        layout = LaneLayout.from_policy(policy)
+        proven = first_failing_depth(
+            layout,
+            a_range=Interval.from_bits(a_bits),
+            b_range=Interval.from_bits(b_bits),
+        )
+        try:
+            closed_form = safe_accumulation_depth(policy, a_bits, b_bits)
+        except PackingError:
+            closed_form = 0
+        if proven != closed_form:
+            raise AnalysisError(
+                f"VB402: dataflow-proven depth {proven} for "
+                f"{a_bits}x{b_bits} disagrees with the closed-form budget "
+                f"{closed_form} [{layout.describe()}]"
+            )
+        table[_pair_key(a_bits, b_bits, policy.lanes)] = {
+            "a_bits": a_bits,
+            "b_bits": b_bits,
+            "lanes": policy.lanes,
+            "field_bits": policy.field_bits,
+            "layout": layout.describe(),
+            "safe_depth": proven,
+            "source": "dataflow",
+            "cross_checked": True,
+        }
+    return table
+
+
+def write_safe_depth_table(
+    path: str = "benchmarks/out/summary.json",
+    pairs: tuple[tuple[int, int], ...] = DEFAULT_PAIRS,
+) -> dict[str, dict]:
+    """Emit the table under ``summary.json``'s ``safe_depths`` key.
+
+    Uses the atomic merge writer so concurrent benchmark/serve runs
+    cannot corrupt the file; also installs the table in-process so
+    :func:`proven_chunk_depth` consumes it immediately.
+    """
+    from repro.obs.export import merge_summary
+
+    table = safe_depth_table(pairs)
+    merge_summary(path, {"safe_depths": table})
+    use_safe_depth_table(table)
+    return table
+
+
+def load_safe_depth_table(path: str = "benchmarks/out/summary.json") -> dict:
+    """Read a previously emitted table (empty dict when absent)."""
+    import json
+    import os
+
+    if not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    table = data.get("safe_depths", {})
+    if table:
+        use_safe_depth_table(table)
+    return table
+
+
+def use_safe_depth_table(table: dict) -> None:
+    """Install table entries for :func:`proven_chunk_depth` to consume."""
+    _DEPTH_REGISTRY.update(table)
+    proven_chunk_depth.cache_clear()
+
+
+@functools.lru_cache(maxsize=4096)
+def proven_chunk_depth(policy, a_bits: int, b_bits: int | None = None) -> int:
+    """The proven-safe spill depth the packer preflight executes at.
+
+    Resolution order: an installed safe-depth-table entry (from
+    :func:`write_safe_depth_table` / :func:`load_safe_depth_table`),
+    else a fresh dataflow proof.  Either way the result is cross-checked
+    against the legacy closed-form budget; a mismatch is a ``VB402``
+    :class:`~repro.errors.AnalysisError` (one of the provers is wrong —
+    never silently trust either).
+
+    Raises :class:`~repro.errors.PackingError` (via the closed form)
+    when no depth is safe at all, matching the legacy contract.
+    """
+    from repro.packing.accumulate import safe_accumulation_depth
+
+    if b_bits is None:
+        b_bits = policy.value_bits
+    closed_form = safe_accumulation_depth(policy, a_bits, b_bits)
+    entry = _DEPTH_REGISTRY.get(_pair_key(a_bits, b_bits, policy.lanes))
+    if entry is not None and entry.get("field_bits") == policy.field_bits:
+        proven = int(entry["safe_depth"])
+    else:
+        proven = first_failing_depth(
+            LaneLayout.from_policy(policy),
+            a_range=Interval.from_bits(a_bits),
+            b_range=Interval.from_bits(b_bits),
+        )
+    if proven != closed_form:
+        raise AnalysisError(
+            f"VB402: dataflow-proven depth {proven} disagrees with the "
+            f"closed-form budget {closed_form} for {a_bits}x{b_bits} under "
+            f"policy(lanes={policy.lanes}, field={policy.field_bits})"
+        )
+    return proven

@@ -8,14 +8,17 @@ non-zero exactly when an error-severity finding exists.
 
 The code space (documented in ``docs/ANALYSIS.md``):
 
-* ``VB1xx`` — packing / lane-overflow proofs,
+* ``VB1xx`` — packing / lane-overflow proofs (``VB11x``: the lane
+  dataflow verifier),
 * ``VB2xx`` — schedule and warp-program checks,
-* ``VB3xx`` — repo lint (AST pass).
+* ``VB3xx`` — repo lint (AST pass),
+* ``VB4xx`` — differential cross-checks between analysis passes.
 """
 
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field
 
 __all__ = ["Severity", "Diagnostic", "DiagnosticReport"]
@@ -50,6 +53,10 @@ class Diagnostic:
         label (``"policy(bits=8, lanes=2)"``, ``"warp[3]"``) otherwise.
     hint:
         Optional suggestion for fixing the finding.
+    data:
+        Optional machine-readable payload (a witness, the offending
+        widths, a dependence graph) for ``--format json`` consumers;
+        never rendered in the text form.
     """
 
     code: str
@@ -57,12 +64,26 @@ class Diagnostic:
     message: str
     location: str = ""
     hint: str = ""
+    data: dict | None = None
 
     def render(self) -> str:
         """Compiler-style one-line rendering."""
         loc = f"{self.location}: " if self.location else ""
         hint = f" (hint: {self.hint})" if self.hint else ""
         return f"{loc}{self.severity}[{self.code}]: {self.message}{hint}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (stable keys; ``data`` only when present)."""
+        out = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "location": self.location,
+            "hint": self.hint,
+        }
+        if self.data is not None:
+            out["data"] = self.data
+        return out
 
 
 @dataclass
@@ -106,6 +127,28 @@ class DiagnosticReport:
     def filter(self, code_prefix: str) -> list[Diagnostic]:
         """Findings whose code starts with ``code_prefix`` (e.g. ``"VB1"``)."""
         return [d for d in self.diagnostics if d.code.startswith(code_prefix)]
+
+    def to_json(self, *, min_severity: Severity = Severity.INFO) -> str:
+        """Machine-readable report for CI annotation (``--format json``).
+
+        A stable envelope: ``diagnostics`` (insertion order, filtered by
+        ``min_severity``), per-severity ``counts`` over the *full*
+        report, and the process ``exit_code``.
+        """
+        shown = [d for d in self.diagnostics if d.severity >= min_severity]
+        return json.dumps(
+            {
+                "diagnostics": [d.to_dict() for d in shown],
+                "counts": {
+                    "error": len(self.errors),
+                    "warning": len(self.warnings),
+                    "info": len(self.by_severity(Severity.INFO)),
+                },
+                "exit_code": self.exit_code,
+            },
+            indent=2,
+            sort_keys=False,
+        )
 
     def render(self, *, min_severity: Severity = Severity.INFO) -> str:
         """All findings at or above ``min_severity``, one per line.

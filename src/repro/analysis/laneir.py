@@ -1,0 +1,575 @@
+"""The lane IR: a typed instruction stream over packed registers.
+
+The PR-1 overflow prover reasons about one hard-wired shape — the
+symmetric IMAD chain the Fig. 3 policy emits — as a closed-form
+interval computation.  This module gives the analysis layer an actual
+*program* representation instead: a small typed IR whose instructions
+(``pack``, ``packed_mul``, ``packed_add``, ``shift``, ``mask``,
+``unpack``, ``spill``, ``reduce``) operate on named registers, each
+carrying a :class:`LaneLayout` of per-lane field widths, guard bits,
+and zero-point offsets.  Asymmetric layouts (Gope et al.'s 8x4 / 8x2
+operand pairs) are first-class: every field declares its own width and
+payload range, so nothing in the IR assumes lanes are uniform.
+
+The IR is consumed by :mod:`repro.analysis.dataflow`, the abstract
+interpreter that proves or refutes lane-overflow, carry-contamination,
+register-wrap, and def-use properties per program and derives the
+dependence graph from per-instruction read/write sets.
+
+Two ways programs come into existence:
+
+* **builders** — :func:`gemm_chain_program` constructs the canonical
+  chunked packed-GEMM chain (the program ``repro.packing.gemm``
+  executes), with loops represented as first-class ``loop`` ops so a
+  K=4096 reduction stays O(1) instructions;
+* **capture** — :func:`capture` installs lightweight emission sinks in
+  :mod:`repro.packing.swar`, :mod:`repro.packing.packer`, and
+  :mod:`repro.packing.gemm`, so real executions (packed GEMMs, SWAR
+  call sites, the fused kernel) record the lane program they perform
+  alongside the numbers they compute.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.intervals import Interval
+from repro.errors import FormatError, PackingError
+
+__all__ = [
+    "LaneField",
+    "LaneLayout",
+    "LaneOp",
+    "LaneProgram",
+    "OPS",
+    "capture",
+    "capturing",
+    "active_program",
+    "note",
+    "gemm_chain_program",
+]
+
+#: Every instruction kind the IR defines.  ``loop`` is the structured
+#: repetition node (body executed ``trips`` times); the rest are
+#: straight-line register ops.
+OPS: frozenset[str] = frozenset(
+    {
+        "pack",
+        "const",
+        "packed_mul",
+        "packed_add",
+        "shift",
+        "mask",
+        "unpack",
+        "spill",
+        "reduce",
+        "loop",
+    }
+)
+
+
+@dataclass(frozen=True)
+class LaneField:
+    """One lane's field within a packed register.
+
+    Attributes
+    ----------
+    offset:
+        Bit position of the field's least-significant bit.
+    width:
+        Field width in bits (the distance to the next lane's origin is
+        *not* implied — asymmetric layouts interleave widths freely).
+    value_bits:
+        Magnitude bitwidth of the payload stored in this field
+        (``<= width``; the difference is the field's guard bits).
+    zero_point:
+        Offset added to the true value before storing (stored payloads
+        are ``true + zero_point``, always non-negative).
+    """
+
+    offset: int
+    width: int
+    value_bits: int
+    zero_point: int = 0
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.width < 1:
+            raise FormatError(
+                f"field offset/width must be >= 0/1, got "
+                f"({self.offset}, {self.width})"
+            )
+        if not 1 <= self.value_bits <= self.width:
+            raise FormatError(
+                f"value_bits {self.value_bits} must be in 1..{self.width} "
+                f"(field width)"
+            )
+        if self.zero_point < 0:
+            raise FormatError(f"zero_point must be >= 0, got {self.zero_point}")
+
+    @property
+    def capacity(self) -> int:
+        """Largest bit pattern the field holds without carrying out."""
+        return (1 << self.width) - 1
+
+    @property
+    def guard_bits(self) -> int:
+        """Spare bits beyond the declared payload width."""
+        return self.width - self.value_bits
+
+    @property
+    def value_range(self) -> Interval:
+        """Abstract range of stored payloads: ``[0, 2**value_bits - 1]``."""
+        return Interval.from_bits(self.value_bits)
+
+
+@dataclass(frozen=True)
+class LaneLayout:
+    """Where every lane lives inside one packed register.
+
+    Fields must be disjoint and lie inside ``register_bits``; they are
+    kept sorted by offset (lane 0 least significant).  Nothing requires
+    uniform widths — an 8x4 asymmetric layout mixes 12-bit product
+    fields with whatever guard split the packer chose.
+    """
+
+    fields: tuple[LaneField, ...]
+    register_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise FormatError("a LaneLayout needs at least one field")
+        ordered = tuple(sorted(self.fields, key=lambda f: f.offset))
+        object.__setattr__(self, "fields", ordered)
+        prev_end = 0
+        for f in ordered:
+            if f.offset < prev_end:
+                raise FormatError(
+                    f"lane fields overlap at bit {f.offset} "
+                    f"(previous field ends at {prev_end})"
+                )
+            prev_end = f.offset + f.width
+        if prev_end > self.register_bits:
+            raise FormatError(
+                f"lane fields end at bit {prev_end}, beyond the "
+                f"{self.register_bits}-bit register"
+            )
+
+    @classmethod
+    def from_policy(cls, policy) -> "LaneLayout":
+        """The uniform layout of a :class:`~repro.packing.policy.PackingPolicy`.
+
+        Duck-typed on (``lanes``, ``field_bits``, ``value_bits``,
+        ``register_bits``) so the packing layer never needs to import
+        this module at module level.
+        """
+        fields = tuple(
+            LaneField(
+                offset=i * policy.field_bits,
+                width=policy.field_bits,
+                value_bits=policy.value_bits,
+            )
+            for i in range(policy.lanes)
+        )
+        return cls(fields=fields, register_bits=policy.register_bits)
+
+    @property
+    def lanes(self) -> int:
+        """Number of fields in the layout."""
+        return len(self.fields)
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every field shares one width and value_bits."""
+        first = self.fields[0]
+        return all(
+            f.width == first.width and f.value_bits == first.value_bits
+            for f in self.fields
+        )
+
+    def with_zero_point(self, zero_point: int) -> "LaneLayout":
+        """The same geometry with every lane offset by ``zero_point``."""
+        return LaneLayout(
+            fields=tuple(replace(f, zero_point=zero_point) for f in self.fields),
+            register_bits=self.register_bits,
+        )
+
+    def shifted(self, by: int) -> "LaneLayout":
+        """Layout after a left shift of ``by`` bits (negative = right).
+
+        Fields pushed wholly outside the register are dropped; a field
+        crossing the register edge is a :class:`~repro.errors.FormatError`
+        (the IR models whole-field shifts only — partial-field shifts
+        are exactly the carry contamination the verifier exists to
+        catch, so they may not be *constructed*, only detected).
+        """
+        kept = []
+        for f in self.fields:
+            off = f.offset + by
+            if off + f.width <= 0 or off >= self.register_bits:
+                continue
+            if off < 0 or off + f.width > self.register_bits:
+                raise FormatError(
+                    f"shift by {by} splits the field at bit {f.offset} "
+                    "across the register edge"
+                )
+            kept.append(replace(f, offset=off))
+        if not kept:
+            raise FormatError(f"shift by {by} leaves no lane in the register")
+        return LaneLayout(fields=tuple(kept), register_bits=self.register_bits)
+
+    def describe(self) -> str:
+        """Compact grammar form, e.g. ``u32{0:16/8, 16:16/8}``."""
+        parts = ", ".join(
+            f"{f.offset}:{f.width}/{f.value_bits}"
+            + (f"+zp{f.zero_point}" if f.zero_point else "")
+            for f in self.fields
+        )
+        return f"u{self.register_bits}{{{parts}}}"
+
+
+@dataclass(frozen=True)
+class LaneOp:
+    """One IR instruction: an opcode, a destination, source registers.
+
+    ``layout`` carries the packed layout the op produces (or consumes,
+    for ``unpack``/``spill``); ``attrs`` holds per-op scalars — operand
+    ranges (:class:`~repro.analysis.intervals.Interval`), shift
+    amounts, mask literals, loop bodies and trip counts.
+    """
+
+    op: str
+    dest: str | None = None
+    srcs: tuple[str, ...] = ()
+    layout: LaneLayout | None = None
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise PackingError(f"unknown lane-IR op {self.op!r}")
+
+    def reads(self) -> frozenset[str]:
+        """Registers this instruction reads.
+
+        ``packed_add`` into an accumulator reads both sources; ``spill``
+        reads the packed register *and* the wide accumulator it folds
+        into; a ``loop`` reads the union of its body minus registers the
+        body itself defines first.
+        """
+        if self.op == "loop":
+            defined: set[str] = set()
+            read: set[str] = set()
+            for sub in self.attrs["body"]:
+                read |= set(sub.reads()) - defined
+                defined |= set(sub.writes())
+            return frozenset(read)
+        extra = (self.dest,) if self.op == "spill" and self.dest else ()
+        return frozenset(self.srcs + extra)
+
+    def writes(self) -> frozenset[str]:
+        """Registers this instruction writes.
+
+        ``spill`` writes its wide destination and resets the packed
+        source to zero (mirroring
+        :meth:`repro.packing.accumulate.ChunkedAccumulator.spill`).
+        """
+        if self.op == "loop":
+            out: set[str] = set()
+            for sub in self.attrs["body"]:
+                out |= set(sub.writes())
+            return frozenset(out)
+        regs = set()
+        if self.dest:
+            regs.add(self.dest)
+        if self.op == "spill":
+            regs.update(self.srcs)
+        return frozenset(regs)
+
+    def render(self) -> str:
+        """One-line assembly-style form."""
+        if self.op == "loop":
+            body = "; ".join(sub.render() for sub in self.attrs["body"])
+            return f"loop x{self.attrs['trips']} {{ {body} }}"
+        bits = [self.op]
+        if self.dest:
+            bits.append(self.dest)
+        bits.extend(self.srcs)
+        text = " ".join(bits)
+        if self.layout is not None:
+            text += f"  {self.layout.describe()}"
+        scalars = {
+            k: v
+            for k, v in self.attrs.items()
+            if k not in ("body", "ranges") and not isinstance(v, Interval)
+        }
+        if scalars:
+            text += "  " + ", ".join(f"{k}={v}" for k, v in sorted(scalars.items()))
+        return text
+
+
+@dataclass
+class LaneProgram:
+    """An ordered lane-IR instruction stream plus its input ranges.
+
+    ``inputs`` maps register names to the abstract
+    :class:`~repro.analysis.intervals.Interval` of values the
+    environment may supply (the unpacked multiplier stream, for a GEMM).
+    ``notes`` carries free-form provenance (which kernel emitted this).
+    """
+
+    name: str = "program"
+    ops: list[LaneOp] = field(default_factory=list)
+    inputs: dict[str, Interval] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    _counter: int = 0
+
+    def fresh(self, stem: str) -> str:
+        """A new unique register name with the given stem."""
+        self._counter += 1
+        return f"{stem}{self._counter}"
+
+    def emit(self, op: LaneOp) -> LaneOp:
+        """Append one instruction and return it."""
+        self.ops.append(op)
+        return op
+
+    def flat_size(self) -> int:
+        """Instruction count with loop bodies counted once (not unrolled)."""
+
+        def count(ops) -> int:
+            n = 0
+            for op in ops:
+                n += 1
+                if op.op == "loop":
+                    n += count(op.attrs["body"])
+            return n
+
+        return count(self.ops)
+
+    def render(self) -> str:
+        """The whole program, one instruction per line."""
+        lines = [f"; {self.name}"]
+        lines += [f"; {n}" for n in self.notes]
+        lines += [
+            f"in {reg} = {iv}" for reg, iv in sorted(self.inputs.items())
+        ]
+        lines += [op.render() for op in self.ops]
+        return "\n".join(lines)
+
+
+# -- capture: packing code emits IR alongside execution ------------------------
+
+#: Stack of programs being captured; the top receives emitted ops.
+_CAPTURE: list[LaneProgram] = []
+
+
+def capturing() -> bool:
+    """True when a :func:`capture` context is active."""
+    return bool(_CAPTURE)
+
+
+def active_program() -> LaneProgram | None:
+    """The program currently receiving emitted ops, if any."""
+    return _CAPTURE[-1] if _CAPTURE else None
+
+
+def note(text: str) -> None:
+    """Attach a provenance note to the active capture (no-op outside one)."""
+    if _CAPTURE:
+        _CAPTURE[-1].notes.append(text)
+
+
+class _SinkAdapter:
+    """Translates packing-layer emission events into typed IR ops.
+
+    The packing modules never import this module at module level (the
+    analysis package transitively imports packing, so the reverse edge
+    must stay lazy); instead each keeps a module-global ``_IR_SINK``
+    that :func:`capture` points at an instance of this adapter.  Array
+    operands are named by object identity — sound for the duration of
+    one capture, which is the adapter's whole lifetime.
+    """
+
+    def __init__(self, program: LaneProgram):
+        self.program = program
+        self._names: dict[int, str] = {}
+
+    def name_for(self, obj, stem: str) -> str:
+        """The stable register name of one array object."""
+        key = id(obj)
+        if key not in self._names:
+            self._names[key] = self.program.fresh(stem)
+        return self._names[key]
+
+    def alias(self, new_obj, old_obj) -> None:
+        """Make ``new_obj`` share ``old_obj``'s register name (e.g. after
+        a dtype cast produced a distinct array for the same register)."""
+        key = id(old_obj)
+        if key in self._names:
+            self._names[id(new_obj)] = self._names[key]
+
+    def event(self, kind: str, **info) -> None:
+        """One emission event from the packing layer.
+
+        Scalar payloads cross the boundary as plain ``(lo, hi)`` tuples
+        so the packing modules never import the analysis package.
+        """
+        prog = self.program
+        if kind == "pack":
+            layout = LaneLayout.from_policy(info["policy"])
+            if info.get("zero_point"):
+                layout = layout.with_zero_point(info["zero_point"])
+            lo, hi = info["range"]
+            dest = self.name_for(info["out"], "b")
+            prog.emit(
+                LaneOp(
+                    op="pack",
+                    dest=dest,
+                    layout=layout,
+                    attrs={
+                        "ranges": tuple(Interval(lo, hi) for _ in layout.fields)
+                    },
+                )
+            )
+        elif kind in ("packed_add", "packed_mul"):
+            layout = LaneLayout.from_policy(info["policy"])
+            srcs = list(
+                self.name_for(s, "r") if not isinstance(s, str) else s
+                for s in info["srcs"]
+            )
+            dest = self.name_for(info["out"], "r")
+            if "scalar_range" in info:
+                # The scalar operand is an *input* to the program, not a
+                # register another op defines.
+                lo, hi = info["scalar_range"]
+                scalar_reg = self.name_for(info["srcs"][0], "s")
+                prog.inputs[scalar_reg] = Interval(lo, hi).join(
+                    prog.inputs.get(scalar_reg, Interval(lo, hi))
+                )
+                srcs[0] = scalar_reg
+            prog.emit(
+                LaneOp(op=kind, dest=dest, srcs=tuple(srcs), layout=layout)
+            )
+        elif kind == "gemm_chain":
+            layout = LaneLayout.from_policy(info["policy"])
+            lo, hi = info["a_range"]
+            gemm_chain_program(
+                layout,
+                a_range=Interval(lo, hi),
+                k=info["k"],
+                chunk_depth=info.get("chunk_depth"),
+                packed_reg=self._names.get(id(info["b"])),
+                program=prog,
+            )
+
+
+@contextlib.contextmanager
+def capture(name: str = "capture"):
+    """Record the lane program executed inside this context.
+
+    Installs emission sinks in ``repro.packing.swar``,
+    ``repro.packing.packer``, and ``repro.packing.gemm`` (restoring the
+    previous sinks on exit, so captures nest).  Yields the
+    :class:`LaneProgram` being built; verify it afterwards with
+    :func:`repro.analysis.dataflow.verify_program`.
+    """
+    from repro.packing import gemm as _gemm
+    from repro.packing import packer as _packer
+    from repro.packing import swar as _swar
+
+    program = LaneProgram(name=name)
+    adapter = _SinkAdapter(program)
+    saved = (_swar._IR_SINK, _packer._IR_SINK, _gemm._IR_SINK)
+    _swar._IR_SINK = _packer._IR_SINK = _gemm._IR_SINK = adapter
+    _CAPTURE.append(program)
+    try:
+        yield program
+    finally:
+        _CAPTURE.pop()
+        _swar._IR_SINK, _packer._IR_SINK, _gemm._IR_SINK = saved
+
+
+# -- canonical chain builder ----------------------------------------------------
+
+
+def gemm_chain_program(
+    layout: LaneLayout,
+    *,
+    a_range: Interval,
+    b_range: Interval | None = None,
+    k: int,
+    chunk_depth: int | None = None,
+    name: str = "gemm_chain",
+    packed_reg: str | None = None,
+    program: LaneProgram | None = None,
+) -> LaneProgram:
+    """The per-output-register program of a chunked packed GEMM.
+
+    One packed register of B lanes is multiplied by ``k`` scalars from
+    the A stream and accumulated, spilling to wide accumulators every
+    ``chunk_depth`` products (``None`` = never — the whole chain runs
+    packed, which is what the verifier must refute for deep K).  Loops
+    are structured ``loop`` ops, so the program is O(1) in ``k`` and
+    the interpreter's linear fast-forward recovers exact first-failure
+    depths.
+
+    ``b_range`` defaults to each field's declared payload range (per
+    field, so asymmetric layouts get per-lane ranges).  When ``program``
+    is given the chain is appended to it — ``packed_reg`` then names an
+    already-packed register to reuse instead of emitting a fresh
+    ``pack``.
+    """
+    if k < 0:
+        raise PackingError(f"accumulation depth k must be >= 0, got {k}")
+    if chunk_depth is not None and chunk_depth < 1:
+        raise PackingError(f"chunk_depth must be >= 1, got {chunk_depth}")
+    prog = program if program is not None else LaneProgram(name=name)
+    # Appended chains (sign-split runs two passes over one packed B)
+    # each get their own scalar input register.
+    scalar = "a" if program is None else prog.fresh("a")
+    prog.inputs.setdefault(scalar, a_range)
+
+    if packed_reg is None:
+        packed_reg = prog.fresh("b")
+        ranges = (
+            tuple(b_range for _ in layout.fields)
+            if b_range is not None
+            else tuple(f.value_range for f in layout.fields)
+        )
+        prog.emit(
+            LaneOp(op="pack", dest=packed_reg, layout=layout, attrs={"ranges": ranges})
+        )
+    acc = prog.fresh("acc")
+    prog.emit(
+        LaneOp(
+            op="pack",
+            dest=acc,
+            layout=layout,
+            attrs={"ranges": tuple(Interval.point(0) for _ in layout.fields)},
+        )
+    )
+    t = prog.fresh("t")
+    step = (
+        LaneOp(op="packed_mul", dest=t, srcs=(scalar, packed_reg), layout=layout),
+        LaneOp(op="packed_add", dest=acc, srcs=(acc, t), layout=layout),
+    )
+    if k == 0:
+        # An empty reduction: nothing accumulates, the zeroed packed
+        # accumulator unpacks to zeros (matching reference_gemm).
+        prog.emit(LaneOp(op="unpack", dest=prog.fresh("c"), srcs=(acc,), layout=layout))
+        return prog
+
+    wide = prog.fresh("w")
+    if chunk_depth is None or chunk_depth >= k:
+        prog.emit(LaneOp(op="loop", attrs={"trips": k, "body": step}))
+        prog.emit(LaneOp(op="spill", dest=wide, srcs=(acc,), layout=layout))
+    else:
+        chunks, tail = divmod(k, chunk_depth)
+        inner = LaneOp(op="loop", attrs={"trips": chunk_depth, "body": step})
+        spill = LaneOp(op="spill", dest=wide, srcs=(acc,), layout=layout)
+        prog.emit(LaneOp(op="loop", attrs={"trips": chunks, "body": (inner, spill)}))
+        if tail:
+            prog.emit(LaneOp(op="loop", attrs={"trips": tail, "body": step}))
+            prog.emit(LaneOp(op="spill", dest=wide, srcs=(acc,), layout=layout))
+    prog.emit(LaneOp(op="reduce", dest=prog.fresh("c"), srcs=(wide,)))
+    return prog

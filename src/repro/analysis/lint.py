@@ -17,7 +17,16 @@ this pass checks the rules a generic linter cannot know:
   in ``src/`` must pass ``strict=`` explicitly: whether a call is
   hardware-faithful-but-checked or wrapping is a load-bearing decision;
 * ``VB305`` — no unused module-level imports (names re-exported via
-  ``__all__`` count as used).
+  ``__all__`` count as used);
+* ``VB306`` — no wall-clock reads (``time.time`` / ``time.monotonic`` /
+  ``time.perf_counter`` / ``datetime.now`` …) inside the determinism
+  envelope (``repro/{sim,serve,chaos,packing}``): the cluster's
+  byte-identical-rerun guarantee requires all time to come from the
+  simulated clock;
+* ``VB307`` — no unseeded randomness (zero-argument ``random.Random()``
+  / ``np.random.default_rng()``, the module-level ``random.*`` /
+  ``np.random.*`` global-state functions) in the same envelope: every
+  RNG must be constructed from an explicit seed.
 
 A finding on a line containing ``# vblint: skip`` (or ``# vblint:
 VB30x`` naming its code) is suppressed.  ``run_repo_lint`` applies all
@@ -37,8 +46,48 @@ __all__ = ["ALL_RULES", "lint_file", "lint_paths", "run_repo_lint"]
 
 #: Every rule code this pass implements.
 ALL_RULES: frozenset[str] = frozenset(
-    {"VB301", "VB302", "VB303", "VB304", "VB305"}
+    {"VB301", "VB302", "VB303", "VB304", "VB305", "VB306", "VB307"}
 )
+
+#: Sub-paths under the byte-identical-rerun guarantee: wall clocks and
+#: unseeded RNGs are banned here (VB306/VB307); elsewhere they are fine
+#: (benchmarks time things, the CLI seeds from argv).
+_DETERMINISM_SCOPED = (
+    "repro/sim/",
+    "repro/serve/",
+    "repro/chaos/",
+    "repro/packing/",
+)
+
+#: Wall-clock attribute reads on the ``time`` module (VB306).
+_WALL_CLOCK_TIME_FNS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+}
+
+#: Wall-clock constructors on ``datetime`` / ``date`` classes (VB306).
+_WALL_CLOCK_DATETIME_FNS = {"now", "utcnow", "today"}
+
+#: ``random``-module functions that consume the hidden global RNG (VB307).
+_GLOBAL_RANDOM_FNS = {
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "normalvariate",
+    "seed",
+    "getrandbits",
+}
 
 #: Rules applied outside ``src/`` (tests may legitimately omit
 #: docstrings, exercise non-strict SWAR, and poke at raw registers).
@@ -98,6 +147,9 @@ class _Linter(ast.NodeVisitor):
         self._imports: dict[str, int] = {}
         self._used: set[str] = set()
         self._exported: set[str] = set()
+        # Bound name -> source module, for from-imports of clock/RNG
+        # functions (``from time import monotonic``).
+        self._from_modules: dict[str, str] = {}
 
     # -- helpers -------------------------------------------------------------
 
@@ -224,7 +276,91 @@ class _Linter(ast.NodeVisitor):
                     hint="strict=True checks lane overflow; strict=False "
                     "models the wrapping hardware — say which you mean",
                 )
+        self._check_determinism(node, func)
         self.generic_visit(node)
+
+    # -- VB306/VB307: the determinism envelope -------------------------------
+
+    def _check_determinism(self, node: ast.Call, func: ast.AST) -> None:
+        """Wall clocks (VB306) and unseeded RNGs (VB307)."""
+
+        def qualified(expr: ast.AST) -> str | None:
+            """``module.attr`` when the call target is recognizable."""
+            if isinstance(expr, ast.Attribute) and isinstance(
+                expr.value, ast.Name
+            ):
+                return f"{expr.value.id}.{expr.attr}"
+            if isinstance(expr, ast.Name):
+                return self._from_modules.get(expr.id)
+            return None
+
+        name = qualified(func)
+
+        # VB306: wall-clock reads.
+        if name is not None:
+            mod, _, attr = name.partition(".")
+            if mod == "time" and attr in _WALL_CLOCK_TIME_FNS:
+                self._report(
+                    "VB306",
+                    node.lineno,
+                    f"wall-clock read {name}() inside the determinism "
+                    "envelope breaks byte-identical reruns",
+                    hint="take time from the simulated clock "
+                    "(repro.serve.clock) or inject it from the caller",
+                )
+            elif mod in ("datetime", "date") and attr in _WALL_CLOCK_DATETIME_FNS:
+                self._report(
+                    "VB306",
+                    node.lineno,
+                    f"wall-clock read {name}() inside the determinism "
+                    "envelope breaks byte-identical reruns",
+                    hint="pass timestamps in explicitly",
+                )
+
+        # VB307: hidden-global or unseeded RNGs.
+        if name is not None:
+            mod, _, attr = name.partition(".")
+            if mod == "random" and attr in _GLOBAL_RANDOM_FNS:
+                self._report(
+                    "VB307",
+                    node.lineno,
+                    f"{name}() consumes the hidden process-global RNG; "
+                    "reruns are not reproducible",
+                    hint="construct random.Random(seed) and thread it through",
+                )
+            elif mod == "random" and attr == "Random" and not node.args:
+                self._report(
+                    "VB307",
+                    node.lineno,
+                    "random.Random() without a seed draws entropy from the OS",
+                    hint="pass an explicit seed: random.Random(seed)",
+                )
+        # np.random.*: the global legacy RNG, or an unseeded Generator.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in ("np", "numpy")
+            and func.value.attr == "random"
+        ):
+            if func.attr == "default_rng":
+                if not node.args:
+                    self._report(
+                        "VB307",
+                        node.lineno,
+                        "np.random.default_rng() without a seed draws "
+                        "entropy from the OS",
+                        hint="pass an explicit seed: default_rng(seed)",
+                    )
+            else:
+                self._report(
+                    "VB307",
+                    node.lineno,
+                    f"np.random.{func.attr}() uses NumPy's hidden global "
+                    "RNG; reruns are not reproducible",
+                    hint="use np.random.default_rng(seed) and thread the "
+                    "generator through",
+                )
 
     def visit_Constant(self, node: ast.Constant) -> None:
         """VB303 on magic field/register mask literals."""
@@ -256,7 +392,10 @@ class _Linter(ast.NodeVisitor):
         for alias in node.names:
             if alias.name == "*":
                 continue
-            self._imports.setdefault(alias.asname or alias.name, node.lineno)
+            bound = alias.asname or alias.name
+            self._imports.setdefault(bound, node.lineno)
+            if node.module in ("time", "datetime", "random"):
+                self._from_modules[bound] = f"{node.module}.{alias.name}"
 
     def visit_Name(self, node: ast.Name) -> None:
         """Record name loads as uses for VB305."""
@@ -323,6 +462,9 @@ def lint_file(
         effective.discard("VB304")
     if any(part in posix for part in _MASK_EXEMPT):
         effective.discard("VB303")
+    if not any(part in posix for part in _DETERMINISM_SCOPED):
+        effective.discard("VB306")
+        effective.discard("VB307")
     linter = _Linter(shown, source, frozenset(effective))
     linter.run(tree)
     return linter.diags

@@ -33,11 +33,12 @@ policy's multiplier width (the Fig. 3 sizing guarantee is void),
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.analysis.intervals import Interval
-from repro.errors import OverflowBudgetError, PackingError
+from repro.errors import AnalysisError, OverflowBudgetError, PackingError
 from repro.packing.policy import PackingPolicy
 
 __all__ = [
@@ -75,6 +76,16 @@ class OverflowWitness:
             f"accumulated {self.depth}x reaches {self.lane_total} "
             f"> field limit {self.field_limit}"
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for ``--format json`` output."""
+        return {
+            "scalar": self.scalar,
+            "lane_value": self.lane_value,
+            "depth": self.depth,
+            "lane_total": self.lane_total,
+            "field_limit": self.field_limit,
+        }
 
 
 @dataclass
@@ -203,25 +214,58 @@ def prove_packed_accumulation(
                 hint="widen value_bits or offset operands by their zero point",
             )
         )
+    asymmetric_widths: dict | None = None
     if (
         policy.lanes > 1
         and a_range.hi > (1 << policy.effective_multiplier_bits) - 1
     ):
-        diags.append(
-            Diagnostic(
-                code="VB105",
-                severity=Severity.WARNING,
-                message=(
-                    f"scalar range {a_range} exceeds the policy's "
-                    f"{policy.effective_multiplier_bits}-bit multiplier "
-                    "width; the Fig. 3 field sizing no longer guarantees "
-                    "single-product fit"
-                ),
-                location=loc,
-                hint="use repro.packing.mixed.policy_for_operands for "
-                "asymmetric widths",
+        asymmetric_widths = {
+            "a_bits_declared": policy.effective_multiplier_bits,
+            "a_bits_seen": max(1, a_range.hi).bit_length(),
+            "b_bits": max(1, b_range.hi).bit_length(),
+            "field_bits": policy.field_bits,
+            "lanes": policy.lanes,
+        }
+        if k > 0 and (a_range * b_range).hi > policy.field_mask:
+            # The asymmetric pair refutes the plan outright: report it
+            # as a structured, machine-readable diagnostic carrying the
+            # offending widths (not a bare exception) so the dataflow
+            # cross-check and JSON consumers can act on it.
+            diags.append(
+                Diagnostic(
+                    code="VB107",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"asymmetric operand widths refute the plan: a "
+                        f"{asymmetric_widths['a_bits_seen']}x"
+                        f"{asymmetric_widths['b_bits']}-bit product cannot "
+                        f"fit the policy's {policy.field_bits}-bit fields "
+                        f"(sized for {policy.effective_multiplier_bits}-bit "
+                        "multipliers)"
+                    ),
+                    location=loc,
+                    hint="derive the layout with "
+                    "repro.packing.mixed.policy_for_operands(a_bits, b_bits)",
+                    data={"widths": asymmetric_widths},
+                )
             )
-        )
+        else:
+            diags.append(
+                Diagnostic(
+                    code="VB105",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"scalar range {a_range} exceeds the policy's "
+                        f"{policy.effective_multiplier_bits}-bit multiplier "
+                        "width; the Fig. 3 field sizing no longer guarantees "
+                        "single-product fit"
+                    ),
+                    location=loc,
+                    hint="use repro.packing.mixed.policy_for_operands for "
+                    "asymmetric widths",
+                    data={"widths": asymmetric_widths},
+                )
+            )
 
     # Abstract interpretation of the chain.  Every lane starts at 0 and
     # accumulates one product interval per step; all lanes share the
@@ -267,6 +311,7 @@ def prove_packed_accumulation(
                     location=loc,
                     hint="reduce operand bitwidths or pack fewer lanes "
                     "(wider fields)",
+                    data={"witness": witness.to_dict()},
                 )
             )
         else:
@@ -285,6 +330,7 @@ def prove_packed_accumulation(
                         f"{max_safe_depth} products "
                         "(repro.packing.accumulate.ChunkedAccumulator)"
                     ),
+                    data={"witness": witness.to_dict()},
                 )
             )
         # Register-level wrap: strictly worse — the carry corrupts the
@@ -341,20 +387,55 @@ def prove_packed_accumulation(
 def preflight_gemm(
     policy: PackingPolicy, a_bits: int, k: int
 ) -> OverflowProof:
-    """Cheap pre-flight proof for a chunked packed GEMM.
+    """Pre-flight proof for a chunked packed GEMM, run on **two** provers.
 
     Called by :func:`repro.packing.gemm.packed_gemm_unsigned` (and
     transitively by :func:`repro.kernels.fused_gemm.fused_gemm`) before
-    any data is packed: proves that the planned chunked execution —
-    spilling every ``max_safe_depth`` products — cannot overflow for
-    operands within their declared bitwidths, and raises
-    :class:`~repro.errors.OverflowBudgetError` carrying the witness when
-    no safe chunk depth exists at all.
+    any data is packed.  The verdict comes from the lane **dataflow
+    verifier** (:func:`repro.analysis.dataflow.prove_chain` over the
+    actual chain program); the closed-form interval prover this module
+    implements runs as a differential cross-check — any disagreement in
+    verdict or depth budget is a ``VB401``
+    :class:`~repro.errors.AnalysisError`, because it means one of the
+    provers is unsound.
 
-    Pure integer arithmetic on five scalars; costs nanoseconds against
-    a GEMM's O(MNK) work.
+    Raises :class:`~repro.errors.OverflowBudgetError` carrying the
+    witness when no safe chunk depth exists at all.  Results are
+    memoized per ``(policy, a_bits, k)``: the serve preflight calls this
+    on the admission hot path.
     """
+    return _preflight_cached(policy, a_bits, k)
+
+
+@functools.lru_cache(maxsize=4096)
+def _preflight_cached(
+    policy: PackingPolicy, a_bits: int, k: int
+) -> OverflowProof:
+    from repro.analysis import dataflow
+
     probe = prove_packed_accumulation(policy, k=k, a_bits=a_bits)
+    flow = dataflow.prove_chain(policy, k=k, a_bits=a_bits)
+    loc = _location(policy)
+
+    # Differential cross-check: the two provers must agree on both the
+    # unchunked verdict and the maximum safe accumulation depth.
+    if flow.safe != probe.safe or (
+        k > 0 and flow.max_safe_depth != probe.max_safe_depth
+    ):
+        diag = Diagnostic(
+            code="VB401",
+            severity=Severity.ERROR,
+            message=(
+                "prover disagreement: dataflow says "
+                f"safe={flow.safe} depth={flow.max_safe_depth}, interval "
+                f"prover says safe={probe.safe} "
+                f"depth={probe.max_safe_depth} for a_bits={a_bits}, k={k}"
+            ),
+            location=loc,
+        )
+        probe.diagnostics.append(diag)
+        raise AnalysisError(f"VB401 [{loc}]: {diag.message}")
+
     if k == 0:
         # An empty reduction accumulates nothing: trivially safe even
         # when no depth-1 chunk would be (probe.safe is True above).
@@ -364,9 +445,12 @@ def preflight_gemm(
         raise OverflowBudgetError(
             "packing plan refuted before execution: "
             + probe.witness.describe()
-            + f" [{_location(policy)}]"
+            + f" [{loc}]"
         )
-    chunk = min(probe.max_safe_depth, k)
+    # The executed spill cadence: the dataflow-proven depth (consults
+    # the safe-depth table when one is installed, and cross-checks the
+    # closed form again — VB402 on mismatch).
+    chunk = min(dataflow.proven_chunk_depth(policy, a_bits), k)
     proof = prove_packed_accumulation(
         policy, k=k, a_bits=a_bits, chunk_depth=chunk
     )
@@ -376,4 +460,21 @@ def preflight_gemm(
             "packing plan refuted before execution: "
             + proof.witness.describe()
         )
+    chain = dataflow.prove_chain(policy, k=k, a_bits=a_bits, chunk_depth=chunk)
+    if not chain.safe:  # pragma: no cover - unreachable once chunked
+        raise OverflowBudgetError(
+            "packing plan refuted before execution: " + chain.describe()
+        )
+    proof.diagnostics.append(
+        Diagnostic(
+            code="VB116",
+            severity=Severity.INFO,
+            message=(
+                f"dataflow verifier concurs: chunked chain (spill every "
+                f"{chunk}) proved safe over "
+                f"{chain.program.flat_size()} IR ops"
+            ),
+            location=loc,
+        )
+    )
     return proof

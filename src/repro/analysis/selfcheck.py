@@ -2,15 +2,18 @@
 
 Runs every analysis pass over the configurations the seed benchmarks
 actually use — Fig. 3 policies across bitwidths, the mixed-width W*A*
-policies, every Table 3 strategy lowered over representative ViT-Base
-GEMM and elementwise shapes on the Jetson Orin AGX model, plus the repo
-lint — and aggregates the findings into one
+policies (each also run through the lane dataflow verifier as a live
+differential check against the closed-form prover, VB401 on
+disagreement), every Table 3 strategy lowered over representative
+ViT-Base GEMM and elementwise shapes on the Jetson Orin AGX model, plus
+the repo lint — and aggregates the findings into one
 :class:`~repro.analysis.diagnostics.DiagnosticReport`.  A clean tree
 exits 0; CI runs this as the analysis suite's own regression test.
 """
 
 from __future__ import annotations
 
+from repro.analysis.dataflow import prove_chain
 from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
 from repro.analysis.lint import run_repo_lint
 from repro.analysis.overflow import prove_packed_accumulation
@@ -62,6 +65,23 @@ def _check_policy(policy: PackingPolicy, report: DiagnosticReport) -> None:
                         f"{proof.max_safe_depth} disagrees with "
                         "packing.accumulate.safe_accumulation_depth "
                         f"({safe_accumulation_depth(policy, a_bits, policy.value_bits)})"
+                    ),
+                    location=f"policy(bits={policy.value_bits}, lanes={policy.lanes})",
+                )
+            )
+        # The dataflow verifier must reach the same verdict and budget
+        # on the same chain (a live VB4xx differential check).
+        flow = prove_chain(policy, k=k, a_bits=a_bits, chunk_depth=chunk)
+        if flow.safe != proof.safe or flow.max_safe_depth != proof.max_safe_depth:
+            report.add(
+                Diagnostic(
+                    code="VB401",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"dataflow verdict (safe={flow.safe}, depth "
+                        f"{flow.max_safe_depth}) disagrees with the "
+                        f"closed-form prover (safe={proof.safe}, depth "
+                        f"{proof.max_safe_depth})"
                     ),
                     location=f"policy(bits={policy.value_bits}, lanes={policy.lanes})",
                 )

@@ -12,6 +12,7 @@ __all__ = [
     "FormatError",
     "PackingError",
     "OverflowBudgetError",
+    "AnalysisError",
     "SplitError",
     "SimulationError",
     "ScheduleError",
@@ -41,6 +42,15 @@ class OverflowBudgetError(PackingError):
 
     Raised when the guard-bit budget of a packed accumulator is exhausted
     and the caller disallowed spilling to full-width accumulators.
+    """
+
+
+class AnalysisError(ReproError):
+    """Two static-analysis passes disagree (``VB4xx``).
+
+    The dataflow verifier and the closed-form interval prover are run
+    differentially; any verdict or budget mismatch means one of them is
+    unsound and must never be silently resolved in either's favour.
     """
 
 

@@ -83,13 +83,15 @@ def fused_gemm(
         # the chunked accumulation safe for the worst-case magnitudes or
         # fails with a concrete overflow witness (lazy import — analysis
         # depends on the packing package).
+        from repro.analysis import laneir
         from repro.analysis.overflow import preflight_gemm
 
         a_mag = np.abs(a1)
-        preflight_gemm(
-            policy,
-            a_bits=bit_length_unsigned(a_mag) if a_mag.size else 1,
-            k=a1.shape[1],
+        a_bits = bit_length_unsigned(a_mag) if a_mag.size else 1
+        preflight_gemm(policy, a_bits=a_bits, k=a1.shape[1])
+        laneir.note(
+            f"fused_gemm INT path: n1={plan.n1} columns, a_bits={a_bits}, "
+            f"k={a1.shape[1]}, zero_point={b_zero_point or 0}"
         )
         c1 = packed_gemm(a1, split.b1_raw, policy, stats=stats, method=method)
         if correction is not None:

@@ -48,6 +48,12 @@ __all__ = [
 
 _REG_MAX = (1 << 32) - 1
 
+#: Lane-IR emission sink, installed by ``repro.analysis.laneir.capture``
+#: (``None`` outside a capture).  The chunked method performs its packed
+#: arithmetic as blocked int64 matmuls rather than per-step SWAR calls,
+#: so it emits the equivalent compact loop-form chain program here.
+_IR_SINK = None
+
 
 @dataclass
 class PackedGemmStats:
@@ -198,12 +204,18 @@ def _prepare_b(
     # Pre-flight: prove the chunked plan safe (or fail with a concrete
     # witness) before packing a single register.  Imported lazily —
     # repro.analysis depends on this package.
+    from repro.analysis.dataflow import proven_chunk_depth
     from repro.analysis.overflow import preflight_gemm
 
     preflight_gemm(policy, a_bits=a_bits, k=k)
     packer = Packer(policy)
-    bp = packer.pack(b64).astype(np.int64)  # (K, G)
-    depth = safe_accumulation_depth(policy, a_bits, policy.value_bits)
+    bp_u32 = packer.pack(b64)  # (K, G)
+    bp = bp_u32.astype(np.int64)
+    if _IR_SINK is not None:
+        _IR_SINK.alias(bp, bp_u32)
+    # The spill cadence comes from the dataflow-proven safe-depth table
+    # (cross-checked against the closed-form budget on every resolve).
+    depth = proven_chunk_depth(policy, a_bits)
     if stats is not None:
         # One shift+OR pair per lane merged into each packed register.
         stats.pack_instructions += bp.size * 2 * (policy.lanes - 1)
@@ -230,6 +242,18 @@ def _packed_gemm_prepacked(
         raise PackingError(f"unknown packed GEMM method {method!r}")
     m, k = a64.shape
     groups = bp.shape[1]
+
+    if _IR_SINK is not None:
+        a_lo = int(a64.min()) if a64.size else 0
+        a_hi = int(a64.max()) if a64.size else 0
+        _IR_SINK.event(
+            "gemm_chain",
+            policy=policy,
+            a_range=(a_lo, a_hi),
+            b=bp,
+            k=k,
+            chunk_depth=depth,
+        )
 
     if method == "chunked":
         wide = np.zeros((m, groups, policy.lanes), dtype=np.int64)

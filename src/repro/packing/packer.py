@@ -23,6 +23,10 @@ from repro.utils.validation import check_dtype_integer
 
 __all__ = ["Packer"]
 
+#: Lane-IR emission sink, installed by ``repro.analysis.laneir.capture``
+#: (``None`` outside a capture).
+_IR_SINK = None
+
 
 class Packer:
     """Packs/unpacks NumPy integer arrays under a :class:`PackingPolicy`.
@@ -65,7 +69,12 @@ class Packer:
         padded[..., :n] = arr.astype(np.uint64)
         grouped = padded.reshape(arr.shape[:-1] + (groups, self._lanes))
         packed = (grouped << self._shifts).sum(axis=-1, dtype=np.uint64)
-        return packed.astype(np.uint32)
+        out = packed.astype(np.uint32)
+        if _IR_SINK is not None:
+            # Zero-padding means 0 is always a possible lane payload.
+            hi = int(arr.max()) if arr.size else 0
+            _IR_SINK.event("pack", policy=self.policy, out=out, range=(0, hi))
+        return out
 
     def unpack(self, packed: np.ndarray, count: int | None = None) -> np.ndarray:
         """Inverse of :meth:`pack`.

@@ -23,6 +23,11 @@ __all__ = ["packed_add", "packed_scalar_mul", "lane_extract", "lane_insert"]
 
 _U64_REG_MASK = np.uint64(0xFFFFFFFF)
 
+#: Lane-IR emission sink, installed by ``repro.analysis.laneir.capture``
+#: (``None`` outside a capture).  When set, every packed op reports
+#: itself so real executions record the lane program they perform.
+_IR_SINK = None
+
 
 def _as_u64(x: np.ndarray) -> np.ndarray:
     arr = np.asarray(x)
@@ -64,7 +69,10 @@ def packed_add(
                 f"{policy.field_bits}-bit field"
             )
         _check_fits_register(total, "packed_add")
-    return (total & _U64_REG_MASK).astype(np.uint32)
+    out = (total & _U64_REG_MASK).astype(np.uint32)
+    if _IR_SINK is not None:
+        _IR_SINK.event("packed_add", policy=policy, srcs=(x, y), out=out)
+    return out
 
 
 def packed_scalar_mul(
@@ -97,7 +105,18 @@ def packed_scalar_mul(
                 f"{policy.field_bits}-bit field"
             )
         _check_fits_register(total, "packed_scalar_mul")
-    return (total & _U64_REG_MASK).astype(np.uint32)
+    out = (total & _U64_REG_MASK).astype(np.uint32)
+    if _IR_SINK is not None:
+        lo = int(s.min()) if s.size else 0
+        hi = int(s.max()) if s.size else 0
+        _IR_SINK.event(
+            "packed_mul",
+            policy=policy,
+            srcs=(scalar, packed),
+            out=out,
+            scalar_range=(lo, hi),
+        )
+    return out
 
 
 def lane_extract(packed: np.ndarray, lane: int, policy: PackingPolicy) -> np.ndarray:

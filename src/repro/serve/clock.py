@@ -64,11 +64,11 @@ class WallClock(Clock):
     """Real time: ``asyncio.sleep`` over the host's monotonic clock."""
 
     def __init__(self) -> None:
-        self._origin = time.monotonic()
+        self._origin = time.monotonic()  # vblint: VB306 (this IS the wall clock)
 
     def now(self) -> float:
         """Seconds since this clock was created (monotonic)."""
-        return time.monotonic() - self._origin
+        return time.monotonic() - self._origin  # vblint: VB306
 
     async def sleep(self, delay: float) -> None:
         """Real ``asyncio.sleep`` (negative delays sleep 0)."""

@@ -111,6 +111,25 @@ def cuda_kernel_strategy_for(strategy: Strategy) -> Strategy:
 
 # -- serving preflight ----------------------------------------------------------
 
+_DEPTH_TABLE_LOADED = False
+
+
+def _install_proven_depths() -> None:
+    """Install the benchmark run's proven-safe-depth table, if present.
+
+    ``repro analyze --dataflow`` emits ``safe_depths`` under
+    ``benchmarks/out/summary.json``; loading it lets the packer preflight
+    reuse dataflow-proven chunk depths instead of re-deriving them (each
+    entry is still cross-checked against the closed-form budget at use).
+    """
+    global _DEPTH_TABLE_LOADED
+    if _DEPTH_TABLE_LOADED:
+        return
+    from repro.analysis.dataflow import load_safe_depth_table
+
+    load_safe_depth_table()
+    _DEPTH_TABLE_LOADED = True
+
 
 def preflight_strategy(
     pm: PerformanceModel,
@@ -143,6 +162,7 @@ def preflight_strategy(
         return
     from repro.analysis.overflow import preflight_gemm
 
+    _install_proven_depths()
     work = workload if workload is not None else vit_workload(config, batch)
     gemm_strat = gemm_strategy_for(strategy)
     proven_depths: set[int] = set()

@@ -155,6 +155,83 @@ class TestRules:
         diags = _lint_snippet(tmp_path, "def broken(:\n")
         assert [d.code for d in diags] == ["VB300"]
 
+    def test_wall_clock_in_sim_is_vb306(self, tmp_path):
+        diags = _lint_snippet(
+            tmp_path,
+            '''
+            """Module."""
+            import time
+            from datetime import datetime
+
+            T0 = time.time()
+            T1 = time.monotonic()
+            NOW = datetime.now()
+            ''',
+            name="repro/sim/snippet.py",
+        )
+        assert [d.code for d in diags] == ["VB306", "VB306", "VB306"]
+
+    def test_unseeded_rng_in_serve_is_vb307(self, tmp_path):
+        diags = _lint_snippet(
+            tmp_path,
+            '''
+            """Module."""
+            import random
+            import numpy as np
+
+            X = random.random()
+            R = random.Random()
+            G = np.random.default_rng()
+            ''',
+            name="repro/serve/snippet.py",
+        )
+        assert [d.code for d in diags] == ["VB307", "VB307", "VB307"]
+
+    def test_seeded_rng_is_clean(self, tmp_path):
+        diags = _lint_snippet(
+            tmp_path,
+            '''
+            """Module."""
+            import random
+            import numpy as np
+
+            R = random.Random(7)
+            G = np.random.default_rng(7)
+            ''',
+            name="repro/chaos/snippet.py",
+        )
+        assert diags == []
+
+    def test_determinism_rules_scoped_to_nondeterminism_sensitive_dirs(
+        self, tmp_path
+    ):
+        # The same wall-clock call outside sim/serve/chaos/packing is fine
+        # (benchmarks legitimately read the host clock).
+        source = '''
+            """Module."""
+            import time
+
+            T0 = time.time()
+            '''
+        assert _lint_snippet(tmp_path, source, name="repro/bench/snippet.py") == []
+        assert [
+            d.code
+            for d in _lint_snippet(tmp_path, source, name="repro/packing/snippet.py")
+        ] == ["VB306"]
+
+    def test_determinism_suppression_comment(self, tmp_path):
+        diags = _lint_snippet(
+            tmp_path,
+            '''
+            """Module."""
+            import time
+
+            T0 = time.time()  # vblint: VB306
+            ''',
+            name="repro/serve/snippet.py",
+        )
+        assert diags == []
+
     def test_lint_paths_recurses(self, tmp_path):
         (tmp_path / "pkg").mkdir()
         (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")

@@ -17,6 +17,7 @@ from hypothesis import strategies as st
 from repro.errors import OverflowBudgetError, PackingError
 from repro.analysis import (
     Interval,
+    Severity,
     preflight_gemm,
     prove_packed_accumulation,
 )
@@ -148,10 +149,31 @@ class TestProverDiagnostics:
         assert not proof.safe
         assert any(d.code == "VB104" for d in proof.diagnostics)
 
-    def test_wide_scalar_is_vb105(self):
+    def test_wide_scalar_is_vb105_when_product_still_fits(self):
         policy = policy_for_bitwidth(4)  # 4 lanes, 8-bit fields
+        # 16 x 15 = 240 still fits the 8-bit field: warning only.
+        proof = prove_packed_accumulation(
+            policy, k=1, a_range=Interval(0, 16), chunk_depth=1
+        )
+        diag = next(d for d in proof.diagnostics if d.code == "VB105")
+        assert diag.severity is Severity.WARNING
+        assert diag.data["widths"]["a_bits_seen"] == 5
+
+    def test_asymmetric_refutation_is_structured_vb107(self):
+        policy = policy_for_bitwidth(4)  # 4 lanes, 8-bit fields
+        # 63 x 15 = 945 cannot fit any 8-bit field: the asymmetric pair
+        # refutes the plan with a machine-readable diagnostic carrying
+        # the offending widths (not a bare exception).
         proof = prove_packed_accumulation(policy, k=1, a_bits=6)
-        assert any(d.code == "VB105" for d in proof.diagnostics)
+        assert not proof.safe
+        diag = next(d for d in proof.diagnostics if d.code == "VB107")
+        assert diag.severity is Severity.ERROR
+        widths = diag.data["widths"]
+        assert widths["a_bits_seen"] == 6
+        assert widths["a_bits_declared"] == 4
+        assert widths["b_bits"] == 4
+        assert widths["field_bits"] == 8
+        assert "policy_for_operands" in diag.hint
 
     def test_negative_scalars_rejected(self):
         with pytest.raises(PackingError):

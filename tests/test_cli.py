@@ -121,3 +121,55 @@ class TestAnalyze:
     def test_strategy_schedules_are_clean(self, capsys):
         for name in ("TC", "Tacker", "VitBit"):
             assert main(["analyze", "--strategy", name, "--batch", "4"]) == 0
+
+    def test_dataflow_sweep_is_clean_and_writes_table(self, capsys, tmp_path):
+        summary = str(tmp_path / "summary.json")
+        assert main(["analyze", "--dataflow", "--summary", summary]) == 0
+        out = capsys.readouterr().out
+        assert "SAFE" in out and "REFUTED" not in out
+        import json
+
+        table = json.loads(open(summary).read())["safe_depths"]
+        assert "a8b4x2" in table and table["a8b4x2"]["cross_checked"]
+
+    def test_dataflow_refutes_known_bad_plan_as_json(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "--dataflow",
+                "--a-bits",
+                "8",
+                "--b-bits",
+                "8",
+                "--lanes",
+                "2",
+                "--k",
+                "4096",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 1
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "VB110" in codes
+        witness = next(
+            d for d in payload["diagnostics"] if d["code"] == "VB110"
+        )["data"]["witness"]
+        assert witness["scalar"] == 255 and witness["depth"] == 2
+        assert payload["exit_code"] == 1
+
+    def test_dataflow_single_plan_chunked_is_safe(self, capsys):
+        assert (
+            main(["analyze", "--dataflow", "--bits", "8", "--chunk", "0"]) == 0
+        )
+        assert "SAFE" in capsys.readouterr().out
+
+    def test_json_format_applies_to_self_check(self, capsys):
+        assert main(["analyze", "--self-check", "--format", "json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] == 0

@@ -1,0 +1,356 @@
+"""The lane dataflow verifier vs the closed-form prover vs strict SWAR.
+
+The acceptance bar of this layer is *differential*: on every plan the
+abstract interpreter, the legacy closed-form prover, and ``strict=True``
+SWAR execution must tell the same story — same verdict, same depth
+budget, and every refutation witness must reproduce the overflow at
+exactly the step it names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import Interval, Severity
+from repro.analysis.dataflow import (
+    DEFAULT_PAIRS,
+    _DEPTH_REGISTRY,
+    DependenceGraph,
+    UNBOUNDED_DEPTH,
+    first_failing_depth,
+    load_safe_depth_table,
+    prove_chain,
+    proven_chunk_depth,
+    safe_depth_table,
+    use_safe_depth_table,
+    verify_program,
+    write_safe_depth_table,
+)
+from repro.analysis.laneir import (
+    LaneField,
+    LaneLayout,
+    LaneOp,
+    LaneProgram,
+    gemm_chain_program,
+)
+from repro.analysis.overflow import prove_packed_accumulation
+from repro.errors import AnalysisError, OverflowBudgetError
+from repro.packing.accumulate import safe_accumulation_depth
+from repro.packing.mixed import policy_for_operands
+from repro.packing.packer import Packer
+from repro.packing.policy import policy_for_bitwidth
+from repro.packing.swar import packed_add, packed_scalar_mul
+
+
+def _run_chain(policy, scalar: int, lane_value: int, depth: int) -> None:
+    """Accumulate ``depth`` products under strict SWAR semantics."""
+    packer = Packer(policy)
+    reg = packer.pack(np.full((policy.lanes,), lane_value, dtype=np.int64))
+    acc = np.zeros_like(reg)
+    for _ in range(depth):
+        prod = packed_scalar_mul(int(scalar), reg, policy, strict=True)
+        acc = packed_add(acc, prod, policy, strict=True)
+
+
+def _chain_layout(bits: int) -> LaneLayout:
+    return LaneLayout.from_policy(policy_for_bitwidth(bits))
+
+
+@pytest.fixture
+def clean_registry():
+    """Isolate tests that install safe-depth tables."""
+    saved = dict(_DEPTH_REGISTRY)
+    try:
+        yield
+    finally:
+        _DEPTH_REGISTRY.clear()
+        _DEPTH_REGISTRY.update(saved)
+        proven_chunk_depth.cache_clear()
+
+
+class TestVerifyProgram:
+    def test_chunked_chain_is_proved_safe(self):
+        res = prove_chain(policy_for_bitwidth(8), k=4096, a_bits=8, chunk_depth=1)
+        assert res.safe and res.proven and res.witness is None
+        assert res.max_safe_depth == 1
+        assert any(d.code == "VB116" for d in res.diagnostics)
+
+    def test_unchunked_deep_chain_refuted_with_witness(self):
+        res = prove_chain(policy_for_bitwidth(8), k=4096, a_bits=8)
+        assert not res.safe
+        w = res.witness
+        assert w is not None and w.depth == 2  # budget is 1 for int8
+        assert w.scalar == 255 and w.lane_value == 255
+        vb110 = next(d for d in res.diagnostics if d.code == "VB110")
+        assert vb110.data["witness"]["depth"] == 2
+
+    def test_overflow_reports_carry_contamination(self):
+        # int8 lanes: the overflowing low lane spills into lane 1's field.
+        res = prove_chain(policy_for_bitwidth(8), k=4096, a_bits=8)
+        assert any(d.code == "VB112" for d in res.diagnostics)
+
+    def test_use_before_def_is_vb114(self):
+        layout = _chain_layout(8)
+        prog = LaneProgram(name="ubd")
+        prog.emit(LaneOp(op="packed_add", dest="x", srcs=("p", "q"), layout=layout))
+        res = verify_program(prog)
+        assert not res.safe
+        assert any(d.code == "VB114" for d in res.diagnostics)
+
+    def test_mixed_layouts_in_add_is_vb112(self):
+        prog = LaneProgram(name="mix")
+        prog.emit(LaneOp(op="pack", dest="x", layout=_chain_layout(8)))
+        prog.emit(LaneOp(op="pack", dest="y", layout=_chain_layout(4)))
+        prog.emit(
+            LaneOp(
+                op="packed_add", dest="z", srcs=("x", "y"), layout=_chain_layout(8)
+            )
+        )
+        res = verify_program(prog)
+        assert not res.safe
+        assert any(
+            d.code == "VB112" and "different layouts" in d.message
+            for d in res.diagnostics
+        )
+
+    def test_unspilled_accumulator_at_budget_warns_vb111(self):
+        # 6-bit lanes support exactly 16 products; a chain that stops
+        # there without spilling is legal but has zero guard margin.
+        layout = _chain_layout(6)
+        prog = gemm_chain_program(layout, a_range=Interval.from_bits(6), k=16)
+        prog.ops = [op for op in prog.ops if op.op not in ("spill", "reduce")]
+        res = verify_program(prog)
+        assert res.safe  # still safe as written...
+        assert any(d.code == "VB111" for d in res.diagnostics)
+
+    def test_spilled_accumulator_does_not_warn(self):
+        layout = _chain_layout(6)
+        prog = gemm_chain_program(layout, a_range=Interval.from_bits(6), k=16)
+        res = verify_program(prog)
+        assert res.safe
+        assert not any(d.code == "VB111" for d in res.diagnostics)
+
+    def test_nonlinear_loop_beyond_cap_is_unproven_vb118(self):
+        # acc = acc + acc doubles the depth counter every trip: growth is
+        # geometric, the fast-forward cannot certify it, and 5000 trips
+        # exceed the unroll cap.
+        layout = _chain_layout(8)
+        prog = LaneProgram(name="geo")
+        prog.inputs["a"] = Interval.point(0)
+        prog.emit(
+            LaneOp(
+                op="pack",
+                dest="b",
+                layout=layout,
+                attrs={"ranges": tuple(Interval.point(0) for _ in layout.fields)},
+            )
+        )
+        prog.emit(
+            LaneOp(op="packed_mul", dest="t", srcs=("a", "b"), layout=layout)
+        )
+        body = (LaneOp(op="packed_add", dest="t", srcs=("t", "t"), layout=layout),)
+        prog.emit(LaneOp(op="loop", attrs={"trips": 5000, "body": body}))
+        res = verify_program(prog)
+        assert not res.proven
+        assert any(d.code == "VB118" for d in res.diagnostics)
+
+    def test_negative_payload_refuted(self):
+        layout = _chain_layout(8)
+        prog = LaneProgram(name="neg")
+        prog.emit(
+            LaneOp(
+                op="pack",
+                dest="b",
+                layout=layout,
+                attrs={"ranges": tuple(Interval(-1, 3) for _ in layout.fields)},
+            )
+        )
+        res = verify_program(prog)
+        assert not res.safe
+        assert any("negative" in d.message for d in res.diagnostics)
+
+    def test_asymmetric_layout_per_lane_verdicts(self):
+        # Lane 0 has room for its payload, lane 1 does not: the witness
+        # must name the right lane.
+        layout = LaneLayout(
+            fields=(
+                LaneField(offset=0, width=16, value_bits=8),
+                LaneField(offset=16, width=9, value_bits=8),
+            )
+        )
+        prog = gemm_chain_program(layout, a_range=Interval.from_bits(4), k=1)
+        res = verify_program(prog)
+        assert not res.safe
+        assert res.witness is not None and res.witness.lane == 1
+
+
+class TestLoopFastForward:
+    def test_unbounded_probe_is_fast_and_exact(self):
+        for bits in (4, 6, 8):
+            pol = policy_for_bitwidth(bits)
+            depth = first_failing_depth(
+                LaneLayout.from_policy(pol),
+                a_range=Interval.from_bits(pol.effective_multiplier_bits),
+            )
+            assert depth == safe_accumulation_depth(
+                pol, pol.effective_multiplier_bits, pol.value_bits
+            )
+
+    def test_degenerate_operands_are_unbounded(self):
+        depth = first_failing_depth(
+            _chain_layout(8), a_range=Interval.from_bits(8), b_range=Interval(0, 0)
+        )
+        assert depth == UNBOUNDED_DEPTH
+
+    def test_small_trip_counts_run_concretely(self):
+        for k in (1, 2, 3, 4):
+            res = prove_chain(policy_for_bitwidth(6), k=k, a_bits=6)
+            assert res.safe  # 6-bit budget is 16
+
+
+class TestWitnessReproduction:
+    @pytest.mark.parametrize(
+        "policy",
+        [policy_for_bitwidth(8), policy_for_bitwidth(6), policy_for_operands(8, 4)],
+        ids=["int8", "int6", "w8a4"],
+    )
+    def test_witness_reproduces_under_strict_swar(self, policy):
+        a_bits = policy.effective_multiplier_bits
+        res = prove_chain(policy, k=4096, a_bits=a_bits)
+        assert not res.safe
+        w = res.witness
+        assert w is not None and w.depth is not None
+        if w.depth > 1:
+            _run_chain(policy, w.scalar, w.lane_value, w.depth - 1)
+        with pytest.raises(OverflowBudgetError):
+            _run_chain(policy, w.scalar, w.lane_value, w.depth)
+
+
+class TestDifferentialFuzz:
+    #: Width pairs drawn by the fuzzer: Fig. 3 symmetric points plus the
+    #: asymmetric pairs (8x4, 8x2, ...) and some odd widths.
+    PAIRS = ((8, 8), (4, 4), (6, 6), (8, 4), (4, 8), (8, 2), (2, 8), (5, 7), (7, 5))
+
+    def test_three_way_agreement_over_500_seeded_cases(self):
+        rng = np.random.default_rng(0xB17)
+        executed = 0
+        for case in range(500):
+            a_bits, b_bits = self.PAIRS[int(rng.integers(len(self.PAIRS)))]
+            pol = policy_for_operands(a_bits, b_bits)
+            k = int(rng.integers(1, 65))
+            chunk = (None, 1, int(rng.integers(1, 33)))[int(rng.integers(3))]
+            zp = int(rng.integers(0, 4))
+
+            # With a zero point the *stored* payloads keep the declared
+            # range (true values shift down), so all three oracles see
+            # the same worst-case magnitudes.
+            layout = LaneLayout.from_policy(pol)
+            b_range = None
+            if zp:
+                layout = layout.with_zero_point(zp)
+                b_range = Interval(-zp, pol.max_value - zp)
+            flow = prove_chain(
+                layout,
+                k=k,
+                a_range=Interval.from_bits(a_bits),
+                b_range=b_range,
+                chunk_depth=chunk,
+                name=f"fuzz{case}",
+            )
+            probe = prove_packed_accumulation(
+                pol, k=k, a_bits=a_bits, chunk_depth=chunk
+            )
+            assert flow.safe == probe.safe, (case, a_bits, b_bits, k, chunk, zp)
+            assert flow.max_safe_depth == probe.max_safe_depth, (case, a_bits, b_bits)
+
+            a_max = (1 << a_bits) - 1
+            if flow.safe:
+                # No false proof: the worst case executes cleanly for
+                # one full packed segment.
+                _run_chain(pol, a_max, pol.max_value, min(k, chunk or k))
+            elif flow.witness is not None and flow.witness.depth is not None:
+                w = flow.witness
+                with pytest.raises(OverflowBudgetError):
+                    _run_chain(pol, w.scalar, w.lane_value, w.depth)
+                executed += 1
+        assert executed > 50  # the fuzz mix must actually hit refutations
+
+    def test_zero_false_refutations_on_fig3_configs(self):
+        # Every policy the repo actually runs, at its planned chunk
+        # depth, must verify SAFE (the CI analyze-smoke contract).
+        for bits in range(2, 13):
+            pol = policy_for_bitwidth(bits)
+            a_bits = pol.effective_multiplier_bits
+            chunk = proven_chunk_depth(pol, a_bits)
+            res = prove_chain(pol, k=4096, a_bits=a_bits, chunk_depth=min(chunk, 4096))
+            assert res.safe, bits
+
+
+class TestDependenceGraph:
+    def test_raw_waw_war_edges(self):
+        layout = _chain_layout(8)
+        zeros = {"ranges": tuple(Interval.point(0) for _ in layout.fields)}
+        prog = LaneProgram(name="hazards")
+        prog.emit(LaneOp(op="pack", dest="x", layout=layout, attrs=zeros))
+        prog.emit(LaneOp(op="packed_add", dest="y", srcs=("x", "x"), layout=layout))
+        prog.emit(LaneOp(op="pack", dest="x", layout=layout, attrs=zeros))
+        graph = DependenceGraph.from_program(prog)
+        edges = {(e["src"], e["dst"], e["kind"]) for e in graph.edges}
+        assert (0, 1, "RAW") in edges  # y reads the first x
+        assert (0, 2, "WAW") in edges  # x is rewritten
+        assert (1, 2, "WAR") in edges  # ...after y read it
+
+    def test_critical_path_counts_loop_trips(self):
+        layout = _chain_layout(8)
+        prog = gemm_chain_program(layout, a_range=Interval.from_bits(8), k=100)
+        graph = DependenceGraph.from_program(prog)
+        assert graph.critical_length > 100  # the loop node is priced at k
+
+    def test_export_shape(self):
+        prog = gemm_chain_program(
+            _chain_layout(8), a_range=Interval.from_bits(8), k=4
+        )
+        d = DependenceGraph.from_program(prog).to_dict()
+        assert set(d) == {"nodes", "edges", "critical_path", "critical_length"}
+        assert all({"src", "dst", "kind", "reg"} <= set(e) for e in d["edges"])
+
+    def test_vb115_carries_the_graph(self):
+        res = prove_chain(policy_for_bitwidth(8), k=16, a_bits=8, chunk_depth=1)
+        info = next(d for d in res.diagnostics if d.code == "VB115")
+        assert info.severity is Severity.INFO
+        assert info.data["dependence"]["critical_length"] >= 16
+
+
+class TestSafeDepthTable:
+    def test_table_covers_default_pairs_and_cross_checks(self, clean_registry):
+        table = safe_depth_table()
+        assert len(table) == len(DEFAULT_PAIRS)
+        for entry in table.values():
+            assert entry["cross_checked"]
+            pol = policy_for_operands(entry["a_bits"], entry["b_bits"])
+            assert entry["safe_depth"] == safe_accumulation_depth(
+                pol, entry["a_bits"], entry["b_bits"]
+            )
+
+    def test_write_then_load_round_trips(self, clean_registry, tmp_path):
+        path = str(tmp_path / "summary.json")
+        written = write_safe_depth_table(path)
+        _DEPTH_REGISTRY.clear()
+        loaded = load_safe_depth_table(path)
+        assert loaded == written
+        assert _DEPTH_REGISTRY  # loading installs the registry
+
+    def test_poisoned_table_entry_is_vb402(self, clean_registry):
+        pol = policy_for_bitwidth(8)
+        table = safe_depth_table(((8, 8),))
+        key = next(iter(table))
+        table[key] = dict(table[key], safe_depth=999)
+        use_safe_depth_table(table)
+        with pytest.raises(AnalysisError, match="VB402"):
+            proven_chunk_depth(pol, 8)
+
+    def test_registry_entry_short_circuits_but_stays_checked(self, clean_registry):
+        pol = policy_for_bitwidth(8)
+        use_safe_depth_table(safe_depth_table(((8, 8),)))
+        assert proven_chunk_depth(pol, 8) == safe_accumulation_depth(pol, 8, 8)

@@ -1,0 +1,176 @@
+"""The lane IR: layouts, read/write sets, builders, and capture sinks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import Interval
+from repro.analysis.laneir import (
+    LaneField,
+    LaneLayout,
+    LaneOp,
+    active_program,
+    capture,
+    capturing,
+    gemm_chain_program,
+    note,
+)
+from repro.errors import FormatError, PackingError
+from repro.packing.packer import Packer
+from repro.packing.policy import policy_for_bitwidth
+from repro.packing.swar import packed_add, packed_scalar_mul
+
+
+class TestLaneField:
+    def test_capacity_and_guard_bits(self):
+        f = LaneField(offset=0, width=16, value_bits=8)
+        assert f.capacity == 65535
+        assert f.guard_bits == 8
+        assert f.value_range == Interval(0, 255)
+
+    def test_value_bits_must_fit_width(self):
+        with pytest.raises(FormatError):
+            LaneField(offset=0, width=4, value_bits=5)
+
+    def test_negative_zero_point_rejected(self):
+        with pytest.raises(FormatError):
+            LaneField(offset=0, width=8, value_bits=4, zero_point=-1)
+
+
+class TestLaneLayout:
+    def test_from_policy_round_trips_geometry(self):
+        pol = policy_for_bitwidth(8)
+        layout = LaneLayout.from_policy(pol)
+        assert layout.lanes == pol.lanes
+        assert layout.is_uniform
+        assert layout.fields[1].offset == pol.field_bits
+
+    def test_overlapping_fields_rejected(self):
+        with pytest.raises(FormatError, match="overlap"):
+            LaneLayout(
+                fields=(
+                    LaneField(offset=0, width=16, value_bits=8),
+                    LaneField(offset=8, width=16, value_bits=8),
+                )
+            )
+
+    def test_fields_must_fit_register(self):
+        with pytest.raises(FormatError, match="beyond"):
+            LaneLayout(fields=(LaneField(offset=24, width=16, value_bits=8),))
+
+    def test_asymmetric_layout_is_first_class(self):
+        # A 12-bit product field next to a 20-bit one: nothing uniform.
+        layout = LaneLayout(
+            fields=(
+                LaneField(offset=0, width=12, value_bits=6),
+                LaneField(offset=12, width=20, value_bits=8),
+            )
+        )
+        assert not layout.is_uniform
+        assert layout.describe() == "u32{0:12/6, 12:20/8}"
+
+    def test_describe_grammar(self):
+        layout = LaneLayout.from_policy(policy_for_bitwidth(8))
+        assert layout.describe() == "u32{0:16/8, 16:16/8}"
+        assert "+zp3" in layout.with_zero_point(3).describe()
+
+    def test_shifted_drops_and_moves_whole_fields(self):
+        layout = LaneLayout.from_policy(policy_for_bitwidth(8))
+        right = layout.shifted(-16)
+        assert right.lanes == 1 and right.fields[0].offset == 0
+
+    def test_shift_splitting_a_field_rejected(self):
+        layout = LaneLayout.from_policy(policy_for_bitwidth(8))
+        with pytest.raises(FormatError, match="splits"):
+            layout.shifted(-8)
+
+
+class TestLaneOp:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(PackingError):
+            LaneOp(op="divide", dest="x")
+
+    def test_spill_reads_and_writes_both_registers(self):
+        op = LaneOp(op="spill", dest="w", srcs=("acc",))
+        assert op.reads() == {"acc", "w"}
+        assert op.writes() == {"acc", "w"}  # spill also resets the source
+
+    def test_loop_read_set_excludes_body_defined_registers(self):
+        layout = LaneLayout.from_policy(policy_for_bitwidth(8))
+        body = (
+            LaneOp(op="packed_mul", dest="t", srcs=("a", "b"), layout=layout),
+            LaneOp(op="packed_add", dest="acc", srcs=("acc", "t"), layout=layout),
+        )
+        loop = LaneOp(op="loop", attrs={"trips": 4, "body": body})
+        assert loop.reads() == {"a", "b", "acc"}  # t is defined before read
+        assert loop.writes() == {"t", "acc"}
+
+    def test_render_is_one_line(self):
+        layout = LaneLayout.from_policy(policy_for_bitwidth(8))
+        op = LaneOp(op="packed_add", dest="acc", srcs=("acc", "t"), layout=layout)
+        assert op.render() == "packed_add acc acc t  u32{0:16/8, 16:16/8}"
+
+
+class TestGemmChainProgram:
+    def test_unchunked_chain_is_constant_size(self):
+        layout = LaneLayout.from_policy(policy_for_bitwidth(8))
+        small = gemm_chain_program(layout, a_range=Interval.from_bits(8), k=4)
+        huge = gemm_chain_program(layout, a_range=Interval.from_bits(8), k=1 << 20)
+        assert small.flat_size() == huge.flat_size()  # loops, not unrolling
+
+    def test_chunked_chain_has_tail_loop(self):
+        layout = LaneLayout.from_policy(policy_for_bitwidth(8))
+        prog = gemm_chain_program(
+            layout, a_range=Interval.from_bits(8), k=10, chunk_depth=4
+        )
+        loops = [op for op in prog.ops if op.op == "loop"]
+        assert [op.attrs["trips"] for op in loops] == [2, 2]  # 2 chunks + tail
+
+    def test_k_zero_unpacks_zeros(self):
+        layout = LaneLayout.from_policy(policy_for_bitwidth(8))
+        prog = gemm_chain_program(layout, a_range=Interval.from_bits(8), k=0)
+        assert prog.ops[-1].op == "unpack"
+
+    def test_negative_k_rejected(self):
+        layout = LaneLayout.from_policy(policy_for_bitwidth(8))
+        with pytest.raises(PackingError):
+            gemm_chain_program(layout, a_range=Interval.from_bits(8), k=-1)
+
+
+class TestCapture:
+    def test_swar_call_sites_emit_ops(self):
+        pol = policy_for_bitwidth(8)
+        packer = Packer(pol)
+        with capture("swar") as prog:
+            reg = packer.pack(np.array([3, 5], dtype=np.int64))
+            prod = packed_scalar_mul(7, reg, pol, strict=True)
+            packed_add(prod, prod, pol, strict=True)
+        assert [op.op for op in prog.ops] == ["pack", "packed_mul", "packed_add"]
+        # The scalar operand becomes a program input with its range.
+        assert Interval(7, 7) in prog.inputs.values()
+
+    def test_gemm_emits_compact_loop_chain(self):
+        pol = policy_for_bitwidth(8)
+        from repro.packing.gemm import packed_gemm_unsigned
+
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, (2, 40), dtype=np.int64)
+        b = rng.integers(0, 256, (40, 2 * pol.lanes), dtype=np.int64)
+        with capture("gemm") as prog:
+            c = packed_gemm_unsigned(a, b, pol)
+        assert np.array_equal(c, a @ b)  # capture never perturbs results
+        assert any(op.op == "loop" for op in prog.ops)
+        assert prog.flat_size() < 20  # K=40 stays O(1) instructions
+
+    def test_capture_nests_and_restores(self):
+        assert not capturing()
+        with capture("outer") as outer:
+            assert active_program() is outer
+            with capture("inner") as inner:
+                assert active_program() is inner
+                note("from inside")
+            assert active_program() is outer
+            assert inner.notes == ["from inside"]
+        assert not capturing()
+        assert note("dropped") is None  # no-op outside a capture
