@@ -562,6 +562,12 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro",
         description="VitBit reproduction command line",
     )
+    parser.add_argument(
+        "--gemm-backend", default=None, dest="gemm_backend", metavar="NAME",
+        help="packed-GEMM kernel backend for this run (numpy_blocked, "
+             "numba, ...); equivalent to setting REPRO_GEMM_BACKEND. "
+             "All backends are bit-identical — this only changes speed.",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="Table 1 peak throughputs")
@@ -688,6 +694,14 @@ def main(argv: list[str] | None = None) -> int:
                    help="also print info-level findings")
 
     args = parser.parse_args(argv)
+    if args.gemm_backend:
+        # Propagates to every packed GEMM in this process *and* to the
+        # sweep runner's worker processes (env is inherited).
+        import os
+
+        from repro.packing.backends import BACKEND_ENV_VAR
+
+        os.environ[BACKEND_ENV_VAR] = args.gemm_backend
     handlers = {
         "table1": _cmd_table1,
         "policy": _cmd_policy,

@@ -49,6 +49,7 @@ def fused_gemm(
     *,
     b_zero_point: int | None = None,
     method: str = "chunked",
+    backend: str | None = None,
 ) -> FusedGemmOutput:
     """Compute ``a1 @ B`` through the three fused paths of Algorithm 2.
 
@@ -57,7 +58,10 @@ def fused_gemm(
     the B1/B2/B3 column slices.  ``b_zero_point`` is subtracted from the
     *stored* (offset) B values to recover the true product — pass the
     activation zero point when B was offset to non-negative for packing;
-    it is applied consistently to all three paths.
+    it is applied consistently to all three paths.  ``backend`` selects
+    the packed-GEMM kernel backend for the INT path (see
+    :mod:`repro.packing.backends`); results are bit-identical across
+    backends.
     """
     a1 = np.asarray(a1, dtype=np.int64)
     if a1.shape != a2.shape:
@@ -93,7 +97,9 @@ def fused_gemm(
             f"fused_gemm INT path: n1={plan.n1} columns, a_bits={a_bits}, "
             f"k={a1.shape[1]}, zero_point={b_zero_point or 0}"
         )
-        c1 = packed_gemm(a1, split.b1_raw, policy, stats=stats, method=method)
+        c1 = packed_gemm(
+            a1, split.b1_raw, policy, stats=stats, method=method, backend=backend
+        )
         if correction is not None:
             c1 = c1 - correction
     else:

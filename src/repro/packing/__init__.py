@@ -10,7 +10,9 @@ This package implements VitBit's SWAR (SIMD-within-a-register) scheme:
 * :mod:`repro.packing.accumulate` — guard-bit budgets and chunked
   dot-product accumulation (the overflow story Fig. 3 leaves implicit);
 * :mod:`repro.packing.gemm` — the packed GEMM kernel, exact for signed
-  weights via sign-splitting.
+  weights via sign-splitting;
+* :mod:`repro.packing.backends` — pluggable compute-pass backends for
+  the packed GEMM (blocked NumPy by default, numba JIT when installed).
 """
 
 from repro.packing.policy import (
@@ -29,8 +31,14 @@ from repro.packing.packer import Packer
 from repro.packing.swar import (
     lane_extract,
     lane_insert,
+    lanes_extract,
     packed_add,
     packed_scalar_mul,
+)
+from repro.packing.backends import (
+    available_backends,
+    backend_names,
+    get_backend,
 )
 from repro.packing.accumulate import (
     ChunkedAccumulator,
@@ -58,7 +66,11 @@ __all__ = [
     "packed_add",
     "packed_scalar_mul",
     "lane_extract",
+    "lanes_extract",
     "lane_insert",
+    "available_backends",
+    "backend_names",
+    "get_backend",
     "guard_bits",
     "safe_accumulation_depth",
     "ChunkedAccumulator",

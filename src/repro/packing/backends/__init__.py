@@ -1,0 +1,147 @@
+"""Pluggable kernel backends for the packed GEMM compute pass.
+
+The packed GEMM's *semantics* live in :mod:`repro.packing.gemm`
+(pre-flight, packing, stats, IR emission, sign-splitting); the inner
+compute pass over an already-packed B is a pure function of
+``(a, packed_b, policy, depth, method)`` and is what a real deployment
+would JIT or hand-vectorize.  This package makes that pass a pluggable
+*backend* behind one registry:
+
+* ``numpy_blocked`` (default) — fully blocked NumPy over the
+  (chunk, lane) axes, no Python-level per-lane or per-chunk loops
+  (:mod:`repro.packing.backends.numpy_blocked`);
+* ``numba`` — optional JIT of the hardware-faithful chunk loop,
+  registered only when numba imports
+  (:mod:`repro.packing.backends.numba_jit`).
+
+Every backend is bit-identical: same products, same
+:class:`~repro.errors.OverflowBudgetError` behaviour, differentially
+fuzzed in ``tests/test_backends.py``.  Selection is per call
+(``packed_gemm(..., backend="numba")``), per process
+(``REPRO_GEMM_BACKEND=numba``), or default; requesting an unavailable
+backend falls back to ``numpy_blocked`` with a counted warning rather
+than failing, so one environment's missing JIT never breaks a run.
+
+This registry is the seam the ROADMAP's multi-backend what-if explorer
+plugs into: backends are data, selected at runtime, each metered by an
+``obs`` counter.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+from repro import obs
+from repro.errors import PackingError
+
+__all__ = [
+    "GemmBackend",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "DEFAULT_BACKEND",
+    "BACKEND_ENV_VAR",
+]
+
+#: Environment knob selecting the process-wide default backend.
+BACKEND_ENV_VAR = "REPRO_GEMM_BACKEND"
+
+#: The always-available pure-NumPy backend.
+DEFAULT_BACKEND = "numpy_blocked"
+
+
+class GemmBackend:
+    """One implementation of the packed GEMM compute pass.
+
+    Subclasses implement :meth:`run` — one unsigned compute pass over an
+    already-packed B — and report :meth:`available`.  ``run`` must be
+    bit-identical to the ``numpy_blocked`` reference for every input,
+    including raising :class:`~repro.errors.OverflowBudgetError` with
+    the canonical message when a chunk's packed partial sum exceeds the
+    32-bit register.
+    """
+
+    #: Registry name (also the ``backend=`` / env-var spelling).
+    name = "abstract"
+
+    def available(self) -> bool:  # pragma: no cover - trivial default
+        """Whether this backend can run in the current process."""
+        return True
+
+    def run(self, a64, bp, policy, *, n, depth, method):
+        """Compute one unsigned packed GEMM pass.
+
+        Parameters mirror ``repro.packing.gemm._packed_gemm_prepacked``:
+        ``a64`` is the (M, K) int64 multiplier block, ``bp`` the (K, G)
+        int64 packed registers, ``n`` the true output column count,
+        ``depth`` the proven-safe chunk depth, and ``method`` either
+        ``"chunked"`` (hardware-faithful, overflow-checked) or
+        ``"lane"`` (per-lane algebraic evaluation).  Returns the (M, n)
+        int64 product.
+        """
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, GemmBackend] = {}
+
+
+def register_backend(backend: GemmBackend) -> GemmBackend:
+    """Add ``backend`` to the registry (last registration wins)."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def backend_names() -> tuple[str, ...]:
+    """Every registered backend name (available or not)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends that can run in this process."""
+    return tuple(n for n in backend_names() if _REGISTRY[n].available())
+
+
+def get_backend(name: str | None = None) -> GemmBackend:
+    """Resolve a backend by name, env var, or default — with fallback.
+
+    Resolution order: explicit ``name`` argument, then the
+    ``REPRO_GEMM_BACKEND`` environment variable, then
+    :data:`DEFAULT_BACKEND`.  An unknown name raises
+    :class:`~repro.errors.PackingError` (a typo should fail loudly); a
+    known-but-unavailable backend (e.g. ``numba`` without numba
+    installed) degrades to the default with a warning and bumps
+    ``gemm_backend_fallbacks_total``.
+    """
+    requested = name or os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    backend = _REGISTRY.get(requested)
+    if backend is None:
+        raise PackingError(
+            f"unknown GEMM backend {requested!r}; registered backends: "
+            f"{', '.join(backend_names())}"
+        )
+    if not backend.available():
+        obs.counter(
+            "gemm_backend_fallbacks_total",
+            "packed-GEMM backend requests degraded to the default",
+            labels={"backend": requested},
+        ).inc()
+        warnings.warn(
+            f"GEMM backend {requested!r} is not available in this "
+            f"environment; falling back to {DEFAULT_BACKEND!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        backend = _REGISTRY[DEFAULT_BACKEND]
+    obs.counter(
+        "gemm_backend_calls_total",
+        "packed-GEMM compute passes dispatched, by backend",
+        labels={"backend": backend.name},
+    ).inc()
+    return backend
+
+
+# Built-in backends self-register on import.
+from repro.packing.backends import numpy_blocked as _numpy_blocked  # noqa: E402
+from repro.packing.backends import numba_jit as _numba_jit  # noqa: E402,F401

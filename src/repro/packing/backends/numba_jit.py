@@ -1,0 +1,142 @@
+"""Optional numba JIT backend for the packed GEMM compute pass.
+
+The compute kernels below are written as nopython-compatible pure
+Python over preallocated int64 arrays — explicit chunk/lane loops, no
+NumPy fancy indexing — so that:
+
+* with numba installed, ``numba.njit`` compiles them to native loops
+  (the hardware-faithful chunk loop runs fused, without materializing
+  per-chunk intermediates);
+* without numba, the very same functions run under CPython, which keeps
+  the backend's *logic* testable everywhere (``tests/test_backends.py``
+  runs the cores directly on small shapes) even though the backend
+  reports itself unavailable and :func:`~repro.packing.backends.get_backend`
+  falls back to ``numpy_blocked``.
+
+Both cores mirror the loop semantics of the original implementation
+exactly: int64 products and partial sums (modular on overflow, like
+NumPy), the 32-bit register check per chunk, and mask-only unpacking —
+so results are bit-identical to ``numpy_blocked`` on every input,
+including declared-bitwidth violations.
+
+This container does not ship numba; the CI ``perf-smoke`` job has an
+optional leg that installs it and asserts parity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.packing.backends import GemmBackend, register_backend
+
+__all__ = ["NumbaGemmBackend", "chunked_core", "lane_core", "numba_available"]
+
+_REG_MAX = (1 << 32) - 1
+_U32_MASK = (1 << 32) - 1
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+
+    _HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the container path
+    _HAVE_NUMBA = False
+
+    def _njit(*args, **kwargs):
+        """No-op decorator standing in for numba.njit."""
+        if args and callable(args[0]):
+            return args[0]
+        return lambda fn: fn
+
+
+def numba_available() -> bool:
+    """Whether numba imported in this process."""
+    return _HAVE_NUMBA
+
+
+@_njit(cache=True)
+def chunked_core(a64, bp, shifts, field_mask, depth, wide):  # pragma: no cover
+    """Hardware-faithful chunk loop; fills ``wide`` (M, G, lanes) in place.
+
+    Returns 0 on success, 1 when a chunk's packed partial sum exceeded
+    the 32-bit register (the caller raises the canonical
+    ``OverflowBudgetError``).  Out-of-range data contaminates lanes via
+    the mask-only unpack exactly as on hardware.
+    """
+    m, k = a64.shape
+    groups = bp.shape[1]
+    lanes = shifts.shape[0]
+    for start in range(0, k, depth):
+        stop = min(start + depth, k)
+        for i in range(m):
+            for g in range(groups):
+                acc = np.int64(0)
+                for kk in range(start, stop):
+                    acc += a64[i, kk] * bp[kk, g]
+                if acc > _REG_MAX:
+                    return 1
+                # NumPy's astype(uint32) semantics: the register image
+                # is the partial sum reduced mod 2**32 (wrapped
+                # negatives included).
+                reg = acc & _U32_MASK
+                for lane in range(lanes):
+                    wide[i, g, lane] += (reg >> shifts[lane]) & field_mask
+    return 0
+
+
+@_njit(cache=True)
+def lane_core(a64, bp, shifts, field_mask, out):  # pragma: no cover
+    """Per-lane algebraic evaluation; fills ``out`` (M, G*lanes) in place.
+
+    int64 accumulation, modular on overflow — identical to the int64
+    matmul it replaces (associative mod 2**64).
+    """
+    m, k = a64.shape
+    groups = bp.shape[1]
+    lanes = shifts.shape[0]
+    for i in range(m):
+        for g in range(groups):
+            for lane in range(lanes):
+                acc = np.int64(0)
+                for kk in range(k):
+                    acc += a64[i, kk] * ((bp[kk, g] >> shifts[lane]) & field_mask)
+                out[i, g * lanes + lane] = acc
+    return 0
+
+
+class NumbaGemmBackend(GemmBackend):
+    """JIT-compiled chunk/lane loops (requires numba at runtime)."""
+
+    name = "numba"
+
+    def available(self) -> bool:
+        """Whether numba imported in this process."""
+        return numba_available()
+
+    def run(self, a64, bp, policy, *, n, depth, method):
+        """Run the compiled chunk/lane loop; see :class:`GemmBackend.run`."""
+        # Imported here, not at module top: this backend must not make
+        # repro.packing depend on repro.errors import order via gemm.
+        from repro.errors import OverflowBudgetError
+
+        m, k = a64.shape
+        groups = bp.shape[1]
+        lanes = policy.lanes
+        shifts = np.array(policy.shift_amounts, dtype=np.int64)
+        mask = np.int64(policy.field_mask)
+        a_c = np.ascontiguousarray(a64, dtype=np.int64)
+        b_c = np.ascontiguousarray(bp, dtype=np.int64)
+        if method == "chunked":
+            wide = np.zeros((m, groups, lanes), dtype=np.int64)
+            if chunked_core(a_c, b_c, shifts, mask, depth, wide):
+                raise OverflowBudgetError(
+                    "packed partial sum exceeded the 32-bit register despite "
+                    "the guard-bit budget; operands violate their declared "
+                    "bitwidths"
+                )
+            return wide.reshape(m, groups * lanes)[:, :n]
+        out = np.zeros((m, groups * lanes), dtype=np.int64)
+        lane_core(a_c, b_c, shifts, mask, out)
+        return out[:, :n]
+
+
+register_backend(NumbaGemmBackend())

@@ -1,0 +1,186 @@
+"""Fully blocked NumPy backend for the packed GEMM compute pass.
+
+The previous implementation walked Python loops per accumulation chunk
+(``for start in range(0, k, depth)``) and per lane — for the 8-bit
+ViT-Base shape that is 768 chunk iterations per pass.  This backend
+evaluates the same packed arithmetic as whole-array operations:
+
+* **lane fields once** — every lane of every packed register is sliced
+  out in one broadcast shift/mask, giving a (K, G, lanes) field tensor;
+* **one matmul** — the per-lane totals of *all* chunks are a single
+  ``(M, K) @ (K, G*lanes)`` product, run through float64 BLAS when every
+  partial sum provably stays below 2**53 (where float64 integer
+  arithmetic is exact) and int64 matmul otherwise;
+* **field-overflow screen** — the chunked (hardware-faithful) method is
+  only allowed onto that fast path when a cheap upper bound proves that
+  no lane field can overflow within any chunk, which is exactly the
+  condition under which the old per-chunk loop's register check passes
+  and its mask-only unpack is the identity.  Operands that violate
+  their declared bitwidths fail the screen and take
+  :func:`_chunked_emulation` — a batched replay of the per-chunk
+  semantics (packed partial sums, 32-bit register check, mask-only
+  unpack) that reproduces the old loop bit for bit, including the
+  :class:`~repro.errors.OverflowBudgetError` and the lane contamination
+  masking causes on out-of-range data.
+
+Bit-identity with the loop implementation is fuzzed in
+``tests/test_backends.py`` and ``tests/test_fuzz_gemm.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OverflowBudgetError
+from repro.packing.backends import GemmBackend, register_backend
+
+__all__ = ["NumpyBlockedBackend", "lane_fields"]
+
+_REG_MAX = (1 << 32) - 1
+
+#: Below this bound every integer (product or partial sum) is exactly
+#: representable in float64, so BLAS dgemm computes the integer GEMM
+#: exactly — and an order of magnitude faster than int64 matmul.
+_FLOAT_EXACT = 1 << 53
+
+
+def lane_fields(bp: np.ndarray, policy) -> np.ndarray:
+    """Slice every lane field out of (..., G) packed registers at once.
+
+    Returns an int64 array of shape ``bp.shape + (lanes,)`` holding each
+    register's ``lanes`` field payloads (lane 0 = least significant).
+    ``bp`` must hold non-negative register images (int64 or uint32).
+    """
+    shifts = np.array(policy.shift_amounts, dtype=np.int64)
+    mask = np.int64(policy.field_mask)
+    return (np.asarray(bp, dtype=np.int64)[..., None] >> shifts) & mask
+
+
+def _exact_matmul(a64: np.ndarray, flat: np.ndarray, bound: int) -> np.ndarray:
+    """``a64 @ flat`` with every partial sum bounded by ``bound``.
+
+    ``bound`` must be a sound upper bound computed in exact (Python int)
+    arithmetic.  Below 2**53 the float64 BLAS path is exact; otherwise
+    int64 matmul gives the same modular semantics as the per-lane loops
+    it replaces (int64 addition is associative mod 2**64, so any
+    summation order yields identical wrapped values).
+    """
+    if bound < _FLOAT_EXACT:
+        return (a64.astype(np.float64) @ flat.astype(np.float64)).astype(np.int64)
+    return a64 @ flat
+
+
+def _chunk_fields_safe(
+    a64: np.ndarray, fields: np.ndarray, policy, depth: int, amax: int, fmax: int
+) -> bool:
+    """Can any lane field overflow within one accumulation chunk?
+
+    Soundly over-approximates every chunk's per-lane sum with
+    ``sum(max_m a[m,k] * max_g field[k,g,l])`` over the chunk's K slice.
+    A ``True`` return proves the old per-chunk loop never masks anything
+    away: each lane sum fits its field, so the packed chunk sum is at
+    most ``sum_l field_mask << shift_l <= 2**32 - 1`` (the register
+    check passes) and the unpacked fields equal the algebraic per-lane
+    sums — the fast single-matmul path is bit-identical.
+    """
+    k = a64.shape[1]
+    if k == 0 or a64.size == 0:
+        return True
+    mask = int(policy.field_mask)
+    # Exact Python-int arithmetic: the trivial worst case amax * fmax per
+    # product over one chunk.  Honest operands (within their declared
+    # bitwidths) pass here because depth is the proven safe depth.
+    if min(depth, k) * amax * fmax <= mask:
+        return True
+    if depth * amax * fmax >= 1 << 62:
+        # The per-column bound below could itself overflow int64; send
+        # these (deliberately absurd) operands to the exact emulation.
+        return False
+    amax_col = a64.max(axis=0)  # (K,)
+    lanemax = fields.max(axis=1)  # (K, L)
+    chunks = -(-k // depth)
+    pad = chunks * depth - k
+    if pad:
+        amax_col = np.concatenate([amax_col, np.zeros(pad, dtype=np.int64)])
+        lanemax = np.concatenate(
+            [lanemax, np.zeros((pad, lanemax.shape[1]), dtype=np.int64)]
+        )
+    ub = (
+        amax_col.reshape(chunks, depth, 1) * lanemax.reshape(chunks, depth, -1)
+    ).sum(axis=1)
+    return int(ub.max()) <= mask
+
+
+def _chunked_emulation(
+    a64: np.ndarray, bp: np.ndarray, policy, *, n: int, depth: int
+) -> np.ndarray:
+    """Bit-exact batched replay of the per-chunk hardware loop.
+
+    Taken only when the field-overflow screen cannot prove the fast path
+    safe (operands exceeding their declared bitwidths).  The chunk axis
+    becomes a batch dimension of one stacked matmul — sliced into slabs
+    to bound peak memory — and the register check and mask-only unpack
+    run on whole slabs, reproducing the loop's results exactly:
+    identical packed partial sums, the identical
+    :class:`~repro.errors.OverflowBudgetError`, and the identical lane
+    contamination that masking causes on out-of-range data.
+    """
+    m, k = a64.shape
+    groups = bp.shape[1]
+    lanes = policy.lanes
+    chunks = -(-k // depth)
+    pad = chunks * depth - k
+    a_pad = np.pad(a64, ((0, 0), (0, pad)))
+    b_pad = np.pad(bp, ((0, pad), (0, 0)))
+    a_batched = a_pad.reshape(m, chunks, depth).transpose(1, 0, 2)  # (C, M, D)
+    b_batched = b_pad.reshape(chunks, depth, groups)  # (C, D, G)
+
+    shifts = np.array(policy.shift_amounts, dtype=np.uint64)
+    mask = np.uint64(policy.field_mask)
+    wide = np.zeros((m, groups, lanes), dtype=np.int64)
+    # Slab the chunk axis so the (slab, M, G) intermediates stay small;
+    # the slab count is O(total size / 2**22), not O(chunks).
+    slab = max(1, (1 << 22) // max(1, m * groups))
+    for start in range(0, chunks, slab):
+        sums = a_batched[start : start + slab] @ b_batched[start : start + slab]
+        if sums.size and int(sums.max()) > _REG_MAX:
+            raise OverflowBudgetError(
+                "packed partial sum exceeded the 32-bit register despite "
+                "the guard-bit budget; operands violate their declared "
+                "bitwidths"
+            )
+        fields = (
+            sums.astype(np.uint32).astype(np.uint64)[..., None] >> shifts
+        ) & mask
+        wide += fields.astype(np.int64).sum(axis=0)
+    return wide.reshape(m, groups * lanes)[:, :n]
+
+
+class NumpyBlockedBackend(GemmBackend):
+    """The default backend: blocked NumPy over the (chunk, lane) axes."""
+
+    name = "numpy_blocked"
+
+    def run(self, a64, bp, policy, *, n, depth, method):
+        """Run the vectorized compute pass; see :class:`GemmBackend.run`."""
+        m, k = a64.shape
+        groups = bp.shape[1]
+        lanes = policy.lanes
+        fields = lane_fields(bp, policy)  # (K, G, L)
+
+        amax = int(a64.max()) if a64.size else 0
+        fmax = int(fields.max()) if fields.size else 0
+
+        if method == "chunked" and not _chunk_fields_safe(
+            a64, fields, policy, depth, amax, fmax
+        ):
+            return _chunked_emulation(a64, bp, policy, n=n, depth=depth)
+
+        # Lane l of group g lands in column g*lanes + l, matching the
+        # loop implementation's stack-then-reshape layout.
+        flat = fields.reshape(k, groups * lanes)
+        c = _exact_matmul(a64, flat, k * amax * fmax)
+        return c[:, :n]
+
+
+register_backend(NumpyBlockedBackend())

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
-from repro.errors import OverflowBudgetError, PackingError
+from repro.errors import PackingError
 from repro.packing.accumulate import safe_accumulation_depth
 from repro.packing.packer import Packer
 from repro.packing.policy import PackingPolicy
@@ -45,8 +45,6 @@ __all__ = [
     "packed_gemm_unsigned",
     "packed_gemm",
 ]
-
-_REG_MAX = (1 << 32) - 1
 
 #: Lane-IR emission sink, installed by ``repro.analysis.laneir.capture``
 #: (``None`` outside a capture).  The chunked method performs its packed
@@ -96,12 +94,21 @@ class PackedGemmStats:
 
 
 def reference_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Plain exact integer GEMM (int64) used as the correctness oracle."""
+    """Plain exact integer GEMM (int64) used as the correctness oracle.
+
+    The accumulator dtype is forced to int64 at the ``matmul`` itself
+    (not just via input promotion): on platforms whose default integer
+    is 32-bit, promotion-based casting would let large-K high-bitwidth
+    dot products wrap silently, corrupting every differential fuzz test
+    that uses this as its oracle.
+    """
     check_dtype_integer("a", a)
     check_dtype_integer("b", b)
     check_shape_2d("a", a)
     check_shape_2d("b", b)
-    return np.asarray(a, dtype=np.int64) @ np.asarray(b, dtype=np.int64)
+    a64 = np.asarray(a, dtype=np.int64)
+    b64 = np.asarray(b, dtype=np.int64)
+    return np.matmul(a64, b64, dtype=np.int64)
 
 
 def _validate_shapes(a: np.ndarray, b: np.ndarray) -> tuple[int, int, int]:
@@ -122,6 +129,7 @@ def packed_gemm_unsigned(
     a_bits: int | None = None,
     stats: PackedGemmStats | None = None,
     method: str = "chunked",
+    backend: str | None = None,
 ) -> np.ndarray:
     """Exact ``a @ b`` with B packed ``policy.lanes``-wide (both non-negative).
 
@@ -129,6 +137,9 @@ def packed_gemm_unsigned(
     inferred from the data when omitted); ``b`` is (K, N) with entries in
     ``[0, 2**policy.value_bits)``.  Returns the exact (M, N) int64
     product.  When ``stats`` is given it is filled in place.
+    ``backend`` names the compute-pass kernel backend (default: the
+    ``REPRO_GEMM_BACKEND`` env var, then ``numpy_blocked``); every
+    backend is bit-identical, so this only changes speed.
 
     ``method`` selects the evaluation of the same packed arithmetic:
 
@@ -161,7 +172,7 @@ def packed_gemm_unsigned(
     )
     return _packed_gemm_prepacked(
         a64, bp, packer, policy,
-        n=n, depth=depth, stats=stats, method=method,
+        n=n, depth=depth, stats=stats, method=method, backend=backend,
     )
 
 
@@ -236,10 +247,25 @@ def _packed_gemm_prepacked(
     depth: int,
     stats: PackedGemmStats | None,
     method: str,
+    backend: str | None = None,
 ) -> np.ndarray:
-    """One unsigned compute pass over an already-packed B."""
+    """One unsigned compute pass over an already-packed B.
+
+    The numeric work is delegated to the selected kernel backend
+    (:func:`repro.packing.backends.get_backend`); this function owns
+    everything semantic around it — lane-IR emission, instruction
+    accounting, and the ``stats`` contract — which is why every backend
+    produces byte-identical stats.  ``spills`` has the closed form
+    ``ceil(k / depth)`` for both methods: the chunked loop spills once
+    per chunk, and the lane method reports the cost of the equivalent
+    hardware execution.
+    """
     if method not in ("chunked", "lane"):
         raise PackingError(f"unknown packed GEMM method {method!r}")
+    # Imported lazily: repro.packing.backends imports sibling modules of
+    # this package while repro.packing.__init__ is still initializing.
+    from repro.packing.backends import get_backend
+
     m, k = a64.shape
     groups = bp.shape[1]
 
@@ -255,29 +281,8 @@ def _packed_gemm_prepacked(
             chunk_depth=depth,
         )
 
-    if method == "chunked":
-        wide = np.zeros((m, groups, policy.lanes), dtype=np.int64)
-        spills = 0
-        for start in range(0, k, depth):
-            stop = min(start + depth, k)
-            chunk = a64[:, start:stop] @ bp[start:stop]  # packed partial sums
-            if chunk.size and int(chunk.max()) > _REG_MAX:
-                raise OverflowBudgetError(
-                    "packed partial sum exceeded the 32-bit register despite "
-                    "the guard-bit budget; operands violate their declared "
-                    "bitwidths"
-                )
-            wide += packer.unpack(chunk.astype(np.uint32)[..., None], policy.lanes)
-            spills += 1
-        c = wide.reshape(m, groups * policy.lanes)[:, :n]
-    else:
-        field_mask = np.int64(policy.field_mask)
-        cols = []
-        for lane in range(policy.lanes):
-            lane_vals = (bp >> np.int64(lane * policy.field_bits)) & field_mask
-            cols.append(a64 @ lane_vals)  # (M, G)
-        c = np.stack(cols, axis=-1).reshape(m, groups * policy.lanes)[:, :n]
-        spills = -(-k // depth)
+    c = get_backend(backend).run(a64, bp, policy, n=n, depth=depth, method=method)
+    spills = -(-k // depth)
 
     if stats is not None:
         stats.m, stats.n, stats.k = m, n, k
@@ -305,6 +310,7 @@ def packed_gemm(
     b_zero_point: int | None = None,
     stats: PackedGemmStats | None = None,
     method: str = "chunked",
+    backend: str | None = None,
 ) -> np.ndarray:
     """Exact ``a @ b`` for signed A and signed-or-unsigned B, using packing.
 
@@ -363,15 +369,17 @@ def packed_gemm(
         )
         c = _packed_gemm_prepacked(
             a_pos, bp, packer, policy,
-            n=n, depth=depth, stats=stats, method=method,
+            n=n, depth=depth, stats=stats, method=method, backend=backend,
         ) - _packed_gemm_prepacked(
             a_neg, bp, packer, policy,
-            n=n, depth=depth, stats=stats, method=method,
+            n=n, depth=depth, stats=stats, method=method, backend=backend,
         )
         if stats is not None:
             stats.sign_split_passes = 2
     else:
-        c = packed_gemm_unsigned(a64, b_shift, policy, stats=stats, method=method)
+        c = packed_gemm_unsigned(
+            a64, b_shift, policy, stats=stats, method=method, backend=backend
+        )
         if stats is not None:
             stats.sign_split_passes = 1
 

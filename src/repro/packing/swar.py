@@ -19,7 +19,13 @@ import numpy as np
 from repro.errors import OverflowBudgetError, PackingError
 from repro.packing.policy import PackingPolicy
 
-__all__ = ["packed_add", "packed_scalar_mul", "lane_extract", "lane_insert"]
+__all__ = [
+    "packed_add",
+    "packed_scalar_mul",
+    "lane_extract",
+    "lanes_extract",
+    "lane_insert",
+]
 
 _U64_REG_MASK = np.uint64(0xFFFFFFFF)
 
@@ -127,6 +133,21 @@ def lane_extract(packed: np.ndarray, lane: int, policy: PackingPolicy) -> np.nda
     return ((pw >> np.uint64(lane * policy.field_bits)) & np.uint64(policy.field_mask)).astype(
         np.int64
     )
+
+
+def lanes_extract(packed: np.ndarray, policy: PackingPolicy) -> np.ndarray:
+    """Read every lane's field contents at once (int64).
+
+    The vectorized replacement for ``for lane in range(policy.lanes):
+    lane_extract(...)`` loops: one broadcast shift/mask over a trailing
+    lane axis instead of ``lanes`` passes, with the per-call
+    :class:`~repro.errors.PackingError` validation hoisted to a single
+    dtype check up front (extracting *all* lanes needs no lane-range
+    check at all).  Returns shape ``packed.shape + (lanes,)``, lane 0
+    (least significant) first — so
+    ``lanes_extract(p, policy)[..., i] == lane_extract(p, i, policy)``.
+    """
+    return _lanes_of(_as_u64(packed), policy).astype(np.int64)
 
 
 def lane_insert(

@@ -11,9 +11,12 @@ scaling.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import warnings
 from dataclasses import asdict, dataclass, field
+from functools import lru_cache
 
 from repro import obs
 from repro.arch.specs import MachineSpec
@@ -35,6 +38,7 @@ from repro.perfmodel.warpsets import (
 )
 from repro.sim.gpu import GPUSim
 from repro.sim.instruction import OpClass
+from repro.sim.program import WarpProgram
 from repro.sim.trace import KernelStats
 
 __all__ = ["KernelTiming", "PerformanceModel"]
@@ -74,6 +78,16 @@ def _timing_from_value(value: dict, launch: KernelLaunch) -> KernelTiming:
         memory_bound=value["memory_bound"],
         label=launch.label,
         extra=dict(launch.extra),
+    )
+
+
+@lru_cache(maxsize=8192)
+def _warp_key_fragment(w: WarpProgram) -> str:
+    """Canonical JSON of one warp's cache-payload entry (memoized —
+    the same compressed programs recur across layers and strategies)."""
+    return json.dumps(
+        [[op.name, c] for op, c in w.body] + [w.iterations],
+        separators=(",", ":"),
     )
 
 
@@ -129,12 +143,17 @@ class PerformanceModel:
         )
         self._cache: dict[tuple, KernelTiming] = {}
         self._ratio_cache: dict[tuple, float] = {}
+        # Pre-serialized launch-independent slice of the cache payload
+        # (see _cache_key); rebuilt if the defining attributes are
+        # rebound (they are frozen dataclasses, so rebinding is the
+        # only way to change them).
+        self._static_blob: str | None = None
+        self._static_blob_deps: tuple | None = None
 
     # -- scaled simulation ---------------------------------------------------
 
-    def _cache_payload(self, launch: KernelLaunch) -> dict:
-        """Every input that can influence ``_simulate``'s result, in
-        JSON-serializable form (the persistent cache key material)."""
+    def _static_payload(self) -> dict:
+        """The launch-independent slice of :meth:`_cache_payload`."""
         return {
             "engine": ENGINE_VERSION,
             "machine": asdict(self.machine),
@@ -145,12 +164,47 @@ class PerformanceModel:
             "mode": self.sim_mode,
             "include_launch_overhead": self.include_launch_overhead,
             "params": asdict(self.params),
-            "warps": [
-                [[op.name, c] for op, c in w.body] + [w.iterations]
-                for w in launch.warps
-            ],
-            "bytes_moved": launch.bytes_moved,
         }
+
+    def _cache_payload(self, launch: KernelLaunch) -> dict:
+        """Every input that can influence ``_simulate``'s result, in
+        JSON-serializable form (the persistent cache key material)."""
+        payload = self._static_payload()
+        payload["warps"] = [
+            [[op.name, c] for op, c in w.body] + [w.iterations]
+            for w in launch.warps
+        ]
+        payload["bytes_moved"] = launch.bytes_moved
+        return payload
+
+    def _cache_key(self, launch: KernelLaunch) -> str:
+        """:meth:`TimingCache.key_for` of :meth:`_cache_payload`, fast.
+
+        Splices pre-serialized fragments into the canonical JSON
+        encoding instead of rebuilding and re-dumping the full payload
+        per lookup: the static slice is serialized once per model (its
+        keys all sort between ``"bytes_moved"`` and ``"warps"``) and
+        each distinct warp program's fragment is memoized process-wide.
+        Key equality with the slow path is pinned by a unit test.
+        """
+        deps = (
+            self.machine,
+            self.params,
+            self.sim_mode,
+            self.include_launch_overhead,
+        )
+        if self._static_blob is None or self._static_blob_deps != deps:
+            mid = json.dumps(
+                self._static_payload(), sort_keys=True, separators=(",", ":")
+            )
+            self._static_blob = mid[1:-1]  # strip the outer braces
+            self._static_blob_deps = deps
+        blob = '{"bytes_moved":%s,%s,"warps":[%s]}' % (
+            json.dumps(launch.bytes_moved),
+            self._static_blob,
+            ",".join(_warp_key_fragment(w) for w in launch.warps),
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
 
     def _simulate(self, launch: KernelLaunch) -> KernelTiming:
         """Run a launch through the simulator with work scaling.
@@ -161,8 +215,8 @@ class PerformanceModel:
         ``REPRO_REQUIRE_WARM_CACHE=1`` a cache miss raises instead of
         simulating (the CI warm-cache smoke check).
         """
-        payload = self._cache_payload(launch)
-        cached = self.timing_cache.get(payload)
+        key = self._cache_key(launch)
+        cached = self.timing_cache.get(None, key=key)
         if cached is not None:
             return _timing_from_value(cached, launch)
         if os.environ.get("REPRO_REQUIRE_WARM_CACHE") == "1":
@@ -172,7 +226,7 @@ class PerformanceModel:
                 "expected to perform zero simulations)"
             )
         timing = self._simulate_uncached(launch)
-        self.timing_cache.put(payload, _timing_to_value(timing))
+        self.timing_cache.put(None, _timing_to_value(timing), key=key)
         return timing
 
     def _simulate_uncached(self, launch: KernelLaunch) -> KernelTiming:

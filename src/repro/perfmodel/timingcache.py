@@ -118,8 +118,13 @@ class TimingCache:
 
     # -- lookup / store -------------------------------------------------------
 
-    def get(self, payload: dict) -> dict | None:
+    def get(self, payload: dict | None, *, key: str | None = None) -> dict | None:
         """Cached value for ``payload``, or ``None`` on a miss.
+
+        ``key`` may carry a precomputed :meth:`key_for` digest so hot
+        callers hash the payload once and share the key between
+        ``get`` and ``put``; the payload is then not read and may be
+        ``None``.
 
         A corrupt on-disk entry (unparseable JSON) is quarantined —
         renamed to ``<key>.json.corrupt``, or deleted when the rename
@@ -129,7 +134,8 @@ class TimingCache:
         if not self.enabled:
             self._record_miss()
             return None
-        key = self.key_for(payload)
+        if key is None:
+            key = self.key_for(payload)
         value = self._memory.get(key)
         if value is None and self._dir is not None:
             try:
@@ -176,16 +182,22 @@ class TimingCache:
             except OSError:
                 pass  # leave it; the next lookup will retry the quarantine
 
-    def put(self, payload: dict, value: dict) -> None:
+    def put(
+        self, payload: dict | None, value: dict, *, key: str | None = None
+    ) -> None:
         """Store ``value`` under ``payload``'s content hash (atomic).
 
-        Persistence is best-effort: I/O errors and non-JSON-serializable
-        values leave only the in-memory entry, and the ``mkstemp`` temp
-        file is cleaned up on every failure path.
+        ``key`` may carry a precomputed :meth:`key_for` digest (see
+        :meth:`get`; ``payload`` may then be ``None``).  Persistence is
+        best-effort: I/O errors and
+        non-JSON-serializable values leave only the in-memory entry,
+        and the ``mkstemp`` temp file is cleaned up on every failure
+        path.
         """
         if not self.enabled:
             return
-        key = self.key_for(payload)
+        if key is None:
+            key = self.key_for(payload)
         self._memory[key] = value
         if self._dir is None:
             return

@@ -1,0 +1,217 @@
+"""Optional numba-compiled drain loop for the sub-partition simulator.
+
+The dominant cost of pricing a kernel stream is the per-cycle issue
+loop of :class:`~repro.sim.smsim.SubPartitionSim`: realistic multi-warp
+buckets have *chaotic* schedules (the relative warp state rarely
+recurs before the first completion reshuffles it), so the periodic
+fast-forward cannot skip ahead and the loop runs cycle by cycle.  This
+module compiles that loop.
+
+:func:`drain_core` is written as nopython-compatible pure Python over
+flat int64 arrays — explicit loops, no dicts, no objects — so that:
+
+* with numba installed, ``numba.njit`` compiles it to a native loop
+  (~two orders of magnitude over CPython per cycle);
+* without numba, the very same function runs under CPython, which
+  keeps its *logic* testable everywhere (``tests/test_sim_fastforward``
+  runs it directly against the exact engine) even though
+  :func:`jit_available` reports ``False`` and the periodic engine
+  falls back to the arithmetic fast-forward path.
+
+The core replicates the exact engine's semantics instruction for
+instruction — same priority arbitration ("oldest" scan order or "lrr"
+round-robin), same idle fast-forward, same final pipe drain — so its
+``(cycles, idle)`` result is bit-identical to ``mode="exact"`` by
+construction; issue counts are schedule-independent and computed in
+closed form by the caller.
+
+Selection is governed by ``REPRO_SIM_JIT``:
+
+``auto`` (default)
+    Use the compiled loop in periodic mode when numba is importable.
+``0``
+    Never use it (pure-Python periodic engine with fast-forward).
+``1``
+    Require it: raise if numba is missing (the CI numba leg).
+
+This container does not ship numba; the CI ``perf-smoke`` job has an
+optional leg that installs it and asserts parity.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["drain_core", "drain", "jit_available", "jit_requested"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+
+    _HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the container path
+    _HAVE_NUMBA = False
+
+    def _njit(*args, **kwargs):
+        """No-op decorator standing in for numba.njit."""
+        if args and callable(args[0]):
+            return args[0]
+        return lambda fn: fn
+
+
+def jit_available() -> bool:
+    """Whether numba imported in this process."""
+    return _HAVE_NUMBA
+
+
+def jit_requested() -> str:
+    """The ``REPRO_SIM_JIT`` knob, normalized to ``auto``/``0``/``1``."""
+    val = os.environ.get("REPRO_SIM_JIT", "auto").strip().lower()
+    if val in ("0", "off", "false", "no"):
+        return "0"
+    if val in ("1", "require", "true", "yes"):
+        return "1"
+    return "auto"
+
+
+@_njit(cache=True)
+def drain_core(
+    segop, segcnt, segstart, nseg, iters, ii, gap, lrr, max_cycles, out
+):  # pragma: no cover - compiled; logic covered via direct pure-Python calls
+    """Run the issue loop to completion; writes ``[cycles, idle]`` to ``out``.
+
+    Inputs are flat int64 arrays describing only the *live* warps (the
+    caller filters done ones — they never issue, so dropping them
+    preserves both policies' arbitration order):
+
+    * ``segop``/``segcnt`` — all warps' ``(op, count)`` segments
+      concatenated; ``segstart[i]``/``nseg[i]`` delimit warp ``i``;
+    * ``iters[i]`` — remaining loop iterations (>= 1);
+    * ``ii[op]``/``gap[op]`` — initiation interval and issue gap per
+      op-class ordinal;
+    * ``lrr`` — 1 for the "lrr" policy, 0 for "oldest".
+
+    Returns 0 on success, 1 when the workload did not drain within
+    ``max_cycles`` (the caller raises the canonical SimulationError).
+    """
+    n = segstart.shape[0]
+    n_ops = ii.shape[0]
+    seg = np.zeros(n, dtype=np.int64)
+    rem = np.zeros(n, dtype=np.int64)
+    ready = np.zeros(n, dtype=np.int64)
+    pipe_busy = np.zeros(n_ops, dtype=np.int64)
+    for i in range(n):
+        rem[i] = segcnt[segstart[i]]
+    pending = n
+    cycle = np.int64(0)
+    idle = np.int64(0)
+    rr = 0
+    while pending > 0:
+        if cycle > max_cycles:
+            return 1
+        issued = False
+        for k in range(n):
+            idx = k
+            if lrr == 1:
+                idx = k + rr
+                if idx >= n:
+                    idx -= n
+            if iters[idx] == 0:
+                continue
+            if ready[idx] > cycle:
+                continue
+            op = segop[segstart[idx] + seg[idx]]
+            if pipe_busy[op] > cycle:
+                continue
+            pipe_busy[op] = cycle + ii[op]
+            ready[idx] = cycle + gap[op]
+            rem[idx] -= 1
+            if rem[idx] == 0:
+                s = seg[idx] + 1
+                if s == nseg[idx]:
+                    seg[idx] = 0
+                    iters[idx] -= 1
+                    if iters[idx] == 0:
+                        pending -= 1
+                    else:
+                        rem[idx] = segcnt[segstart[idx]]
+                else:
+                    seg[idx] = s
+                    rem[idx] = segcnt[segstart[idx] + s]
+            rr = idx + 1
+            if rr == n:
+                rr = 0
+            issued = True
+            break
+        if issued:
+            cycle += 1
+            continue
+        # Nothing issuable: fast-forward to the next time anything
+        # could become eligible.
+        nxt = np.int64(-1)
+        for i in range(n):
+            if iters[i] > 0:
+                if ready[i] > cycle:
+                    t = ready[i]
+                else:
+                    t = pipe_busy[segop[segstart[i] + seg[i]]]
+                if nxt < 0 or t < nxt:
+                    nxt = t
+        if nxt <= cycle:
+            nxt = cycle + 1
+        idle += nxt - cycle
+        cycle = nxt
+    # The kernel finishes when the last pipe drains, not at the last
+    # issue slot.
+    for o in range(n_ops):
+        if pipe_busy[o] > cycle:
+            cycle = pipe_busy[o]
+    out[0] = cycle
+    out[1] = idle
+    return 0
+
+
+def drain(programs, timings, policy: str, max_cycles: int) -> tuple[int, int] | None:
+    """Flatten live ``programs`` and run :func:`drain_core`.
+
+    ``programs`` are the live warps' :class:`~repro.sim.program.WarpProgram`
+    objects in partition order.  Returns ``(cycles, idle)``, or ``None``
+    when the workload did not drain within ``max_cycles``.
+    """
+    from repro.sim.instruction import OpClass
+
+    n_ops = len(OpClass)
+    ii = np.zeros(n_ops, dtype=np.int64)
+    gap = np.zeros(n_ops, dtype=np.int64)
+    for op, t in timings.items():
+        ii[op] = t.initiation_interval
+        gap[op] = t.issue_gap
+    segop_l: list[int] = []
+    segcnt_l: list[int] = []
+    segstart = np.zeros(len(programs), dtype=np.int64)
+    nseg = np.zeros(len(programs), dtype=np.int64)
+    iters = np.zeros(len(programs), dtype=np.int64)
+    for i, p in enumerate(programs):
+        segstart[i] = len(segop_l)
+        nseg[i] = len(p.body)
+        iters[i] = p.iterations
+        for op, c in p.body:
+            segop_l.append(int(op))
+            segcnt_l.append(c)
+    out = np.zeros(2, dtype=np.int64)
+    status = drain_core(
+        np.array(segop_l, dtype=np.int64),
+        np.array(segcnt_l, dtype=np.int64),
+        segstart,
+        nseg,
+        iters,
+        ii,
+        gap,
+        1 if policy == "lrr" else 0,
+        max_cycles,
+        out,
+    )
+    if status:
+        return None
+    return int(out[0]), int(out[1])

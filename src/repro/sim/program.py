@@ -10,6 +10,7 @@ what the issue model cares about.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
 
 from repro.errors import SimulationError
 from repro.sim.instruction import OpClass
@@ -78,12 +79,12 @@ class WarpProgram:
         """True when the program issues no instructions at all."""
         return not self.body or self.iterations == 0
 
-    @property
+    @cached_property
     def instructions_per_iteration(self) -> int:
         """Total instructions in one loop body."""
         return sum(count for _, count in self.body)
 
-    @property
+    @cached_property
     def total_instructions(self) -> int:
         """Total instructions over all iterations."""
         return self.instructions_per_iteration * self.iterations
@@ -105,11 +106,17 @@ class WarpProgram:
 
         A scale that rounds the iteration count to zero yields
         :meth:`empty` — the canonical no-work program — rather than a
-        dead body.
+        dead body.  Results are memoized (programs are immutable and
+        the performance model rescales the same launches repeatedly).
         """
         if factor < 0:
             raise SimulationError("scale factor must be >= 0")
-        iterations = max(0, round(self.iterations * factor))
-        if iterations == 0:
-            return WarpProgram.empty()
-        return WarpProgram(body=self.body, iterations=iterations)
+        return _scaled(self, factor)
+
+
+@lru_cache(maxsize=8192)
+def _scaled(program: WarpProgram, factor: float) -> WarpProgram:
+    iterations = max(0, round(program.iterations * factor))
+    if iterations == 0:
+        return WarpProgram.empty()
+    return WarpProgram(body=program.body, iterations=iterations)

@@ -28,13 +28,21 @@ recurrence argument.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.errors import SimulationError
+from repro.sim import _jit
 from repro.sim.instruction import OpClass, PipeTiming, default_timings
 from repro.sim.program import WarpProgram
 from repro.sim.trace import PartitionStats
 from repro.arch.specs import SMSpec
 
-__all__ = ["SubPartitionSim", "SMSim", "SIM_MODES", "clear_partition_memo"]
+__all__ = [
+    "SubPartitionSim",
+    "SMSim",
+    "SIM_MODES",
+    "clear_partition_memo",
+    "clear_schedule_memo",
+]
 
 _MAX_DEFAULT_CYCLES = 50_000_000
 
@@ -55,10 +63,26 @@ _MAX_TRACKED_STATES = 8192
 _PARTITION_MEMO: dict[tuple, PartitionStats] = {}
 _PARTITION_MEMO_MAX = 2048
 
+#: Process-wide steady-state *schedule* memo, keyed by (timing
+#: signature, policy, per-warp loop bodies) — deliberately excluding
+#: iteration counts.  Issue decisions never read ``iters_left`` (only
+#: completion does), so the warm-up schedule up to the first detected
+#: recurrence replays verbatim for any kernel with the same loop
+#: structure whose warps run at least that many iterations.  Recording
+#: the two anchor visits lets sibling kernels — e.g. every layer of a
+#: ViT forward pass — land directly on the steady state.
+_SCHEDULE_MEMO: dict[tuple, tuple] = {}
+_SCHEDULE_MEMO_MAX = 1024
+
 
 def clear_partition_memo() -> None:
     """Drop the process-wide partition-result memo (test hygiene)."""
     _PARTITION_MEMO.clear()
+
+
+def clear_schedule_memo() -> None:
+    """Drop the process-wide steady-state schedule memo (test hygiene)."""
+    _SCHEDULE_MEMO.clear()
 
 
 class _WarpState:
@@ -145,37 +169,6 @@ class SubPartitionSim:
         self.timings = timings
         self.warps = [_WarpState(w) for w in warps]
 
-    def _state_key(
-        self,
-        cycle: int,
-        pipe_busy_until: dict[OpClass, int],
-        op_order: tuple[OpClass, ...],
-        rr: int,
-    ) -> tuple:
-        """Normalized relative scheduler state (the recurrence signature).
-
-        Per warp: segment cursor, instructions left in the segment, and
-        readiness offset (clamped at 0 — "ready since when" cannot
-        influence the future).  Per pipe: busy offset, same clamp.
-        ``iters_left`` is deliberately excluded: it is the one unbounded
-        coordinate, and the fast-forward handles it arithmetically.
-        """
-        warp_sig = tuple(
-            0
-            if w.done
-            else (
-                w.seg,
-                w.remaining,
-                w.next_ready - cycle if w.next_ready > cycle else 0,
-            )
-            for w in self.warps
-        )
-        pipe_sig = tuple(
-            pipe_busy_until[op] - cycle if pipe_busy_until[op] > cycle else 0
-            for op in op_order
-        )
-        return (warp_sig, pipe_sig, rr if self.policy == "lrr" else 0)
-
     def run(self, max_cycles: int = _MAX_DEFAULT_CYCLES) -> PartitionStats:
         """Run to completion; returns issue statistics.
 
@@ -184,87 +177,84 @@ class SubPartitionSim:
         model has no deadlocks, so this indicates an absurd workload).
         """
         SubPartitionSim.invocations += 1
+        if not any(not w.done for w in self.warps):
+            return PartitionStats()
+        if self.mode == "exact":
+            return self._run_exact(max_cycles)
+        req = _jit.jit_requested()
+        if req == "1" and not _jit.jit_available():
+            raise SimulationError(
+                "REPRO_SIM_JIT=1 but numba is not importable; install numba "
+                "or unset the knob"
+            )
+        if req != "0" and _jit.jit_available():
+            return self._run_compiled(max_cycles)
+        return self._run_periodic(max_cycles)
+
+    def _run_compiled(self, max_cycles: int) -> PartitionStats:
+        """Periodic mode on the compiled drain loop (:mod:`repro.sim._jit`).
+
+        Bit-identical to the other engines: the compiled loop replicates
+        the exact engine's arbitration instruction for instruction, and
+        issue counts are closed-form regardless of engine.
+        """
+        live = [w.program for w in self.warps if not w.done]
+        for p in live:
+            for op, _ in p.body:
+                if op not in self.timings:
+                    raise KeyError(op)
+        res = _jit.drain(live, self.timings, self.policy, max_cycles)
+        if res is None:
+            raise SimulationError(
+                f"workload did not drain within {max_cycles} cycles"
+            )
+        cycles, idle = res
+        return self._final_stats(cycles, idle)
+
+    def _final_stats(self, cycle: int, idle: int) -> PartitionStats:
+        """Assemble PartitionStats from the drained run's cycle counts.
+
+        Issue counts are schedule-independent — the loop drains every
+        program completely, so they follow from the programs in closed
+        form, and each issue occupies its pipe for exactly the
+        initiation interval.  Only ``cycles``/``idle`` need the loop.
+        """
+        counts = {op: 0 for op in self.timings}
+        for w in self.warps:
+            it = w.program.iterations
+            if it:
+                for op, c in w.program.body:
+                    counts[op] += c * it
         stats = PartitionStats()
+        stats.cycles = cycle
+        stats.idle_cycles = idle
+        stats.issued = {op: c for op, c in counts.items() if c}
+        stats.pipe_busy = {
+            op: min(c * self.timings[op].initiation_interval, cycle)
+            for op, c in counts.items()
+            if c * self.timings[op].initiation_interval
+        }
+        return stats
+
+    def _run_exact(self, max_cycles: int) -> PartitionStats:
+        """The plain cycle loop — the ``mode="exact"`` escape hatch and
+        the oracle the periodic engine is property-tested against."""
         warps = self.warps
         pending = sum(0 if w.done else 1 for w in warps)
-        if pending == 0:
-            return stats
-
         timings = self.timings
-        op_order = tuple(timings)
-        # Flattened timing tables: the issue loop reads these once per
-        # eligibility probe, so attribute chains are hoisted out.
         ii_of = {op: t.initiation_interval for op, t in timings.items()}
         gap_of = {op: t.issue_gap for op, t in timings.items()}
         pipe_busy_until = {op: 0 for op in timings}
-        issued = {op: 0 for op in timings}
-        busy_cycles = {op: 0 for op in timings}
         cycle = 0
         idle = 0
         rr = 0
         n = len(warps)
         lrr = self.policy == "lrr"
-
-        detect = self.mode == "periodic"
-        # Recurrence anchors: relative state -> absolute progress at the
-        # moment that state was first seen.  Anchors are only taken at
-        # the *reference warp's* iteration boundaries (the lowest-index
-        # live warp): a periodic schedule revisits those anchors once
-        # per period, and sampling one warp's wraps keeps detector
-        # overhead at O(1) amortized per issued instruction.
-        seen: dict[tuple, tuple] = {}
-        snapshot_due = False
-        ref = next((i for i, w in enumerate(warps) if not w.done), -1)
-
         while pending:
             if cycle > max_cycles:
                 raise SimulationError(
                     f"workload did not drain within {max_cycles} cycles"
                 )
-            if snapshot_due:
-                snapshot_due = False
-                key = self._state_key(cycle, pipe_busy_until, op_order, rr)
-                prev = seen.get(key)
-                if prev is None:
-                    if len(seen) < _MAX_TRACKED_STATES:
-                        seen[key] = (
-                            cycle,
-                            tuple(w.iters_left for w in warps),
-                            tuple(issued[op] for op in op_order),
-                            tuple(busy_cycles[op] for op in op_order),
-                            idle,
-                        )
-                else:
-                    p_cycle, p_iters, p_issued, p_busy, p_idle = prev
-                    period = cycle - p_cycle
-                    # Whole periods every warp can replay without any
-                    # warp finishing mid-period: the schedule between
-                    # the two visits repeats verbatim until then.
-                    skips = None
-                    for i, w in enumerate(warps):
-                        d = p_iters[i] - w.iters_left
-                        if d > 0:
-                            avail = (w.iters_left - 1) // d
-                            skips = avail if skips is None else min(skips, avail)
-                    if period > 0 and skips:
-                        jump = skips * period
-                        for i, w in enumerate(warps):
-                            d = p_iters[i] - w.iters_left
-                            if d:
-                                w.iters_left -= skips * d
-                            if w.next_ready > cycle:
-                                w.next_ready += jump
-                        for j, op in enumerate(op_order):
-                            if pipe_busy_until[op] > cycle:
-                                pipe_busy_until[op] += jump
-                            issued[op] += skips * (issued[op] - p_issued[j])
-                            busy_cycles[op] += skips * (
-                                busy_cycles[op] - p_busy[j]
-                            )
-                        idle += skips * (idle - p_idle)
-                        cycle += jump
-                        seen.clear()
-                        continue
             issued_this_cycle = False
             # "oldest": scan from index 0 (list position = priority).
             # "lrr": scan from the warp after the last issuer.
@@ -278,41 +268,9 @@ class SubPartitionSim:
                     continue
                 pipe_busy_until[op] = cycle + ii_of[op]
                 w.next_ready = cycle + gap_of[op]
-                issued[op] += 1
-                busy_cycles[op] += ii_of[op]
-                # Inline of _WarpState.advance(), plus wrap/done hooks
-                # for the recurrence detector.
-                w.remaining -= 1
-                if not w.remaining:
-                    body = w.program.body
-                    seg = w.seg + 1
-                    if seg == len(body):
-                        w.seg = 0
-                        w.iters_left -= 1
-                        if w.iters_left == 0:
-                            w.done = True
-                            pending -= 1
-                            if detect:
-                                # The warp population changed; anchors
-                                # recorded against the old population
-                                # cannot recur.
-                                seen.clear()
-                                if idx == ref:
-                                    ref = next(
-                                        (
-                                            i
-                                            for i, w2 in enumerate(warps)
-                                            if not w2.done
-                                        ),
-                                        -1,
-                                    )
-                        else:
-                            w.remaining = body[0][1]
-                            if detect and idx == ref:
-                                snapshot_due = True
-                    else:
-                        w.seg = seg
-                        w.remaining = body[seg][1]
+                w.advance()
+                if w.done:
+                    pending -= 1
                 rr = idx + 1 if idx + 1 < n else 0
                 issued_this_cycle = True
                 break
@@ -333,16 +291,348 @@ class SubPartitionSim:
                 nxt = cycle + 1
             idle += nxt - cycle
             cycle = nxt
-
         # The kernel finishes when the last pipe drains, not at the
         # last issue slot (a lone instruction still occupies its pipe
         # for the full initiation interval).
         cycle = max([cycle] + list(pipe_busy_until.values()))
-        stats.cycles = cycle
-        stats.idle_cycles = idle
-        stats.issued = {op: c for op, c in issued.items() if c}
-        stats.pipe_busy = {op: min(c, cycle) for op, c in busy_cycles.items() if c}
-        return stats
+        return self._final_stats(cycle, idle)
+
+    def _run_periodic(self, max_cycles: int) -> PartitionStats:
+        """The fast engine: bitmask arbitration + steady-state jumps.
+
+        Semantically identical to :meth:`_run_exact` (property-tested on
+        every :class:`PartitionStats` field), reorganized for speed:
+
+        * Warp state lives in flat parallel lists; per-op *want* masks
+          (bit ``i`` set when warp ``i``'s next instruction needs that
+          pipe) and a *ready* mask turn the priority scan into a few
+          integer ops — ``eligible = ready & union(want[free pipes])``,
+          and the lowest set bit IS the oldest-policy winner.
+        * A ``wake`` table (cycle -> warp mask) re-readies warps after
+          their issue gap without per-warp comparisons.
+        * The recurrence detector anchors at the reference warp's wrap
+          boundaries; on a repeat of the relative state the schedule is
+          periodic and whole periods are advanced arithmetically.
+          Anchors survive jumps and completions: the state key marks
+          each done warp, so a key match proves the done-set is
+          unchanged between the two visits and the deltas stay exact.
+        * A process-wide schedule memo replays the warm-up prefix
+          across kernels that share (timings, policy, loop bodies) —
+          see :data:`_SCHEDULE_MEMO`.
+        """
+        timings = self.timings
+        op_order = tuple(timings)
+        n_ops = len(OpClass)
+        ii = [0] * n_ops
+        gap = [0] * n_ops
+        present = [False] * n_ops
+        for op, t in timings.items():
+            ii[op] = t.initiation_interval
+            gap[op] = t.issue_gap
+            present[op] = True
+        warps = self.warps
+        n = len(warps)
+        full = (1 << n) - 1
+        segops: list[tuple[int, ...]] = []
+        segcnt: list[tuple[int, ...]] = []
+        seg = [0] * n
+        rem = [0] * n
+        iters = [0] * n
+        ready_at = [0] * n
+        cur = [0] * n
+        live = 0
+        for i, w in enumerate(warps):
+            p = w.program
+            iters[i] = p.iterations
+            if w.done:
+                segops.append(())
+                segcnt.append(())
+                continue
+            ops_i = tuple(int(op) for op in w.ops)
+            for o in ops_i:
+                if not present[o]:
+                    raise KeyError(OpClass(o))
+            segops.append(ops_i)
+            segcnt.append(tuple(c for _, c in p.body))
+            live |= 1 << i
+            rem[i] = p.body[0][1]
+            cur[i] = ops_i[0]
+        used = set()
+        for t_ in segops:
+            used.update(t_)
+        ops_active = sorted(used)
+        want = [0] * n_ops
+        for i in range(n):
+            if (live >> i) & 1:
+                want[cur[i]] |= 1 << i
+        pending = bin(live).count("1")
+        pipe_busy = [0] * n_ops
+        ready = live
+        wake: dict[int, int] = {}
+        cycle = 0
+        idle = 0
+        rr = 0
+        lrr = self.policy == "lrr"
+        # Recurrence anchors: relative state -> absolute progress at the
+        # moment that state was last seen.  Anchors are only taken at
+        # the *reference warp's* iteration boundaries (the lowest-index
+        # live warp): a periodic schedule revisits those anchors once
+        # per period, and sampling one warp's wraps keeps detector
+        # overhead at O(1) amortized per issued instruction.
+        seen: dict[tuple, tuple] = {}
+        snapshot_due = False
+        ref = (live & -live).bit_length() - 1
+        completed_any = False
+        init_iters = tuple(iters)
+        memo_key = (
+            tuple((op, ii[op], gap[op]) for op in op_order),
+            self.policy,
+            tuple(w.program.body for w in warps),
+        )
+        rec = _SCHEDULE_MEMO.get(memo_key)
+        if rec is not None:
+            # Cross-kernel warm-up replay.  Issue decisions never read
+            # ``iters_left`` (only completion does), so the memoized
+            # prefix schedule replays verbatim for any workload whose
+            # live warps each hold more iterations than the prefix
+            # consumed; land on the second anchor, advanced by as many
+            # whole periods as the iteration counts allow.
+            c0, cons0, idle0, c1, cons1, idle1, key0, rr0 = rec
+            iters_c1 = [0] * n
+            ok = True
+            for i in range(n):
+                if not (live >> i) & 1:
+                    iters_c1[i] = iters[i]
+                    continue
+                left = iters[i] - cons1[i]
+                if left < 1:
+                    ok = False
+                    break
+                iters_c1[i] = left
+            if ok:
+                period = c1 - c0
+                skips = None
+                for i in range(n):
+                    d = cons1[i] - cons0[i]
+                    if d > 0:
+                        avail = (iters_c1[i] - 1) // d
+                        skips = avail if skips is None else min(skips, avail)
+                if skips is None:  # pragma: no cover - recurrence implies progress
+                    skips = 0
+                cycle = c1 + skips * period
+                idle = idle1 + skips * (idle1 - idle0)
+                warp_sig, pipe_sig, _ = key0
+                want = [0] * n_ops
+                ready = live
+                for i in range(n):
+                    sig = warp_sig[i]
+                    if sig == 0:
+                        continue  # done at init; matched by the memo key
+                    b = 1 << i
+                    seg[i] = sig[0]
+                    rem[i] = sig[1]
+                    cur[i] = segops[i][sig[0]]
+                    want[cur[i]] |= b
+                    off = sig[2]
+                    if off:
+                        ready &= ~b
+                        t_ = cycle + off
+                        wake[t_] = wake.get(t_, 0) | b
+                        ready_at[i] = t_
+                    else:
+                        ready_at[i] = cycle
+                    iters[i] = iters_c1[i] - skips * (cons1[i] - cons0[i])
+                for j, op in enumerate(op_order):
+                    pipe_busy[op] = cycle + pipe_sig[j]
+                rr = rr0
+                # Seed the detector with the landing anchor so the next
+                # visit (one period out) jumps immediately.
+                seen[key0] = (cycle, tuple(iters), idle)
+                memo_key = None
+
+        while pending:
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"workload did not drain within {max_cycles} cycles"
+                )
+            if wake:
+                m = wake.pop(cycle, 0)
+                if m:
+                    ready |= m
+            if snapshot_due:
+                snapshot_due = False
+                key = (
+                    tuple(
+                        (
+                            seg[i],
+                            rem[i],
+                            ready_at[i] - cycle if ready_at[i] > cycle else 0,
+                        )
+                        if (live >> i) & 1
+                        else 0
+                        for i in range(n)
+                    ),
+                    tuple(
+                        pipe_busy[op] - cycle if pipe_busy[op] > cycle else 0
+                        for op in op_order
+                    ),
+                    rr if lrr else 0,
+                )
+                prev = seen.get(key)
+                if prev is None:
+                    if len(seen) < _MAX_TRACKED_STATES:
+                        seen[key] = (cycle, tuple(iters), idle)
+                else:
+                    p_cycle, p_iters, p_idle = prev
+                    period = cycle - p_cycle
+                    if memo_key is not None and not completed_any:
+                        # First recurrence of an un-memoized structure,
+                        # with the full warm-up schedule still intact:
+                        # record both anchor visits (as consumed
+                        # iterations, so kernels with other iteration
+                        # counts can reuse them) for sibling launches.
+                        if len(_SCHEDULE_MEMO) >= _SCHEDULE_MEMO_MAX:
+                            _SCHEDULE_MEMO.clear()
+                        _SCHEDULE_MEMO[memo_key] = (
+                            p_cycle,
+                            tuple(
+                                init_iters[i] - p_iters[i] for i in range(n)
+                            ),
+                            p_idle,
+                            cycle,
+                            tuple(
+                                init_iters[i] - iters[i] for i in range(n)
+                            ),
+                            idle,
+                            key,
+                            rr,
+                        )
+                        memo_key = None
+                    # Whole periods every warp can replay without any
+                    # warp finishing mid-period: the schedule between
+                    # the two visits repeats verbatim until then.
+                    skips = None
+                    for i in range(n):
+                        d = p_iters[i] - iters[i]
+                        if d > 0:
+                            avail = (iters[i] - 1) // d
+                            skips = avail if skips is None else min(skips, avail)
+                    jumped = False
+                    if period > 0 and skips:
+                        jump = skips * period
+                        for i in range(n):
+                            d = p_iters[i] - iters[i]
+                            if d:
+                                iters[i] -= skips * d
+                            if ready_at[i] > cycle:
+                                ready_at[i] += jump
+                        if wake:
+                            wake = {t + jump: m for t, m in wake.items()}
+                        for op in ops_active:
+                            if pipe_busy[op] > cycle:
+                                pipe_busy[op] += jump
+                        idle += skips * (idle - p_idle)
+                        cycle += jump
+                        jumped = True
+                    # Slide the anchor to this (possibly post-jump)
+                    # visit.  Any prior visit of the same relative state
+                    # makes an exact delta, but the freshest pair keeps
+                    # the per-period consumption minimal — under the
+                    # "oldest" policy the front-runner warp burns
+                    # iterations far faster than the rest, and a stale
+                    # anchor's inflated deltas would pin ``skips`` at 0
+                    # for the remainder of the run.
+                    seen[key] = (cycle, tuple(iters), idle)
+                    if jumped:
+                        continue
+            elig = 0
+            for o in ops_active:
+                if pipe_busy[o] <= cycle:
+                    elig |= want[o]
+            elig &= ready
+            if elig:
+                if lrr and rr:
+                    # Rotate so the scan starts at the warp after the
+                    # last issuer, then the lowest set bit wins.
+                    rot = ((elig >> rr) | (elig << (n - rr))) & full
+                    idx = (rot & -rot).bit_length() - 1 + rr
+                    if idx >= n:
+                        idx -= n
+                    b = 1 << idx
+                else:
+                    b = elig & -elig
+                    idx = b.bit_length() - 1
+                op = cur[idx]
+                pipe_busy[op] = cycle + ii[op]
+                t_ = cycle + gap[op]
+                ready &= ~b
+                ready_at[idx] = t_
+                wake[t_] = wake.get(t_, 0) | b
+                r = rem[idx] - 1
+                if r:
+                    rem[idx] = r
+                else:
+                    s = seg[idx] + 1
+                    ops_i = segops[idx]
+                    if s == len(ops_i):
+                        seg[idx] = 0
+                        it = iters[idx] - 1
+                        iters[idx] = it
+                        if it == 0:
+                            live &= ~b
+                            want[op] &= ~b
+                            m2 = wake[t_] & ~b
+                            if m2:
+                                wake[t_] = m2
+                            else:
+                                del wake[t_]
+                            pending -= 1
+                            completed_any = True
+                            if idx == ref:
+                                ref = (live & -live).bit_length() - 1
+                        else:
+                            rem[idx] = segcnt[idx][0]
+                            nop = ops_i[0]
+                            if nop != op:
+                                want[op] &= ~b
+                                want[nop] |= b
+                                cur[idx] = nop
+                            if idx == ref:
+                                snapshot_due = True
+                    else:
+                        seg[idx] = s
+                        rem[idx] = segcnt[idx][s]
+                        nop = ops_i[s]
+                        if nop != op:
+                            want[op] &= ~b
+                            want[nop] |= b
+                            cur[idx] = nop
+                rr = idx + 1 if idx + 1 < n else 0
+                cycle += 1
+                continue
+            # Nothing issuable: fast-forward to the next time anything
+            # could become eligible — the earliest pending wake-up or,
+            # for ready-but-blocked warps, the earliest pipe release.
+            nxt = -1
+            for t_ in wake:
+                if nxt < 0 or t_ < nxt:
+                    nxt = t_
+            for o in ops_active:
+                if want[o] & ready:
+                    pb = pipe_busy[o]
+                    if nxt < 0 or pb < nxt:
+                        nxt = pb
+            if nxt <= cycle:  # pragma: no cover - defensive
+                nxt = cycle + 1
+            idle += nxt - cycle
+            cycle = nxt
+
+        # The kernel finishes when the last pipe drains, not at the
+        # last issue slot (a lone instruction still occupies its pipe
+        # for the full initiation interval).
+        cycle = max([cycle] + pipe_busy)
+        return self._final_stats(cycle, idle)
+
 
 
 class SMSim:
@@ -394,7 +684,23 @@ class SMSim:
             (op, t.initiation_interval, t.issue_gap)
             for op, t in self.timings.items()
         )
-        for bucket in self.distribute(warps):
+        # Counted per bucket *priced* (memo hits included), not per
+        # engine execution: pricing activity is deterministic for a
+        # deterministic workload, while execution counts would depend
+        # on what earlier runs left in the process-wide memo.
+        if self.mode == "exact":
+            engine = "exact"
+        elif _jit.jit_requested() != "0" and _jit.jit_available():
+            engine = "numba"
+        else:
+            engine = "fastforward"
+        buckets = self.distribute(warps)
+        obs.counter(
+            "sim_partitions_priced_total",
+            "sub-partition buckets priced, by issue-loop engine",
+            labels={"engine": engine},
+        ).inc(len(buckets))
+        for bucket in buckets:
             key = (timing_sig, self.policy, self.mode, tuple(bucket))
             prev = _PARTITION_MEMO.get(key)
             if prev is None:

@@ -1,0 +1,175 @@
+"""The packed-GEMM backend registry, and backend-parity differential fuzz.
+
+Every backend's contract is *bit-identity* with the ``numpy_blocked``
+reference on every input — same products, same stats, same
+:class:`~repro.errors.OverflowBudgetError` behaviour.  The numba
+backend's cores are plain Python functions when numba is absent (this
+container), so the fuzz below exercises the identical logic everywhere;
+the CI ``perf-smoke`` numba leg reruns it compiled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OverflowBudgetError, PackingError
+from repro.packing import (
+    available_backends,
+    backend_names,
+    get_backend,
+    packed_gemm,
+    packed_gemm_unsigned,
+    policy_for_bitwidth,
+    reference_gemm,
+)
+from repro.packing.backends import BACKEND_ENV_VAR, DEFAULT_BACKEND
+from repro.packing.backends.numba_jit import NumbaGemmBackend, numba_available
+from repro.packing.gemm import PackedGemmStats
+
+
+@pytest.fixture
+def forced_numba(monkeypatch):
+    """Make the numba backend resolvable even without numba installed
+    (its cores run as pure Python — same logic, slower)."""
+    monkeypatch.setattr(NumbaGemmBackend, "available", lambda self: True)
+
+
+class TestRegistry:
+    def test_known_backends_registered(self):
+        assert "numpy_blocked" in backend_names()
+        assert "numba" in backend_names()
+
+    def test_default_always_available(self):
+        assert DEFAULT_BACKEND in available_backends()
+
+    def test_numba_availability_matches_import(self):
+        assert ("numba" in available_backends()) == numba_available()
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(PackingError, match="unknown"):
+            get_backend("tvm")
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy_blocked")
+        assert get_backend().name == "numpy_blocked"
+
+    def test_explicit_name_overrides_env(self, monkeypatch, forced_numba):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numba")
+        assert get_backend("numpy_blocked").name == "numpy_blocked"
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed here")
+    def test_unavailable_backend_falls_back_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="numba"):
+            backend = get_backend("numba")
+        assert backend.name == DEFAULT_BACKEND
+
+
+def _random_case(rng):
+    """One random GEMM instance: policy, signed A, in-range unsigned B."""
+    bits = int(rng.choice([2, 3, 4, 5, 6, 7, 8]))
+    policy = policy_for_bitwidth(bits)
+    m = int(rng.integers(1, 7))
+    n = int(rng.integers(1, 9))
+    k = int(rng.integers(1, 33))
+    # Asymmetric widths: A's magnitude bitwidth varies independently of
+    # B's packed value width.
+    a_bits = int(rng.integers(1, 7))
+    a = rng.integers(-(2**a_bits) + 1, 2**a_bits, size=(m, k), dtype=np.int64)
+    b = rng.integers(0, policy.max_value + 1, size=(k, n), dtype=np.int64)
+    return policy, a, b
+
+
+class TestBackendParity:
+    """Differential fuzz: numba cores vs numpy_blocked vs reference."""
+
+    @pytest.mark.parametrize("method", ["chunked", "lane"])
+    def test_parity_fuzz(self, method, forced_numba):
+        rng = np.random.default_rng(20260807)
+        for _ in range(40):
+            policy, a, b = _random_case(rng)
+            want = reference_gemm(a, b)
+            stats = {}
+            results = {}
+            for backend in ("numpy_blocked", "numba"):
+                st = PackedGemmStats()
+                try:
+                    results[backend] = packed_gemm(
+                        a, b, policy, method=method, backend=backend, stats=st
+                    )
+                except OverflowBudgetError:
+                    results[backend] = "overflow"
+                stats[backend] = st
+            assert type(results["numba"]) is type(results["numpy_blocked"])
+            if isinstance(results["numba"], str):
+                continue  # both raised the canonical error — parity holds
+            np.testing.assert_array_equal(results["numba"], want)
+            np.testing.assert_array_equal(
+                results["numba"], results["numpy_blocked"]
+            )
+            assert stats["numba"] == stats["numpy_blocked"]
+
+    @pytest.mark.parametrize("backend", ["numpy_blocked", "numba"])
+    @pytest.mark.parametrize("method", ["chunked", "lane"])
+    def test_k_zero(self, backend, method, forced_numba):
+        """K=0 short-circuits to an exact all-zero product everywhere."""
+        policy = policy_for_bitwidth(8)
+        a = np.zeros((3, 0), dtype=np.int64)
+        b = np.zeros((0, 5), dtype=np.int64)
+        out = packed_gemm(a, b, policy, method=method, backend=backend)
+        np.testing.assert_array_equal(out, reference_gemm(a, b))
+        assert out.shape == (3, 5)
+
+    def test_unsigned_path_parity(self, forced_numba):
+        """packed_gemm_unsigned agrees across backends on ViT-ish tiles."""
+        rng = np.random.default_rng(7)
+        policy = policy_for_bitwidth(8)
+        a = rng.integers(0, 64, size=(8, 48), dtype=np.int64)
+        b = rng.integers(0, policy.max_value + 1, size=(48, 10), dtype=np.int64)
+        want = reference_gemm(a, b)
+        for method in ("chunked", "lane"):
+            got_np = packed_gemm_unsigned(
+                a, b, policy, method=method, backend="numpy_blocked"
+            )
+            got_nb = packed_gemm_unsigned(
+                a, b, policy, method=method, backend="numba"
+            )
+            np.testing.assert_array_equal(got_np, want)
+            np.testing.assert_array_equal(got_nb, want)
+
+    def test_overflow_parity_on_declared_bitwidth_violation(self, forced_numba):
+        """Operands violating the declared widths trip the same canonical
+        error in every backend (chunked method asserts the register)."""
+        policy = policy_for_bitwidth(8)
+        k = 64
+        a = np.full((1, k), 255, dtype=np.int64)
+        # Two columns so both lanes of each packed register are populated
+        # (a lone column leaves the top lane zero and the sums tiny).
+        b = np.full((k, 2), policy.max_value, dtype=np.int64)
+        errors = {}
+        for backend in ("numpy_blocked", "numba"):
+            with pytest.raises(OverflowBudgetError) as exc:
+                # Lie about a_bits to defeat the pre-flight depth choice.
+                packed_gemm_unsigned(
+                    a, b, policy, a_bits=1, method="chunked", backend=backend
+                )
+            errors[backend] = str(exc.value)
+        assert errors["numba"] == errors["numpy_blocked"]
+
+
+class TestReferenceGemmAccumulator:
+    def test_int64_accumulation_survives_32bit_wrap(self):
+        """A dot product whose partial sums exceed 2**31 must not wrap:
+        the matmul accumulator is pinned to int64, not the platform
+        default integer."""
+        k = 1024
+        a = np.full((1, k), 2**15, dtype=np.int64)
+        b = np.full((k, 1), 2**15, dtype=np.int64)
+        out = reference_gemm(a, b)
+        assert out.dtype == np.int64
+        assert int(out[0, 0]) == k * 2**30  # far beyond 2**32
+
+    def test_int32_inputs_promoted_exactly(self):
+        a = np.full((1, 3), 2**30, dtype=np.int32)
+        b = np.ones((3, 1), dtype=np.int32)
+        assert int(reference_gemm(a, b)[0, 0]) == 3 * 2**30

@@ -11,6 +11,8 @@ tail iterations, and a regression check pins the Fig. 10 IPC numbers.
 
 from __future__ import annotations
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -18,8 +20,14 @@ from hypothesis import strategies as st
 from repro.arch.specs import SMSpec
 from repro.errors import SimulationError
 from repro.sim import OpClass, SubPartitionSim, WarpProgram, default_timings
+from repro.sim import _jit
 from repro.sim.instruction import PipeTiming
-from repro.sim.smsim import SIM_MODES, SMSim, clear_partition_memo
+from repro.sim.smsim import (
+    SIM_MODES,
+    SMSim,
+    clear_partition_memo,
+    clear_schedule_memo,
+)
 
 TIMINGS = default_timings(SMSpec())
 
@@ -136,6 +144,157 @@ def test_smsim_modes_agree_and_memo_replays():
     again[0].issued[OpClass.INT] = -1
     assert SMSim(sm, mode="periodic").run(warps)[0].issued[OpClass.INT] != -1
     clear_partition_memo()
+
+
+def _random_programs(rng, n):
+    warps = []
+    for _ in range(n):
+        if rng.random() < 0.15:
+            warps.append(WarpProgram.empty())
+            continue
+        body = tuple(
+            (OpClass(rng.randrange(len(OpClass))), rng.randint(1, 6))
+            for _ in range(rng.randint(1, 4))
+        )
+        warps.append(WarpProgram(body=body, iterations=rng.randint(1, 40)))
+    return warps
+
+
+def test_jit_drain_core_matches_exact_seeded():
+    """The (pure-Python here, numba-compiled in CI) drain core replays
+    the exact engine's (cycles, idle) on a seeded random corpus."""
+    rng = random.Random(0xC0DE)
+    checked = 0
+    for _ in range(50):
+        warps = _random_programs(rng, rng.randint(1, 8))
+        live = [w for w in warps if not w.is_empty]
+        if not live:
+            continue
+        policy = rng.choice(["oldest", "lrr"])
+        exact = SubPartitionSim(
+            TIMINGS, warps, policy=policy, mode="exact"
+        ).run()
+        res = _jit.drain(live, TIMINGS, policy, 50_000_000)
+        assert res == (exact.cycles, exact.idle_cycles)
+        checked += 1
+    assert checked > 30
+
+
+def test_jit_drain_reports_cycle_overflow():
+    """The core signals non-drainage instead of looping forever."""
+    prog = WarpProgram(body=((OpClass.INT, 4),), iterations=1000)
+    assert _jit.drain([prog], TIMINGS, "oldest", 100) is None
+
+
+def test_forced_jit_path_bit_identical(monkeypatch):
+    """With jit selected, SubPartitionSim routes periodic mode through
+    the drain core and stays bit-identical (the CI numba leg runs this
+    compiled; here the same function runs under CPython)."""
+    monkeypatch.setattr(_jit, "_HAVE_NUMBA", True)
+    monkeypatch.setenv("REPRO_SIM_JIT", "auto")
+    rng = random.Random(42)
+    for _ in range(10):
+        warps = _random_programs(rng, rng.randint(1, 6))
+        policy = rng.choice(["oldest", "lrr"])
+        exact = SubPartitionSim(
+            TIMINGS, warps, policy=policy, mode="exact"
+        ).run()
+        fast = SubPartitionSim(
+            TIMINGS, warps, policy=policy, mode="periodic"
+        ).run()
+        assert _stats_tuple(fast) == _stats_tuple(exact)
+        # Byte-identity includes dict iteration order.
+        assert list(fast.issued) == list(exact.issued)
+        assert list(fast.pipe_busy) == list(exact.pipe_busy)
+
+
+def test_jit_knob_off_bypasses_drain(monkeypatch):
+    """REPRO_SIM_JIT=0 pins the pure-Python fast-forward engine even
+    when numba is importable."""
+    monkeypatch.setattr(_jit, "_HAVE_NUMBA", True)
+    monkeypatch.setenv("REPRO_SIM_JIT", "0")
+
+    def boom(*a, **k):  # pragma: no cover - failure path
+        raise AssertionError("drain must not be called with the knob off")
+
+    monkeypatch.setattr(_jit, "drain", boom)
+    prog = WarpProgram(body=((OpClass.INT, 4),), iterations=10)
+    SubPartitionSim(TIMINGS, [prog], mode="periodic").run()
+
+
+def test_jit_required_without_numba_raises(monkeypatch):
+    """REPRO_SIM_JIT=1 fails loudly when numba is missing."""
+    monkeypatch.setattr(_jit, "_HAVE_NUMBA", False)
+    monkeypatch.setenv("REPRO_SIM_JIT", "1")
+    prog = WarpProgram(body=((OpClass.INT, 4),), iterations=10)
+    with pytest.raises(SimulationError, match="REPRO_SIM_JIT"):
+        SubPartitionSim(TIMINGS, [prog], mode="periodic").run()
+
+
+def test_jit_knob_normalization(monkeypatch):
+    """The env knob accepts the usual boolean spellings."""
+    for raw, want in (
+        ("0", "0"), ("off", "0"), ("False", "0"), ("no", "0"),
+        ("1", "1"), ("require", "1"), ("True", "1"), ("yes", "1"),
+        ("auto", "auto"), ("", "auto"), ("bogus", "auto"),
+    ):
+        monkeypatch.setenv("REPRO_SIM_JIT", raw)
+        assert _jit.jit_requested() == want
+    monkeypatch.delenv("REPRO_SIM_JIT")
+    assert _jit.jit_requested() == "auto"
+
+
+def test_cross_kernel_schedule_memo_replays_bit_identical(monkeypatch):
+    """Kernels sharing (timings, policy, loop bodies) but differing in
+    iteration count replay the memoized warm-up schedule — and every
+    PartitionStats byte must still match the exact engine."""
+    monkeypatch.setenv("REPRO_SIM_JIT", "0")  # pin the fast-forward engine
+    from repro.sim.smsim import _SCHEDULE_MEMO
+
+    clear_schedule_memo()
+    body = ((OpClass.INT, 2), (OpClass.FP, 1))
+    for policy in ("oldest", "lrr"):
+        for iters in (60, 45, 90, 33, 200):
+            warps = [WarpProgram(body=body, iterations=iters) for _ in range(6)]
+            exact = SubPartitionSim(
+                TIMINGS, warps, policy=policy, mode="exact"
+            ).run()
+            fast = SubPartitionSim(
+                TIMINGS, warps, policy=policy, mode="periodic"
+            ).run()
+            assert _stats_tuple(fast) == _stats_tuple(exact)
+            assert list(fast.issued) == list(exact.issued)
+            assert list(fast.pipe_busy) == list(exact.pipe_busy)
+    # The warm-up schedule for this structure was actually memoized
+    # (i.e. the runs above exercised the cross-kernel replay path).
+    assert len(_SCHEDULE_MEMO) > 0
+    clear_schedule_memo()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    body=segments.map(tuple),
+    iter_seq=st.lists(
+        st.integers(min_value=1, max_value=120), min_size=2, max_size=5
+    ),
+    copies=st.integers(min_value=1, max_value=6),
+    policy=policies,
+)
+def test_property_multi_kernel_periodic_bit_identical(
+    body, iter_seq, copies, policy
+):
+    """A multi-kernel launch sequence (same bodies, varying iteration
+    counts — the ViT layer case) stays bit-identical under the periodic
+    engine, with the schedule memo warm across kernels."""
+    for iters in iter_seq:
+        warps = [WarpProgram(body=body, iterations=iters)] * copies
+        exact = SubPartitionSim(
+            TIMINGS, warps, policy=policy, mode="exact"
+        ).run()
+        fast = SubPartitionSim(
+            TIMINGS, warps, policy=policy, mode="periodic"
+        ).run()
+        assert _stats_tuple(fast) == _stats_tuple(exact)
 
 
 def test_fig10_ipc_regression_unchanged_by_engine():

@@ -12,6 +12,7 @@ from repro.packing import (
     Packer,
     lane_extract,
     lane_insert,
+    lanes_extract,
     packed_add,
     packed_scalar_mul,
     policy_for_bitwidth,
@@ -118,6 +119,27 @@ class TestLaneAccess:
         x = np.zeros(1, dtype=np.uint32)
         with pytest.raises(PackingError):
             lane_insert(x, 0, np.array([1 << 20]), POL8)
+
+    def test_lanes_extract_matches_per_lane(self):
+        """One broadcast pass == the per-lane loop it replaces, lane 0
+        (least significant) first."""
+        p = Packer(POL4)
+        x = p.pack(np.array([1, 2, 3, 4, 5, 6, 7, 8]))
+        allx = lanes_extract(x, POL4)
+        assert allx.shape == x.shape + (POL4.lanes,)
+        assert allx.dtype == np.int64
+        for lane in range(POL4.lanes):
+            assert np.array_equal(allx[..., lane], lane_extract(x, lane, POL4))
+
+    def test_lanes_extract_multidim_and_empty(self):
+        x2 = np.zeros((3, 5), dtype=np.uint32)
+        assert lanes_extract(x2, POL8).shape == (3, 5, POL8.lanes)
+        empty = np.zeros(0, dtype=np.uint32)
+        assert lanes_extract(empty, POL8).shape == (0, POL8.lanes)
+
+    def test_lanes_extract_wrong_dtype_rejected(self):
+        with pytest.raises(PackingError):
+            lanes_extract(np.zeros(4, dtype=np.int32), POL8)
 
 
 @settings(max_examples=200, deadline=None)

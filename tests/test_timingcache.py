@@ -123,6 +123,45 @@ def _launch(pm):
     return gemm_launch(SHAPE, VITBIT, pm.machine, pm.policy, pm.params, 4.0)
 
 
+def test_fast_cache_key_matches_slow_path(tmp_path):
+    """PerformanceModel._cache_key splices pre-serialized fragments; it
+    must equal key_for(_cache_payload(launch)) byte for byte, including
+    after rebinding the attributes the static slice depends on."""
+    import dataclasses
+
+    from repro.fusion import TC
+    from repro.perfmodel.warpsets import gemm_launch
+
+    pm = _fresh_pm(tmp_path)
+    for strat in (TC, VITBIT):
+        for shape in (SHAPE, GemmShape(64, 96, 128, name="u")):
+            launch = gemm_launch(
+                shape, strat, pm.machine, pm.policy, pm.params, 4.0
+            )
+            assert pm._cache_key(launch) == TimingCache.key_for(
+                pm._cache_payload(launch)
+            )
+    # Rebinding params must invalidate the cached static fragment.
+    launch = _launch(pm)
+    before = pm._cache_key(launch)
+    pm.params = dataclasses.replace(
+        pm.params,
+        target_sim_instructions=pm.params.target_sim_instructions + 1,
+    )
+    after = pm._cache_key(launch)
+    assert after != before
+    assert after == TimingCache.key_for(pm._cache_payload(launch))
+
+
+def test_precomputed_key_roundtrip(tmp_path):
+    """get/put accept a precomputed key and then ignore the payload."""
+    cache = TimingCache(tmp_path / "c")
+    key = TimingCache.key_for({"k": 1})
+    cache.put(None, {"v": 7}, key=key)
+    assert cache.get(None, key=key) == {"v": 7}
+    assert cache.get({"k": 1}) == {"v": 7}  # same hash, same entry
+
+
 def test_default_cache_honors_env(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_TIMING_CACHE", "0")
     TimingCache.reset_default()
