@@ -1,0 +1,141 @@
+"""The packing-policy search Pareto sweep, and its dominance audit.
+
+Runs :func:`repro.packing.search.search_policies` over the standard
+operand pairs at the ViT-Base depth (K = 768) and publishes the Pareto
+frontier — density x proven-safe depth x predicted MAC/s — plus the
+learned table into ``summary.json`` under ``policy_search``.
+
+The CI ``policy-search-smoke`` job runs this file and fails the build
+unless:
+
+* every learned entry **matches or beats** the static Fig. 3 layout's
+  predicted MAC/s (the search can only improve on the rule, never
+  regress it — the rule's layout is always in the candidate set);
+* re-running the overflow prover over every emitted entry yields
+  **zero refutations** (no admitted plan is refutable);
+* at least one asymmetric pair ships a **denser-than-Fig. 3**
+  proven-safe layout, and that layout's packed GEMM is bit-exact
+  against ``reference_gemm`` at the full proven depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.packing import packed_gemm_unsigned, reference_gemm
+from repro.packing.search import (
+    DEFAULT_DEPTH,
+    search_policies,
+)
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+
+M, N = 196, 196  # ViT-Base token tile (matches DEFAULT_SHAPE)
+K = DEFAULT_DEPTH
+
+
+def test_policy_search_pareto(report, benchmark):
+    result = benchmark(lambda: search_policies(k=K, processes=1))
+    table = result.table
+    table.save()  # benchmarks/out/policy_table.json, the shipped artifact
+
+    pareto = format_table(
+        ["pair", "lanes", "field", "chunk", "status", "depth", "density",
+         "MAC/s (1e6)"],
+        result.pareto_rows(),
+        title=f"policy-search Pareto sweep — K={K}, "
+              f"{result.counters['candidates']} candidates",
+    )
+    report(
+        "policy_search",
+        pareto,
+        k=K,
+        counters=result.counters,
+        chosen={
+            pair: {
+                "lanes": e["lanes"],
+                "field_bits": e["field_bits"],
+                "chunk_depth": e["chunk_depth"],
+                "density": e["density"],
+                "mac_per_s": e["mac_per_s"],
+                "static_lanes": e["static_lanes"],
+                "static_mac_per_s": e["static_mac_per_s"],
+            }
+            for pair, e in sorted(table.entries.items())
+        },
+    )
+    # The CI smoke asserts on this top-level section (merge_summary
+    # composes with the conftest sessionfinish writer).
+    obs.merge_summary("benchmarks/out/summary.json", {"policy_search": {
+        "k": K,
+        "counters": result.counters,
+        "entries": table.entries,
+        "sweep_simulations": result.sweep_simulations,
+    }})
+
+    # Sanity: the counters add up and refuted plans carry witnesses.
+    assert result.counters["candidates"] == len(result.outcomes)
+    assert result.counters["proven"] + result.counters["refuted"] == (
+        result.counters["candidates"]
+    )
+    refuted = [o for o in result.outcomes if o.status == "refuted"]
+    assert refuted and all(o.witness is not None for o in refuted)
+
+    # Dominance: the learned pick matches or beats the static layout's
+    # predicted throughput for every pair the static rule can price.
+    for pair, e in table.entries.items():
+        if e["static_mac_per_s"] is not None:
+            assert e["mac_per_s"] >= e["static_mac_per_s"], (
+                f"{pair}: learned {e['mac_per_s']:.3e} MAC/s loses to "
+                f"static {e['static_mac_per_s']:.3e}"
+            )
+
+    # Soundness: every emitted entry re-proves safe right now.
+    failures = table.reverify()
+    assert not failures, f"refutable entries shipped: {failures}"
+
+
+def test_asymmetric_denser_than_fig3_and_bit_exact(report, benchmark):
+    """At least one asymmetric pair must ship a layout denser than the
+    symmetric Fig. 3 rule — and that layout must compute exact GEMMs."""
+    result = search_policies(k=K, processes=1)
+    denser = {
+        pair: e
+        for pair, e in result.table.entries.items()
+        if e["a_bits"] != e["b_bits"] and e["lanes"] > e["static_lanes"]
+    }
+    assert denser, (
+        "no asymmetric pair beat the symmetric lane count: "
+        f"{ {p: (e['lanes'], e['static_lanes']) for p, e in result.table.entries.items()} }"
+    )
+
+    def _parity():
+        outcomes = {}
+        rng = make_rng(20260807)
+        for pair, e in sorted(denser.items()):
+            policy = result.table.policy_for(e["a_bits"], e["b_bits"])
+            a = rng.integers(0, 1 << e["a_bits"], size=(8, K), dtype=np.int64)
+            b = rng.integers(0, 1 << e["b_bits"], size=(K, 12), dtype=np.int64)
+            got = packed_gemm_unsigned(
+                a, b, policy, a_bits=e["a_bits"], method="chunked"
+            )
+            outcomes[pair] = bool(np.array_equal(got, reference_gemm(a, b)))
+        return outcomes
+
+    outcomes = benchmark(_parity)
+    assert all(outcomes.values()), f"bit-exactness failed: {outcomes}"
+    report(
+        "policy_search_density",
+        format_table(
+            ["pair", "lanes", "Fig.3 lanes", "density", "bit-exact"],
+            [
+                (p, e["lanes"], e["static_lanes"], round(e["density"], 3),
+                 outcomes[p])
+                for p, e in sorted(denser.items())
+            ],
+            title="asymmetric layouts denser than the symmetric rule",
+        ),
+        denser_pairs={p: e["lanes"] for p, e in sorted(denser.items())},
+        bit_exact=outcomes,
+    )

@@ -530,6 +530,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"unreadable summary at {path}: {exc}")
         return 1
+    if not isinstance(payload, dict):
+        print(f"{path} is not a summary object (top-level JSON is "
+              f"{type(payload).__name__}, expected an object) — regenerate "
+              "it with `python -m repro serve` or `python -m repro bench`")
+        return 1
     snapshot = payload.get("metrics")
     if not isinstance(snapshot, dict) or not snapshot:
         print(f"{path} has no \"metrics\" section — rerun "
@@ -541,6 +546,55 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print(obs.snapshot_to_prometheus(snapshot), end="")
     else:
         print(obs.render_metrics_table(snapshot))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.packing.search import search_policies
+    from repro.utils.tables import format_table as _format_table
+
+    result = search_policies(k=args.k, processes=args.processes)
+    table = result.table
+    out = table.save(args.out)
+    print(_format_table(
+        ["pair", "lanes", "field", "chunk", "status", "depth", "density",
+         "MAC/s (1e6)"],
+        result.pareto_rows(),
+        title=f"policy search — k={args.k}, "
+              f"{result.counters['candidates']} plans "
+              f"({result.counters['proven']} proven, "
+              f"{result.counters['refuted']} refuted/infeasible, "
+              f"{result.counters['priced']} layouts priced)",
+    ))
+    chosen = [
+        (pair, e["lanes"], e["field_bits"], e["chunk_depth"],
+         round(e["density"], 3), round(e["mac_per_s"] / 1e6, 1),
+         e["static_lanes"])
+        for pair, e in sorted(table.entries.items())
+    ]
+    print(_format_table(
+        ["pair", "lanes", "field", "chunk", "density", "MAC/s (1e6)",
+         "Fig.3 lanes"],
+        chosen,
+        title=f"learned table ({len(chosen)} pairs) -> {out}",
+    ))
+    failures = table.reverify()
+    if failures:
+        for pair, reason in failures.items():
+            print(f"REVERIFY FAIL {pair}: {reason}")
+        return 1
+    print(f"reverify OK: all {len(table.entries)} entries re-prove safe "
+          f"(pricing ran {result.sweep_simulations} fresh simulations, "
+          f"{result.sweep_cache_hits} cache hits)")
+    if args.summary:
+        obs.merge_summary(args.summary, {"policy_search": {
+            "table_path": str(out),
+            "counters": result.counters,
+            "entries": table.entries,
+            "sweep_simulations": result.sweep_simulations,
+        }})
+        print(f"merged policy_search section into {args.summary}")
     return 0
 
 
@@ -567,6 +621,12 @@ def main(argv: list[str] | None = None) -> int:
         help="packed-GEMM kernel backend for this run (numpy_blocked, "
              "numba, ...); equivalent to setting REPRO_GEMM_BACKEND. "
              "All backends are bit-identical — this only changes speed.",
+    )
+    parser.add_argument(
+        "--policy-table", default=None, dest="policy_table", metavar="PATH",
+        help="serve learned packing policies from this table JSON "
+             "(see `python -m repro search`); equivalent to setting "
+             "REPRO_POLICY_TABLE. Default: the static Fig. 3 rule.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -654,6 +714,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--summary", default="benchmarks/out/summary.json",
                    help="summary.json holding the \"metrics\" section")
 
+    p = sub.add_parser("search", help="learn a proven-safe packing-policy "
+                       "table (enumerate, prove, price, emit)")
+    p.add_argument("--k", type=int, default=768,
+                   help="GEMM reduction depth to prove/price at (default "
+                   "768 = ViT-Base hidden)")
+    p.add_argument("--out", default="benchmarks/out/policy_table.json",
+                   help="where to write the learned table JSON")
+    p.add_argument("--processes", type=int, default=None,
+                   help="pricing sweep worker processes (default: serial)")
+    p.add_argument("--summary", default="benchmarks/out/summary.json",
+                   help="summary.json receiving the policy_search section "
+                   "('' to skip writing)")
+
     sub.add_parser("models", help="list the model zoo")
 
     p = sub.add_parser("analyze", help="static verification (see docs/ANALYSIS.md)")
@@ -702,6 +775,15 @@ def main(argv: list[str] | None = None) -> int:
         from repro.packing.backends import BACKEND_ENV_VAR
 
         os.environ[BACKEND_ENV_VAR] = args.gemm_backend
+    if args.policy_table:
+        import os
+
+        from repro.packing.search import POLICY_TABLE_ENV_VAR
+
+        # Same propagation contract as --gemm-backend: the env reaches
+        # sweep workers; the lazy in-process loader picks it up on the
+        # first resolve_policy call.
+        os.environ[POLICY_TABLE_ENV_VAR] = args.policy_table
     handlers = {
         "table1": _cmd_table1,
         "policy": _cmd_policy,
@@ -717,6 +799,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "chaos": _cmd_chaos,
         "metrics": _cmd_metrics,
+        "search": _cmd_search,
     }
     return handlers[args.command](args)
 

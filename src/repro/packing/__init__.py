@@ -12,7 +12,11 @@ This package implements VitBit's SWAR (SIMD-within-a-register) scheme:
 * :mod:`repro.packing.gemm` — the packed GEMM kernel, exact for signed
   weights via sign-splitting;
 * :mod:`repro.packing.backends` — pluggable compute-pass backends for
-  the packed GEMM (blocked NumPy by default, numba JIT when installed).
+  the packed GEMM (blocked NumPy by default, numba JIT when installed);
+* :mod:`repro.packing.search` — learned policy tables: enumerate
+  candidate layouts per operand pair, prove them with the overflow
+  prover, price survivors, and serve the winners via
+  :func:`~repro.packing.search.resolve_policy`.
 """
 
 from repro.packing.policy import (
@@ -51,6 +55,13 @@ from repro.packing.gemm import (
     packed_gemm_unsigned,
     reference_gemm,
 )
+from repro.packing.search import (
+    PolicyTable,
+    clear_policy_table,
+    install_policy_table,
+    resolve_policy,
+    search_policies,
+)
 
 __all__ = [
     "PackingPolicy",
@@ -78,4 +89,9 @@ __all__ = [
     "packed_gemm",
     "packed_gemm_unsigned",
     "reference_gemm",
+    "PolicyTable",
+    "search_policies",
+    "install_policy_table",
+    "clear_policy_table",
+    "resolve_policy",
 ]

@@ -41,6 +41,7 @@ __all__ = [
     "backend_names",
     "get_backend",
     "register_backend",
+    "reset_fallback_warnings",
     "DEFAULT_BACKEND",
     "BACKEND_ENV_VAR",
 ]
@@ -86,6 +87,16 @@ class GemmBackend:
 
 _REGISTRY: dict[str, GemmBackend] = {}
 
+#: Requested-but-unavailable backend names already warned about — the
+#: fallback RuntimeWarning fires once per process per name, not once
+#: per GEMM call (a sweep dispatches thousands).
+_FALLBACK_WARNED: set[str] = set()
+
+
+def reset_fallback_warnings() -> None:
+    """Re-arm the once-per-process fallback warning (tests use this)."""
+    _FALLBACK_WARNED.clear()
+
 
 def register_backend(backend: GemmBackend) -> GemmBackend:
     """Add ``backend`` to the registry (last registration wins)."""
@@ -122,18 +133,22 @@ def get_backend(name: str | None = None) -> GemmBackend:
             f"{', '.join(backend_names())}"
         )
     if not backend.available():
+        backend = _REGISTRY[DEFAULT_BACKEND]
+        # Label with the backend that actually runs, consistent with
+        # gemm_backend_calls_total below; "requested" records who fell.
         obs.counter(
             "gemm_backend_fallbacks_total",
             "packed-GEMM backend requests degraded to the default",
-            labels={"backend": requested},
+            labels={"backend": backend.name, "requested": requested},
         ).inc()
-        warnings.warn(
-            f"GEMM backend {requested!r} is not available in this "
-            f"environment; falling back to {DEFAULT_BACKEND!r}",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        backend = _REGISTRY[DEFAULT_BACKEND]
+        if requested not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(requested)
+            warnings.warn(
+                f"GEMM backend {requested!r} is not available in this "
+                f"environment; falling back to {DEFAULT_BACKEND!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     obs.counter(
         "gemm_backend_calls_total",
         "packed-GEMM compute passes dispatched, by backend",

@@ -62,6 +62,18 @@ def policy_for_operands(
             raise FormatError(f"cap_lanes must be >= 1, got {cap_lanes}")
         lanes = min(lanes, cap_lanes)
     field = register_bits // lanes
+    # At lanes == 1 PackingPolicy deliberately skips the product-fit
+    # check (single-lane scalars use the whole register and downgrade
+    # paths call with_lanes(1) freely), so pairs whose product exceeds
+    # the register would slip through here and only fail at prover
+    # time.  Reject them eagerly, naming the offending product width.
+    product_width = (((1 << a_bits) - 1) * ((1 << b_bits) - 1)).bit_length()
+    if product_width > field:
+        raise FormatError(
+            f"a {a_bits}x{b_bits}-bit product needs {product_width} bits "
+            f"but the widest carry-safe field is {field} bits "
+            f"({lanes} lane(s) in a {register_bits}-bit register)"
+        )
     return PackingPolicy(
         value_bits=b_bits,
         lanes=lanes,

@@ -43,6 +43,25 @@ class Packer:
         self._value_mask = np.uint64(policy.value_mask)
         self._lanes = lanes
 
+    @classmethod
+    def for_bitwidth(cls, bits: int, register_bits: int = 32) -> "Packer":
+        """Packer under the process's resolved policy for ``bits``-bit
+        operands: the learned table's layout when one is installed
+        (``REPRO_POLICY_TABLE``), the Fig. 3 rule otherwise."""
+        from repro.packing.search import resolve_policy
+
+        return cls(resolve_policy(bits, bits, register_bits=register_bits))
+
+    @classmethod
+    def for_operands(
+        cls, a_bits: int, b_bits: int, register_bits: int = 32
+    ) -> "Packer":
+        """Packer for a mixed ``a_bits x b_bits`` pair, resolved through
+        the learned table when installed, the mixed rule otherwise."""
+        from repro.packing.search import resolve_policy
+
+        return cls(resolve_policy(a_bits, b_bits, register_bits=register_bits))
+
     # -- packing -----------------------------------------------------------
 
     def pack(self, values: np.ndarray) -> np.ndarray:

@@ -81,12 +81,20 @@ class PackingPolicy:
             raise FormatError(
                 f"multiplier_bits must be in 1..{self.register_bits}, got {mbits}"
             )
-        if self.lanes > 1 and self.field_bits < mbits + self.value_bits:
-            raise FormatError(
-                f"field of {self.field_bits} bits cannot hold a "
-                f"{mbits}x{self.value_bits}-bit product; carries would "
-                "cross lanes"
-            )
+        if self.lanes > 1:
+            # Exact fit test: the sum-of-widths bound is conservative when
+            # either operand is 1 bit wide ((2**a - 1) * (2**b - 1) needs
+            # a + b - 1 bits then), and those are exactly the layouts the
+            # policy search wants to admit.
+            product_width = (
+                ((1 << mbits) - 1) * ((1 << self.value_bits) - 1)
+            ).bit_length()
+            if product_width > self.field_bits:
+                raise FormatError(
+                    f"field of {self.field_bits} bits cannot hold a "
+                    f"{mbits}x{self.value_bits}-bit product "
+                    f"({product_width} bits); carries would cross lanes"
+                )
 
     @property
     def effective_multiplier_bits(self) -> int:

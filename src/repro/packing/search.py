@@ -1,0 +1,683 @@
+"""Learned packing-policy search over proven-safe lane layouts.
+
+The Fig. 3 table and its mixed-width generalization
+(:func:`repro.packing.mixed.policy_for_operands`) are *rules*: closed
+forms mapping operand widths to one layout.  Gope et al. (PAPERS.md)
+show the rule is not the frontier — asymmetric pairs admit layouts the
+symmetric rule never considers, and the best layout depends on what it
+costs to *accumulate* under it, not just on single-product fit.  This
+module turns the rule into a search:
+
+1. **Enumerate** candidate plans per ``(a_bits, b_bits, depth)`` —
+   every lane count whose evenly-spread field can hold one packed
+   value, each considered both *unspilled* (the whole K chain packed)
+   and *chunked* at its proven spill depth.  The Fig. 3 layout for the
+   pair's wider operand and the mixed-rule layout are always in the
+   candidate set, so the search can only match or beat them.
+2. **Prove** every plan with the interval overflow prover
+   (:func:`repro.analysis.overflow.prove_packed_accumulation`).  Only
+   proven-safe plans are admissible; refuted plans are kept in the
+   outcome log with their concrete :class:`OverflowWitness`, and
+   layouts that cannot even hold one product are recorded with the
+   offending product width.
+3. **Price** each surviving layout through the cached
+   :class:`~repro.perfmodel.model.PerformanceModel` via the parallel
+   sweep runner (spill accounting on, so a deeper proven depth is a
+   measurable win), and pick the fastest proven layout per pair.
+4. **Emit** the learned :class:`PolicyTable` — a JSON artifact that
+   :func:`resolve_policy` serves to the ViT runtime, the serving
+   preflight and the benchmarks in place of the static rule, behind
+   the ``REPRO_POLICY_TABLE`` / ``--policy-table`` knob (no table
+   installed = exactly the old behavior).
+
+Every step bumps an ``obs`` counter
+(``policy_search_{candidates,proven,refuted,priced}_total``), and the
+whole search is deterministic: same pairs, same depth, same machine →
+byte-identical table JSON, with zero fresh simulations once the timing
+cache is warm.  See ``docs/POLICY_SEARCH.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.errors import FormatError, PackingError
+from repro.packing.mixed import max_lanes_for_operands
+from repro.packing.policy import PackingPolicy, policy_for_bitwidth
+
+__all__ = [
+    "SEARCH_PAIRS",
+    "DEFAULT_DEPTH",
+    "DEFAULT_TABLE_PATH",
+    "POLICY_TABLE_ENV_VAR",
+    "CandidateOutcome",
+    "PolicyTable",
+    "PolicySearchResult",
+    "enumerate_layouts",
+    "prove_plans",
+    "search_policies",
+    "install_policy_table",
+    "clear_policy_table",
+    "active_policy_table",
+    "resolve_policy",
+]
+
+#: Pairs the default search covers: the proven-depth table's pairs plus
+#: the 1-bit asymmetric extremes, where the exact product width
+#: ``bitlen((2**a - 1) * (2**b - 1))`` drops below ``a + b`` and the
+#: search finds layouts denser than both the Fig. 3 and mixed rules.
+SEARCH_PAIRS: tuple[tuple[int, int], ...] = (
+    (8, 8),
+    (4, 4),
+    (6, 6),
+    (8, 4),
+    (4, 8),
+    (8, 2),
+    (2, 8),
+    (8, 1),
+    (1, 8),
+)
+
+#: Default GEMM reduction depth the plans are proven/priced at
+#: (ViT-Base hidden dimension — the paper's workhorse K).
+DEFAULT_DEPTH = 768
+
+#: (M, N) of the representative tile the pricing model times.
+DEFAULT_SHAPE: tuple[int, int] = (196, 196)
+
+#: Where the learned table lands by default.
+DEFAULT_TABLE_PATH = "benchmarks/out/policy_table.json"
+
+#: Environment knob naming a table JSON to serve process-wide.
+POLICY_TABLE_ENV_VAR = "REPRO_POLICY_TABLE"
+
+#: Name of the pricing strategy (recorded in table metadata).
+PRICING_STRATEGY_NAME = "packed-int-search"
+
+
+def pricing_strategy():
+    """The CUDA-core packed pricing strategy: every column on the INT
+    pipe, so the priced time isolates what the layout itself costs
+    (lane count, spill cadence, register traffic) from Tensor-core
+    split effects.  Built lazily — ``repro.fusion`` imports
+    ``repro.packing``, so a module-level Strategy would be circular.
+    """
+    from repro.fusion.strategies import Strategy
+
+    return Strategy(
+        name=PRICING_STRATEGY_NAME,
+        uses_tensor=False,
+        uses_int=True,
+        uses_fp=False,
+        packing=True,
+        kernel_scope="C",
+        description="INT-pipe-only packed probe used to price search candidates",
+    )
+
+
+def _pair_name(a_bits: int, b_bits: int) -> str:
+    return f"a{a_bits}b{b_bits}"
+
+
+def _exact_product_width(a_bits: int, b_bits: int) -> int:
+    """Bit length of the largest ``a_bits x b_bits`` product."""
+    return (((1 << a_bits) - 1) * ((1 << b_bits) - 1)).bit_length()
+
+
+@dataclass
+class CandidateOutcome:
+    """One enumerated plan and its oracle verdict.
+
+    ``status`` is ``"proven"`` (admissible), ``"refuted"`` (the prover
+    found a concrete overflow — ``witness`` holds its
+    :class:`~repro.analysis.overflow.OverflowWitness` as a dict), or
+    ``"infeasible"`` (the layout cannot hold a single product;
+    ``reason`` names the offending product width).  ``mac_per_s`` is
+    filled by the pricing stage for proven layouts.
+    """
+
+    a_bits: int
+    b_bits: int
+    lanes: int
+    field_bits: int
+    chunk_depth: int | None  # None = the unspilled full-K plan
+    k: int
+    status: str
+    max_safe_depth: int = 0
+    witness: dict | None = None
+    reason: str | None = None
+    is_static_rule: bool = False
+    is_mixed_rule: bool = False
+    density: float = 0.0
+    mac_per_s: float | None = None
+
+    @property
+    def key(self) -> str:
+        """Unique plan identifier: pair, layout and spill cadence."""
+        plan = "unspilled" if self.chunk_depth is None else f"chunk{self.chunk_depth}"
+        return (
+            f"{_pair_name(self.a_bits, self.b_bits)}"
+            f"L{self.lanes}f{self.field_bits}.{plan}"
+        )
+
+    @property
+    def layout_key(self) -> str:
+        """Layout identifier shared by this layout's plans (no cadence)."""
+        return f"{_pair_name(self.a_bits, self.b_bits)}L{self.lanes}f{self.field_bits}"
+
+    def policy(self, register_bits: int = 32) -> PackingPolicy:
+        """The candidate's layout as a policy (infeasible ones raise)."""
+        return PackingPolicy(
+            value_bits=self.b_bits,
+            lanes=self.lanes,
+            field_bits=self.field_bits,
+            register_bits=register_bits,
+            multiplier_bits=self.a_bits,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (omits unset witness/reason/price fields)."""
+        d = {
+            "a_bits": self.a_bits,
+            "b_bits": self.b_bits,
+            "lanes": self.lanes,
+            "field_bits": self.field_bits,
+            "chunk_depth": self.chunk_depth,
+            "k": self.k,
+            "status": self.status,
+            "max_safe_depth": self.max_safe_depth,
+            "density": self.density,
+            "is_static_rule": self.is_static_rule,
+            "is_mixed_rule": self.is_mixed_rule,
+        }
+        if self.witness is not None:
+            d["witness"] = self.witness
+        if self.reason is not None:
+            d["reason"] = self.reason
+        if self.mac_per_s is not None:
+            d["mac_per_s"] = self.mac_per_s
+        return d
+
+
+def _static_rule_lanes(a_bits: int, b_bits: int, register_bits: int = 32) -> int:
+    """Lane count the Fig. 3 rule gives this pair (at the wider width)."""
+    return policy_for_bitwidth(max(a_bits, b_bits), register_bits).lanes
+
+
+def enumerate_layouts(
+    a_bits: int, b_bits: int, *, register_bits: int = 32
+) -> list[tuple[int, int]]:
+    """Every ``(lanes, field_bits)`` layout whose evenly-spread field can
+    hold one packed ``b_bits`` value — including layouts the prover will
+    refute (they document the search frontier) and always including the
+    Fig. 3 and mixed-rule layouts."""
+    layouts = []
+    for lanes in range(1, register_bits // b_bits + 1):
+        layouts.append((lanes, register_bits // lanes))
+    return layouts
+
+
+def prove_plans(
+    a_bits: int,
+    b_bits: int,
+    *,
+    k: int = DEFAULT_DEPTH,
+    register_bits: int = 32,
+) -> list[CandidateOutcome]:
+    """Run the overflow-prover oracle over every enumerated plan.
+
+    Per layout, two plans are judged: the *unspilled* full-K chain
+    (usually refuted at real depths — its witness documents why
+    spilling exists) and the *chunked* chain at the layout's proven
+    spill depth.  Only ``status == "proven"`` outcomes are admissible
+    downstream.
+    """
+    from repro.analysis.overflow import prove_packed_accumulation
+
+    static_lanes = _static_rule_lanes(a_bits, b_bits, register_bits)
+    mixed_lanes = max_lanes_for_operands(a_bits, b_bits, register_bits)
+    outcomes: list[CandidateOutcome] = []
+    for lanes, field_bits in enumerate_layouts(
+        a_bits, b_bits, register_bits=register_bits
+    ):
+        common = dict(
+            a_bits=a_bits,
+            b_bits=b_bits,
+            lanes=lanes,
+            field_bits=field_bits,
+            k=k,
+            is_static_rule=lanes == static_lanes,
+            is_mixed_rule=lanes == mixed_lanes,
+            density=lanes * b_bits / register_bits,
+        )
+        try:
+            policy = PackingPolicy(
+                value_bits=b_bits,
+                lanes=lanes,
+                field_bits=field_bits,
+                register_bits=register_bits,
+                multiplier_bits=a_bits,
+            )
+        except FormatError as exc:
+            outcomes.append(
+                CandidateOutcome(
+                    chunk_depth=None,
+                    status="infeasible",
+                    reason=str(exc),
+                    **common,
+                )
+            )
+            continue
+        unspilled = prove_packed_accumulation(
+            policy, k=k, a_bits=a_bits, b_bits=b_bits, chunk_depth=None
+        )
+        outcomes.append(
+            CandidateOutcome(
+                chunk_depth=None,
+                status="proven" if unspilled.safe else "refuted",
+                max_safe_depth=unspilled.max_safe_depth,
+                witness=(
+                    unspilled.witness.to_dict() if unspilled.witness else None
+                ),
+                **common,
+            )
+        )
+        if unspilled.safe or unspilled.max_safe_depth < 1:
+            continue  # no distinct chunked plan to judge
+        chunk = min(unspilled.max_safe_depth, max(1, k))
+        chunked = prove_packed_accumulation(
+            policy, k=k, a_bits=a_bits, b_bits=b_bits, chunk_depth=chunk
+        )
+        outcomes.append(
+            CandidateOutcome(
+                chunk_depth=chunk,
+                status="proven" if chunked.safe else "refuted",
+                max_safe_depth=chunked.max_safe_depth,
+                witness=chunked.witness.to_dict() if chunked.witness else None,
+                **common,
+            )
+        )
+    return outcomes
+
+
+# -- pricing -------------------------------------------------------------------
+
+
+def _price_layout(point: tuple) -> dict:
+    """Sweep worker: price one proven layout (module-level, picklable).
+
+    Spill accounting is on (``count_spills=True``) so a layout's proven
+    accumulation depth shows up in its price; ``clamp_ratio`` matches
+    the other sweep workers, though the INT-only pricing strategy never
+    consults the split rule.
+    """
+    from repro.perfmodel.descriptors import CostParams, GemmShape
+    from repro.perfmodel.model import PerformanceModel
+
+    machine, policy_args, (m, n, k) = point
+    policy = PackingPolicy(*policy_args)
+    pm = PerformanceModel(
+        machine,
+        policy,
+        params=CostParams(count_spills=True),
+        clamp_ratio=True,
+    )
+    timing = pm.time_gemm(GemmShape(m=m, n=n, k=k), pricing_strategy())
+    return {
+        "seconds": timing.seconds,
+        "mac_per_s": m * n * k / timing.seconds,
+    }
+
+
+def _policy_args(outcome: CandidateOutcome, register_bits: int) -> tuple:
+    return (
+        outcome.b_bits,
+        outcome.lanes,
+        outcome.field_bits,
+        register_bits,
+        outcome.a_bits,
+    )
+
+
+# -- the learned table ---------------------------------------------------------
+
+
+@dataclass
+class PolicyTable:
+    """A learned pair -> layout table with provenance.
+
+    ``entries`` maps ``"a{a}b{b}"`` to the chosen layout plus its
+    proven depth, density and predicted throughput (and the static
+    rule's, for the dominance audit).  Construct via
+    :func:`search_policies`, :meth:`load`, or :meth:`from_dict`.
+    """
+
+    entries: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def policy_for(
+        self, a_bits: int, b_bits: int, register_bits: int = 32
+    ) -> PackingPolicy | None:
+        """The learned policy for a pair, or None when not covered."""
+        entry = self.entries.get(_pair_name(a_bits, b_bits))
+        if entry is None or entry.get("register_bits", 32) != register_bits:
+            return None
+        return PackingPolicy(
+            value_bits=entry["value_bits"],
+            lanes=entry["lanes"],
+            field_bits=entry["field_bits"],
+            register_bits=entry.get("register_bits", 32),
+            multiplier_bits=entry["multiplier_bits"],
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return {"version": 1, "meta": self.meta, "entries": self.entries}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PolicyTable":
+        """Rebuild a table from :meth:`to_dict` output (validated)."""
+        if not isinstance(data, dict) or "entries" not in data:
+            raise PackingError(
+                "policy table JSON must be an object with an 'entries' key"
+            )
+        return cls(entries=dict(data["entries"]), meta=dict(data.get("meta", {})))
+
+    def to_json(self) -> str:
+        """Canonical serialization — sorted keys, so identical searches
+        produce byte-identical artifacts."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def save(self, path: str | pathlib.Path = DEFAULT_TABLE_PATH) -> pathlib.Path:
+        """Write the canonical JSON artifact; returns its path."""
+        p = pathlib.Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(self.to_json(), encoding="utf-8")
+        return p
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "PolicyTable":
+        """Load a saved table, with actionable missing/corrupt errors."""
+        p = pathlib.Path(path)
+        if not p.exists():
+            raise PackingError(
+                f"no policy table at {p} — run `python -m repro search` "
+                "(or benchmarks/bench_policy_search.py) to learn one"
+            )
+        try:
+            return cls.from_dict(json.loads(p.read_text(encoding="utf-8")))
+        except json.JSONDecodeError as exc:
+            raise PackingError(f"unreadable policy table at {p}: {exc}") from exc
+
+    def reverify(self) -> dict:
+        """Re-prove every entry; returns ``{pair: reason}`` refutations.
+
+        An empty dict means every shipped layout still proves safe at
+        its recorded chunk depth *and* its recorded proven depth still
+        matches the prover — the CI policy-search smoke gate.
+        """
+        from repro.analysis.overflow import prove_packed_accumulation
+
+        failures: dict = {}
+        for pair, entry in sorted(self.entries.items()):
+            try:
+                policy = self.policy_for(entry["a_bits"], entry["b_bits"])
+                if policy is None:
+                    raise PackingError("entry does not resolve to a policy")
+                proof = prove_packed_accumulation(
+                    policy,
+                    k=int(entry["k"]),
+                    a_bits=entry["a_bits"],
+                    b_bits=entry["b_bits"],
+                    chunk_depth=int(entry["chunk_depth"]),
+                )
+                if not proof.safe:
+                    failures[pair] = (
+                        f"refuted: {proof.witness.describe()}"
+                        if proof.witness
+                        else "refuted"
+                    )
+                elif proof.max_safe_depth != int(entry["proven_depth"]):
+                    failures[pair] = (
+                        f"proven depth drifted: table says "
+                        f"{entry['proven_depth']}, prover says "
+                        f"{proof.max_safe_depth}"
+                    )
+            except (PackingError, FormatError, KeyError, ValueError) as exc:
+                failures[pair] = f"{type(exc).__name__}: {exc}"
+        return failures
+
+
+@dataclass
+class PolicySearchResult:
+    """Everything one :func:`search_policies` run produced."""
+
+    table: PolicyTable
+    outcomes: list  # every CandidateOutcome, enumeration order
+    counters: dict  # candidates / proven / refuted / priced
+    sweep_simulations: int
+    sweep_cache_hits: int
+
+    def pareto_rows(self) -> list[tuple]:
+        """(pair, lanes, field, status, depth, density, MAC/s) rows for
+        the Pareto report, enumeration order."""
+        rows = []
+        for o in self.outcomes:
+            rows.append(
+                (
+                    _pair_name(o.a_bits, o.b_bits),
+                    o.lanes,
+                    o.field_bits,
+                    "-" if o.chunk_depth is None else o.chunk_depth,
+                    o.status,
+                    o.max_safe_depth,
+                    round(o.density, 3),
+                    round(o.mac_per_s / 1e6, 1) if o.mac_per_s else "-",
+                )
+            )
+        return rows
+
+
+def search_policies(
+    pairs: tuple = SEARCH_PAIRS,
+    *,
+    k: int = DEFAULT_DEPTH,
+    shape: tuple[int, int] = DEFAULT_SHAPE,
+    machine=None,
+    register_bits: int = 32,
+    processes: int | None = 1,
+) -> PolicySearchResult:
+    """Enumerate, prove, price and select one layout per operand pair.
+
+    Deterministic: no randomness anywhere, candidates are judged in
+    enumeration order, and the emitted table serializes with sorted
+    keys — the same inputs produce a byte-identical artifact, with zero
+    fresh simulations once the timing cache is warm.
+    """
+    from repro.runner import run_sweep
+
+    if machine is None:
+        from repro.arch import jetson_orin_agx
+
+        machine = jetson_orin_agx()
+
+    outcomes: list[CandidateOutcome] = []
+    for a_bits, b_bits in pairs:
+        outcomes.extend(
+            prove_plans(a_bits, b_bits, k=k, register_bits=register_bits)
+        )
+
+    n_proven = sum(1 for o in outcomes if o.status == "proven")
+    n_refuted = len(outcomes) - n_proven
+    obs.counter(
+        "policy_search_candidates_total", "packing plans enumerated"
+    ).inc(len(outcomes))
+    obs.counter(
+        "policy_search_proven_total", "packing plans proven safe"
+    ).inc(n_proven)
+    obs.counter(
+        "policy_search_refuted_total",
+        "packing plans refuted (witnessed) or structurally infeasible",
+    ).inc(n_refuted)
+
+    # Price each admissible *layout* once (its price doesn't depend on
+    # which of its plans proved; the spill depth is derived from the
+    # layout inside the cost model).
+    priced_layouts: dict[str, CandidateOutcome] = {}
+    for o in outcomes:
+        if o.status == "proven" and o.layout_key not in priced_layouts:
+            priced_layouts[o.layout_key] = o
+    points = [
+        (machine, _policy_args(o, register_bits), (shape[0], shape[1], k))
+        for o in priced_layouts.values()
+    ]
+    report = run_sweep(
+        _price_layout,
+        points,
+        labels=list(priced_layouts),
+        processes=processes,
+        label="policy search pricing",
+    )
+    obs.counter(
+        "policy_search_priced_total", "proven layouts priced via the sweep"
+    ).inc(len(points))
+    prices = dict(zip(priced_layouts, report.values))
+    for o in outcomes:
+        if o.layout_key in prices:
+            o.mac_per_s = prices[o.layout_key]["mac_per_s"]
+
+    entries: dict = {}
+    for a_bits, b_bits in pairs:
+        pair = _pair_name(a_bits, b_bits)
+        proven = [
+            o
+            for o in outcomes
+            if o.a_bits == a_bits
+            and o.b_bits == b_bits
+            and o.status == "proven"
+            and o.mac_per_s is not None
+        ]
+        if not proven:  # pragma: no cover - every pair has a 1-lane plan
+            continue
+        # Fastest predicted layout; ties break toward denser, then
+        # deeper (stable because max() keeps the first winner).
+        best = max(
+            proven, key=lambda o: (o.mac_per_s, o.density, o.max_safe_depth)
+        )
+        static = next((o for o in proven if o.is_static_rule), None)
+        entries[pair] = {
+            "a_bits": a_bits,
+            "b_bits": b_bits,
+            "value_bits": b_bits,
+            "multiplier_bits": a_bits,
+            "lanes": best.lanes,
+            "field_bits": best.field_bits,
+            "register_bits": register_bits,
+            "proven_depth": best.max_safe_depth,
+            "chunk_depth": min(best.max_safe_depth, max(1, k)),
+            "k": k,
+            "density": best.density,
+            "mac_per_s": best.mac_per_s,
+            "static_lanes": _static_rule_lanes(a_bits, b_bits, register_bits),
+            "static_mac_per_s": static.mac_per_s if static else None,
+            "mixed_rule_lanes": max_lanes_for_operands(
+                a_bits, b_bits, register_bits
+            ),
+        }
+
+    table = PolicyTable(
+        entries=entries,
+        meta={
+            "k": k,
+            "shape": list(shape),
+            "register_bits": register_bits,
+            "pairs": [list(p) for p in pairs],
+            "pricing_strategy": PRICING_STRATEGY_NAME,
+            "selection": "max predicted MAC/s among proven-safe layouts",
+        },
+    )
+    return PolicySearchResult(
+        table=table,
+        outcomes=outcomes,
+        counters={
+            "candidates": len(outcomes),
+            "proven": n_proven,
+            "refuted": n_refuted,
+            "priced": len(points),
+        },
+        sweep_simulations=report.simulations,
+        sweep_cache_hits=report.cache_hits,
+    )
+
+
+# -- process-wide table installation -------------------------------------------
+
+_ACTIVE_TABLE: PolicyTable | None = None
+_ENV_CHECKED = False
+
+
+def install_policy_table(table: "PolicyTable | str | pathlib.Path | None") -> None:
+    """Serve ``table`` (or the table at a path) process-wide.
+
+    ``None`` clears the installed table *and* re-arms the
+    ``REPRO_POLICY_TABLE`` environment lookup (tests use this to reset).
+    """
+    global _ACTIVE_TABLE, _ENV_CHECKED
+    if table is None:
+        _ACTIVE_TABLE = None
+        _ENV_CHECKED = False
+        return
+    if not isinstance(table, PolicyTable):
+        table = PolicyTable.load(table)
+    _ACTIVE_TABLE = table
+    _ENV_CHECKED = True
+
+
+def clear_policy_table() -> None:
+    """Alias for ``install_policy_table(None)``."""
+    install_policy_table(None)
+
+
+def active_policy_table() -> PolicyTable | None:
+    """The installed table, lazily loading ``$REPRO_POLICY_TABLE`` once."""
+    global _ENV_CHECKED, _ACTIVE_TABLE
+    if _ACTIVE_TABLE is None and not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        path = os.environ.get(POLICY_TABLE_ENV_VAR)
+        if path:
+            _ACTIVE_TABLE = PolicyTable.load(path)
+    return _ACTIVE_TABLE
+
+
+def resolve_policy(
+    a_bits: int,
+    b_bits: int,
+    *,
+    register_bits: int = 32,
+    default: PackingPolicy | None = None,
+) -> PackingPolicy:
+    """The policy the process should use for an ``a_bits x b_bits`` GEMM.
+
+    With a learned table installed (programmatically or via
+    ``REPRO_POLICY_TABLE``) and covering the pair, the learned layout
+    wins; otherwise ``default`` when given, else the static rules —
+    Fig. 3 for symmetric pairs, the mixed rule for asymmetric ones.
+    Callers that pass their historical policy as ``default`` are
+    therefore bit-for-bit unchanged until a table is installed.
+    """
+    table = active_policy_table()
+    if table is not None:
+        learned = table.policy_for(a_bits, b_bits, register_bits)
+        if learned is not None:
+            return learned
+    if default is not None:
+        return default
+    if a_bits == b_bits:
+        return policy_for_bitwidth(b_bits, register_bits)
+    from repro.packing.mixed import policy_for_operands
+
+    return policy_for_operands(a_bits, b_bits, register_bits)

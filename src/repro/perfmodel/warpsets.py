@@ -145,9 +145,17 @@ def gemm_instruction_totals(
     i_tc = shape.m * plan.n3 * shape.k / _TC_MACS
     i_int = shape.m * plan.n1 * shape.k / (_WARP * lanes)
     if lanes > 1 and params.count_spills and plan.n1:
-        depth = safe_accumulation_depth(
-            policy, policy.value_bits - 1, policy.value_bits
-        )
+        # Spill cadence follows the proven accumulation depth.  For the
+        # symmetric Fig. 3 policies the historical signed-magnitude
+        # bound (value_bits - 1 multiplier) is kept so existing cache
+        # keys stay valid; asymmetric policies carry their true
+        # multiplier width (and value_bits == 1 would make the signed
+        # bound degenerate to a 0-bit multiplier).
+        if policy.multiplier_bits is not None:
+            a_bits = policy.effective_multiplier_bits
+        else:
+            a_bits = max(1, policy.value_bits - 1)
+        depth = safe_accumulation_depth(policy, a_bits, policy.value_bits)
         i_int += i_int / depth
     if lanes > 1 and params.count_sign_split and plan.n1:
         i_int *= 2

@@ -557,7 +557,11 @@ class ServingCluster:
         """
         self._canary_calls += 1
         rng = make_rng((self.config.seed << 20) ^ self._canary_calls)
-        policy = policy_for_bitwidth(bits)
+        from repro.packing.search import resolve_policy
+
+        # The canary exercises whatever layout batches actually run —
+        # the learned table's when installed, Fig. 3 otherwise.
+        policy = resolve_policy(bits, bits, default=policy_for_bitwidth(bits))
         k = 8
         a = rng.integers(0, 1 << min(bits, 7), size=(2, k), dtype=np.int64)
         b = rng.integers(0, 1 << policy.value_bits, size=(k, 2 * policy.lanes),

@@ -208,10 +208,20 @@ class InferenceService:
     # -- model plumbing ------------------------------------------------------
 
     def pm_for(self, bits: int) -> PerformanceModel:
-        """The (clamping) performance model for one activation bitwidth."""
+        """The (clamping) performance model for one activation bitwidth.
+
+        With a learned policy table installed (``REPRO_POLICY_TABLE``),
+        the table's proven layout for the bitwidth replaces the static
+        Fig. 3 rule; the serve preflight then proves *that* layout.
+        """
         if bits not in self._pms:
+            from repro.packing.search import resolve_policy
+
+            policy = resolve_policy(
+                bits, bits, default=policy_for_bitwidth(bits)
+            )
             self._pms[bits] = PerformanceModel(
-                self.machine, policy_for_bitwidth(bits), clamp_ratio=True
+                self.machine, policy, clamp_ratio=True
             )
         return self._pms[bits]
 

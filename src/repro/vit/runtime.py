@@ -54,11 +54,15 @@ def run_inference(
     """Integer inference under ``strategy`` (None = plain reference).
 
     The packing policy follows the model's activation bitwidth (Fig. 3:
-    int8 packs 2 lanes, int4 packs 4, ...).
+    int8 packs 2 lanes, int4 packs 4, ...) unless a learned policy
+    table is installed (``REPRO_POLICY_TABLE`` / ``--policy-table``),
+    in which case the table's proven layout for the bitwidth wins.
     """
     from repro.packing.policy import policy_for_bitwidth
+    from repro.packing.search import resolve_policy
 
-    policy = policy_for_bitwidth(model.config.activation_bits)
+    bits = model.config.activation_bits
+    policy = resolve_policy(bits, bits, default=policy_for_bitwidth(bits))
     executor = GemmExecutor(strategy, policy, method=method)
     return model.forward(images, executor)
 

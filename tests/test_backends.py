@@ -10,6 +10,8 @@ the CI ``perf-smoke`` numba leg reruns it compiled.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -23,9 +25,21 @@ from repro.packing import (
     policy_for_bitwidth,
     reference_gemm,
 )
-from repro.packing.backends import BACKEND_ENV_VAR, DEFAULT_BACKEND
+from repro.packing.backends import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    reset_fallback_warnings,
+)
 from repro.packing.backends.numba_jit import NumbaGemmBackend, numba_available
 from repro.packing.gemm import PackedGemmStats
+
+
+def _fallback_count():
+    """Total gemm_backend_fallbacks_total across all label children."""
+    from repro import obs
+
+    counter = obs.snapshot()["counters"].get("gemm_backend_fallbacks_total")
+    return sum(counter["values"].values()) if counter else 0
 
 
 @pytest.fixture
@@ -60,9 +74,36 @@ class TestRegistry:
 
     @pytest.mark.skipif(numba_available(), reason="numba is installed here")
     def test_unavailable_backend_falls_back_with_warning(self):
+        reset_fallback_warnings()
         with pytest.warns(RuntimeWarning, match="numba"):
             backend = get_backend("numba")
         assert backend.name == DEFAULT_BACKEND
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed here")
+    def test_fallback_warning_fires_once_per_process(self):
+        """A sweep makes thousands of get_backend calls; the degradation
+        warning must not repeat per call, while the fallback counter
+        keeps counting every degraded dispatch."""
+        from repro import obs
+
+        reset_fallback_warnings()
+        with pytest.warns(RuntimeWarning, match="numba"):
+            get_backend("numba")
+        before = _fallback_count()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning now fails the test
+            backend = get_backend("numba")
+            get_backend("numba")
+        assert backend.name == DEFAULT_BACKEND
+        assert _fallback_count() == before + 2
+        # The counter is labeled by the backend that actually ran,
+        # consistent with gemm_backend_calls_total.
+        counters = obs.snapshot()["counters"]
+        labels = counters["gemm_backend_fallbacks_total"]["values"]
+        assert all(DEFAULT_BACKEND in key for key in labels), labels
+        reset_fallback_warnings()
+        with pytest.warns(RuntimeWarning, match="numba"):
+            get_backend("numba")
 
 
 def _random_case(rng):

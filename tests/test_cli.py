@@ -94,6 +94,60 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
+    def test_policy_table_flag_sets_env(self, tmp_path):
+        import os
+
+        from repro.packing.search import POLICY_TABLE_ENV_VAR
+
+        assert POLICY_TABLE_ENV_VAR not in os.environ
+        try:
+            # Any cheap subcommand works; the flag is global.
+            assert main(["--policy-table", str(tmp_path / "t.json"),
+                         "models"]) == 0
+            assert os.environ.get(POLICY_TABLE_ENV_VAR) == str(
+                tmp_path / "t.json"
+            )
+        finally:
+            os.environ.pop(POLICY_TABLE_ENV_VAR, None)
+
+
+class TestMetricsCli:
+    """`repro metrics` must degrade with actionable messages, never a
+    traceback, for every malformed-summary shape."""
+
+    def test_missing_summary_is_actionable(self, capsys, tmp_path):
+        assert main(["metrics", "--summary", str(tmp_path / "none.json")]) == 1
+        out = capsys.readouterr().out
+        assert "no summary" in out
+        assert "repro serve" in out
+
+    def test_unreadable_summary(self, capsys, tmp_path):
+        p = tmp_path / "summary.json"
+        p.write_text("{truncated", encoding="utf-8")
+        assert main(["metrics", "--summary", str(p)]) == 1
+        assert "unreadable" in capsys.readouterr().out
+
+    def test_non_object_summary_no_traceback(self, capsys, tmp_path):
+        """Regression: a top-level JSON array used to crash with
+        AttributeError('list' has no 'get') before any message."""
+        p = tmp_path / "summary.json"
+        p.write_text("[1, 2, 3]", encoding="utf-8")
+        assert main(["metrics", "--summary", str(p)]) == 1
+        out = capsys.readouterr().out
+        assert "not a summary object" in out and "list" in out
+
+    def test_metrics_less_summary(self, capsys, tmp_path):
+        p = tmp_path / "summary.json"
+        p.write_text('{"benches": {}}', encoding="utf-8")
+        assert main(["metrics", "--summary", str(p)]) == 1
+        assert "metrics" in capsys.readouterr().out
+
+    def test_non_dict_metrics_section(self, capsys, tmp_path):
+        p = tmp_path / "summary.json"
+        p.write_text('{"metrics": [1]}', encoding="utf-8")
+        assert main(["metrics", "--summary", str(p)]) == 1
+        assert "metrics" in capsys.readouterr().out
+
 
 class TestAnalyze:
     def test_overflowing_plan_fails_with_witness(self, capsys):

@@ -21,14 +21,21 @@ from repro.errors import PackingError
 from repro.kernels import fused_gemm
 from repro.packing import (
     PackedGemmStats,
+    backend_names,
     packed_gemm,
     packed_gemm_unsigned,
     policy_for_bitwidth,
+    policy_for_operands,
     reference_gemm,
 )
 from repro.preprocess import duplicate_weights, preprocess_input
 
 POL8 = policy_for_bitwidth(8)
+
+#: Asymmetric (multiplier, packed) width pairs covering every lane
+#: count the mixed rule produces, both orientations, and the 1-bit
+#: extremes whose exact product width is below a_bits + b_bits.
+MIXED_PAIRS = [(8, 4), (4, 8), (8, 2), (2, 8), (8, 1), (1, 8), (3, 5)]
 
 
 def _zeros(shape):
@@ -87,6 +94,50 @@ class TestPackedGemmDegenerate:
         assert np.array_equal(out, reference_gemm(a, b))
 
 
+class TestMixedDegenerateAcrossBackends:
+    """M=0/N=0/K=0/single-column parity for asymmetric width pairs, on
+    every *registered* GEMM backend (the numba backend's cores run as
+    plain Python when numba is absent — same logic, same answers)."""
+
+    @pytest.fixture
+    def all_backends(self, monkeypatch):
+        from repro.packing.backends.numba_jit import NumbaGemmBackend
+
+        monkeypatch.setattr(NumbaGemmBackend, "available", lambda self: True)
+        return backend_names()
+
+    @pytest.mark.parametrize("a_bits,b_bits", MIXED_PAIRS)
+    @pytest.mark.parametrize("method", ["chunked", "lane"])
+    def test_degenerate_and_single_col(self, a_bits, b_bits, method, all_backends):
+        policy = policy_for_operands(a_bits, b_bits)
+        rng = np.random.default_rng(1000 * a_bits + b_bits)
+        shapes = [(2, 0, 3), (0, 5, 3), (2, 5, 0), (0, 0, 0),
+                  (3, 7, 1), (1, 9, 1), (4, 12, 5)]
+        for m, k, n in shapes:
+            a = rng.integers(0, 1 << a_bits, size=(m, k), dtype=np.int64)
+            b = rng.integers(0, 1 << b_bits, size=(k, n), dtype=np.int64)
+            want = reference_gemm(a, b)
+            for backend in all_backends:
+                got = packed_gemm_unsigned(
+                    a, b, policy, a_bits=a_bits, method=method, backend=backend
+                )
+                np.testing.assert_array_equal(
+                    got, want,
+                    err_msg=f"a{a_bits}b{b_bits} {m}x{k}x{n} "
+                            f"{method}/{backend}",
+                )
+
+    @pytest.mark.parametrize("a_bits,b_bits", MIXED_PAIRS)
+    def test_signed_mixed_k_zero(self, a_bits, b_bits, all_backends):
+        policy = policy_for_operands(a_bits, b_bits)
+        for backend in all_backends:
+            out = packed_gemm(
+                _zeros((2, 0)), _zeros((0, 3)), policy, backend=backend
+            )
+            assert out.shape == (2, 3)
+            assert np.array_equal(out, _zeros((2, 3)))
+
+
 class TestProverDegenerate:
     def test_depth_zero_is_trivially_safe(self):
         proof = prove_packed_accumulation(POL8, k=0)
@@ -131,6 +182,27 @@ def test_property_packed_matches_reference_incl_empty(m, k, n, seed):
     b = rng.integers(0, 256, size=(k, n))
     assert np.array_equal(
         packed_gemm_unsigned(a, b, POL8), reference_gemm(a, b)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pair=st.sampled_from(MIXED_PAIRS),
+    m=st.integers(min_value=0, max_value=6),
+    k=st.integers(min_value=0, max_value=24),
+    n=st.integers(min_value=0, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_mixed_packed_matches_reference_incl_empty(pair, m, k, n, seed):
+    """The whole-lattice parity property extends to asymmetric pairs."""
+    a_bits, b_bits = pair
+    policy = policy_for_operands(a_bits, b_bits)
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 1 << a_bits, size=(m, k))
+    b = rng.integers(0, 1 << b_bits, size=(k, n))
+    assert np.array_equal(
+        packed_gemm_unsigned(a, b, policy, a_bits=a_bits),
+        reference_gemm(a, b),
     )
 
 

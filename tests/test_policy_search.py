@@ -1,0 +1,228 @@
+"""The packing-policy search: oracle admissibility, table round-trip,
+deterministic reruns, and the resolver knob.
+
+The search's contract is *soundness first*: no layout reaches the
+learned table unless the interval overflow prover proves its
+accumulation plan, and every refuted plan keeps its concrete witness.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import FormatError, PackingError
+from repro.packing import policy_for_bitwidth
+from repro.packing.search import (
+    PolicyTable,
+    active_policy_table,
+    clear_policy_table,
+    enumerate_layouts,
+    install_policy_table,
+    prove_plans,
+    resolve_policy,
+    search_policies,
+)
+from repro.perfmodel import TimingCache
+from repro.sim.smsim import clear_partition_memo
+
+
+@pytest.fixture(autouse=True)
+def _no_installed_table():
+    """Each test starts and ends with no table installed."""
+    clear_policy_table()
+    yield
+    clear_policy_table()
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TIMING_CACHE_DIR", str(tmp_path / "c"))
+    TimingCache.reset_default()
+    clear_partition_memo()
+    yield
+    TimingCache.reset_default()
+
+
+class TestEnumeration:
+    def test_every_lane_count_that_fits_a_value(self):
+        layouts = enumerate_layouts(8, 8)
+        assert (1, 32) in layouts and (2, 16) in layouts
+        assert max(lanes for lanes, _ in layouts) == 4  # 32 // 8
+
+    def test_one_bit_values_enumerate_past_the_mixed_rule(self):
+        lanes = [la for la, _ in enumerate_layouts(8, 1)]
+        assert max(lanes) == 32  # the rule would stop at 32 // 9 = 3
+
+
+class TestProverOracle:
+    def test_known_unsafe_8x8_deep_k_plan_is_refuted_with_witness(self):
+        """The canonical bad plan: 2-lane int8 at K=4096 without
+        spilling overflows at depth 2 with all-255 operands."""
+        outcomes = prove_plans(8, 8, k=4096)
+        bad = next(
+            o for o in outcomes
+            if o.lanes == 2 and o.chunk_depth is None
+        )
+        assert bad.status == "refuted"
+        assert bad.witness is not None
+        assert bad.witness["scalar"] == 255
+        assert bad.witness["depth"] == 2
+        assert bad.max_safe_depth == 1
+
+    def test_chunked_counterpart_of_the_bad_plan_is_proven(self):
+        outcomes = prove_plans(8, 8, k=4096)
+        good = next(
+            o for o in outcomes if o.lanes == 2 and o.chunk_depth == 1
+        )
+        assert good.status == "proven"
+
+    def test_infeasible_layouts_carry_the_product_width(self):
+        outcomes = prove_plans(8, 8, k=64)
+        infeasible = [o for o in outcomes if o.status == "infeasible"]
+        assert infeasible, "4-lane int8 (8-bit fields) must be infeasible"
+        assert all(o.witness is None for o in infeasible)
+        assert all("16 bits" in o.reason for o in infeasible)
+
+    def test_single_lane_plans_prove_at_vit_depths(self):
+        outcomes = prove_plans(8, 8, k=768)
+        solo = next(o for o in outcomes if o.lanes == 1)
+        assert solo.status == "proven"
+        assert solo.chunk_depth is None
+
+    def test_exact_fit_one_bit_layouts_are_enumerable_and_judged(self):
+        """(8,1) at 4 lanes x 8-bit fields exactly fits its product —
+        the old sum-of-widths constructor check would have rejected it."""
+        outcomes = prove_plans(8, 1, k=768)
+        four = [o for o in outcomes if o.lanes == 4]
+        assert four and all(o.status != "infeasible" for o in four)
+        assert any(o.status == "proven" for o in four)
+
+
+class TestSearchAndTable:
+    def test_only_proven_layouts_reach_the_table(self, isolated_cache):
+        result = search_policies(
+            pairs=((8, 4), (8, 2)), k=128, processes=1
+        )
+        assert set(result.table.entries) == {"a8b4", "a8b2"}
+        assert result.table.reverify() == {}
+        proven_keys = {
+            o.layout_key for o in result.outcomes if o.status == "proven"
+        }
+        for pair, e in result.table.entries.items():
+            assert f"{pair}L{e['lanes']}f{e['field_bits']}" in proven_keys
+
+    def test_counters_partition_the_candidates(self, isolated_cache):
+        result = search_policies(pairs=((4, 4),), k=64, processes=1)
+        c = result.counters
+        assert c["candidates"] == len(result.outcomes)
+        assert c["proven"] + c["refuted"] == c["candidates"]
+        assert c["priced"] >= 1
+
+    def test_round_trip_identical_policies(self, isolated_cache, tmp_path):
+        result = search_policies(pairs=((8, 4), (4, 4)), k=128, processes=1)
+        path = result.table.save(tmp_path / "table.json")
+        loaded = PolicyTable.load(path)
+        assert loaded.to_json() == result.table.to_json()
+        for e in result.table.entries.values():
+            a, b = e["a_bits"], e["b_bits"]
+            assert loaded.policy_for(a, b) == result.table.policy_for(a, b)
+
+    def test_same_seed_rerun_is_byte_identical_with_zero_simulations(
+        self, isolated_cache
+    ):
+        pairs = ((8, 4), (2, 8))
+        cold = search_policies(pairs=pairs, k=128, processes=1)
+        assert cold.sweep_simulations > 0  # the cache really was cold
+        clear_partition_memo()
+        TimingCache.reset_default()  # fresh counters, same disk dir
+        warm = search_policies(pairs=pairs, k=128, processes=1)
+        assert warm.sweep_simulations == 0
+        assert warm.table.to_json() == cold.table.to_json()
+
+    def test_load_missing_table_is_actionable(self, tmp_path):
+        with pytest.raises(PackingError, match="repro search"):
+            PolicyTable.load(tmp_path / "nope.json")
+
+    def test_load_unreadable_table(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(PackingError, match="unreadable"):
+            PolicyTable.load(bad)
+
+    def test_from_dict_requires_entries(self):
+        with pytest.raises(PackingError, match="entries"):
+            PolicyTable.from_dict({"meta": {}})
+
+    def test_reverify_flags_a_tampered_entry(self, isolated_cache):
+        result = search_policies(pairs=((8, 4),), k=128, processes=1)
+        table = PolicyTable.from_dict(
+            json.loads(result.table.to_json())
+        )
+        table.entries["a8b4"]["chunk_depth"] = 10**6  # beyond any proof
+        failures = table.reverify()
+        assert "a8b4" in failures
+
+
+class TestResolver:
+    def test_default_is_the_static_rule(self):
+        assert resolve_policy(8, 8) == policy_for_bitwidth(8)
+        assert active_policy_table() is None
+
+    def test_installed_table_wins_and_clears(self, isolated_cache):
+        result = search_policies(pairs=((1, 8),), k=768, processes=1)
+        install_policy_table(result.table)
+        learned = resolve_policy(1, 8)
+        assert learned == result.table.policy_for(1, 8)
+        assert learned.lanes > policy_for_bitwidth(8).lanes  # denser
+        # Uncovered pairs still fall through to the rules.
+        assert resolve_policy(8, 8) == policy_for_bitwidth(8)
+        clear_policy_table()
+        assert active_policy_table() is None
+
+    def test_env_knob_loads_lazily_once(
+        self, isolated_cache, tmp_path, monkeypatch
+    ):
+        result = search_policies(pairs=((8, 4),), k=128, processes=1)
+        path = result.table.save(tmp_path / "t.json")
+        monkeypatch.setenv("REPRO_POLICY_TABLE", str(path))
+        clear_policy_table()  # re-arm the env lookup
+        assert resolve_policy(8, 4) == result.table.policy_for(8, 4)
+        # The table was cached; mutating the env now has no effect
+        # until the next clear (one load per install, deterministic).
+        monkeypatch.setenv("REPRO_POLICY_TABLE", str(tmp_path / "gone.json"))
+        assert resolve_policy(8, 4) == result.table.policy_for(8, 4)
+
+    def test_default_argument_overrides_the_rules(self):
+        custom = policy_for_bitwidth(8, cap_lanes=1)
+        assert resolve_policy(8, 8, default=custom) == custom
+
+
+class TestConstructorHardening:
+    """Satellite regression: unsafe-but-representable layouts must fail
+    at construction with the offending product width in the message."""
+
+    def test_policy_for_operands_rejects_oversized_single_lane(self):
+        from repro.packing import policy_for_operands
+
+        with pytest.raises(FormatError, match="36 bits"):
+            policy_for_operands(20, 16)
+
+    def test_exact_fit_single_lane_pairs_still_construct(self):
+        from repro.packing import policy_for_operands
+
+        assert policy_for_operands(16, 16).lanes == 1
+        assert policy_for_operands(1, 32).lanes == 1
+
+    def test_multi_lane_exact_product_check(self):
+        from repro.packing import PackingPolicy
+
+        # 8x1 products need 8 bits: 4 lanes of 8-bit fields are exact.
+        p = PackingPolicy(
+            value_bits=1, lanes=4, field_bits=8, multiplier_bits=8
+        )
+        assert p.product_bits == 9  # conservative a+b, used for guards
+        with pytest.raises(FormatError, match="16 bits"):
+            PackingPolicy(value_bits=8, lanes=3, field_bits=10,
+                          multiplier_bits=8)
