@@ -15,7 +15,7 @@ test:
 # Tier-1 tests under the CI coverage floor (needs pytest-cov).
 coverage:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q \
-		--cov=repro --cov-report=term-missing --cov-fail-under=78
+		--cov=repro --cov-report=term-missing --cov-fail-under=79
 
 # Static verification: ruff (generic style, when available) + the
 # repo's own AST lint, the lane dataflow verifier sweep, and the

@@ -1,0 +1,73 @@
+"""Cross-backend what-if: where do the paper's wins travel?
+
+ISSUE 10's design-space explorer, run as a benchmark: the bitwidth x
+strategy x backend sweep goes through the parallel sweep runner with
+the content-addressed timing cache as the shared artifact store, and
+the per-backend / cross-backend Pareto frontiers (throughput, energy,
+arithmetic density) land in ``summary.json``.
+
+Shape assertions, not absolute numbers (the exotic backends are
+speculative — see docs/BACKENDS.md):
+
+* every backend contributes a non-empty Pareto frontier;
+* 4-bit packing (4 lanes) never loses to 8-bit (2 lanes) for VitBit on
+  any backend — more lanes per register is the paper's whole lever;
+* the register-file-compression Orin variant (``orin-rfc``) tracks the
+  stock Orin closely: storage-side compression changes residency, not
+  operand throughput (Sec. 2.2's distinction, now cross-checkable).
+"""
+
+from __future__ import annotations
+
+from repro.arch import backend_names
+from repro.whatif import run_whatif
+
+BITS = (4, 8)
+STRATEGIES = ("TC", "VitBit")
+
+
+def test_whatif_backend_sweep(report, benchmark):
+    def run():
+        return run_whatif(bits=BITS, strategies=STRATEGIES)
+
+    rep = benchmark(run)
+    doc = rep.summary()
+    report(
+        "whatif_backends",
+        rep.render(),
+        backends=list(rep.backends),
+        global_pareto=[
+            f"{p['backend']}/{p['bits']}b/{p['strategy']}"
+            for p in doc["global_pareto"]
+        ],
+        best_throughput={
+            b: round(
+                max(p.throughput_inf_per_s for p in rep.backend_points(b)), 2
+            )
+            for b in rep.backends
+        },
+        sweep_wall_seconds=round(rep.sweep.wall_seconds, 4),
+        cache_hit_rate=round(rep.sweep.hit_rate, 4),
+    )
+
+    assert rep.backends == backend_names()
+    for b in rep.backends:
+        assert rep.pareto(b), f"empty frontier on {b}"
+    assert doc["global_pareto"]
+
+    # More lanes per register never loses: 4-bit VitBit at least matches
+    # 8-bit VitBit on every backend.
+    for b in rep.backends:
+        by_bits = {
+            p.bits: p for p in rep.backend_points(b) if p.strategy == "VitBit"
+        }
+        assert by_bits[4].total_seconds <= by_bits[8].total_seconds * 1.001
+
+    # Register-file compression is storage-side: orin-rfc's latency sits
+    # within a few percent of stock Orin (occupancy, not throughput).
+    orin = {(p.bits, p.strategy): p for p in rep.backend_points("orin-agx")}
+    rfc = {(p.bits, p.strategy): p for p in rep.backend_points("orin-rfc")}
+    for key, p in orin.items():
+        assert abs(rfc[key].total_seconds - p.total_seconds) <= (
+            0.10 * p.total_seconds
+        )

@@ -53,6 +53,12 @@ Commands
     Render the ``"metrics"`` section of ``summary.json`` (written by
     ``serve``/``bench``) as a table, canonical JSON, or the Prometheus
     text exposition format.  See ``docs/OBSERVABILITY.md``.
+``whatif [--backend NAME|all] [--list-backends] ...``
+    Cross-backend design-space explorer: sweep bitwidth x strategy x
+    backend through the parallel runner and report per-backend and
+    global Pareto frontiers (throughput, energy, density).  Merges the
+    deterministic section into ``summary.json`` under
+    ``"whatif_backends"``.  See ``docs/BACKENDS.md``.
 """
 
 from __future__ import annotations
@@ -62,7 +68,12 @@ import json
 import pathlib
 import sys
 
-from repro.arch import jetson_orin_agx, peak_throughput_table
+from repro.arch import (
+    backend_names,
+    jetson_orin_agx,
+    peak_throughput_table,
+    resolve_backend,
+)
 from repro.arch.energy import inference_energy
 from repro.fusion import (
     IC,
@@ -415,10 +426,16 @@ def _write_trace(path: str) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import BackendError
     from repro.serve import LoadSpec, ServeConfig, run_load
     from repro.vit.zoo import model_config as _model_config
 
     _model_config(args.model)  # fail fast on unknown models
+    try:
+        machine = resolve_backend(args.backend)
+    except BackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     config = ServeConfig(
         strategy=strategy_by_name(args.strategy),
         max_queue=args.max_queue,
@@ -444,9 +461,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cluster_config = ClusterConfig(
             replicas=args.replicas, service=config, seed=args.seed
         )
-        report = run_cluster_load(
-            jetson_orin_agx(), cluster_config, spec, chaos=chaos
-        )
+        report = run_cluster_load(machine, cluster_config, spec, chaos=chaos)
         print(report.render())
         if args.summary:
             out = report.write_summary(args.summary)
@@ -455,7 +470,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.trace:
             _write_trace(args.trace)
         return 1 if report.bit_inexact else 0
-    report = run_load(jetson_orin_agx(), config, spec)
+    report = run_load(machine, config, spec)
     print(report.render())
     if args.summary:
         out = report.write_summary(args.summary)
@@ -598,6 +613,49 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.errors import BackendError
+    from repro.whatif import run_whatif
+
+    if args.list_backends:
+        rows = [
+            (n, (m := resolve_backend(n)).name, m.sm_count, m.sm.cuda_cores,
+             m.clock_ghz, m.dram_bandwidth_gbps, m.die_area_mm2)
+            for n in backend_names()
+        ]
+        print(format_table(
+            ["backend", "machine", "SMs", "cores/SM", "GHz", "GB/s", "mm2"],
+            rows, title="registered backends (docs/BACKENDS.md)",
+        ))
+        return 0
+    names = None if args.backend == "all" else tuple(args.backend.split(","))
+    try:
+        report = run_whatif(
+            names,
+            model_name=args.model,
+            batch=args.batch,
+            processes=args.processes,
+        )
+    except BackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    sweep = report.sweep
+    print(f"\nsweep: {len(report.points)} points, "
+          f"wall {sweep.wall_seconds*1e3:.0f} ms, "
+          f"cache hit rate {sweep.hit_rate:.0%}, "
+          f"{sweep.simulations} fresh simulations")
+    for b in report.backends:
+        front = report.pareto(b)
+        print(f"  {b}: {len(front)} Pareto point(s): "
+              + ", ".join(f"{p.bits}b/{p.strategy}" for p in front))
+    if args.summary:
+        obs.merge_summary(args.summary, {"whatif_backends": report.summary()})
+        print(f"merged whatif_backends section into {args.summary}")
+    return 0
+
+
 def _cmd_models(_args: argparse.Namespace) -> int:
     rows = [
         (name, c.hidden, c.depth, c.heads, c.mlp_dim, c.tokens)
@@ -673,6 +731,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--model", default="vit-base")
     p.add_argument("--strategy", default="VitBit",
                    help="preferred execution strategy (Table 3 name)")
+    p.add_argument("--backend", default="orin-agx",
+                   help="registered machine backend to serve on (default "
+                   "orin-agx; see `repro whatif --list-backends`)")
     p.add_argument("--max-queue", type=int, default=64, dest="max_queue",
                    help="bounded-queue capacity (backpressure threshold)")
     p.add_argument("--max-batch", type=int, default=32, dest="max_batch")
@@ -725,6 +786,21 @@ def main(argv: list[str] | None = None) -> int:
                    help="pricing sweep worker processes (default: serial)")
     p.add_argument("--summary", default="benchmarks/out/summary.json",
                    help="summary.json receiving the policy_search section "
+                   "('' to skip writing)")
+
+    p = sub.add_parser("whatif", help="cross-backend design-space explorer "
+                       "(bitwidth x strategy x backend Pareto frontiers)")
+    p.add_argument("--backend", default="all",
+                   help="registered backend name, comma-list, or 'all' "
+                   "(default). Unknown names list the registered choices.")
+    p.add_argument("--list-backends", action="store_true", dest="list_backends",
+                   help="list the registered backends and exit")
+    p.add_argument("--model", default="vit-base")
+    p.add_argument("--batch", type=int, default=8)
+    p.add_argument("--processes", type=int, default=None,
+                   help="sweep worker processes (default: serial)")
+    p.add_argument("--summary", default="benchmarks/out/summary.json",
+                   help="summary.json receiving the whatif_backends section "
                    "('' to skip writing)")
 
     sub.add_parser("models", help="list the model zoo")
@@ -800,6 +876,7 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": _cmd_chaos,
         "metrics": _cmd_metrics,
         "search": _cmd_search,
+        "whatif": _cmd_whatif,
     }
     return handlers[args.command](args)
 

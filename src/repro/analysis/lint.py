@@ -26,7 +26,12 @@ this pass checks the rules a generic linter cannot know:
 * ``VB307`` — no unseeded randomness (zero-argument ``random.Random()``
   / ``np.random.default_rng()``, the module-level ``random.*`` /
   ``np.random.*`` global-state functions) in the same envelope: every
-  RNG must be constructed from an explicit seed.
+  RNG must be constructed from an explicit seed;
+* ``VB308`` — no reference to the Orin machine global
+  (``arch.specs.jetson_orin_agx``) inside ``repro/perfmodel``: the
+  performance model is backend-generic and must take its machine
+  description from the caller (see the backend registry,
+  :mod:`repro.arch.registry`), never bake one machine in.
 
 A finding on a line containing ``# vblint: skip`` (or ``# vblint:
 VB30x`` naming its code) is suppressed.  ``run_repo_lint`` applies all
@@ -46,7 +51,7 @@ __all__ = ["ALL_RULES", "lint_file", "lint_paths", "run_repo_lint"]
 
 #: Every rule code this pass implements.
 ALL_RULES: frozenset[str] = frozenset(
-    {"VB301", "VB302", "VB303", "VB304", "VB305", "VB306", "VB307"}
+    {"VB301", "VB302", "VB303", "VB304", "VB305", "VB306", "VB307", "VB308"}
 )
 
 #: Sub-paths under the byte-identical-rerun guarantee: wall clocks and
@@ -58,6 +63,14 @@ _DETERMINISM_SCOPED = (
     "repro/chaos/",
     "repro/packing/",
 )
+
+#: Sub-paths that must stay backend-generic: referencing the Orin
+#: global here re-bakes one machine into code every backend shares
+#: (VB308).
+_BACKEND_GENERIC_SCOPED = ("repro/perfmodel/",)
+
+#: The machine-spec global VB308 bans inside the scoped paths.
+_ORIN_GLOBAL = "jetson_orin_agx"
 
 #: Wall-clock attribute reads on the ``time`` module (VB306).
 _WALL_CLOCK_TIME_FNS = {
@@ -386,7 +399,8 @@ class _Linter(ast.NodeVisitor):
             self._imports.setdefault(bound, node.lineno)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        """Record `from m import x` bindings for VB305."""
+        """Record `from m import x` bindings for VB305; VB308 on the
+        Orin global."""
         if node.module == "__future__":
             return
         for alias in node.names:
@@ -396,11 +410,34 @@ class _Linter(ast.NodeVisitor):
             self._imports.setdefault(bound, node.lineno)
             if node.module in ("time", "datetime", "random"):
                 self._from_modules[bound] = f"{node.module}.{alias.name}"
+            if alias.name == _ORIN_GLOBAL:
+                self._orin_reference(node.lineno, f"import of {alias.name}")
+
+    def _orin_reference(self, lineno: int, what: str) -> None:
+        """VB308: report one reference to the Orin machine global."""
+        self._report(
+            "VB308",
+            lineno,
+            f"{what}: repro/perfmodel is backend-generic and must not "
+            f"reference arch.specs.{_ORIN_GLOBAL} directly",
+            hint="take the MachineSpec/SMSpec from the caller — backends "
+            "come from repro.arch.registry.resolve_backend",
+        )
 
     def visit_Name(self, node: ast.Name) -> None:
-        """Record name loads as uses for VB305."""
+        """Record name loads as uses for VB305; VB308 on the Orin
+        global."""
         if isinstance(node.ctx, ast.Load):
             self._used.add(node.id)
+        if node.id == _ORIN_GLOBAL:
+            self._orin_reference(node.lineno, f"reference to {node.id}")
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        """VB308 on attribute access of the Orin global
+        (``specs.jetson_orin_agx``)."""
+        if node.attr == _ORIN_GLOBAL:
+            self._orin_reference(node.lineno, f"reference to .{node.attr}")
+        self.generic_visit(node)
 
     def visit_Assign(self, node: ast.Assign) -> None:
         """Record `__all__` entries — re-exports count as uses (VB305)."""
@@ -465,6 +502,8 @@ def lint_file(
     if not any(part in posix for part in _DETERMINISM_SCOPED):
         effective.discard("VB306")
         effective.discard("VB307")
+    if not any(part in posix for part in _BACKEND_GENERIC_SCOPED):
+        effective.discard("VB308")
     linter = _Linter(shown, source, frozenset(effective))
     linter.run(tree)
     return linter.diags

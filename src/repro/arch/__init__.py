@@ -5,9 +5,28 @@ The paper's Table 1 (peak throughput per numeric format) and Table 2
 simulator, the analytic performance model, the arithmetic-density
 metric — reads the same :class:`MachineSpec` so the reproduction has a
 single source of architectural truth.
+
+Since PR 10 specs are *data*: serializable (JSON round-trip with
+schema validation) and registered by name in the backend registry
+(:mod:`repro.arch.registry`), with speculative non-Orin machines
+(``ten-four``, ``camp-lv``, ``orin-rfc``) available for what-if
+sweeps alongside the default ``orin-agx``.
 """
 
-from repro.arch.specs import MachineSpec, SMSpec, TensorCoreSpec, jetson_orin_agx
+from repro.arch.specs import (
+    SPEC_SCHEMA_VERSION,
+    MachineSpec,
+    SMSpec,
+    TensorCoreSpec,
+    jetson_orin_agx,
+)
+from repro.arch.registry import (
+    DEFAULT_BACKEND,
+    backend_names,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
 from repro.arch.throughput import (
     PeakThroughput,
     cuda_core_peak_ops,
@@ -17,10 +36,16 @@ from repro.arch.throughput import (
 from repro.arch.density import arithmetic_density, normalized_density
 
 __all__ = [
+    "SPEC_SCHEMA_VERSION",
     "MachineSpec",
     "SMSpec",
     "TensorCoreSpec",
     "jetson_orin_agx",
+    "DEFAULT_BACKEND",
+    "register_backend",
+    "unregister_backend",
+    "resolve_backend",
+    "backend_names",
     "PeakThroughput",
     "peak_throughput_table",
     "cuda_core_peak_ops",

@@ -101,12 +101,15 @@ def inference_energy(
     *,
     params: EnergyParams | None = None,
     batch: int | None = None,
+    config=None,
 ) -> EnergyBreakdown:
     """Energy of one ViT inference under a Table 3 strategy.
 
     ``pm`` is a :class:`~repro.perfmodel.PerformanceModel`; kernels are
     priced via :func:`repro.vit.runtime.time_inference` and their DRAM
-    traffic re-derived from the workload descriptors.
+    traffic re-derived from the workload descriptors.  ``config`` is an
+    optional :class:`~repro.vit.config.ViTConfig` (``None`` = ViT-Base),
+    matching ``time_inference``'s parameter.
     """
     from repro.fusion.strategies import TC as _TC
     from repro.perfmodel.warpsets import elementwise_bytes, gemm_bytes
@@ -118,7 +121,7 @@ def inference_energy(
     from repro.vit.workload import DEFAULT_BATCH, vit_workload
 
     b = batch if batch is not None else DEFAULT_BATCH
-    work = vit_workload(batch=b)
+    work = vit_workload(config, batch=b)
     timing = time_inference(pm, strategy, workload=work)
     gemm_strat = gemm_strategy_for(strategy)
     cuda_strat = cuda_kernel_strategy_for(strategy)

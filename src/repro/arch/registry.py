@@ -1,0 +1,183 @@
+"""Named backend registry over :class:`~repro.arch.specs.MachineSpec`.
+
+ROADMAP item 4: machine specs are *data*, and the registry makes whole
+machines swappable by name anywhere a spec is accepted — the
+performance model, the sweep runner, the serving preflight, and the
+``repro whatif`` design-space explorer.
+
+Four backends ship built in:
+
+``orin-agx``
+    The paper's evaluation platform (Table 2), unchanged — the default
+    everywhere a backend is not named explicitly.
+
+``ten-four``
+    A Ten-Four-style mixed-precision fused-dot-product tensor-core
+    unit: a fatter Tensor core with a per-precision throughput table
+    extended down to FP8/INT2, on a smaller SM array (the related
+    work's premise is that precision flexibility, not lane count, buys
+    the throughput).
+
+``camp-lv``
+    A CAMP-style long-vector/matrix-tile machine: few SMs, very wide
+    SIMD pipes (64-lane INT/FP per sub-partition), a large register
+    file, and a matrix unit consuming bigger tiles per instruction.
+
+``orin-rfc``
+    Orin with a register-file-compression storage layer (Angerd et
+    al.): half the physical register SRAM recovered by ~1.75x
+    compression, trading a sliver of occupancy for die area.
+
+The ``ten-four`` and ``camp-lv`` parameters are *speculative models*
+derived from the cited papers' ratios, not silicon measurements — see
+``docs/BACKENDS.md`` for the honest caveats.
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import MachineSpec, SMSpec, TensorCoreSpec, jetson_orin_agx
+from repro.errors import BackendError
+
+__all__ = [
+    "register_backend",
+    "unregister_backend",
+    "resolve_backend",
+    "backend_names",
+    "DEFAULT_BACKEND",
+]
+
+#: Name of the backend used when none is selected explicitly.
+DEFAULT_BACKEND = "orin-agx"
+
+_REGISTRY: dict[str, MachineSpec] = {}
+
+
+def register_backend(
+    name: str, spec: MachineSpec, *, replace: bool = False
+) -> MachineSpec:
+    """Register ``spec`` under ``name`` and return it.
+
+    Raises :class:`~repro.errors.BackendError` if ``name`` is already
+    taken and ``replace`` is false — duplicate registrations are almost
+    always two modules fighting over a name, so they must be explicit.
+    """
+    if not isinstance(spec, MachineSpec):
+        raise BackendError(
+            f"backend {name!r} must be registered with a MachineSpec, "
+            f"got {type(spec).__name__}"
+        )
+    if name in _REGISTRY and not replace:
+        raise BackendError(
+            f"backend {name!r} is already registered "
+            f"(as {_REGISTRY[name].name!r}); pass replace=True to override"
+        )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def unregister_backend(name: str) -> MachineSpec:
+    """Remove and return the backend registered under ``name``.
+
+    Raises :class:`~repro.errors.BackendError` for unknown names.
+    Intended for tests that register throwaway backends.
+    """
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; registered: {backend_names()}"
+        ) from None
+
+
+def resolve_backend(name: str) -> MachineSpec:
+    """Return the :class:`MachineSpec` registered under ``name``.
+
+    Raises :class:`~repro.errors.BackendError` whose message lists the
+    registered choices, so a CLI typo is self-diagnosing.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; registered: {backend_names()}"
+        ) from None
+
+
+def backend_names() -> tuple[str, ...]:
+    """All registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _ten_four() -> MachineSpec:
+    """Ten-Four-style mixed-precision fused-dot-product unit (speculative)."""
+    return MachineSpec(
+        name="Ten-Four mixed-precision FDP unit (speculative)",
+        sm_count=8,
+        clock_ghz=1.8,
+        dram_bandwidth_gbps=153.6,
+        dram_capacity_gb=16.0,
+        die_area_mm2=280.0,
+        sm=SMSpec(
+            tensor_core=TensorCoreSpec(
+                fp16_macs_per_cycle=512,
+                format_multipliers={
+                    "fp16": 1.0,
+                    "bf16": 1.0,
+                    "tf32": 0.5,
+                    "fp8": 2.0,
+                    "int8": 2.0,
+                    "int4": 4.0,
+                    "int2": 8.0,
+                },
+            ),
+        ),
+    )
+
+
+def _camp_lv() -> MachineSpec:
+    """CAMP-style long-vector/matrix-tile machine (speculative)."""
+    return MachineSpec(
+        name="CAMP long-vector matrix-tile machine (speculative)",
+        sm_count=4,
+        clock_ghz=1.4,
+        dram_bandwidth_gbps=102.4,
+        dram_capacity_gb=16.0,
+        die_area_mm2=350.0,
+        sm=SMSpec(
+            partitions=2,
+            int32_lanes_per_partition=64,
+            fp32_lanes_per_partition=64,
+            lsu_lanes_per_partition=32,
+            sfu_lanes_per_partition=8,
+            registers_per_sm=131072,
+            max_warps_per_sm=32,
+            max_tensor_warps=2,
+            tensor_core=TensorCoreSpec(
+                fp16_macs_per_cycle=520,
+                macs_per_instruction=8192,
+            ),
+        ),
+    )
+
+
+def _orin_rfc() -> MachineSpec:
+    """Orin with register-file compression (Angerd et al., speculative)."""
+    orin = jetson_orin_agx()
+    return MachineSpec(
+        name="Jetson AGX Orin + register-file compression (speculative)",
+        sm_count=orin.sm_count,
+        clock_ghz=orin.clock_ghz,
+        dram_bandwidth_gbps=orin.dram_bandwidth_gbps,
+        dram_capacity_gb=orin.dram_capacity_gb,
+        die_area_mm2=435.0,
+        sm=SMSpec(
+            registers_per_sm=32768,
+            register_compression_ratio=1.75,
+        ),
+    )
+
+
+register_backend(DEFAULT_BACKEND, jetson_orin_agx())
+register_backend("ten-four", _ten_four())
+register_backend("camp-lv", _camp_lv())
+register_backend("orin-rfc", _orin_rfc())

@@ -1,4 +1,4 @@
-"""Machine/SM specifications (Table 2 of the paper).
+"""Machine/SM specifications (Table 2 of the paper) as *data*.
 
 The model follows the paper's simplified Ampere SM: per Streaming
 Multiprocessor, an INT32 pipe and an FP32 pipe of *equal* width that can
@@ -18,16 +18,39 @@ is chosen so the derived peaks land on Table 1 (FP32 4 TFLOPS over
 896 FP lanes x 2 ops/FMA → 2.232 GHz); only ratios matter for the
 reproduction, and this equal-pipe model at 2.232 GHz is numerically
 identical to the physical 1792-lane part at its boost clock.
+
+Since PR 10 a :class:`MachineSpec` is also a *serializable data
+object*: :meth:`MachineSpec.to_dict` emits a versioned JSON document
+(``schema_version`` = :data:`SPEC_SCHEMA_VERSION`) and
+:meth:`MachineSpec.from_dict` validates it — missing/unknown/mistyped
+fields and value constraint violations (negative throughputs, zero
+lane counts) raise :class:`~repro.errors.SpecValidationError` listing
+*every* problem.  The backend registry
+(:mod:`repro.arch.registry`) builds on this to make whole machines
+swappable by name.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+import json
+from dataclasses import asdict, dataclass, field
 
-from repro.errors import FormatError
+from repro.errors import FormatError, SpecValidationError
 from repro.utils.validation import check_positive
 
-__all__ = ["TensorCoreSpec", "SMSpec", "MachineSpec", "jetson_orin_agx"]
+__all__ = [
+    "SPEC_SCHEMA_VERSION",
+    "TensorCoreSpec",
+    "SMSpec",
+    "MachineSpec",
+    "jetson_orin_agx",
+]
+
+#: Version tag of the serialized :class:`MachineSpec` schema.  Bump on
+#: any incompatible change to the field set so stale documents are
+#: rejected with an actionable message instead of misparsed.
+SPEC_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -37,7 +60,15 @@ class TensorCoreSpec:
     ``fp16_macs_per_cycle`` is the dense FP16 MAC rate of a single Tensor
     core; other formats scale it by ``format_multipliers`` (TF32 runs at
     half the FP16 rate, INT8 at 2x, INT4 at 4x — the Ampere ratios that
-    produce Table 1's 32/65/131/262 progression).
+    produce Table 1's 32/65/131/262 progression).  Backends with native
+    mixed-precision fused dot-product units (Ten-Four) extend the table
+    with more formats rather than subclassing.
+
+    ``macs_per_instruction`` is the MAC count one *simulated* MMA
+    instruction covers (a 16x8x32 INT8 fragment on Ampere): the unit the
+    performance model divides GEMM work by, and the work one fragment
+    occupies the Tensor pipe for.  Matrix-tile machines (CAMP) use a
+    larger fragment.
     """
 
     fp16_macs_per_cycle: int = 260
@@ -50,6 +81,16 @@ class TensorCoreSpec:
             "int4": 4.0,
         }
     )
+    macs_per_instruction: int = 4096
+
+    def __post_init__(self) -> None:
+        check_positive("fp16_macs_per_cycle", self.fp16_macs_per_cycle)
+        check_positive("macs_per_instruction", self.macs_per_instruction)
+        for fmt, mult in self.format_multipliers.items():
+            if not mult > 0:
+                raise ValueError(
+                    f"format_multipliers[{fmt!r}] must be positive, got {mult!r}"
+                )
 
     def macs_per_cycle(self, fmt: str) -> float:
         """Dense MACs per cycle for numeric format ``fmt``."""
@@ -69,6 +110,18 @@ class SMSpec:
     An SM is divided into ``partitions`` sub-partitions, each with its own
     warp scheduler (1 instruction issued per cycle per scheduler), a slice
     of the INT32 and FP32 lanes, and a Tensor core.
+
+    ``max_tensor_warps`` is the Tensor-role warp population the model
+    keeps resident per SM (1 per sub-partition on Orin keeps the Tensor
+    pipe saturated — its initiation interval dwarfs the warp's per-MMA
+    issue needs — without starving CUDA-role residency).
+
+    ``register_compression_ratio`` models storage-side register-file
+    compression (Angerd et al.): the effective register capacity is
+    ``registers_per_sm * register_compression_ratio``, raising
+    *occupancy* when registers limit residency while leaving the ALU
+    operand width — and therefore peak throughput — unchanged
+    (Sec. 2.2's distinction, now a machine knob).
     """
 
     partitions: int = 4
@@ -81,6 +134,8 @@ class SMSpec:
     max_warps_per_sm: int = 48
     max_threads_per_block: int = 1024
     warp_size: int = 32
+    max_tensor_warps: int = 4
+    register_compression_ratio: float = 1.0
     tensor_core: TensorCoreSpec = field(default_factory=TensorCoreSpec)
 
     def __post_init__(self) -> None:
@@ -91,7 +146,12 @@ class SMSpec:
             "tensor_cores_per_partition",
             "lsu_lanes_per_partition",
             "sfu_lanes_per_partition",
+            "registers_per_sm",
+            "max_warps_per_sm",
+            "max_threads_per_block",
             "warp_size",
+            "max_tensor_warps",
+            "register_compression_ratio",
         ):
             check_positive(name, getattr(self, name))
 
@@ -122,6 +182,26 @@ class SMSpec:
         """Warp slots available to each sub-partition's scheduler."""
         return self.max_warps_per_sm // self.partitions
 
+    @property
+    def effective_registers_per_sm(self) -> int:
+        """Register capacity after storage-side compression (Angerd)."""
+        return int(self.registers_per_sm * self.register_compression_ratio)
+
+    def register_limited_warps(
+        self, registers_per_thread: int, *, alloc_unit: int = 256
+    ) -> int:
+        """Resident warps the (effective) register file can hold.
+
+        Registers round up to ``alloc_unit`` per warp, the classic CUDA
+        occupancy rule; the result is floored at 1 so a spec never
+        reports an unrunnable SM.
+        """
+        check_positive("registers_per_thread", registers_per_thread)
+        regs_per_warp = (
+            -(-registers_per_thread * self.warp_size // alloc_unit) * alloc_unit
+        )
+        return max(1, self.effective_registers_per_sm // regs_per_warp)
+
 
 @dataclass(frozen=True)
 class MachineSpec:
@@ -145,7 +225,13 @@ class MachineSpec:
         check_positive("sm_count", self.sm_count)
         check_positive("clock_ghz", self.clock_ghz)
         check_positive("dram_bandwidth_gbps", self.dram_bandwidth_gbps)
+        check_positive("dram_capacity_gb", self.dram_capacity_gb)
         check_positive("die_area_mm2", self.die_area_mm2)
+        if self.kernel_launch_overhead_us < 0:
+            raise ValueError(
+                "kernel_launch_overhead_us must be >= 0, got "
+                f"{self.kernel_launch_overhead_us!r}"
+            )
 
     @property
     def cuda_cores(self) -> int:
@@ -170,6 +256,132 @@ class MachineSpec:
     def cycles_to_seconds(self, cycles: float) -> float:
         """Convert a cycle count to wall-clock seconds at the GPU clock."""
         return cycles / self.clock_hz
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Versioned, JSON-serializable form of this spec.
+
+        The inverse of :meth:`from_dict`:
+        ``MachineSpec.from_dict(spec.to_dict()) == spec`` for every
+        valid spec.
+        """
+        return {"schema_version": SPEC_SCHEMA_VERSION, **asdict(self)}
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """:meth:`to_dict` rendered as canonical JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: object) -> "MachineSpec":
+        """Rebuild a spec from :meth:`to_dict` output, validating it.
+
+        Raises :class:`~repro.errors.SpecValidationError` listing every
+        schema problem: wrong/missing ``schema_version``,
+        missing/unknown/mistyped fields, and value-constraint
+        violations (non-positive lane counts, negative throughputs,
+        negative launch overhead).
+        """
+        problems: list[str] = []
+        if not isinstance(data, dict):
+            raise SpecValidationError(
+                f"machine spec must be a JSON object, got {type(data).__name__}"
+            )
+        body = dict(data)
+        version = body.pop("schema_version", None)
+        if version != SPEC_SCHEMA_VERSION:
+            problems.append(
+                f"schema_version must be {SPEC_SCHEMA_VERSION}, got {version!r}"
+            )
+        kwargs = _validate_section(cls, body, "", problems)
+        if problems:
+            raise SpecValidationError(
+                "invalid machine spec: " + "; ".join(problems)
+            )
+        try:
+            return cls(**kwargs)
+        except (ValueError, TypeError) as exc:
+            raise SpecValidationError(f"invalid machine spec: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "MachineSpec":
+        """Parse and validate a spec from JSON text (see :meth:`from_dict`)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecValidationError(f"machine spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def _validate_section(
+    cls: type, data: dict, where: str, problems: list[str]
+) -> dict:
+    """Check one (possibly nested) spec section against its dataclass.
+
+    Field names and types come straight from ``dataclasses.fields`` so
+    the schema can never drift from the code; every mismatch is
+    appended to ``problems`` (dotted paths) and a best-effort kwargs
+    dict is returned for construction once ``problems`` is empty.
+    """
+    types = {f.name: str(f.type) for f in dataclasses.fields(cls)}
+    for name in sorted(set(data) - set(types)):
+        problems.append(f"unknown field {where}{name!r}")
+    for name in sorted(set(types) - set(data)):
+        problems.append(f"missing field {where}{name!r}")
+    kwargs: dict = {}
+    for name, ftype in types.items():
+        if name not in data:
+            continue
+        value = data[name]
+        path = f"{where}{name}"
+        if ftype == "int":
+            if isinstance(value, bool) or not isinstance(value, int):
+                problems.append(f"{path} must be an integer, got {value!r}")
+            else:
+                kwargs[name] = value
+        elif ftype == "float":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                problems.append(f"{path} must be a number, got {value!r}")
+            else:
+                kwargs[name] = float(value)
+        elif ftype == "str":
+            if not isinstance(value, str):
+                problems.append(f"{path} must be a string, got {value!r}")
+            else:
+                kwargs[name] = value
+        elif ftype.startswith("dict"):
+            if not isinstance(value, dict):
+                problems.append(f"{path} must be an object, got {value!r}")
+            else:
+                table: dict[str, float] = {}
+                for key, mult in value.items():
+                    if (
+                        not isinstance(key, str)
+                        or isinstance(mult, bool)
+                        or not isinstance(mult, (int, float))
+                    ):
+                        problems.append(
+                            f"{path}[{key!r}] must map a format name to a "
+                            f"number, got {mult!r}"
+                        )
+                    else:
+                        table[key] = float(mult)
+                kwargs[name] = table
+        elif ftype in ("SMSpec", "TensorCoreSpec"):
+            sub_cls = SMSpec if ftype == "SMSpec" else TensorCoreSpec
+            if not isinstance(value, dict):
+                problems.append(f"{path} must be an object, got {value!r}")
+            else:
+                before = len(problems)
+                sub = _validate_section(sub_cls, value, f"{path}.", problems)
+                if len(problems) == before:
+                    try:
+                        kwargs[name] = sub_cls(**sub)
+                    except (ValueError, TypeError) as exc:
+                        problems.append(f"{path}: {exc}")
+        else:  # pragma: no cover - would mean a new unhandled field type
+            problems.append(f"{path}: unhandled schema type {ftype!r}")
+    return kwargs
 
 
 def jetson_orin_agx() -> MachineSpec:

@@ -10,6 +10,8 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "FormatError",
+    "SpecValidationError",
+    "BackendError",
     "PackingError",
     "OverflowBudgetError",
     "AnalysisError",
@@ -31,6 +33,26 @@ class ReproError(Exception):
 
 class FormatError(ReproError):
     """An integer/floating-point format is invalid or unsupported."""
+
+
+class SpecValidationError(ReproError):
+    """A serialized machine spec failed schema validation.
+
+    Raised by :meth:`repro.arch.specs.MachineSpec.from_dict` when a JSON
+    document is missing fields, carries unknown fields, has wrongly
+    typed values, or violates a value constraint (e.g. a negative
+    throughput).  The message lists every problem found, not just the
+    first.
+    """
+
+
+class BackendError(ReproError):
+    """A backend-registry operation failed.
+
+    Raised on lookup of an unregistered backend name (the message lists
+    the registered choices) and on attempts to register a duplicate
+    name without ``replace=True``.
+    """
 
 
 class PackingError(ReproError):

@@ -69,7 +69,7 @@ def analytic_gemm_seconds(
     """Closed-form GEMM time under ``strategy``."""
     params = params if params is not None else CostParams()
     plan = strategy.split_plan(shape.n, policy, tensor_cuda_ratio)
-    totals = gemm_instruction_totals(shape, plan, policy, params)
+    totals = gemm_instruction_totals(shape, plan, policy, params, sm=machine.sm)
     nbytes = gemm_bytes(shape, plan, policy)
     return analytic_seconds(
         machine, totals, nbytes, include_launch_overhead=include_launch_overhead
@@ -88,7 +88,9 @@ def analytic_elementwise_seconds(
 ) -> float:
     """Closed-form elementwise-kernel time under ``strategy``."""
     params = params if params is not None else CostParams()
-    totals = elementwise_instruction_totals(desc, n_elements, strategy, policy)
+    totals = elementwise_instruction_totals(
+        desc, n_elements, strategy, policy, sm=machine.sm
+    )
     nbytes = elementwise_bytes(desc, n_elements, strategy, policy, params)
     return analytic_seconds(
         machine, totals, nbytes, include_launch_overhead=include_launch_overhead

@@ -194,6 +194,12 @@ class CostParams:
     loads_per_mma: float = 0.5
     #: Warps resident per SM for fused kernels.
     resident_warps: int = 48
+    #: Registers allocated per thread by the fused kernels; combined
+    #: with the backend's (possibly compressed) register file this can
+    #: lower achieved residency below ``resident_warps``.  40 keeps the
+    #: Orin register file non-binding (51 warps > the 48-warp scheduler
+    #: cap), matching the paper's occupancy assumption.
+    registers_per_thread: int = 40
     #: DRAM bytes of the packed slice relative to the unpacked layout.
     #: Only the activation payload compacts (16-bit packed fields vs
     #: 32-bit intermediates); masks, indices, norm parameters and
@@ -218,6 +224,7 @@ class CostParams:
     def __post_init__(self) -> None:
         check_positive("gemm_loads_per_alu", self.gemm_loads_per_alu)
         check_positive("resident_warps", self.resident_warps)
+        check_positive("registers_per_thread", self.registers_per_thread)
         check_positive("body_granularity", self.body_granularity)
         check_positive("target_sim_instructions", self.target_sim_instructions)
         if not 0 < self.packed_byte_factor <= 1:

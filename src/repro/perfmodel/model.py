@@ -392,7 +392,9 @@ class PerformanceModel:
             else PAPER_TENSOR_CUDA_RATIO
         )
         plan = strategy.split_plan(shape.n, self.policy, m)
-        return gemm_instruction_totals(shape, plan, self.policy, self.params)
+        return gemm_instruction_totals(
+            shape, plan, self.policy, self.params, sm=self.machine.sm
+        )
 
     def clear_cache(self) -> None:
         """Drop memoized kernel timings (after mutating params).

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ModelConfigError, ScheduleError
-from repro.arch.specs import MachineSpec
+from repro.arch.specs import MachineSpec, SMSpec
 from repro.fusion.schedule import interleave_warp_roles
 from repro.fusion.strategies import Strategy
 from repro.packing.accumulate import safe_accumulation_depth
@@ -31,14 +31,24 @@ from repro.sim.program import WarpProgram
 
 __all__ = ["KernelLaunch", "gemm_launch", "elementwise_launch"]
 
-#: Threads per warp (fixed across the model).
-_WARP = 32
-#: MACs per simulated Tensor MMA instruction (matches sim.instruction).
-_TC_MACS = 4096
-#: Maximum Tensor-role warps per SM (1 per sub-partition keeps the
-#: Tensor pipe saturated — its initiation interval dwarfs the warp's
-#: per-MMA issue needs — without starving CUDA-role residency).
-_MAX_TC_WARPS = 4
+# All machine-dependent quantities (warp width, MACs per MMA fragment,
+# Tensor-role warp cap, register-limited residency) come from the
+# SMSpec so every registered backend is priced by its own numbers —
+# nothing Orin-specific is baked in at module level (VB308).
+
+
+def _resident_warps(sm: SMSpec, params: CostParams) -> int:
+    """Warps resident on one SM under every residency limit.
+
+    The scheduler cap (``max_warps_per_sm``) and the (possibly
+    compressed, Angerd-style) register file both bound what the
+    launch-time request (``params.resident_warps``) can achieve.
+    """
+    return min(
+        params.resident_warps,
+        sm.max_warps_per_sm,
+        sm.register_limited_warps(params.registers_per_thread),
+    )
 
 
 @dataclass
@@ -139,11 +149,18 @@ def gemm_instruction_totals(
     plan: SplitPlan,
     policy: PackingPolicy,
     params: CostParams,
+    sm: SMSpec | None = None,
 ) -> dict[OpClass, float]:
-    """Grid-wide instruction counts of the fused GEMM under ``plan``."""
+    """Grid-wide instruction counts of the fused GEMM under ``plan``.
+
+    ``sm`` supplies the warp width and the MMA fragment size; ``None``
+    means the default (Orin-shaped) :class:`SMSpec`.
+    """
+    sm = sm if sm is not None else SMSpec()
+    warp = sm.warp_size
     lanes = max(1, plan.lanes)
-    i_tc = shape.m * plan.n3 * shape.k / _TC_MACS
-    i_int = shape.m * plan.n1 * shape.k / (_WARP * lanes)
+    i_tc = shape.m * plan.n3 * shape.k / sm.tensor_core.macs_per_instruction
+    i_int = shape.m * plan.n1 * shape.k / (warp * lanes)
     if lanes > 1 and params.count_spills and plan.n1:
         # Spill cadence follows the proven accumulation depth.  For the
         # symmetric Fig. 3 policies the historical signed-magnitude
@@ -159,7 +176,7 @@ def gemm_instruction_totals(
         i_int += i_int / depth
     if lanes > 1 and params.count_sign_split and plan.n1:
         i_int *= 2
-    i_fp = shape.m * plan.n2 * shape.k / _WARP
+    i_fp = shape.m * plan.n2 * shape.k / warp
     alu = i_int + i_fp
     return {
         OpClass.TENSOR: i_tc,
@@ -202,10 +219,10 @@ def gemm_launch(
 ) -> KernelLaunch:
     """Lower a GEMM under ``strategy`` into a simulatable warp set."""
     plan = strategy.split_plan(shape.n, policy, tensor_cuda_ratio)
-    totals = gemm_instruction_totals(shape, plan, policy, params)
+    sm = machine.sm
+    totals = gemm_instruction_totals(shape, plan, policy, params, sm=sm)
     nbytes = gemm_bytes(shape, plan, policy)
 
-    sm = machine.sm
     timings = default_timings(sm)
     g = params.body_granularity
     lam, mu = params.gemm_loads_per_alu, params.gemm_misc_per_alu
@@ -219,13 +236,13 @@ def gemm_launch(
 
     # Role residency: a fixed small Tensor population, CUDA warps split
     # by pipe demand.
-    resident = min(params.resident_warps, sm.max_warps_per_sm)
+    resident = _resident_warps(sm, params)
     i_tc, i_int, i_fp = (
         totals[OpClass.TENSOR],
         totals[OpClass.INT],
         totals[OpClass.FP],
     )
-    n_tc = min(_MAX_TC_WARPS, resident) if i_tc > 0 else 0
+    n_tc = min(sm.max_tensor_warps, resident) if i_tc > 0 else 0
     cuda_slots = resident - n_tc
     d_int = i_int * timings[OpClass.INT].initiation_interval
     d_fp = i_fp * timings[OpClass.FP].initiation_interval
@@ -295,8 +312,14 @@ def elementwise_instruction_totals(
     n_elements: int,
     strategy: Strategy,
     policy: PackingPolicy,
+    sm: SMSpec | None = None,
 ) -> dict[OpClass, float]:
-    """Grid-wide instruction counts of one elementwise kernel."""
+    """Grid-wide instruction counts of one elementwise kernel.
+
+    ``sm`` supplies the warp width; ``None`` means the default
+    (Orin-shaped) :class:`SMSpec`.
+    """
+    warp = (sm if sm is not None else SMSpec()).warp_size
     if n_elements < 0:
         raise ModelConfigError(f"n_elements must be >= 0, got {n_elements}")
     x, packed = _elementwise_split(strategy, policy)
@@ -319,11 +342,11 @@ def elementwise_instruction_totals(
     sfu += e_fp * desc.sfu_ops
 
     return {
-        OpClass.INT: int_ops / _WARP,
-        OpClass.FP: fp_ops / _WARP,
-        OpClass.MISC: misc_ops / _WARP,
-        OpClass.LSU: lsu / _WARP,
-        OpClass.SFU: sfu / _WARP,
+        OpClass.INT: int_ops / warp,
+        OpClass.FP: fp_ops / warp,
+        OpClass.MISC: misc_ops / warp,
+        OpClass.LSU: lsu / warp,
+        OpClass.SFU: sfu / warp,
         OpClass.TENSOR: 0.0,
     }
 
@@ -354,7 +377,9 @@ def elementwise_launch(
     params: CostParams,
 ) -> KernelLaunch:
     """Lower an elementwise kernel under ``strategy`` into a warp set."""
-    totals = elementwise_instruction_totals(desc, n_elements, strategy, policy)
+    totals = elementwise_instruction_totals(
+        desc, n_elements, strategy, policy, sm=machine.sm
+    )
     nbytes = elementwise_bytes(desc, n_elements, strategy, policy, params)
     x, packed = _elementwise_split(strategy, policy)
     lanes = policy.lanes if packed else 1
@@ -383,7 +408,7 @@ def elementwise_launch(
     )
 
     sm = machine.sm
-    resident = min(params.resident_warps, sm.max_warps_per_sm)
+    resident = _resident_warps(sm, params)
     n_int = (
         _round_role(resident * x, sm.partitions, sm.partitions, resident)
         if x > 0

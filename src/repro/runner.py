@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro import obs
+from repro.arch.registry import resolve_backend
 from repro.arch.specs import MachineSpec
 from repro.fusion.strategies import Strategy
 from repro.perfmodel.model import PerformanceModel
@@ -237,6 +238,8 @@ def _price_strategy(point: tuple) -> dict:
     from repro.vit.zoo import model_config
 
     machine, strategy, model_name, batch = point
+    if isinstance(machine, str):
+        machine = resolve_backend(machine)
     pm = PerformanceModel(machine, clamp_ratio=True)
     timing = time_inference(
         pm, strategy, config=model_config(model_name), batch=batch
@@ -252,7 +255,7 @@ def _price_strategy(point: tuple) -> dict:
 
 
 def price_inference_strategies(
-    machine: MachineSpec,
+    machine: MachineSpec | str,
     strategies: Sequence[Strategy],
     *,
     model_name: str = "vit-base",
@@ -263,7 +266,11 @@ def price_inference_strategies(
 
     The Fig. 5 workload, parallelized: each strategy's kernel stream is
     priced in its own process against the shared timing cache.
+    ``machine`` may be a registered backend *name* (resolved inside each
+    worker — only the short string crosses the process boundary).
     """
+    if isinstance(machine, str):
+        resolve_backend(machine)  # fail fast on typos, in the parent
     return run_sweep(
         _price_strategy,
         [(machine, s, model_name, batch) for s in strategies],

@@ -44,9 +44,10 @@ class OpClass(enum.IntEnum):
     MISC = 5  # moves, predicates, branches, uniform ops (full-width path)
 
 
-#: MACs performed by one simulated tensor-core MMA instruction (a
-#: 16x8x32 INT8 fragment; the TC pipe stays busy for the cycles this
-#: takes at the spec's MAC rate).
+#: MACs performed by one simulated tensor-core MMA instruction on the
+#: *default* (Orin-shaped) spec — a 16x8x32 INT8 fragment.  Kept as a
+#: documented reference value; the simulator itself reads the
+#: per-backend ``SMSpec.tensor_core.macs_per_instruction``.
 TENSOR_MACS_PER_INSTR = 4096
 
 
@@ -80,11 +81,12 @@ def default_timings(
 ) -> dict[OpClass, PipeTiming]:
     """Pipe timings implied by an SM spec.
 
-    The Tensor pipe's initiation interval is the time one
-    ``TENSOR_MACS_PER_INSTR``-MAC fragment occupies a Tensor core at the
-    spec's per-format MAC rate, derated by ``tc_efficiency`` (peak MMA
-    issue is never sustained on small GEMMs — operand fetch and
-    fragment layout stalls land inside the MMA's shadow).
+    The Tensor pipe's initiation interval is the time one MMA fragment
+    (``sm.tensor_core.macs_per_instruction`` MACs) occupies a Tensor
+    core at the spec's per-format MAC rate, derated by
+    ``tc_efficiency`` (peak MMA issue is never sustained on small
+    GEMMs — operand fetch and fragment layout stalls land inside the
+    MMA's shadow).
     """
     if not 0 < tc_efficiency <= 1:
         raise SimulationError(
@@ -92,7 +94,7 @@ def default_timings(
         )
     ws = sm.warp_size
     tc_macs_per_cycle = sm.tensor_core.macs_per_cycle(tc_format) * tc_efficiency
-    tc_ii = max(1, round(TENSOR_MACS_PER_INSTR / tc_macs_per_cycle))
+    tc_ii = max(1, round(sm.tensor_core.macs_per_instruction / tc_macs_per_cycle))
     return {
         OpClass.INT: PipeTiming(_ii(ws, sm.int32_lanes_per_partition), issue_gap=2),
         OpClass.FP: PipeTiming(_ii(ws, sm.fp32_lanes_per_partition), issue_gap=2),

@@ -93,9 +93,12 @@ def occupancy(sm: SMSpec, kernel: KernelResources) -> Occupancy:
         -(-kernel.registers_per_thread * sm.warp_size // _REG_ALLOC_UNIT)
         * _REG_ALLOC_UNIT
     )
+    # The register limit sees the *effective* capacity, so backends
+    # with storage-side register-file compression (orin-rfc, Angerd)
+    # recover occupancy exactly as the prior work describes.
     limits = {
         "warps": sm.max_warps_per_sm // wpb,
-        "registers": sm.registers_per_sm // (regs_per_warp * wpb),
+        "registers": sm.effective_registers_per_sm // (regs_per_warp * wpb),
         "blocks": _MAX_BLOCKS_PER_SM,
     }
     if kernel.shared_mem_per_block:

@@ -1,0 +1,274 @@
+"""Cross-backend design-space what-if explorer (ROADMAP item 4).
+
+Sweeps the bitwidth x strategy x backend design space through the
+parallel sweep runner (:func:`repro.runner.run_sweep`) with the
+content-addressed timing cache as the shared artifact store: every
+point builds a :class:`~repro.perfmodel.PerformanceModel` for its
+backend, prices one full ViT inference, and reports the three
+first-class metrics —
+
+* **throughput** — inferences per second,
+* **energy** — joules per inference (:mod:`repro.arch.energy`),
+* **density** — useful ops/s per mm^2 of die (:mod:`repro.arch.density`)
+
+— from which per-backend and cross-backend Pareto frontiers are
+extracted (maximize throughput and density, minimize energy; dominated
+points excluded, exact ties kept).
+
+Everything in :meth:`WhatifReport.summary` is derived from simulator
+outputs only — no wall clocks, no counters — so same-seed reruns are
+byte-identical and warm-cache reruns (``REPRO_REQUIRE_WARM_CACHE=1``)
+produce the same document with zero simulations.  The CLI entry point
+is ``repro whatif --backend NAME|all``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.registry import backend_names, resolve_backend
+from repro.runner import SweepReport, run_sweep
+
+__all__ = [
+    "WHATIF_BITS",
+    "WHATIF_STRATEGIES",
+    "WhatifPoint",
+    "WhatifReport",
+    "pareto_frontier",
+    "run_whatif",
+]
+
+#: Operand bitwidths the explorer sweeps (Fig. 3's packing-relevant
+#: corners: 8-bit packs 2 lanes, 4-bit packs 4).
+WHATIF_BITS: tuple[int, ...] = (4, 8)
+
+#: Table 3 strategies the explorer sweeps — the Tensor baseline, both
+#: published fusion baselines, and VitBit.
+WHATIF_STRATEGIES: tuple[str, ...] = ("TC", "Tacker", "TC+IC+FC", "VitBit")
+
+
+@dataclass(frozen=True)
+class WhatifPoint:
+    """One priced (backend, bits, strategy) design point."""
+
+    backend: str
+    bits: int
+    strategy: str
+    total_seconds: float
+    throughput_inf_per_s: float
+    energy_joules: float
+    density_ops_per_s_mm2: float
+
+    def metrics(self) -> dict[str, float]:
+        """The Pareto-relevant metric vector."""
+        return {
+            "throughput_inf_per_s": self.throughput_inf_per_s,
+            "energy_joules": self.energy_joules,
+            "density_ops_per_s_mm2": self.density_ops_per_s_mm2,
+        }
+
+    def as_dict(self) -> dict:
+        """JSON-serializable row (deterministic: simulator outputs only)."""
+        return {
+            "backend": self.backend,
+            "bits": self.bits,
+            "strategy": self.strategy,
+            "total_seconds": self.total_seconds,
+            "throughput_inf_per_s": self.throughput_inf_per_s,
+            "energy_joules": self.energy_joules,
+            "density_ops_per_s_mm2": self.density_ops_per_s_mm2,
+        }
+
+
+def pareto_frontier(
+    points: list,
+    *,
+    maximize: tuple[str, ...] = ("throughput_inf_per_s", "density_ops_per_s_mm2"),
+    minimize: tuple[str, ...] = ("energy_joules",),
+) -> list:
+    """Non-dominated subset of ``points``, input order preserved.
+
+    ``points`` are :class:`WhatifPoint` (or anything with a
+    ``metrics()`` dict).  A point is dominated when some other point is
+    at least as good on *every* metric and strictly better on at least
+    one; exact metric ties dominate in neither direction, so tied
+    points are all kept.
+    """
+
+    def dominates(a: dict, b: dict) -> bool:
+        no_worse = all(a[m] >= b[m] for m in maximize) and all(
+            a[m] <= b[m] for m in minimize
+        )
+        better = any(a[m] > b[m] for m in maximize) or any(
+            a[m] < b[m] for m in minimize
+        )
+        return no_worse and better
+
+    vecs = [p.metrics() for p in points]
+    return [
+        p
+        for i, p in enumerate(points)
+        if not any(dominates(vecs[j], vecs[i]) for j in range(len(points)) if j != i)
+    ]
+
+
+def _whatif_point(point: tuple) -> dict:
+    """Worker: price one (backend, bits, strategy) design point.
+
+    Module-level and fed only primitives (the backend crosses the
+    process boundary as its registry *name*), so it pickles cleanly to
+    sweep workers.  ``clamp_ratio=True`` for the same reason as
+    :func:`repro.runner._price_strategy`: an inapplicable split rule on
+    one exotic backend degrades that point instead of killing the sweep.
+    """
+    from repro.arch.density import arithmetic_density
+    from repro.arch.energy import inference_energy
+    from repro.fusion.strategies import strategy_by_name
+    from repro.packing.policy import policy_for_bitwidth
+    from repro.perfmodel.model import PerformanceModel
+    from repro.vit.runtime import time_inference
+    from repro.vit.workload import vit_workload
+    from repro.vit.zoo import model_config
+
+    backend, bits, strategy_name, model_name, batch = point
+    machine = resolve_backend(backend)
+    strategy = strategy_by_name(strategy_name)
+    config = model_config(model_name)
+    pm = PerformanceModel(
+        machine, policy=policy_for_bitwidth(bits), clamp_ratio=True
+    )
+    timing = time_inference(pm, strategy, config=config, batch=batch)
+    energy = inference_energy(pm, strategy, config=config, batch=batch)
+    useful_ops = sum(
+        kw.gemm.flops * kw.repeat
+        for kw in vit_workload(config, batch=batch)
+        if kw.kind == "gemm"
+    )
+    return {
+        "total_seconds": timing.total_seconds,
+        "throughput_inf_per_s": batch / timing.total_seconds,
+        "energy_joules": energy.total / batch,
+        "density_ops_per_s_mm2": arithmetic_density(
+            machine, useful_ops, timing.total_seconds
+        ),
+    }
+
+
+@dataclass
+class WhatifReport:
+    """Outcome of one :func:`run_whatif` sweep."""
+
+    model_name: str
+    batch: int
+    backends: tuple[str, ...]
+    points: list[WhatifPoint] = field(default_factory=list)
+    sweep: SweepReport | None = None
+
+    def backend_points(self, backend: str) -> list[WhatifPoint]:
+        """All design points priced on ``backend``, sweep order."""
+        return [p for p in self.points if p.backend == backend]
+
+    def pareto(self, backend: str | None = None) -> list[WhatifPoint]:
+        """Pareto frontier — per backend, or cross-backend when ``None``."""
+        pts = self.points if backend is None else self.backend_points(backend)
+        return pareto_frontier(pts)
+
+    def summary(self) -> dict:
+        """The deterministic ``"whatif_backends"`` summary section.
+
+        Contains only simulator-derived values (no wall clocks, no
+        cache counters), so cold and warm same-seed runs serialize
+        byte-identically.
+        """
+        per_backend = {}
+        for b in self.backends:
+            per_backend[b] = {
+                "machine": resolve_backend(b).name,
+                "points": [p.as_dict() for p in self.backend_points(b)],
+                "pareto": [p.as_dict() for p in self.pareto(b)],
+            }
+        return {
+            "model": self.model_name,
+            "batch": self.batch,
+            "bits": sorted({p.bits for p in self.points}),
+            "strategies": sorted({p.strategy for p in self.points}),
+            "backends": per_backend,
+            "global_pareto": [p.as_dict() for p in self.pareto()],
+        }
+
+    def render(self) -> str:
+        """Human-readable cross-backend table, frontier rows starred."""
+        from repro.utils.tables import format_table
+
+        frontier = set(map(id, self.pareto()))
+        rows = [
+            (
+                ("* " if id(p) in frontier else "  ") + p.backend,
+                p.bits,
+                p.strategy,
+                p.total_seconds * 1e3,
+                p.throughput_inf_per_s,
+                p.energy_joules * 1e3,
+                p.density_ops_per_s_mm2 / 1e9,
+            )
+            for p in self.points
+        ]
+        return format_table(
+            [
+                "backend (* = global Pareto)",
+                "bits",
+                "strategy",
+                "latency (ms)",
+                "inf/s",
+                "mJ/inf",
+                "Gops/s/mm2",
+            ],
+            rows,
+            title=f"what-if — {self.model_name} @ batch {self.batch}, "
+            f"{len(self.backends)} backend(s)",
+            ndigits=2,
+        )
+
+
+def run_whatif(
+    backends: tuple[str, ...] | list[str] | None = None,
+    *,
+    bits: tuple[int, ...] = WHATIF_BITS,
+    strategies: tuple[str, ...] = WHATIF_STRATEGIES,
+    model_name: str = "vit-base",
+    batch: int = 8,
+    processes: int | None = None,
+) -> WhatifReport:
+    """Run the bitwidth x strategy x backend sweep and collect frontiers.
+
+    ``backends=None`` sweeps every registered backend.  Unknown names
+    fail fast (in the parent, listing the registered choices) before
+    any work is dispatched.
+    """
+    names = tuple(backends) if backends else backend_names()
+    for n in names:
+        resolve_backend(n)
+    pts = [
+        (b, nbits, s, model_name, batch)
+        for b in names
+        for nbits in bits
+        for s in strategies
+    ]
+    sweep = run_sweep(
+        _whatif_point,
+        pts,
+        labels=[f"{b}/{nbits}b/{s}" for b, nbits, s, _, _ in pts],
+        processes=processes,
+        label=f"what-if backends — {model_name} @ batch {batch}",
+    )
+    points = [
+        WhatifPoint(backend=b, bits=nbits, strategy=s, **value)
+        for (b, nbits, s, _, _), value in zip(pts, sweep.values)
+    ]
+    return WhatifReport(
+        model_name=model_name,
+        batch=batch,
+        backends=names,
+        points=points,
+        sweep=sweep,
+    )

@@ -232,6 +232,55 @@ class TestRules:
         )
         assert diags == []
 
+    def test_orin_global_in_perfmodel_is_vb308(self, tmp_path):
+        diags = _lint_snippet(
+            tmp_path,
+            '''
+            """Module."""
+            from repro.arch.specs import jetson_orin_agx
+            from repro.arch import specs
+
+            M1 = jetson_orin_agx()
+            M2 = specs.jetson_orin_agx()
+            ''',
+            name="repro/perfmodel/bad.py",
+        )
+        codes = [d.code for d in diags]
+        # import + name load + attribute access all fire.
+        assert codes.count("VB308") == 3, diags
+
+    def test_orin_global_outside_perfmodel_is_fine(self, tmp_path):
+        # The runner, benchmarks, and arch layer may build the Orin spec;
+        # only repro/perfmodel must stay backend-generic.
+        source = '''
+            """Module."""
+            from repro.arch.specs import jetson_orin_agx
+
+            MACHINE = jetson_orin_agx()
+            '''
+        assert _lint_snippet(tmp_path, source, name="repro/runner.py") == []
+        assert [
+            d.code
+            for d in _lint_snippet(
+                tmp_path, source, name="repro/perfmodel/analytic.py"
+            )
+        ] == ["VB308", "VB308"]
+
+    def test_real_perfmodel_package_has_no_orin_references(self):
+        # The ISSUE-10 regression: every module in repro.perfmodel takes
+        # its machine from the caller (backend registry), never from the
+        # arch.specs Orin global.
+        from repro.analysis.lint import find_repo_root
+
+        root = find_repo_root()
+        assert root is not None, "tests must run from a source checkout"
+        diags = lint_paths(
+            [root / "src" / "repro" / "perfmodel"],
+            rules=frozenset({"VB308"}),
+            root=root,
+        )
+        assert diags == [], diags
+
     def test_lint_paths_recurses(self, tmp_path):
         (tmp_path / "pkg").mkdir()
         (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")

@@ -1,0 +1,191 @@
+"""Backend registry + MachineSpec serialization (ISSUE 10 tentpole).
+
+Covers registry semantics (register / resolve / duplicate and unknown
+names), the JSON round-trip contract of the versioned spec schema,
+schema validation of malformed documents, and a hypothesis property:
+*every* registered backend prices a small GEMM with positive finite
+time and energy — the conformance floor all backends share, with no
+per-backend carve-outs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    DEFAULT_BACKEND,
+    MachineSpec,
+    SPEC_SCHEMA_VERSION,
+    backend_names,
+    jetson_orin_agx,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from repro.arch.energy import kernel_energy
+from repro.errors import BackendError, SpecValidationError
+from repro.fusion import TC
+from repro.perfmodel import GemmShape, PerformanceModel
+
+
+class TestRegistrySemantics:
+    def test_builtins_are_registered(self):
+        names = backend_names()
+        assert names == tuple(sorted(names))
+        for required in ("orin-agx", "ten-four", "camp-lv", "orin-rfc"):
+            assert required in names
+
+    def test_default_backend_is_orin(self):
+        spec = resolve_backend(DEFAULT_BACKEND)
+        assert spec == jetson_orin_agx()
+
+    def test_register_resolve_unregister_roundtrip(self):
+        spec = dataclasses.replace(jetson_orin_agx(), name="Test Machine")
+        register_backend("test-machine", spec)
+        try:
+            assert resolve_backend("test-machine") is spec
+            assert "test-machine" in backend_names()
+        finally:
+            unregister_backend("test-machine")
+        assert "test-machine" not in backend_names()
+
+    def test_duplicate_name_rejected_and_replace_opt_in(self):
+        spec = dataclasses.replace(jetson_orin_agx(), name="Dup A")
+        other = dataclasses.replace(jetson_orin_agx(), name="Dup B")
+        register_backend("dup-test", spec)
+        try:
+            with pytest.raises(BackendError) as exc:
+                register_backend("dup-test", other)
+            assert "dup-test" in str(exc.value)
+            assert "Dup A" in str(exc.value)  # names the existing spec
+            assert "replace=True" in str(exc.value)
+            register_backend("dup-test", other, replace=True)
+            assert resolve_backend("dup-test") is other
+        finally:
+            unregister_backend("dup-test")
+
+    def test_unknown_name_error_lists_registered_choices(self):
+        with pytest.raises(BackendError) as exc:
+            resolve_backend("bogus-backend")
+        message = str(exc.value)
+        assert "bogus-backend" in message
+        for name in backend_names():
+            assert name in message
+
+    def test_unregister_unknown_name_raises(self):
+        with pytest.raises(BackendError):
+            unregister_backend("never-registered")
+
+    def test_register_rejects_non_spec(self):
+        with pytest.raises(BackendError):
+            register_backend("not-a-spec", {"name": "nope"})
+
+
+class TestSpecSerialization:
+    def test_json_roundtrip_equality_for_every_backend(self):
+        for name in backend_names():
+            spec = resolve_backend(name)
+            again = MachineSpec.from_json(spec.to_json())
+            assert again == spec, name
+
+    def test_to_dict_carries_schema_version(self):
+        doc = jetson_orin_agx().to_dict()
+        assert doc["schema_version"] == SPEC_SCHEMA_VERSION
+        assert doc["sm"]["tensor_core"]["fp16_macs_per_cycle"] == 260
+
+    def test_json_is_deterministic(self):
+        spec = resolve_backend("ten-four")
+        assert spec.to_json() == spec.to_json()
+        assert json.loads(spec.to_json())["name"] == spec.name
+
+    def test_wrong_schema_version_rejected(self):
+        doc = jetson_orin_agx().to_dict()
+        doc["schema_version"] = 99
+        with pytest.raises(SpecValidationError) as exc:
+            MachineSpec.from_dict(doc)
+        assert "schema_version" in str(exc.value)
+
+    def test_missing_field_rejected_with_dotted_path(self):
+        doc = jetson_orin_agx().to_dict()
+        del doc["sm_count"]
+        with pytest.raises(SpecValidationError) as exc:
+            MachineSpec.from_dict(doc)
+        assert "sm_count" in str(exc.value)
+
+    def test_negative_throughput_rejected(self):
+        doc = jetson_orin_agx().to_dict()
+        doc["sm"]["tensor_core"]["fp16_macs_per_cycle"] = -5
+        with pytest.raises(SpecValidationError) as exc:
+            MachineSpec.from_dict(doc)
+        assert "fp16_macs_per_cycle" in str(exc.value)
+
+    def test_negative_format_multiplier_rejected(self):
+        doc = jetson_orin_agx().to_dict()
+        doc["sm"]["tensor_core"]["format_multipliers"]["int8"] = -2.0
+        with pytest.raises(SpecValidationError):
+            MachineSpec.from_dict(doc)
+
+    def test_bool_is_not_an_int(self):
+        doc = jetson_orin_agx().to_dict()
+        doc["sm"]["warp_size"] = True
+        with pytest.raises(SpecValidationError) as exc:
+            MachineSpec.from_dict(doc)
+        assert "warp_size" in str(exc.value)
+
+    def test_unknown_field_rejected(self):
+        doc = jetson_orin_agx().to_dict()
+        doc["flux_capacitance"] = 1.21
+        with pytest.raises(SpecValidationError) as exc:
+            MachineSpec.from_dict(doc)
+        assert "flux_capacitance" in str(exc.value)
+
+    def test_all_problems_reported_at_once(self):
+        doc = jetson_orin_agx().to_dict()
+        del doc["clock_ghz"]
+        doc["sm"]["partitions"] = "four"
+        with pytest.raises(SpecValidationError) as exc:
+            MachineSpec.from_dict(doc)
+        message = str(exc.value)
+        assert "clock_ghz" in message and "partitions" in message
+
+    def test_non_object_section_rejected(self):
+        doc = jetson_orin_agx().to_dict()
+        doc["sm"] = [1, 2, 3]
+        with pytest.raises(SpecValidationError) as exc:
+            MachineSpec.from_dict(doc)
+        assert "sm" in str(exc.value)
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(SpecValidationError):
+            MachineSpec.from_json("[1, 2, 3]")
+
+
+class TestBackendConformance:
+    """The shared floor: every registered backend prices work sanely."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        backend=st.sampled_from(backend_names()),
+        m=st.sampled_from((32, 64, 96)),
+        n=st.sampled_from((64, 128, 256)),
+        k=st.sampled_from((32, 64)),
+    )
+    def test_any_backend_prices_a_small_gemm(self, backend, m, n, k):
+        machine = resolve_backend(backend)
+        pm = PerformanceModel(machine, clamp_ratio=True)
+        timing = pm.time_gemm(GemmShape(m, n, k), TC)
+        assert timing.seconds > 0 and math.isfinite(timing.seconds)
+        energy = kernel_energy(timing.issued, 1024.0, timing.seconds)
+        assert energy.total > 0 and math.isfinite(energy.total)
+
+    def test_every_backend_is_register_limit_sane(self):
+        for name in backend_names():
+            sm = resolve_backend(name).sm
+            assert sm.effective_registers_per_sm >= sm.registers_per_sm * 0.5
+            assert sm.register_limited_warps(40) >= 1

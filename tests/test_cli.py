@@ -111,6 +111,47 @@ class TestCli:
             os.environ.pop(POLICY_TABLE_ENV_VAR, None)
 
 
+class TestWhatifCli:
+    def test_list_backends(self, capsys):
+        assert main(["whatif", "--list-backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("orin-agx", "ten-four", "camp-lv", "orin-rfc"):
+            assert name in out
+
+    def test_single_backend_writes_summary_section(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        from repro.perfmodel import TimingCache
+
+        monkeypatch.setenv("REPRO_TIMING_CACHE_DIR", str(tmp_path / "c"))
+        TimingCache.reset_default()
+        summary = tmp_path / "summary.json"
+        try:
+            assert main(
+                ["whatif", "--backend", "orin-agx", "--model", "test-tiny",
+                 "--batch", "1", "--processes", "1",
+                 "--summary", str(summary)]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "global Pareto" in out
+            doc = json.loads(summary.read_text())["whatif_backends"]
+            assert set(doc["backends"]) == {"orin-agx"}
+            assert doc["backends"]["orin-agx"]["pareto"]
+        finally:
+            TimingCache.reset_default()
+
+    def test_unknown_backend_exits_2_listing_choices(self, capsys):
+        assert main(["whatif", "--backend", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "orin-agx" in err
+
+    def test_serve_unknown_backend_exits_2(self, capsys):
+        assert main(["serve", "--backend", "bogus", "--requests", "5"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+
 class TestMetricsCli:
     """`repro metrics` must degrade with actionable messages, never a
     traceback, for every malformed-summary shape."""

@@ -55,3 +55,18 @@ def test_goldens_encode_paper_shape(golden):
     study = golden["initial_study_x_tc"]
     assert study["IC"] > study["IC+FC"] > study["IC+FC+P"] > 1.0
     assert golden["m_rule"] == 4
+
+
+def test_goldens_cover_every_registered_backend(golden):
+    """One pinned (8-bit, VitBit) reference row per backend."""
+    from repro.arch import backend_names
+
+    rows = golden["backend_rows"]
+    assert set(rows) == set(backend_names())
+    for name, row in rows.items():
+        assert row["bits"] == 8 and row["strategy"] == "VitBit", name
+        assert row["latency_ms"] > 0, name
+        assert row["speedup_vs_tc"] > 0, name
+    # Stock Orin keeps the paper's end-to-end win; the speculative
+    # backends may land anywhere positive.
+    assert rows["orin-agx"]["speedup_vs_tc"] > 1.0

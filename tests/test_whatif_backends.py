@@ -1,0 +1,164 @@
+"""The cross-backend what-if explorer (ISSUE 10 conformance suite).
+
+Every assertion here is parametrized over *all* registered backends —
+no per-backend carve-outs: same-seed reruns are byte-identical,
+warm-cache reruns perform zero simulations, timing-cache keys are
+backend-scoped for identical workloads, and the Pareto-frontier
+extraction is checked against a hand-built fixture (dominated points
+excluded, exact ties kept).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.arch import backend_names, resolve_backend
+from repro.fusion import TC
+from repro.perfmodel import GemmShape, PerformanceModel, TimingCache
+from repro.perfmodel.warpsets import gemm_launch
+from repro.sim.smsim import clear_partition_memo
+from repro.whatif import (
+    WHATIF_BITS,
+    WHATIF_STRATEGIES,
+    WhatifPoint,
+    pareto_frontier,
+    run_whatif,
+)
+
+ALL_BACKENDS = backend_names()
+
+#: A small sweep slice every per-backend test uses: one bitwidth and
+#: two strategies on the tiny model keep each case to a handful of
+#: fresh simulations.
+SMALL = dict(bits=(8,), strategies=("TC", "VitBit"), model_name="test-tiny", batch=1)
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, monkeypatch):
+    """A private on-disk timing cache, reset around the test."""
+    monkeypatch.setenv("REPRO_TIMING_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_REQUIRE_WARM_CACHE", raising=False)
+    TimingCache.reset_default()
+    clear_partition_memo()
+    yield tmp_path / "cache"
+    TimingCache.reset_default()
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_same_seed_reruns_are_byte_identical(backend, fresh_cache):
+    first = run_whatif((backend,), processes=1, **SMALL)
+    second = run_whatif((backend,), processes=1, **SMALL)
+    blob1 = json.dumps(first.summary(), sort_keys=True)
+    blob2 = json.dumps(second.summary(), sort_keys=True)
+    assert blob1 == blob2
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_warm_cache_rerun_performs_zero_simulations(
+    backend, fresh_cache, monkeypatch
+):
+    cold = run_whatif((backend,), processes=1, **SMALL)
+    assert cold.sweep.simulations > 0  # the cache really was cold
+    clear_partition_memo()
+    TimingCache.reset_default()
+    monkeypatch.setenv("REPRO_REQUIRE_WARM_CACHE", "1")
+    warm = run_whatif((backend,), processes=1, **SMALL)
+    assert warm.sweep.simulations == 0
+    assert warm.sweep.cache_misses == 0
+    assert json.dumps(warm.summary(), sort_keys=True) == json.dumps(
+        cold.summary(), sort_keys=True
+    )
+
+
+def test_cache_keys_differ_across_backends_for_identical_workloads():
+    shape = GemmShape(64, 256, 64)
+    keys = set()
+    for backend in ALL_BACKENDS:
+        pm = PerformanceModel(resolve_backend(backend), clamp_ratio=True)
+        launch = gemm_launch(
+            shape, TC, pm.machine, pm.policy, pm.params, 4.0
+        )
+        keys.add(pm._cache_key(launch))
+    assert len(keys) == len(ALL_BACKENDS)
+
+
+def test_full_sweep_covers_every_backend(fresh_cache):
+    report = run_whatif(processes=1, **SMALL)
+    assert report.backends == ALL_BACKENDS
+    for backend in ALL_BACKENDS:
+        pts = report.backend_points(backend)
+        assert len(pts) == len(SMALL["strategies"])
+        assert report.pareto(backend)  # non-empty frontier per backend
+    doc = report.summary()
+    assert set(doc["backends"]) == set(ALL_BACKENDS)
+    assert doc["global_pareto"]
+
+
+def test_unknown_backend_fails_fast_listing_choices():
+    from repro.errors import BackendError
+
+    with pytest.raises(BackendError) as exc:
+        run_whatif(("no-such-machine",), processes=1, **SMALL)
+    message = str(exc.value)
+    assert "no-such-machine" in message
+    for name in ALL_BACKENDS:
+        assert name in message
+
+
+def test_default_sweep_axes_are_the_papers():
+    assert WHATIF_BITS == (4, 8)
+    assert set(WHATIF_STRATEGIES) == {"TC", "Tacker", "TC+IC+FC", "VitBit"}
+
+
+def _pt(name, thr, energy, density, bits=8, strategy="TC"):
+    return WhatifPoint(
+        backend=name,
+        bits=bits,
+        strategy=strategy,
+        total_seconds=1.0,
+        throughput_inf_per_s=thr,
+        energy_joules=energy,
+        density_ops_per_s_mm2=density,
+    )
+
+
+class TestParetoFixture:
+    """Hand-built frontier: dominance is exact, ties are kept."""
+
+    def test_dominated_point_excluded(self):
+        best = _pt("a", thr=10.0, energy=1.0, density=5.0)
+        worse = _pt("b", thr=9.0, energy=2.0, density=4.0)  # loses on all
+        assert pareto_frontier([best, worse]) == [best]
+
+    def test_tradeoff_points_all_kept(self):
+        fast = _pt("a", thr=10.0, energy=3.0, density=5.0)
+        frugal = _pt("b", thr=5.0, energy=1.0, density=5.0)
+        dense = _pt("c", thr=5.0, energy=3.0, density=9.0)
+        assert pareto_frontier([fast, frugal, dense]) == [fast, frugal, dense]
+
+    def test_exact_ties_are_all_kept(self):
+        one = _pt("a", thr=10.0, energy=1.0, density=5.0)
+        two = _pt("b", thr=10.0, energy=1.0, density=5.0)
+        assert pareto_frontier([one, two]) == [one, two]
+
+    def test_tie_on_some_metrics_strictly_worse_on_one_is_dominated(self):
+        keep = _pt("a", thr=10.0, energy=1.0, density=5.0)
+        drop = _pt("b", thr=10.0, energy=1.0, density=4.0)
+        assert pareto_frontier([keep, drop]) == [keep]
+
+    def test_input_order_preserved(self):
+        pts = [
+            _pt("c", thr=5.0, energy=3.0, density=9.0),
+            _pt("a", thr=10.0, energy=3.0, density=5.0),
+            _pt("b", thr=5.0, energy=1.0, density=5.0),
+        ]
+        assert pareto_frontier(pts) == pts
+
+    def test_single_point_is_its_own_frontier(self):
+        only = _pt("a", thr=1.0, energy=1.0, density=1.0)
+        assert pareto_frontier([only]) == [only]
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == []

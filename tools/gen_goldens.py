@@ -15,9 +15,10 @@ import json
 import pathlib
 import sys
 
-from repro.arch import jetson_orin_agx
+from repro.arch import backend_names, jetson_orin_agx, resolve_backend
 from repro.fusion import FC, IC, IC_FC, TACKER, TC, TC_IC_FC, VITBIT
 from repro.fusion.strategies import Strategy
+from repro.packing import policy_for_bitwidth
 from repro.perfmodel import GemmShape, PerformanceModel
 from repro.vit import time_inference
 
@@ -56,7 +57,33 @@ def compute() -> dict:
         "fig6_proj_speedup": fig6,
         "fig7_gelu_speedup": fig7_gelu,
         "m_rule": pm_raw.determine_tensor_cuda_ratio(shape, packed),
+        "backend_rows": backend_rows(),
     }
+
+
+def backend_rows() -> dict:
+    """One pinned (bits=8, VitBit) reference row per registered backend.
+
+    Pins both the absolute latency (ms) and the dimensionless speedup
+    over TC on the same backend, so a change to any backend spec or to
+    the backend-generic perfmodel path must be deliberate.
+    """
+    rows = {}
+    for name in backend_names():
+        pm = PerformanceModel(
+            resolve_backend(name),
+            policy=policy_for_bitwidth(8),
+            clamp_ratio=True,
+        )
+        t_tc = time_inference(pm, TC).total_seconds
+        t_vb = time_inference(pm, VITBIT).total_seconds
+        rows[name] = {
+            "bits": 8,
+            "strategy": "VitBit",
+            "latency_ms": round(t_vb * 1e3, 4),
+            "speedup_vs_tc": round(t_tc / t_vb, 4),
+        }
+    return rows
 
 
 def main() -> int:
